@@ -1,0 +1,130 @@
+//! abl-concurrency (wall time): LO-level two-phase locking with one
+//! large object per index (readers and writers serialize on the whole
+//! index) versus a partitioned index (finer effective granularity) —
+//! quantifying Section 5.3's complaint that sbspace locking is "too
+//! high-level ... which may not be efficient in a multi-user
+//! environment".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grt_grtree::{GrTree, GrTreeOptions};
+use grt_sbspace::{IsolationLevel, LoId, LockMode, Sbspace, SbspaceOptions};
+use grt_temporal::{Day, Predicate, TimeExtent, TtEnd, VtEnd};
+use std::time::Duration;
+
+fn extent(i: i32) -> TimeExtent {
+    let base = 10_000 + (i * 3) % 400;
+    TimeExtent::from_parts(Day(base), TtEnd::Uc, Day(base), VtEnd::Now).unwrap()
+}
+
+/// Builds K partition LOs, preloaded with rows, and returns their ids.
+fn setup(k: usize) -> (Sbspace, Vec<LoId>) {
+    let sb = Sbspace::mem(SbspaceOptions {
+        pool_pages: 1 << 14,
+        lock_timeout: Duration::from_secs(20),
+    });
+    let txn = sb.begin(IsolationLevel::ReadCommitted);
+    let mut los = Vec::new();
+    for p in 0..k {
+        let lo = sb.create_lo(&txn).unwrap();
+        let handle = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        let mut tree = GrTree::create(
+            handle,
+            GrTreeOptions {
+                max_entries: 42,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..200i32 {
+            if i as usize % k == p {
+                tree.insert(extent(i), i as u64, Day(10_500)).unwrap();
+            }
+        }
+        tree.into_lo().unwrap().close().unwrap();
+        los.push(lo);
+    }
+    txn.commit().unwrap();
+    (sb, los)
+}
+
+/// Fixed work: 2 writer threads x 30 insert-transactions, 4 reader
+/// threads x 60 query-transactions, spread over the K partitions.
+fn run_mixed(sb: &Sbspace, los: &[LoId]) {
+    std::thread::scope(|s| {
+        for w in 0..2u64 {
+            s.spawn(move || {
+                for i in 0..30 {
+                    let txn = sb.begin(IsolationLevel::ReadCommitted);
+                    let lo = los[(i as usize) % los.len()];
+                    let handle = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+                    let mut tree = GrTree::open(handle).unwrap();
+                    tree.insert(extent(500 + i), 10_000 + w * 1000 + i as u64, Day(10_600))
+                        .unwrap();
+                    tree.into_lo().unwrap().close().unwrap();
+                    txn.commit().unwrap();
+                }
+            });
+        }
+        for _ in 0..4 {
+            s.spawn(move || {
+                let q = TimeExtent::from_parts(Day(10_100), TtEnd::Uc, Day(10_100), VtEnd::Now)
+                    .unwrap();
+                for i in 0..60 {
+                    let txn = sb.begin(IsolationLevel::ReadCommitted);
+                    let lo = los[i % los.len()];
+                    let handle = sb.open_lo(&txn, lo, LockMode::Shared).unwrap();
+                    let tree = GrTree::open(handle).unwrap();
+                    let _ = tree.search(Predicate::Overlaps, &q, Day(10_700)).unwrap();
+                    tree.into_lo().unwrap().close().unwrap();
+                    txn.commit().unwrap();
+                }
+            });
+        }
+    });
+}
+
+/// The same fixed workload against the node-latched "in-kernel" tree
+/// the paper says sbspaces preclude (Section 5.3).
+fn run_mixed_latched(tree: &grt_grtree::ConcurrentGrTree) {
+    std::thread::scope(|s| {
+        for w in 0..2u64 {
+            s.spawn(move || {
+                for i in 0..30 {
+                    tree.insert(extent(500 + i), 20_000 + w * 1000 + i as u64, Day(10_600));
+                }
+            });
+        }
+        for _ in 0..4 {
+            s.spawn(move || {
+                let q = TimeExtent::from_parts(Day(10_100), TtEnd::Uc, Day(10_100), VtEnd::Now)
+                    .unwrap();
+                for _ in 0..60 {
+                    let _ = tree.search(Predicate::Overlaps, &q, Day(10_700));
+                }
+            });
+        }
+    });
+}
+
+fn bench_concurrency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lo-locking");
+    group.sample_size(10);
+    for k in [1usize, 8] {
+        let (sb, los) = setup(k);
+        group.bench_with_input(BenchmarkId::new("partitions", k), &k, |b, _| {
+            b.iter(|| run_mixed(&sb, &los))
+        });
+    }
+    // The in-kernel alternative: per-node latches, no LO locks at all.
+    let latched = grt_grtree::ConcurrentGrTree::new(42);
+    for i in 0..200i32 {
+        latched.insert(extent(i), i as u64, Day(10_500));
+    }
+    group.bench_function("node-latched (in-kernel)", |b| {
+        b.iter(|| run_mixed_latched(&latched))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrency);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! abl-delete (wall time): index-driven deletion under the two
+//! scan-restart policies of Section 5.5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grt_blade::{install_grtree_blade, DeletePolicy, GrTreeAmOptions};
+use grt_grtree::GrTreeOptions;
+use grt_ids::{Database, DatabaseOptions};
+use grt_temporal::{Day, MockClock};
+use std::sync::Arc;
+
+fn run_once(policy: DeletePolicy) -> u64 {
+    let clock = MockClock::new(Day(11_000));
+    let db = Database::new(DatabaseOptions {
+        clock: Arc::new(clock.clone()),
+        ..Default::default()
+    });
+    install_grtree_blade(
+        &db,
+        GrTreeAmOptions {
+            tree: GrTreeOptions {
+                max_entries: 8,
+                ..Default::default()
+            },
+            delete_policy: policy,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE t (id integer, pad text, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    conn.exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+    let pad = "x".repeat(400);
+    for i in 0..200i32 {
+        clock.set(Day(11_000 + i));
+        let (y, m, d) = Day(11_000 + i).to_ymd();
+        conn.exec(&format!(
+            "INSERT INTO t VALUES ({i}, '{pad}', '{m:02}/{d:02}/{y}, UC, {m:02}/{d:02}/{y}, NOW')"
+        ))
+        .unwrap();
+    }
+    clock.set(Day(12_000));
+    conn.exec(
+        "DELETE FROM t WHERE Overlaps(Time_Extent, \
+         '02/18/2000, 12/31/2000, 02/01/2000, 12/31/2000')",
+    )
+    .unwrap();
+    db.io_stats().snapshot().logical_reads
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delete");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("restart-on-condense", DeletePolicy::RestartOnCondense),
+        ("restart-always", DeletePolicy::RestartAlways),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 200), &policy, |b, p| {
+            b.iter(|| run_once(*p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delete);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! abl-dispatch (wall time): hard-coded strategy-function invocation
+//! versus dynamic UDR resolution — "the cost of this extensibility is
+//! the overhead of dynamic resolution and execution of strategy and
+//! support functions" (Section 5.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grt_blade::{extent_to_value, install_grtree_blade, GrTreeAmOptions};
+use grt_ids::{Database, DatabaseOptions, Value};
+use grt_temporal::{Day, Predicate, TimeExtent, TtEnd, VtEnd};
+
+fn extents(n: i32) -> Vec<TimeExtent> {
+    (0..n)
+        .map(|i| {
+            let base = (i * 13) % 500;
+            TimeExtent::from_parts(
+                Day(base),
+                if i % 2 == 0 {
+                    TtEnd::Uc
+                } else {
+                    TtEnd::Ground(Day(base + 20))
+                },
+                Day(base - i % 7),
+                if i % 3 == 0 {
+                    VtEnd::Now
+                } else {
+                    VtEnd::Ground(Day(base + 30))
+                },
+            )
+            .unwrap_or_else(|_| {
+                TimeExtent::from_parts(Day(base), TtEnd::Uc, Day(base), VtEnd::Now).unwrap()
+            })
+        })
+        .collect()
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let db = Database::new(DatabaseOptions::default());
+    install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
+    let data = extents(512);
+    let query = TimeExtent::from_parts(Day(100), TtEnd::Uc, Day(100), VtEnd::Now).unwrap();
+    let ct = Day(900);
+
+    let mut group = c.benchmark_group("dispatch");
+    // Hard-coded: the direct call the blade uses internally.
+    group.bench_function("hard-coded", |b| {
+        b.iter(|| {
+            data.iter()
+                .filter(|e| Predicate::Overlaps.eval(e, &query, ct))
+                .count()
+        })
+    });
+    // Dynamic: resolve the registered UDR and invoke it per pair, as a
+    // fully extensible operator class would.
+    let ctx = grt_ids::AmContext::for_tests();
+    let query_value = extent_to_value(&query);
+    group.bench_function("dynamic-udr", |b| {
+        b.iter(|| {
+            data.iter()
+                .filter(|e| {
+                    let args = vec![extent_to_value(e), query_value.clone()];
+                    let conn = db.connect();
+                    let _ = conn; // session per batch would be cheaper; this is the pessimistic path
+                    matches!(db_call(&db, "Overlaps", &args, &ctx), Ok(Value::Bool(true)))
+                })
+                .count()
+        })
+    });
+    group.finish();
+}
+
+/// Resolves and invokes a UDR through the registry — the dynamic path.
+fn db_call(
+    db: &Database,
+    name: &str,
+    args: &[Value],
+    ctx: &grt_ids::AmContext,
+) -> Result<Value, grt_ids::IdsError> {
+    let types: Vec<Option<grt_ids::DataType>> = args.iter().map(|v| v.data_type()).collect();
+    let routine = db.resolve_routine(name, &types)?;
+    (routine.imp)(args, ctx)
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! perf-insert (wall time): replaying a bitemporal history into each
+//! index, including the horizon baseline's refresh obligation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grt_bench::{apply_history_gr, apply_history_rstar};
+use grt_rstar::bitemporal::NowStrategy;
+use grt_workload::{History, HistoryParams};
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+    group.sample_size(10);
+    for frac in [0.0, 1.0] {
+        let h = History::generate(HistoryParams {
+            inserts: 800,
+            now_relative_fraction: frac,
+            delete_rate: 0.3,
+            seed: 11,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::new("grtree", frac), &frac, |b, _| {
+            b.iter(|| apply_history_gr(&h, 1 << 14, 42).tree.len())
+        });
+        group.bench_with_input(BenchmarkId::new("rstar-maxts", frac), &frac, |b, _| {
+            b.iter(|| {
+                apply_history_rstar(&h, NowStrategy::MaxTimestamp, 1 << 14, 42)
+                    .tree
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rstar-horizon", frac), &frac, |b, _| {
+            b.iter(|| {
+                apply_history_rstar(&h, NowStrategy::Horizon { slack: 365 }, 1 << 14, 42)
+                    .tree
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

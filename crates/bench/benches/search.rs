@@ -1,0 +1,53 @@
+//! perf-search (wall time): query latency of the GR-tree against the
+//! two R*-tree adaptations, as the now-relative fraction varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grt_bench::{apply_history_gr, apply_history_rstar, run_queries_gr, run_queries_rstar};
+use grt_rstar::bitemporal::NowStrategy;
+use grt_workload::{History, HistoryParams, QueryKind, QueryParams, QuerySet};
+
+fn history(frac: f64) -> History {
+    History::generate(HistoryParams {
+        inserts: 1500,
+        now_relative_fraction: frac,
+        delete_rate: 0.3,
+        seed: 11,
+        ..Default::default()
+    })
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    for frac in [0.0, 0.5, 1.0] {
+        let h = history(frac);
+        let queries = QuerySet::generate(
+            QueryParams {
+                count: 30,
+                kind: QueryKind::Window,
+                tt_range: (h.params.start, h.end),
+                window: 20,
+                seed: 5,
+            },
+            h.end,
+        )
+        .queries;
+        let ct = h.end;
+        let gr = apply_history_gr(&h, 1 << 16, 42);
+        let maxts = apply_history_rstar(&h, NowStrategy::MaxTimestamp, 1 << 16, 42);
+        let horizon = apply_history_rstar(&h, NowStrategy::Horizon { slack: 365 }, 1 << 16, 42);
+        group.bench_with_input(BenchmarkId::new("grtree", frac), &frac, |b, _| {
+            b.iter(|| run_queries_gr(&gr, &queries, ct))
+        });
+        group.bench_with_input(BenchmarkId::new("rstar-maxts", frac), &frac, |b, _| {
+            b.iter(|| run_queries_rstar(&maxts, &queries, ct))
+        });
+        group.bench_with_input(BenchmarkId::new("rstar-horizon", frac), &frac, |b, _| {
+            b.iter(|| run_queries_rstar(&horizon, &queries, ct))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

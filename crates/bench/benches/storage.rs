@@ -1,0 +1,87 @@
+//! abl-storage (wall time): one large object for the whole index versus
+//! partitioning the index across several large objects (the Section 5.3
+//! granularity spectrum).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grt_grtree::{GrTree, GrTreeOptions};
+use grt_sbspace::{LockMode, Sbspace, SbspaceOptions};
+use grt_temporal::Predicate;
+use grt_workload::{History, HistoryEvent, HistoryParams, QueryKind, QueryParams, QuerySet};
+
+fn run_partitioned(h: &History, queries: &grt_workload::QuerySet, k: usize) -> u64 {
+    let sb = Sbspace::mem(SbspaceOptions {
+        pool_pages: 1 << 14,
+        ..Default::default()
+    });
+    let txn = sb.begin(Default::default());
+    let mut trees = Vec::new();
+    for _ in 0..k {
+        let lo = sb.create_lo(&txn).unwrap();
+        let handle = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        trees.push(
+            GrTree::create(
+                handle,
+                GrTreeOptions {
+                    max_entries: 42,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+    }
+    for (day, ev) in &h.events {
+        match ev {
+            HistoryEvent::Insert { id, extent } => {
+                trees[(*id as usize) % k]
+                    .insert(*extent, *id, *day)
+                    .unwrap();
+            }
+            HistoryEvent::LogicalDelete { id, old, new } => {
+                let tr = &mut trees[(*id as usize) % k];
+                assert!(tr.delete(old, *id, *day).unwrap().found);
+                tr.insert(*new, *id, *day).unwrap();
+            }
+        }
+    }
+    let mut results = 0u64;
+    for q in &queries.queries {
+        for tr in &trees {
+            results += tr.search(Predicate::Overlaps, q, h.end).unwrap().len() as u64;
+        }
+    }
+    for tr in trees {
+        tr.into_lo().unwrap().close().unwrap();
+    }
+    txn.commit().unwrap();
+    results
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let h = History::generate(HistoryParams {
+        inserts: 800,
+        now_relative_fraction: 0.5,
+        seed: 11,
+        ..Default::default()
+    });
+    let queries = QuerySet::generate(
+        QueryParams {
+            count: 40,
+            kind: QueryKind::Window,
+            tt_range: (h.params.start, h.end),
+            window: 20,
+            seed: 5,
+        },
+        h.end,
+    );
+    let mut group = c.benchmark_group("storage-granularity");
+    group.sample_size(10);
+    for k in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("partitions", k), &k, |b, &k| {
+            b.iter(|| run_partitioned(&h, &queries, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Current-time handling (Section 5.4).
+//!
+//! The GR-tree algorithms resolve `UC` and `NOW` against the current
+//! time. "The simplest solution is to use a constant current-time value
+//! during a single statement ... getting this time value when the index
+//! is opened (in the am_open purpose function)." For a constant value
+//! over a whole transaction, "the only possible moment to get it is the
+//! first time the index is used during the transaction", cached in
+//! session named memory and freed by the transaction-end callback —
+//! which is exactly what [`resolve_current_time`] does through the
+//! engine's session machinery.
+
+use grt_ids::session::MemDuration;
+use grt_ids::AmContext;
+use grt_temporal::Day;
+
+/// When the current time is sampled and how long the sample is reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CurrentTimePolicy {
+    /// Sample at every use (incorrect under the paper's semantics — a
+    /// long statement can see time move; kept for the ablation).
+    PerCall,
+    /// Constant during a statement: sampled at `am_open`, freed when
+    /// the statement completes (the prototype's baseline behaviour).
+    #[default]
+    PerStatement,
+    /// Constant during a transaction: sampled the first time the index
+    /// is used in the transaction, freed by the transaction-end
+    /// callback (the approach the GR-tree DataBlade uses).
+    PerTransaction,
+}
+
+/// The named-memory key used for the cached value.
+pub const CT_MEMORY_KEY: &str = "grt_current_time";
+
+/// Resolves the statement's current time under `policy`.
+pub fn resolve_current_time(policy: CurrentTimePolicy, ctx: &AmContext) -> Day {
+    let duration = match policy {
+        CurrentTimePolicy::PerCall => return ctx.clock.today(),
+        CurrentTimePolicy::PerStatement => MemDuration::PerStatement,
+        CurrentTimePolicy::PerTransaction => MemDuration::PerTransaction,
+    };
+    if let Some(cached) = ctx.session.get_named::<Day>(CT_MEMORY_KEY) {
+        return cached;
+    }
+    let now = ctx.clock.today();
+    ctx.session.put_named(CT_MEMORY_KEY, duration, now);
+    now
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grt_temporal::MockClock;
+
+    fn ctx_with_clock() -> (AmContext<'static>, MockClock) {
+        let clock = MockClock::new(Day(100));
+        let mut ctx = AmContext::for_tests();
+        ctx.clock = std::sync::Arc::new(clock.clone());
+        (ctx, clock)
+    }
+
+    #[test]
+    fn per_call_tracks_the_clock() {
+        let (ctx, clock) = ctx_with_clock();
+        assert_eq!(
+            resolve_current_time(CurrentTimePolicy::PerCall, &ctx),
+            Day(100)
+        );
+        clock.advance(5);
+        assert_eq!(
+            resolve_current_time(CurrentTimePolicy::PerCall, &ctx),
+            Day(105)
+        );
+    }
+
+    #[test]
+    fn per_statement_caches_until_statement_end() {
+        let (ctx, clock) = ctx_with_clock();
+        assert_eq!(
+            resolve_current_time(CurrentTimePolicy::PerStatement, &ctx),
+            Day(100)
+        );
+        clock.advance(5);
+        // Within the statement: still the cached value.
+        assert_eq!(
+            resolve_current_time(CurrentTimePolicy::PerStatement, &ctx),
+            Day(100)
+        );
+        // The engine clears per-statement memory between statements.
+        ctx.session.clear_duration(MemDuration::PerStatement);
+        assert_eq!(
+            resolve_current_time(CurrentTimePolicy::PerStatement, &ctx),
+            Day(105)
+        );
+    }
+
+    #[test]
+    fn per_transaction_survives_statements() {
+        let (ctx, clock) = ctx_with_clock();
+        assert_eq!(
+            resolve_current_time(CurrentTimePolicy::PerTransaction, &ctx),
+            Day(100)
+        );
+        clock.advance(7);
+        ctx.session.clear_duration(MemDuration::PerStatement);
+        // Still cached: the duration is per-transaction.
+        assert_eq!(
+            resolve_current_time(CurrentTimePolicy::PerTransaction, &ctx),
+            Day(100)
+        );
+        // The transaction-end callback clears it.
+        ctx.session.clear_duration(MemDuration::PerTransaction);
+        assert_eq!(
+            resolve_current_time(CurrentTimePolicy::PerTransaction, &ctx),
+            Day(107)
+        );
+    }
+}

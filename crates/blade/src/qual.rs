@@ -1,0 +1,233 @@
+//! Qualification-descriptor manipulation.
+//!
+//! Section 6.3: "For the manipulation of the qualification descriptor,
+//! we had to code the logic for how to break a complex qualification
+//! (containing several strategy functions separated by ANDs or ORs)
+//! into simple ones and for how to invoke appropriate strategy
+//! functions."
+//!
+//! The decomposition strategy: each *branch* of a top-level OR (an AND
+//! tree or a single predicate) contributes one index probe — its first
+//! simple predicate, which is a necessary condition for the branch —
+//! and every candidate an index probe produces is checked against the
+//! **full** qualification tree with the exact bitemporal predicates
+//! before it is returned. Duplicate candidates across OR branches are
+//! suppressed.
+
+use crate::extent_type::extent_from_value;
+use grt_ids::vii::{QualDescriptor, QualNode, SimpleQual};
+use grt_ids::{IdsError, Value};
+use grt_temporal::{Day, Predicate, TimeExtent, TtEnd, VtEnd};
+
+/// One index probe: the predicate and query extent to scan with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Probe {
+    /// The strategy predicate.
+    pub pred: Predicate,
+    /// The query extent.
+    pub query: TimeExtent,
+    /// Whether the stored value is the *second* argument
+    /// (`f(constant, column)`).
+    pub commuted: bool,
+}
+
+/// An extent that overlaps every representable region — the probe used
+/// for an unqualified scan.
+pub fn universal_extent() -> TimeExtent {
+    TimeExtent::from_parts(
+        Day(i32::MIN / 4),
+        TtEnd::Ground(Day(i32::MAX / 4)),
+        Day(i32::MIN / 4),
+        VtEnd::Ground(Day(i32::MAX / 4)),
+    )
+    .expect("universal extent is legal")
+}
+
+fn probe_of(simple: &SimpleQual) -> Result<Probe, IdsError> {
+    let pred = Predicate::from_udr_name(&simple.func).ok_or_else(|| {
+        IdsError::AccessMethod(format!(
+            "{} is not a GR-tree strategy function",
+            simple.func
+        ))
+    })?;
+    let constant = simple.constant.as_ref().ok_or_else(|| {
+        IdsError::AccessMethod(format!("{}(column) form is not supported", simple.func))
+    })?;
+    Ok(Probe {
+        pred,
+        query: extent_from_value(constant)?,
+        commuted: simple.commuted,
+    })
+}
+
+/// The effective probe predicate seen from the stored value's side:
+/// `Contains(const, col)` asks whether the constant contains the column
+/// — i.e. the column is `ContainedIn` the constant.
+fn oriented(pred: Predicate, commuted: bool) -> Predicate {
+    if !commuted {
+        return pred;
+    }
+    match pred {
+        Predicate::Contains => Predicate::ContainedIn,
+        Predicate::ContainedIn => Predicate::Contains,
+        p => p,
+    }
+}
+
+/// Breaks a qualification into index probes: one per OR branch (the
+/// branch's first simple predicate). An empty qualification yields the
+/// universal probe.
+pub fn decompose(qual: &QualDescriptor) -> Result<Vec<Probe>, IdsError> {
+    let Some(root) = &qual.root else {
+        return Ok(vec![Probe {
+            pred: Predicate::Overlaps,
+            query: universal_extent(),
+            commuted: false,
+        }]);
+    };
+    let branches: Vec<&QualNode> = match root {
+        QualNode::Or(children) => children.iter().collect(),
+        other => vec![other],
+    };
+    let mut probes = Vec::with_capacity(branches.len());
+    for b in branches {
+        let first = b
+            .leaves()
+            .first()
+            .copied()
+            .ok_or_else(|| IdsError::AccessMethod("empty qualification branch".into()))?;
+        let raw = probe_of(first)?;
+        probes.push(Probe {
+            pred: oriented(raw.pred, raw.commuted),
+            query: raw.query,
+            commuted: raw.commuted,
+        });
+    }
+    Ok(probes)
+}
+
+/// Evaluates the full qualification tree against a stored extent at
+/// current time `ct` — the recheck applied to every index candidate.
+pub fn eval_full(qual: &QualDescriptor, stored: &TimeExtent, ct: Day) -> Result<bool, IdsError> {
+    let Some(root) = &qual.root else {
+        return Ok(true);
+    };
+    root.eval(&mut |simple: &SimpleQual| {
+        let probe = probe_of(simple)?;
+        let ok = if probe.commuted {
+            probe.pred.eval(&probe.query, stored, ct)
+        } else {
+            probe.pred.eval(stored, &probe.query, ct)
+        };
+        Ok(ok)
+    })
+}
+
+/// Extracts the extent constant of a qualification value (for tests).
+pub fn constant_extent(v: &Value) -> Result<TimeExtent, IdsError> {
+    extent_from_value(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extent_type::extent_to_value;
+
+    fn extent(ttb: i32, tte: Option<i32>, vtb: i32, vte: Option<i32>) -> TimeExtent {
+        TimeExtent::from_parts(
+            Day(ttb),
+            tte.map_or(TtEnd::Uc, |x| TtEnd::Ground(Day(x))),
+            Day(vtb),
+            vte.map_or(VtEnd::Now, |x| VtEnd::Ground(Day(x))),
+        )
+        .unwrap()
+    }
+
+    fn simple(func: &str, q: TimeExtent, commuted: bool) -> QualNode {
+        QualNode::Simple(SimpleQual {
+            func: func.into(),
+            column: "time_extent".into(),
+            constant: Some(extent_to_value(&q)),
+            commuted,
+        })
+    }
+
+    #[test]
+    fn universal_probe_for_empty_qual() {
+        let probes = decompose(&QualDescriptor::default()).unwrap();
+        assert_eq!(probes.len(), 1);
+        let u = universal_extent();
+        let any = extent(10, None, 5, None);
+        assert!(Predicate::Overlaps.eval(&any, &u, Day(100)));
+    }
+
+    #[test]
+    fn and_yields_single_probe_or_yields_many() {
+        let a = extent(0, Some(50), 0, Some(50));
+        let b = extent(100, Some(150), 100, Some(150));
+        let and = QualDescriptor {
+            root: Some(QualNode::And(vec![
+                simple("Overlaps", a, false),
+                simple("Contains", b, false),
+            ])),
+        };
+        assert_eq!(decompose(&and).unwrap().len(), 1);
+        let or = QualDescriptor {
+            root: Some(QualNode::Or(vec![
+                simple("Overlaps", a, false),
+                simple("Overlaps", b, false),
+            ])),
+        };
+        assert_eq!(decompose(&or).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn commuted_contains_flips_orientation() {
+        let big = extent(0, Some(100), 0, Some(100));
+        let small = extent(10, Some(20), 10, Some(20));
+        // Contains(const=big, col): "big contains the column" — true for
+        // the small stored extent.
+        let qual = QualDescriptor {
+            root: Some(simple("Contains", big, true)),
+        };
+        assert!(eval_full(&qual, &small, Day(200)).unwrap());
+        assert!(!eval_full(&qual, &extent(0, Some(500), 0, Some(400)), Day(600)).unwrap());
+        let probes = decompose(&qual).unwrap();
+        assert_eq!(probes[0].pred, Predicate::ContainedIn);
+    }
+
+    #[test]
+    fn full_eval_respects_boolean_structure() {
+        let a = extent(0, Some(50), 0, Some(50));
+        let b = extent(100, Some(150), 100, Some(150));
+        let stored = extent(40, Some(60), 30, Some(60));
+        let ct = Day(500);
+        let or = QualDescriptor {
+            root: Some(QualNode::Or(vec![
+                simple("Overlaps", a, false),
+                simple("Overlaps", b, false),
+            ])),
+        };
+        assert!(eval_full(&or, &stored, ct).unwrap());
+        let and = QualDescriptor {
+            root: Some(QualNode::And(vec![
+                simple("Overlaps", a, false),
+                simple("Overlaps", b, false),
+            ])),
+        };
+        assert!(!eval_full(&and, &stored, ct).unwrap());
+    }
+
+    #[test]
+    fn non_strategy_function_rejected() {
+        let qual = QualDescriptor {
+            root: Some(QualNode::Simple(SimpleQual {
+                func: "Near".into(),
+                column: "c".into(),
+                constant: Some(extent_to_value(&extent(0, None, 0, None))),
+                commuted: false,
+            })),
+        };
+        assert!(decompose(&qual).is_err());
+    }
+}

@@ -1,0 +1,409 @@
+//! A baseline access method over `GRT_TimeExtent_t` backed by a plain
+//! R\*-tree — the stand-in for "Informix's own predefined R-tree access
+//! method" and the comparison point of the GR-tree evaluation.
+//!
+//! `UC`/`NOW` are grounded with a [`NowStrategy`] at insertion; index
+//! probes test bounding rectangles only, so every candidate must be
+//! **refined**: the base row is fetched and the exact bitemporal
+//! predicate evaluated. The extra base-table fetches per false positive
+//! are precisely the overhead the GR-tree eliminates.
+
+use crate::curtime::{resolve_current_time, CurrentTimePolicy};
+use crate::extent_type::{extent_from_value, extent_to_value, TYPE_NAME};
+use crate::qual::{decompose, eval_full, Probe};
+use grt_ids::heap;
+use grt_ids::{
+    AccessMethod, AmContext, DataType, IdsError, IndexDescriptor, QualDescriptor, RowId,
+    ScanDescriptor, Value,
+};
+use grt_rstar::bitemporal::NowStrategy;
+use grt_rstar::{RStarCursor, RStarOptions, RStarTree, SpatialPredicate};
+use grt_sbspace::{LoHandle, LoId, LockMode};
+use grt_temporal::{Day, Predicate};
+use std::collections::HashSet;
+
+/// The baseline access method.
+pub struct RStarBitemporalAm {
+    /// How `UC`/`NOW` are grounded.
+    pub strategy: NowStrategy,
+    /// R\*-tree construction parameters.
+    pub tree_opts: RStarOptions,
+    /// Current-time policy (shared with the GR-tree blade).
+    pub curtime: CurrentTimePolicy,
+}
+
+impl RStarBitemporalAm {
+    /// A max-timestamp baseline with the given fan-out.
+    pub fn max_timestamp(tree_opts: RStarOptions) -> RStarBitemporalAm {
+        RStarBitemporalAm {
+            strategy: NowStrategy::MaxTimestamp,
+            tree_opts,
+            curtime: CurrentTimePolicy::PerStatement,
+        }
+    }
+}
+
+struct ScanState {
+    probes: Vec<Probe>,
+    current: usize,
+    cursor: Option<RStarCursor>,
+    qual: QualDescriptor,
+    seen: HashSet<u64>,
+    heap: LoHandle,
+    column_pos: usize,
+    /// Candidates examined (refinement fetches) — the inefficiency
+    /// metric the benchmarks report.
+    candidates: u64,
+    matches: u64,
+}
+
+struct TdState {
+    lo: LoId,
+    mode: LockMode,
+    tree: Option<RStarTree>,
+    ct: Day,
+    scan: Option<ScanState>,
+}
+
+fn rs_err(e: grt_rstar::RStarError) -> IdsError {
+    IdsError::AccessMethod(e.to_string())
+}
+
+impl RStarBitemporalAm {
+    fn with_td<R>(
+        &self,
+        idx: &IndexDescriptor,
+        ctx: &AmContext,
+        f: impl FnOnce(&mut TdState) -> Result<R, IdsError>,
+    ) -> Result<R, IdsError> {
+        let mut guard = idx.user_data.lock();
+        if guard.is_none() {
+            let lo = {
+                let frags = ctx.fragments.lock();
+                LoId(*frags.get(&idx.index_name).ok_or_else(|| {
+                    IdsError::AccessMethod(format!("index {} has no fragment", idx.index_name))
+                })?)
+            };
+            *guard = Some(Box::new(TdState {
+                lo,
+                mode: LockMode::Shared,
+                tree: None,
+                ct: ctx.clock.today(),
+                scan: None,
+            }));
+        }
+        let td = guard
+            .as_mut()
+            .and_then(|b| b.downcast_mut::<TdState>())
+            .ok_or_else(|| IdsError::AccessMethod("foreign index state".into()))?;
+        f(td)
+    }
+
+    fn ensure_tree(&self, td: &mut TdState, ctx: &AmContext, write: bool) -> Result<(), IdsError> {
+        let need = if write {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        };
+        if td.tree.is_some() && (td.mode == LockMode::Exclusive || need == LockMode::Shared) {
+            return Ok(());
+        }
+        if let Some(tree) = td.tree.take() {
+            tree.into_lo().map_err(rs_err)?.close()?;
+        }
+        let handle = ctx.space.open_lo(ctx.txn, td.lo, need)?;
+        td.tree = Some(RStarTree::open(handle).map_err(rs_err)?);
+        td.mode = need;
+        Ok(())
+    }
+
+    /// The rectangle-level probe for a bitemporal probe.
+    fn spatial_probe(&self, probe: &Probe, ct: Day) -> (SpatialPredicate, grt_rstar::Rect2) {
+        let rect = self.strategy.query_rect(&probe.query, ct);
+        // Only Contains (uncommuted) can use a stronger rectangle test;
+        // everything else must fall back to overlap to avoid false
+        // negatives.
+        let pred = match probe.pred {
+            Predicate::Contains => SpatialPredicate::Contains,
+            _ => SpatialPredicate::Overlap,
+        };
+        (pred, rect)
+    }
+
+    fn table_info(idx: &IndexDescriptor) -> Result<(LoId, usize), IdsError> {
+        let lo = idx
+            .params
+            .get("table_lo")
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(|| IdsError::AccessMethod("missing table_lo parameter".into()))?;
+        let pos = idx
+            .params
+            .get("column_pos")
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(0);
+        Ok((LoId(lo), pos))
+    }
+}
+
+impl AccessMethod for RStarBitemporalAm {
+    fn am_create(&self, idx: &IndexDescriptor, ctx: &AmContext) -> Result<(), IdsError> {
+        match idx.column_types.first() {
+            Some(DataType::Opaque(t)) if t.eq_ignore_ascii_case(TYPE_NAME) => {}
+            other => {
+                return Err(IdsError::AccessMethod(format!(
+                    "rstar_am indexes {TYPE_NAME} columns, got {other:?}"
+                )))
+            }
+        }
+        let lo = ctx.space.create_lo(ctx.txn)?;
+        ctx.fragments.lock().insert(idx.index_name.clone(), lo.0);
+        let handle = ctx.space.open_lo(ctx.txn, lo, LockMode::Exclusive)?;
+        let tree = RStarTree::create(handle, self.tree_opts).map_err(rs_err)?;
+        *idx.user_data.lock() = Some(Box::new(TdState {
+            lo,
+            mode: LockMode::Exclusive,
+            tree: Some(tree),
+            ct: resolve_current_time(self.curtime, ctx),
+            scan: None,
+        }));
+        Ok(())
+    }
+
+    fn am_drop(&self, idx: &IndexDescriptor, ctx: &AmContext) -> Result<(), IdsError> {
+        if let Some(boxed) = idx.user_data.lock().take() {
+            if let Ok(td) = boxed.downcast::<TdState>() {
+                if let Some(tree) = td.tree {
+                    tree.into_lo().map_err(rs_err)?.close()?;
+                }
+            }
+        }
+        if let Some(lo) = ctx.fragments.lock().remove(&idx.index_name) {
+            ctx.space.drop_lo(ctx.txn, LoId(lo))?;
+        }
+        Ok(())
+    }
+
+    fn am_open(&self, idx: &IndexDescriptor, ctx: &AmContext) -> Result<(), IdsError> {
+        let ct = resolve_current_time(self.curtime, ctx);
+        self.with_td(idx, ctx, |td| {
+            td.ct = ct;
+            if td.tree.is_none() {
+                self.ensure_tree(td, ctx, false)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn am_close(&self, idx: &IndexDescriptor, _ctx: &AmContext) -> Result<(), IdsError> {
+        if let Some(boxed) = idx.user_data.lock().take() {
+            if let Ok(td) = boxed.downcast::<TdState>() {
+                if let Some(tree) = td.tree {
+                    tree.into_lo().map_err(rs_err)?.close()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn am_beginscan(
+        &self,
+        idx: &IndexDescriptor,
+        scan: &mut ScanDescriptor,
+        ctx: &AmContext,
+    ) -> Result<(), IdsError> {
+        let probes = decompose(&scan.qual)?;
+        let qual = scan.qual.clone();
+        let (table_lo, column_pos) = Self::table_info(idx)?;
+        let heap = ctx.space.open_lo(ctx.txn, table_lo, LockMode::Shared)?;
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, false)?;
+            td.scan = Some(ScanState {
+                probes,
+                current: 0,
+                cursor: None,
+                qual,
+                seen: HashSet::new(),
+                heap,
+                column_pos,
+                candidates: 0,
+                matches: 0,
+            });
+            Ok(())
+        })
+    }
+
+    fn am_rescan(
+        &self,
+        idx: &IndexDescriptor,
+        _scan: &mut ScanDescriptor,
+        ctx: &AmContext,
+    ) -> Result<(), IdsError> {
+        self.with_td(idx, ctx, |td| {
+            if let Some(scan) = td.scan.as_mut() {
+                scan.cursor = None;
+                scan.current = 0;
+                scan.seen.clear();
+            }
+            Ok(())
+        })
+    }
+
+    fn am_getnext(
+        &self,
+        idx: &IndexDescriptor,
+        _scan: &mut ScanDescriptor,
+        ctx: &AmContext,
+    ) -> Result<Option<(RowId, Vec<Value>)>, IdsError> {
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, false)?;
+            let ct = td.ct;
+            let tree = td.tree.as_ref().expect("ensured");
+            let scan = td
+                .scan
+                .as_mut()
+                .ok_or_else(|| IdsError::AccessMethod("getnext without beginscan".into()))?;
+            loop {
+                if scan.cursor.is_none() {
+                    let Some(probe) = scan.probes.get(scan.current) else {
+                        return Ok(None);
+                    };
+                    let (pred, rect) = self.spatial_probe(probe, ct);
+                    scan.cursor = Some(tree.cursor(pred, rect));
+                }
+                let cursor = scan.cursor.as_mut().expect("just set");
+                match tree.cursor_next(cursor).map_err(rs_err)? {
+                    None => {
+                        scan.cursor = None;
+                        scan.current += 1;
+                    }
+                    Some((_rect, rowid)) => {
+                        if !scan.seen.insert(rowid) {
+                            continue;
+                        }
+                        // Refinement: fetch the base row and apply the
+                        // exact bitemporal predicate.
+                        scan.candidates += 1;
+                        let Some(row) = heap::fetch(&scan.heap, RowId(rowid))? else {
+                            continue;
+                        };
+                        let stored = extent_from_value(&row[scan.column_pos])?;
+                        if eval_full(&scan.qual, &stored, ct)? {
+                            scan.matches += 1;
+                            return Ok(Some((RowId(rowid), vec![extent_to_value(&stored)])));
+                        }
+                    }
+                }
+            }
+        })
+    }
+
+    fn am_endscan(
+        &self,
+        idx: &IndexDescriptor,
+        _scan: &mut ScanDescriptor,
+        ctx: &AmContext,
+    ) -> Result<(), IdsError> {
+        self.with_td(idx, ctx, |td| {
+            if let Some(scan) = td.scan.take() {
+                ctx.trace.emit(
+                    "RSTAR",
+                    2,
+                    format!(
+                        "scan finished: {} candidates, {} matches",
+                        scan.candidates, scan.matches
+                    ),
+                );
+            }
+            Ok(())
+        })
+    }
+
+    fn am_insert(
+        &self,
+        idx: &IndexDescriptor,
+        row: &[Value],
+        rowid: RowId,
+        ctx: &AmContext,
+    ) -> Result<(), IdsError> {
+        let extent = extent_from_value(
+            row.first()
+                .ok_or_else(|| IdsError::AccessMethod("no key column".into()))?,
+        )?;
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, true)?;
+            let rect = self.strategy.to_rect(&extent, td.ct);
+            td.tree
+                .as_mut()
+                .expect("ensured")
+                .insert(rect, rowid.0)
+                .map_err(rs_err)
+        })
+    }
+
+    fn am_delete(
+        &self,
+        idx: &IndexDescriptor,
+        row: &[Value],
+        rowid: RowId,
+        ctx: &AmContext,
+    ) -> Result<(), IdsError> {
+        let extent = extent_from_value(
+            row.first()
+                .ok_or_else(|| IdsError::AccessMethod("no key column".into()))?,
+        )?;
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, true)?;
+            let rect = self.strategy.to_rect(&extent, td.ct);
+            let out = td
+                .tree
+                .as_mut()
+                .expect("ensured")
+                .delete(rect, rowid.0)
+                .map_err(rs_err)?;
+            if !out.found {
+                return Err(IdsError::AccessMethod(format!(
+                    "entry for {rowid} not found in {} (horizon drift?)",
+                    idx.index_name
+                )));
+            }
+            Ok(())
+        })
+    }
+
+    fn am_scancost(
+        &self,
+        idx: &IndexDescriptor,
+        _qual: &QualDescriptor,
+        ctx: &AmContext,
+    ) -> Result<f64, IdsError> {
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, false)?;
+            let tree = td.tree.as_ref().expect("ensured");
+            Ok(tree.height() as f64 + tree.pages() as f64 * 0.25)
+        })
+    }
+
+    fn am_stats(&self, idx: &IndexDescriptor, ctx: &AmContext) -> Result<String, IdsError> {
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, false)?;
+            let tree = td.tree.as_ref().expect("ensured");
+            let q = tree.quality().map_err(rs_err)?;
+            Ok(format!(
+                "rstar {}: {} entries, height {}, {} pages, dead space {}, overlap {}",
+                idx.index_name,
+                tree.len(),
+                tree.height(),
+                tree.pages(),
+                q.total_dead_space(),
+                q.total_overlap(),
+            ))
+        })
+    }
+
+    fn am_check(&self, idx: &IndexDescriptor, ctx: &AmContext) -> Result<(), IdsError> {
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, false)?;
+            td.tree.as_ref().expect("ensured").check().map_err(rs_err)
+        })
+    }
+}

@@ -1,0 +1,185 @@
+//! Blade lifecycle tests: register/un-register cycles (the BladeManager
+//! workflow of Section 6.1) and direct purpose-function driving,
+//! including `am_rescan` and `am_update`.
+
+use grt_blade::{
+    extent_to_value, install_grtree_blade, uninstall_grtree_blade, GrTreeAm, GrTreeAmOptions,
+    TYPE_NAME,
+};
+use grt_ids::vii::{QualDescriptor, QualNode, SimpleQual};
+use grt_ids::{
+    AccessMethod, AmContext, DataType, Database, DatabaseOptions, IndexDescriptor, RowId,
+    ScanDescriptor,
+};
+use grt_temporal::{Day, MockClock, TimeExtent, TtEnd, VtEnd};
+use std::sync::Arc;
+
+#[test]
+fn register_unregister_register_cycle() {
+    // "During testing it has to be registered and un-registered multiple
+    // times" — the full cycle must be clean.
+    let db = Database::new(DatabaseOptions::default());
+    install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE t (Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    conn.exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+    conn.exec("INSERT INTO t VALUES ('3/97, UC, 3/97, NOW')")
+        .unwrap();
+    // Indexes must be dropped before un-registration.
+    conn.exec("DROP INDEX tix").unwrap();
+    uninstall_grtree_blade(&db).unwrap();
+    assert!(!db.function_exists("Overlaps"));
+    // Strategy functions are gone: the query now fails at bind time.
+    assert!(conn
+        .exec("SELECT * FROM t WHERE Overlaps(Time_Extent, '3/97, UC, 3/97, NOW')")
+        .is_err());
+    // Re-registration brings everything back. (Install only re-runs the
+    // script; the opaque type and the library stay loaded.)
+    let conn2 = db.connect();
+    conn2
+        .exec_script(&grt_blade::registration_script())
+        .unwrap();
+    let r = conn2
+        .exec("SELECT * FROM t WHERE Overlaps(Time_Extent, '3/97, UC, 3/97, NOW')")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+fn extent(ttb: i32, tte: Option<i32>, vtb: i32, vte: Option<i32>) -> TimeExtent {
+    TimeExtent::from_parts(
+        Day(ttb),
+        tte.map_or(TtEnd::Uc, |x| TtEnd::Ground(Day(x))),
+        Day(vtb),
+        vte.map_or(VtEnd::Now, |x| VtEnd::Ground(Day(x))),
+    )
+    .unwrap()
+}
+
+fn driven_blade() -> (GrTreeAm, IndexDescriptor, AmContext<'static>) {
+    let am = GrTreeAm::default();
+    let idx = IndexDescriptor::new(
+        "direct_ix",
+        "t",
+        vec!["Time_Extent".into()],
+        vec![DataType::Opaque(TYPE_NAME.into())],
+        "grt_opclass",
+    );
+    let mut ctx = AmContext::for_tests();
+    ctx.clock = Arc::new(MockClock::new(Day(500)));
+    (am, idx, ctx)
+}
+
+#[test]
+fn rescan_replays_the_scan_from_the_start() {
+    let (am, idx, ctx) = driven_blade();
+    am.am_create(&idx, &ctx).unwrap();
+    am.am_open(&idx, &ctx).unwrap();
+    for i in 0..30 {
+        let e = extent(100 + i, None, 100 + i, None);
+        am.am_insert(&idx, &[extent_to_value(&e)], RowId(i as u64), &ctx)
+            .unwrap();
+    }
+    let qual = QualDescriptor {
+        root: Some(QualNode::Simple(SimpleQual {
+            func: "Overlaps".into(),
+            column: "Time_Extent".into(),
+            constant: Some(extent_to_value(&extent(0, None, 0, None))),
+            commuted: false,
+        })),
+    };
+    let mut scan = ScanDescriptor::new(qual);
+    am.am_beginscan(&idx, &mut scan, &ctx).unwrap();
+    let mut first_pass = 0;
+    while am.am_getnext(&idx, &mut scan, &ctx).unwrap().is_some() {
+        first_pass += 1;
+    }
+    assert_eq!(first_pass, 30);
+    // Rescan: everything comes back (the dedup set is cleared too).
+    am.am_rescan(&idx, &mut scan, &ctx).unwrap();
+    let mut second_pass = 0;
+    while am.am_getnext(&idx, &mut scan, &ctx).unwrap().is_some() {
+        second_pass += 1;
+    }
+    assert_eq!(second_pass, 30);
+    am.am_endscan(&idx, &mut scan, &ctx).unwrap();
+    am.am_close(&idx, &ctx).unwrap();
+}
+
+#[test]
+fn update_is_delete_plus_insert() {
+    let (am, idx, ctx) = driven_blade();
+    am.am_create(&idx, &ctx).unwrap();
+    am.am_open(&idx, &ctx).unwrap();
+    let old = extent(100, None, 100, None);
+    am.am_insert(&idx, &[extent_to_value(&old)], RowId(7), &ctx)
+        .unwrap();
+    let new = old.logical_delete(Day(400)).unwrap();
+    am.am_update(
+        &idx,
+        &[extent_to_value(&old)],
+        RowId(7),
+        &[extent_to_value(&new)],
+        RowId(7),
+        &ctx,
+    )
+    .unwrap();
+    // The old (growing) version is gone; a probe far in the future that
+    // only a growing stair would reach finds nothing.
+    let probe = extent(5_000, Some(5_010), 4_990, Some(5_005));
+    let qual = QualDescriptor {
+        root: Some(QualNode::Simple(SimpleQual {
+            func: "Overlaps".into(),
+            column: "Time_Extent".into(),
+            constant: Some(extent_to_value(&probe)),
+            commuted: false,
+        })),
+    };
+    // A fresh statement far in the future.
+    ctx.session
+        .clear_duration(grt_ids::session::MemDuration::PerStatement);
+    let later_ctx = {
+        let mut c = AmContext {
+            space: ctx.space.clone(),
+            txn: ctx.txn,
+            clock: Arc::new(MockClock::new(Day(6_000))),
+            session: Arc::clone(&ctx.session),
+            fragments: Arc::clone(&ctx.fragments),
+            trace: ctx.trace.clone(),
+        };
+        c.clock = Arc::new(MockClock::new(Day(6_000)));
+        c
+    };
+    am.am_open(&idx, &later_ctx).unwrap();
+    let mut scan = ScanDescriptor::new(qual);
+    am.am_beginscan(&idx, &mut scan, &later_ctx).unwrap();
+    assert!(am
+        .am_getnext(&idx, &mut scan, &later_ctx)
+        .unwrap()
+        .is_none());
+    am.am_endscan(&idx, &mut scan, &later_ctx).unwrap();
+    am.am_check(&idx, &later_ctx).unwrap();
+}
+
+#[test]
+fn create_rejects_wrong_column_type() {
+    let (am, _, ctx) = driven_blade();
+    let idx = IndexDescriptor::new(
+        "bad_ix",
+        "t",
+        vec!["n".into()],
+        vec![DataType::Integer],
+        "grt_opclass",
+    );
+    assert!(am.am_create(&idx, &ctx).is_err());
+}
+
+#[test]
+fn getnext_without_beginscan_errors() {
+    let (am, idx, ctx) = driven_blade();
+    am.am_create(&idx, &ctx).unwrap();
+    am.am_open(&idx, &ctx).unwrap();
+    let mut scan = ScanDescriptor::new(QualDescriptor::default());
+    assert!(am.am_getnext(&idx, &mut scan, &ctx).is_err());
+}

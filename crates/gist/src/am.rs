@@ -1,0 +1,353 @@
+//! The generic tree as a DataBlade: `gist_am` over an `IntRange_t`
+//! opaque type — closing the loop on Section 7's "it is also possible
+//! to implement such a generic access method as a DataBlade".
+//!
+//! The access method is the *generic skeleton*; the operator class
+//! carries the range strategy function, exactly the extension pattern
+//! the paper envisions.
+
+use crate::ext::{IntRange, IntRangeExt};
+use crate::tree::{GistTree, GistTreeOptions};
+use grt_ids::opaque::OpaqueType;
+use grt_ids::vii::QualNode;
+use grt_ids::{
+    AccessMethod, AmContext, DataType, Database, IdsError, IndexDescriptor, RowId, ScanDescriptor,
+    Value,
+};
+use grt_sbspace::{LoId, LockMode};
+use std::sync::Arc;
+
+/// The opaque type name.
+pub const RANGE_TYPE: &str = "IntRange_t";
+
+/// Builds the `IntRange_t` opaque type (`"lo..hi"` text form).
+pub fn int_range_type() -> OpaqueType {
+    OpaqueType::new(
+        RANGE_TYPE,
+        Arc::new(|text: &str| {
+            let (lo, hi) = text
+                .split_once("..")
+                .ok_or_else(|| IdsError::Type(format!("expected lo..hi, got {text:?}")))?;
+            let lo: i64 = lo.trim().parse().map_err(|_| IdsError::Type("lo".into()))?;
+            let hi: i64 = hi.trim().parse().map_err(|_| IdsError::Type("hi".into()))?;
+            if lo > hi {
+                return Err(IdsError::Type(format!("inverted range {lo}..{hi}")));
+            }
+            let mut out = lo.to_le_bytes().to_vec();
+            out.extend_from_slice(&hi.to_le_bytes());
+            Ok(out)
+        }),
+        Arc::new(|bytes: &[u8]| {
+            let r = range_from_bytes(bytes)?;
+            Ok(format!("{}..{}", r.lo, r.hi))
+        }),
+    )
+}
+
+fn range_from_bytes(bytes: &[u8]) -> Result<IntRange, IdsError> {
+    if bytes.len() != 16 {
+        return Err(IdsError::Type("IntRange_t needs 16 bytes".into()));
+    }
+    Ok(IntRange {
+        lo: i64::from_le_bytes(bytes[0..8].try_into().unwrap()),
+        hi: i64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+    })
+}
+
+fn range_of_value(v: &Value) -> Result<IntRange, IdsError> {
+    match v {
+        Value::Opaque { type_name, bytes } if type_name.eq_ignore_ascii_case(RANGE_TYPE) => {
+            range_from_bytes(bytes)
+        }
+        other => Err(IdsError::Type(format!(
+            "expected {RANGE_TYPE}, got {other}"
+        ))),
+    }
+}
+
+fn range_to_value(r: &IntRange) -> Value {
+    let mut bytes = r.lo.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&r.hi.to_le_bytes());
+    Value::Opaque {
+        type_name: RANGE_TYPE.to_string(),
+        bytes,
+    }
+}
+
+/// The generic access method instantiated for integer ranges.
+#[derive(Default)]
+pub struct GistRangeAm;
+
+struct TdState {
+    lo: LoId,
+    mode: LockMode,
+    tree: Option<GistTree<IntRangeExt>>,
+}
+
+struct ScanState {
+    query: IntRange,
+    cursor: crate::tree::GistCursor,
+}
+
+fn gist_err(e: crate::GistError) -> IdsError {
+    IdsError::AccessMethod(e.to_string())
+}
+
+impl GistRangeAm {
+    fn with_td<R>(
+        &self,
+        idx: &IndexDescriptor,
+        ctx: &AmContext,
+        f: impl FnOnce(&mut TdState) -> Result<R, IdsError>,
+    ) -> Result<R, IdsError> {
+        let mut guard = idx.user_data.lock();
+        if guard.is_none() {
+            let lo = {
+                let frags = ctx.fragments.lock();
+                LoId(*frags.get(&idx.index_name).ok_or_else(|| {
+                    IdsError::AccessMethod(format!("index {} has no fragment", idx.index_name))
+                })?)
+            };
+            *guard = Some(Box::new(TdState {
+                lo,
+                mode: LockMode::Shared,
+                tree: None,
+            }));
+        }
+        let td = guard
+            .as_mut()
+            .and_then(|b| b.downcast_mut::<TdState>())
+            .ok_or_else(|| IdsError::AccessMethod("foreign index state".into()))?;
+        f(td)
+    }
+
+    fn ensure_tree(&self, td: &mut TdState, ctx: &AmContext, write: bool) -> Result<(), IdsError> {
+        let need = if write {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        };
+        if td.tree.is_some() && (td.mode == LockMode::Exclusive || need == LockMode::Shared) {
+            return Ok(());
+        }
+        if let Some(tree) = td.tree.take() {
+            tree.into_lo().map_err(gist_err)?.close()?;
+        }
+        let handle = ctx.space.open_lo(ctx.txn, td.lo, need)?;
+        td.tree = Some(GistTree::open(IntRangeExt, handle).map_err(gist_err)?);
+        td.mode = need;
+        Ok(())
+    }
+
+    fn range_of_row(row: &[Value]) -> Result<IntRange, IdsError> {
+        range_of_value(
+            row.first()
+                .ok_or_else(|| IdsError::AccessMethod("no key column".into()))?,
+        )
+    }
+}
+
+impl AccessMethod for GistRangeAm {
+    fn am_create(&self, idx: &IndexDescriptor, ctx: &AmContext) -> Result<(), IdsError> {
+        match idx.column_types.first() {
+            Some(DataType::Opaque(t)) if t.eq_ignore_ascii_case(RANGE_TYPE) => {}
+            other => {
+                return Err(IdsError::AccessMethod(format!(
+                    "gist_am indexes {RANGE_TYPE} columns, got {other:?}"
+                )))
+            }
+        }
+        let lo = ctx.space.create_lo(ctx.txn)?;
+        ctx.fragments.lock().insert(idx.index_name.clone(), lo.0);
+        let handle = ctx.space.open_lo(ctx.txn, lo, LockMode::Exclusive)?;
+        let tree =
+            GistTree::create(IntRangeExt, handle, GistTreeOptions::default()).map_err(gist_err)?;
+        *idx.user_data.lock() = Some(Box::new(TdState {
+            lo,
+            mode: LockMode::Exclusive,
+            tree: Some(tree),
+        }));
+        Ok(())
+    }
+
+    fn am_drop(&self, idx: &IndexDescriptor, ctx: &AmContext) -> Result<(), IdsError> {
+        if let Some(boxed) = idx.user_data.lock().take() {
+            if let Ok(td) = boxed.downcast::<TdState>() {
+                if let Some(tree) = td.tree {
+                    tree.into_lo().map_err(gist_err)?.close()?;
+                }
+            }
+        }
+        if let Some(lo) = ctx.fragments.lock().remove(&idx.index_name) {
+            ctx.space.drop_lo(ctx.txn, LoId(lo))?;
+        }
+        Ok(())
+    }
+
+    fn am_close(&self, idx: &IndexDescriptor, _ctx: &AmContext) -> Result<(), IdsError> {
+        if let Some(boxed) = idx.user_data.lock().take() {
+            if let Ok(td) = boxed.downcast::<TdState>() {
+                if let Some(tree) = td.tree {
+                    tree.into_lo().map_err(gist_err)?.close()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn am_beginscan(
+        &self,
+        idx: &IndexDescriptor,
+        scan: &mut ScanDescriptor,
+        ctx: &AmContext,
+    ) -> Result<(), IdsError> {
+        let query = match &scan.qual.root {
+            Some(QualNode::Simple(q)) if q.func.eq_ignore_ascii_case("RangeOverlaps") => {
+                range_of_value(q.constant.as_ref().ok_or_else(|| {
+                    IdsError::AccessMethod("RangeOverlaps needs a constant".into())
+                })?)?
+            }
+            None => IntRange::new(i64::MIN / 2, i64::MAX / 2),
+            other => {
+                return Err(IdsError::AccessMethod(format!(
+                    "unsupported qualification {other:?}"
+                )))
+            }
+        };
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, false)?;
+            scan.user_data = Some(Box::new(ScanState {
+                query,
+                cursor: td.tree.as_ref().expect("ensured").cursor(),
+            }));
+            Ok(())
+        })
+    }
+
+    fn am_getnext(
+        &self,
+        idx: &IndexDescriptor,
+        scan: &mut ScanDescriptor,
+        ctx: &AmContext,
+    ) -> Result<Option<(RowId, Vec<Value>)>, IdsError> {
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, false)?;
+            let tree = td.tree.as_ref().expect("ensured");
+            let state = scan
+                .user_data
+                .as_mut()
+                .and_then(|b| b.downcast_mut::<ScanState>())
+                .ok_or_else(|| IdsError::AccessMethod("getnext without beginscan".into()))?;
+            match tree
+                .cursor_next(&mut state.cursor, &state.query)
+                .map_err(gist_err)?
+            {
+                Some((key, rowid)) => Ok(Some((RowId(rowid), vec![range_to_value(&key)]))),
+                None => Ok(None),
+            }
+        })
+    }
+
+    fn am_insert(
+        &self,
+        idx: &IndexDescriptor,
+        row: &[Value],
+        rowid: RowId,
+        ctx: &AmContext,
+    ) -> Result<(), IdsError> {
+        let key = Self::range_of_row(row)?;
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, true)?;
+            td.tree
+                .as_mut()
+                .expect("ensured")
+                .insert(&key, rowid.0)
+                .map_err(gist_err)
+        })
+    }
+
+    fn am_delete(
+        &self,
+        idx: &IndexDescriptor,
+        row: &[Value],
+        rowid: RowId,
+        ctx: &AmContext,
+    ) -> Result<(), IdsError> {
+        let key = Self::range_of_row(row)?;
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, true)?;
+            let out = td
+                .tree
+                .as_mut()
+                .expect("ensured")
+                .delete(&key, rowid.0)
+                .map_err(gist_err)?;
+            if !out.found {
+                return Err(IdsError::AccessMethod(format!("entry for {rowid} missing")));
+            }
+            Ok(())
+        })
+    }
+
+    fn am_scancost(
+        &self,
+        idx: &IndexDescriptor,
+        _qual: &grt_ids::QualDescriptor,
+        ctx: &AmContext,
+    ) -> Result<f64, IdsError> {
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, false)?;
+            let tree = td.tree.as_ref().expect("ensured");
+            Ok(tree.height() as f64 + tree.pages() as f64 * 0.25)
+        })
+    }
+
+    fn am_check(&self, idx: &IndexDescriptor, ctx: &AmContext) -> Result<(), IdsError> {
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, false)?;
+            td.tree.as_ref().expect("ensured").check().map_err(gist_err)
+        })
+    }
+}
+
+/// Installs the GiST range DataBlade: the opaque type, the strategy
+/// function, the access method, and its operator class.
+pub fn install_gist_blade(db: &Database) -> Result<(), IdsError> {
+    db.install_opaque_type(int_range_type());
+    db.install_library("gist.bld", Arc::new(GistRangeAm));
+    for sym in ["gst_create", "gst_drop", "gst_getnext"] {
+        db.install_symbol(
+            &format!("usr/gist.bld({sym})"),
+            Arc::new(|_args: &[Value], _ctx: &AmContext| {
+                Err(IdsError::Routine("purpose function".into()))
+            }),
+        );
+    }
+    db.install_symbol(
+        "usr/gist.bld(range_overlaps)",
+        Arc::new(|args: &[Value], _ctx: &AmContext| {
+            let [a, b] = args else {
+                return Err(IdsError::Type("RangeOverlaps(range, range)".into()));
+            };
+            Ok(Value::Bool(
+                range_of_value(a)?.overlaps(&range_of_value(b)?),
+            ))
+        }),
+    );
+    let conn = db.connect();
+    conn.exec_script(
+        "CREATE FUNCTION gst_create(pointer) RETURNING int \
+           EXTERNAL NAME 'usr/gist.bld(gst_create)' LANGUAGE c;\
+         CREATE FUNCTION gst_drop(pointer) RETURNING int \
+           EXTERNAL NAME 'usr/gist.bld(gst_drop)' LANGUAGE c;\
+         CREATE FUNCTION gst_getnext(pointer) RETURNING int \
+           EXTERNAL NAME 'usr/gist.bld(gst_getnext)' LANGUAGE c;\
+         CREATE FUNCTION RangeOverlaps(IntRange_t, IntRange_t) RETURNING boolean \
+           EXTERNAL NAME 'usr/gist.bld(range_overlaps)' LANGUAGE c;\
+         CREATE SECONDARY ACCESS_METHOD gist_am ( \
+           am_create = gst_create, am_drop = gst_drop, am_getnext = gst_getnext, \
+           am_sptype = 'S' );\
+         CREATE OPCLASS gist_range_ops FOR gist_am STRATEGIES(RangeOverlaps);",
+    )?;
+    Ok(())
+}

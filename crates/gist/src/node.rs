@@ -1,0 +1,155 @@
+//! Variable-length-entry node pages for the generic tree.
+//!
+//! Unlike the fixed-layout GR-tree and R\*-tree nodes, a GiST key is an
+//! opaque byte string chosen by the extension, so entries are
+//! length-prefixed: `[key_len u16][key bytes][payload u64]`.
+
+use crate::{GistError, Result};
+use grt_sbspace::page::{page_from_slice, PageBuf, PAGE_SIZE};
+
+const MAGIC: &[u8; 4] = b"GIST";
+const HEADER_LEN: usize = 8;
+
+/// One raw entry: an opaque key plus a payload (rowid in leaves, child
+/// page in internal nodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawEntry {
+    /// Extension-defined key bytes.
+    pub key: Vec<u8>,
+    /// Rowid or child page.
+    pub payload: u64,
+}
+
+impl RawEntry {
+    fn encoded_len(&self) -> usize {
+        2 + self.key.len() + 8
+    }
+}
+
+/// An in-memory node image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawNode {
+    /// 0 for leaves.
+    pub level: u16,
+    /// The entries.
+    pub entries: Vec<RawEntry>,
+}
+
+impl RawNode {
+    /// An empty node at `level`.
+    pub fn new(level: u16) -> RawNode {
+        RawNode {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// True for leaves.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Bytes the node occupies when encoded.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN
+            + self
+                .entries
+                .iter()
+                .map(RawEntry::encoded_len)
+                .sum::<usize>()
+    }
+
+    /// Whether adding `extra` would overflow the page.
+    pub fn overflows_with(&self, extra: &RawEntry) -> bool {
+        self.encoded_len() + extra.encoded_len() > PAGE_SIZE
+    }
+
+    /// Serialises into a page image.
+    pub fn encode(&self) -> Result<PageBuf> {
+        if self.encoded_len() > PAGE_SIZE {
+            return Err(GistError::Usage(format!(
+                "node of {} bytes exceeds the page",
+                self.encoded_len()
+            )));
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[0..4].copy_from_slice(MAGIC);
+        buf[4..6].copy_from_slice(&self.level.to_le_bytes());
+        buf[6..8].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        let mut off = HEADER_LEN;
+        for e in &self.entries {
+            buf[off..off + 2].copy_from_slice(&(e.key.len() as u16).to_le_bytes());
+            off += 2;
+            buf[off..off + e.key.len()].copy_from_slice(&e.key);
+            off += e.key.len();
+            buf[off..off + 8].copy_from_slice(&e.payload.to_le_bytes());
+            off += 8;
+        }
+        Ok(page_from_slice(&buf))
+    }
+
+    /// Parses a page image.
+    pub fn decode(buf: &[u8; PAGE_SIZE]) -> Result<RawNode> {
+        if &buf[0..4] != MAGIC {
+            return Err(GistError::Corrupt("bad gist node magic".into()));
+        }
+        let level = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+        let count = u16::from_le_bytes(buf[6..8].try_into().unwrap()) as usize;
+        let mut entries = Vec::with_capacity(count);
+        let mut off = HEADER_LEN;
+        for _ in 0..count {
+            if off + 2 > PAGE_SIZE {
+                return Err(GistError::Corrupt("entry table overruns page".into()));
+            }
+            let klen = u16::from_le_bytes(buf[off..off + 2].try_into().unwrap()) as usize;
+            off += 2;
+            if off + klen + 8 > PAGE_SIZE {
+                return Err(GistError::Corrupt("entry overruns page".into()));
+            }
+            let key = buf[off..off + klen].to_vec();
+            off += klen;
+            let payload = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+            off += 8;
+            entries.push(RawEntry { key, payload });
+        }
+        Ok(RawNode { level, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_variable_length() {
+        let mut n = RawNode::new(2);
+        for i in 0..40u64 {
+            n.entries.push(RawEntry {
+                key: vec![i as u8; (i % 17) as usize],
+                payload: i * 7,
+            });
+        }
+        let decoded = RawNode::decode(&n.encode().unwrap()).unwrap();
+        assert_eq!(decoded, n);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let mut n = RawNode::new(0);
+        let big = RawEntry {
+            key: vec![1u8; 1000],
+            payload: 0,
+        };
+        while !n.overflows_with(&big) {
+            n.entries.push(big.clone());
+        }
+        assert!(n.encode().is_ok());
+        n.entries.push(big);
+        assert!(n.encode().is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(RawNode::decode(&grt_sbspace::page::zeroed_page()).is_err());
+    }
+}

@@ -1,0 +1,590 @@
+//! The generic tree skeleton.
+//!
+//! Everything structural — node I/O, descent, splitting, parent-key
+//! maintenance, deletion with condensation, cursors, invariant checks —
+//! lives here and never interprets a key. The four extension primitives
+//! of Hellerstein et al. supply all semantics.
+
+use crate::node::{RawEntry, RawNode};
+use crate::{GistError, Result};
+use grt_sbspace::page::{get_u32, get_u64, page_from_slice, put_u32, put_u64, PageBuf, PAGE_SIZE};
+use grt_sbspace::LoHandle;
+
+/// The extension interface: the primitive operations a tree-based
+/// access method must supply (HNP95's `Consistent`, `Union`, `Penalty`,
+/// `PickSplit` — `Compress`/`Decompress` are folded into the key codec).
+pub trait GistExtension: Send + Sync {
+    /// The decoded key type.
+    type Key: Clone;
+    /// The query type `consistent` tests against.
+    type Query;
+
+    /// Serialises a key.
+    fn encode_key(&self, key: &Self::Key, out: &mut Vec<u8>);
+    /// Deserialises a key.
+    fn decode_key(&self, bytes: &[u8]) -> Result<Self::Key>;
+    /// Can an entry under `key` match `query`? (Exact at leaves, may
+    /// only err towards `true` internally.)
+    fn consistent(&self, key: &Self::Key, query: &Self::Query, is_leaf: bool) -> bool;
+    /// The smallest key covering all of `keys`.
+    fn union(&self, keys: &[Self::Key]) -> Self::Key;
+    /// Cost of inserting `new` under `existing` (smaller = better).
+    fn penalty(&self, existing: &Self::Key, new: &Self::Key) -> i128;
+    /// Partitions `keys` (length >= 2) into two non-empty groups,
+    /// returned as index sets.
+    fn pick_split(&self, keys: &[Self::Key]) -> (Vec<usize>, Vec<usize>);
+    /// Key equality (for delete lookups); defaults to encoded equality.
+    fn key_eq(&self, a: &Self::Key, b: &Self::Key) -> bool {
+        let (mut ba, mut bb) = (Vec::new(), Vec::new());
+        self.encode_key(a, &mut ba);
+        self.encode_key(b, &mut bb);
+        ba == bb
+    }
+}
+
+/// Construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GistTreeOptions {
+    /// Minimum entries per non-root node before condensation.
+    pub min_fill: usize,
+}
+
+impl Default for GistTreeOptions {
+    fn default() -> Self {
+        GistTreeOptions { min_fill: 2 }
+    }
+}
+
+/// Outcome of a deletion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GistDeleteOutcome {
+    /// Whether the entry existed.
+    pub found: bool,
+    /// Whether condensation restructured the tree.
+    pub condensed: bool,
+}
+
+const META_MAGIC: &[u8; 4] = b"GSTH";
+const NO_PAGE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Meta {
+    root: u32,
+    height: u32,
+    count: u64,
+    min_fill: u32,
+    free_head: u32,
+}
+
+impl Meta {
+    fn encode(&self) -> PageBuf {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[0..4].copy_from_slice(META_MAGIC);
+        put_u32(&mut buf, 4, self.root);
+        put_u32(&mut buf, 8, self.height);
+        put_u64(&mut buf, 12, self.count);
+        put_u32(&mut buf, 20, self.min_fill);
+        put_u32(&mut buf, 24, self.free_head);
+        page_from_slice(&buf)
+    }
+
+    fn decode(buf: &[u8; PAGE_SIZE]) -> Result<Meta> {
+        if &buf[0..4] != META_MAGIC {
+            return Err(GistError::Corrupt("bad gist header magic".into()));
+        }
+        Ok(Meta {
+            root: get_u32(buf.as_slice(), 4),
+            height: get_u32(buf.as_slice(), 8),
+            count: get_u64(buf.as_slice(), 12),
+            min_fill: get_u32(buf.as_slice(), 20),
+            free_head: get_u32(buf.as_slice(), 24),
+        })
+    }
+}
+
+/// The generic disk-resident tree.
+pub struct GistTree<E: GistExtension> {
+    ext: E,
+    lo: LoHandle,
+    meta: Meta,
+}
+
+enum ChildFate {
+    Alive,
+    Dissolved(Vec<RawEntry>, u16),
+}
+
+impl<E: GistExtension> GistTree<E> {
+    /// Initialises a fresh tree inside an empty large object.
+    pub fn create(ext: E, mut lo: LoHandle, opts: GistTreeOptions) -> Result<GistTree<E>> {
+        if lo.page_count() != 0 {
+            return Err(GistError::Usage("large object not empty".into()));
+        }
+        let meta = Meta {
+            root: 1,
+            height: 1,
+            count: 0,
+            min_fill: opts.min_fill.max(1) as u32,
+            free_head: NO_PAGE,
+        };
+        lo.append_page(&meta.encode())?;
+        lo.append_page(&*RawNode::new(0).encode()?)?;
+        Ok(GistTree { ext, lo, meta })
+    }
+
+    /// Opens an existing tree with the matching extension.
+    pub fn open(ext: E, lo: LoHandle) -> Result<GistTree<E>> {
+        let meta = Meta::decode(&*lo.read_page(0)?)?;
+        Ok(GistTree { ext, lo, meta })
+    }
+
+    /// Releases the large object (flushing the header when writable).
+    pub fn into_lo(mut self) -> Result<LoHandle> {
+        if self.lo.is_writable() {
+            self.write_meta()?;
+        }
+        Ok(self.lo)
+    }
+
+    /// The extension in use.
+    pub fn extension(&self) -> &E {
+        &self.ext
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> u64 {
+        self.meta.count
+    }
+
+    /// True when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.meta.count == 0
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.meta.height
+    }
+
+    /// Total pages owned, header included.
+    pub fn pages(&self) -> u32 {
+        self.lo.page_count()
+    }
+
+    fn write_meta(&mut self) -> Result<()> {
+        self.lo.write_page(0, &self.meta.encode())?;
+        Ok(())
+    }
+
+    fn read_node(&self, page: u32) -> Result<RawNode> {
+        RawNode::decode(&*self.lo.read_page(page)?)
+    }
+
+    fn write_node(&mut self, page: u32, node: &RawNode) -> Result<()> {
+        self.lo.write_page(page, &*node.encode()?)?;
+        Ok(())
+    }
+
+    fn alloc_node(&mut self, node: &RawNode) -> Result<u32> {
+        if self.meta.free_head != NO_PAGE {
+            let page = self.meta.free_head;
+            let buf = self.lo.read_page(page)?;
+            if &buf[0..4] != b"GSTF" {
+                return Err(GistError::Corrupt("bad free-chain page".into()));
+            }
+            self.meta.free_head = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+            self.write_node(page, node)?;
+            return Ok(page);
+        }
+        Ok(self.lo.append_page(&*node.encode()?)?)
+    }
+
+    fn free_node(&mut self, page: u32) -> Result<()> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[0..4].copy_from_slice(b"GSTF");
+        buf[4..8].copy_from_slice(&self.meta.free_head.to_le_bytes());
+        self.lo.write_page(page, &page_from_slice(&buf))?;
+        self.meta.free_head = page;
+        Ok(())
+    }
+
+    fn entry_of(&self, key: &E::Key, payload: u64) -> RawEntry {
+        let mut bytes = Vec::new();
+        self.ext.encode_key(key, &mut bytes);
+        RawEntry {
+            key: bytes,
+            payload,
+        }
+    }
+
+    fn keys_of(&self, node: &RawNode) -> Result<Vec<E::Key>> {
+        node.entries
+            .iter()
+            .map(|e| self.ext.decode_key(&e.key))
+            .collect()
+    }
+
+    fn node_union(&self, node: &RawNode) -> Result<E::Key> {
+        let keys = self.keys_of(node)?;
+        if keys.is_empty() {
+            return Err(GistError::Corrupt("union of an empty node".into()));
+        }
+        Ok(self.ext.union(&keys))
+    }
+
+    /// Inserts `key` with payload `rowid`.
+    pub fn insert(&mut self, key: &E::Key, rowid: u64) -> Result<()> {
+        let entry = self.entry_of(key, rowid);
+        self.insert_toplevel(entry, 0)?;
+        self.meta.count += 1;
+        self.write_meta()
+    }
+
+    fn insert_toplevel(&mut self, entry: RawEntry, level: u16) -> Result<()> {
+        let root = self.meta.root;
+        if let Some(sibling) = self.insert_rec(root, entry, level)? {
+            let old_root = self.read_node(root)?;
+            let left = self.entry_of(&self.node_union(&old_root)?, root as u64);
+            let mut new_root = RawNode::new(old_root.level + 1);
+            new_root.entries.push(left);
+            new_root.entries.push(sibling);
+            let page = self.alloc_node(&new_root)?;
+            self.meta.root = page;
+            self.meta.height += 1;
+        }
+        Ok(())
+    }
+
+    fn insert_rec(
+        &mut self,
+        page: u32,
+        entry: RawEntry,
+        target_level: u16,
+    ) -> Result<Option<RawEntry>> {
+        let mut node = self.read_node(page)?;
+        if node.level == target_level {
+            node.entries.push(entry);
+        } else {
+            // ChooseSubtree by minimum penalty.
+            let keys = self.keys_of(&node)?;
+            let new_key = self.ext.decode_key(&entry.key)?;
+            let idx = (0..keys.len())
+                .min_by_key(|&i| self.ext.penalty(&keys[i], &new_key))
+                .ok_or_else(|| GistError::Corrupt("descending into an empty node".into()))?;
+            let child = node.entries[idx].payload as u32;
+            let split = self.insert_rec(child, entry, target_level)?;
+            // Refresh the chosen child's union key.
+            let child_node = self.read_node(child)?;
+            node.entries[idx] = self.entry_of(&self.node_union(&child_node)?, child as u64);
+            if let Some(sibling) = split {
+                node.entries.push(sibling);
+            }
+        }
+        if node.encoded_len() > PAGE_SIZE || node.entries.len() > u16::MAX as usize {
+            let (a, b) = self.split(&node)?;
+            self.write_node(page, &a)?;
+            let b_key = self.node_union(&b)?;
+            let b_page = self.alloc_node(&b)?;
+            return Ok(Some(self.entry_of(&b_key, b_page as u64)));
+        }
+        self.write_node(page, &node)?;
+        Ok(None)
+    }
+
+    fn split(&self, node: &RawNode) -> Result<(RawNode, RawNode)> {
+        let keys = self.keys_of(node)?;
+        let (left_idx, right_idx) = self.ext.pick_split(&keys);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return Err(GistError::Usage(
+                "pick_split returned an empty group".into(),
+            ));
+        }
+        if left_idx.len() + right_idx.len() != keys.len() {
+            return Err(GistError::Usage(
+                "pick_split lost or duplicated entries".into(),
+            ));
+        }
+        let build = |idx: &[usize]| RawNode {
+            level: node.level,
+            entries: idx.iter().map(|&i| node.entries[i].clone()).collect(),
+        };
+        Ok((build(&left_idx), build(&right_idx)))
+    }
+
+    /// Deletes the entry `(key, rowid)`.
+    pub fn delete(&mut self, key: &E::Key, rowid: u64) -> Result<GistDeleteOutcome> {
+        let root = self.meta.root;
+        let mut orphans: Vec<(Vec<RawEntry>, u16)> = Vec::new();
+        let removed = self.delete_rec(root, key, rowid, &mut orphans)?;
+        if removed.is_none() {
+            return Ok(GistDeleteOutcome {
+                found: false,
+                condensed: false,
+            });
+        }
+        let condensed = !orphans.is_empty();
+        for (entries, level) in orphans {
+            for entry in entries {
+                self.insert_toplevel(entry, level)?;
+            }
+        }
+        loop {
+            let root_node = self.read_node(self.meta.root)?;
+            if root_node.is_leaf() || root_node.entries.len() != 1 {
+                break;
+            }
+            let old = self.meta.root;
+            self.meta.root = root_node.entries[0].payload as u32;
+            self.meta.height -= 1;
+            self.free_node(old)?;
+        }
+        self.meta.count -= 1;
+        self.write_meta()?;
+        Ok(GistDeleteOutcome {
+            found: true,
+            condensed,
+        })
+    }
+
+    fn delete_rec(
+        &mut self,
+        page: u32,
+        key: &E::Key,
+        rowid: u64,
+        orphans: &mut Vec<(Vec<RawEntry>, u16)>,
+    ) -> Result<Option<ChildFate>> {
+        let mut node = self.read_node(page)?;
+        let is_root = page == self.meta.root;
+        let min_fill = self.meta.min_fill as usize;
+        if node.is_leaf() {
+            let Some(idx) = node.entries.iter().position(|e| {
+                e.payload == rowid
+                    && self
+                        .ext
+                        .decode_key(&e.key)
+                        .map(|k| self.ext.key_eq(&k, key))
+                        .unwrap_or(false)
+            }) else {
+                return Ok(None);
+            };
+            node.entries.remove(idx);
+            if !is_root && node.entries.len() < min_fill {
+                return Ok(Some(ChildFate::Dissolved(
+                    std::mem::take(&mut node.entries),
+                    0,
+                )));
+            }
+            self.write_node(page, &node)?;
+            return Ok(Some(ChildFate::Alive));
+        }
+        for idx in 0..node.entries.len() {
+            // Descend only where the entry's subtree could hold the key:
+            // a zero-penalty union means the subtree key covers it.
+            let sub_key = self.ext.decode_key(&node.entries[idx].key)?;
+            if self.ext.penalty(&sub_key, key) != 0 {
+                continue;
+            }
+            let child = node.entries[idx].payload as u32;
+            match self.delete_rec(child, key, rowid, orphans)? {
+                None => continue,
+                Some(ChildFate::Alive) => {
+                    let child_node = self.read_node(child)?;
+                    node.entries[idx] = self.entry_of(&self.node_union(&child_node)?, child as u64);
+                }
+                Some(ChildFate::Dissolved(entries, level)) => {
+                    orphans.push((entries, level));
+                    self.free_node(child)?;
+                    node.entries.remove(idx);
+                }
+            }
+            if !is_root && node.entries.len() < min_fill {
+                let level = node.level;
+                return Ok(Some(ChildFate::Dissolved(
+                    std::mem::take(&mut node.entries),
+                    level,
+                )));
+            }
+            self.write_node(page, &node)?;
+            return Ok(Some(ChildFate::Alive));
+        }
+        Ok(None)
+    }
+
+    /// Collects all `(key, rowid)` pairs consistent with `query`.
+    pub fn search(&self, query: &E::Query) -> Result<Vec<(E::Key, u64)>> {
+        let mut out = Vec::new();
+        let mut cursor = self.cursor();
+        while let Some(hit) = self.cursor_next(&mut cursor, query)? {
+            out.push(hit);
+        }
+        Ok(out)
+    }
+
+    /// Opens a scan cursor.
+    pub fn cursor(&self) -> GistCursor {
+        GistCursor {
+            stack: Vec::new(),
+            root: self.meta.root,
+            primed: false,
+        }
+    }
+
+    /// Advances a cursor to the next entry consistent with `query`.
+    pub fn cursor_next(
+        &self,
+        cursor: &mut GistCursor,
+        query: &E::Query,
+    ) -> Result<Option<(E::Key, u64)>> {
+        if !cursor.primed {
+            cursor.primed = true;
+            let node = self.read_node(cursor.root)?;
+            cursor.stack.push((node, 0));
+        }
+        loop {
+            let Some((node, next)) = cursor.stack.last_mut() else {
+                return Ok(None);
+            };
+            if *next >= node.entries.len() {
+                cursor.stack.pop();
+                continue;
+            }
+            let entry = node.entries[*next].clone();
+            let level = node.level;
+            *next += 1;
+            let key = self.ext.decode_key(&entry.key)?;
+            if !self.ext.consistent(&key, query, level == 0) {
+                continue;
+            }
+            if level == 0 {
+                return Ok(Some((key, entry.payload)));
+            }
+            let child = self.read_node(entry.payload as u32)?;
+            cursor.stack.push((child, 0));
+        }
+    }
+
+    /// Verifies structural invariants: parent keys cover child unions
+    /// (zero penalty), levels decrease, counts match.
+    pub fn check(&self) -> Result<()> {
+        let mut leaves = 0u64;
+        self.check_rec(self.meta.root, None, true, &mut leaves)?;
+        if leaves != self.meta.count {
+            return Err(GistError::Corrupt(format!(
+                "count mismatch: header {} vs leaves {leaves}",
+                self.meta.count
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_rec(
+        &self,
+        page: u32,
+        expect_level: Option<u16>,
+        is_root: bool,
+        leaves: &mut u64,
+    ) -> Result<Option<E::Key>> {
+        let node = self.read_node(page)?;
+        if let Some(l) = expect_level {
+            if node.level != l {
+                return Err(GistError::Corrupt(format!(
+                    "page {page}: level {} expected {l}",
+                    node.level
+                )));
+            }
+        }
+        if !is_root && node.entries.len() < self.meta.min_fill as usize {
+            return Err(GistError::Corrupt(format!("page {page}: underfull")));
+        }
+        if node.is_leaf() {
+            *leaves += node.entries.len() as u64;
+            if node.entries.is_empty() {
+                return Ok(None);
+            }
+            return Ok(Some(self.node_union(&node)?));
+        }
+        for e in &node.entries {
+            let parent_key = self.ext.decode_key(&e.key)?;
+            let child_union = self
+                .check_rec(e.payload as u32, Some(node.level - 1), false, leaves)?
+                .ok_or_else(|| GistError::Corrupt(format!("page {page}: empty child")))?;
+            if self.ext.penalty(&parent_key, &child_union) != 0 {
+                return Err(GistError::Corrupt(format!(
+                    "page {page}: parent key does not cover its child"
+                )));
+            }
+        }
+        Ok(Some(self.node_union(&node)?))
+    }
+}
+
+/// A depth-first scan cursor (node images cached per stack frame).
+pub struct GistCursor {
+    stack: Vec<(RawNode, usize)>,
+    root: u32,
+    primed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately broken extension: pick_split returns an empty
+    /// group. The skeleton must reject it instead of corrupting.
+    struct BadSplit;
+    impl GistExtension for BadSplit {
+        type Key = i64;
+        type Query = i64;
+        fn encode_key(&self, key: &i64, out: &mut Vec<u8>) {
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        fn decode_key(&self, bytes: &[u8]) -> Result<i64> {
+            Ok(i64::from_le_bytes(
+                bytes
+                    .try_into()
+                    .map_err(|_| GistError::Corrupt("key size".into()))?,
+            ))
+        }
+        fn consistent(&self, key: &i64, query: &i64, _leaf: bool) -> bool {
+            key == query
+        }
+        fn union(&self, keys: &[i64]) -> i64 {
+            *keys.iter().max().unwrap()
+        }
+        fn penalty(&self, existing: &i64, new: &i64) -> i128 {
+            (*new as i128 - *existing as i128).max(0)
+        }
+        fn pick_split(&self, keys: &[i64]) -> (Vec<usize>, Vec<usize>) {
+            (Vec::new(), (0..keys.len()).collect())
+        }
+    }
+
+    #[test]
+    fn misbehaving_extension_is_rejected() {
+        use grt_sbspace::{IsolationLevel, LockMode, Sbspace, SbspaceOptions};
+        let sb = Sbspace::mem(SbspaceOptions {
+            pool_pages: 8192,
+            ..Default::default()
+        });
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        let h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        let mut tree = GistTree::create(BadSplit, h, GistTreeOptions::default()).unwrap();
+        // Insert until a split is needed; the bad pick_split must fail
+        // loudly (Usage error), not corrupt the tree.
+        let mut failed = false;
+        for i in 0..2000i64 {
+            match tree.insert(&i, i as u64) {
+                Ok(()) => {}
+                Err(GistError::Usage(_)) => {
+                    failed = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected {other}"),
+            }
+        }
+        assert!(failed, "the empty split must be detected");
+        drop(tree);
+        txn.commit().unwrap();
+    }
+}

@@ -1,0 +1,125 @@
+//! GR-tree scan cursors.
+//!
+//! A cursor is the paper's `Cursor` object: it stores the query
+//! predicate (from the qualification descriptor) and the tree-traversal
+//! state between `am_getnext` calls. The current time is captured at
+//! cursor creation and stays constant for the whole scan — the paper's
+//! per-statement current-time rule (Section 5.4).
+
+use crate::entry::{GrNode, InternalEntry, LeafEntry};
+use crate::tree::GrTree;
+use crate::Result;
+use grt_temporal::{Day, Predicate, Region, TimeExtent};
+
+enum FrameEntries {
+    Leaf(Vec<LeafEntry>),
+    Internal(Vec<InternalEntry>),
+}
+
+struct Frame {
+    entries: FrameEntries,
+    next: usize,
+}
+
+/// A depth-first scan over qualifying leaf entries.
+pub struct GrCursor {
+    pred: Predicate,
+    query: TimeExtent,
+    query_region: Region,
+    ct: Day,
+    root: u32,
+    stack: Vec<Frame>,
+    primed: bool,
+}
+
+impl GrCursor {
+    pub(crate) fn new(pred: Predicate, query: TimeExtent, ct: Day, root: u32) -> GrCursor {
+        GrCursor {
+            pred,
+            query,
+            query_region: query.region(ct),
+            ct,
+            root,
+            stack: Vec::new(),
+            primed: false,
+        }
+    }
+
+    /// The predicate this cursor scans with.
+    pub fn predicate(&self) -> Predicate {
+        self.pred
+    }
+
+    /// The query extent this cursor scans with.
+    pub fn query(&self) -> TimeExtent {
+        self.query
+    }
+
+    /// The current time captured at creation.
+    pub fn current_time(&self) -> Day {
+        self.ct
+    }
+
+    /// Resets the scan to the beginning (used after tree condensation —
+    /// the paper's Section 5.5 restart rule). The captured current time
+    /// is kept: the statement's time does not change mid-scan.
+    pub(crate) fn restart(&mut self, root: u32) {
+        self.root = root;
+        self.stack.clear();
+        self.primed = false;
+    }
+
+    fn push(&mut self, tree: &GrTree, page: u32) -> Result<()> {
+        let entries = match tree.read_node(page)? {
+            GrNode::Leaf(v) => FrameEntries::Leaf(v),
+            GrNode::Internal { entries, .. } => FrameEntries::Internal(entries),
+        };
+        self.stack.push(Frame { entries, next: 0 });
+        Ok(())
+    }
+
+    pub(crate) fn next(&mut self, tree: &GrTree) -> Result<Option<(TimeExtent, u64)>> {
+        if !self.primed {
+            self.primed = true;
+            self.push(tree, self.root)?;
+        }
+        loop {
+            let Some(frame) = self.stack.last_mut() else {
+                return Ok(None);
+            };
+            match &frame.entries {
+                FrameEntries::Leaf(entries) => {
+                    if frame.next >= entries.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let e = entries[frame.next];
+                    frame.next += 1;
+                    if self
+                        .pred
+                        .eval_regions(&e.extent.region(self.ct), &self.query_region)
+                    {
+                        return Ok(Some((e.extent, e.rowid)));
+                    }
+                }
+                FrameEntries::Internal(entries) => {
+                    if frame.next >= entries.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let e = entries[frame.next];
+                    frame.next += 1;
+                    // Descend only where the bounding region could
+                    // contain a qualifying child — the NOW/UC resolution
+                    // algorithm applied to the internal entry.
+                    if self
+                        .pred
+                        .consistent(&e.spec.resolve(self.ct), &self.query_region)
+                    {
+                        self.push(tree, e.child)?;
+                    }
+                }
+            }
+        }
+    }
+}

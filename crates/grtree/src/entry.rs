@@ -1,0 +1,305 @@
+//! GR-tree node layout.
+//!
+//! "The layout of a GR-tree node does not differ significantly from the
+//! layout of an R\*-tree node" (Section 3): both entry kinds occupy 24
+//! bytes — four timestamps (16 bytes, with `i32::MAX` as the `UC`/`NOW`
+//! sentinel) plus an 8-byte payload. A leaf payload is the rowid; a
+//! non-leaf payload packs the child page number with the `Rectangle`
+//! and `Hidden` flags.
+
+use crate::{GrError, Result};
+use grt_sbspace::page::{page_from_slice, PageBuf, PAGE_SIZE};
+use grt_temporal::{Day, RegionSpec, TimeExtent, TtEnd, VtEnd};
+
+const MAGIC: &[u8; 4] = b"GRTN";
+const HEADER_LEN: usize = 8;
+/// Bytes per entry (both kinds).
+pub const ENTRY_LEN: usize = 24;
+/// Fan-out ceiling of a 4 KiB page.
+pub const MAX_FANOUT: usize = (PAGE_SIZE - HEADER_LEN) / ENTRY_LEN;
+
+const FLAG_RECT: u64 = 1 << 32;
+const FLAG_HIDDEN: u64 = 1 << 33;
+const SENTINEL: i32 = i32::MAX;
+
+/// A leaf entry: the tuple's exact time extent and its rowid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafEntry {
+    /// The indexed tuple's 4TS time extent.
+    pub extent: TimeExtent,
+    /// Pointer to the data tuple.
+    pub rowid: u64,
+}
+
+/// A non-leaf entry: a minimum bounding region and a child pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternalEntry {
+    /// The unresolved bounding region (timestamps + flags).
+    pub spec: RegionSpec,
+    /// Child node's logical page number.
+    pub child: u32,
+}
+
+impl LeafEntry {
+    /// The entry's unresolved region descriptor.
+    pub fn spec(&self) -> RegionSpec {
+        self.extent.spec()
+    }
+}
+
+/// A GR-tree node image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrNode {
+    /// A leaf node.
+    Leaf(Vec<LeafEntry>),
+    /// An internal node at the given level (>= 1).
+    Internal {
+        /// The node's level (leaves are level 0).
+        level: u16,
+        /// Child entries.
+        entries: Vec<InternalEntry>,
+    },
+}
+
+impl GrNode {
+    /// The node's level (0 for leaves).
+    pub fn level(&self) -> u16 {
+        match self {
+            GrNode::Leaf(_) => 0,
+            GrNode::Internal { level, .. } => *level,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            GrNode::Leaf(v) => v.len(),
+            GrNode::Internal { entries, .. } => entries.len(),
+        }
+    }
+
+    /// True when the node has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, GrNode::Leaf(_))
+    }
+
+    /// The region specs of all entries (for bounding computations).
+    pub fn specs(&self) -> Vec<RegionSpec> {
+        match self {
+            GrNode::Leaf(v) => v.iter().map(LeafEntry::spec).collect(),
+            GrNode::Internal { entries, .. } => entries.iter().map(|e| e.spec).collect(),
+        }
+    }
+
+    /// The minimum bounding region of the node at current time `ct`.
+    pub fn bound(&self, ct: Day) -> RegionSpec {
+        grt_temporal::bound_entries(&self.specs(), ct)
+    }
+
+    /// Serialises into a page image.
+    pub fn encode(&self) -> PageBuf {
+        assert!(self.len() <= MAX_FANOUT, "gr-node overflow");
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[0..4].copy_from_slice(MAGIC);
+        buf[4..6].copy_from_slice(&self.level().to_le_bytes());
+        buf[6..8].copy_from_slice(&(self.len() as u16).to_le_bytes());
+        match self {
+            GrNode::Leaf(entries) => {
+                for (i, e) in entries.iter().enumerate() {
+                    let off = HEADER_LEN + i * ENTRY_LEN;
+                    e.extent.encode(&mut buf[off..off + 16]);
+                    buf[off + 16..off + 24].copy_from_slice(&e.rowid.to_le_bytes());
+                }
+            }
+            GrNode::Internal { entries, .. } => {
+                for (i, e) in entries.iter().enumerate() {
+                    let off = HEADER_LEN + i * ENTRY_LEN;
+                    encode_spec_timestamps(&e.spec, &mut buf[off..off + 16]);
+                    let mut payload = e.child as u64;
+                    if e.spec.rect {
+                        payload |= FLAG_RECT;
+                    }
+                    if e.spec.hidden {
+                        payload |= FLAG_HIDDEN;
+                    }
+                    buf[off + 16..off + 24].copy_from_slice(&payload.to_le_bytes());
+                }
+            }
+        }
+        page_from_slice(&buf)
+    }
+
+    /// Parses a page image.
+    pub fn decode(buf: &[u8; PAGE_SIZE]) -> Result<GrNode> {
+        if &buf[0..4] != MAGIC {
+            return Err(GrError::Corrupt("bad gr-node magic".into()));
+        }
+        let level = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+        let count = u16::from_le_bytes(buf[6..8].try_into().unwrap()) as usize;
+        if count > MAX_FANOUT {
+            return Err(GrError::Corrupt(format!("entry count {count}")));
+        }
+        if level == 0 {
+            let mut entries = Vec::with_capacity(count);
+            for i in 0..count {
+                let off = HEADER_LEN + i * ENTRY_LEN;
+                let extent = TimeExtent::decode(&buf[off..off + 16])?;
+                let rowid = u64::from_le_bytes(buf[off + 16..off + 24].try_into().unwrap());
+                entries.push(LeafEntry { extent, rowid });
+            }
+            Ok(GrNode::Leaf(entries))
+        } else {
+            let mut entries = Vec::with_capacity(count);
+            for i in 0..count {
+                let off = HEADER_LEN + i * ENTRY_LEN;
+                let payload = u64::from_le_bytes(buf[off + 16..off + 24].try_into().unwrap());
+                let spec = decode_spec_timestamps(
+                    &buf[off..off + 16],
+                    payload & FLAG_RECT != 0,
+                    payload & FLAG_HIDDEN != 0,
+                )?;
+                entries.push(InternalEntry {
+                    spec,
+                    child: payload as u32,
+                });
+            }
+            Ok(GrNode::Internal { level, entries })
+        }
+    }
+}
+
+fn encode_spec_timestamps(spec: &RegionSpec, out: &mut [u8]) {
+    let tte = match spec.tt_end {
+        TtEnd::Ground(d) => d.0,
+        TtEnd::Uc => SENTINEL,
+    };
+    let vte = match spec.vt_end {
+        VtEnd::Ground(d) => d.0,
+        VtEnd::Now => SENTINEL,
+    };
+    out[0..4].copy_from_slice(&spec.tt_begin.0.to_le_bytes());
+    out[4..8].copy_from_slice(&tte.to_le_bytes());
+    out[8..12].copy_from_slice(&spec.vt_begin.0.to_le_bytes());
+    out[12..16].copy_from_slice(&vte.to_le_bytes());
+}
+
+fn decode_spec_timestamps(buf: &[u8], rect: bool, hidden: bool) -> Result<RegionSpec> {
+    let w = |i: usize| i32::from_le_bytes(buf[i..i + 4].try_into().unwrap());
+    let tte = w(4);
+    let vte = w(12);
+    Ok(RegionSpec {
+        tt_begin: Day(w(0)),
+        tt_end: if tte == SENTINEL {
+            TtEnd::Uc
+        } else {
+            TtEnd::Ground(Day(tte))
+        },
+        vt_begin: Day(w(8)),
+        vt_end: if vte == SENTINEL {
+            VtEnd::Now
+        } else {
+            VtEnd::Ground(Day(vte))
+        },
+        rect,
+        hidden,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extent(ttb: i32, tte: Option<i32>, vtb: i32, vte: Option<i32>) -> TimeExtent {
+        TimeExtent::from_parts(
+            Day(ttb),
+            tte.map_or(TtEnd::Uc, |x| TtEnd::Ground(Day(x))),
+            Day(vtb),
+            vte.map_or(VtEnd::Now, |x| VtEnd::Ground(Day(x))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let entries = vec![
+            LeafEntry {
+                extent: extent(10, None, 10, None),
+                rowid: 42,
+            },
+            LeafEntry {
+                extent: extent(5, Some(30), 0, Some(20)),
+                rowid: u64::MAX >> 2,
+            },
+        ];
+        let node = GrNode::Leaf(entries);
+        assert_eq!(GrNode::decode(&node.encode()).unwrap(), node);
+    }
+
+    #[test]
+    fn internal_roundtrip_with_flags() {
+        let mk = |rect, hidden| InternalEntry {
+            spec: RegionSpec {
+                tt_begin: Day(1),
+                tt_end: TtEnd::Uc,
+                vt_begin: Day(0),
+                vt_end: if hidden {
+                    VtEnd::Ground(Day(99))
+                } else {
+                    VtEnd::Now
+                },
+                rect,
+                hidden,
+            },
+            child: 7,
+        };
+        for (rect, hidden) in [(false, false), (true, false), (false, true)] {
+            let node = GrNode::Internal {
+                level: 2,
+                entries: vec![mk(rect, hidden)],
+            };
+            let decoded = GrNode::decode(&node.encode()).unwrap();
+            assert_eq!(decoded, node, "rect={rect} hidden={hidden}");
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(GrNode::decode(&grt_sbspace::page::zeroed_page()).is_err());
+    }
+
+    #[test]
+    fn bound_of_leaf_matches_manual() {
+        let node = GrNode::Leaf(vec![
+            LeafEntry {
+                extent: extent(10, None, 10, None),
+                rowid: 1,
+            },
+            LeafEntry {
+                extent: extent(20, None, 15, None),
+                rowid: 2,
+            },
+        ]);
+        let b = node.bound(Day(100));
+        assert!(b.grows_tt());
+        assert!(b.grows_vt(Day(100)));
+        assert_eq!(b.tt_begin, Day(10));
+        assert_eq!(b.vt_begin, Day(10));
+    }
+
+    #[test]
+    fn fanout_fits_page() {
+        let entries: Vec<LeafEntry> = (0..MAX_FANOUT)
+            .map(|i| LeafEntry {
+                extent: extent(i as i32, Some(i as i32 + 1), 0, Some(1)),
+                rowid: i as u64,
+            })
+            .collect();
+        let node = GrNode::Leaf(entries);
+        assert_eq!(GrNode::decode(&node.encode()).unwrap(), node);
+    }
+}

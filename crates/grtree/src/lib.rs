@@ -1,0 +1,103 @@
+//! The **GR-tree**: an R\*-tree-based index for now-relative bitemporal
+//! data (Bliujūtė, Jensen, Šaltenis, Slivinskas — the index this
+//! paper's DataBlade implements).
+//!
+//! Unlike an ordinary spatial index, GR-tree entries store the `UC` and
+//! `NOW` *variables* at **all** tree levels, so the index represents
+//! growing rectangles and growing stair shapes exactly:
+//!
+//! * a **leaf entry** holds the tuple's four timestamps (possibly with
+//!   `UC`/`NOW`) plus the rowid of the indexed tuple;
+//! * a **non-leaf entry** holds four timestamps plus the `Rectangle`
+//!   flag (a `(tt1, UC, vt1, NOW)` bound can denote a growing rectangle
+//!   rather than a stair) and the `Hidden` flag (a growing stair hidden
+//!   inside a fixed bounding rectangle that it will one day outgrow),
+//!   plus the child page number.
+//!
+//! The insertion, split, and deletion algorithms follow the R\*-tree,
+//! with all penalty metrics (area, overlap, margin) computed on regions
+//! resolved at `ct + time_param`: the *time parameter* of the GR-tree
+//! insertion algorithms accounts for the future development of growing
+//! entries, so that two entries that barely overlap today but grow into
+//! each other tomorrow are penalised today.
+//!
+//! Like the DataBlade prototype, the tree lives in a single sbspace
+//! large object, one node per 4 KiB page, header on logical page 0.
+//!
+//! ```
+//! use grt_grtree::{GrTree, GrTreeOptions};
+//! use grt_sbspace::{IsolationLevel, LockMode, Sbspace, SbspaceOptions};
+//! use grt_temporal::{Day, Predicate, TimeExtent, VtEnd};
+//!
+//! let sb = Sbspace::mem(SbspaceOptions::default());
+//! let txn = sb.begin(IsolationLevel::ReadCommitted);
+//! let lo = sb.create_lo(&txn).unwrap();
+//! let handle = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+//! let mut tree = GrTree::create(handle, GrTreeOptions::default()).unwrap();
+//!
+//! // Insert a now-relative fact on day 100 and find it years later —
+//! // the growing region needs no refresh.
+//! let ct = Day(100);
+//! let fact = TimeExtent::insert(ct, Day(100), VtEnd::Now).unwrap();
+//! tree.insert(fact, 7, ct).unwrap();
+//! let probe = TimeExtent::insert(Day(5_000), Day(4_999), VtEnd::Now).unwrap();
+//! let hits = tree.search(Predicate::Overlaps, &probe, Day(5_000)).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! drop(tree.into_lo().unwrap());
+//! txn.commit().unwrap();
+//! ```
+
+pub mod bulk;
+pub mod concurrent;
+pub mod cursor;
+pub mod entry;
+pub mod meta;
+pub mod stats;
+pub mod tree;
+
+pub use concurrent::ConcurrentGrTree;
+pub use cursor::GrCursor;
+pub use entry::{GrNode, InternalEntry, LeafEntry};
+pub use stats::GrQuality;
+pub use tree::{GrDeleteOutcome, GrTree, GrTreeOptions};
+
+/// Errors from the GR-tree layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrError {
+    /// Underlying storage failure.
+    Storage(grt_sbspace::SbError),
+    /// Bad timestamps in an entry.
+    Temporal(grt_temporal::TemporalError),
+    /// The large object does not contain a valid GR-tree.
+    Corrupt(String),
+    /// API misuse.
+    Usage(String),
+}
+
+impl From<grt_sbspace::SbError> for GrError {
+    fn from(e: grt_sbspace::SbError) -> Self {
+        GrError::Storage(e)
+    }
+}
+
+impl From<grt_temporal::TemporalError> for GrError {
+    fn from(e: grt_temporal::TemporalError) -> Self {
+        GrError::Temporal(e)
+    }
+}
+
+impl std::fmt::Display for GrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GrError::Storage(e) => write!(f, "storage: {e}"),
+            GrError::Temporal(e) => write!(f, "temporal: {e}"),
+            GrError::Corrupt(m) => write!(f, "corrupt gr-tree: {m}"),
+            GrError::Usage(m) => write!(f, "usage: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GrError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, GrError>;

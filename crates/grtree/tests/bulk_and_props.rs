@@ -1,0 +1,249 @@
+//! Bulk loading, vacuuming, and property-based GR-tree tests.
+
+use grt_grtree::bulk::{bulk_load_pairs, collect_leaves, not_older_than, vacuum_rebuild};
+use grt_grtree::{GrTree, GrTreeOptions};
+use grt_sbspace::{IsolationLevel, LoHandle, LockMode, Sbspace, SbspaceOptions};
+use grt_temporal::{Day, Predicate, TimeExtent, TtEnd, VtEnd};
+use proptest::prelude::*;
+
+fn fresh_lo() -> LoHandle {
+    let sb = Sbspace::mem(SbspaceOptions {
+        pool_pages: 8192,
+        ..Default::default()
+    });
+    let txn = sb.begin(IsolationLevel::ReadCommitted);
+    let lo = sb.create_lo(&txn).unwrap();
+    let h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+    std::mem::forget(txn);
+    std::mem::forget(sb);
+    h
+}
+
+fn extent(ttb: i32, tte: Option<i32>, vtb: i32, vte: Option<i32>) -> TimeExtent {
+    TimeExtent::from_parts(
+        Day(ttb),
+        tte.map_or(TtEnd::Uc, |x| TtEnd::Ground(Day(x))),
+        Day(vtb),
+        vte.map_or(VtEnd::Now, |x| VtEnd::Ground(Day(x))),
+    )
+    .unwrap()
+}
+
+fn history(n: i32) -> Vec<(u64, TimeExtent)> {
+    (0..n)
+        .map(|i| {
+            let base = (i * 17) % 700;
+            let e = match i % 6 {
+                0 => extent(base, None, base - (i % 9), Some(base + 40)),
+                1 => extent(base, Some(base + 25), base - 7, Some(base + 30)),
+                2 => extent(base, None, base, None),
+                3 => extent(base, Some(base + 15), base, None),
+                4 => extent(base, None, base - (1 + i % 5), None),
+                _ => extent(base, Some(base + 12), base - (1 + i % 5), None),
+            };
+            (i as u64, e)
+        })
+        .collect()
+}
+
+fn opts(max_entries: usize) -> GrTreeOptions {
+    GrTreeOptions {
+        max_entries,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn bulk_load_answers_match_incremental_build() {
+    let ct = Day(800);
+    let data = history(500);
+    let bulk = bulk_load_pairs(fresh_lo(), &data, ct, opts(16)).unwrap();
+    assert_eq!(bulk.len(), 500);
+    bulk.check(ct).unwrap();
+
+    let mut incr = GrTree::create(fresh_lo(), opts(16)).unwrap();
+    for (id, e) in &data {
+        incr.insert(*e, *id, ct).unwrap();
+    }
+    let queries = [
+        extent(100, Some(200), 50, Some(260)),
+        extent(0, None, 0, None),
+        extent(650, Some(660), 655, Some(900)),
+    ];
+    for q in &queries {
+        for pred in Predicate::ALL {
+            let mut a: Vec<u64> = bulk
+                .search(pred, q, ct)
+                .unwrap()
+                .into_iter()
+                .map(|(_, id)| id)
+                .collect();
+            let mut b: Vec<u64> = incr
+                .search(pred, q, ct)
+                .unwrap()
+                .into_iter()
+                .map(|(_, id)| id)
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{pred}");
+        }
+    }
+}
+
+#[test]
+fn bulk_load_is_denser_than_incremental() {
+    let ct = Day(800);
+    let data = history(600);
+    let bulk = bulk_load_pairs(fresh_lo(), &data, ct, opts(16)).unwrap();
+    let mut incr = GrTree::create(fresh_lo(), opts(16)).unwrap();
+    for (id, e) in &data {
+        incr.insert(*e, *id, ct).unwrap();
+    }
+    let bulk_q = bulk.quality(ct).unwrap();
+    let incr_q = incr.quality(ct).unwrap();
+    let fill = |q: &grt_grtree::GrQuality| q.levels[0].entries as f64 / q.levels[0].nodes as f64;
+    assert!(
+        fill(&bulk_q) >= fill(&incr_q),
+        "bulk leaf fill {:.2} vs incremental {:.2}",
+        fill(&bulk_q),
+        fill(&incr_q)
+    );
+}
+
+#[test]
+fn bulk_load_empty_and_single() {
+    let ct = Day(10);
+    let empty = bulk_load_pairs(fresh_lo(), &[], ct, opts(8)).unwrap();
+    assert!(empty.is_empty());
+    empty.check(ct).unwrap();
+
+    let one = bulk_load_pairs(fresh_lo(), &[(9, extent(5, None, 5, None))], ct, opts(8)).unwrap();
+    assert_eq!(one.len(), 1);
+    one.check(ct).unwrap();
+    let hits = one
+        .search(Predicate::Overlaps, &extent(0, None, 0, None), Day(50))
+        .unwrap();
+    assert_eq!(hits.len(), 1);
+}
+
+#[test]
+fn vacuum_drops_old_closed_entries() {
+    let ct = Day(800);
+    let data = history(300);
+    let tree = bulk_load_pairs(fresh_lo(), &data, ct, opts(16)).unwrap();
+    let cutoff = Day(400);
+    let (vacuumed, removed) = vacuum_rebuild(tree, fresh_lo(), ct, not_older_than(cutoff)).unwrap();
+    let expected_kept = data
+        .iter()
+        .filter(|(_, e)| match e.tt_end {
+            TtEnd::Uc => true,
+            TtEnd::Ground(end) => end >= cutoff,
+        })
+        .count() as u64;
+    assert_eq!(vacuumed.len(), expected_kept);
+    assert_eq!(removed, 300 - expected_kept);
+    vacuumed.check(ct).unwrap();
+    // Every kept entry is still findable.
+    let kept = collect_leaves(&vacuumed, |_| true).unwrap();
+    assert_eq!(kept.len() as u64, expected_kept);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random histories of inserts and deletes: GR-tree answers always
+    /// equal the linear scan, and invariants hold throughout.
+    #[test]
+    fn random_history_matches_linear_scan(
+        seedlings in proptest::collection::vec((0i32..300, 0u8..6, proptest::bool::ANY), 1..120),
+        ct_off in 0i32..200,
+    ) {
+        let ct = Day(400);
+        let mut tree = GrTree::create(fresh_lo(), opts(6)).unwrap();
+        let mut live: Vec<(u64, TimeExtent)> = Vec::new();
+        let mut next_id = 0u64;
+        for (base, kind, delete) in seedlings {
+            if delete && !live.is_empty() {
+                let (id, e) = live.swap_remove((base as usize) % live.len());
+                prop_assert!(tree.delete(&e, id, ct).unwrap().found);
+                continue;
+            }
+            let e = match kind {
+                0 => extent(base, None, base - 2, Some(base + 40)),
+                1 => extent(base, Some(base + 25), base - 7, Some(base + 30)),
+                2 => extent(base, None, base, None),
+                3 => extent(base, Some(base + 15), base, None),
+                4 => extent(base, None, (base - 3).max(0).min(base), None),
+                _ => extent(base, Some(base + 12), (base - 4).max(0).min(base), None),
+            };
+            tree.insert(e, next_id, ct).unwrap();
+            live.push((next_id, e));
+            next_id += 1;
+        }
+        tree.check(ct).unwrap();
+        let probe = ct.plus(ct_off);
+        let queries = [
+            extent(50, Some(150), 20, Some(160)),
+            extent(0, None, 0, None),
+        ];
+        for q in &queries {
+            for pred in [Predicate::Overlaps, Predicate::ContainedIn] {
+                let mut expected: Vec<u64> = live
+                    .iter()
+                    .filter(|(_, e)| pred.eval(e, q, probe))
+                    .map(|(id, _)| *id)
+                    .collect();
+                let mut got: Vec<u64> = tree
+                    .search(pred, q, probe)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(_, id)| id)
+                    .collect();
+                expected.sort_unstable();
+                got.sort_unstable();
+                prop_assert_eq!(got, expected);
+            }
+        }
+    }
+
+    /// Bulk-loaded trees answer identically to linear scans.
+    #[test]
+    fn bulk_load_correct_on_random_data(
+        n in 1usize..300,
+        seed in 0i32..1000,
+        ct_off in 0i32..500,
+    ) {
+        let ct = Day(900);
+        let data: Vec<(u64, TimeExtent)> = (0..n as i32)
+            .map(|i| {
+                let base = ((i * 31 + seed) % 800).max(0);
+                let e = match (i + seed) % 4 {
+                    0 => extent(base, None, base, None),
+                    1 => extent(base, Some(base + 10), base - 1, Some(base + 5)),
+                    2 => extent(base, None, base - 2, Some(base + 100)),
+                    _ => extent(base, Some(base + 30), base, None),
+                };
+                (i as u64, e)
+            })
+            .collect();
+        let tree = bulk_load_pairs(fresh_lo(), &data, ct, opts(8)).unwrap();
+        tree.check(ct).unwrap();
+        let probe = ct.plus(ct_off);
+        let q = extent(200, Some(400), 100, Some(500));
+        let mut expected: Vec<u64> = data
+            .iter()
+            .filter(|(_, e)| Predicate::Overlaps.eval(e, &q, probe))
+            .map(|(id, _)| *id)
+            .collect();
+        let mut got: Vec<u64> = tree
+            .search(Predicate::Overlaps, &q, probe)
+            .unwrap()
+            .into_iter()
+            .map(|(_, id)| id)
+            .collect();
+        expected.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,1544 @@
+//! The database engine: sessions, statement execution, and the
+//! purpose-function call sequences of Figure 6.
+
+use crate::catalog::{AmEntry, Catalog, IndexMeta, TableMeta};
+use crate::heap;
+use crate::opaque::OpaqueType;
+use crate::opclass::{OpClass, OpClassRegistry};
+use crate::planner::{self, Candidate, Plan};
+use crate::session::{MemDuration, Session};
+use crate::sql::{self, Expr, Lit, SelectCols, Statement};
+use crate::trace::TraceSink;
+use crate::udr::{RoutineFn, UdrRegistry};
+use crate::value::{DataType, Value};
+use crate::vii::{AccessMethod, AmContext, IndexDescriptor, RowId, ScanDescriptor};
+use crate::{IdsError, Result};
+use grt_sbspace::{IsolationLevel, LoHandle, LockMode, Sbspace, SbspaceOptions, Txn, TxnEnd};
+use grt_temporal::{Clock, MockClock};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Engine construction options.
+pub struct DatabaseOptions {
+    /// Storage options for the shared sbspace.
+    pub space: SbspaceOptions,
+    /// The server clock (a deterministic [`MockClock`] by default).
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for DatabaseOptions {
+    fn default() -> Self {
+        DatabaseOptions {
+            space: SbspaceOptions::default(),
+            clock: Arc::new(MockClock::default()),
+        }
+    }
+}
+
+pub(crate) struct DbInner {
+    pub space: Sbspace,
+    pub catalog: Mutex<Catalog>,
+    pub udrs: Mutex<UdrRegistry>,
+    pub opaques: Mutex<HashMap<String, OpaqueType>>,
+    pub opclasses: Mutex<OpClassRegistry>,
+    /// Loaded "shared libraries" providing access-method handlers,
+    /// keyed by library file name (e.g. `grtree.bld`).
+    pub libraries: Mutex<HashMap<String, Arc<dyn AccessMethod>>>,
+    pub clock: Arc<dyn Clock>,
+    pub trace: TraceSink,
+    next_session: AtomicU64,
+    /// Transaction → session mapping for the end-of-transaction
+    /// callback that clears per-transaction named memory (Section 5.4).
+    txn_sessions: Arc<Mutex<HashMap<u64, Arc<Session>>>>,
+}
+
+/// The database server. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct Database {
+    pub(crate) inner: Arc<DbInner>,
+}
+
+/// A client connection: a session plus transaction state.
+pub struct Connection {
+    db: Database,
+    session: Arc<Session>,
+    txn: Mutex<Option<Txn>>,
+    iso: Mutex<IsolationLevel>,
+}
+
+/// The result of one statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    /// Column headers (SELECT only).
+    pub columns: Vec<String>,
+    /// Raw result rows (SELECT only).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows rendered through the type support functions.
+    pub rendered: Vec<Vec<String>>,
+    /// Status message for non-queries.
+    pub message: String,
+}
+
+impl Database {
+    /// Boots a database over an in-memory sbspace.
+    pub fn new(opts: DatabaseOptions) -> Database {
+        let space = Sbspace::mem(opts.space);
+        Self::with_space(space, opts.clock)
+    }
+
+    /// Boots a database over an existing sbspace (e.g. file-backed).
+    pub fn with_space(space: Sbspace, clock: Arc<dyn Clock>) -> Database {
+        let txn_sessions: Arc<Mutex<HashMap<u64, Arc<Session>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let cb_map = Arc::clone(&txn_sessions);
+        space.on_txn_end(move |txn, _end: TxnEnd| {
+            if let Some(session) = cb_map.lock().remove(&txn.0) {
+                session.clear_duration(MemDuration::PerTransaction);
+            }
+        });
+        Database {
+            inner: Arc::new(DbInner {
+                space,
+                catalog: Mutex::new(Catalog::default()),
+                udrs: Mutex::new(UdrRegistry::default()),
+                opaques: Mutex::new(HashMap::new()),
+                opclasses: Mutex::new(OpClassRegistry::default()),
+                libraries: Mutex::new(HashMap::new()),
+                clock,
+                trace: TraceSink::new(),
+                next_session: AtomicU64::new(1),
+                txn_sessions,
+            }),
+        }
+    }
+
+    /// Opens a client connection.
+    pub fn connect(&self) -> Connection {
+        let id = self.inner.next_session.fetch_add(1, Ordering::SeqCst);
+        Connection {
+            db: self.clone(),
+            session: Arc::new(Session::new(id)),
+            txn: Mutex::new(None),
+            iso: Mutex::new(IsolationLevel::ReadCommitted),
+        }
+    }
+
+    /// Installs a native symbol for `CREATE FUNCTION ... EXTERNAL NAME`
+    /// binding (what loading a DataBlade's shared library does).
+    pub fn install_symbol(&self, external_name: &str, imp: RoutineFn) {
+        self.inner.udrs.lock().install_symbol(external_name, imp);
+    }
+
+    /// Installs an access-method handler under a library file name; the
+    /// `CREATE SECONDARY ACCESS_METHOD` statement binds to it through
+    /// its purpose functions' `EXTERNAL NAME`s.
+    pub fn install_library(&self, library: &str, handler: Arc<dyn AccessMethod>) {
+        self.inner
+            .libraries
+            .lock()
+            .insert(library.to_string(), handler);
+    }
+
+    /// Registers an opaque type (Section 4, step 1).
+    pub fn install_opaque_type(&self, ty: OpaqueType) {
+        self.inner
+            .opaques
+            .lock()
+            .insert(ty.name.to_ascii_lowercase(), ty);
+    }
+
+    /// True when a UDR of this name is registered.
+    pub fn function_exists(&self, name: &str) -> bool {
+        self.inner.udrs.lock().exists(name)
+    }
+
+    /// Resolves a registered routine by name and argument types — the
+    /// dynamic-dispatch path an extensible operator class pays for.
+    pub fn resolve_routine(
+        &self,
+        name: &str,
+        arg_types: &[Option<DataType>],
+    ) -> Result<crate::udr::Routine> {
+        Ok(self.inner.udrs.lock().resolve(name, arg_types)?.clone())
+    }
+
+    /// The server trace sink.
+    pub fn trace(&self) -> TraceSink {
+        self.inner.trace.clone()
+    }
+
+    /// The server clock.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.inner.clock)
+    }
+
+    /// The shared I/O statistics of the underlying sbspace.
+    pub fn io_stats(&self) -> Arc<grt_sbspace::IoStats> {
+        self.inner.space.stats()
+    }
+
+    /// The underlying sbspace (test and benchmark hook).
+    pub fn space(&self) -> Sbspace {
+        self.inner.space.clone()
+    }
+
+    /// Dumps a system catalog.
+    pub fn catalog_dump(&self, name: &str) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+        if name.eq_ignore_ascii_case("sysprocedures") {
+            let udrs = self.inner.udrs.lock();
+            let rows = udrs
+                .all()
+                .iter()
+                .map(|r| {
+                    vec![
+                        Value::Text(r.name.clone()),
+                        Value::Text(
+                            r.arg_types
+                                .iter()
+                                .map(|t| t.to_string())
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        ),
+                        Value::Text(r.ret_type.to_string()),
+                        Value::Text(r.external_name.clone()),
+                    ]
+                })
+                .collect();
+            return Ok((
+                vec![
+                    "name".into(),
+                    "args".into(),
+                    "returns".into(),
+                    "external".into(),
+                ],
+                rows,
+            ));
+        }
+        if name.eq_ignore_ascii_case("sysopclasses") {
+            let ocs = self.inner.opclasses.lock();
+            let rows = ocs
+                .all()
+                .iter()
+                .map(|c| {
+                    vec![
+                        Value::Text(c.name.clone()),
+                        Value::Text(c.access_method.clone()),
+                        Value::Text(c.strategies.join(", ")),
+                        Value::Text(c.supports.join(", ")),
+                    ]
+                })
+                .collect();
+            return Ok((
+                vec![
+                    "opclass".into(),
+                    "am".into(),
+                    "strategies".into(),
+                    "support".into(),
+                ],
+                rows,
+            ));
+        }
+        self.inner.catalog.lock().dump(name)
+    }
+}
+
+impl Connection {
+    /// The session behind this connection.
+    pub fn session(&self) -> Arc<Session> {
+        Arc::clone(&self.session)
+    }
+
+    /// The database handle.
+    pub fn database(&self) -> Database {
+        self.db.clone()
+    }
+
+    /// Executes one SQL statement.
+    pub fn exec(&self, sql_text: &str) -> Result<QueryResult> {
+        let stmt = sql::parse(sql_text)?;
+        let out = self.execute(stmt);
+        self.session.clear_duration(MemDuration::PerStatement);
+        out
+    }
+
+    /// Executes a semicolon-separated script, returning the last result.
+    pub fn exec_script(&self, script: &str) -> Result<QueryResult> {
+        let mut last = QueryResult::default();
+        for stmt in sql::parse_script(script)? {
+            last = self.execute(stmt)?;
+            self.session.clear_duration(MemDuration::PerStatement);
+        }
+        Ok(last)
+    }
+
+    fn execute(&self, stmt: Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Begin => {
+                let mut guard = self.txn.lock();
+                if guard.is_some() {
+                    return Err(IdsError::Semantic("transaction already open".into()));
+                }
+                let txn = self.begin_txn();
+                *guard = Some(txn);
+                Ok(msg("transaction started"))
+            }
+            Statement::Commit => {
+                let txn = self
+                    .txn
+                    .lock()
+                    .take()
+                    .ok_or_else(|| IdsError::Semantic("no open transaction".into()))?;
+                txn.commit()?;
+                Ok(msg("committed"))
+            }
+            Statement::Rollback => {
+                let txn = self
+                    .txn
+                    .lock()
+                    .take()
+                    .ok_or_else(|| IdsError::Semantic("no open transaction".into()))?;
+                txn.abort()?;
+                Ok(msg("rolled back"))
+            }
+            Statement::SetIsolation { level } => {
+                let iso = match level.to_ascii_uppercase().as_str() {
+                    "REPEATABLE READ" => IsolationLevel::RepeatableRead,
+                    "COMMITTED READ" | "READ COMMITTED" => IsolationLevel::ReadCommitted,
+                    other => return Err(IdsError::Semantic(format!("unknown isolation {other}"))),
+                };
+                *self.iso.lock() = iso;
+                Ok(msg("isolation set"))
+            }
+            Statement::SetTrace { class, level } => {
+                match level {
+                    Some(l) => self.db.inner.trace.on(&class, l),
+                    None => self.db.inner.trace.off(&class),
+                }
+                Ok(msg("trace updated"))
+            }
+            other => self.with_txn(|txn| self.run(other.clone(), txn)),
+        }
+    }
+
+    fn begin_txn(&self) -> Txn {
+        let txn = self.db.inner.space.begin(*self.iso.lock());
+        self.db
+            .inner
+            .txn_sessions
+            .lock()
+            .insert(txn.id().0, Arc::clone(&self.session));
+        txn
+    }
+
+    fn with_txn<F: FnOnce(&Txn) -> Result<QueryResult>>(&self, f: F) -> Result<QueryResult> {
+        let guard = self.txn.lock();
+        if let Some(txn) = guard.as_ref() {
+            return f(txn);
+        }
+        drop(guard);
+        let txn = self.begin_txn();
+        match f(&txn) {
+            Ok(v) => {
+                txn.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                let _ = txn.abort();
+                Err(e)
+            }
+        }
+    }
+
+    fn ctx<'a>(&'a self, txn: &'a Txn) -> AmContext<'a> {
+        AmContext {
+            space: self.db.inner.space.clone(),
+            txn,
+            clock: Arc::clone(&self.db.inner.clock),
+            session: Arc::clone(&self.session),
+            fragments: Arc::clone(&self.db.inner.catalog.lock().fragments),
+            trace: self.db.inner.trace.clone(),
+        }
+    }
+
+    fn run(&self, stmt: Statement, txn: &Txn) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateTable { name, columns } => self.create_table(txn, name, columns),
+            Statement::DropTable { name } => self.drop_table(txn, name),
+            Statement::CreateFunction {
+                name,
+                args,
+                returns,
+                external,
+            } => {
+                let arg_types = args.iter().map(|a| DataType::parse(a)).collect();
+                self.db.inner.udrs.lock().create_function(
+                    &name,
+                    arg_types,
+                    DataType::parse(&returns),
+                    &external,
+                )?;
+                Ok(msg(&format!("function {name} created")))
+            }
+            Statement::DropFunction { name } => {
+                self.db.inner.udrs.lock().drop_function(&name)?;
+                Ok(msg(&format!("function {name} dropped")))
+            }
+            Statement::CreateAccessMethod { name, bindings } => {
+                self.create_access_method(name, bindings)
+            }
+            Statement::CreateOpClass {
+                name,
+                access_method,
+                strategies,
+                supports,
+            } => {
+                self.db.inner.catalog.lock().am(&access_method)?;
+                {
+                    let udrs = self.db.inner.udrs.lock();
+                    for f in strategies.iter().chain(&supports) {
+                        if !udrs.exists(f) {
+                            return Err(IdsError::NotFound(format!(
+                                "function {f} (declare it before the opclass)"
+                            )));
+                        }
+                    }
+                }
+                self.db.inner.opclasses.lock().create(OpClass {
+                    name: name.clone(),
+                    access_method,
+                    strategies,
+                    supports,
+                })?;
+                Ok(msg(&format!("opclass {name} created")))
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                using,
+                space,
+            } => self.create_index(txn, name, table, columns, using, space),
+            Statement::DropIndex { name } => self.drop_index(txn, name),
+            Statement::DropAccessMethod { name } => {
+                let mut catalog = self.db.inner.catalog.lock();
+                if catalog
+                    .indices
+                    .values()
+                    .any(|i| i.access_method.eq_ignore_ascii_case(&name))
+                {
+                    return Err(IdsError::Semantic(format!(
+                        "access method {name} still has indices; drop them first"
+                    )));
+                }
+                catalog
+                    .ams
+                    .remove(&name.to_ascii_lowercase())
+                    .ok_or_else(|| IdsError::NotFound(format!("access method {name}")))?;
+                Ok(msg(&format!("access method {name} dropped")))
+            }
+            Statement::DropOpClass { name } => {
+                let catalog = self.db.inner.catalog.lock();
+                if catalog
+                    .indices
+                    .values()
+                    .any(|i| i.opclass.eq_ignore_ascii_case(&name))
+                {
+                    return Err(IdsError::Semantic(format!(
+                        "opclass {name} is in use by an index"
+                    )));
+                }
+                drop(catalog);
+                self.db.inner.opclasses.lock().drop_class(&name)?;
+                Ok(msg(&format!("opclass {name} dropped")))
+            }
+            Statement::Insert { table, values } => self.insert(txn, table, values),
+            Statement::Select {
+                columns,
+                table,
+                where_clause,
+            } => self.select(txn, columns, table, where_clause),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => self.delete(txn, table, where_clause),
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => self.update(txn, table, sets, where_clause),
+            Statement::CheckIndex { name } => {
+                let (am, desc) = self.index_am(&name)?;
+                let ctx = self.ctx(txn);
+                self.trace_purpose(&am, "am_check");
+                am.handler.am_check(&desc, &ctx)?;
+                Ok(msg(&format!("index {name} is consistent")))
+            }
+            Statement::Load { path, table } => self.load(txn, path, table),
+            Statement::AlterFunction {
+                name,
+                negator,
+                commutator,
+            } => {
+                let mut udrs = self.db.inner.udrs.lock();
+                if let Some(n) = negator {
+                    udrs.set_negator(&name, &n)?;
+                }
+                if let Some(c) = commutator {
+                    udrs.set_commutator(&name, &c)?;
+                }
+                Ok(msg(&format!("function {name} altered")))
+            }
+            Statement::UpdateStatistics { index } => {
+                let (am, desc) = self.index_am(&index)?;
+                let ctx = self.ctx(txn);
+                self.trace_purpose(&am, "am_stats");
+                let report = am.handler.am_stats(&desc, &ctx)?;
+                Ok(msg(&report))
+            }
+            other => Err(IdsError::Semantic(format!("unhandled statement {other:?}"))),
+        }
+    }
+
+    // ---- DDL -----------------------------------------------------------
+
+    fn create_table(
+        &self,
+        txn: &Txn,
+        name: String,
+        columns: Vec<(String, String)>,
+    ) -> Result<QueryResult> {
+        let key = name.to_ascii_lowercase();
+        {
+            let catalog = self.db.inner.catalog.lock();
+            if catalog.tables.contains_key(&key) {
+                return Err(IdsError::Duplicate(format!("table {name}")));
+            }
+        }
+        let mut cols = Vec::with_capacity(columns.len());
+        for (cname, tname) in columns {
+            let ty = DataType::parse(&tname);
+            if let DataType::Opaque(t) = &ty {
+                if !t.eq_ignore_ascii_case("pointer")
+                    && !self
+                        .db
+                        .inner
+                        .opaques
+                        .lock()
+                        .contains_key(&t.to_ascii_lowercase())
+                {
+                    return Err(IdsError::NotFound(format!("type {t}")));
+                }
+            }
+            cols.push((cname, ty));
+        }
+        let lo = self.db.inner.space.create_lo(txn)?;
+        let mut h = self.db.inner.space.open_lo(txn, lo, LockMode::Exclusive)?;
+        heap::init(&mut h)?;
+        h.close()?;
+        self.db.inner.catalog.lock().tables.insert(
+            key,
+            TableMeta {
+                name: name.clone(),
+                columns: cols,
+                lo,
+            },
+        );
+        Ok(msg(&format!("table {name} created")))
+    }
+
+    fn drop_table(&self, txn: &Txn, name: String) -> Result<QueryResult> {
+        let (meta, indexes) = {
+            let catalog = self.db.inner.catalog.lock();
+            let meta = catalog.table(&name)?.clone();
+            let indexes: Vec<IndexMeta> = catalog.indices_of(&name).into_iter().cloned().collect();
+            (meta, indexes)
+        };
+        for ix in indexes {
+            self.drop_index(txn, ix.name)?;
+        }
+        self.db.inner.space.drop_lo(txn, meta.lo)?;
+        self.db
+            .inner
+            .catalog
+            .lock()
+            .tables
+            .remove(&name.to_ascii_lowercase());
+        Ok(msg(&format!("table {name} dropped")))
+    }
+
+    fn create_access_method(
+        &self,
+        name: String,
+        bindings: Vec<(String, String)>,
+    ) -> Result<QueryResult> {
+        const PURPOSE_SLOTS: &[&str] = &[
+            "am_create",
+            "am_drop",
+            "am_open",
+            "am_close",
+            "am_beginscan",
+            "am_rescan",
+            "am_getnext",
+            "am_endscan",
+            "am_insert",
+            "am_delete",
+            "am_update",
+            "am_scancost",
+            "am_stats",
+            "am_check",
+        ];
+        let mut purpose = Vec::new();
+        let mut sptype = "S".to_string();
+        let mut library: Option<String> = None;
+        {
+            let udrs = self.db.inner.udrs.lock();
+            for (slot, value) in &bindings {
+                let slot_l = slot.to_ascii_lowercase();
+                if slot_l == "am_sptype" {
+                    sptype = value.clone();
+                    continue;
+                }
+                if !PURPOSE_SLOTS.contains(&slot_l.as_str()) {
+                    return Err(IdsError::Semantic(format!("unknown parameter {slot}")));
+                }
+                // Purpose functions may be registered with any arity;
+                // resolve by name alone.
+                let routine = udrs
+                    .all()
+                    .into_iter()
+                    .find(|r| r.name.eq_ignore_ascii_case(value))
+                    .ok_or_else(|| IdsError::NotFound(format!("function {value}")))?;
+                // The library is the file part of the EXTERNAL NAME:
+                // "usr/functions/grtree.bld(grt_open)" -> "grtree.bld".
+                let lib = routine
+                    .external_name
+                    .split('(')
+                    .next()
+                    .unwrap_or("")
+                    .rsplit('/')
+                    .next()
+                    .unwrap_or("")
+                    .to_string();
+                match &library {
+                    None => library = Some(lib),
+                    Some(prev) if *prev == lib => {}
+                    Some(prev) => {
+                        return Err(IdsError::Semantic(format!(
+                            "purpose functions span libraries {prev} and {lib}"
+                        )))
+                    }
+                }
+                purpose.push((slot_l, value.clone()));
+            }
+        }
+        if !purpose.iter().any(|(s, _)| s == "am_getnext") {
+            return Err(IdsError::Semantic(
+                "am_getnext is mandatory for a secondary access method".into(),
+            ));
+        }
+        let library =
+            library.ok_or_else(|| IdsError::Semantic("no purpose functions given".into()))?;
+        let handler = self
+            .db
+            .inner
+            .libraries
+            .lock()
+            .get(&library)
+            .cloned()
+            .ok_or_else(|| IdsError::NotFound(format!("shared library {library}")))?;
+        let mut catalog = self.db.inner.catalog.lock();
+        let key = name.to_ascii_lowercase();
+        if catalog.ams.contains_key(&key) {
+            return Err(IdsError::Duplicate(format!("access method {name}")));
+        }
+        catalog.ams.insert(
+            key,
+            AmEntry {
+                name: name.clone(),
+                purpose,
+                sptype,
+                handler,
+            },
+        );
+        Ok(msg(&format!("secondary access method {name} created")))
+    }
+
+    fn create_index(
+        &self,
+        txn: &Txn,
+        name: String,
+        table: String,
+        columns: Vec<(String, Option<String>)>,
+        using: String,
+        space: Option<String>,
+    ) -> Result<QueryResult> {
+        let (table_meta, am, opclass_name) = {
+            let catalog = self.db.inner.catalog.lock();
+            if catalog.indices.contains_key(&name.to_ascii_lowercase()) {
+                return Err(IdsError::Duplicate(format!("index {name}")));
+            }
+            let table_meta = catalog.table(&table)?.clone();
+            let am = catalog.am(&using)?.clone();
+            let opclasses = self.db.inner.opclasses.lock();
+            let opclass_name = match columns.first().and_then(|(_, oc)| oc.clone()) {
+                Some(oc) => {
+                    let class = opclasses.get(&oc)?;
+                    if !class.access_method.eq_ignore_ascii_case(&using) {
+                        return Err(IdsError::Semantic(format!(
+                            "opclass {oc} belongs to {}, not {using}",
+                            class.access_method
+                        )));
+                    }
+                    oc
+                }
+                None => opclasses
+                    .default_for(&using)
+                    .ok_or_else(|| {
+                        IdsError::Semantic(format!("access method {using} has no default opclass"))
+                    })?
+                    .name
+                    .clone(),
+            };
+            (table_meta, am, opclass_name)
+        };
+        let mut col_names = Vec::new();
+        let mut col_types = Vec::new();
+        for (c, _) in &columns {
+            let idx = table_meta.column_index(c)?;
+            col_names.push(table_meta.columns[idx].0.clone());
+            col_types.push(table_meta.columns[idx].1.clone());
+        }
+        let mut params: HashMap<String, String> = space
+            .iter()
+            .map(|s| ("space".to_string(), s.clone()))
+            .collect();
+        params.insert("table_lo".into(), table_meta.lo.0.to_string());
+        params.insert(
+            "column_pos".into(),
+            table_meta.column_index(&columns[0].0)?.to_string(),
+        );
+        let desc = IndexDescriptor {
+            index_name: name.clone(),
+            table: table_meta.name.clone(),
+            columns: col_names.clone(),
+            column_types: col_types,
+            opclass: opclass_name.clone(),
+            params,
+            user_data: Mutex::new(None),
+        };
+        let ctx = self.ctx(txn);
+        self.trace_purpose(&am, "am_create");
+        am.handler.am_create(&desc, &ctx)?;
+        // Existing rows are indexed on creation.
+        let col_indexes: Vec<usize> = col_names
+            .iter()
+            .map(|c| table_meta.column_index(c).expect("validated"))
+            .collect();
+        {
+            let h = self.open_heap(txn, &table_meta, false)?;
+            let mut scan = heap::HeapScan::new();
+            self.trace_purpose(&am, "am_open");
+            am.handler.am_open(&desc, &ctx)?;
+            while let Some((rid, row)) = scan.next(&h)? {
+                let keys: Vec<Value> = col_indexes.iter().map(|&i| row[i].clone()).collect();
+                self.trace_purpose(&am, "am_insert");
+                am.handler.am_insert(&desc, &keys, rid, &ctx)?;
+            }
+            self.trace_purpose(&am, "am_close");
+            am.handler.am_close(&desc, &ctx)?;
+        }
+        self.db.inner.catalog.lock().indices.insert(
+            name.to_ascii_lowercase(),
+            IndexMeta {
+                name: name.clone(),
+                table: table_meta.name.clone(),
+                columns: col_names,
+                access_method: am.name.clone(),
+                opclass: opclass_name,
+                space: space.unwrap_or_else(|| "sbspace".into()),
+            },
+        );
+        Ok(msg(&format!("index {name} created")))
+    }
+
+    fn drop_index(&self, txn: &Txn, name: String) -> Result<QueryResult> {
+        let (am, desc) = self.index_am(&name)?;
+        let ctx = self.ctx(txn);
+        self.trace_purpose(&am, "am_drop");
+        am.handler.am_drop(&desc, &ctx)?;
+        self.db
+            .inner
+            .catalog
+            .lock()
+            .indices
+            .remove(&name.to_ascii_lowercase());
+        Ok(msg(&format!("index {name} dropped")))
+    }
+
+    /// Builds the (handler, descriptor) pair for a named index.
+    fn index_am(&self, index: &str) -> Result<(AmEntry, IndexDescriptor)> {
+        let catalog = self.db.inner.catalog.lock();
+        let ix = catalog.index(index)?.clone();
+        let table = catalog.table(&ix.table)?.clone();
+        let am = catalog.am(&ix.access_method)?.clone();
+        drop(catalog);
+        let col_types = ix
+            .columns
+            .iter()
+            .map(|c| table.column_type(c).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        let mut params = HashMap::new();
+        params.insert("table_lo".to_string(), table.lo.0.to_string());
+        params.insert(
+            "column_pos".to_string(),
+            table.column_index(&ix.columns[0])?.to_string(),
+        );
+        Ok((
+            am,
+            IndexDescriptor {
+                index_name: ix.name.clone(),
+                table: ix.table.clone(),
+                columns: ix.columns.clone(),
+                column_types: col_types,
+                opclass: ix.opclass.clone(),
+                params,
+                user_data: Mutex::new(None),
+            },
+        ))
+    }
+
+    fn trace_purpose(&self, am: &AmEntry, slot: &str) {
+        self.db.inner.trace.emit("AM", 1, am.purpose_name(slot));
+    }
+
+    /// The `LOAD` command: reads a pipe-separated text file and inserts
+    /// each line through the type-support *import* functions — the
+    /// paper's Section 6.3 third support-function family.
+    fn load(&self, txn: &Txn, path: String, table: String) -> Result<QueryResult> {
+        let table_meta = self.db.inner.catalog.lock().table(&table)?.clone();
+        let content = std::fs::read_to_string(&path)
+            .map_err(|e| IdsError::Semantic(format!("cannot read {path}: {e}")))?;
+        let ctx = self.ctx(txn);
+        let mut count = 0usize;
+        for (lineno, line) in content.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('|').collect();
+            if fields.len() != table_meta.columns.len() {
+                return Err(IdsError::Semantic(format!(
+                    "{path}:{}: {} fields for {} columns",
+                    lineno + 1,
+                    fields.len(),
+                    table_meta.columns.len()
+                )));
+            }
+            let mut row = Vec::with_capacity(fields.len());
+            for (field, (_, ty)) in fields.iter().zip(&table_meta.columns) {
+                let v =
+                    match ty {
+                        DataType::Integer => Value::Int(field.trim().parse().map_err(|_| {
+                            IdsError::Type(format!("bad integer {field:?} in {path}"))
+                        })?),
+                        DataType::Opaque(t) => {
+                            let opaques = self.db.inner.opaques.lock();
+                            let ot = opaques
+                                .get(&t.to_ascii_lowercase())
+                                .ok_or_else(|| IdsError::NotFound(format!("type {t}")))?;
+                            // The dedicated *import* function, which may
+                            // differ from plain text input.
+                            Value::Opaque {
+                                type_name: ot.name.clone(),
+                                bytes: (ot.import)(field.trim())?,
+                            }
+                        }
+                        _ => self.coerce(Value::Text(field.trim().to_string()), ty)?,
+                    };
+                row.push(v);
+            }
+            let rid = {
+                let mut h = self.open_heap(txn, &table_meta, true)?;
+                heap::insert(&mut h, &row)?
+            };
+            self.for_each_index(&table_meta, |am, desc, keys_of| {
+                let keys = keys_of(&row);
+                self.trace_purpose(am, "am_open");
+                am.handler.am_open(desc, &ctx)?;
+                self.trace_purpose(am, "am_insert");
+                am.handler.am_insert(desc, &keys, rid, &ctx)?;
+                self.trace_purpose(am, "am_close");
+                am.handler.am_close(desc, &ctx)
+            })?;
+            count += 1;
+        }
+        Ok(msg(&format!("{count} rows loaded")))
+    }
+
+    // ---- values and expressions ---------------------------------------
+
+    fn coerce(&self, v: Value, ty: &DataType) -> Result<Value> {
+        match (v, ty) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Text(s), DataType::Date) => Ok(Value::Date(
+                grt_temporal::Day::parse(&s).map_err(|e| IdsError::Type(e.to_string()))?,
+            )),
+            (Value::Text(s), DataType::Opaque(t)) => {
+                let opaques = self.db.inner.opaques.lock();
+                let ot = opaques
+                    .get(&t.to_ascii_lowercase())
+                    .ok_or_else(|| IdsError::NotFound(format!("type {t}")))?;
+                ot.value_from_text(&s)
+            }
+            (v, ty) => {
+                if v.data_type().as_ref() == Some(ty) {
+                    Ok(v)
+                } else {
+                    Err(IdsError::Type(format!("cannot coerce {v} to {ty}")))
+                }
+            }
+        }
+    }
+
+    fn literal_value(lit: &Lit) -> Value {
+        match lit {
+            Lit::Int(i) => Value::Int(*i),
+            Lit::Str(s) => Value::Text(s.clone()),
+            Lit::Bool(b) => Value::Bool(*b),
+            Lit::Null => Value::Null,
+        }
+    }
+
+    /// Evaluates a constant expression (no column references), coercing
+    /// to the expected type when given.
+    fn fold_expr(
+        &self,
+        expr: &Expr,
+        expected: Option<&DataType>,
+        ctx: &AmContext,
+    ) -> Result<Value> {
+        let v = match expr {
+            Expr::Literal(lit) => Self::literal_value(lit),
+            Expr::Call { name, args } => {
+                let vals: Result<Vec<Value>> =
+                    args.iter().map(|a| self.fold_expr(a, None, ctx)).collect();
+                self.call_udr(name, vals?, ctx)?
+            }
+            other => {
+                return Err(IdsError::Semantic(format!(
+                    "expected a constant expression, got {other:?}"
+                )))
+            }
+        };
+        match expected {
+            Some(ty) => self.coerce(v, ty),
+            None => Ok(v),
+        }
+    }
+
+    /// Invokes a UDR, coercing text literals to the declared argument
+    /// types when the overload is unambiguous.
+    fn call_udr(&self, name: &str, args: Vec<Value>, ctx: &AmContext) -> Result<Value> {
+        let routine = {
+            let udrs = self.db.inner.udrs.lock();
+            let types: Vec<Option<DataType>> = args.iter().map(|v| v.data_type()).collect();
+            match udrs.resolve(name, &types) {
+                Ok(r) => r.clone(),
+                Err(first_err) => {
+                    // Retry with text arguments treated as wildcards
+                    // (they may coerce to opaque/date parameters).
+                    let relaxed: Vec<Option<DataType>> = args
+                        .iter()
+                        .map(|v| match v.data_type() {
+                            Some(DataType::Text) => None,
+                            other => other,
+                        })
+                        .collect();
+                    udrs.resolve(name, &relaxed).map_err(|_| first_err)?.clone()
+                }
+            }
+        };
+        if routine.arg_types.len() != args.len() {
+            return Err(IdsError::Type(format!(
+                "{name} expects {} arguments",
+                routine.arg_types.len()
+            )));
+        }
+        let mut coerced = Vec::with_capacity(args.len());
+        for (v, ty) in args.into_iter().zip(&routine.arg_types) {
+            coerced.push(self.coerce(v, ty)?);
+        }
+        (routine.imp)(&coerced, ctx)
+    }
+
+    /// Evaluates an expression against a row.
+    fn eval_expr(
+        &self,
+        expr: &Expr,
+        row: &[Value],
+        table: &TableMeta,
+        ctx: &AmContext,
+    ) -> Result<Value> {
+        match expr {
+            Expr::Literal(lit) => Ok(Self::literal_value(lit)),
+            Expr::Column(c) => Ok(row[table.column_index(c)?].clone()),
+            Expr::Call { name, args } => {
+                let vals: Result<Vec<Value>> = args
+                    .iter()
+                    .map(|a| self.eval_expr(a, row, table, ctx))
+                    .collect();
+                self.call_udr(name, vals?, ctx)
+            }
+            Expr::Cmp { op, left, right } => {
+                let l = self.eval_expr(left, row, table, ctx)?;
+                let r = self.eval_expr(right, row, table, ctx)?;
+                compare(op, &l, &r, self)
+            }
+            Expr::And(parts) => {
+                for p in parts {
+                    if !self.eval_expr(p, row, table, ctx)?.as_bool()? {
+                        return Ok(Value::Bool(false));
+                    }
+                }
+                Ok(Value::Bool(true))
+            }
+            Expr::Or(parts) => {
+                for p in parts {
+                    if self.eval_expr(p, row, table, ctx)?.as_bool()? {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                Ok(Value::Bool(false))
+            }
+            Expr::Not(inner) => Ok(Value::Bool(
+                !self.eval_expr(inner, row, table, ctx)?.as_bool()?,
+            )),
+        }
+    }
+
+    fn open_heap(&self, txn: &Txn, table: &TableMeta, write: bool) -> Result<LoHandle> {
+        let mode = if write {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        };
+        Ok(self.db.inner.space.open_lo(txn, table.lo, mode)?)
+    }
+
+    /// Renders a value through its type support functions.
+    pub fn render_value(&self, v: &Value) -> String {
+        if let Value::Opaque { type_name, .. } = v {
+            let opaques = self.db.inner.opaques.lock();
+            if let Some(ot) = opaques.get(&type_name.to_ascii_lowercase()) {
+                if let Ok(text) = ot.value_to_text(v) {
+                    return text;
+                }
+            }
+        }
+        v.to_string()
+    }
+
+    // ---- DML -----------------------------------------------------------
+
+    fn insert(&self, txn: &Txn, table: String, values: Vec<Expr>) -> Result<QueryResult> {
+        let table_meta = self.db.inner.catalog.lock().table(&table)?.clone();
+        if values.len() != table_meta.columns.len() {
+            return Err(IdsError::Semantic(format!(
+                "table {table} has {} columns, {} values given",
+                table_meta.columns.len(),
+                values.len()
+            )));
+        }
+        let ctx = self.ctx(txn);
+        let mut row = Vec::with_capacity(values.len());
+        for (expr, (_, ty)) in values.iter().zip(&table_meta.columns) {
+            row.push(self.fold_expr(expr, Some(ty), &ctx)?);
+        }
+        let rid = {
+            let mut h = self.open_heap(txn, &table_meta, true)?;
+            heap::insert(&mut h, &row)?
+        };
+        // Maintain every index: the Figure 6(a) call sequence per index.
+        self.for_each_index(&table_meta, |am, desc, keys_of| {
+            let keys = keys_of(&row);
+            self.trace_purpose(am, "am_open");
+            am.handler.am_open(desc, &ctx)?;
+            self.trace_purpose(am, "am_insert");
+            am.handler.am_insert(desc, &keys, rid, &ctx)?;
+            self.trace_purpose(am, "am_close");
+            am.handler.am_close(desc, &ctx)
+        })?;
+        Ok(msg("1 row inserted"))
+    }
+
+    /// Runs `f` for every index of `table`, passing a key extractor.
+    fn for_each_index(
+        &self,
+        table: &TableMeta,
+        mut f: impl FnMut(&AmEntry, &IndexDescriptor, &dyn Fn(&[Value]) -> Vec<Value>) -> Result<()>,
+    ) -> Result<()> {
+        let indexes: Vec<IndexMeta> = self
+            .db
+            .inner
+            .catalog
+            .lock()
+            .indices_of(&table.name)
+            .into_iter()
+            .cloned()
+            .collect();
+        for ix in indexes {
+            let (am, desc) = self.index_am(&ix.name)?;
+            let cols: Vec<usize> = ix
+                .columns
+                .iter()
+                .map(|c| table.column_index(c))
+                .collect::<Result<Vec<_>>>()?;
+            let extract = move |row: &[Value]| -> Vec<Value> {
+                cols.iter().map(|&i| row[i].clone()).collect()
+            };
+            f(&am, &desc, &extract)?;
+        }
+        Ok(())
+    }
+
+    /// Bind-time validation: every function named in the expression
+    /// must resolve to a registered UDR, and every column must exist.
+    fn validate_expr(&self, expr: &Expr, table: &TableMeta) -> Result<()> {
+        match expr {
+            Expr::Literal(_) => Ok(()),
+            Expr::Column(c) => table.column_index(c).map(|_| ()),
+            Expr::Call { name, args } => {
+                if !self.db.inner.udrs.lock().exists(name) {
+                    return Err(IdsError::NotFound(format!("function {name}")));
+                }
+                args.iter().try_for_each(|a| self.validate_expr(a, table))
+            }
+            Expr::Cmp { left, right, .. } => {
+                self.validate_expr(left, table)?;
+                self.validate_expr(right, table)
+            }
+            Expr::And(parts) | Expr::Or(parts) => {
+                parts.iter().try_for_each(|p| self.validate_expr(p, table))
+            }
+            Expr::Not(inner) => self.validate_expr(inner, table),
+        }
+    }
+
+    /// Plans a WHERE clause for a table.
+    fn plan(&self, txn: &Txn, table: &TableMeta, where_clause: Option<&Expr>) -> Result<Plan> {
+        if let Some(w) = where_clause {
+            self.validate_expr(w, table)?;
+        }
+        let ctx = self.ctx(txn);
+        let fold = |e: &Expr, ty: Option<&DataType>| self.fold_expr(e, ty, &ctx).ok();
+        let cands: Vec<Candidate> = {
+            let catalog = self.db.inner.catalog.lock();
+            let opclasses = self.db.inner.opclasses.lock();
+            planner::candidates(&catalog, &opclasses, table, where_clause, &fold)
+        };
+        if cands.is_empty() {
+            return Ok(Plan::SeqScan {
+                filter: where_clause.cloned(),
+            });
+        }
+        let seq_cost = {
+            let h = self.open_heap(txn, table, false)?;
+            heap::page_count(&h) as f64 + 1.0
+        };
+        let mut costs = HashMap::new();
+        for c in &cands {
+            let (am, desc) = self.index_am(&c.index)?;
+            self.trace_purpose(&am, "am_scancost");
+            let cost = am
+                .handler
+                .am_scancost(&desc, &c.qual, &ctx)
+                .unwrap_or(f64::MAX);
+            costs.insert(c.index.clone(), cost);
+        }
+        Ok(planner::choose(
+            cands,
+            |c| costs[&c.index],
+            seq_cost,
+            where_clause,
+        ))
+    }
+
+    /// Runs a scan, invoking `sink` for each qualifying `(rowid, row)`.
+    /// Returns the number of rows visited.
+    fn scan(
+        &self,
+        txn: &Txn,
+        table: &TableMeta,
+        plan: &Plan,
+        mut sink: impl FnMut(RowId, Vec<Value>) -> Result<bool>,
+    ) -> Result<()> {
+        let ctx = self.ctx(txn);
+        match plan {
+            Plan::SeqScan { filter } => {
+                let h = self.open_heap(txn, table, false)?;
+                let mut scan = heap::HeapScan::new();
+                while let Some((rid, row)) = scan.next(&h)? {
+                    let keep = match filter {
+                        Some(f) => self.eval_expr(f, &row, table, &ctx)?.as_bool()?,
+                        None => true,
+                    };
+                    if keep && !sink(rid, row)? {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+            Plan::IndexScan {
+                index,
+                qual,
+                residual,
+            } => {
+                let (am, desc) = self.index_am(index)?;
+                let h = self.open_heap(txn, table, false)?;
+                // The Figure 6(b) call sequence.
+                self.trace_purpose(&am, "am_open");
+                am.handler.am_open(&desc, &ctx)?;
+                let mut scan = ScanDescriptor::new(qual.clone());
+                self.trace_purpose(&am, "am_beginscan");
+                am.handler.am_beginscan(&desc, &mut scan, &ctx)?;
+                loop {
+                    self.trace_purpose(&am, "am_getnext");
+                    let Some((rid, _keys)) = am.handler.am_getnext(&desc, &mut scan, &ctx)? else {
+                        break;
+                    };
+                    // Fetch the base row; it may be gone under weaker
+                    // isolation.
+                    let Some(row) = heap::fetch(&h, rid)? else {
+                        continue;
+                    };
+                    let keep = match residual {
+                        Some(f) => self.eval_expr(f, &row, table, &ctx)?.as_bool()?,
+                        None => true,
+                    };
+                    if keep && !sink(rid, row)? {
+                        break;
+                    }
+                }
+                self.trace_purpose(&am, "am_endscan");
+                am.handler.am_endscan(&desc, &mut scan, &ctx)?;
+                self.trace_purpose(&am, "am_close");
+                am.handler.am_close(&desc, &ctx)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn select(
+        &self,
+        txn: &Txn,
+        columns: SelectCols,
+        table: String,
+        where_clause: Option<Expr>,
+    ) -> Result<QueryResult> {
+        // System catalogs are queryable like tables (projection only).
+        if table.to_ascii_lowercase().starts_with("sys") {
+            if where_clause.is_some() {
+                return Err(IdsError::Semantic(
+                    "system catalogs support projection only".into(),
+                ));
+            }
+            let (headers, rows) = self.db.catalog_dump(&table)?;
+            let proj: Vec<usize> = match &columns {
+                SelectCols::Star => (0..headers.len()).collect(),
+                SelectCols::Named(cols) => cols
+                    .iter()
+                    .map(|c| {
+                        headers
+                            .iter()
+                            .position(|h| h.eq_ignore_ascii_case(c))
+                            .ok_or_else(|| IdsError::NotFound(format!("column {c} of {table}")))
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            };
+            let rows: Vec<Vec<Value>> = rows
+                .into_iter()
+                .map(|r| proj.iter().map(|&i| r[i].clone()).collect())
+                .collect();
+            let rendered = rows
+                .iter()
+                .map(|r| r.iter().map(|v| self.render_value(v)).collect())
+                .collect();
+            return Ok(QueryResult {
+                columns: proj.iter().map(|&i| headers[i].clone()).collect(),
+                rows,
+                rendered,
+                message: String::new(),
+            });
+        }
+        let table_meta = self.db.inner.catalog.lock().table(&table)?.clone();
+        let (headers, proj): (Vec<String>, Vec<usize>) = match &columns {
+            SelectCols::Star => (
+                table_meta.columns.iter().map(|(c, _)| c.clone()).collect(),
+                (0..table_meta.columns.len()).collect(),
+            ),
+            SelectCols::Named(cols) => {
+                let mut idx = Vec::new();
+                for c in cols {
+                    idx.push(table_meta.column_index(c)?);
+                }
+                (cols.clone(), idx)
+            }
+        };
+        let plan = self.plan(txn, &table_meta, where_clause.as_ref())?;
+        let mut rows = Vec::new();
+        self.scan(txn, &table_meta, &plan, |_rid, row| {
+            rows.push(proj.iter().map(|&i| row[i].clone()).collect::<Vec<_>>());
+            Ok(true)
+        })?;
+        let rendered = rows
+            .iter()
+            .map(|r| r.iter().map(|v| self.render_value(v)).collect())
+            .collect();
+        Ok(QueryResult {
+            columns: headers,
+            rows,
+            rendered,
+            message: String::new(),
+        })
+    }
+
+    fn delete(&self, txn: &Txn, table: String, where_clause: Option<Expr>) -> Result<QueryResult> {
+        let table_meta = self.db.inner.catalog.lock().table(&table)?.clone();
+        let plan = self.plan(txn, &table_meta, where_clause.as_ref())?;
+        let ctx = self.ctx(txn);
+        let count = match &plan {
+            // The paper's Section 5.5 flow: qualifying entries are
+            // retrieved with am_getnext and deleted one by one through
+            // the SAME index descriptor, so the DataBlade's open cursor
+            // and its restart-on-condense logic are exercised.
+            Plan::IndexScan {
+                index,
+                qual,
+                residual,
+            } => {
+                let (am, desc) = self.index_am(index)?;
+                let scanned_cols: Vec<usize> = desc
+                    .columns
+                    .iter()
+                    .map(|c| table_meta.column_index(c))
+                    .collect::<Result<Vec<_>>>()?;
+                let mut h = self.open_heap(txn, &table_meta, true)?;
+                self.trace_purpose(&am, "am_open");
+                am.handler.am_open(&desc, &ctx)?;
+                let mut scan = ScanDescriptor::new(qual.clone());
+                self.trace_purpose(&am, "am_beginscan");
+                am.handler.am_beginscan(&desc, &mut scan, &ctx)?;
+                let mut count = 0usize;
+                loop {
+                    self.trace_purpose(&am, "am_getnext");
+                    let Some((rid, _keys)) = am.handler.am_getnext(&desc, &mut scan, &ctx)? else {
+                        break;
+                    };
+                    let Some(row) = heap::fetch(&h, rid)? else {
+                        continue;
+                    };
+                    let keep = match residual {
+                        Some(f) => self.eval_expr(f, &row, &table_meta, &ctx)?.as_bool()?,
+                        None => true,
+                    };
+                    if !keep {
+                        continue;
+                    }
+                    heap::delete(&mut h, rid)?;
+                    // The scanned index is maintained through the open
+                    // descriptor (grt_delete resets the cursor if the
+                    // tree condensed)...
+                    let keys: Vec<Value> = scanned_cols.iter().map(|&i| row[i].clone()).collect();
+                    self.trace_purpose(&am, "am_delete");
+                    am.handler.am_delete(&desc, &keys, rid, &ctx)?;
+                    // ...other indexes of the table through their own.
+                    self.for_each_index(&table_meta, |other_am, other_desc, keys_of| {
+                        if other_desc.index_name == desc.index_name {
+                            return Ok(());
+                        }
+                        let keys = keys_of(&row);
+                        self.trace_purpose(other_am, "am_open");
+                        other_am.handler.am_open(other_desc, &ctx)?;
+                        self.trace_purpose(other_am, "am_delete");
+                        other_am.handler.am_delete(other_desc, &keys, rid, &ctx)?;
+                        self.trace_purpose(other_am, "am_close");
+                        other_am.handler.am_close(other_desc, &ctx)
+                    })?;
+                    count += 1;
+                }
+                self.trace_purpose(&am, "am_endscan");
+                am.handler.am_endscan(&desc, &mut scan, &ctx)?;
+                self.trace_purpose(&am, "am_close");
+                am.handler.am_close(&desc, &ctx)?;
+                count
+            }
+            Plan::SeqScan { .. } => {
+                let mut victims: Vec<(RowId, Vec<Value>)> = Vec::new();
+                self.scan(txn, &table_meta, &plan, |rid, row| {
+                    victims.push((rid, row));
+                    Ok(true)
+                })?;
+                {
+                    let mut h = self.open_heap(txn, &table_meta, true)?;
+                    for (rid, _) in &victims {
+                        heap::delete(&mut h, *rid)?;
+                    }
+                }
+                for (rid, row) in &victims {
+                    self.for_each_index(&table_meta, |am, desc, keys_of| {
+                        let keys = keys_of(row);
+                        self.trace_purpose(am, "am_open");
+                        am.handler.am_open(desc, &ctx)?;
+                        self.trace_purpose(am, "am_delete");
+                        am.handler.am_delete(desc, &keys, *rid, &ctx)?;
+                        self.trace_purpose(am, "am_close");
+                        am.handler.am_close(desc, &ctx)
+                    })?;
+                }
+                victims.len()
+            }
+        };
+        Ok(msg(&format!("{count} rows deleted")))
+    }
+
+    fn update(
+        &self,
+        txn: &Txn,
+        table: String,
+        sets: Vec<(String, Expr)>,
+        where_clause: Option<Expr>,
+    ) -> Result<QueryResult> {
+        let table_meta = self.db.inner.catalog.lock().table(&table)?.clone();
+        let plan = self.plan(txn, &table_meta, where_clause.as_ref())?;
+        let ctx = self.ctx(txn);
+        let mut victims: Vec<(RowId, Vec<Value>)> = Vec::new();
+        self.scan(txn, &table_meta, &plan, |rid, row| {
+            victims.push((rid, row));
+            Ok(true)
+        })?;
+        let mut set_idx = Vec::with_capacity(sets.len());
+        for (col, expr) in &sets {
+            let i = table_meta.column_index(col)?;
+            set_idx.push((i, expr.clone()));
+        }
+        let count = victims.len();
+        for (rid, old_row) in victims {
+            let mut new_row = old_row.clone();
+            for (i, expr) in &set_idx {
+                let ty = &table_meta.columns[*i].1;
+                // SET accepts any expression over the old row.
+                let v = self
+                    .eval_expr(expr, &old_row, &table_meta, &ctx)
+                    .and_then(|v| self.coerce(v, ty))?;
+                new_row[*i] = v;
+            }
+            let new_rid = {
+                let mut h = self.open_heap(txn, &table_meta, true)?;
+                heap::update(&mut h, rid, &new_row)?
+            };
+            self.for_each_index(&table_meta, |am, desc, keys_of| {
+                let old_keys = keys_of(&old_row);
+                let new_keys = keys_of(&new_row);
+                self.trace_purpose(am, "am_open");
+                am.handler.am_open(desc, &ctx)?;
+                self.trace_purpose(am, "am_update");
+                am.handler
+                    .am_update(desc, &old_keys, rid, &new_keys, new_rid, &ctx)?;
+                self.trace_purpose(am, "am_close");
+                am.handler.am_close(desc, &ctx)
+            })?;
+        }
+        Ok(msg(&format!("{count} rows updated")))
+    }
+}
+
+fn compare(op: &str, l: &Value, r: &Value, conn: &Connection) -> Result<Value> {
+    use std::cmp::Ordering as O;
+    // Text compared against a date coerces to a date, mirroring the
+    // insert-side coercions.
+    let (l, r) = match (l, r) {
+        (Value::Date(_), Value::Text(_)) => (l.clone(), conn.coerce(r.clone(), &DataType::Date)?),
+        (Value::Text(_), Value::Date(_)) => (conn.coerce(l.clone(), &DataType::Date)?, r.clone()),
+        _ => (l.clone(), r.clone()),
+    };
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Bool(false));
+    }
+    let ord: Option<O> = match (&l, &r) {
+        (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+        (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+        (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+        (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+        (
+            Value::Opaque {
+                bytes: a,
+                type_name: ta,
+            },
+            Value::Opaque {
+                bytes: b,
+                type_name: tb,
+            },
+        ) if ta == tb && (op == "=" || op == "!=") => Some(a.cmp(b)),
+        _ => None,
+    };
+    let Some(ord) = ord else {
+        return Err(IdsError::Type(format!("cannot compare {l} {op} {r}")));
+    };
+    let b = match op {
+        "=" => ord == O::Equal,
+        "!=" => ord != O::Equal,
+        "<" => ord == O::Less,
+        "<=" => ord != O::Greater,
+        ">" => ord == O::Greater,
+        ">=" => ord != O::Less,
+        other => return Err(IdsError::Semantic(format!("unknown operator {other}"))),
+    };
+    Ok(Value::Bool(b))
+}
+
+fn msg(text: &str) -> QueryResult {
+    QueryResult {
+        message: text.to_string(),
+        ..Default::default()
+    }
+}
+
+impl QueryResult {
+    /// Formats a SELECT result as an aligned text table.
+    pub fn to_table(&self) -> String {
+        if self.columns.is_empty() {
+            return self.message.clone();
+        }
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
+        out.push('\n');
+        for row in &self.rendered {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}

@@ -1,0 +1,358 @@
+//! Disk-resident heap tables: slotted pages inside an sbspace large
+//! object.
+//!
+//! Keeping base tables in the same transactional store as the indices
+//! means INSERT/DELETE/UPDATE and crash recovery cover the whole
+//! database, and sequential-scan I/O is counted by the same buffer-pool
+//! statistics the index benchmarks use.
+
+use crate::value::Value;
+use crate::vii::RowId;
+use crate::{IdsError, Result};
+use grt_sbspace::page::{get_u32, get_u64, page_from_slice, put_u32, put_u64, PageBuf, PAGE_SIZE};
+use grt_sbspace::LoHandle;
+
+const HEADER_MAGIC: &[u8; 4] = b"HEPH";
+const PAGE_MAGIC: &[u8; 4] = b"HEAP";
+const PAGE_HDR: usize = 8;
+const SLOT_LEN: usize = 4;
+
+/// Maximum encoded row size that fits a page.
+pub const MAX_ROW: usize = PAGE_SIZE - PAGE_HDR - SLOT_LEN;
+
+fn rid(page: u32, slot: u16) -> RowId {
+    RowId(((page as u64) << 16) | slot as u64)
+}
+
+fn unrid(r: RowId) -> (u32, u16) {
+    ((r.0 >> 16) as u32, (r.0 & 0xffff) as u16)
+}
+
+struct PageView {
+    buf: PageBuf,
+}
+
+impl PageView {
+    fn fresh() -> PageView {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[0..4].copy_from_slice(PAGE_MAGIC);
+        // count = 0; free_off = PAGE_SIZE.
+        buf[6..8].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        PageView {
+            buf: page_from_slice(&buf),
+        }
+    }
+
+    fn parse(buf: PageBuf) -> Result<PageView> {
+        if &buf[0..4] != PAGE_MAGIC {
+            return Err(IdsError::Storage(grt_sbspace::SbError::Corrupt(
+                "bad heap page magic".into(),
+            )));
+        }
+        Ok(PageView { buf })
+    }
+
+    fn count(&self) -> u16 {
+        u16::from_le_bytes(self.buf[4..6].try_into().unwrap())
+    }
+
+    fn free_off(&self) -> u16 {
+        u16::from_le_bytes(self.buf[6..8].try_into().unwrap())
+    }
+
+    fn slot(&self, i: u16) -> (u16, u16) {
+        let off = PAGE_HDR + SLOT_LEN * i as usize;
+        (
+            u16::from_le_bytes(self.buf[off..off + 2].try_into().unwrap()),
+            u16::from_le_bytes(self.buf[off + 2..off + 4].try_into().unwrap()),
+        )
+    }
+
+    fn set_slot(&mut self, i: u16, off: u16, len: u16) {
+        let s = PAGE_HDR + SLOT_LEN * i as usize;
+        self.buf[s..s + 2].copy_from_slice(&off.to_le_bytes());
+        self.buf[s + 2..s + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    fn free_space(&self) -> usize {
+        self.free_off() as usize - (PAGE_HDR + SLOT_LEN * (self.count() as usize + 1))
+    }
+
+    fn push(&mut self, data: &[u8]) -> Option<u16> {
+        if data.len() + SLOT_LEN > self.free_space() + SLOT_LEN
+            || self.free_space() < data.len()
+            || self.count() == u16::MAX
+        {
+            return None;
+        }
+        let slot = self.count();
+        let new_off = self.free_off() as usize - data.len();
+        self.buf[new_off..new_off + data.len()].copy_from_slice(data);
+        self.set_slot(slot, new_off as u16, data.len() as u16);
+        self.buf[4..6].copy_from_slice(&(slot + 1).to_le_bytes());
+        self.buf[6..8].copy_from_slice(&(new_off as u16).to_le_bytes());
+        Some(slot)
+    }
+
+    fn get(&self, slot: u16) -> Option<&[u8]> {
+        if slot >= self.count() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        if len == 0 {
+            return None; // tombstone
+        }
+        Some(&self.buf[off as usize..(off + len) as usize])
+    }
+
+    fn kill(&mut self, slot: u16) -> bool {
+        if slot >= self.count() {
+            return false;
+        }
+        let (off, len) = self.slot(slot);
+        if len == 0 {
+            return false;
+        }
+        self.set_slot(slot, off, 0);
+        true
+    }
+}
+
+fn read_header(lo: &LoHandle) -> Result<(u64, u32)> {
+    let buf = lo.read_page(0)?;
+    if &buf[0..4] != HEADER_MAGIC {
+        return Err(IdsError::Storage(grt_sbspace::SbError::Corrupt(
+            "bad heap header magic".into(),
+        )));
+    }
+    Ok((get_u64(buf.as_slice(), 4), get_u32(buf.as_slice(), 12)))
+}
+
+fn write_header(lo: &mut LoHandle, rows: u64, hint: u32) -> Result<()> {
+    let mut buf = vec![0u8; PAGE_SIZE];
+    buf[0..4].copy_from_slice(HEADER_MAGIC);
+    put_u64(&mut buf, 4, rows);
+    put_u32(&mut buf, 12, hint);
+    lo.write_page(0, &page_from_slice(&buf))?;
+    Ok(())
+}
+
+/// Initialises an empty heap in a fresh large object.
+pub fn init(lo: &mut LoHandle) -> Result<()> {
+    if lo.page_count() != 0 {
+        return Err(IdsError::Semantic("large object not empty".into()));
+    }
+    let mut buf = vec![0u8; PAGE_SIZE];
+    buf[0..4].copy_from_slice(HEADER_MAGIC);
+    lo.append_page(&page_from_slice(&buf))?;
+    Ok(())
+}
+
+/// Number of live rows.
+pub fn row_count(lo: &LoHandle) -> Result<u64> {
+    Ok(read_header(lo)?.0)
+}
+
+/// Number of data pages (for sequential-scan costing).
+pub fn page_count(lo: &LoHandle) -> u32 {
+    lo.page_count().saturating_sub(1)
+}
+
+/// Inserts a row, returning its id.
+pub fn insert(lo: &mut LoHandle, row: &[Value]) -> Result<RowId> {
+    let data = Value::encode_row(row);
+    if data.len() > MAX_ROW {
+        return Err(IdsError::Semantic(format!(
+            "row of {} bytes exceeds page capacity",
+            data.len()
+        )));
+    }
+    let (rows, hint) = read_header(lo)?;
+    let npages = lo.page_count();
+    // Try the hint page first, then append a fresh page.
+    if hint >= 1 && hint < npages {
+        let mut page = PageView::parse(lo.read_page(hint)?)?;
+        if let Some(slot) = page.push(&data) {
+            lo.write_page(hint, &page.buf)?;
+            write_header(lo, rows + 1, hint)?;
+            return Ok(rid(hint, slot));
+        }
+    }
+    let mut page = PageView::fresh();
+    let slot = page.push(&data).expect("fresh page fits any legal row");
+    let pno = lo.append_page(&page.buf)?;
+    write_header(lo, rows + 1, pno)?;
+    Ok(rid(pno, slot))
+}
+
+/// Fetches a row by id (`None` if deleted or out of range).
+pub fn fetch(lo: &LoHandle, id: RowId) -> Result<Option<Vec<Value>>> {
+    let (pno, slot) = unrid(id);
+    if pno == 0 || pno >= lo.page_count() {
+        return Ok(None);
+    }
+    let page = PageView::parse(lo.read_page(pno)?)?;
+    match page.get(slot) {
+        Some(bytes) => Ok(Some(Value::decode_row(bytes)?)),
+        None => Ok(None),
+    }
+}
+
+/// Deletes a row by id; returns whether it existed.
+pub fn delete(lo: &mut LoHandle, id: RowId) -> Result<bool> {
+    let (pno, slot) = unrid(id);
+    if pno == 0 || pno >= lo.page_count() {
+        return Ok(false);
+    }
+    let mut page = PageView::parse(lo.read_page(pno)?)?;
+    if !page.kill(slot) {
+        return Ok(false);
+    }
+    lo.write_page(pno, &page.buf)?;
+    let (rows, hint) = read_header(lo)?;
+    write_header(lo, rows.saturating_sub(1), hint)?;
+    Ok(true)
+}
+
+/// Replaces a row: tombstones the old id and inserts the new image
+/// (rows are immutable in place, as in the paper's update-as-
+/// delete-plus-insert model).
+pub fn update(lo: &mut LoHandle, id: RowId, new_row: &[Value]) -> Result<RowId> {
+    if !delete(lo, id)? {
+        return Err(IdsError::NotFound(format!("row {id}")));
+    }
+    insert(lo, new_row)
+}
+
+/// A full-table scan cursor.
+pub struct HeapScan {
+    page: u32,
+    slot: u16,
+}
+
+impl HeapScan {
+    /// A scan from the first row.
+    pub fn new() -> HeapScan {
+        HeapScan { page: 1, slot: 0 }
+    }
+
+    /// The next live row, or `None` at the end.
+    pub fn next(&mut self, lo: &LoHandle) -> Result<Option<(RowId, Vec<Value>)>> {
+        loop {
+            if self.page >= lo.page_count() {
+                return Ok(None);
+            }
+            let page = PageView::parse(lo.read_page(self.page)?)?;
+            while self.slot < page.count() {
+                let slot = self.slot;
+                self.slot += 1;
+                if let Some(bytes) = page.get(slot) {
+                    return Ok(Some((rid(self.page, slot), Value::decode_row(bytes)?)));
+                }
+            }
+            self.page += 1;
+            self.slot = 0;
+        }
+    }
+}
+
+impl Default for HeapScan {
+    fn default() -> Self {
+        HeapScan::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grt_sbspace::{IsolationLevel, LockMode, Sbspace, SbspaceOptions};
+
+    fn fresh_lo() -> LoHandle {
+        let sb = Sbspace::mem(SbspaceOptions {
+            pool_pages: 4096,
+            ..Default::default()
+        });
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        let h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        std::mem::forget(txn);
+        std::mem::forget(sb);
+        h
+    }
+
+    fn row(i: i64) -> Vec<Value> {
+        vec![
+            Value::Int(i),
+            Value::Text(format!("row number {i} with some padding text")),
+        ]
+    }
+
+    #[test]
+    fn insert_fetch_roundtrip() {
+        let mut lo = fresh_lo();
+        init(&mut lo).unwrap();
+        let mut rids = Vec::new();
+        for i in 0..500 {
+            rids.push(insert(&mut lo, &row(i)).unwrap());
+        }
+        assert_eq!(row_count(&lo).unwrap(), 500);
+        assert!(page_count(&lo) > 1, "rows should span pages");
+        for (i, r) in rids.iter().enumerate() {
+            assert_eq!(fetch(&lo, *r).unwrap().unwrap(), row(i as i64));
+        }
+        assert_eq!(fetch(&lo, RowId(u64::MAX)).unwrap(), None);
+    }
+
+    #[test]
+    fn delete_and_scan_skip_tombstones() {
+        let mut lo = fresh_lo();
+        init(&mut lo).unwrap();
+        let rids: Vec<RowId> = (0..100)
+            .map(|i| insert(&mut lo, &row(i)).unwrap())
+            .collect();
+        for r in rids.iter().step_by(2) {
+            assert!(delete(&mut lo, *r).unwrap());
+            assert!(!delete(&mut lo, *r).unwrap(), "double delete");
+        }
+        assert_eq!(row_count(&lo).unwrap(), 50);
+        let mut scan = HeapScan::new();
+        let mut seen = Vec::new();
+        while let Some((_, r)) = scan.next(&lo).unwrap() {
+            match &r[0] {
+                Value::Int(i) => seen.push(*i),
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(seen, (0..100).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn update_moves_rows() {
+        let mut lo = fresh_lo();
+        init(&mut lo).unwrap();
+        let r = insert(&mut lo, &row(1)).unwrap();
+        let r2 = update(&mut lo, r, &row(2)).unwrap();
+        assert_ne!(r, r2);
+        assert_eq!(fetch(&lo, r).unwrap(), None);
+        assert_eq!(fetch(&lo, r2).unwrap().unwrap(), row(2));
+        assert_eq!(row_count(&lo).unwrap(), 1);
+        assert!(update(&mut lo, r, &row(3)).is_err());
+    }
+
+    #[test]
+    fn oversized_row_rejected() {
+        let mut lo = fresh_lo();
+        init(&mut lo).unwrap();
+        let big = vec![Value::Text("x".repeat(PAGE_SIZE))];
+        assert!(matches!(insert(&mut lo, &big), Err(IdsError::Semantic(_))));
+    }
+
+    #[test]
+    fn empty_heap_scans_nothing() {
+        let mut lo = fresh_lo();
+        init(&mut lo).unwrap();
+        let mut scan = HeapScan::new();
+        assert!(scan.next(&lo).unwrap().is_none());
+        assert_eq!(row_count(&lo).unwrap(), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Opaque data types and their type support functions.
+//!
+//! An opaque type is "not interpreted by Informix" (Section 5.1): the
+//! engine stores its bytes verbatim and calls the DataBlade-provided
+//! support functions to convert between representations — exactly the
+//! three support-function families of Section 6.3:
+//!
+//! 1. text input/output (SQL literals and result rendering),
+//! 2. binary send/receive (client/server wire form; here an identity
+//!    pair over the internal bytes, with a hook for validation),
+//! 3. text-file import/export (the `LOAD` command path).
+
+use crate::value::Value;
+use crate::{IdsError, Result};
+use std::sync::Arc;
+
+/// Converts a textual literal to the internal bytes.
+pub type TextInputFn = Arc<dyn Fn(&str) -> Result<Vec<u8>> + Send + Sync>;
+/// Converts internal bytes to their textual representation.
+pub type TextOutputFn = Arc<dyn Fn(&[u8]) -> Result<String> + Send + Sync>;
+/// Validates/normalises wire bytes (binary receive).
+pub type ReceiveFn = Arc<dyn Fn(&[u8]) -> Result<Vec<u8>> + Send + Sync>;
+
+/// A registered opaque type.
+#[derive(Clone)]
+pub struct OpaqueType {
+    /// The type name as used in SQL.
+    pub name: String,
+    /// Text input support function.
+    pub input: TextInputFn,
+    /// Text output support function.
+    pub output: TextOutputFn,
+    /// Binary receive support function (send is the identity).
+    pub receive: ReceiveFn,
+    /// Text-file import (defaults to `input`).
+    pub import: TextInputFn,
+    /// Text-file export (defaults to `output`).
+    pub export: TextOutputFn,
+}
+
+impl OpaqueType {
+    /// Declares an opaque type from the two mandatory support functions;
+    /// import/export default to text input/output and receive validates
+    /// through an input/output round trip.
+    pub fn new(name: &str, input: TextInputFn, output: TextOutputFn) -> OpaqueType {
+        let recv_in = Arc::clone(&input);
+        let recv_out = Arc::clone(&output);
+        OpaqueType {
+            name: name.to_string(),
+            import: Arc::clone(&input),
+            export: Arc::clone(&output),
+            receive: Arc::new(move |bytes: &[u8]| {
+                // Validate foreign bytes by rendering and re-parsing.
+                let text = recv_out(bytes)?;
+                recv_in(&text)
+            }),
+            input,
+            output,
+        }
+    }
+
+    /// Parses a SQL literal into an opaque [`Value`].
+    pub fn value_from_text(&self, text: &str) -> Result<Value> {
+        Ok(Value::Opaque {
+            type_name: self.name.clone(),
+            bytes: (self.input)(text)?,
+        })
+    }
+
+    /// Renders an opaque [`Value`] of this type.
+    pub fn value_to_text(&self, value: &Value) -> Result<String> {
+        match value {
+            Value::Opaque { type_name, bytes } if *type_name == self.name => (self.output)(bytes),
+            other => Err(IdsError::Type(format!(
+                "expected {} value, got {other}",
+                self.name
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Debug for OpaqueType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpaqueType")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_pair_type() -> OpaqueType {
+        // A toy opaque type: "a,b" <-> 8 bytes.
+        OpaqueType::new(
+            "IntPair",
+            Arc::new(|text: &str| {
+                let parts: Vec<&str> = text.split(',').collect();
+                if parts.len() != 2 {
+                    return Err(IdsError::Type("expected a,b".into()));
+                }
+                let a: i32 = parts[0]
+                    .trim()
+                    .parse()
+                    .map_err(|_| IdsError::Type("a".into()))?;
+                let b: i32 = parts[1]
+                    .trim()
+                    .parse()
+                    .map_err(|_| IdsError::Type("b".into()))?;
+                let mut out = Vec::with_capacity(8);
+                out.extend_from_slice(&a.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+                Ok(out)
+            }),
+            Arc::new(|bytes: &[u8]| {
+                if bytes.len() != 8 {
+                    return Err(IdsError::Type("bad length".into()));
+                }
+                let a = i32::from_le_bytes(bytes[0..4].try_into().unwrap());
+                let b = i32::from_le_bytes(bytes[4..8].try_into().unwrap());
+                Ok(format!("{a},{b}"))
+            }),
+        )
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = int_pair_type();
+        let v = t.value_from_text("3, 14").unwrap();
+        assert_eq!(t.value_to_text(&v).unwrap(), "3,14");
+    }
+
+    #[test]
+    fn receive_validates() {
+        let t = int_pair_type();
+        assert!((t.receive)(&[0u8; 8]).is_ok());
+        assert!((t.receive)(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let t = int_pair_type();
+        assert!(t.value_to_text(&Value::Int(1)).is_err());
+        let other = Value::Opaque {
+            type_name: "Other".into(),
+            bytes: vec![],
+        };
+        assert!(t.value_to_text(&other).is_err());
+    }
+}

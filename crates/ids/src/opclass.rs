@@ -1,0 +1,197 @@
+//! Operator classes (Section 4, step 4).
+//!
+//! An operator class binds a set of *strategy* functions (usable in
+//! WHERE clauses; their presence is what lets the optimizer consider a
+//! virtual index) and *support* functions (internal to the access
+//! method) to a secondary access method. Several operator classes can
+//! exist for one access method (the paper's Figure 7), and one can be
+//! the method's default.
+
+use crate::{IdsError, Result};
+use std::collections::HashMap;
+
+/// A registered operator class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpClass {
+    /// Class name.
+    pub name: String,
+    /// The access method it belongs to.
+    pub access_method: String,
+    /// Strategy-function names (WHERE-clause interface).
+    pub strategies: Vec<String>,
+    /// Support-function names (internal interface).
+    pub supports: Vec<String>,
+}
+
+impl OpClass {
+    /// True when `func` is declared as a strategy function.
+    pub fn has_strategy(&self, func: &str) -> bool {
+        self.strategies.iter().any(|s| s.eq_ignore_ascii_case(func))
+    }
+}
+
+/// The operator-class registry.
+#[derive(Debug, Default)]
+pub struct OpClassRegistry {
+    classes: HashMap<String, OpClass>,
+    /// Default class per access method.
+    defaults: HashMap<String, String>,
+}
+
+impl OpClassRegistry {
+    /// Registers a class (`CREATE OPCLASS`). The first class created
+    /// for an access method becomes its default unless overridden.
+    pub fn create(&mut self, class: OpClass) -> Result<()> {
+        let key = class.name.to_ascii_lowercase();
+        if self.classes.contains_key(&key) {
+            return Err(IdsError::Duplicate(format!("opclass {}", class.name)));
+        }
+        let am_key = class.access_method.to_ascii_lowercase();
+        self.defaults
+            .entry(am_key)
+            .or_insert_with(|| class.name.clone());
+        self.classes.insert(key, class);
+        Ok(())
+    }
+
+    /// Declares a class as its access method's default.
+    pub fn set_default(&mut self, class_name: &str) -> Result<()> {
+        let class = self.get(class_name)?.clone();
+        self.defaults
+            .insert(class.access_method.to_ascii_lowercase(), class.name);
+        Ok(())
+    }
+
+    /// Extends an existing class with more strategy/support functions
+    /// (the paper's "the existing operator class is extended").
+    pub fn extend(
+        &mut self,
+        class_name: &str,
+        strategies: Vec<String>,
+        supports: Vec<String>,
+    ) -> Result<()> {
+        let class = self
+            .classes
+            .get_mut(&class_name.to_ascii_lowercase())
+            .ok_or_else(|| IdsError::NotFound(format!("opclass {class_name}")))?;
+        class.strategies.extend(strategies);
+        class.supports.extend(supports);
+        Ok(())
+    }
+
+    /// Looks a class up by name.
+    pub fn get(&self, name: &str) -> Result<&OpClass> {
+        self.classes
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| IdsError::NotFound(format!("opclass {name}")))
+    }
+
+    /// The default class of an access method, if any.
+    pub fn default_for(&self, access_method: &str) -> Option<&OpClass> {
+        self.defaults
+            .get(&access_method.to_ascii_lowercase())
+            .and_then(|name| self.classes.get(&name.to_ascii_lowercase()))
+    }
+
+    /// Drops a class.
+    pub fn drop_class(&mut self, name: &str) -> Result<()> {
+        let class = self
+            .classes
+            .remove(&name.to_ascii_lowercase())
+            .ok_or_else(|| IdsError::NotFound(format!("opclass {name}")))?;
+        let am_key = class.access_method.to_ascii_lowercase();
+        if self.defaults.get(&am_key) == Some(&class.name) {
+            self.defaults.remove(&am_key);
+        }
+        Ok(())
+    }
+
+    /// All classes of one access method (the Figure 7 association).
+    pub fn classes_of(&self, access_method: &str) -> Vec<&OpClass> {
+        let mut v: Vec<&OpClass> = self
+            .classes
+            .values()
+            .filter(|c| c.access_method.eq_ignore_ascii_case(access_method))
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// All classes (catalog dump).
+    pub fn all(&self) -> Vec<&OpClass> {
+        let mut v: Vec<&OpClass> = self.classes.values().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grt_class() -> OpClass {
+        OpClass {
+            name: "grt_opclass".into(),
+            access_method: "grtree_am".into(),
+            strategies: vec![
+                "grt_overlap".into(),
+                "grt_contains".into(),
+                "grt_containedin".into(),
+                "grt_equal".into(),
+            ],
+            supports: vec![
+                "grt_union".into(),
+                "grt_size".into(),
+                "grt_intersection".into(),
+            ],
+        }
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut reg = OpClassRegistry::default();
+        reg.create(grt_class()).unwrap();
+        let c = reg.get("GRT_OPCLASS").unwrap();
+        assert!(c.has_strategy("GRT_OVERLAP"));
+        assert!(!c.has_strategy("grt_union"));
+        assert!(matches!(
+            reg.create(grt_class()),
+            Err(IdsError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn first_class_is_default_until_overridden() {
+        let mut reg = OpClassRegistry::default();
+        reg.create(grt_class()).unwrap();
+        reg.create(OpClass {
+            name: "grt_alt".into(),
+            access_method: "grtree_am".into(),
+            strategies: vec!["grt_neighbour".into()],
+            supports: vec![],
+        })
+        .unwrap();
+        assert_eq!(reg.default_for("grtree_am").unwrap().name, "grt_opclass");
+        reg.set_default("grt_alt").unwrap();
+        assert_eq!(reg.default_for("GRTREE_AM").unwrap().name, "grt_alt");
+        assert_eq!(reg.classes_of("grtree_am").len(), 2);
+    }
+
+    #[test]
+    fn extend_adds_functions() {
+        let mut reg = OpClassRegistry::default();
+        reg.create(grt_class()).unwrap();
+        reg.extend("grt_opclass", vec!["grt_meets".into()], vec![])
+            .unwrap();
+        assert!(reg.get("grt_opclass").unwrap().has_strategy("grt_meets"));
+    }
+
+    #[test]
+    fn drop_clears_default() {
+        let mut reg = OpClassRegistry::default();
+        reg.create(grt_class()).unwrap();
+        reg.drop_class("grt_opclass").unwrap();
+        assert!(reg.default_for("grtree_am").is_none());
+        assert!(reg.get("grt_opclass").is_err());
+    }
+}

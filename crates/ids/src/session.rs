@@ -1,0 +1,120 @@
+//! Sessions and server named memory.
+//!
+//! Section 5.4: "The obtained current-time value can be stored in the
+//! named memory allocated from a server and identified by the session
+//! id, under which the transaction is running. A transaction-end
+//! callback should be registered to free the allocated memory." This
+//! module provides exactly that: named allocations tagged with a
+//! duration; the engine clears `PerStatement` entries after each
+//! statement and `PerTransaction` entries from its transaction-end
+//! callback.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Memory durations (a subset of the DataBlade API's `MI_...`
+/// durations relevant to the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemDuration {
+    /// Freed when the current statement completes.
+    PerStatement,
+    /// Freed at transaction end (commit or abort).
+    PerTransaction,
+    /// Freed when the session disconnects.
+    PerSession,
+}
+
+type NamedCell = Arc<dyn Any + Send + Sync>;
+
+#[derive(Default)]
+struct NamedMemory {
+    cells: HashMap<String, (MemDuration, NamedCell)>,
+}
+
+/// A client session: identity plus named memory.
+pub struct Session {
+    id: u64,
+    memory: Mutex<NamedMemory>,
+}
+
+impl Session {
+    /// Creates a session with the given id (engine-internal).
+    pub(crate) fn new(id: u64) -> Session {
+        Session {
+            id,
+            memory: Mutex::new(NamedMemory::default()),
+        }
+    }
+
+    /// The session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Allocates (or replaces) a named cell with the given duration.
+    pub fn put_named<T: Any + Send + Sync>(&self, name: &str, duration: MemDuration, value: T) {
+        self.memory
+            .lock()
+            .cells
+            .insert(name.to_string(), (duration, Arc::new(value)));
+    }
+
+    /// Reads a named cell, if present and of the expected type.
+    pub fn get_named<T: Any + Send + Sync + Clone>(&self, name: &str) -> Option<T> {
+        self.memory
+            .lock()
+            .cells
+            .get(name)
+            .and_then(|(_, cell)| cell.downcast_ref::<T>().cloned())
+    }
+
+    /// Frees a named cell explicitly.
+    pub fn free_named(&self, name: &str) -> bool {
+        self.memory.lock().cells.remove(name).is_some()
+    }
+
+    /// Frees every cell with the given duration (the engine calls this
+    /// at statement end / transaction end).
+    pub fn clear_duration(&self, duration: MemDuration) {
+        self.memory.lock().cells.retain(|_, (d, _)| *d != duration);
+    }
+
+    /// Number of live named cells (test hook).
+    pub fn named_count(&self) -> usize {
+        self.memory.lock().cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_memory_roundtrip() {
+        let s = Session::new(7);
+        assert_eq!(s.id(), 7);
+        s.put_named("ct", MemDuration::PerTransaction, 42i32);
+        assert_eq!(s.get_named::<i32>("ct"), Some(42));
+        // Wrong type reads as absent.
+        assert_eq!(s.get_named::<u64>("ct"), None);
+        assert!(s.free_named("ct"));
+        assert!(!s.free_named("ct"));
+    }
+
+    #[test]
+    fn durations_clear_selectively() {
+        let s = Session::new(1);
+        s.put_named("a", MemDuration::PerStatement, 1i32);
+        s.put_named("b", MemDuration::PerTransaction, 2i32);
+        s.put_named("c", MemDuration::PerSession, 3i32);
+        s.clear_duration(MemDuration::PerStatement);
+        assert_eq!(s.get_named::<i32>("a"), None);
+        assert_eq!(s.get_named::<i32>("b"), Some(2));
+        s.clear_duration(MemDuration::PerTransaction);
+        assert_eq!(s.get_named::<i32>("b"), None);
+        assert_eq!(s.get_named::<i32>("c"), Some(3));
+        assert_eq!(s.named_count(), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! The trace facility of Section 6.4.
+//!
+//! "Trace messages are directed to a special trace file and can be
+//! switched on or off selectively using trace classes and trace
+//! levels." The engine itself traces every purpose-function invocation
+//! in class `"AM"` — which is how the Figure 6 call sequences are
+//! regenerated — and DataBlade code can emit its own classes.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Trace class (e.g. `"AM"`, `"GRT"`).
+    pub class: String,
+    /// Trace level of the message.
+    pub level: u8,
+    /// The message.
+    pub message: String,
+}
+
+#[derive(Default)]
+struct SinkInner {
+    /// Enabled classes with their threshold level.
+    enabled: std::collections::HashMap<String, u8>,
+    events: Vec<TraceEvent>,
+}
+
+/// A shared trace sink (the "trace file").
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    inner: Arc<Mutex<SinkInner>>,
+}
+
+impl TraceSink {
+    /// A fresh sink with everything off.
+    pub fn new() -> TraceSink {
+        TraceSink::default()
+    }
+
+    /// Enables a trace class up to `level`.
+    pub fn on(&self, class: &str, level: u8) {
+        self.inner.lock().enabled.insert(class.to_string(), level);
+    }
+
+    /// Disables a trace class.
+    pub fn off(&self, class: &str) {
+        self.inner.lock().enabled.remove(class);
+    }
+
+    /// Emits a message if the class is enabled at this level.
+    pub fn emit(&self, class: &str, level: u8, message: impl Into<String>) {
+        let mut inner = self.inner.lock();
+        match inner.enabled.get(class) {
+            Some(&threshold) if level <= threshold => {
+                let message = message.into();
+                inner.events.push(TraceEvent {
+                    class: class.to_string(),
+                    level,
+                    message,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Drains all recorded events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.inner.lock().events)
+    }
+
+    /// Copies recorded events without draining.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_and_levels_filter() {
+        let t = TraceSink::new();
+        t.emit("AM", 1, "dropped: class off");
+        t.on("AM", 2);
+        t.emit("AM", 1, "kept");
+        t.emit("AM", 2, "kept too");
+        t.emit("AM", 3, "dropped: level above threshold");
+        t.emit("GRT", 1, "dropped: other class");
+        let events = t.take();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.message.starts_with("kept")));
+        assert!(t.take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let t = TraceSink::new();
+        t.on("X", 1);
+        let t2 = t.clone();
+        t2.emit("X", 1, "via clone");
+        assert_eq!(t.events().len(), 1);
+        t.off("X");
+        t2.emit("X", 1, "now off");
+        assert_eq!(t.events().len(), 1);
+    }
+}

@@ -1,0 +1,293 @@
+//! User-defined routines.
+//!
+//! Routines are registered with `CREATE FUNCTION ... EXTERNAL NAME
+//! '<lib>(<symbol>)' LANGUAGE C`. In Informix the external name points
+//! into a shared library; here the "shared library" is a registry of
+//! native Rust closures that DataBlades install before running their
+//! registration script — the same late-binding shape without `dlopen`.
+//!
+//! The paper's Section 5.2 complaint is reproduced too: the only
+//! relationships the engine can record between routines are *negator*
+//! and *commutator* — there is no way to tell the optimizer that
+//! `Equal` implies `Overlaps`.
+
+use crate::value::{DataType, Value};
+use crate::vii::AmContext;
+use crate::{IdsError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The native implementation of a routine.
+pub type RoutineFn = Arc<dyn Fn(&[Value], &AmContext) -> Result<Value> + Send + Sync>;
+
+/// A registered user-defined routine.
+#[derive(Clone)]
+pub struct Routine {
+    /// SQL-visible name.
+    pub name: String,
+    /// Declared argument types.
+    pub arg_types: Vec<DataType>,
+    /// Declared return type.
+    pub ret_type: DataType,
+    /// The `EXTERNAL NAME` string it was registered with.
+    pub external_name: String,
+    /// The bound implementation.
+    pub imp: RoutineFn,
+    /// Name of the routine returning the opposite boolean, if declared.
+    pub negator: Option<String>,
+    /// Name of the routine equal under argument swap, if declared.
+    pub commutator: Option<String>,
+}
+
+impl std::fmt::Debug for Routine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Routine")
+            .field("name", &self.name)
+            .field("args", &self.arg_types)
+            .field("ret", &self.ret_type)
+            .finish()
+    }
+}
+
+/// The routine registry plus the "shared library" of native symbols.
+#[derive(Default)]
+pub struct UdrRegistry {
+    /// Native symbols available for binding, keyed by
+    /// `"library(symbol)"` exactly as written in `EXTERNAL NAME`.
+    symbols: HashMap<String, RoutineFn>,
+    /// Registered routines, keyed by lower-cased name. Overloads by
+    /// argument types are kept in registration order.
+    routines: HashMap<String, Vec<Routine>>,
+}
+
+impl UdrRegistry {
+    /// Installs a native symbol (what loading a `.bld` library does).
+    pub fn install_symbol(&mut self, external_name: &str, imp: RoutineFn) {
+        self.symbols.insert(external_name.to_string(), imp);
+    }
+
+    /// Registers a routine (the `CREATE FUNCTION` statement), binding it
+    /// to a previously installed symbol.
+    pub fn create_function(
+        &mut self,
+        name: &str,
+        arg_types: Vec<DataType>,
+        ret_type: DataType,
+        external_name: &str,
+    ) -> Result<()> {
+        let imp = self.symbols.get(external_name).cloned().ok_or_else(|| {
+            IdsError::NotFound(format!("external symbol {external_name:?} not loaded"))
+        })?;
+        let key = name.to_ascii_lowercase();
+        let overloads = self.routines.entry(key).or_default();
+        if overloads.iter().any(|r| r.arg_types == arg_types) {
+            return Err(IdsError::Duplicate(format!(
+                "function {name}({arg_types:?})"
+            )));
+        }
+        overloads.push(Routine {
+            name: name.to_string(),
+            arg_types,
+            ret_type,
+            external_name: external_name.to_string(),
+            imp,
+            negator: None,
+            commutator: None,
+        });
+        Ok(())
+    }
+
+    /// Declares `negator` as the negator of `name` (both directions).
+    pub fn set_negator(&mut self, name: &str, negator: &str) -> Result<()> {
+        self.link(name, negator, true)
+    }
+
+    /// Declares `commutator` as the commutator of `name`.
+    pub fn set_commutator(&mut self, name: &str, commutator: &str) -> Result<()> {
+        self.link(name, commutator, false)
+    }
+
+    fn link(&mut self, a: &str, b: &str, negator: bool) -> Result<()> {
+        for (x, y) in [(a, b), (b, a)] {
+            let rs = self
+                .routines
+                .get_mut(&x.to_ascii_lowercase())
+                .ok_or_else(|| IdsError::NotFound(format!("function {x}")))?;
+            for r in rs {
+                if negator {
+                    r.negator = Some(y.to_string());
+                } else {
+                    r.commutator = Some(y.to_string());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops every overload of a function.
+    pub fn drop_function(&mut self, name: &str) -> Result<()> {
+        self.routines
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| IdsError::NotFound(format!("function {name}")))
+    }
+
+    /// Resolves a routine by name and argument types (exact overload
+    /// match, falling back to the sole overload when unambiguous).
+    pub fn resolve(&self, name: &str, arg_types: &[Option<DataType>]) -> Result<&Routine> {
+        let overloads = self
+            .routines
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| IdsError::NotFound(format!("function {name}")))?;
+        let matches: Vec<&Routine> = overloads
+            .iter()
+            .filter(|r| {
+                r.arg_types.len() == arg_types.len()
+                    && r.arg_types
+                        .iter()
+                        .zip(arg_types)
+                        .all(|(d, a)| a.as_ref().is_none_or(|t| t == d))
+            })
+            .collect();
+        match matches.as_slice() {
+            [one] => Ok(one),
+            [] => Err(IdsError::NotFound(format!(
+                "function {name} with argument types {arg_types:?}"
+            ))),
+            _ => Err(IdsError::Semantic(format!("ambiguous call to {name}"))),
+        }
+    }
+
+    /// True when any overload of `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.routines.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// All registered routines (catalog dump).
+    pub fn all(&self) -> Vec<&Routine> {
+        let mut v: Vec<&Routine> = self.routines.values().flatten().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vii::AmContext;
+
+    fn ctx() -> AmContext<'static> {
+        AmContext::for_tests()
+    }
+
+    fn registry_with_add() -> UdrRegistry {
+        let mut reg = UdrRegistry::default();
+        reg.install_symbol(
+            "mathlib.bld(add)",
+            Arc::new(|args: &[Value], _ctx: &AmContext| match args {
+                [Value::Int(a), Value::Int(b)] => Ok(Value::Int(a + b)),
+                _ => Err(IdsError::Type("add(int, int)".into())),
+            }),
+        );
+        reg.create_function(
+            "Add",
+            vec![DataType::Integer, DataType::Integer],
+            DataType::Integer,
+            "mathlib.bld(add)",
+        )
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn create_and_invoke() {
+        let reg = registry_with_add();
+        let r = reg
+            .resolve("add", &[Some(DataType::Integer), Some(DataType::Integer)])
+            .unwrap();
+        let v = (r.imp)(&[Value::Int(2), Value::Int(3)], &ctx()).unwrap();
+        assert_eq!(v, Value::Int(5));
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let mut reg = UdrRegistry::default();
+        let err = reg
+            .create_function("F", vec![], DataType::Integer, "nolib(bad)")
+            .unwrap_err();
+        assert!(matches!(err, IdsError::NotFound(_)));
+    }
+
+    #[test]
+    fn duplicate_signature_rejected() {
+        let mut reg = registry_with_add();
+        let err = reg
+            .create_function(
+                "add",
+                vec![DataType::Integer, DataType::Integer],
+                DataType::Integer,
+                "mathlib.bld(add)",
+            )
+            .unwrap_err();
+        assert!(matches!(err, IdsError::Duplicate(_)));
+    }
+
+    #[test]
+    fn overloads_resolve_by_types() {
+        let mut reg = registry_with_add();
+        reg.install_symbol(
+            "mathlib.bld(addtext)",
+            Arc::new(|_args: &[Value], _| Ok(Value::Text("cat".into()))),
+        );
+        reg.create_function(
+            "add",
+            vec![DataType::Text, DataType::Text],
+            DataType::Text,
+            "mathlib.bld(addtext)",
+        )
+        .unwrap();
+        let int_overload = reg
+            .resolve("add", &[Some(DataType::Integer), Some(DataType::Integer)])
+            .unwrap();
+        assert_eq!(int_overload.ret_type, DataType::Integer);
+        let text_overload = reg
+            .resolve("ADD", &[Some(DataType::Text), Some(DataType::Text)])
+            .unwrap();
+        assert_eq!(text_overload.ret_type, DataType::Text);
+        // Unknown argument types with two overloads: ambiguous.
+        assert!(matches!(
+            reg.resolve("add", &[None, None]),
+            Err(IdsError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn negator_and_commutator_links() {
+        let mut reg = registry_with_add();
+        reg.install_symbol(
+            "mathlib.bld(sub)",
+            Arc::new(|_args: &[Value], _| Ok(Value::Int(0))),
+        );
+        reg.create_function(
+            "Sub",
+            vec![DataType::Integer, DataType::Integer],
+            DataType::Integer,
+            "mathlib.bld(sub)",
+        )
+        .unwrap();
+        reg.set_commutator("Add", "Sub").unwrap();
+        let r = reg
+            .resolve("add", &[Some(DataType::Integer), Some(DataType::Integer)])
+            .unwrap();
+        assert_eq!(r.commutator.as_deref(), Some("Sub"));
+        assert!(reg.set_negator("Add", "Nope").is_err());
+    }
+
+    #[test]
+    fn drop_function_removes() {
+        let mut reg = registry_with_add();
+        reg.drop_function("ADD").unwrap();
+        assert!(!reg.exists("add"));
+        assert!(reg.drop_function("add").is_err());
+    }
+}

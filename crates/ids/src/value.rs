@@ -1,0 +1,255 @@
+//! The engine's value and type system, including opaque values.
+
+use crate::{IdsError, Result};
+use grt_temporal::Day;
+
+/// Column data types. `Opaque` types are declared by DataBlades
+/// (Section 4, step 1) and interpreted only through their registered
+/// support functions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit integer (`mi_integer`-ish).
+    Integer,
+    /// Variable-length text.
+    Text,
+    /// Day-granularity date (the built-in `DATE`).
+    Date,
+    /// Boolean (`mi_boolean`).
+    Boolean,
+    /// A DataBlade-defined opaque type, by name.
+    Opaque(String),
+}
+
+impl DataType {
+    /// Parses a type name as written in SQL.
+    pub fn parse(name: &str) -> DataType {
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" => DataType::Integer,
+            "TEXT" | "VARCHAR" | "CHAR" | "LVARCHAR" => DataType::Text,
+            "DATE" => DataType::Date,
+            "BOOLEAN" | "BOOL" => DataType::Boolean,
+            _ => DataType::Opaque(name.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataType::Integer => write!(f, "INTEGER"),
+            DataType::Text => write!(f, "TEXT"),
+            DataType::Date => write!(f, "DATE"),
+            DataType::Boolean => write!(f, "BOOLEAN"),
+            DataType::Opaque(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Text value.
+    Text(String),
+    /// Date value.
+    Date(Day),
+    /// Boolean value.
+    Bool(bool),
+    /// An opaque value: the type name plus its internal representation
+    /// (the bytes only the DataBlade's support functions understand).
+    Opaque {
+        /// The opaque type's name.
+        type_name: String,
+        /// The internal binary representation.
+        bytes: Vec<u8>,
+    },
+}
+
+impl Value {
+    /// The value's type, when determinable (`Null` has none).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Integer),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Date(_) => Some(DataType::Date),
+            Value::Bool(_) => Some(DataType::Boolean),
+            Value::Opaque { type_name, .. } => Some(DataType::Opaque(type_name.clone())),
+        }
+    }
+
+    /// True for SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extracts a boolean (for WHERE evaluation).
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            Value::Null => Ok(false),
+            other => Err(IdsError::Type(format!("expected boolean, got {other}"))),
+        }
+    }
+
+    /// Serialises into `out` (the heap row codec).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Int(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Value::Text(s) => {
+                out.push(2);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Date(d) => {
+                out.push(3);
+                out.extend_from_slice(&d.0.to_le_bytes());
+            }
+            Value::Bool(b) => {
+                out.push(4);
+                out.push(*b as u8);
+            }
+            Value::Opaque { type_name, bytes } => {
+                out.push(5);
+                out.push(type_name.len() as u8);
+                out.extend_from_slice(type_name.as_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+        }
+    }
+
+    /// Deserialises one value, advancing `pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Value> {
+        let bad = || IdsError::Type("truncated row".into());
+        let tag = *buf.get(*pos).ok_or_else(bad)?;
+        *pos += 1;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let s = buf.get(*pos..*pos + n).ok_or_else(bad)?;
+            *pos += n;
+            Ok(s)
+        };
+        match tag {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(i64::from_le_bytes(
+                take(pos, 8)?.try_into().unwrap(),
+            ))),
+            2 => {
+                let len = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+                let bytes = take(pos, len)?;
+                Ok(Value::Text(
+                    String::from_utf8(bytes.to_vec())
+                        .map_err(|_| IdsError::Type("bad utf8 in row".into()))?,
+                ))
+            }
+            3 => Ok(Value::Date(Day(i32::from_le_bytes(
+                take(pos, 4)?.try_into().unwrap(),
+            )))),
+            4 => Ok(Value::Bool(take(pos, 1)?[0] != 0)),
+            5 => {
+                let nlen = take(pos, 1)?[0] as usize;
+                let type_name = String::from_utf8(take(pos, nlen)?.to_vec())
+                    .map_err(|_| IdsError::Type("bad utf8 in type name".into()))?;
+                let len = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+                let bytes = take(pos, len)?.to_vec();
+                Ok(Value::Opaque { type_name, bytes })
+            }
+            other => Err(IdsError::Type(format!("unknown value tag {other}"))),
+        }
+    }
+
+    /// Serialises a whole row.
+    pub fn encode_row(row: &[Value]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 * row.len() + 2);
+        out.extend_from_slice(&(row.len() as u16).to_le_bytes());
+        for v in row {
+            v.encode(&mut out);
+        }
+        out
+    }
+
+    /// Deserialises a whole row.
+    pub fn decode_row(buf: &[u8]) -> Result<Vec<Value>> {
+        if buf.len() < 2 {
+            return Err(IdsError::Type("truncated row header".into()));
+        }
+        let n = u16::from_le_bytes(buf[0..2].try_into().unwrap()) as usize;
+        let mut pos = 2;
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(Value::decode(buf, &mut pos)?);
+        }
+        Ok(row)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Bool(b) => write!(f, "{}", if *b { "t" } else { "f" }),
+            Value::Opaque { type_name, bytes } => {
+                write!(f, "<{type_name}:{} bytes>", bytes.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_codec_roundtrip() {
+        let row = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Text("Bliujūtė".into()),
+            Value::Date(Day(9999)),
+            Value::Bool(true),
+            Value::Opaque {
+                type_name: "GRT_TimeExtent_t".into(),
+                bytes: vec![1, 2, 3, 4],
+            },
+        ];
+        let bytes = Value::encode_row(&row);
+        assert_eq!(Value::decode_row(&bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn truncated_rows_error() {
+        let row = vec![Value::Text("hello".into())];
+        let bytes = Value::encode_row(&row);
+        for cut in 0..bytes.len() {
+            assert!(Value::decode_row(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn type_parse() {
+        assert_eq!(DataType::parse("integer"), DataType::Integer);
+        assert_eq!(DataType::parse("LVARCHAR"), DataType::Text);
+        assert_eq!(DataType::parse("date"), DataType::Date);
+        assert_eq!(
+            DataType::parse("GRT_TimeExtent_t"),
+            DataType::Opaque("GRT_TimeExtent_t".into())
+        );
+    }
+
+    #[test]
+    fn as_bool_semantics() {
+        assert!(Value::Bool(true).as_bool().unwrap());
+        assert!(!Value::Null.as_bool().unwrap());
+        assert!(Value::Int(1).as_bool().is_err());
+    }
+}

@@ -1,0 +1,452 @@
+//! End-to-end engine tests: SQL over heap tables, a toy secondary
+//! access method exercised through the full Virtual-Index Interface,
+//! transactions, and tracing.
+
+use grt_ids::vii::QualNode;
+use grt_ids::{
+    AccessMethod, AmContext, Database, DatabaseOptions, IdsError, IndexDescriptor, RowId,
+    ScanDescriptor, Value,
+};
+use grt_sbspace::{LoId, LockMode};
+use std::sync::Arc;
+
+/// A deliberately naive access method: an unsorted list of
+/// `(i64 key, rowid)` pairs inside one large object. It supports one
+/// strategy function, `IntEq(col, const)`, and exists purely to
+/// exercise the engine's purpose-function call sequences.
+struct IntListAm;
+
+fn load_pairs(idx: &IndexDescriptor, ctx: &AmContext) -> Vec<(i64, u64)> {
+    let lo = {
+        let frags = ctx.fragments.lock();
+        LoId(*frags.get(&idx.index_name).expect("fragment registered"))
+    };
+    let h = ctx
+        .space
+        .open_lo(ctx.txn, lo, LockMode::Shared)
+        .expect("open index lo");
+    let mut len_buf = [0u8; 8];
+    h.read_at(0, &mut len_buf).unwrap();
+    let n = u64::from_le_bytes(len_buf) as usize;
+    let mut data = vec![0u8; n * 16];
+    h.read_at(8, &mut data).unwrap();
+    (0..n)
+        .map(|i| {
+            let k = i64::from_le_bytes(data[i * 16..i * 16 + 8].try_into().unwrap());
+            let r = u64::from_le_bytes(data[i * 16 + 8..i * 16 + 16].try_into().unwrap());
+            (k, r)
+        })
+        .collect()
+}
+
+fn store_pairs(idx: &IndexDescriptor, ctx: &AmContext, pairs: &[(i64, u64)]) {
+    let lo = {
+        let frags = ctx.fragments.lock();
+        LoId(*frags.get(&idx.index_name).expect("fragment registered"))
+    };
+    let mut h = ctx
+        .space
+        .open_lo(ctx.txn, lo, LockMode::Exclusive)
+        .expect("open index lo");
+    let mut bytes = Vec::with_capacity(8 + pairs.len() * 16);
+    bytes.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+    for (k, r) in pairs {
+        bytes.extend_from_slice(&k.to_le_bytes());
+        bytes.extend_from_slice(&r.to_le_bytes());
+    }
+    h.write_at(0, &bytes).unwrap();
+}
+
+fn key_of(row: &[Value]) -> Result<i64, IdsError> {
+    match row.first() {
+        Some(Value::Int(k)) => Ok(*k),
+        other => Err(IdsError::AccessMethod(format!("bad key {other:?}"))),
+    }
+}
+
+struct IntScan {
+    hits: Vec<(i64, u64)>,
+    pos: usize,
+}
+
+impl AccessMethod for IntListAm {
+    fn am_create(&self, idx: &IndexDescriptor, ctx: &AmContext) -> Result<(), IdsError> {
+        let lo = ctx.space.create_lo(ctx.txn)?;
+        ctx.fragments.lock().insert(idx.index_name.clone(), lo.0);
+        let mut h = ctx.space.open_lo(ctx.txn, lo, LockMode::Exclusive)?;
+        h.write_at(0, &0u64.to_le_bytes())?;
+        Ok(())
+    }
+
+    fn am_drop(&self, idx: &IndexDescriptor, ctx: &AmContext) -> Result<(), IdsError> {
+        if let Some(lo) = ctx.fragments.lock().remove(&idx.index_name) {
+            ctx.space.drop_lo(ctx.txn, LoId(lo))?;
+        }
+        Ok(())
+    }
+
+    fn am_beginscan(
+        &self,
+        idx: &IndexDescriptor,
+        scan: &mut ScanDescriptor,
+        ctx: &AmContext,
+    ) -> Result<(), IdsError> {
+        let pairs = load_pairs(idx, ctx);
+        let hits = match &scan.qual.root {
+            Some(QualNode::Simple(q)) if q.func.eq_ignore_ascii_case("IntEq") => {
+                let Some(Value::Int(k)) = &q.constant else {
+                    return Err(IdsError::AccessMethod("IntEq needs an int".into()));
+                };
+                pairs.into_iter().filter(|(key, _)| key == k).collect()
+            }
+            None => pairs,
+            other => {
+                return Err(IdsError::AccessMethod(format!(
+                    "unsupported qualification {other:?}"
+                )))
+            }
+        };
+        scan.user_data = Some(Box::new(IntScan { hits, pos: 0 }));
+        Ok(())
+    }
+
+    fn am_rescan(
+        &self,
+        _idx: &IndexDescriptor,
+        scan: &mut ScanDescriptor,
+        _ctx: &AmContext,
+    ) -> Result<(), IdsError> {
+        if let Some(state) = scan
+            .user_data
+            .as_mut()
+            .and_then(|b| b.downcast_mut::<IntScan>())
+        {
+            state.pos = 0;
+        }
+        Ok(())
+    }
+
+    fn am_getnext(
+        &self,
+        _idx: &IndexDescriptor,
+        scan: &mut ScanDescriptor,
+        _ctx: &AmContext,
+    ) -> Result<Option<(RowId, Vec<Value>)>, IdsError> {
+        let state = scan
+            .user_data
+            .as_mut()
+            .and_then(|b| b.downcast_mut::<IntScan>())
+            .ok_or_else(|| IdsError::AccessMethod("scan not begun".into()))?;
+        if state.pos >= state.hits.len() {
+            return Ok(None);
+        }
+        let (k, rid) = state.hits[state.pos];
+        state.pos += 1;
+        Ok(Some((RowId(rid), vec![Value::Int(k)])))
+    }
+
+    fn am_insert(
+        &self,
+        idx: &IndexDescriptor,
+        row: &[Value],
+        rowid: RowId,
+        ctx: &AmContext,
+    ) -> Result<(), IdsError> {
+        let mut pairs = load_pairs(idx, ctx);
+        pairs.push((key_of(row)?, rowid.0));
+        store_pairs(idx, ctx, &pairs);
+        Ok(())
+    }
+
+    fn am_delete(
+        &self,
+        idx: &IndexDescriptor,
+        row: &[Value],
+        rowid: RowId,
+        ctx: &AmContext,
+    ) -> Result<(), IdsError> {
+        let key = key_of(row)?;
+        let mut pairs = load_pairs(idx, ctx);
+        pairs.retain(|&(k, r)| !(k == key && r == rowid.0));
+        store_pairs(idx, ctx, &pairs);
+        Ok(())
+    }
+
+    fn am_scancost(
+        &self,
+        idx: &IndexDescriptor,
+        _qual: &grt_ids::QualDescriptor,
+        ctx: &AmContext,
+    ) -> Result<f64, IdsError> {
+        Ok(load_pairs(idx, ctx).len() as f64 / 100.0)
+    }
+}
+
+/// Boots a database with the toy blade "loaded" and registered via its
+/// SQL script.
+fn setup() -> Database {
+    let db = Database::new(DatabaseOptions::default());
+    db.install_library("intlist.bld", Arc::new(IntListAm));
+    // Purpose-function symbols (dummy bodies: never invoked directly).
+    for sym in [
+        "il_create",
+        "il_drop",
+        "il_beginscan",
+        "il_getnext",
+        "il_rescan",
+        "il_insert",
+        "il_delete",
+        "il_scancost",
+    ] {
+        db.install_symbol(
+            &format!("usr/intlist.bld({sym})"),
+            Arc::new(|_args: &[Value], _ctx: &AmContext| {
+                Err(IdsError::Routine("internal purpose function".into()))
+            }),
+        );
+    }
+    // The strategy function, usable both from the index and standalone.
+    db.install_symbol(
+        "usr/intlist.bld(int_eq)",
+        Arc::new(|args: &[Value], _ctx: &AmContext| match args {
+            [Value::Int(a), Value::Int(b)] => Ok(Value::Bool(a == b)),
+            _ => Err(IdsError::Type("IntEq(int, int)".into())),
+        }),
+    );
+    let conn = db.connect();
+    for sym in [
+        "il_create",
+        "il_drop",
+        "il_beginscan",
+        "il_getnext",
+        "il_rescan",
+        "il_insert",
+        "il_delete",
+        "il_scancost",
+    ] {
+        conn.exec(&format!(
+            "CREATE FUNCTION {sym}(pointer) RETURNING int \
+             EXTERNAL NAME 'usr/intlist.bld({sym})' LANGUAGE c"
+        ))
+        .unwrap();
+    }
+    conn.exec(
+        "CREATE FUNCTION IntEq(integer, integer) RETURNING boolean \
+         EXTERNAL NAME 'usr/intlist.bld(int_eq)' LANGUAGE c",
+    )
+    .unwrap();
+    conn.exec(
+        "CREATE SECONDARY ACCESS_METHOD intlist_am ( \
+           am_create = il_create, am_drop = il_drop, am_beginscan = il_beginscan, \
+           am_getnext = il_getnext, am_rescan = il_rescan, am_insert = il_insert, \
+           am_delete = il_delete, am_scancost = il_scancost, am_sptype = 'S' )",
+    )
+    .unwrap();
+    conn.exec("CREATE OPCLASS intlist_ops FOR intlist_am STRATEGIES(IntEq)")
+        .unwrap();
+    db
+}
+
+#[test]
+fn seq_scan_crud_without_index() {
+    let db = setup();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE nums (n integer, label text)")
+        .unwrap();
+    for i in 0..20 {
+        conn.exec(&format!("INSERT INTO nums VALUES ({i}, 'row {i}')"))
+            .unwrap();
+    }
+    let r = conn.exec("SELECT label FROM nums WHERE n = 7").unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Text("row 7".into())]]);
+    let r = conn
+        .exec("SELECT * FROM nums WHERE n >= 17 OR n < 2")
+        .unwrap();
+    assert_eq!(r.rows.len(), 5);
+    conn.exec("DELETE FROM nums WHERE n < 10").unwrap();
+    let r = conn.exec("SELECT n FROM nums").unwrap();
+    assert_eq!(r.rows.len(), 10);
+    conn.exec("UPDATE nums SET label = 'renamed' WHERE n = 15")
+        .unwrap();
+    let r = conn.exec("SELECT label FROM nums WHERE n = 15").unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Text("renamed".into())]]);
+}
+
+#[test]
+fn index_scan_used_and_correct() {
+    let db = setup();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE nums (n integer, label text)")
+        .unwrap();
+    for i in 0..50 {
+        conn.exec(&format!("INSERT INTO nums VALUES ({}, 'row {i}')", i % 10))
+            .unwrap();
+    }
+    conn.exec("CREATE INDEX num_ix ON nums(n intlist_ops) USING intlist_am IN spc")
+        .unwrap();
+    // Trace the SELECT's purpose-function sequence (Figure 6(b)).
+    db.trace().on("AM", 1);
+    db.trace().take();
+    let r = conn
+        .exec("SELECT label FROM nums WHERE IntEq(n, 3)")
+        .unwrap();
+    assert_eq!(r.rows.len(), 5);
+    let calls: Vec<String> = db.trace().take().into_iter().map(|e| e.message).collect();
+    assert_eq!(calls[0], "il_scancost", "planner consults am_scancost");
+    assert_eq!(
+        calls[1..4],
+        [
+            "am_open".to_string(),
+            "il_beginscan".into(),
+            "il_getnext".into()
+        ],
+        "unbound slots trace under their generic names: {calls:?}"
+    );
+    assert!(!calls.contains(&"il_delete".to_string()));
+    assert_eq!(calls.last().unwrap(), "am_close");
+
+    // The same predicate without an index-compatible shape: seq scan
+    // (both arguments constants, column comparison) still works.
+    let r2 = conn.exec("SELECT label FROM nums WHERE n = 3").unwrap();
+    assert_eq!(r2.rows.len(), 5);
+
+    // Index is maintained by DML.
+    conn.exec("DELETE FROM nums WHERE IntEq(n, 3)").unwrap();
+    let r3 = conn
+        .exec("SELECT label FROM nums WHERE IntEq(n, 3)")
+        .unwrap();
+    assert!(r3.rows.is_empty());
+    conn.exec("INSERT INTO nums VALUES (3, 'back')").unwrap();
+    let r4 = conn
+        .exec("SELECT label FROM nums WHERE IntEq(n, 3)")
+        .unwrap();
+    assert_eq!(r4.rows.len(), 1);
+}
+
+#[test]
+fn index_on_existing_rows_and_drop() {
+    let db = setup();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE t (n integer)").unwrap();
+    for i in 0..10 {
+        conn.exec(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    conn.exec("CREATE INDEX tix ON t(n intlist_ops) USING intlist_am")
+        .unwrap();
+    let r = conn.exec("SELECT n FROM t WHERE IntEq(n, 4)").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    // SYSINDICES and SYSFRAGMENTS record the index.
+    let (_, rows) = db.catalog_dump("sysindices").unwrap();
+    assert_eq!(rows.len(), 1);
+    let (_, frows) = db.catalog_dump("sysfragments").unwrap();
+    assert_eq!(frows.len(), 1);
+    conn.exec("DROP INDEX tix").unwrap();
+    let (_, frows) = db.catalog_dump("sysfragments").unwrap();
+    assert!(frows.is_empty());
+    // Queries still work (seq scan).
+    let r = conn.exec("SELECT n FROM t WHERE IntEq(n, 4)").unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn transactions_roll_back_heap_and_index() {
+    let db = setup();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE t (n integer)").unwrap();
+    conn.exec("CREATE INDEX tix ON t(n intlist_ops) USING intlist_am")
+        .unwrap();
+    conn.exec("INSERT INTO t VALUES (1)").unwrap();
+    conn.exec("BEGIN WORK").unwrap();
+    conn.exec("INSERT INTO t VALUES (2)").unwrap();
+    conn.exec("INSERT INTO t VALUES (3)").unwrap();
+    let r = conn.exec("SELECT n FROM t").unwrap();
+    assert_eq!(r.rows.len(), 3, "uncommitted rows visible to own txn");
+    conn.exec("ROLLBACK WORK").unwrap();
+    let r = conn.exec("SELECT n FROM t").unwrap();
+    assert_eq!(r.rows.len(), 1, "rollback undid heap rows");
+    let r = conn.exec("SELECT n FROM t WHERE IntEq(n, 2)").unwrap();
+    assert!(r.rows.is_empty(), "rollback undid index entries");
+
+    conn.exec("BEGIN WORK").unwrap();
+    conn.exec("INSERT INTO t VALUES (9)").unwrap();
+    conn.exec("COMMIT WORK").unwrap();
+    let r = conn.exec("SELECT n FROM t WHERE IntEq(n, 9)").unwrap();
+    assert_eq!(r.rows.len(), 1);
+}
+
+#[test]
+fn catalogs_and_errors() {
+    let db = setup();
+    let conn = db.connect();
+    let (_, ams) = db.catalog_dump("sysams").unwrap();
+    assert_eq!(ams.len(), 1);
+    let (_, ocs) = db.catalog_dump("sysopclasses").unwrap();
+    assert_eq!(ocs.len(), 1);
+    let (_, procs) = db.catalog_dump("sysprocedures").unwrap();
+    assert!(procs.len() >= 9);
+
+    assert!(matches!(
+        conn.exec("SELECT * FROM missing"),
+        Err(IdsError::NotFound(_))
+    ));
+    conn.exec("CREATE TABLE t (n integer)").unwrap();
+    assert!(matches!(
+        conn.exec("CREATE TABLE t (n integer)"),
+        Err(IdsError::Duplicate(_))
+    ));
+    assert!(matches!(
+        conn.exec("INSERT INTO t VALUES (1, 2)"),
+        Err(IdsError::Semantic(_))
+    ));
+    assert!(matches!(
+        conn.exec("SELECT * FROM t WHERE Nope(n, 1)"),
+        Err(IdsError::NotFound(_))
+    ));
+    // An opclass referencing an unknown function is rejected.
+    assert!(conn
+        .exec("CREATE OPCLASS bad FOR intlist_am STRATEGIES(missing_fn)")
+        .is_err());
+    // An index with an opclass of another access method is rejected.
+    conn.exec("CREATE TABLE u (n integer)").unwrap();
+    assert!(conn
+        .exec("CREATE INDEX uix ON u(n nonexistent_ops) USING intlist_am")
+        .is_err());
+}
+
+#[test]
+fn insert_trace_matches_figure_6a() {
+    let db = setup();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE t (n integer)").unwrap();
+    conn.exec("CREATE INDEX tix ON t(n intlist_ops) USING intlist_am")
+        .unwrap();
+    db.trace().on("AM", 1);
+    db.trace().take();
+    conn.exec("INSERT INTO t VALUES (5)").unwrap();
+    let calls: Vec<String> = db.trace().take().into_iter().map(|e| e.message).collect();
+    assert_eq!(
+        calls,
+        vec!["am_open".to_string(), "il_insert".into(), "am_close".into()],
+        "INSERT drives am_open, am_insert, am_close"
+    );
+}
+
+#[test]
+fn system_catalogs_are_queryable() {
+    let db = setup();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE t (n integer)").unwrap();
+    conn.exec("CREATE INDEX tix ON t(n intlist_ops) USING intlist_am")
+        .unwrap();
+    let r = conn.exec("SELECT * FROM sysams").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    let r = conn
+        .exec("SELECT index_name, table FROM sysindices")
+        .unwrap();
+    assert_eq!(r.columns, vec!["index_name".to_string(), "table".into()]);
+    assert_eq!(r.rows[0][0], Value::Text("tix".into()));
+    let r = conn.exec("SELECT name FROM sysprocedures").unwrap();
+    assert!(r.rows.len() >= 9);
+    assert!(conn.exec("SELECT * FROM sysams WHERE x = 1").is_err());
+    assert!(conn.exec("SELECT nope FROM sysams").is_err());
+}

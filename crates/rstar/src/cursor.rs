@@ -1,0 +1,86 @@
+//! Depth-first scan cursors.
+//!
+//! A cursor captures the tree-traversal state between `am_getnext`
+//! calls (the paper's `Cursor` object created by `Tree::search()`): a
+//! stack of visited nodes with the next entry index per node. The node
+//! images are cached in the stack frame, so each node is read once per
+//! visit.
+
+use crate::geom::{Rect2, SpatialPredicate};
+use crate::node::Entry;
+use crate::tree::RStarTree;
+use crate::Result;
+
+struct Frame {
+    entries: Vec<Entry>,
+    level: u16,
+    next: usize,
+}
+
+/// A depth-first scan over qualifying entries.
+pub struct RStarCursor {
+    pred: SpatialPredicate,
+    query: Rect2,
+    root: u32,
+    stack: Vec<Frame>,
+    primed: bool,
+}
+
+impl RStarCursor {
+    pub(crate) fn new(pred: SpatialPredicate, query: Rect2, root: u32) -> RStarCursor {
+        RStarCursor {
+            pred,
+            query,
+            root,
+            stack: Vec::new(),
+            primed: false,
+        }
+    }
+
+    /// The query rectangle this cursor scans with.
+    pub fn query(&self) -> Rect2 {
+        self.query
+    }
+
+    /// Resets to the beginning (used after tree condensation).
+    pub(crate) fn restart(&mut self, root: u32) {
+        self.root = root;
+        self.stack.clear();
+        self.primed = false;
+    }
+
+    fn push(&mut self, tree: &RStarTree, page: u32) -> Result<()> {
+        let node = tree.read_node(page)?;
+        self.stack.push(Frame {
+            entries: node.entries,
+            level: node.level,
+            next: 0,
+        });
+        Ok(())
+    }
+
+    pub(crate) fn next(&mut self, tree: &RStarTree) -> Result<Option<(Rect2, u64)>> {
+        if !self.primed {
+            self.primed = true;
+            self.push(tree, self.root)?;
+        }
+        loop {
+            let Some(frame) = self.stack.last_mut() else {
+                return Ok(None);
+            };
+            if frame.next >= frame.entries.len() {
+                self.stack.pop();
+                continue;
+            }
+            let entry = frame.entries[frame.next];
+            frame.next += 1;
+            if frame.level == 0 {
+                if entry.rect.eval(self.pred, &self.query) {
+                    return Ok(Some((entry.rect, entry.payload)));
+                }
+            } else if entry.rect.consistent(self.pred, &self.query) {
+                self.push(tree, entry.payload as u32)?;
+            }
+        }
+    }
+}

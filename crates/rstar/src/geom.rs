@@ -1,0 +1,249 @@
+//! Closed 2-D integer rectangles and the spatial predicates of the
+//! R-tree operator class.
+
+/// A closed axis-aligned rectangle over integer coordinates. An
+/// inverted interval denotes the empty rectangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect2 {
+    pub x1: i32,
+    pub x2: i32,
+    pub y1: i32,
+    pub y2: i32,
+}
+
+/// The strategy predicates of the R-tree operator class (the paper's
+/// Section 5.2 lists `Overlap`, `Equal`, `Contains`, `Within`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpatialPredicate {
+    /// Shares at least one point with the query rectangle.
+    Overlap,
+    /// Contains the query rectangle.
+    Contains,
+    /// Lies within the query rectangle.
+    Within,
+    /// Equals the query rectangle.
+    Equal,
+}
+
+impl Rect2 {
+    /// Builds a rectangle (no normalisation: inverted = empty).
+    pub fn new(x1: i32, x2: i32, y1: i32, y2: i32) -> Rect2 {
+        Rect2 { x1, x2, y1, y2 }
+    }
+
+    /// The canonical empty rectangle.
+    pub fn empty() -> Rect2 {
+        Rect2 {
+            x1: 1,
+            x2: 0,
+            y1: 1,
+            y2: 0,
+        }
+    }
+
+    /// True when no point lies inside.
+    pub fn is_empty(&self) -> bool {
+        self.x1 > self.x2 || self.y1 > self.y2
+    }
+
+    /// Number of integer cells covered.
+    pub fn area(&self) -> i128 {
+        if self.is_empty() {
+            return 0;
+        }
+        (self.x2 as i128 - self.x1 as i128 + 1) * (self.y2 as i128 - self.y1 as i128 + 1)
+    }
+
+    /// Half-perimeter (the R\*-tree "margin").
+    pub fn margin(&self) -> i64 {
+        if self.is_empty() {
+            return 0;
+        }
+        (self.x2 as i64 - self.x1 as i64 + 1) + (self.y2 as i64 - self.y1 as i64 + 1)
+    }
+
+    /// Smallest rectangle covering both.
+    #[must_use]
+    pub fn union(&self, other: &Rect2) -> Rect2 {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect2 {
+            x1: self.x1.min(other.x1),
+            x2: self.x2.max(other.x2),
+            y1: self.y1.min(other.y1),
+            y2: self.y2.max(other.y2),
+        }
+    }
+
+    /// The common part (possibly empty).
+    #[must_use]
+    pub fn intersection(&self, other: &Rect2) -> Rect2 {
+        Rect2 {
+            x1: self.x1.max(other.x1),
+            x2: self.x2.min(other.x2),
+            y1: self.y1.max(other.y1),
+            y2: self.y2.min(other.y2),
+        }
+    }
+
+    /// Overlap area with another rectangle.
+    pub fn overlap_area(&self, other: &Rect2) -> i128 {
+        self.intersection(other).area()
+    }
+
+    /// True when the rectangles share a point.
+    pub fn overlaps(&self, other: &Rect2) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.x1 <= other.x2
+            && other.x1 <= self.x2
+            && self.y1 <= other.y2
+            && other.y1 <= self.y2
+    }
+
+    /// True when `other` lies fully inside `self`.
+    pub fn contains(&self, other: &Rect2) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        !self.is_empty()
+            && self.x1 <= other.x1
+            && other.x2 <= self.x2
+            && self.y1 <= other.y1
+            && other.y2 <= self.y2
+    }
+
+    /// Squared distance between centres (doubled coordinates to stay in
+    /// integers) — used by forced reinsertion's "farthest from centre".
+    pub fn center_dist2(&self, other: &Rect2) -> i128 {
+        let cx = (self.x1 as i128 + self.x2 as i128) - (other.x1 as i128 + other.x2 as i128);
+        let cy = (self.y1 as i128 + self.y2 as i128) - (other.y1 as i128 + other.y2 as i128);
+        cx * cx + cy * cy
+    }
+
+    /// Evaluates a spatial predicate with `self` as the stored value and
+    /// `query` as the search argument.
+    pub fn eval(&self, pred: SpatialPredicate, query: &Rect2) -> bool {
+        match pred {
+            SpatialPredicate::Overlap => self.overlaps(query),
+            SpatialPredicate::Contains => self.contains(query),
+            SpatialPredicate::Within => query.contains(self),
+            SpatialPredicate::Equal => self == query || (self.is_empty() && query.is_empty()),
+        }
+    }
+
+    /// Can a descendant of a node bounded by `self` satisfy `pred`
+    /// against `query`? (The descend test of the search.)
+    pub fn consistent(&self, pred: SpatialPredicate, query: &Rect2) -> bool {
+        match pred {
+            SpatialPredicate::Overlap | SpatialPredicate::Within | SpatialPredicate::Equal => {
+                self.overlaps(query)
+            }
+            SpatialPredicate::Contains => self.contains(query),
+        }
+    }
+
+    /// Fixed 16-byte encoding.
+    pub fn encode(&self, out: &mut [u8]) {
+        out[0..4].copy_from_slice(&self.x1.to_le_bytes());
+        out[4..8].copy_from_slice(&self.x2.to_le_bytes());
+        out[8..12].copy_from_slice(&self.y1.to_le_bytes());
+        out[12..16].copy_from_slice(&self.y2.to_le_bytes());
+    }
+
+    /// Decodes the 16-byte encoding.
+    pub fn decode(buf: &[u8]) -> Rect2 {
+        let w = |i: usize| i32::from_le_bytes(buf[i..i + 4].try_into().unwrap());
+        Rect2 {
+            x1: w(0),
+            x2: w(4),
+            y1: w(8),
+            y2: w(12),
+        }
+    }
+}
+
+impl std::fmt::Display for Rect2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}..{}]x[{}..{}]", self.x1, self.x2, self.y1, self.y2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_margin_union_intersection() {
+        let a = Rect2::new(0, 9, 0, 4);
+        let b = Rect2::new(5, 14, 2, 12);
+        assert_eq!(a.area(), 50);
+        assert_eq!(a.margin(), 15);
+        assert_eq!(a.union(&b), Rect2::new(0, 14, 0, 12));
+        assert_eq!(a.intersection(&b), Rect2::new(5, 9, 2, 4));
+        assert_eq!(a.overlap_area(&b), 15);
+        assert!(a.overlaps(&b));
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = Rect2::empty();
+        let a = Rect2::new(0, 5, 0, 5);
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0);
+        assert_eq!(e.union(&a), a);
+        assert!(!e.overlaps(&a));
+        assert!(a.contains(&e));
+        assert!(!e.contains(&a));
+    }
+
+    #[test]
+    fn predicates() {
+        let big = Rect2::new(0, 10, 0, 10);
+        let small = Rect2::new(2, 4, 2, 4);
+        assert!(big.eval(SpatialPredicate::Contains, &small));
+        assert!(small.eval(SpatialPredicate::Within, &big));
+        assert!(big.eval(SpatialPredicate::Overlap, &small));
+        assert!(!small.eval(SpatialPredicate::Contains, &big));
+        assert!(big.eval(SpatialPredicate::Equal, &big));
+    }
+
+    #[test]
+    fn consistency_is_sound() {
+        // If a child satisfies the predicate, its parent bound must pass
+        // the consistency test.
+        let children = [
+            Rect2::new(0, 3, 0, 3),
+            Rect2::new(5, 8, 5, 8),
+            Rect2::new(2, 6, 1, 7),
+        ];
+        let bound = children.iter().fold(Rect2::empty(), |acc, r| acc.union(r));
+        let queries = [Rect2::new(1, 2, 1, 2), Rect2::new(0, 10, 0, 10)];
+        for q in &queries {
+            for pred in [
+                SpatialPredicate::Overlap,
+                SpatialPredicate::Contains,
+                SpatialPredicate::Within,
+                SpatialPredicate::Equal,
+            ] {
+                for c in &children {
+                    if c.eval(pred, q) {
+                        assert!(bound.consistent(pred, q), "{pred:?} {c} {q}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let r = Rect2::new(-5, 100, 7, 7);
+        let mut buf = [0u8; 16];
+        r.encode(&mut buf);
+        assert_eq!(Rect2::decode(&buf), r);
+    }
+}

@@ -1,0 +1,137 @@
+//! R\*-tree node pages: one node per sbspace page.
+
+use crate::geom::Rect2;
+use crate::{RStarError, Result};
+use grt_sbspace::page::{page_from_slice, PageBuf, PAGE_SIZE};
+
+const MAGIC: &[u8; 4] = b"RSTN";
+const HEADER_LEN: usize = 8;
+/// Bytes per entry: a rectangle plus a 64-bit payload (rowid in leaves,
+/// child page number in internal nodes).
+pub const ENTRY_LEN: usize = 24;
+/// The hard fan-out ceiling a 4 KiB page supports.
+pub const MAX_FANOUT: usize = (PAGE_SIZE - HEADER_LEN) / ENTRY_LEN;
+
+/// One node entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// Bounding rectangle of the child (internal) or object (leaf).
+    pub rect: Rect2,
+    /// Row id (leaf) or child page number (internal).
+    pub payload: u64,
+}
+
+/// An in-memory node image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// 0 for leaves, increasing toward the root.
+    pub level: u16,
+    /// The node's entries.
+    pub entries: Vec<Entry>,
+}
+
+impl Node {
+    /// An empty node at `level`.
+    pub fn new(level: u16) -> Node {
+        Node {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// The minimum bounding rectangle of all entries.
+    pub fn mbr(&self) -> Rect2 {
+        self.entries
+            .iter()
+            .fold(Rect2::empty(), |acc, e| acc.union(&e.rect))
+    }
+
+    /// Serialises into a page image.
+    pub fn encode(&self) -> PageBuf {
+        assert!(self.entries.len() <= MAX_FANOUT, "node overflow");
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[0..4].copy_from_slice(MAGIC);
+        buf[4..6].copy_from_slice(&self.level.to_le_bytes());
+        buf[6..8].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        for (i, e) in self.entries.iter().enumerate() {
+            let off = HEADER_LEN + i * ENTRY_LEN;
+            e.rect.encode(&mut buf[off..off + 16]);
+            buf[off + 16..off + 24].copy_from_slice(&e.payload.to_le_bytes());
+        }
+        page_from_slice(&buf)
+    }
+
+    /// Parses a page image.
+    pub fn decode(buf: &[u8; PAGE_SIZE]) -> Result<Node> {
+        if &buf[0..4] != MAGIC {
+            return Err(RStarError::Corrupt("bad node magic".into()));
+        }
+        let level = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+        let count = u16::from_le_bytes(buf[6..8].try_into().unwrap()) as usize;
+        if count > MAX_FANOUT {
+            return Err(RStarError::Corrupt(format!("entry count {count}")));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = HEADER_LEN + i * ENTRY_LEN;
+            entries.push(Entry {
+                rect: Rect2::decode(&buf[off..off + 16]),
+                payload: u64::from_le_bytes(buf[off + 16..off + 24].try_into().unwrap()),
+            });
+        }
+        Ok(Node { level, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_roundtrip() {
+        let mut n = Node::new(3);
+        for i in 0..50 {
+            n.entries.push(Entry {
+                rect: Rect2::new(i, i + 10, -i, i),
+                payload: (i as u64) << 33 | 7,
+            });
+        }
+        let decoded = Node::decode(&n.encode()).unwrap();
+        assert_eq!(decoded, n);
+        assert!(!decoded.is_leaf());
+    }
+
+    #[test]
+    fn empty_node_roundtrip() {
+        let n = Node::new(0);
+        let decoded = Node::decode(&n.encode()).unwrap();
+        assert!(decoded.is_leaf());
+        assert!(decoded.entries.is_empty());
+        assert!(decoded.mbr().is_empty());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let z = grt_sbspace::page::zeroed_page();
+        assert!(Node::decode(&z).is_err());
+    }
+
+    #[test]
+    fn mbr_covers_entries() {
+        let mut n = Node::new(0);
+        n.entries.push(Entry {
+            rect: Rect2::new(0, 1, 0, 1),
+            payload: 1,
+        });
+        n.entries.push(Entry {
+            rect: Rect2::new(5, 9, -3, 2),
+            payload: 2,
+        });
+        assert_eq!(n.mbr(), Rect2::new(0, 9, -3, 2));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based R\*-tree tests: random insert/delete churn against a
+//! linear-scan oracle, with invariants checked throughout.
+
+use grt_rstar::{RStarOptions, RStarTree, Rect2, SpatialPredicate};
+use grt_sbspace::{IsolationLevel, LoHandle, LockMode, Sbspace, SbspaceOptions};
+use proptest::prelude::*;
+
+fn fresh_lo() -> LoHandle {
+    let sb = Sbspace::mem(SbspaceOptions {
+        pool_pages: 8192,
+        ..Default::default()
+    });
+    let txn = sb.begin(IsolationLevel::ReadCommitted);
+    let lo = sb.create_lo(&txn).unwrap();
+    let h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+    std::mem::forget(txn);
+    std::mem::forget(sb);
+    h
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect2> {
+    (-100i32..400, 0i32..60, -100i32..400, 0i32..60)
+        .prop_map(|(x, w, y, h)| Rect2::new(x, x + w, y, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn churn_matches_linear_scan(
+        ops in proptest::collection::vec((arb_rect(), proptest::bool::ANY), 1..150),
+        query in arb_rect(),
+        reinsert_pct in prop_oneof![Just(0u32), Just(30u32)],
+    ) {
+        let mut tree = RStarTree::create(
+            fresh_lo(),
+            RStarOptions {
+                max_entries: 6,
+                reinsert_pct,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut live: Vec<(u64, Rect2)> = Vec::new();
+        let mut next = 0u64;
+        for (rect, delete) in ops {
+            if delete && !live.is_empty() {
+                let (id, r) = live.swap_remove((rect.x1.unsigned_abs() as usize) % live.len());
+                prop_assert!(tree.delete(r, id).unwrap().found);
+            } else {
+                tree.insert(rect, next).unwrap();
+                live.push((next, rect));
+                next += 1;
+            }
+        }
+        tree.check().unwrap();
+        for pred in [
+            SpatialPredicate::Overlap,
+            SpatialPredicate::Within,
+            SpatialPredicate::Contains,
+            SpatialPredicate::Equal,
+        ] {
+            let mut got = tree.search(pred, &query).unwrap();
+            let mut expected: Vec<u64> = live
+                .iter()
+                .filter(|(_, r)| r.eval(pred, &query))
+                .map(|(id, _)| *id)
+                .collect();
+            got.sort_unstable();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected, "{:?}", pred);
+        }
+    }
+
+    /// The tree never loses entries across arbitrarily many deletions
+    /// of the same rectangle value with distinct rowids.
+    #[test]
+    fn duplicate_rectangles_are_tracked_by_rowid(n in 1usize..60, kill in 0usize..60) {
+        let mut tree = RStarTree::create(
+            fresh_lo(),
+            RStarOptions {
+                max_entries: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let r = Rect2::new(10, 20, 10, 20);
+        for id in 0..n as u64 {
+            tree.insert(r, id).unwrap();
+        }
+        let kill = kill % n;
+        prop_assert!(tree.delete(r, kill as u64).unwrap().found);
+        prop_assert!(!tree.delete(r, kill as u64).unwrap().found);
+        let hits = tree.search(SpatialPredicate::Equal, &r).unwrap();
+        prop_assert_eq!(hits.len(), n - 1);
+        prop_assert!(!hits.contains(&(kill as u64)));
+        tree.check().unwrap();
+    }
+}

@@ -1,0 +1,278 @@
+//! The buffer pool: page caching with no-steal transactional dirtying.
+//!
+//! Frames dirtied by a transaction stay in the pool until that
+//! transaction commits (force-at-commit) or aborts (frames discarded) —
+//! the simplest policy that makes the redo-only WAL sound. Clean frames
+//! are evicted LRU when the pool exceeds its capacity; dirty frames are
+//! never evicted (the pool grows past capacity rather than stealing).
+
+use crate::backend::Backend;
+use crate::page::{zeroed_page, PageBuf, PageId, PAGE_SIZE};
+use crate::stats::IoStats;
+use crate::txn::TxnId;
+use crate::Result;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Frame {
+    data: PageBuf,
+    /// `Some(txn)` when the frame holds uncommitted writes of `txn`.
+    dirty_owner: Option<TxnId>,
+    last_use: u64,
+}
+
+/// The buffer pool. All methods are called under the space's pool lock.
+pub struct BufferPool {
+    backend: Box<dyn Backend>,
+    frames: HashMap<u32, Frame>,
+    capacity: usize,
+    tick: u64,
+    stats: Arc<IoStats>,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` frames over `backend`.
+    pub fn new(backend: Box<dyn Backend>, capacity: usize, stats: Arc<IoStats>) -> BufferPool {
+        BufferPool {
+            backend,
+            frames: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            stats,
+        }
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn evict_if_needed(&mut self) {
+        while self.frames.len() > self.capacity {
+            let victim = self
+                .frames
+                .iter()
+                .filter(|(_, f)| f.dirty_owner.is_none())
+                .min_by_key(|(_, f)| f.last_use)
+                .map(|(&pid, _)| pid);
+            match victim {
+                Some(pid) => {
+                    self.frames.remove(&pid);
+                }
+                // Everything is dirty-uncommitted: no-steal forbids
+                // eviction, so the pool temporarily exceeds capacity.
+                None => return,
+            }
+        }
+    }
+
+    /// Reads page `pid` into `out` (logical read; miss = physical read).
+    pub fn read(&mut self, pid: PageId, out: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        IoStats::bump(&self.stats.logical_reads);
+        let tick = self.touch();
+        if let Some(f) = self.frames.get_mut(&pid.0) {
+            f.last_use = tick;
+            out.copy_from_slice(&f.data[..]);
+            return Ok(());
+        }
+        IoStats::bump(&self.stats.physical_reads);
+        let mut buf = zeroed_page();
+        self.backend.read_page(pid, &mut buf)?;
+        out.copy_from_slice(&buf[..]);
+        self.frames.insert(
+            pid.0,
+            Frame {
+                data: buf,
+                dirty_owner: None,
+                last_use: tick,
+            },
+        );
+        self.evict_if_needed();
+        Ok(())
+    }
+
+    /// Buffers a transactional write of page `pid` by `txn` (no-steal:
+    /// nothing reaches the backend until commit).
+    pub fn write_txn(&mut self, txn: TxnId, pid: PageId, data: &[u8; PAGE_SIZE]) {
+        IoStats::bump(&self.stats.logical_writes);
+        let tick = self.touch();
+        let frame = self.frames.entry(pid.0).or_insert_with(|| Frame {
+            data: zeroed_page(),
+            dirty_owner: None,
+            last_use: tick,
+        });
+        frame.data.copy_from_slice(data);
+        frame.dirty_owner = Some(txn);
+        frame.last_use = tick;
+        self.evict_if_needed();
+    }
+
+    /// Writes a metadata page through to the backend immediately (its
+    /// redo image must already be in the log) and refreshes the cache.
+    pub fn write_through(&mut self, pid: PageId, data: &[u8; PAGE_SIZE]) -> Result<()> {
+        IoStats::bump(&self.stats.logical_writes);
+        IoStats::bump(&self.stats.physical_writes);
+        self.backend.write_page(pid, data)?;
+        let tick = self.touch();
+        self.frames.insert(
+            pid.0,
+            Frame {
+                data: crate::page::page_from_slice(data),
+                dirty_owner: None,
+                last_use: tick,
+            },
+        );
+        self.evict_if_needed();
+        Ok(())
+    }
+
+    /// Returns copies of all dirty frames owned by `txn` (for the WAL).
+    pub fn dirty_of(&self, txn: TxnId) -> Vec<(PageId, PageBuf)> {
+        let mut out: Vec<(PageId, PageBuf)> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty_owner == Some(txn))
+            .map(|(&pid, f)| (PageId(pid), f.data.clone()))
+            .collect();
+        out.sort_by_key(|(pid, _)| pid.0);
+        out
+    }
+
+    /// Flushes `txn`'s dirty frames to the backend and marks them clean
+    /// (the force step of commit — call after their images are logged).
+    pub fn flush_txn(&mut self, txn: TxnId) -> Result<()> {
+        let pids: Vec<u32> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty_owner == Some(txn))
+            .map(|(&pid, _)| pid)
+            .collect();
+        for pid in pids {
+            let frame = self.frames.get_mut(&pid).expect("frame exists");
+            IoStats::bump(&self.stats.physical_writes);
+            self.backend.write_page(PageId(pid), &frame.data)?;
+            frame.dirty_owner = None;
+        }
+        self.backend.sync()?;
+        self.evict_if_needed();
+        Ok(())
+    }
+
+    /// Discards `txn`'s dirty frames (abort: the backend still holds the
+    /// pre-transaction images).
+    pub fn discard_txn(&mut self, txn: TxnId) {
+        self.frames.retain(|_, f| f.dirty_owner != Some(txn));
+    }
+
+    /// True if any frame is dirty (used by checkpoint assertions).
+    pub fn any_dirty(&self) -> bool {
+        self.frames.values().any(|f| f.dirty_owner.is_some())
+    }
+
+    /// Drops the entire cache (used after out-of-band backend changes,
+    /// e.g. recovery replay).
+    pub fn invalidate(&mut self) {
+        self.frames.clear();
+    }
+
+    /// Durably syncs the backend.
+    pub fn sync_backend(&self) -> Result<()> {
+        self.backend.sync()
+    }
+
+    /// Direct backend write used by recovery (bypasses cache and stats).
+    pub fn recovery_write(&mut self, pid: PageId, data: &[u8; PAGE_SIZE]) -> Result<()> {
+        self.backend.write_page(pid, data)
+    }
+
+    /// Direct backend read used by recovery.
+    pub fn recovery_read(&mut self, pid: PageId, out: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        self.backend.read_page(pid, out)
+    }
+
+    /// Number of cached frames (test hook).
+    pub fn cached_frames(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use crate::page::page_from_slice;
+
+    fn pool(cap: usize) -> BufferPool {
+        BufferPool::new(Box::new(MemBackend::new()), cap, IoStats::new_shared())
+    }
+
+    #[test]
+    fn txn_writes_invisible_to_backend_until_flush() {
+        let mut p = pool(8);
+        let data = page_from_slice(b"uncommitted");
+        p.write_txn(TxnId(1), PageId(3), &data);
+        // The cache serves the new data...
+        let mut out = zeroed_page();
+        p.read(PageId(3), &mut out).unwrap();
+        assert_eq!(&out[..11], b"uncommitted");
+        // ...but after discarding, the backend's (zero) image returns.
+        p.discard_txn(TxnId(1));
+        p.read(PageId(3), &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn flush_persists_and_cleans() {
+        let mut p = pool(8);
+        let data = page_from_slice(b"committed");
+        p.write_txn(TxnId(1), PageId(3), &data);
+        assert_eq!(p.dirty_of(TxnId(1)).len(), 1);
+        p.flush_txn(TxnId(1)).unwrap();
+        assert!(p.dirty_of(TxnId(1)).is_empty());
+        assert!(!p.any_dirty());
+        p.invalidate();
+        let mut out = zeroed_page();
+        p.read(PageId(3), &mut out).unwrap();
+        assert_eq!(&out[..9], b"committed");
+    }
+
+    #[test]
+    fn lru_evicts_clean_not_dirty() {
+        let mut p = pool(2);
+        let d = page_from_slice(b"d");
+        p.write_txn(TxnId(1), PageId(0), &d);
+        let mut out = zeroed_page();
+        p.read(PageId(1), &mut out).unwrap();
+        p.read(PageId(2), &mut out).unwrap();
+        p.read(PageId(3), &mut out).unwrap();
+        // Capacity 2: the dirty frame survives every eviction.
+        assert!(p.dirty_of(TxnId(1)).iter().any(|(pid, _)| pid.0 == 0));
+        assert!(p.cached_frames() <= 2);
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let stats = IoStats::new_shared();
+        let mut p = BufferPool::new(Box::new(MemBackend::new()), 8, Arc::clone(&stats));
+        let mut out = zeroed_page();
+        p.read(PageId(5), &mut out).unwrap(); // miss
+        p.read(PageId(5), &mut out).unwrap(); // hit
+        let s = stats.snapshot();
+        assert_eq!(s.logical_reads, 2);
+        assert_eq!(s.physical_reads, 1);
+    }
+
+    #[test]
+    fn write_through_is_immediate() {
+        let stats = IoStats::new_shared();
+        let mut p = BufferPool::new(Box::new(MemBackend::new()), 8, Arc::clone(&stats));
+        p.write_through(PageId(9), &page_from_slice(b"meta"))
+            .unwrap();
+        assert!(!p.any_dirty());
+        p.invalidate();
+        let mut out = zeroed_page();
+        p.read(PageId(9), &mut out).unwrap();
+        assert_eq!(&out[..4], b"meta");
+        assert_eq!(stats.snapshot().physical_writes, 1);
+    }
+}

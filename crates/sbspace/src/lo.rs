@@ -1,0 +1,303 @@
+//! On-disk layout of smart large objects: header, inode, indirect, and
+//! free pages.
+//!
+//! A large object is identified by the page number of its *inode* page
+//! ([`LoId`]). The inode records the byte size and the page table of the
+//! object: up to [`DIRECT_CAP`] direct entries inline, then a chain of
+//! indirect pages. The space header (page 0) holds the free-page list
+//! head and allocation watermark.
+
+use crate::page::{get_u32, get_u64, put_u32, put_u64, zeroed_page, PageBuf, NO_PAGE, PAGE_SIZE};
+use crate::{Result, SbError};
+
+/// A large-object handle value: the page id of the object's inode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoId(pub u32);
+
+impl std::fmt::Display for LoId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lo{}", self.0)
+    }
+}
+
+const MAGIC_HEADER: &[u8; 4] = b"SBSP";
+const MAGIC_INODE: &[u8; 4] = b"INOD";
+const MAGIC_INDIRECT: &[u8; 4] = b"INDR";
+const MAGIC_FREE: &[u8; 4] = b"FREE";
+
+/// Direct page-table entries held in the inode page itself.
+pub const DIRECT_CAP: usize = (PAGE_SIZE - 20) / 4;
+/// Page-table entries per indirect page.
+pub const INDIRECT_CAP: usize = (PAGE_SIZE - 8) / 4;
+
+/// Decoded space header (page 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Head of the free-page chain, or `NO_PAGE`.
+    pub free_head: u32,
+    /// Allocation watermark: pages `1..total_pages` have been handed out
+    /// at some point.
+    pub total_pages: u32,
+    /// Number of live large objects.
+    pub lo_count: u32,
+}
+
+impl Header {
+    /// A fresh header for an empty space.
+    pub fn fresh() -> Header {
+        Header {
+            free_head: NO_PAGE,
+            total_pages: 1, // page 0 is the header itself
+            lo_count: 0,
+        }
+    }
+
+    /// Encodes into a page image.
+    pub fn encode(&self) -> PageBuf {
+        let mut p = zeroed_page();
+        p[0..4].copy_from_slice(MAGIC_HEADER);
+        put_u32(&mut p[..], 4, 1); // version
+        put_u32(&mut p[..], 8, self.free_head);
+        put_u32(&mut p[..], 12, self.total_pages);
+        put_u32(&mut p[..], 16, self.lo_count);
+        p
+    }
+
+    /// Decodes a header page, verifying the magic.
+    pub fn decode(p: &[u8; PAGE_SIZE]) -> Result<Header> {
+        if &p[0..4] != MAGIC_HEADER {
+            return Err(SbError::Corrupt("bad sbspace header magic".into()));
+        }
+        Ok(Header {
+            free_head: get_u32(&p[..], 8),
+            total_pages: get_u32(&p[..], 12),
+            lo_count: get_u32(&p[..], 16),
+        })
+    }
+
+    /// True when the page is all zeroes (an uninitialised space).
+    pub fn is_blank(p: &[u8; PAGE_SIZE]) -> bool {
+        p.iter().all(|&b| b == 0)
+    }
+}
+
+/// Decoded in-memory form of a large object's metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// Byte size of the object.
+    pub size: u64,
+    /// Logical-to-physical page map of the object's data pages.
+    pub data_pages: Vec<u32>,
+    /// Physical pages holding the indirect chain (owned by the object).
+    pub indirect_pids: Vec<u32>,
+}
+
+impl Inode {
+    /// An empty object.
+    pub fn empty() -> Inode {
+        Inode {
+            size: 0,
+            data_pages: Vec::new(),
+            indirect_pids: Vec::new(),
+        }
+    }
+
+    /// How many indirect pages a page table of `npages` entries needs.
+    pub fn indirect_needed(npages: usize) -> usize {
+        npages.saturating_sub(DIRECT_CAP).div_ceil(INDIRECT_CAP)
+    }
+
+    /// All physical pages owned by the object, inode page included.
+    pub fn all_pages(&self, id: LoId) -> Vec<u32> {
+        let mut v = Vec::with_capacity(1 + self.indirect_pids.len() + self.data_pages.len());
+        v.push(id.0);
+        v.extend_from_slice(&self.indirect_pids);
+        v.extend_from_slice(&self.data_pages);
+        v
+    }
+
+    /// Encodes the inode and its indirect chain into page images.
+    /// `self.indirect_pids` must already hold exactly
+    /// `indirect_needed(self.data_pages.len())` page ids.
+    pub fn encode(&self, id: LoId) -> Vec<(u32, PageBuf)> {
+        assert_eq!(
+            self.indirect_pids.len(),
+            Inode::indirect_needed(self.data_pages.len()),
+            "indirect chain must be sized before encoding"
+        );
+        let mut out = Vec::with_capacity(1 + self.indirect_pids.len());
+        let mut inode = zeroed_page();
+        inode[0..4].copy_from_slice(MAGIC_INODE);
+        put_u64(&mut inode[..], 4, self.size);
+        put_u32(&mut inode[..], 12, self.data_pages.len() as u32);
+        put_u32(
+            &mut inode[..],
+            16,
+            self.indirect_pids.first().copied().unwrap_or(NO_PAGE),
+        );
+        for (i, &pid) in self.data_pages.iter().take(DIRECT_CAP).enumerate() {
+            put_u32(&mut inode[..], 20 + 4 * i, pid);
+        }
+        out.push((id.0, inode));
+        let mut rest = &self.data_pages[self.data_pages.len().min(DIRECT_CAP)..];
+        for (k, &ipid) in self.indirect_pids.iter().enumerate() {
+            let mut page = zeroed_page();
+            page[0..4].copy_from_slice(MAGIC_INDIRECT);
+            put_u32(
+                &mut page[..],
+                4,
+                self.indirect_pids.get(k + 1).copied().unwrap_or(NO_PAGE),
+            );
+            let take = rest.len().min(INDIRECT_CAP);
+            for (i, &pid) in rest[..take].iter().enumerate() {
+                put_u32(&mut page[..], 8 + 4 * i, pid);
+            }
+            rest = &rest[take..];
+            out.push((ipid, page));
+        }
+        out
+    }
+
+    /// Decodes an inode and its indirect chain, fetching pages through
+    /// `read`.
+    pub fn decode(id: LoId, mut read: impl FnMut(u32) -> Result<PageBuf>) -> Result<Inode> {
+        let inode = read(id.0)?;
+        if &inode[0..4] != MAGIC_INODE {
+            return Err(SbError::Corrupt(format!("{id}: bad inode magic")));
+        }
+        let size = get_u64(&inode[..], 4);
+        let npages = get_u32(&inode[..], 12) as usize;
+        let mut data_pages = Vec::with_capacity(npages);
+        for i in 0..npages.min(DIRECT_CAP) {
+            data_pages.push(get_u32(&inode[..], 20 + 4 * i));
+        }
+        let mut indirect_pids = Vec::new();
+        let mut next = get_u32(&inode[..], 16);
+        while data_pages.len() < npages {
+            if next == NO_PAGE {
+                return Err(SbError::Corrupt(format!(
+                    "{id}: page table truncated at {} of {npages}",
+                    data_pages.len()
+                )));
+            }
+            let page = read(next)?;
+            if &page[0..4] != MAGIC_INDIRECT {
+                return Err(SbError::Corrupt(format!("{id}: bad indirect magic")));
+            }
+            indirect_pids.push(next);
+            let remaining = npages - data_pages.len();
+            for i in 0..remaining.min(INDIRECT_CAP) {
+                data_pages.push(get_u32(&page[..], 8 + 4 * i));
+            }
+            next = get_u32(&page[..], 4);
+        }
+        Ok(Inode {
+            size,
+            data_pages,
+            indirect_pids,
+        })
+    }
+}
+
+/// Encodes a free-list page pointing at `next`.
+pub fn encode_free_page(next: u32) -> PageBuf {
+    let mut p = zeroed_page();
+    p[0..4].copy_from_slice(MAGIC_FREE);
+    put_u32(&mut p[..], 4, next);
+    p
+}
+
+/// Decodes the `next` pointer of a free-list page.
+pub fn decode_free_next(p: &[u8; PAGE_SIZE]) -> Result<u32> {
+    if &p[0..4] != MAGIC_FREE {
+        return Err(SbError::Corrupt("bad free-page magic".into()));
+    }
+    Ok(get_u32(&p[..], 4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn roundtrip(npages: usize) {
+        let data_pages: Vec<u32> = (100..100 + npages as u32).collect();
+        let n_ind = Inode::indirect_needed(npages);
+        let indirect_pids: Vec<u32> = (50_000..50_000 + n_ind as u32).collect();
+        let inode = Inode {
+            size: npages as u64 * 1000,
+            data_pages,
+            indirect_pids,
+        };
+        let id = LoId(7);
+        let images: HashMap<u32, PageBuf> = inode.encode(id).into_iter().collect();
+        let decoded = Inode::decode(id, |pid| {
+            images
+                .get(&pid)
+                .cloned()
+                .ok_or_else(|| SbError::NotFound(format!("page {pid}")))
+        })
+        .unwrap();
+        assert_eq!(decoded, inode, "npages = {npages}");
+    }
+
+    #[test]
+    fn inode_roundtrip_direct_only() {
+        roundtrip(0);
+        roundtrip(1);
+        roundtrip(DIRECT_CAP);
+    }
+
+    #[test]
+    fn inode_roundtrip_with_indirects() {
+        roundtrip(DIRECT_CAP + 1);
+        roundtrip(DIRECT_CAP + INDIRECT_CAP);
+        roundtrip(DIRECT_CAP + INDIRECT_CAP + 1);
+        roundtrip(DIRECT_CAP + 3 * INDIRECT_CAP + 17);
+    }
+
+    #[test]
+    fn indirect_needed_boundaries() {
+        assert_eq!(Inode::indirect_needed(0), 0);
+        assert_eq!(Inode::indirect_needed(DIRECT_CAP), 0);
+        assert_eq!(Inode::indirect_needed(DIRECT_CAP + 1), 1);
+        assert_eq!(Inode::indirect_needed(DIRECT_CAP + INDIRECT_CAP), 1);
+        assert_eq!(Inode::indirect_needed(DIRECT_CAP + INDIRECT_CAP + 1), 2);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header {
+            free_head: 42,
+            total_pages: 99,
+            lo_count: 3,
+        };
+        assert_eq!(Header::decode(&h.encode()).unwrap(), h);
+        let blank = zeroed_page();
+        assert!(Header::is_blank(&blank));
+        assert!(Header::decode(&blank).is_err());
+    }
+
+    #[test]
+    fn free_page_roundtrip() {
+        let p = encode_free_page(17);
+        assert_eq!(decode_free_next(&p).unwrap(), 17);
+        assert!(decode_free_next(&zeroed_page()).is_err());
+    }
+
+    #[test]
+    fn all_pages_lists_everything() {
+        let inode = Inode {
+            size: 10,
+            data_pages: vec![5, 6],
+            indirect_pids: vec![],
+        };
+        assert_eq!(inode.all_pages(LoId(3)), vec![3, 5, 6]);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let err = Inode::decode(LoId(1), |_| Ok(zeroed_page())).unwrap_err();
+        assert!(matches!(err, SbError::Corrupt(_)));
+    }
+}

@@ -1,0 +1,85 @@
+//! Fixed-size pages — the unit of I/O, buffering, and logging.
+
+/// Size of every page in bytes. A GR-tree node occupies exactly one
+/// page, as in the paper ("a node ... is stored in one disk page").
+pub const PAGE_SIZE: usize = 4096;
+
+/// A physical page number within an sbspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u32);
+
+/// Sentinel for "no page" in on-disk chains.
+pub const NO_PAGE: u32 = u32::MAX;
+
+/// An owned page image.
+pub type PageBuf = Box<[u8; PAGE_SIZE]>;
+
+/// Allocates a zeroed page buffer.
+pub fn zeroed_page() -> PageBuf {
+    vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap()
+}
+
+/// Copies a slice into a fresh page buffer, zero-padding the tail.
+///
+/// # Panics
+///
+/// Panics if `data` is longer than a page.
+pub fn page_from_slice(data: &[u8]) -> PageBuf {
+    assert!(data.len() <= PAGE_SIZE, "page overflow: {}", data.len());
+    let mut p = zeroed_page();
+    p[..data.len()].copy_from_slice(data);
+    p
+}
+
+/// Little-endian u32 read at a byte offset.
+pub fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+}
+
+/// Little-endian u32 write at a byte offset.
+pub fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Little-endian u64 read at a byte offset.
+pub fn get_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+}
+
+/// Little-endian u64 write at a byte offset.
+pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_from_slice_pads() {
+        let p = page_from_slice(&[1, 2, 3]);
+        assert_eq!(&p[..3], &[1, 2, 3]);
+        assert!(p[3..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "page overflow")]
+    fn oversized_slice_panics() {
+        let _ = page_from_slice(&vec![0u8; PAGE_SIZE + 1]);
+    }
+
+    #[test]
+    fn endian_helpers_roundtrip() {
+        let mut p = zeroed_page();
+        put_u32(&mut p[..], 100, 0xdead_beef);
+        put_u64(&mut p[..], 200, 0x0123_4567_89ab_cdef);
+        assert_eq!(get_u32(&p[..], 100), 0xdead_beef);
+        assert_eq!(get_u64(&p[..], 200), 0x0123_4567_89ab_cdef);
+    }
+}

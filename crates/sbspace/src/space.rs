@@ -1,0 +1,950 @@
+//! The sbspace facade: transactions, large-object lifecycle, and
+//! recovery.
+//!
+//! This is the surface the DataBlade's BLOB-manipulation layer talks to
+//! (the paper's `Create()`, `Drop()`, `Open()`, `Close()`, `Read()`,
+//! `Write()` functions): create/open/drop large objects under automatic
+//! LO-level two-phase locking, read/write them by page or by byte
+//! range, and commit or abort atomically. Opening a space replays the
+//! write-ahead log: metadata images unconditionally, data images of
+//! committed transactions, and compensation (freeing) of pages
+//! allocated by transactions that never finished.
+
+use crate::backend::{Backend, FileBackend, MemBackend};
+use crate::buffer::BufferPool;
+use crate::lo::{decode_free_next, encode_free_page, Header, Inode, LoId};
+use crate::lock::{IsolationLevel, LockManager, LockMode};
+use crate::page::{PageBuf, PageId, NO_PAGE, PAGE_SIZE};
+use crate::stats::IoStats;
+use crate::txn::{TxnEnd, TxnId, TxnState};
+use crate::wal::{FileWal, MemWal, WalRecord, WalStore};
+use crate::{Result, SbError};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning knobs for an sbspace.
+#[derive(Debug, Clone)]
+pub struct SbspaceOptions {
+    /// Buffer-pool capacity in pages.
+    pub pool_pages: usize,
+    /// Lock-wait timeout.
+    pub lock_timeout: Duration,
+}
+
+impl Default for SbspaceOptions {
+    fn default() -> Self {
+        SbspaceOptions {
+            pool_pages: 256,
+            lock_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A snapshot of space occupancy (see [`Sbspace::space_info`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceInfo {
+    /// Allocation watermark (pages ever handed out, header included).
+    pub total_pages: u32,
+    /// Pages currently on the free list.
+    pub free_pages: u32,
+    /// Live large objects (advisory).
+    pub lo_count: u32,
+}
+
+type EndCallback = Box<dyn Fn(TxnId, TxnEnd) + Send + Sync>;
+
+pub(crate) struct SpaceInner {
+    pool: Mutex<BufferPool>,
+    wal: Box<dyn WalStore>,
+    pub(crate) lm: LockManager,
+    stats: Arc<IoStats>,
+    /// Serialises header/free-list operations.
+    meta: Mutex<()>,
+    txns: Mutex<HashMap<u64, TxnState>>,
+    next_txn: AtomicU64,
+    callbacks: Mutex<Vec<EndCallback>>,
+}
+
+/// A store of smart large objects. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct Sbspace {
+    inner: Arc<SpaceInner>,
+}
+
+/// A transaction handle. Dropping an unfinished transaction aborts it.
+pub struct Txn {
+    inner: Arc<SpaceInner>,
+    id: TxnId,
+    done: AtomicBool,
+}
+
+/// An open large object, holding the lock its open acquired.
+pub struct LoHandle {
+    inner: Arc<SpaceInner>,
+    txn: TxnId,
+    lo: LoId,
+    mode: LockMode,
+    inode: Inode,
+    inode_dirty: bool,
+    closed: bool,
+}
+
+impl Sbspace {
+    /// Opens a space over arbitrary backend and log, running recovery
+    /// and initialising a fresh header when the store is blank.
+    pub fn open_with(
+        backend: impl Backend + 'static,
+        wal: impl WalStore + 'static,
+        opts: SbspaceOptions,
+    ) -> Result<Sbspace> {
+        let stats = IoStats::new_shared();
+        let mut pool = BufferPool::new(Box::new(backend), opts.pool_pages, Arc::clone(&stats));
+        Self::recover(&mut pool, &wal)?;
+        // Initialise the header if the space is brand new.
+        let mut page0 = crate::page::zeroed_page();
+        pool.recovery_read(PageId(0), &mut page0)?;
+        if Header::is_blank(&page0) {
+            pool.recovery_write(PageId(0), &Header::fresh().encode())?;
+            pool.sync_backend()?;
+        } else {
+            Header::decode(&page0)?;
+        }
+        pool.invalidate();
+        Ok(Sbspace {
+            inner: Arc::new(SpaceInner {
+                pool: Mutex::new(pool),
+                wal: Box::new(wal),
+                lm: LockManager::new(opts.lock_timeout, Arc::clone(&stats)),
+                stats,
+                meta: Mutex::new(()),
+                txns: Mutex::new(HashMap::new()),
+                next_txn: AtomicU64::new(1),
+                callbacks: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// An in-memory space (tests, benchmarks).
+    pub fn mem(opts: SbspaceOptions) -> Sbspace {
+        Sbspace::open_with(MemBackend::new(), MemWal::new(), opts).expect("mem space")
+    }
+
+    /// A file-backed space in `dir` (`pages.db` + `wal.log`).
+    pub fn file(dir: &Path, opts: SbspaceOptions) -> Result<Sbspace> {
+        std::fs::create_dir_all(dir).map_err(|e| SbError::Io(e.to_string()))?;
+        let backend = FileBackend::open(&dir.join("pages.db"))?;
+        let wal = FileWal::open(&dir.join("wal.log"))?;
+        Sbspace::open_with(backend, wal, opts)
+    }
+
+    /// Log replay: metadata images always, data images of committed
+    /// transactions, then compensation for unfinished allocations.
+    fn recover(pool: &mut BufferPool, wal: &dyn WalStore) -> Result<()> {
+        let records = WalRecord::decode_stream(&wal.read_all()?);
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut finished: HashSet<TxnId> = HashSet::new();
+        let mut committed: HashSet<TxnId> = HashSet::new();
+        for r in &records {
+            match r {
+                WalRecord::Commit { txn } => {
+                    committed.insert(*txn);
+                    finished.insert(*txn);
+                }
+                WalRecord::Abort { txn } => {
+                    finished.insert(*txn);
+                }
+                _ => {}
+            }
+        }
+        let mut leaked: Vec<u32> = Vec::new();
+        for r in &records {
+            match r {
+                WalRecord::MetaImage { pid, data } => {
+                    pool.recovery_write(PageId(*pid), data)?;
+                }
+                WalRecord::PageImage { txn, pid, data } if committed.contains(txn) => {
+                    pool.recovery_write(PageId(*pid), data)?;
+                }
+                WalRecord::AllocNote { txn, pages } if !finished.contains(txn) => {
+                    leaked.extend_from_slice(pages);
+                }
+                _ => {}
+            }
+        }
+        if !leaked.is_empty() {
+            // Free leaked pages, skipping any already on the free list
+            // (a crash mid-abort may have freed a prefix).
+            let mut page0 = crate::page::zeroed_page();
+            pool.recovery_read(PageId(0), &mut page0)?;
+            if !Header::is_blank(&page0) {
+                let mut header = Header::decode(&page0)?;
+                let mut free: HashSet<u32> = HashSet::new();
+                let mut cursor = header.free_head;
+                while cursor != NO_PAGE {
+                    if !free.insert(cursor) {
+                        return Err(SbError::Corrupt("free-list cycle".into()));
+                    }
+                    let mut p = crate::page::zeroed_page();
+                    pool.recovery_read(PageId(cursor), &mut p)?;
+                    cursor = decode_free_next(&p)?;
+                }
+                for pid in leaked {
+                    if pid == 0 || pid >= header.total_pages || free.contains(&pid) {
+                        continue;
+                    }
+                    pool.recovery_write(PageId(pid), &encode_free_page(header.free_head))?;
+                    header.free_head = pid;
+                    free.insert(pid);
+                }
+                pool.recovery_write(PageId(0), &header.encode())?;
+            }
+        }
+        pool.sync_backend()?;
+        wal.truncate()?;
+        pool.invalidate();
+        Ok(())
+    }
+
+    /// Starts a transaction.
+    pub fn begin(&self, iso: IsolationLevel) -> Txn {
+        let id = TxnId(self.inner.next_txn.fetch_add(1, Ordering::SeqCst));
+        self.inner.txns.lock().insert(id.0, TxnState::new(iso));
+        self.inner
+            .wal
+            .append(&WalRecord::Begin { txn: id }.encode())
+            .ok();
+        Txn {
+            inner: Arc::clone(&self.inner),
+            id,
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Registers an end-of-transaction callback (the paper's Section 5.4
+    /// mechanism for clearing per-transaction named memory).
+    pub fn on_txn_end(&self, f: impl Fn(TxnId, TxnEnd) + Send + Sync + 'static) {
+        self.inner.callbacks.lock().push(Box::new(f));
+    }
+
+    /// The shared I/O counters.
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.inner.stats)
+    }
+
+    /// Creates a new large object, exclusively locked by `txn`.
+    pub fn create_lo(&self, txn: &Txn) -> Result<LoId> {
+        txn.check_live()?;
+        let pid = self.inner.alloc_pages(txn.id, 1)?.pop().expect("one page");
+        let id = LoId(pid);
+        self.inner.lock_for(txn.id, id, LockMode::Exclusive)?;
+        // The inode itself is transactional data: invisible until commit.
+        let images = Inode::empty().encode(id);
+        let mut pool = self.inner.pool.lock();
+        for (p, data) in images {
+            pool.write_txn(txn.id, PageId(p), &data);
+        }
+        Ok(id)
+    }
+
+    /// Opens a large object, acquiring a shared (read) or exclusive
+    /// (write) lock per the paper's sbspace semantics.
+    pub fn open_lo(&self, txn: &Txn, lo: LoId, mode: LockMode) -> Result<LoHandle> {
+        txn.check_live()?;
+        self.inner.lock_for(txn.id, lo, mode)?;
+        IoStats::bump(&self.inner.stats.lo_opens);
+        let inode = self.inner.load_inode(lo)?;
+        Ok(LoHandle {
+            inner: Arc::clone(&self.inner),
+            txn: txn.id,
+            lo,
+            mode,
+            inode,
+            inode_dirty: false,
+            closed: false,
+        })
+    }
+
+    /// Schedules a large object for destruction at commit (it stays
+    /// exclusively locked until then).
+    pub fn drop_lo(&self, txn: &Txn, lo: LoId) -> Result<()> {
+        txn.check_live()?;
+        self.inner.lock_for(txn.id, lo, LockMode::Exclusive)?;
+        // Validate it exists now rather than failing at commit.
+        self.inner.load_inode(lo)?;
+        let mut txns = self.inner.txns.lock();
+        let st = txns.get_mut(&txn.id.0).ok_or(SbError::TxnEnded)?;
+        st.pending_drops.push(lo.0);
+        Ok(())
+    }
+
+    /// Verifies a large object's page table (the `am_check` primitive):
+    /// in-range page ids and no duplicates.
+    pub fn verify_lo(&self, txn: &Txn, lo: LoId) -> Result<()> {
+        txn.check_live()?;
+        self.inner.lock_for(txn.id, lo, LockMode::Shared)?;
+        let inode = self.inner.load_inode(lo)?;
+        let header = self.inner.read_header()?;
+        let mut seen = HashSet::new();
+        for pid in inode.all_pages(lo) {
+            if pid >= header.total_pages {
+                return Err(SbError::Corrupt(format!("{lo}: page {pid} out of range")));
+            }
+            if !seen.insert(pid) {
+                return Err(SbError::Corrupt(format!("{lo}: duplicate page {pid}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Space occupancy: allocation watermark, free pages, live objects.
+    pub fn space_info(&self) -> Result<SpaceInfo> {
+        let _g = self.inner.meta.lock();
+        let header = self.inner.read_header()?;
+        let mut free = 0u32;
+        let mut cursor = header.free_head;
+        let mut seen = HashSet::new();
+        while cursor != NO_PAGE {
+            if !seen.insert(cursor) {
+                return Err(SbError::Corrupt("free-list cycle".into()));
+            }
+            free += 1;
+            let mut p = crate::page::zeroed_page();
+            self.inner.pool.lock().read(PageId(cursor), &mut p)?;
+            cursor = decode_free_next(&p)?;
+        }
+        Ok(SpaceInfo {
+            total_pages: header.total_pages,
+            free_pages: free,
+            lo_count: header.lo_count,
+        })
+    }
+
+    /// Truncates the log once no transaction is active.
+    pub fn checkpoint(&self) -> Result<()> {
+        let txns = self.inner.txns.lock();
+        if !txns.is_empty() {
+            return Err(SbError::Usage("checkpoint with active transactions".into()));
+        }
+        let pool = self.inner.pool.lock();
+        debug_assert!(!pool.any_dirty());
+        pool.sync_backend()?;
+        self.inner.wal.truncate()
+    }
+}
+
+impl SpaceInner {
+    fn read_header(&self) -> Result<Header> {
+        let mut buf = crate::page::zeroed_page();
+        self.pool.lock().read(PageId(0), &mut buf)?;
+        Header::decode(&buf)
+    }
+
+    fn lock_for(&self, txn: TxnId, lo: LoId, mode: LockMode) -> Result<()> {
+        self.lm.acquire(txn, lo.0, mode)?;
+        if let Some(st) = self.txns.lock().get_mut(&txn.0) {
+            st.locks.insert(lo.0);
+        }
+        Ok(())
+    }
+
+    fn load_inode(&self, lo: LoId) -> Result<Inode> {
+        let mut pool = self.pool.lock();
+        Inode::decode(lo, |pid| {
+            let mut buf = crate::page::zeroed_page();
+            pool.read(PageId(pid), &mut buf)?;
+            Ok(buf)
+        })
+    }
+
+    /// Durably applies metadata page images: log first, then write
+    /// through.
+    fn meta_apply(&self, images: Vec<(u32, PageBuf)>) -> Result<()> {
+        for (pid, data) in &images {
+            self.wal.append(
+                &WalRecord::MetaImage {
+                    pid: *pid,
+                    data: data.clone(),
+                }
+                .encode(),
+            )?;
+        }
+        self.wal.sync()?;
+        let mut pool = self.pool.lock();
+        for (pid, data) in &images {
+            pool.write_through(PageId(*pid), data)?;
+        }
+        Ok(())
+    }
+
+    /// Allocates `n` pages for `txn`, noting them for crash/abort
+    /// compensation.
+    pub(crate) fn alloc_pages(&self, txn: TxnId, n: usize) -> Result<Vec<u32>> {
+        let _g = self.meta.lock();
+        let mut header = self.read_header()?;
+        let mut got = Vec::with_capacity(n);
+        let mut images: Vec<(u32, PageBuf)> = Vec::new();
+        for _ in 0..n {
+            if header.free_head != NO_PAGE {
+                let pid = header.free_head;
+                let mut buf = crate::page::zeroed_page();
+                self.pool.lock().read(PageId(pid), &mut buf)?;
+                header.free_head = decode_free_next(&buf)?;
+                got.push(pid);
+            } else {
+                let pid = header.total_pages;
+                header.total_pages += 1;
+                got.push(pid);
+            }
+        }
+        self.wal.append(
+            &WalRecord::AllocNote {
+                txn,
+                pages: got.clone(),
+            }
+            .encode(),
+        )?;
+        images.push((0, header.encode()));
+        self.meta_apply(images)?;
+        if let Some(st) = self.txns.lock().get_mut(&txn.0) {
+            st.alloc_pages.extend_from_slice(&got);
+        }
+        Ok(got)
+    }
+
+    /// Returns pages to the free list (system transaction).
+    fn free_pages(&self, pages: &[u32]) -> Result<()> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        let _g = self.meta.lock();
+        let mut header = self.read_header()?;
+        let mut images: Vec<(u32, PageBuf)> = Vec::with_capacity(pages.len() + 1);
+        for &pid in pages {
+            debug_assert!(pid != 0, "cannot free the header page");
+            images.push((pid, encode_free_page(header.free_head)));
+            header.free_head = pid;
+        }
+        images.push((0, header.encode()));
+        self.meta_apply(images)
+    }
+
+    fn adjust_lo_count(&self, delta: i64) -> Result<()> {
+        let _g = self.meta.lock();
+        let mut header = self.read_header()?;
+        header.lo_count = (header.lo_count as i64 + delta).max(0) as u32;
+        self.meta_apply(vec![(0, header.encode())])
+    }
+
+    fn run_callbacks(&self, txn: TxnId, end: TxnEnd) {
+        // Clone nothing: callbacks are invoked under no internal locks.
+        let cbs = self.callbacks.lock();
+        for cb in cbs.iter() {
+            cb(txn, end);
+        }
+    }
+
+    pub(crate) fn commit_txn(&self, txn: TxnId) -> Result<()> {
+        let state = self.txns.lock().remove(&txn.0).ok_or(SbError::TxnEnded)?;
+        // 1. Log redo images of every page this transaction dirtied,
+        //    then the commit record, then force the log.
+        let dirty = self.pool.lock().dirty_of(txn);
+        for (pid, data) in &dirty {
+            self.wal.append(
+                &WalRecord::PageImage {
+                    txn,
+                    pid: pid.0,
+                    data: data.clone(),
+                }
+                .encode(),
+            )?;
+        }
+        self.wal.append(&WalRecord::Commit { txn }.encode())?;
+        self.wal.sync()?;
+        // 2. Force the data pages (redo images are durable, so a crash
+        //    anywhere from here is repaired by replay).
+        self.pool.lock().flush_txn(txn)?;
+        // 3. Apply deferred LO drops (each a system transaction).
+        for lo in &state.pending_drops {
+            let inode = self.load_inode(LoId(*lo))?;
+            self.free_pages(&inode.all_pages(LoId(*lo)))?;
+            self.adjust_lo_count(-1)?;
+        }
+        // 4. Release locks and notify.
+        self.lm.release_all(txn);
+        self.run_callbacks(txn, TxnEnd::Commit);
+        Ok(())
+    }
+
+    pub(crate) fn abort_txn(&self, txn: TxnId) -> Result<()> {
+        let state = self.txns.lock().remove(&txn.0).ok_or(SbError::TxnEnded)?;
+        // 1. Drop uncommitted frames (no-steal: the backend is clean).
+        self.pool.lock().discard_txn(txn);
+        // 2. Compensate allocations: the pages go back to the free list.
+        self.free_pages(&state.alloc_pages)?;
+        // 3. Record the abort so recovery does not re-compensate.
+        self.wal.append(&WalRecord::Abort { txn }.encode())?;
+        self.wal.sync()?;
+        // 4. Release locks and notify.
+        self.lm.release_all(txn);
+        self.run_callbacks(txn, TxnEnd::Abort);
+        Ok(())
+    }
+}
+
+impl Txn {
+    /// This transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The transaction's isolation level.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.inner
+            .txns
+            .lock()
+            .get(&self.id.0)
+            .map(|s| s.iso)
+            .unwrap_or_default()
+    }
+
+    fn check_live(&self) -> Result<()> {
+        if self.done.load(Ordering::SeqCst) {
+            return Err(SbError::TxnEnded);
+        }
+        Ok(())
+    }
+
+    /// Commits: redo images to the log, force, apply deferred drops,
+    /// release locks, fire callbacks.
+    pub fn commit(self) -> Result<()> {
+        self.check_live()?;
+        self.done.store(true, Ordering::SeqCst);
+        self.inner.commit_txn(self.id)
+    }
+
+    /// Aborts: uncommitted writes vanish, allocations are compensated.
+    pub fn abort(self) -> Result<()> {
+        self.check_live()?;
+        self.done.store(true, Ordering::SeqCst);
+        self.inner.abort_txn(self.id)
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if !self.done.swap(true, Ordering::SeqCst) {
+            let _ = self.inner.abort_txn(self.id);
+        }
+    }
+}
+
+impl LoHandle {
+    /// The object's id.
+    pub fn id(&self) -> LoId {
+        self.lo
+    }
+
+    /// Number of data pages.
+    pub fn page_count(&self) -> u32 {
+        self.inode.data_pages.len() as u32
+    }
+
+    /// Byte size of the object.
+    pub fn len(&self) -> u64 {
+        self.inode.size
+    }
+
+    /// True when the object holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.inode.size == 0
+    }
+
+    /// True when the handle was opened for writing.
+    pub fn is_writable(&self) -> bool {
+        self.mode == LockMode::Exclusive
+    }
+
+    fn check_writable(&self) -> Result<()> {
+        if self.mode != LockMode::Exclusive {
+            return Err(SbError::Usage(format!("{} opened read-only", self.lo)));
+        }
+        Ok(())
+    }
+
+    fn phys(&self, logical: u32) -> Result<u32> {
+        self.inode
+            .data_pages
+            .get(logical as usize)
+            .copied()
+            .ok_or_else(|| SbError::NotFound(format!("{}: page {logical}", self.lo)))
+    }
+
+    /// Reads logical page `logical` of the object.
+    pub fn read_page(&self, logical: u32) -> Result<PageBuf> {
+        let pid = self.phys(logical)?;
+        let mut buf = crate::page::zeroed_page();
+        self.inner.pool.lock().read(PageId(pid), &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Writes logical page `logical` (buffered until commit).
+    ///
+    /// The page-level API does not touch the byte size — an index that
+    /// manages whole pages reports its extent via [`LoHandle::page_count`].
+    pub fn write_page(&mut self, logical: u32, data: &[u8; PAGE_SIZE]) -> Result<()> {
+        self.check_writable()?;
+        let pid = self.phys(logical)?;
+        self.inner
+            .pool
+            .lock()
+            .write_txn(self.txn, PageId(pid), data);
+        Ok(())
+    }
+
+    /// Appends a page, returning its logical number.
+    pub fn append_page(&mut self, data: &[u8; PAGE_SIZE]) -> Result<u32> {
+        self.check_writable()?;
+        let pid = self.inner.alloc_pages(self.txn, 1)?[0];
+        self.inode.data_pages.push(pid);
+        let logical = self.inode.data_pages.len() as u32 - 1;
+        self.inode_dirty = true;
+        self.inner
+            .pool
+            .lock()
+            .write_txn(self.txn, PageId(pid), data);
+        Ok(logical)
+    }
+
+    /// Drops pages from the tail (their storage is reclaimed at once —
+    /// the pages were exclusively locked).
+    pub fn truncate_pages(&mut self, keep: u32) -> Result<()> {
+        self.check_writable()?;
+        if (keep as usize) >= self.inode.data_pages.len() {
+            return Ok(());
+        }
+        let dropped: Vec<u32> = self.inode.data_pages.split_off(keep as usize);
+        self.inode.size = self.inode.size.min(keep as u64 * PAGE_SIZE as u64);
+        self.inode_dirty = true;
+        self.inner.free_pages(&dropped)
+    }
+
+    /// Reads `out.len()` bytes at byte `offset`; short reads past the
+    /// end are zero-filled and the valid prefix length is returned.
+    pub fn read_at(&self, offset: u64, out: &mut [u8]) -> Result<usize> {
+        out.fill(0);
+        if offset >= self.inode.size {
+            return Ok(0);
+        }
+        let valid = ((self.inode.size - offset) as usize).min(out.len());
+        let mut done = 0usize;
+        while done < valid {
+            let pos = offset + done as u64;
+            let page = (pos / PAGE_SIZE as u64) as u32;
+            let in_page = (pos % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(valid - done);
+            let buf = self.read_page(page)?;
+            out[done..done + n].copy_from_slice(&buf[in_page..in_page + n]);
+            done += n;
+        }
+        Ok(valid)
+    }
+
+    /// Writes `data` at byte `offset`, extending the object as needed.
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        self.check_writable()?;
+        let end = offset + data.len() as u64;
+        let pages_needed = end.div_ceil(PAGE_SIZE as u64) as u32;
+        while self.page_count() < pages_needed {
+            self.append_page(&crate::page::zeroed_page())?;
+        }
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = offset + done as u64;
+            let page = (pos / PAGE_SIZE as u64) as u32;
+            let in_page = (pos % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(data.len() - done);
+            let mut buf = self.read_page(page)?;
+            buf[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
+            let pid = self.phys(page)?;
+            self.inner
+                .pool
+                .lock()
+                .write_txn(self.txn, PageId(pid), &buf);
+            done += n;
+        }
+        if end > self.inode.size {
+            self.inode.size = end;
+            self.inode_dirty = true;
+        }
+        Ok(())
+    }
+
+    /// Flushes the cached inode (page-table and size changes) into the
+    /// transaction's buffered writes.
+    pub fn flush(&mut self) -> Result<()> {
+        if !self.inode_dirty {
+            return Ok(());
+        }
+        // Size the indirect chain to the page table.
+        let needed = Inode::indirect_needed(self.inode.data_pages.len());
+        while self.inode.indirect_pids.len() < needed {
+            let pid = self.inner.alloc_pages(self.txn, 1)?[0];
+            self.inode.indirect_pids.push(pid);
+        }
+        if self.inode.indirect_pids.len() > needed {
+            let extra = self.inode.indirect_pids.split_off(needed);
+            self.inner.free_pages(&extra)?;
+        }
+        let images = self.inode.encode(self.lo);
+        let mut pool = self.inner.pool.lock();
+        for (pid, data) in images {
+            pool.write_txn(self.txn, PageId(pid), &data);
+        }
+        drop(pool);
+        self.inode_dirty = false;
+        Ok(())
+    }
+
+    /// Closes the handle: flushes the inode and, for a shared lock under
+    /// `ReadCommitted`, releases the lock early (the paper's LO-close
+    /// semantics).
+    pub fn close(mut self) -> Result<()> {
+        self.do_close()
+    }
+
+    fn do_close(&mut self) -> Result<()> {
+        if self.closed {
+            return Ok(());
+        }
+        self.closed = true;
+        self.flush()?;
+        let iso = self
+            .inner
+            .txns
+            .lock()
+            .get(&self.txn.0)
+            .map(|s| s.iso)
+            .unwrap_or_default();
+        if self.mode == LockMode::Shared && iso == IsolationLevel::ReadCommitted {
+            self.inner.lm.release(self.txn, self.lo.0);
+            if let Some(st) = self.inner.txns.lock().get_mut(&self.txn.0) {
+                st.locks.remove(&self.lo.0);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for LoHandle {
+    fn drop(&mut self) {
+        let _ = self.do_close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Sbspace {
+        Sbspace::mem(SbspaceOptions {
+            pool_pages: 64,
+            lock_timeout: Duration::from_millis(200),
+        })
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let sb = space();
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        h.write_at(0, b"hello large object").unwrap();
+        h.write_at(10_000, b"far away").unwrap();
+        let mut buf = [0u8; 18];
+        h.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello large object");
+        let mut far = [0u8; 8];
+        h.read_at(10_000, &mut far).unwrap();
+        assert_eq!(&far, b"far away");
+        h.close().unwrap();
+        txn.commit().unwrap();
+
+        // Visible to a later transaction.
+        let txn2 = sb.begin(IsolationLevel::ReadCommitted);
+        let h2 = sb.open_lo(&txn2, lo, LockMode::Shared).unwrap();
+        let mut buf2 = [0u8; 18];
+        h2.read_at(0, &mut buf2).unwrap();
+        assert_eq!(&buf2, b"hello large object");
+        assert_eq!(h2.len(), 10_008);
+    }
+
+    #[test]
+    fn abort_undoes_everything() {
+        let sb = space();
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        {
+            let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+            h.write_at(0, b"doomed").unwrap();
+        }
+        txn.abort().unwrap();
+        // The object does not exist for later transactions.
+        let txn2 = sb.begin(IsolationLevel::ReadCommitted);
+        assert!(sb.open_lo(&txn2, lo, LockMode::Shared).is_err());
+    }
+
+    #[test]
+    fn aborted_pages_are_reused() {
+        let sb = space();
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        txn.abort().unwrap();
+        let txn2 = sb.begin(IsolationLevel::ReadCommitted);
+        let lo2 = sb.create_lo(&txn2).unwrap();
+        // The freed inode page comes straight back off the free list.
+        assert_eq!(lo2, lo);
+        txn2.commit().unwrap();
+    }
+
+    #[test]
+    fn drop_lo_deferred_to_commit() {
+        let sb = space();
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        h.write_at(0, b"bytes").unwrap();
+        h.close().unwrap();
+        txn.commit().unwrap();
+
+        let t2 = sb.begin(IsolationLevel::ReadCommitted);
+        sb.drop_lo(&t2, lo).unwrap();
+        t2.abort().unwrap();
+        // Abort cancelled the drop.
+        let t3 = sb.begin(IsolationLevel::ReadCommitted);
+        assert!(sb.open_lo(&t3, lo, LockMode::Shared).is_ok());
+        sb.drop_lo(&t3, lo).unwrap();
+        t3.commit().unwrap();
+        let t4 = sb.begin(IsolationLevel::ReadCommitted);
+        assert!(sb.open_lo(&t4, lo, LockMode::Shared).is_err());
+    }
+
+    #[test]
+    fn page_level_api() {
+        let sb = space();
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        let p0 = crate::page::page_from_slice(b"node zero");
+        let p1 = crate::page::page_from_slice(b"node one");
+        assert_eq!(h.append_page(&p0).unwrap(), 0);
+        assert_eq!(h.append_page(&p1).unwrap(), 1);
+        assert_eq!(&h.read_page(1).unwrap()[..8], b"node one");
+        let p1b = crate::page::page_from_slice(b"NODE ONE");
+        h.write_page(1, &p1b).unwrap();
+        assert_eq!(&h.read_page(1).unwrap()[..8], b"NODE ONE");
+        assert!(h.read_page(2).is_err());
+        h.truncate_pages(1).unwrap();
+        assert_eq!(h.page_count(), 1);
+        assert!(h.read_page(1).is_err());
+        h.close().unwrap();
+        txn.commit().unwrap();
+        sb.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn writes_need_exclusive_handle() {
+        let sb = space();
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        {
+            let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+            h.write_at(0, b"x").unwrap();
+        }
+        txn.commit().unwrap();
+        let t2 = sb.begin(IsolationLevel::ReadCommitted);
+        let mut h = sb.open_lo(&t2, lo, LockMode::Shared).unwrap();
+        assert!(matches!(h.write_at(0, b"y"), Err(SbError::Usage(_))));
+    }
+
+    #[test]
+    fn lo_level_locking_blocks_writers() {
+        let sb = space();
+        let setup = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&setup).unwrap();
+        setup.commit().unwrap();
+
+        let reader = sb.begin(IsolationLevel::RepeatableRead);
+        let _h = sb.open_lo(&reader, lo, LockMode::Shared).unwrap();
+        let writer = sb.begin(IsolationLevel::ReadCommitted);
+        // Under repeatable read the shared lock is held even though we
+        // could close the handle — so the writer times out.
+        let err = match sb.open_lo(&writer, lo, LockMode::Exclusive) {
+            Err(e) => e,
+            Ok(_) => panic!("writer should have blocked"),
+        };
+        assert!(matches!(err, SbError::LockTimeout(_)), "{err}");
+    }
+
+    #[test]
+    fn read_committed_releases_shared_lock_on_close() {
+        let sb = space();
+        let setup = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&setup).unwrap();
+        setup.commit().unwrap();
+
+        let reader = sb.begin(IsolationLevel::ReadCommitted);
+        let h = sb.open_lo(&reader, lo, LockMode::Shared).unwrap();
+        h.close().unwrap();
+        let writer = sb.begin(IsolationLevel::ReadCommitted);
+        assert!(sb.open_lo(&writer, lo, LockMode::Exclusive).is_ok());
+    }
+
+    #[test]
+    fn txn_end_callbacks_fire() {
+        let sb = space();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        sb.on_txn_end(move |id, end| log2.lock().push((id, end)));
+        let t1 = sb.begin(IsolationLevel::ReadCommitted);
+        let id1 = t1.id();
+        t1.commit().unwrap();
+        let t2 = sb.begin(IsolationLevel::ReadCommitted);
+        let id2 = t2.id();
+        drop(t2); // implicit abort
+        let got = log.lock().clone();
+        assert_eq!(got, vec![(id1, TxnEnd::Commit), (id2, TxnEnd::Abort)]);
+    }
+
+    #[test]
+    fn large_object_spanning_indirect_pages() {
+        let sb = Sbspace::mem(SbspaceOptions {
+            pool_pages: 4096,
+            lock_timeout: Duration::from_millis(200),
+        });
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        let n = (crate::lo::DIRECT_CAP + 40) as u32;
+        for i in 0..n {
+            let page = crate::page::page_from_slice(&i.to_le_bytes());
+            h.append_page(&page).unwrap();
+        }
+        h.close().unwrap();
+        txn.commit().unwrap();
+
+        let t2 = sb.begin(IsolationLevel::ReadCommitted);
+        let h2 = sb.open_lo(&t2, lo, LockMode::Shared).unwrap();
+        assert_eq!(h2.page_count(), n);
+        for i in (0..n).step_by(97) {
+            let page = h2.read_page(i).unwrap();
+            assert_eq!(&page[..4], &i.to_le_bytes());
+        }
+        sb.verify_lo(&t2, lo).unwrap();
+    }
+}

@@ -1,0 +1,119 @@
+//! Shared I/O counters — the platform-independent cost metric of the
+//! benchmark harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotone counters of logical and physical I/O, shared by handle.
+///
+/// * *Logical* reads/writes count buffer-pool requests — the number the
+///   tree algorithms "ask for" and the metric that is independent of
+///   buffer-pool size.
+/// * *Physical* reads/writes count backend page transfers (buffer-pool
+///   misses and flushes).
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Buffer-pool page read requests.
+    pub logical_reads: AtomicU64,
+    /// Buffer-pool page write requests.
+    pub logical_writes: AtomicU64,
+    /// Pages fetched from the backend (pool misses).
+    pub physical_reads: AtomicU64,
+    /// Pages flushed to the backend.
+    pub physical_writes: AtomicU64,
+    /// Large objects opened (the paper notes LO open/close can be
+    /// time-consuming — the storage-granularity ablation counts them).
+    pub lo_opens: AtomicU64,
+    /// Lock waits that actually blocked.
+    pub lock_waits: AtomicU64,
+    /// Deadlocks detected (victim aborted).
+    pub deadlocks: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    pub logical_reads: u64,
+    pub logical_writes: u64,
+    pub physical_reads: u64,
+    pub physical_writes: u64,
+    pub lo_opens: u64,
+    pub lock_waits: u64,
+    pub deadlocks: u64,
+}
+
+impl IoStats {
+    /// A fresh shared counter block.
+    pub fn new_shared() -> Arc<IoStats> {
+        Arc::new(IoStats::default())
+    }
+
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            logical_writes: self.logical_writes.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            lo_opens: self.lo_opens.load(Ordering::Relaxed),
+            lock_waits: self.lock_waits.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Adds one to a counter (internal convenience).
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl IoSnapshot {
+    /// Counter deltas since an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            logical_writes: self.logical_writes - earlier.logical_writes,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            physical_writes: self.physical_writes - earlier.physical_writes,
+            lo_opens: self.lo_opens - earlier.lo_opens,
+            lock_waits: self.lock_waits - earlier.lock_waits,
+            deadlocks: self.deadlocks - earlier.deadlocks,
+        }
+    }
+}
+
+impl std::fmt::Display for IoSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lr={} lw={} pr={} pw={} opens={} waits={} dl={}",
+            self.logical_reads,
+            self.logical_writes,
+            self.physical_reads,
+            self.physical_writes,
+            self.lo_opens,
+            self.lock_waits,
+            self.deadlocks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let s = IoStats::new_shared();
+        let before = s.snapshot();
+        IoStats::bump(&s.logical_reads);
+        IoStats::bump(&s.logical_reads);
+        IoStats::bump(&s.physical_writes);
+        let after = s.snapshot();
+        let d = after.since(&before);
+        assert_eq!(d.logical_reads, 2);
+        assert_eq!(d.physical_writes, 1);
+        assert_eq!(d.logical_writes, 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Transaction identities, outcomes, and per-transaction bookkeeping.
+
+use crate::lock::IsolationLevel;
+use std::collections::HashSet;
+
+/// A transaction identifier, unique within an sbspace lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+/// How a transaction ended — passed to end-of-transaction callbacks,
+/// the mechanism the paper's Section 5.4 uses to free the cached
+/// current-time value stored in session named memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnEnd {
+    /// The transaction committed.
+    Commit,
+    /// The transaction aborted (explicitly, or via drop/deadlock).
+    Abort,
+}
+
+/// Internal per-transaction state kept by the space.
+#[derive(Debug)]
+pub(crate) struct TxnState {
+    pub iso: IsolationLevel,
+    /// Objects this transaction holds locks on (for release at end).
+    pub locks: HashSet<u32>,
+    /// Pages allocated by this transaction (compensated on abort).
+    pub alloc_pages: Vec<u32>,
+    /// Large objects whose drop is deferred to commit.
+    pub pending_drops: Vec<u32>,
+}
+
+impl TxnState {
+    pub fn new(iso: IsolationLevel) -> TxnState {
+        TxnState {
+            iso,
+            locks: HashSet::new(),
+            alloc_pages: Vec::new(),
+            pending_drops: Vec::new(),
+        }
+    }
+}
+
+/// Re-exported by `space` as the public transaction handle; defined
+/// there because it owns an `Arc` of the space internals.
+pub use crate::space::Txn;
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}

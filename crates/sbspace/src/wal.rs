@@ -1,0 +1,389 @@
+//! Write-ahead log: redo images plus allocation notes for compensation.
+//!
+//! The log carries four kinds of information:
+//!
+//! * `MetaImage` — a full after-image of a *space metadata* page (the
+//!   header, free-list pages). Meta operations are system transactions:
+//!   their images are replayed unconditionally, in log order.
+//! * `PageImage` — a full after-image of a *data* page written by a user
+//!   transaction. Replayed only if that transaction committed (no-steal
+//!   buffering means uncommitted data images never reach the log in the
+//!   first place, but the rule is enforced anyway).
+//! * `AllocNote` — pages a transaction allocated. If the transaction
+//!   neither commits nor aborts (a crash), recovery frees these pages,
+//!   mirroring the online abort path's compensation.
+//! * `Begin` / `Commit` / `Abort` — transaction status.
+//!
+//! Records are length-prefixed with a simple checksum; a torn tail is
+//! truncated at the first bad record, as a real log would.
+
+use crate::page::{PageBuf, PAGE_SIZE};
+use crate::txn::TxnId;
+use crate::{Result, SbError};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A single log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A user transaction started.
+    Begin { txn: TxnId },
+    /// Redo image of a data page, owned by `txn`.
+    PageImage { txn: TxnId, pid: u32, data: PageBuf },
+    /// Redo image of a metadata page (always replayed).
+    MetaImage { pid: u32, data: PageBuf },
+    /// Pages allocated by `txn`, to be freed if it never finishes.
+    AllocNote { txn: TxnId, pages: Vec<u32> },
+    /// The transaction committed (its page images are durable intent).
+    Commit { txn: TxnId },
+    /// The transaction aborted and its compensation has been applied.
+    Abort { txn: TxnId },
+}
+
+const K_BEGIN: u8 = 1;
+const K_PAGE: u8 = 2;
+const K_META: u8 = 3;
+const K_ALLOC: u8 = 4;
+const K_COMMIT: u8 = 5;
+const K_ABORT: u8 = 6;
+
+fn checksum(bytes: &[u8]) -> u32 {
+    // FNV-1a, cheap and adequate for torn-write detection.
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+impl WalRecord {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::Begin { txn } => {
+                out.push(K_BEGIN);
+                out.extend_from_slice(&txn.0.to_le_bytes());
+            }
+            WalRecord::PageImage { txn, pid, data } => {
+                out.push(K_PAGE);
+                out.extend_from_slice(&txn.0.to_le_bytes());
+                out.extend_from_slice(&pid.to_le_bytes());
+                out.extend_from_slice(&data[..]);
+            }
+            WalRecord::MetaImage { pid, data } => {
+                out.push(K_META);
+                out.extend_from_slice(&pid.to_le_bytes());
+                out.extend_from_slice(&data[..]);
+            }
+            WalRecord::AllocNote { txn, pages } => {
+                out.push(K_ALLOC);
+                out.extend_from_slice(&txn.0.to_le_bytes());
+                out.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+                for p in pages {
+                    out.extend_from_slice(&p.to_le_bytes());
+                }
+            }
+            WalRecord::Commit { txn } => {
+                out.push(K_COMMIT);
+                out.extend_from_slice(&txn.0.to_le_bytes());
+            }
+            WalRecord::Abort { txn } => {
+                out.push(K_ABORT);
+                out.extend_from_slice(&txn.0.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Serialises with framing: `len | checksum | body`.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut out = Vec::with_capacity(body.len() + 8);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&checksum(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn decode_body(body: &[u8]) -> Result<WalRecord> {
+        let bad = || SbError::Corrupt("truncated wal record body".into());
+        let kind = *body.first().ok_or_else(bad)?;
+        let rest = &body[1..];
+        let u64_at = |off: usize| -> Result<u64> {
+            rest.get(off..off + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                .ok_or_else(bad)
+        };
+        let u32_at = |off: usize| -> Result<u32> {
+            rest.get(off..off + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                .ok_or_else(bad)
+        };
+        let page_at = |off: usize| -> Result<PageBuf> {
+            let slice = rest.get(off..off + PAGE_SIZE).ok_or_else(bad)?;
+            Ok(crate::page::page_from_slice(slice))
+        };
+        match kind {
+            K_BEGIN => Ok(WalRecord::Begin {
+                txn: TxnId(u64_at(0)?),
+            }),
+            K_PAGE => Ok(WalRecord::PageImage {
+                txn: TxnId(u64_at(0)?),
+                pid: u32_at(8)?,
+                data: page_at(12)?,
+            }),
+            K_META => Ok(WalRecord::MetaImage {
+                pid: u32_at(0)?,
+                data: page_at(4)?,
+            }),
+            K_ALLOC => {
+                let txn = TxnId(u64_at(0)?);
+                let n = u32_at(8)? as usize;
+                let mut pages = Vec::with_capacity(n);
+                for i in 0..n {
+                    pages.push(u32_at(12 + 4 * i)?);
+                }
+                Ok(WalRecord::AllocNote { txn, pages })
+            }
+            K_COMMIT => Ok(WalRecord::Commit {
+                txn: TxnId(u64_at(0)?),
+            }),
+            K_ABORT => Ok(WalRecord::Abort {
+                txn: TxnId(u64_at(0)?),
+            }),
+            other => Err(SbError::Corrupt(format!("unknown wal record kind {other}"))),
+        }
+    }
+
+    /// Decodes the record stream, stopping cleanly at a torn tail.
+    pub fn decode_stream(mut bytes: &[u8]) -> Vec<WalRecord> {
+        let mut out = Vec::new();
+        loop {
+            if bytes.len() < 8 {
+                return out;
+            }
+            let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+            let sum = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+            if bytes.len() < 8 + len {
+                return out; // torn tail
+            }
+            let body = &bytes[8..8 + len];
+            if checksum(body) != sum {
+                return out; // torn or corrupt tail
+            }
+            match WalRecord::decode_body(body) {
+                Ok(r) => out.push(r),
+                Err(_) => return out,
+            }
+            bytes = &bytes[8 + len..];
+        }
+    }
+}
+
+/// Where the log bytes live.
+pub trait WalStore: Send + Sync {
+    /// Appends raw bytes to the log.
+    fn append(&self, bytes: &[u8]) -> Result<()>;
+    /// Durably flushes appended bytes.
+    fn sync(&self) -> Result<()>;
+    /// Reads the whole log.
+    fn read_all(&self) -> Result<Vec<u8>>;
+    /// Empties the log (checkpoint).
+    fn truncate(&self) -> Result<()>;
+}
+
+impl<W: WalStore> WalStore for std::sync::Arc<W> {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        (**self).append(bytes)
+    }
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
+    }
+    fn read_all(&self) -> Result<Vec<u8>> {
+        (**self).read_all()
+    }
+    fn truncate(&self) -> Result<()> {
+        (**self).truncate()
+    }
+}
+
+/// In-memory log (for tests and benchmarks; "crash" = reopen the space
+/// over the same backend and log).
+#[derive(Default)]
+pub struct MemWal {
+    bytes: Mutex<Vec<u8>>,
+}
+
+impl MemWal {
+    /// Creates an empty in-memory log.
+    pub fn new() -> MemWal {
+        MemWal::default()
+    }
+}
+
+impl WalStore for MemWal {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        self.bytes.lock().extend_from_slice(bytes);
+        Ok(())
+    }
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+    fn read_all(&self) -> Result<Vec<u8>> {
+        Ok(self.bytes.lock().clone())
+    }
+    fn truncate(&self) -> Result<()> {
+        self.bytes.lock().clear();
+        Ok(())
+    }
+}
+
+/// File-backed log.
+pub struct FileWal {
+    file: Mutex<File>,
+}
+
+impl FileWal {
+    /// Opens (or creates) the log file at `path`.
+    pub fn open(path: &Path) -> Result<FileWal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| SbError::Io(format!("open wal {}: {e}", path.display())))?;
+        file.seek(SeekFrom::End(0)).ok();
+        Ok(FileWal {
+            file: Mutex::new(file),
+        })
+    }
+}
+
+impl WalStore for FileWal {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::End(0))
+            .map_err(|e| SbError::Io(e.to_string()))?;
+        f.write_all(bytes).map_err(|e| SbError::Io(e.to_string()))
+    }
+    fn sync(&self) -> Result<()> {
+        self.file
+            .lock()
+            .sync_data()
+            .map_err(|e| SbError::Io(e.to_string()))
+    }
+    fn read_all(&self) -> Result<Vec<u8>> {
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(0))
+            .map_err(|e| SbError::Io(e.to_string()))?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)
+            .map_err(|e| SbError::Io(e.to_string()))?;
+        Ok(buf)
+    }
+    fn truncate(&self) -> Result<()> {
+        let f = self.file.lock();
+        f.set_len(0).map_err(|e| SbError::Io(e.to_string()))?;
+        f.sync_data().map_err(|e| SbError::Io(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::page_from_slice;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Begin { txn: TxnId(7) },
+            WalRecord::AllocNote {
+                txn: TxnId(7),
+                pages: vec![3, 4, 9],
+            },
+            WalRecord::MetaImage {
+                pid: 0,
+                data: page_from_slice(b"header"),
+            },
+            WalRecord::PageImage {
+                txn: TxnId(7),
+                pid: 3,
+                data: page_from_slice(b"node"),
+            },
+            WalRecord::Commit { txn: TxnId(7) },
+            WalRecord::Abort { txn: TxnId(8) },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let recs = sample_records();
+        let mut bytes = Vec::new();
+        for r in &recs {
+            bytes.extend_from_slice(&r.encode());
+        }
+        assert_eq!(WalRecord::decode_stream(&bytes), recs);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let recs = sample_records();
+        let mut bytes = Vec::new();
+        for r in &recs {
+            bytes.extend_from_slice(&r.encode());
+        }
+        // Chop mid-record: only complete records survive.
+        let cut = bytes.len() - 5;
+        let got = WalRecord::decode_stream(&bytes[..cut]);
+        assert_eq!(got.len(), recs.len() - 1);
+        assert_eq!(got[..], recs[..recs.len() - 1]);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_decode() {
+        let recs = sample_records();
+        let mut bytes = Vec::new();
+        for r in &recs {
+            bytes.extend_from_slice(&r.encode());
+        }
+        // Flip a byte inside the second record's body.
+        let first_len = recs[0].encode().len();
+        bytes[first_len + 10] ^= 0xff;
+        let got = WalRecord::decode_stream(&bytes);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn mem_wal_store_roundtrip() {
+        let w = MemWal::new();
+        w.append(b"abc").unwrap();
+        w.append(b"def").unwrap();
+        w.sync().unwrap();
+        assert_eq!(w.read_all().unwrap(), b"abcdef");
+        w.truncate().unwrap();
+        assert!(w.read_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_wal_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("sbwal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        {
+            let w = FileWal::open(&path).unwrap();
+            w.append(b"hello ").unwrap();
+            w.append(b"wal").unwrap();
+            w.sync().unwrap();
+        }
+        let w = FileWal::open(&path).unwrap();
+        assert_eq!(w.read_all().unwrap(), b"hello wal");
+        w.append(b"!").unwrap();
+        assert_eq!(w.read_all().unwrap(), b"hello wal!");
+        w.truncate().unwrap();
+        assert!(w.read_all().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

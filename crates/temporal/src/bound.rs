@@ -1,0 +1,342 @@
+//! Minimum bounding regions for GR-tree nodes.
+//!
+//! A non-leaf GR-tree entry bounds all regions of its child node with a
+//! minimum bounding **region** — a rectangle *or* a stair shape — that
+//! must stay valid as the child regions grow (the paper's Section 3 and
+//! Figure 4). This module computes such bounds from unresolved
+//! [`RegionSpec`]s:
+//!
+//! * a bounding **stair** is used when every child region stays on or
+//!   under the `v = t` diagonal (Figure 4(b));
+//! * a bounding **growing rectangle** (`Rectangle` flag) is used when
+//!   some child grows in valid time but others extend above the
+//!   diagonal (Figure 4(a));
+//! * a bounding rectangle with a **fixed** valid-time end and the
+//!   `Hidden` flag is used when a small growing stair hides inside
+//!   taller fixed regions (Figure 4(c)) — the paper's trick to avoid
+//!   prematurely declaring the whole subtree "growing".
+//!
+//! The hidden-rectangle form is not merely an optimisation: when a
+//! fixed child region reaches above the current time while a sibling
+//! grows, no `NOW`-encoded bound can cover both (a growing bound tops
+//! out at the current time), so the fixed-plus-`Hidden` encoding is the
+//! *only* sound choice. The bound is therefore fully determined by the
+//! child set.
+
+use crate::day::Day;
+use crate::value::{RegionSpec, TtEnd, VtEnd};
+
+/// Whether the child will (now or eventually) extend in valid time: a
+/// growing stair or growing rectangle, or a hidden entry whose fixed
+/// bound will be outgrown.
+fn is_vt_grower(spec: &RegionSpec, ct: Day) -> bool {
+    spec.grows_vt(ct) || (spec.hidden && matches!(spec.vt_end, VtEnd::Ground(_)))
+}
+
+/// The child's current valid-time top (the `vt2` of its resolved MBR).
+fn current_vt_top(spec: &RegionSpec, ct: Day) -> Day {
+    spec.resolve(ct).mbr().vt2
+}
+
+/// The child's current transaction-time top.
+fn current_tt_top(spec: &RegionSpec, ct: Day) -> Day {
+    spec.resolve(ct).mbr().tt2
+}
+
+/// Computes the minimum bounding region of a set of child specs at
+/// current time `ct`. The result is itself a [`RegionSpec`] (the content
+/// of the parent entry) and is guaranteed to cover every child region at
+/// `ct` and at every later time.
+///
+/// # Panics
+///
+/// Panics when `children` is empty — a GR-tree node always has at least
+/// one entry.
+pub fn bound_entries(children: &[RegionSpec], ct: Day) -> RegionSpec {
+    assert!(!children.is_empty(), "cannot bound an empty entry set");
+
+    let tt_begin = children.iter().map(|c| c.tt_begin).min().unwrap();
+    let vt_begin = children.iter().map(|c| c.vt_begin).min().unwrap();
+    let any_tt_grow = children.iter().any(|c| c.grows_tt());
+    let tt_top = children
+        .iter()
+        .map(|c| current_tt_top(c, ct))
+        .max()
+        .unwrap();
+    let tt_end = if any_tt_grow {
+        TtEnd::Uc
+    } else {
+        TtEnd::Ground(tt_top)
+    };
+
+    let growers = children.iter().any(|c| is_vt_grower(c, ct));
+    let all_under = children.iter().all(|c| c.under_diagonal(ct));
+    let vt_top = children
+        .iter()
+        .map(|c| current_vt_top(c, ct))
+        .max()
+        .unwrap();
+
+    if !growers {
+        // Static in valid time. Choose the tighter of the bounding
+        // rectangle and (when legal) the bounding stair.
+        let rect_bound = RegionSpec {
+            tt_begin,
+            tt_end,
+            vt_begin,
+            vt_end: VtEnd::Ground(vt_top),
+            rect: false,
+            hidden: false,
+        };
+        if all_under {
+            let stair_bound = RegionSpec {
+                tt_begin,
+                tt_end,
+                vt_begin,
+                vt_end: VtEnd::Now,
+                rect: false,
+                hidden: false,
+            };
+            // Both are valid covers; a stopped stair set is bounded more
+            // tightly by a stair, a set of low flat rectangles by a
+            // rectangle.
+            if stair_bound.resolve(ct).area() < rect_bound.resolve(ct).area() && !any_tt_grow {
+                return stair_bound;
+            }
+            if any_tt_grow {
+                // A growing stair bound also covers, and its area tracks
+                // the children; compare at the current time.
+                let grow_stair = RegionSpec {
+                    tt_begin,
+                    tt_end: TtEnd::Uc,
+                    vt_begin,
+                    vt_end: VtEnd::Now,
+                    rect: false,
+                    hidden: false,
+                };
+                // Only sound when no child's fixed vt reaches above the
+                // diagonal over time; `all_under` guarantees that.
+                // But a stair with VTend = NOW grows in vt as ct
+                // advances while the children do not — prefer the fixed
+                // vt rectangle unless it is looser now.
+                if grow_stair.resolve(ct).area() < rect_bound.resolve(ct).area() {
+                    return grow_stair;
+                }
+            }
+        }
+        return rect_bound;
+    }
+
+    // Some child grows in valid time.
+    if vt_top > ct {
+        // Some fixed child reaches above the current time: a growing
+        // bound (whose top is the current time) cannot cover it, so the
+        // growers must hide inside a fixed rectangle (Figure 4(c)).
+        return RegionSpec {
+            tt_begin,
+            tt_end,
+            vt_begin,
+            vt_end: VtEnd::Ground(vt_top),
+            rect: false,
+            hidden: true,
+        };
+    }
+
+    // Propagate the growth: a stair if everything stays under the
+    // diagonal, otherwise a rectangle growing in both dimensions.
+    RegionSpec {
+        tt_begin,
+        tt_end: TtEnd::Uc,
+        vt_begin,
+        vt_end: VtEnd::Now,
+        rect: !all_under,
+        hidden: false,
+    }
+}
+
+/// Checks that `parent` covers `child` at time `ct` (used by tree
+/// consistency checks; coverage at all later times follows from the
+/// construction in [`bound_entries`]).
+pub fn covers_at(parent: &RegionSpec, child: &RegionSpec, ct: Day) -> bool {
+    parent.resolve(ct).contains(&child.resolve(ct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+    use crate::value::{TtEnd, VtEnd};
+
+    fn d(n: i32) -> Day {
+        Day(n)
+    }
+
+    fn leaf(ttb: i32, tte: Option<i32>, vtb: i32, vte: Option<i32>) -> RegionSpec {
+        RegionSpec::leaf(
+            d(ttb),
+            tte.map_or(TtEnd::Uc, |x| TtEnd::Ground(d(x))),
+            d(vtb),
+            vte.map_or(VtEnd::Now, |x| VtEnd::Ground(d(x))),
+        )
+    }
+
+    /// Coverage must hold at the bound time and at all later times.
+    fn assert_covers_forever(parent: &RegionSpec, children: &[RegionSpec], ct: Day) {
+        for dt in [0, 1, 5, 100, 100_000] {
+            let t = ct.plus(dt);
+            for c in children {
+                assert!(
+                    covers_at(parent, c, t),
+                    "parent {parent} fails to cover {c} at ct+{dt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn static_rectangles_get_rect_bound() {
+        let ct = d(100);
+        let children = [
+            leaf(10, Some(20), 30, Some(60)),
+            leaf(15, Some(40), 5, Some(25)),
+        ];
+        let b = bound_entries(&children, ct);
+        assert_eq!(b.tt_end, TtEnd::Ground(d(40)));
+        assert_eq!(b.vt_end, VtEnd::Ground(d(60)));
+        assert!(!b.hidden);
+        assert_covers_forever(&b, &children, ct);
+    }
+
+    #[test]
+    fn stopped_stairs_get_stair_bound() {
+        let ct = d(100);
+        // Two stopped stairs (case 4): a stair bound is tighter than the
+        // bounding rectangle.
+        let children = [leaf(10, Some(50), 10, None), leaf(20, Some(60), 15, None)];
+        let b = bound_entries(&children, ct);
+        assert!(matches!(b.resolve(ct), Region::Stair(_)), "bound {b}");
+        assert_covers_forever(&b, &children, ct);
+    }
+
+    #[test]
+    fn growing_stairs_get_growing_stair_bound() {
+        let ct = d(100);
+        let children = [leaf(10, None, 10, None), leaf(20, None, 15, None)];
+        let b = bound_entries(&children, ct);
+        assert!(b.grows_tt());
+        assert!(b.grows_vt(ct));
+        assert!(!b.rect, "all children under the diagonal: stair bound");
+        assert_covers_forever(&b, &children, ct);
+    }
+
+    #[test]
+    fn grower_with_tall_rect_gets_growing_rect_bound() {
+        let ct = d(100);
+        // A growing stair plus a rectangle that extends above the
+        // diagonal but NOT above the current time: Figure 4(a).
+        let children = [leaf(50, None, 50, None), leaf(60, Some(80), 0, Some(90))];
+        let b = bound_entries(&children, ct);
+        assert!(b.rect, "must be a growing rectangle, got {b}");
+        assert!(b.grows_vt(ct));
+        assert_covers_forever(&b, &children, ct);
+    }
+
+    #[test]
+    fn hidden_policy_hides_small_stair() {
+        let ct = d(100);
+        // A growing stair plus a fixed rectangle reaching to vt = 200,
+        // above the current time: Figure 4(c).
+        let children = [leaf(50, None, 50, None), leaf(60, Some(80), 0, Some(200))];
+        let b = bound_entries(&children, ct);
+        assert!(b.hidden, "expected a hidden bound, got {b}");
+        assert_eq!(b.vt_end, VtEnd::Ground(d(200)));
+        assert_covers_forever(&b, &children, ct);
+        // Before outgrowth the bound is the fixed rectangle...
+        assert!(matches!(b.resolve(d(150)), Region::Rect(r) if r.vt2 == d(200)));
+        // ...afterwards the Hidden adjustment turns it into a growing
+        // rectangle.
+        assert!(matches!(b.resolve(d(300)), Region::Rect(r) if r.vt2 == d(300)));
+    }
+
+    #[test]
+    fn hidden_is_forced_not_optional() {
+        // With a fixed child above the current time, a growing bound
+        // cannot cover it: the hidden fixed rectangle is the only sound
+        // encoding, so `bound_entries` must choose it.
+        let ct = d(100);
+        let children = [leaf(50, None, 50, None), leaf(60, Some(80), 0, Some(200))];
+        let b = bound_entries(&children, ct);
+        assert!(b.hidden);
+        assert_covers_forever(&b, &children, ct);
+        // The unsound alternative really is unsound: a rectangle growing
+        // in both dimensions tops out at ct = 100 < 200.
+        let growing = RegionSpec {
+            tt_begin: d(50),
+            tt_end: TtEnd::Uc,
+            vt_begin: d(0),
+            vt_end: VtEnd::Now,
+            rect: true,
+            hidden: false,
+        };
+        assert!(!covers_at(&growing, &children[1], ct));
+    }
+
+    #[test]
+    fn hidden_child_keeps_parent_latent() {
+        let ct = d(100);
+        // A hidden internal entry (fixed bound 150 hiding a grower) plus
+        // a fixed rectangle up to 400: the parent must account for the
+        // hidden child's future growth.
+        let hidden_child = RegionSpec {
+            tt_begin: d(40),
+            tt_end: TtEnd::Uc,
+            vt_begin: d(10),
+            vt_end: VtEnd::Ground(d(150)),
+            rect: false,
+            hidden: true,
+        };
+        let fixed = leaf(10, Some(90), 0, Some(400));
+        let b = bound_entries(&[hidden_child, fixed], ct);
+        assert!(b.hidden, "grower hidden in parent too: {b}");
+        assert_covers_forever(&b, &[hidden_child, fixed], ct);
+        // Far in the future the hidden child outgrows 400 as well; the
+        // parent's own Hidden adjustment must then kick in.
+        assert!(covers_at(&b, &hidden_child, d(1000)));
+    }
+
+    #[test]
+    fn mixed_current_growers_force_now_bound_when_nothing_fixed_above() {
+        let ct = d(100);
+        // Growers plus a fixed rect whose top is below ct: nothing to
+        // hide behind.
+        let children = [leaf(50, None, 50, None), leaf(10, Some(30), 0, Some(60))];
+        let b = bound_entries(&children, ct);
+        assert!(!b.hidden);
+        assert!(b.grows_vt(ct));
+        assert_covers_forever(&b, &children, ct);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_child_set_panics() {
+        let _ = bound_entries(&[], d(0));
+    }
+
+    #[test]
+    fn bound_of_single_child_is_tight() {
+        let ct = d(100);
+        for child in [
+            leaf(10, None, 10, None),
+            leaf(10, Some(50), 0, Some(30)),
+            leaf(10, None, 0, Some(30)),
+        ] {
+            let b = bound_entries(&[child], ct);
+            assert_covers_forever(&b, &[child], ct);
+            assert_eq!(
+                b.resolve(ct).area(),
+                child.resolve(ct).area(),
+                "single-child bound of {child} must not add dead space"
+            );
+        }
+    }
+}

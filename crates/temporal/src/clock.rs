@@ -1,0 +1,112 @@
+//! Current-time sources.
+//!
+//! The GR-tree algorithms resolve `UC` and `NOW` against the *current
+//! time*, and Section 5.4 of the paper discusses precisely **when** that
+//! value is sampled (per statement at `am_open`, or once per
+//! transaction, cached in session-named memory). The engine therefore
+//! talks to an abstract [`Clock`]; tests and benchmarks use a
+//! [`MockClock`] they can advance deterministically, which also makes
+//! "growing" regions observable without waiting for wall-clock days.
+
+use crate::day::Day;
+use std::sync::atomic::{AtomicI32, Ordering};
+use std::sync::Arc;
+
+/// A source of the current day.
+pub trait Clock: Send + Sync {
+    /// The current day.
+    fn today(&self) -> Day;
+}
+
+/// Wall-clock time at day granularity (days since the Unix epoch, UTC).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn today(&self) -> Day {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs() as i64)
+            .unwrap_or(0);
+        Day((secs / 86_400) as i32)
+    }
+}
+
+/// A manually-advanced clock shared between the test harness and the
+/// engine. Cloning shares the underlying day.
+#[derive(Debug, Clone)]
+pub struct MockClock {
+    day: Arc<AtomicI32>,
+}
+
+impl MockClock {
+    /// Creates a clock frozen at `day`.
+    pub fn new(day: Day) -> MockClock {
+        MockClock {
+            day: Arc::new(AtomicI32::new(day.0)),
+        }
+    }
+
+    /// Jumps to an absolute day.
+    pub fn set(&self, day: Day) {
+        self.day.store(day.0, Ordering::SeqCst);
+    }
+
+    /// Advances by `days` (may be zero; negative moves are allowed for
+    /// adversarial tests, though a real transaction-time clock is
+    /// monotone).
+    pub fn advance(&self, days: i32) {
+        self.day.fetch_add(days, Ordering::SeqCst);
+    }
+}
+
+impl Clock for MockClock {
+    fn today(&self) -> Day {
+        Day(self.day.load(Ordering::SeqCst))
+    }
+}
+
+impl Default for MockClock {
+    fn default() -> Self {
+        // An arbitrary fixed default near the paper's era: 1997-09-01
+        // ("the current time (CT) is assumed to be 9/97").
+        MockClock::new(Day::from_ymd(1997, 9, 1).expect("valid date"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_clock_advances() {
+        let c = MockClock::new(Day(100));
+        assert_eq!(c.today(), Day(100));
+        c.advance(5);
+        assert_eq!(c.today(), Day(105));
+        c.set(Day(50));
+        assert_eq!(c.today(), Day(50));
+    }
+
+    #[test]
+    fn mock_clock_clones_share_state() {
+        let a = MockClock::new(Day(1));
+        let b = a.clone();
+        a.advance(9);
+        assert_eq!(b.today(), Day(10));
+    }
+
+    #[test]
+    fn system_clock_is_sane() {
+        let d = SystemClock.today();
+        // After 2020-01-01 and before 2100-01-01.
+        assert!(d > Day::from_ymd(2020, 1, 1).unwrap());
+        assert!(d < Day::from_ymd(2100, 1, 1).unwrap());
+    }
+
+    #[test]
+    fn default_mock_is_paper_time() {
+        let c = MockClock::default();
+        assert_eq!(c.today(), Day::from_ymd(1997, 9, 1).unwrap());
+    }
+}

@@ -1,0 +1,244 @@
+//! Day-granularity timestamps.
+//!
+//! The paper's prototype uses the granularity of days, "as provided by
+//! [Informix's] DATE type" (Section 5.1); its running examples use a
+//! granularity of months ("3/97"). `Day` is a signed count of days since
+//! 1970-01-01 in the proleptic Gregorian calendar and parses/prints both
+//! the `mm/dd/yyyy` form used in the paper's SQL examples and the
+//! `m/yy` month shorthand used in its tables (a month shorthand denotes
+//! the first day of that month).
+
+use crate::{Result, TemporalError};
+
+/// A day-granularity timestamp: days since 1970-01-01 (may be negative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Day(pub i32);
+
+const DAYS_PER_400Y: i64 = 146_097;
+const DAYS_PER_100Y: i64 = 36_524;
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Cumulative days before each month in a non-leap year.
+const MONTH_OFFSETS: [i64; 12] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334];
+
+impl Day {
+    /// The smallest representable day (used as "-infinity" in scans).
+    pub const MIN: Day = Day(i32::MIN + 1);
+    /// The largest *ordinary* day. `i32::MAX` is reserved as the on-disk
+    /// sentinel for the `UC`/`NOW` variables.
+    pub const MAX: Day = Day(i32::MAX - 1);
+
+    /// Builds a `Day` from a calendar date. Returns `None` for invalid
+    /// dates (month out of 1..=12, day out of range for the month).
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Option<Day> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        // Days from 1970-01-01 to year-01-01.
+        let y = year as i64 - 1970;
+        let mut days = y * 365;
+        // Leap days between 1970 and `year` (exclusive of `year` when
+        // counting forward, inclusive when counting backward).
+        let leaps = |yy: i64| -> i64 { yy.div_euclid(4) - yy.div_euclid(100) + yy.div_euclid(400) };
+        // Number of leap years in [1970, year) = leaps(year-1) - leaps(1969).
+        days += leaps(year as i64 - 1) - leaps(1969);
+        days += MONTH_OFFSETS[(month - 1) as usize];
+        if month > 2 && is_leap(year) {
+            days += 1;
+        }
+        days += day as i64 - 1;
+        if days < Day::MIN.0 as i64 || days > Day::MAX.0 as i64 {
+            return None;
+        }
+        Some(Day(days as i32))
+    }
+
+    /// Converts back to `(year, month, day)`.
+    pub fn to_ymd(self) -> (i32, u32, u32) {
+        // Shift to an epoch of 0000-03-01 so leap day is last in the cycle.
+        // days since 1970-01-01 -> days since 0000-03-01:
+        let mut d = self.0 as i64 + 719_468; // 719468 = days from 0000-03-01 to 1970-01-01
+        let era = d.div_euclid(DAYS_PER_400Y);
+        d = d.rem_euclid(DAYS_PER_400Y);
+        let yoe = (d - d / 1460 + d / DAYS_PER_100Y - d / (DAYS_PER_400Y - 1)) / 365;
+        let doy = d - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let day = (doy - (153 * mp + 2) / 5 + 1) as u32;
+        let month = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+        let year = (yoe + era * 400 + if month <= 2 { 1 } else { 0 }) as i32;
+        (year, month, day)
+    }
+
+    /// Saturating successor.
+    #[must_use]
+    pub fn succ(self) -> Day {
+        Day(self.0.saturating_add(1).min(Day::MAX.0))
+    }
+
+    /// Saturating predecessor.
+    #[must_use]
+    pub fn pred(self) -> Day {
+        Day(self.0.saturating_sub(1).max(Day::MIN.0))
+    }
+
+    /// Adds a number of days, saturating at the representable range.
+    #[must_use]
+    pub fn plus(self, days: i32) -> Day {
+        Day((self.0 as i64 + days as i64).clamp(Day::MIN.0 as i64, Day::MAX.0 as i64) as i32)
+    }
+
+    /// Parses either `mm/dd/yyyy` (also two-digit years, interpreted in
+    /// the 1900s as in the paper's "12/10/95") or the month shorthand
+    /// `m/yy` / `m/yyyy` (meaning the first day of the month).
+    pub fn parse(text: &str) -> Result<Day> {
+        let parts: Vec<&str> = text.trim().split('/').collect();
+        let num = |s: &str| -> Result<i32> {
+            s.trim()
+                .parse::<i32>()
+                .map_err(|_| TemporalError::Parse(format!("bad number {s:?} in date {text:?}")))
+        };
+        let fix_year = |y: i32| if (0..100).contains(&y) { y + 1900 } else { y };
+        match parts.as_slice() {
+            [m, y] => {
+                let month = num(m)?;
+                let year = fix_year(num(y)?);
+                Day::from_ymd(year, month as u32, 1)
+                    .ok_or_else(|| TemporalError::Parse(format!("invalid month date {text:?}")))
+            }
+            [m, d, y] => {
+                let month = num(m)?;
+                let day = num(d)?;
+                let year = fix_year(num(y)?);
+                Day::from_ymd(year, month as u32, day as u32)
+                    .ok_or_else(|| TemporalError::Parse(format!("invalid date {text:?}")))
+            }
+            _ => Err(TemporalError::Parse(format!(
+                "expected m/yy or mm/dd/yyyy, got {text:?}"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for Day {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (y, m, d) = self.to_ymd();
+        write!(f, "{m:02}/{d:02}/{y:04}")
+    }
+}
+
+impl From<i32> for Day {
+    fn from(v: i32) -> Self {
+        Day(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(Day::from_ymd(1970, 1, 1), Some(Day(0)));
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(Day::from_ymd(1970, 1, 2), Some(Day(1)));
+        assert_eq!(Day::from_ymd(1971, 1, 1), Some(Day(365)));
+        assert_eq!(Day::from_ymd(1972, 3, 1), Some(Day(365 * 2 + 31 + 29)));
+        // 2000-01-01 is 10957 days after the epoch.
+        assert_eq!(Day::from_ymd(2000, 1, 1), Some(Day(10_957)));
+        // Pre-epoch dates.
+        assert_eq!(Day::from_ymd(1969, 12, 31), Some(Day(-1)));
+        assert_eq!(Day::from_ymd(1969, 1, 1), Some(Day(-365)));
+    }
+
+    #[test]
+    fn roundtrip_ymd() {
+        for n in (-200_000..200_000).step_by(97) {
+            let d = Day(n);
+            let (y, m, dd) = d.to_ymd();
+            assert_eq!(Day::from_ymd(y, m, dd), Some(d), "day {n} -> {y}-{m}-{dd}");
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(1996));
+        assert!(!is_leap(1997));
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+    }
+
+    #[test]
+    fn invalid_dates_rejected() {
+        assert_eq!(Day::from_ymd(1997, 2, 29), None);
+        assert_eq!(Day::from_ymd(1997, 13, 1), None);
+        assert_eq!(Day::from_ymd(1997, 0, 1), None);
+        assert_eq!(Day::from_ymd(1997, 4, 31), None);
+        assert_eq!(Day::from_ymd(1997, 4, 0), None);
+    }
+
+    #[test]
+    fn parse_paper_forms() {
+        // The paper's month shorthand "3/97" = March 1997.
+        assert_eq!(
+            Day::parse("3/97").unwrap(),
+            Day::from_ymd(1997, 3, 1).unwrap()
+        );
+        // The paper's SQL literal "12/10/95".
+        assert_eq!(
+            Day::parse("12/10/95").unwrap(),
+            Day::from_ymd(1995, 12, 10).unwrap()
+        );
+        assert_eq!(
+            Day::parse("01/02/2003").unwrap(),
+            Day::from_ymd(2003, 1, 2).unwrap()
+        );
+        assert!(Day::parse("").is_err());
+        assert!(Day::parse("1/2/3/4").is_err());
+        assert!(Day::parse("x/97").is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Day::from_ymd(1997, 3, 1).unwrap().to_string(), "03/01/1997");
+    }
+
+    #[test]
+    fn succ_pred_plus() {
+        let d = Day(100);
+        assert_eq!(d.succ(), Day(101));
+        assert_eq!(d.pred(), Day(99));
+        assert_eq!(d.plus(-50), Day(50));
+        assert_eq!(Day::MAX.succ(), Day::MAX);
+        assert_eq!(Day::MIN.pred(), Day::MIN);
+    }
+
+    #[test]
+    fn ordering_matches_calendar() {
+        let a = Day::from_ymd(1997, 3, 1).unwrap();
+        let b = Day::from_ymd(1997, 5, 1).unwrap();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,388 @@
+//! The 4TS time extent — the value stored in the `GRT_TimeExtent_t`
+//! opaque column.
+//!
+//! A [`TimeExtent`] carries the four timestamps `TTbegin`, `TTend`,
+//! `VTbegin`, `VTend` of the TQuel four-timestamp format (the paper's
+//! Section 2), with `UC` allowed for `TTend` and `NOW` for `VTend`. The
+//! type enforces the paper's insertion and deletion constraints, knows
+//! its qualitative case (the paper's Figure 2), converts to and from the
+//! textual representation used in SQL literals
+//! (`"12/10/95, UC, 12/10/95, NOW"`), and has a fixed 16-byte binary
+//! codec used for index pages and on-disk rows.
+
+use crate::day::Day;
+use crate::region::Region;
+use crate::value::{RegionSpec, TtEnd, VtEnd};
+use crate::{Result, TemporalError};
+
+/// Sentinel day numbers for the variables in the binary codec. These are
+/// outside [`Day::MIN`], [`Day::MAX`].
+const UC_SENTINEL: i32 = i32::MAX;
+const NOW_SENTINEL: i32 = i32::MAX;
+
+/// The six qualitative combinations of the four timestamps — the paper's
+/// Figure 2 (and the six region shapes of its Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Case {
+    /// `(tt1, UC, vt1, vt2)` — rectangle growing in transaction time.
+    Case1,
+    /// `(tt1, tt2, vt1, vt2)` — static rectangle.
+    Case2,
+    /// `(tt1, UC, vt1, NOW)`, `tt1 = vt1` — growing stair.
+    Case3,
+    /// `(tt1, tt2, vt1, NOW)`, `tt1 = vt1` — stair that stopped growing.
+    Case4,
+    /// `(tt1, UC, vt1, NOW)`, `tt1 > vt1` — growing stair with a high
+    /// first step.
+    Case5,
+    /// `(tt1, tt2, vt1, NOW)`, `tt1 > vt1` — stopped stair with a high
+    /// first step.
+    Case6,
+}
+
+impl std::fmt::Display for Case {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = match self {
+            Case::Case1 => 1,
+            Case::Case2 => 2,
+            Case::Case3 => 3,
+            Case::Case4 => 4,
+            Case::Case5 => 5,
+            Case::Case6 => 6,
+        };
+        write!(f, "Case {n}")
+    }
+}
+
+/// A bitemporal time extent in the four-timestamp format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeExtent {
+    /// When the tuple became current in the database.
+    pub tt_begin: Day,
+    /// When the tuple ceased to be current (or `UC`).
+    pub tt_end: TtEnd,
+    /// When the fact became true in the modeled reality.
+    pub vt_begin: Day,
+    /// When the fact ceased to be true (or `NOW`).
+    pub vt_end: VtEnd,
+}
+
+impl TimeExtent {
+    /// Size of the binary encoding in bytes.
+    pub const ENCODED_LEN: usize = 16;
+
+    /// Constructs an extent from raw parts, checking only the structural
+    /// constraints that hold for *stored* data (begin ≤ end for ground
+    /// ends; `vt_begin <= tt_begin` when `VTend` is `NOW`). Use
+    /// [`TimeExtent::insert`] for the full insertion-time constraints.
+    pub fn from_parts(
+        tt_begin: Day,
+        tt_end: TtEnd,
+        vt_begin: Day,
+        vt_end: VtEnd,
+    ) -> Result<TimeExtent> {
+        let e = TimeExtent {
+            tt_begin,
+            tt_end,
+            vt_begin,
+            vt_end,
+        };
+        if let TtEnd::Ground(t) = tt_end {
+            if tt_begin > t {
+                return Err(TemporalError::Constraint(format!(
+                    "TTbegin {tt_begin} > TTend {t}"
+                )));
+            }
+        }
+        match vt_end {
+            VtEnd::Ground(v) => {
+                if vt_begin > v {
+                    return Err(TemporalError::Constraint(format!(
+                        "VTbegin {vt_begin} > VTend {v}"
+                    )));
+                }
+            }
+            VtEnd::Now => {
+                if vt_begin > tt_begin {
+                    return Err(TemporalError::Constraint(format!(
+                        "VTend = NOW requires VTbegin {vt_begin} <= TTbegin {tt_begin}"
+                    )));
+                }
+            }
+        }
+        Ok(e)
+    }
+
+    /// Creates the extent of a freshly inserted tuple at current time
+    /// `ct`, enforcing the paper's insertion constraints:
+    /// `TTbegin = ct`, `TTend = UC`, `VTbegin <= VTend` for ground ends,
+    /// and `VTbegin <= ct` when `VTend = NOW`.
+    pub fn insert(ct: Day, vt_begin: Day, vt_end: VtEnd) -> Result<TimeExtent> {
+        if let VtEnd::Now = vt_end {
+            if vt_begin > ct {
+                return Err(TemporalError::Constraint(format!(
+                    "insertion with VTend = NOW requires VTbegin {vt_begin} <= current time {ct}"
+                )));
+            }
+        }
+        TimeExtent::from_parts(ct, TtEnd::Uc, vt_begin, vt_end)
+    }
+
+    /// Logically deletes a current tuple at current time `ct`: replaces
+    /// `UC` with `ct - 1` (closed intervals, the paper's footnote 2).
+    /// Fails if the tuple is not current.
+    pub fn logical_delete(&self, ct: Day) -> Result<TimeExtent> {
+        match self.tt_end {
+            TtEnd::Uc => TimeExtent::from_parts(
+                self.tt_begin,
+                TtEnd::Ground(ct.pred()),
+                self.vt_begin,
+                self.vt_end,
+            ),
+            TtEnd::Ground(_) => Err(TemporalError::Constraint(
+                "cannot delete a tuple that is not current".into(),
+            )),
+        }
+    }
+
+    /// True while the tuple is part of the current database state.
+    pub fn is_current(&self) -> bool {
+        self.tt_end.is_uc()
+    }
+
+    /// True when either end tracks the current time.
+    pub fn is_now_relative(&self) -> bool {
+        self.tt_end.is_uc() || self.vt_end.is_now()
+    }
+
+    /// The qualitative case of the paper's Figure 2.
+    pub fn case(&self) -> Case {
+        match (self.tt_end, self.vt_end) {
+            (TtEnd::Uc, VtEnd::Ground(_)) => Case::Case1,
+            (TtEnd::Ground(_), VtEnd::Ground(_)) => Case::Case2,
+            (TtEnd::Uc, VtEnd::Now) => {
+                if self.tt_begin == self.vt_begin {
+                    Case::Case3
+                } else {
+                    Case::Case5
+                }
+            }
+            (TtEnd::Ground(_), VtEnd::Now) => {
+                if self.tt_begin == self.vt_begin {
+                    Case::Case4
+                } else {
+                    Case::Case6
+                }
+            }
+        }
+    }
+
+    /// The unresolved region descriptor of this extent (a leaf-entry
+    /// spec: no flags).
+    pub fn spec(&self) -> RegionSpec {
+        RegionSpec::leaf(self.tt_begin, self.tt_end, self.vt_begin, self.vt_end)
+    }
+
+    /// The exact region at current time `ct`.
+    pub fn region(&self, ct: Day) -> Region {
+        self.spec().resolve(ct)
+    }
+
+    /// Parses the textual representation used in the paper's SQL
+    /// examples: four comma-separated fields
+    /// `TTbegin, TTend|UC, VTbegin, VTend|NOW`, each a date in
+    /// `mm/dd/yy[yy]` or `m/yy[yy]` form.
+    pub fn parse(text: &str) -> Result<TimeExtent> {
+        let parts: Vec<&str> = text.split(',').map(str::trim).collect();
+        if parts.len() != 4 {
+            return Err(TemporalError::Parse(format!(
+                "expected 4 comma-separated timestamps, got {} in {text:?}",
+                parts.len()
+            )));
+        }
+        let tt_begin = Day::parse(parts[0])?;
+        let tt_end = if parts[1].eq_ignore_ascii_case("uc") {
+            TtEnd::Uc
+        } else {
+            TtEnd::Ground(Day::parse(parts[1])?)
+        };
+        let vt_begin = Day::parse(parts[2])?;
+        let vt_end = if parts[3].eq_ignore_ascii_case("now") {
+            VtEnd::Now
+        } else {
+            VtEnd::Ground(Day::parse(parts[3])?)
+        };
+        TimeExtent::from_parts(tt_begin, tt_end, vt_begin, vt_end)
+    }
+
+    /// Encodes into the fixed 16-byte little-endian layout
+    /// (`TTbegin, TTend, VTbegin, VTend`, with `i32::MAX` as the
+    /// `UC`/`NOW` sentinel).
+    pub fn encode(&self, out: &mut [u8]) {
+        assert!(out.len() >= Self::ENCODED_LEN);
+        let tte = match self.tt_end {
+            TtEnd::Ground(d) => d.0,
+            TtEnd::Uc => UC_SENTINEL,
+        };
+        let vte = match self.vt_end {
+            VtEnd::Ground(d) => d.0,
+            VtEnd::Now => NOW_SENTINEL,
+        };
+        out[0..4].copy_from_slice(&self.tt_begin.0.to_le_bytes());
+        out[4..8].copy_from_slice(&tte.to_le_bytes());
+        out[8..12].copy_from_slice(&self.vt_begin.0.to_le_bytes());
+        out[12..16].copy_from_slice(&vte.to_le_bytes());
+    }
+
+    /// Encodes into a fresh 16-byte array.
+    pub fn encode_array(&self) -> [u8; Self::ENCODED_LEN] {
+        let mut buf = [0u8; Self::ENCODED_LEN];
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decodes the 16-byte layout produced by [`TimeExtent::encode`].
+    pub fn decode(buf: &[u8]) -> Result<TimeExtent> {
+        if buf.len() < Self::ENCODED_LEN {
+            return Err(TemporalError::Codec(format!(
+                "time extent needs {} bytes, got {}",
+                Self::ENCODED_LEN,
+                buf.len()
+            )));
+        }
+        let word = |i: usize| i32::from_le_bytes(buf[i..i + 4].try_into().unwrap());
+        let tt_begin = Day(word(0));
+        let tte = word(4);
+        let vt_begin = Day(word(8));
+        let vte = word(12);
+        let tt_end = if tte == UC_SENTINEL {
+            TtEnd::Uc
+        } else {
+            TtEnd::Ground(Day(tte))
+        };
+        let vt_end = if vte == NOW_SENTINEL {
+            VtEnd::Now
+        } else {
+            VtEnd::Ground(Day(vte))
+        };
+        TimeExtent::from_parts(tt_begin, tt_end, vt_begin, vt_end)
+    }
+}
+
+impl std::fmt::Display for TimeExtent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}, {}, {}, {}",
+            self.tt_begin, self.tt_end, self.vt_begin, self.vt_end
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(n: i32) -> Day {
+        Day(n)
+    }
+
+    fn month(m: u32, y: i32) -> Day {
+        Day::from_ymd(y, m, 1).unwrap()
+    }
+
+    #[test]
+    fn empdep_cases_match_figure1() {
+        // The paper's Table 1 tuples, at CT = 9/97, map to Figure 1's
+        // cases in order 1, 2, 3, 4, 5 (tuple 5 is a case-1 rectangle;
+        // tuple 6 is the case-5 high-first-step stair).
+        let t = |ttb: u32, tte: Option<u32>, vtb: u32, vte: Option<u32>| {
+            TimeExtent::from_parts(
+                month(ttb, 1997),
+                tte.map_or(TtEnd::Uc, |m| TtEnd::Ground(month(m, 1997))),
+                month(vtb, 1997),
+                vte.map_or(VtEnd::Now, |m| VtEnd::Ground(month(m, 1997))),
+            )
+            .unwrap()
+        };
+        assert_eq!(t(4, None, 3, Some(5)).case(), Case::Case1); // John
+        assert_eq!(t(3, Some(7), 6, Some(8)).case(), Case::Case2); // Tom
+        assert_eq!(t(5, None, 5, None).case(), Case::Case3); // Jane
+        assert_eq!(t(3, Some(7), 3, None).case(), Case::Case4); // Julie v1
+        assert_eq!(t(8, None, 3, Some(7)).case(), Case::Case1); // Julie v2
+        assert_eq!(t(5, None, 3, None).case(), Case::Case5); // Michelle
+    }
+
+    #[test]
+    fn insertion_constraints() {
+        let ct = d(100);
+        assert!(TimeExtent::insert(ct, d(50), VtEnd::Ground(d(80))).is_ok());
+        assert!(TimeExtent::insert(ct, d(50), VtEnd::Now).is_ok());
+        // Future valid-time begin with NOW end violates the constraint.
+        assert!(TimeExtent::insert(ct, d(150), VtEnd::Now).is_err());
+        // Future fixed interval is fine (recording the future).
+        assert!(TimeExtent::insert(ct, d(150), VtEnd::Ground(d(200))).is_ok());
+        let e = TimeExtent::insert(ct, d(50), VtEnd::Now).unwrap();
+        assert_eq!(e.tt_begin, ct);
+        assert!(e.is_current());
+    }
+
+    #[test]
+    fn logical_delete_freezes_transaction_time() {
+        let e = TimeExtent::insert(d(100), d(100), VtEnd::Now).unwrap();
+        let del = e.logical_delete(d(120)).unwrap();
+        assert_eq!(del.tt_end, TtEnd::Ground(d(119)));
+        assert_eq!(del.case(), Case::Case4);
+        assert!(del.logical_delete(d(130)).is_err());
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let e = TimeExtent::parse("12/10/95, UC, 12/10/95, NOW").unwrap();
+        assert!(e.tt_end.is_uc());
+        assert!(e.vt_end.is_now());
+        let text = e.to_string();
+        let e2 = TimeExtent::parse(&text).unwrap();
+        assert_eq!(e, e2);
+
+        let g = TimeExtent::parse("3/97, 7/97, 6/97, 8/97").unwrap();
+        assert_eq!(g.case(), Case::Case2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(TimeExtent::parse("").is_err());
+        assert!(TimeExtent::parse("1/97, UC, 1/97").is_err());
+        assert!(TimeExtent::parse("1/97, UC, 1/97, NOW, extra").is_err());
+        // NOW with VTbegin after TTbegin.
+        assert!(TimeExtent::parse("3/97, UC, 6/97, NOW").is_err());
+        // Backwards intervals.
+        assert!(TimeExtent::parse("7/97, 3/97, 1/97, 2/97").is_err());
+        assert!(TimeExtent::parse("1/97, UC, 5/97, 2/97").is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let samples = [
+            "12/10/95, UC, 12/10/95, NOW",
+            "3/97, 7/97, 6/97, 8/97",
+            "4/97, UC, 3/97, 5/97",
+            "3/97, 7/97, 3/97, NOW",
+        ];
+        for s in samples {
+            let e = TimeExtent::parse(s).unwrap();
+            let buf = e.encode_array();
+            assert_eq!(TimeExtent::decode(&buf).unwrap(), e, "{s}");
+        }
+        assert!(TimeExtent::decode(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn region_growth_over_time() {
+        let e = TimeExtent::insert(d(10), d(10), VtEnd::Now).unwrap();
+        let r1 = e.region(d(20));
+        let r2 = e.region(d(30));
+        assert!(r2.contains(&r1), "regions grow monotonically");
+        assert!(r2.area() > r1.area());
+    }
+}

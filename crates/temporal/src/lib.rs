@@ -1,0 +1,82 @@
+//! Bitemporal data model for the GR-tree DataBlade reproduction.
+//!
+//! This crate implements Section 2 of *Developing a DataBlade for a New
+//! Index* (Bliujūtė, Šaltenis, Slivinskas, Jensen; ICDE 1999): the
+//! four-timestamp (4TS) representation of bitemporal data with the
+//! `UC` ("until changed") and `NOW` variables, the six-case taxonomy of
+//! bitemporal regions (the paper's Figures 1 and 2), and the exact
+//! two-dimensional geometry of those regions — rectangles and stair
+//! shapes — together with the predicates (`Overlaps`, `Contains`,
+//! `ContainedIn`, `Equal`) that the DataBlade exposes as strategy
+//! functions.
+//!
+//! Coordinate convention (matching the paper's figures): the *x* axis is
+//! transaction time, the *y* axis is valid time, and all intervals are
+//! **closed** over integer days. A "growing" region is one whose
+//! resolved extent depends on the current time; resolution of the `UC`
+//! and `NOW` variables follows the paper's Section 3 algorithms
+//! verbatim, including the `Hidden`-flag adjustment.
+//!
+//! The crate is self-contained (no I/O, no dependencies) so that the
+//! geometry can be tested exhaustively and reused by both the GR-tree
+//! and the baseline R\*-tree adaptations.
+//!
+//! ```
+//! use grt_temporal::{Day, Predicate, TimeExtent};
+//!
+//! // Jane's tuple from the paper's Table 1: current since 5/97, valid
+//! // until the current time — a growing stair shape.
+//! let jane = TimeExtent::parse("5/97, UC, 5/97, NOW").unwrap();
+//! // The Figure 8 probe: known at 5/97, true during 7/97.
+//! let probe = TimeExtent::parse("5/97, 5/97, 7/97, 7/97").unwrap();
+//! let ct = Day::from_ymd(1997, 9, 1).unwrap();
+//! // The stair has not reached above the diagonal: no overlap.
+//! assert!(!Predicate::Overlaps.eval(&jane, &probe, ct));
+//! // But the naive bounding rectangle *would* claim one.
+//! assert!(jane.region(ct).mbr().contains_point(
+//!     Day::from_ymd(1997, 5, 1).unwrap(),
+//!     Day::from_ymd(1997, 7, 1).unwrap(),
+//! ));
+//! ```
+
+pub mod bound;
+pub mod clock;
+pub mod day;
+pub mod extent;
+pub mod predicate;
+pub mod region;
+pub mod value;
+
+pub use bound::{bound_entries, covers_at};
+pub use clock::{Clock, MockClock, SystemClock};
+pub use day::Day;
+pub use extent::{Case, TimeExtent};
+pub use predicate::Predicate;
+pub use region::{Rect, Region, Stair};
+pub use value::{RegionSpec, TtEnd, VtEnd};
+
+/// Errors produced by the bitemporal model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalError {
+    /// A textual timestamp or extent failed to parse.
+    Parse(String),
+    /// A 4TS combination violates the paper's insertion constraints.
+    Constraint(String),
+    /// A binary buffer is too short or malformed.
+    Codec(String),
+}
+
+impl std::fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemporalError::Parse(m) => write!(f, "parse error: {m}"),
+            TemporalError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            TemporalError::Codec(m) => write!(f, "codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, TemporalError>;

@@ -1,0 +1,211 @@
+//! The bitemporal strategy predicates.
+//!
+//! These are the boolean functions the DataBlade registers as the
+//! *strategy functions* of the GR-tree operator class (the paper's
+//! Section 5.2): `Overlaps`, `Equal`, `Contains`, and `ContainedIn`.
+//! Each takes two `GRT_TimeExtent_t` values; because a time extent with
+//! `NOW`/`UC` only denotes a region relative to the current time, every
+//! evaluation is parameterised by `ct`.
+//!
+//! The same predicates evaluated against *internal-node* regions (the
+//! "OverlapsInternal" family the paper discusses) are obtained by
+//! resolving a [`RegionSpec`] instead of a [`TimeExtent`]; both resolve
+//! to [`Region`], over which the predicate semantics coincide.
+
+use crate::day::Day;
+use crate::extent::TimeExtent;
+use crate::region::Region;
+use crate::value::RegionSpec;
+
+/// The four strategy predicates of the GR-tree operator class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// The regions share at least one point.
+    Overlaps,
+    /// The left region is a superset of the right region.
+    Contains,
+    /// The left region is a subset of the right region.
+    ContainedIn,
+    /// The regions are equal as point sets.
+    Equal,
+}
+
+impl Predicate {
+    /// All predicates, in the order they are registered in the operator
+    /// class.
+    pub const ALL: [Predicate; 4] = [
+        Predicate::Overlaps,
+        Predicate::Contains,
+        Predicate::ContainedIn,
+        Predicate::Equal,
+    ];
+
+    /// The UDR name under which the DataBlade registers this predicate.
+    pub fn udr_name(self) -> &'static str {
+        match self {
+            Predicate::Overlaps => "Overlaps",
+            Predicate::Contains => "Contains",
+            Predicate::ContainedIn => "ContainedIn",
+            Predicate::Equal => "Equal",
+        }
+    }
+
+    /// Parses a UDR name (case-insensitive).
+    pub fn from_udr_name(name: &str) -> Option<Predicate> {
+        Predicate::ALL
+            .into_iter()
+            .find(|p| p.udr_name().eq_ignore_ascii_case(name))
+    }
+
+    /// Evaluates the predicate on two resolved regions.
+    pub fn eval_regions(self, left: &Region, right: &Region) -> bool {
+        match self {
+            Predicate::Overlaps => left.overlaps(right),
+            Predicate::Contains => left.contains(right),
+            Predicate::ContainedIn => right.contains(left),
+            Predicate::Equal => left.equals(right),
+        }
+    }
+
+    /// Evaluates the predicate on two time extents at current time `ct` —
+    /// the strategy-function semantics.
+    pub fn eval(self, left: &TimeExtent, right: &TimeExtent, ct: Day) -> bool {
+        self.eval_regions(&left.region(ct), &right.region(ct))
+    }
+
+    /// Evaluates the predicate with an internal-node region on the left —
+    /// the "hard-coded internal function" of the paper's Section 5.2.
+    pub fn eval_internal(self, internal: &RegionSpec, query: &TimeExtent, ct: Day) -> bool {
+        self.eval_regions(&internal.resolve(ct), &query.region(ct))
+    }
+
+    /// Whether a match of an internal-node bounding region can prune the
+    /// subtree: during descent the index checks *consistency*, i.e.
+    /// "could any child region satisfy the predicate?". For `Overlaps`,
+    /// `Equal`, and `ContainedIn` a child can only qualify if the
+    /// bounding region overlaps the query region (for `ContainedIn` the
+    /// bound must merely overlap — children inside the bound may still
+    /// be inside the query). For `Contains` the bounding region must
+    /// contain the query region.
+    pub fn consistent(self, bound: &Region, query: &Region) -> bool {
+        match self {
+            Predicate::Overlaps => bound.overlaps(query),
+            Predicate::Contains => bound.contains(query),
+            Predicate::ContainedIn | Predicate::Equal => bound.overlaps(query),
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.udr_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{TtEnd, VtEnd};
+
+    fn d(n: i32) -> Day {
+        Day(n)
+    }
+
+    fn extent(ttb: i32, tte: Option<i32>, vtb: i32, vte: Option<i32>) -> TimeExtent {
+        TimeExtent::from_parts(
+            d(ttb),
+            tte.map_or(TtEnd::Uc, |x| TtEnd::Ground(d(x))),
+            d(vtb),
+            vte.map_or(VtEnd::Now, |x| VtEnd::Ground(d(x))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for p in Predicate::ALL {
+            assert_eq!(Predicate::from_udr_name(p.udr_name()), Some(p));
+            assert_eq!(
+                Predicate::from_udr_name(&p.udr_name().to_lowercase()),
+                Some(p)
+            );
+        }
+        assert_eq!(Predicate::from_udr_name("Near"), None);
+    }
+
+    #[test]
+    fn contains_containedin_duality() {
+        let ct = d(100);
+        let big = extent(10, Some(90), 0, Some(80));
+        let small = extent(20, Some(40), 10, Some(30));
+        assert!(Predicate::Contains.eval(&big, &small, ct));
+        assert!(Predicate::ContainedIn.eval(&small, &big, ct));
+        assert!(!Predicate::Contains.eval(&small, &big, ct));
+        assert!(Predicate::Overlaps.eval(&big, &small, ct));
+        assert!(!Predicate::Equal.eval(&big, &small, ct));
+    }
+
+    #[test]
+    fn equal_is_reflexive() {
+        let ct = d(100);
+        for e in [
+            extent(10, None, 10, None),
+            extent(10, Some(50), 0, Some(40)),
+            extent(10, Some(50), 10, None),
+        ] {
+            assert!(Predicate::Equal.eval(&e, &e, ct));
+            assert!(Predicate::Contains.eval(&e, &e, ct));
+            assert!(Predicate::ContainedIn.eval(&e, &e, ct));
+        }
+    }
+
+    #[test]
+    fn growing_extents_change_answers_over_time() {
+        // A growing stair eventually overlaps a future fixed rectangle.
+        let stair = extent(10, None, 10, None);
+        let future = extent(10, Some(20), 190, Some(200));
+        // Wait: the rectangle sits at vt 190..200, tt 10..20. The stair
+        // reaches vt = t only up to t, and its tt keeps growing, but at
+        // tt <= 20 its vt top is <= 20 < 190. They never overlap: the
+        // stair grows along the diagonal, the rectangle's tt is capped.
+        assert!(!Predicate::Overlaps.eval(&stair, &future, d(1_000)));
+        // Whereas a case-1 rectangle with the same tt span does overlap
+        // once... never mind growth: overlap needs shared tt AND vt.
+        let tall = extent(15, None, 150, Some(250));
+        // tall: tt 15..ct, vt 150..250. The stair at ct = 300 spans
+        // tt 10..300, v <= t; at t = 200, v can reach 200 >= 150.
+        assert!(Predicate::Overlaps.eval(&stair, &tall, d(300)));
+        // At ct = 120 the stair's diagonal has not reached vt = 150 yet.
+        assert!(!Predicate::Overlaps.eval(&stair, &tall, d(120)));
+    }
+
+    #[test]
+    fn consistency_never_misses() {
+        // If an entry satisfies a predicate, its bounding region must be
+        // consistent — the pruning test must not reject it.
+        let ct = d(100);
+        let entries = [
+            extent(10, None, 10, None),
+            extent(20, Some(60), 0, Some(50)),
+            extent(30, None, 5, Some(90)),
+        ];
+        let queries = [
+            extent(15, Some(55), 10, Some(45)),
+            extent(10, None, 10, None),
+        ];
+        let specs: Vec<_> = entries.iter().map(|e| e.spec()).collect();
+        let bound = crate::bound::bound_entries(&specs, ct);
+        for q in &queries {
+            for p in Predicate::ALL {
+                for e in &entries {
+                    if p.eval(e, q, ct) {
+                        assert!(
+                            p.consistent(&bound.resolve(ct), &q.region(ct)),
+                            "{p} pruned a qualifying entry"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

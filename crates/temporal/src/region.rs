@@ -1,0 +1,431 @@
+//! Exact geometry of resolved bitemporal regions.
+//!
+//! After resolving `UC`/`NOW` against the current time (see
+//! [`crate::value::RegionSpec::resolve`]) every bitemporal region is one
+//! of two closed shapes over integer days (x = transaction time,
+//! y = valid time):
+//!
+//! * a [`Rect`] — `{(t, v) : tt1 <= t <= tt2, vt1 <= v <= vt2}`, or
+//! * a [`Stair`] — `{(t, v) : tt1 <= t <= tt2, vt1 <= v <= t}`, the
+//!   region under the `y = x` diagonal that a `NOW`-terminated tuple
+//!   sweeps out (the paper's Figure 1, cases 3–6).
+//!
+//! All predicate and measure computations are exact integer arithmetic —
+//! there is no floating point and no sampling. Areas are counted in
+//! day-cells (a closed interval `[a, b]` contains `b - a + 1` cells),
+//! which makes the dead-space and overlap statistics of the benchmark
+//! suite exactly reproducible.
+
+use crate::day::Day;
+
+/// A closed axis-aligned rectangle in (transaction, valid)-time space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Transaction-time interval start.
+    pub tt1: Day,
+    /// Transaction-time interval end (inclusive).
+    pub tt2: Day,
+    /// Valid-time interval start.
+    pub vt1: Day,
+    /// Valid-time interval end (inclusive).
+    pub vt2: Day,
+}
+
+/// A closed stair shape: the part of the rectangle
+/// `[tt1, tt2] x [vt1, ..]` lying on or under the `v = t` diagonal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stair {
+    /// Transaction-time interval start.
+    pub tt1: Day,
+    /// Transaction-time interval end (inclusive) — also the height of
+    /// the top step.
+    pub tt2: Day,
+    /// Valid-time interval start.
+    pub vt1: Day,
+}
+
+/// A resolved bitemporal region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Rectangular region.
+    Rect(Rect),
+    /// Stair-shaped region.
+    Stair(Stair),
+}
+
+impl Rect {
+    /// Constructs a rectangle. Inverted intervals denote the empty
+    /// region (see [`Rect::is_empty`]).
+    pub fn new(tt1: Day, tt2: Day, vt1: Day, vt2: Day) -> Rect {
+        Rect { tt1, tt2, vt1, vt2 }
+    }
+
+    /// True when the rectangle contains no cell.
+    pub fn is_empty(&self) -> bool {
+        self.tt1 > self.tt2 || self.vt1 > self.vt2
+    }
+
+    /// Number of day-cells covered.
+    pub fn area(&self) -> i128 {
+        if self.is_empty() {
+            return 0;
+        }
+        let w = (self.tt2.0 as i128) - (self.tt1.0 as i128) + 1;
+        let h = (self.vt2.0 as i128) - (self.vt1.0 as i128) + 1;
+        w * h
+    }
+
+    /// Point membership.
+    pub fn contains_point(&self, t: Day, v: Day) -> bool {
+        self.tt1 <= t && t <= self.tt2 && self.vt1 <= v && v <= self.vt2
+    }
+}
+
+impl Stair {
+    /// Constructs a stair shape.
+    pub fn new(tt1: Day, tt2: Day, vt1: Day) -> Stair {
+        Stair { tt1, tt2, vt1 }
+    }
+
+    /// First transaction time at which the stair has any cell: the stair
+    /// requires `v <= t` and `v >= vt1`, so columns before `vt1` are
+    /// empty.
+    pub fn effective_tt1(&self) -> Day {
+        self.tt1.max(self.vt1)
+    }
+
+    /// True when the stair contains no cell.
+    pub fn is_empty(&self) -> bool {
+        self.effective_tt1() > self.tt2
+    }
+
+    /// Number of day-cells covered: `sum over t of (t - vt1 + 1)`.
+    pub fn area(&self) -> i128 {
+        if self.is_empty() {
+            return 0;
+        }
+        let a = self.effective_tt1().0 as i128;
+        let b = self.tt2.0 as i128;
+        let m = self.vt1.0 as i128;
+        // Column at t holds t - m + 1 cells; arithmetic series over [a, b].
+        let first = a - m + 1;
+        let last = b - m + 1;
+        (first + last) * (b - a + 1) / 2
+    }
+
+    /// Point membership.
+    pub fn contains_point(&self, t: Day, v: Day) -> bool {
+        self.tt1 <= t && t <= self.tt2 && self.vt1 <= v && v <= t
+    }
+
+    /// The minimum bounding rectangle of the stair.
+    pub fn mbr(&self) -> Rect {
+        Rect::new(self.effective_tt1(), self.tt2, self.vt1, self.tt2)
+    }
+}
+
+/// Counts `sum over t in [a, b] of max(0, min(cap, t) - m + 1)` — the
+/// shared kernel of all stair intersection areas. `cap = Day::MAX.0`
+/// means "no cap" (stair against stair).
+fn sum_clamped(a: i64, b: i64, m: i64, cap: i64) -> i128 {
+    if a > b || cap < m {
+        return 0;
+    }
+    let lo = a.max(m);
+    if lo > b {
+        return 0;
+    }
+    // Rising part: t in [lo, min(b, cap)] contributes t - m + 1.
+    let rise_hi = b.min(cap);
+    let mut total: i128 = 0;
+    if lo <= rise_hi {
+        let first = (lo - m + 1) as i128;
+        let last = (rise_hi - m + 1) as i128;
+        let n = (rise_hi - lo + 1) as i128;
+        total += (first + last) * n / 2;
+    }
+    // Flat part: t in [max(lo, cap + 1), b] contributes cap - m + 1.
+    let flat_lo = lo.max(cap + 1);
+    if flat_lo <= b {
+        total += ((cap - m + 1) as i128) * ((b - flat_lo + 1) as i128);
+    }
+    total
+}
+
+impl Region {
+    /// True when the region covers no cell.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Region::Rect(r) => r.is_empty(),
+            Region::Stair(s) => s.is_empty(),
+        }
+    }
+
+    /// Number of day-cells covered.
+    pub fn area(&self) -> i128 {
+        match self {
+            Region::Rect(r) => r.area(),
+            Region::Stair(s) => s.area(),
+        }
+    }
+
+    /// Point membership.
+    pub fn contains_point(&self, t: Day, v: Day) -> bool {
+        match self {
+            Region::Rect(r) => r.contains_point(t, v),
+            Region::Stair(s) => s.contains_point(t, v),
+        }
+    }
+
+    /// The minimum bounding rectangle.
+    pub fn mbr(&self) -> Rect {
+        match self {
+            Region::Rect(r) => *r,
+            Region::Stair(s) => s.mbr(),
+        }
+    }
+
+    /// Exact intersection area in day-cells.
+    pub fn intersection_area(&self, other: &Region) -> i128 {
+        if self.is_empty() || other.is_empty() {
+            return 0;
+        }
+        match (self, other) {
+            (Region::Rect(a), Region::Rect(b)) => {
+                let r = Rect::new(
+                    a.tt1.max(b.tt1),
+                    a.tt2.min(b.tt2),
+                    a.vt1.max(b.vt1),
+                    a.vt2.min(b.vt2),
+                );
+                r.area()
+            }
+            (Region::Rect(r), Region::Stair(s)) | (Region::Stair(s), Region::Rect(r)) => {
+                let a = r.tt1.max(s.tt1).0 as i64;
+                let b = r.tt2.min(s.tt2).0 as i64;
+                let m = r.vt1.max(s.vt1).0 as i64;
+                sum_clamped(a, b, m, r.vt2.0 as i64)
+            }
+            (Region::Stair(a), Region::Stair(b)) => {
+                let lo = a.tt1.max(b.tt1).0 as i64;
+                let hi = a.tt2.min(b.tt2).0 as i64;
+                let m = a.vt1.max(b.vt1).0 as i64;
+                sum_clamped(lo, hi, m, i64::MAX - 1)
+            }
+        }
+    }
+
+    /// Exact overlap test — equivalent to `intersection_area > 0` but
+    /// without the arithmetic.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        match (self, other) {
+            (Region::Rect(a), Region::Rect(b)) => {
+                a.tt1 <= b.tt2 && b.tt1 <= a.tt2 && a.vt1 <= b.vt2 && b.vt1 <= a.vt2
+            }
+            (Region::Rect(r), Region::Stair(s)) | (Region::Stair(s), Region::Rect(r)) => {
+                let a = r.tt1.max(s.tt1);
+                let b = r.tt2.min(s.tt2);
+                // Best column is t = b, where the stair reaches v = b.
+                a <= b && r.vt1.max(s.vt1) <= r.vt2.min(b)
+            }
+            (Region::Stair(a), Region::Stair(b)) => {
+                let lo = a.tt1.max(b.tt1);
+                let hi = a.tt2.min(b.tt2);
+                lo <= hi && a.vt1.max(b.vt1) <= hi
+            }
+        }
+    }
+
+    /// Exact containment test: `self ⊇ other`. The empty region is
+    /// contained in everything.
+    pub fn contains(&self, other: &Region) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        if self.is_empty() {
+            return false;
+        }
+        match (self, other) {
+            (Region::Rect(a), Region::Rect(b)) => {
+                a.tt1 <= b.tt1 && b.tt2 <= a.tt2 && a.vt1 <= b.vt1 && b.vt2 <= a.vt2
+            }
+            (Region::Rect(r), Region::Stair(s)) => {
+                // The stair spans t in [eff, tt2], v in [vt1, t]; its
+                // highest point is (tt2, tt2).
+                let eff = s.effective_tt1();
+                r.tt1 <= eff && s.tt2 <= r.tt2 && r.vt1 <= s.vt1 && s.tt2 <= r.vt2
+            }
+            (Region::Stair(s), Region::Rect(r)) => {
+                // Worst rectangle corner is the top-left (r.tt1, r.vt2).
+                s.tt1 <= r.tt1 && r.tt2 <= s.tt2 && s.vt1 <= r.vt1 && r.vt2 <= r.tt1
+            }
+            (Region::Stair(a), Region::Stair(b)) => {
+                let eff = b.effective_tt1();
+                a.tt1.max(a.vt1) <= eff && b.tt2 <= a.tt2 && a.vt1 <= b.vt1
+            }
+        }
+    }
+
+    /// Exact set equality (mutual containment).
+    pub fn equals(&self, other: &Region) -> bool {
+        self.contains(other) && other.contains(self)
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Region::Rect(r) => write!(
+                f,
+                "rect[{}..{}]x[{}..{}]",
+                r.tt1.0, r.tt2.0, r.vt1.0, r.vt2.0
+            ),
+            Region::Stair(s) => write!(f, "stair[{}..{}, vt>={}]", s.tt1.0, s.tt2.0, s.vt1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(n: i32) -> Day {
+        Day(n)
+    }
+
+    fn rect(a: i32, b: i32, c: i32, e: i32) -> Region {
+        Region::Rect(Rect::new(d(a), d(b), d(c), d(e)))
+    }
+
+    fn stair(a: i32, b: i32, c: i32) -> Region {
+        Region::Stair(Stair::new(d(a), d(b), d(c)))
+    }
+
+    /// Enumerates every integer cell of a region within a window; the
+    /// brute-force oracle for all geometric predicates.
+    fn cells(r: &Region, lo: i32, hi: i32) -> std::collections::BTreeSet<(i32, i32)> {
+        let mut out = std::collections::BTreeSet::new();
+        for t in lo..=hi {
+            for v in lo..=hi {
+                if r.contains_point(d(t), d(v)) {
+                    out.insert((t, v));
+                }
+            }
+        }
+        out
+    }
+
+    fn sample_regions() -> Vec<Region> {
+        let mut rs = Vec::new();
+        for &(a, b, c, e) in &[
+            (0, 5, 0, 5),
+            (2, 8, 1, 3),
+            (3, 3, 3, 3),
+            (0, 10, 6, 9),
+            (7, 9, 0, 2),
+            (4, 6, 4, 6),
+            (5, 4, 0, 1), // empty
+        ] {
+            rs.push(rect(a, b, c, e));
+        }
+        for &(a, b, c) in &[
+            (0, 8, 0),
+            (3, 9, 1),
+            (5, 10, 5),
+            (2, 6, 4),
+            (0, 4, 6), // partially clipped by the diagonal
+            (8, 3, 0), // empty
+            (0, 2, 5), // entirely above: empty
+        ] {
+            rs.push(stair(a, b, c));
+        }
+        rs
+    }
+
+    #[test]
+    fn brute_force_overlap_contains_equal_area() {
+        let regions = sample_regions();
+        for (i, a) in regions.iter().enumerate() {
+            let ca = cells(a, -2, 14);
+            assert_eq!(a.area(), ca.len() as i128, "area of {a} (#{i})");
+            assert_eq!(a.is_empty(), ca.is_empty(), "emptiness of {a}");
+            for b in regions.iter() {
+                let cb = cells(b, -2, 14);
+                let inter: Vec<_> = ca.intersection(&cb).collect();
+                assert_eq!(a.overlaps(b), !inter.is_empty(), "overlap {a} vs {b}");
+                assert_eq!(
+                    a.intersection_area(b),
+                    inter.len() as i128,
+                    "intersection area {a} vs {b}"
+                );
+                assert_eq!(a.contains(b), cb.is_subset(&ca), "containment {a} ⊇ {b}");
+                assert_eq!(a.equals(b), ca == cb, "equality {a} = {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn stair_area_closed_form() {
+        // Stair at tt [0, 3], vt1 = 0: columns of 1, 2, 3, 4 cells.
+        assert_eq!(stair(0, 3, 0).area(), 10);
+        // Clipped stair: vt1 = 2 over tt [0, 3]: columns at t=2 (1 cell)
+        // and t=3 (2 cells).
+        assert_eq!(stair(0, 3, 2).area(), 3);
+    }
+
+    #[test]
+    fn stair_mbr() {
+        let s = Stair::new(d(2), d(9), d(0));
+        assert_eq!(s.mbr(), Rect::new(d(2), d(9), d(0), d(9)));
+        let clipped = Stair::new(d(0), d(9), d(4));
+        assert_eq!(clipped.mbr(), Rect::new(d(4), d(9), d(4), d(9)));
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let regions = sample_regions();
+        for a in &regions {
+            for b in &regions {
+                assert_eq!(a.overlaps(b), b.overlaps(a), "{a} vs {b}");
+                assert_eq!(a.intersection_area(b), b.intersection_area(a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn containment_implies_overlap_for_nonempty() {
+        let regions = sample_regions();
+        for a in &regions {
+            for b in &regions {
+                if a.contains(b) && !b.is_empty() {
+                    assert!(a.overlaps(b), "{a} contains nonempty {b} but no overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn julie_stair_does_not_overlap_fig8_query() {
+        // The paper's Table 3 / Figure 8 example. Months as day numbers:
+        // 3/97 = 3, 5/97 = 5, 7/97 = 7. Julie's extent resolved at 9/97
+        // is the stair (tt 3..7, vt1 = 3) because the tuple was deleted
+        // at 7/97 while VTend was NOW. The query point is (tt = 5,
+        // vt = 7): "who worked in Sales during 7/97 according to the
+        // knowledge we had during 5/97".
+        let julie = stair(3, 7, 3);
+        let query = rect(5, 5, 7, 7);
+        assert!(!julie.overlaps(&query), "the stair must miss the query");
+        // The *decomposed* per-interval check wrongly says yes: tt
+        // intervals [3,7] vs [5,5] overlap, and vt intervals [3,7]
+        // (NOW resolved to 7/97 at query time 9/97... even at its
+        // maximum) vs [7,7] overlap.
+        // The decomposed per-interval check is fooled: Julie's tt
+        // interval [3, 7] contains 5, and her vt interval [3, NOW->7]
+        // contains 7 — both pass even though the stair misses the point.
+        let (tt1, tt2, vt1, vt2, qt, qv) = (3, 7, 3, 7, 5, 7);
+        assert!(tt1 <= qt && qt <= tt2 && vt1 <= qv && qv <= vt2);
+    }
+}

@@ -1,0 +1,390 @@
+//! The `UC` / `NOW` timestamp variables and unresolved region
+//! descriptors.
+//!
+//! The 4TS format (Snodgrass's TQuel format, the paper's Section 2)
+//! allows the variable `UC` ("until changed") as the transaction-time
+//! end and the variable `NOW` as the valid-time end. An index entry —
+//! four timestamps plus, in non-leaf nodes, the `Rectangle` and `Hidden`
+//! flags — does not denote a fixed region: it must be *resolved* against
+//! the current time. [`RegionSpec`] is that unresolved descriptor, and
+//! [`RegionSpec::resolve`] is the paper's Section 3 resolution
+//! algorithm, including the `Hidden`-flag adjustment.
+
+use crate::day::Day;
+use crate::region::{Rect, Region, Stair};
+use crate::{Result, TemporalError};
+
+/// Transaction-time end: either a fixed day or the variable `UC`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TtEnd {
+    /// Fixed ("ground") value: the tuple was logically deleted.
+    Ground(Day),
+    /// "Until changed": the tuple is part of the current database state.
+    Uc,
+}
+
+/// Valid-time end: either a fixed day or the variable `NOW`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VtEnd {
+    /// Fixed ("ground") value.
+    Ground(Day),
+    /// The fact is valid until the current time and keeps extending.
+    Now,
+}
+
+impl TtEnd {
+    /// Resolves `UC` to the current time (the paper's
+    /// `IF TTend = UC THEN set TTend to the current time`).
+    pub fn resolve(self, ct: Day) -> Day {
+        match self {
+            TtEnd::Ground(d) => d,
+            TtEnd::Uc => ct,
+        }
+    }
+
+    /// True for the `UC` variable.
+    pub fn is_uc(self) -> bool {
+        matches!(self, TtEnd::Uc)
+    }
+}
+
+impl VtEnd {
+    /// Resolves `NOW` to the resolved transaction-time end (the paper's
+    /// `IF VTend = NOW THEN set VTend to TTend`).
+    pub fn resolve(self, resolved_tt_end: Day) -> Day {
+        match self {
+            VtEnd::Ground(d) => d,
+            VtEnd::Now => resolved_tt_end,
+        }
+    }
+
+    /// True for the `NOW` variable.
+    pub fn is_now(self) -> bool {
+        matches!(self, VtEnd::Now)
+    }
+}
+
+impl std::fmt::Display for TtEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TtEnd::Ground(d) => write!(f, "{d}"),
+            TtEnd::Uc => write!(f, "UC"),
+        }
+    }
+}
+
+impl std::fmt::Display for VtEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VtEnd::Ground(d) => write!(f, "{d}"),
+            VtEnd::Now => write!(f, "NOW"),
+        }
+    }
+}
+
+/// An unresolved bitemporal region descriptor: the exact content of a
+/// GR-tree node entry (Section 3 of the paper).
+///
+/// In a **leaf** entry the four timestamps encode the tuple's bitemporal
+/// region exactly (the six cases of the paper's Figure 2); the flags are
+/// unused and `rect` is derivable (`VTend` ground ⇒ rectangle). In a
+/// **non-leaf** entry the timestamps bound the child node's regions and
+/// the two flags disambiguate:
+///
+/// * `rect` — the paper's "Rectangle" flag: a `(tt1, UC, vt1, NOW)`
+///   combination denotes a rectangle growing in *both* dimensions rather
+///   than a stair shape.
+/// * `hidden` — the paper's "Hidden" flag: a growing stair shape is
+///   hidden inside a bounding rectangle with a fixed valid-time end and
+///   will one day outgrow it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionSpec {
+    /// Transaction-time begin (always ground).
+    pub tt_begin: Day,
+    /// Transaction-time end (ground or `UC`).
+    pub tt_end: TtEnd,
+    /// Valid-time begin (always ground).
+    pub vt_begin: Day,
+    /// Valid-time end (ground or `NOW`).
+    pub vt_end: VtEnd,
+    /// The "Rectangle" flag (meaningful only when `vt_end` is `NOW`).
+    pub rect: bool,
+    /// The "Hidden" flag (meaningful only when `vt_end` is ground).
+    pub hidden: bool,
+}
+
+impl RegionSpec {
+    /// A leaf-entry descriptor: flags cleared, shape determined by the
+    /// timestamps alone (leaf `NOW` always denotes a stair shape).
+    pub fn leaf(tt_begin: Day, tt_end: TtEnd, vt_begin: Day, vt_end: VtEnd) -> RegionSpec {
+        RegionSpec {
+            tt_begin,
+            tt_end,
+            vt_begin,
+            vt_end,
+            rect: false,
+            hidden: false,
+        }
+    }
+
+    /// Validates the structural constraints of Section 2: begin ≤ end on
+    /// both axes (after resolution at `ct`), and `vt_begin ≤ tt_begin`
+    /// whenever the valid-time end is `NOW` (otherwise the stair would be
+    /// empty at insertion time — the paper's second valid-time insertion
+    /// constraint).
+    pub fn validate(&self, ct: Day) -> Result<()> {
+        let tte = self.tt_end.resolve(ct);
+        if self.tt_begin > tte {
+            return Err(TemporalError::Constraint(format!(
+                "TTbegin {} > TTend {}",
+                self.tt_begin, tte
+            )));
+        }
+        match self.vt_end {
+            VtEnd::Ground(v) => {
+                if self.vt_begin > v {
+                    return Err(TemporalError::Constraint(format!(
+                        "VTbegin {} > VTend {}",
+                        self.vt_begin, v
+                    )));
+                }
+            }
+            VtEnd::Now => {
+                if !self.rect && self.vt_begin > self.tt_begin {
+                    return Err(TemporalError::Constraint(format!(
+                        "VTend = NOW requires VTbegin {} <= TTbegin {}",
+                        self.vt_begin, self.tt_begin
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's `Hidden`-flag adjustment, applied before any
+    /// computation involving the entry:
+    ///
+    /// ```text
+    /// IF flag Hidden is set AND VTend is fixed AND VTend is less than
+    /// the current time THEN set VTend to NOW
+    /// ```
+    ///
+    /// Once the hidden growing stair has outgrown its fixed bounding
+    /// rectangle the entry must be treated as growing in valid time
+    /// (and, having contained a stair plus taller regions, as a
+    /// rectangle).
+    #[must_use]
+    pub fn adjust_hidden(mut self, ct: Day) -> RegionSpec {
+        if self.hidden {
+            if let VtEnd::Ground(v) = self.vt_end {
+                if v < ct {
+                    self.vt_end = VtEnd::Now;
+                    self.rect = true;
+                }
+            }
+        }
+        self
+    }
+
+    /// Resolves the descriptor to an exact region at current time `ct`,
+    /// per the paper's Section 3 algorithms (Hidden adjustment, then
+    /// `UC → ct`, then `NOW → TTend`).
+    pub fn resolve(self, ct: Day) -> Region {
+        let adj = self.adjust_hidden(ct);
+        let tte = adj.tt_end.resolve(ct);
+        match adj.vt_end {
+            VtEnd::Ground(v) => Region::Rect(Rect::new(adj.tt_begin, tte, adj.vt_begin, v)),
+            VtEnd::Now => {
+                if adj.rect {
+                    // A rectangle growing in both dimensions: top edge at
+                    // the resolved transaction-time end.
+                    Region::Rect(Rect::new(adj.tt_begin, tte, adj.vt_begin, tte))
+                } else {
+                    Region::Stair(Stair::new(adj.tt_begin, tte, adj.vt_begin))
+                }
+            }
+        }
+    }
+
+    /// Whether the region keeps extending in the transaction-time
+    /// direction as time passes.
+    pub fn grows_tt(&self) -> bool {
+        self.tt_end.is_uc()
+    }
+
+    /// Whether the region keeps extending in the valid-time direction as
+    /// time passes (at or after current time `ct`). A hidden entry counts
+    /// once its fixed bound has been outgrown; a `NOW` entry grows only
+    /// while its transaction time is still open.
+    pub fn grows_vt(&self, ct: Day) -> bool {
+        match self.adjust_hidden(ct).vt_end {
+            VtEnd::Now => self.tt_end.is_uc(),
+            VtEnd::Ground(_) => false,
+        }
+    }
+
+    /// True when every point `(t, v)` of the region satisfies `v <= t`
+    /// at all times — i.e. the region never extends above the `y = x`
+    /// diagonal and can therefore live inside a bounding stair shape
+    /// (the paper's Figure 4(b) criterion).
+    pub fn under_diagonal(&self, ct: Day) -> bool {
+        let adj = self.adjust_hidden(ct);
+        match adj.vt_end {
+            VtEnd::Now => !adj.rect,
+            // A fixed rectangle lies under the diagonal iff its top-left
+            // corner does.
+            VtEnd::Ground(v) => v <= adj.tt_begin && !adj.hidden,
+        }
+    }
+}
+
+impl std::fmt::Display for RegionSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}, {}] x [{}, {}]{}{}",
+            self.tt_begin,
+            self.tt_end,
+            self.vt_begin,
+            self.vt_end,
+            if self.rect { " R" } else { "" },
+            if self.hidden { " H" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(n: i32) -> Day {
+        Day(n)
+    }
+
+    #[test]
+    fn resolve_fixed_rectangle() {
+        let spec = RegionSpec::leaf(d(10), TtEnd::Ground(d(20)), d(5), VtEnd::Ground(d(15)));
+        let r = spec.resolve(d(100));
+        assert_eq!(r, Region::Rect(Rect::new(d(10), d(20), d(5), d(15))));
+    }
+
+    #[test]
+    fn resolve_uc_rectangle_grows() {
+        // Case 1: (tt1, UC, vt1, vt2) — grows in transaction time only.
+        let spec = RegionSpec::leaf(d(10), TtEnd::Uc, d(5), VtEnd::Ground(d(15)));
+        assert_eq!(
+            spec.resolve(d(50)),
+            Region::Rect(Rect::new(d(10), d(50), d(5), d(15)))
+        );
+        assert_eq!(
+            spec.resolve(d(90)),
+            Region::Rect(Rect::new(d(10), d(90), d(5), d(15)))
+        );
+        assert!(spec.grows_tt());
+        assert!(!spec.grows_vt(d(50)));
+    }
+
+    #[test]
+    fn resolve_growing_stair() {
+        // Case 3: (tt1, UC, vt1, NOW), tt1 = vt1.
+        let spec = RegionSpec::leaf(d(10), TtEnd::Uc, d(10), VtEnd::Now);
+        assert_eq!(
+            spec.resolve(d(40)),
+            Region::Stair(Stair::new(d(10), d(40), d(10)))
+        );
+        assert!(spec.grows_tt());
+        assert!(spec.grows_vt(d(40)));
+        assert!(spec.under_diagonal(d(40)));
+    }
+
+    #[test]
+    fn resolve_stopped_stair() {
+        // Case 4: (tt1, tt2, vt1, NOW) — the stair froze at deletion.
+        let spec = RegionSpec::leaf(d(10), TtEnd::Ground(d(30)), d(10), VtEnd::Now);
+        assert_eq!(
+            spec.resolve(d(90)),
+            Region::Stair(Stair::new(d(10), d(30), d(10)))
+        );
+        assert!(!spec.grows_vt(d(90)));
+    }
+
+    #[test]
+    fn resolve_growing_rect_flag() {
+        // Internal entry: (tt1, UC, vt1, NOW) with Rectangle flag set
+        // means a rectangle growing in both dimensions.
+        let spec = RegionSpec {
+            tt_begin: d(10),
+            tt_end: TtEnd::Uc,
+            vt_begin: d(0),
+            vt_end: VtEnd::Now,
+            rect: true,
+            hidden: false,
+        };
+        assert_eq!(
+            spec.resolve(d(40)),
+            Region::Rect(Rect::new(d(10), d(40), d(0), d(40)))
+        );
+        assert!(!spec.under_diagonal(d(40)));
+    }
+
+    #[test]
+    fn hidden_adjustment_fires_only_after_outgrowth() {
+        let spec = RegionSpec {
+            tt_begin: d(10),
+            tt_end: TtEnd::Uc,
+            vt_begin: d(0),
+            vt_end: VtEnd::Ground(d(50)),
+            rect: false,
+            hidden: true,
+        };
+        // Before the stair outgrows the fixed bound: still the rectangle.
+        assert_eq!(
+            spec.resolve(d(40)),
+            Region::Rect(Rect::new(d(10), d(40), d(0), d(50)))
+        );
+        assert_eq!(
+            spec.resolve(d(50)),
+            Region::Rect(Rect::new(d(10), d(50), d(0), d(50)))
+        );
+        // Afterwards: treated as growing (VTend := NOW, rectangle in both
+        // dimensions).
+        assert_eq!(
+            spec.resolve(d(60)),
+            Region::Rect(Rect::new(d(10), d(60), d(0), d(60)))
+        );
+        assert!(spec.grows_vt(d(60)));
+        assert!(!spec.grows_vt(d(40)));
+    }
+
+    #[test]
+    fn validate_constraints() {
+        let ct = d(100);
+        // Backwards valid interval.
+        assert!(
+            RegionSpec::leaf(d(10), TtEnd::Uc, d(20), VtEnd::Ground(d(5)))
+                .validate(ct)
+                .is_err()
+        );
+        // NOW with vt_begin after tt_begin: empty stair.
+        assert!(RegionSpec::leaf(d(10), TtEnd::Uc, d(20), VtEnd::Now)
+            .validate(ct)
+            .is_err());
+        // Backwards transaction interval.
+        assert!(
+            RegionSpec::leaf(d(10), TtEnd::Ground(d(5)), d(0), VtEnd::Ground(d(5)))
+                .validate(ct)
+                .is_err()
+        );
+        // A legal case-5 stair (tt1 > vt1).
+        assert!(RegionSpec::leaf(d(10), TtEnd::Uc, d(5), VtEnd::Now)
+            .validate(ct)
+            .is_ok());
+    }
+
+    #[test]
+    fn display_forms() {
+        let spec = RegionSpec::leaf(d(0), TtEnd::Uc, d(0), VtEnd::Now);
+        let s = spec.to_string();
+        assert!(s.contains("UC") && s.contains("NOW"), "{s}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Bitemporal update-stream generation.
+
+use grt_temporal::{Day, TimeExtent, VtEnd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic history.
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryParams {
+    /// Tuples inserted over the lifetime of the history.
+    pub inserts: usize,
+    /// Probability that an insertion is now-relative (`VTend = NOW`);
+    /// otherwise the valid interval is fixed.
+    pub now_relative_fraction: f64,
+    /// Probability that a previously inserted, still-current tuple is
+    /// logically deleted between two insertions.
+    pub delete_rate: f64,
+    /// Days between insertions (the transaction-time density).
+    pub days_per_insert: i32,
+    /// Mean length of fixed valid intervals, days.
+    pub mean_valid_len: i32,
+    /// Maximum backdating of `VTbegin` relative to insertion, days.
+    pub max_backdate: i32,
+    /// The first transaction day.
+    pub start: Day,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HistoryParams {
+    fn default() -> Self {
+        HistoryParams {
+            inserts: 1000,
+            now_relative_fraction: 0.5,
+            delete_rate: 0.3,
+            days_per_insert: 1,
+            mean_valid_len: 60,
+            max_backdate: 30,
+            start: Day(10_000),
+            seed: 42,
+        }
+    }
+}
+
+/// One event of the history, in transaction-time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryEvent {
+    /// A new tuple enters the current state.
+    Insert {
+        /// Tuple id (doubles as rowid in index-level benchmarks).
+        id: u64,
+        /// The tuple's extent at insertion.
+        extent: TimeExtent,
+    },
+    /// A current tuple is logically deleted: in the 4TS model the
+    /// stored extent changes from `old` to `new` (`TTend` `UC` → day),
+    /// which an index sees as delete(old) + insert(new).
+    LogicalDelete {
+        /// Tuple id.
+        id: u64,
+        /// The extent before deletion.
+        old: TimeExtent,
+        /// The extent after deletion.
+        new: TimeExtent,
+    },
+}
+
+/// A generated history plus its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct History {
+    /// Events in transaction-time order, each tagged with its day.
+    pub events: Vec<(Day, HistoryEvent)>,
+    /// The day after the last event (a natural "current time" for
+    /// queries).
+    pub end: Day,
+    /// The parameters that generated it.
+    pub params: HistoryParams,
+}
+
+impl History {
+    /// Generates a history deterministically from its parameters.
+    pub fn generate(params: HistoryParams) -> History {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut events = Vec::with_capacity(params.inserts * 2);
+        // (id, current extent) of tuples still current.
+        let mut open: Vec<(u64, TimeExtent)> = Vec::new();
+        let mut day = params.start;
+        for next_id in 0..params.inserts as u64 {
+            day = day.plus(params.days_per_insert.max(1));
+            // Maybe delete some current tuples first.
+            while !open.is_empty() && rng.gen_bool(params.delete_rate.clamp(0.0, 0.95)) {
+                let victim = rng.gen_range(0..open.len());
+                let (id, old) = open.swap_remove(victim);
+                let new = old.logical_delete(day).expect("open tuple is current");
+                events.push((day, HistoryEvent::LogicalDelete { id, old, new }));
+            }
+            // Insert a new tuple.
+            let backdate = rng.gen_range(0..=params.max_backdate.max(0));
+            let vt_begin = day.plus(-backdate);
+            let vt_end = if rng.gen_bool(params.now_relative_fraction.clamp(0.0, 1.0)) {
+                VtEnd::Now
+            } else {
+                let len = 1 + rng.gen_range(0..(2 * params.mean_valid_len.max(1)));
+                VtEnd::Ground(vt_begin.plus(len))
+            };
+            let extent = TimeExtent::insert(day, vt_begin, vt_end)
+                .expect("generated extents satisfy the constraints");
+            events.push((
+                day,
+                HistoryEvent::Insert {
+                    id: next_id,
+                    extent,
+                },
+            ));
+            open.push((next_id, extent));
+        }
+        History {
+            end: day.plus(1),
+            events,
+            params,
+        }
+    }
+
+    /// The final stored state: every tuple's last extent (after its
+    /// logical deletion, if any), keyed by id.
+    pub fn final_state(&self) -> Vec<(u64, TimeExtent)> {
+        let mut state: std::collections::BTreeMap<u64, TimeExtent> = Default::default();
+        for (_, ev) in &self.events {
+            match ev {
+                HistoryEvent::Insert { id, extent } => {
+                    state.insert(*id, *extent);
+                }
+                HistoryEvent::LogicalDelete { id, new, .. } => {
+                    state.insert(*id, *new);
+                }
+            }
+        }
+        state.into_iter().collect()
+    }
+
+    /// Fraction of final tuples that are still now-relative.
+    pub fn live_now_relative_fraction(&self) -> f64 {
+        let state = self.final_state();
+        if state.is_empty() {
+            return 0.0;
+        }
+        state.iter().filter(|(_, e)| e.is_now_relative()).count() as f64 / state.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grt_temporal::TtEnd;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let p = HistoryParams::default();
+        let a = History::generate(p);
+        let b = History::generate(p);
+        assert_eq!(a.events, b.events);
+        let c = History::generate(HistoryParams { seed: 7, ..p });
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn events_are_legal_and_ordered() {
+        let h = History::generate(HistoryParams {
+            inserts: 500,
+            ..Default::default()
+        });
+        let mut last = Day(0);
+        for (day, ev) in &h.events {
+            assert!(*day >= last, "transaction time is monotone");
+            last = *day;
+            match ev {
+                HistoryEvent::Insert { extent, .. } => {
+                    assert_eq!(extent.tt_begin, *day);
+                    assert!(extent.is_current());
+                    extent.spec().validate(*day).unwrap();
+                }
+                HistoryEvent::LogicalDelete { old, new, .. } => {
+                    assert!(old.is_current());
+                    assert_eq!(new.tt_end, TtEnd::Ground(day.pred()));
+                    new.spec().validate(*day).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn now_relative_fraction_tracks_parameter() {
+        for frac in [0.0, 0.5, 1.0] {
+            let h = History::generate(HistoryParams {
+                inserts: 800,
+                now_relative_fraction: frac,
+                delete_rate: 0.0,
+                ..Default::default()
+            });
+            let measured = h.live_now_relative_fraction();
+            // With delete_rate 0 every tuple stays current (TTend = UC),
+            // so all are now-relative in transaction time; measure the
+            // valid-time fraction instead.
+            let state = h.final_state();
+            let vt_now = state
+                .iter()
+                .filter(|(_, e)| matches!(e.vt_end, VtEnd::Now))
+                .count() as f64
+                / state.len() as f64;
+            assert!(
+                (vt_now - frac).abs() < 0.06,
+                "frac {frac}: measured {vt_now}"
+            );
+            assert!(measured >= vt_now);
+        }
+    }
+
+    #[test]
+    fn deletes_happen_and_freeze_tuples() {
+        let h = History::generate(HistoryParams {
+            inserts: 400,
+            delete_rate: 0.5,
+            ..Default::default()
+        });
+        let deletes = h
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, HistoryEvent::LogicalDelete { .. }))
+            .count();
+        assert!(deletes > 50, "only {deletes} deletions");
+        let state = h.final_state();
+        let closed = state.iter().filter(|(_, e)| !e.is_current()).count();
+        assert!(closed > 50);
+    }
+}

@@ -1,0 +1,16 @@
+//! Synthetic bitemporal workloads.
+//!
+//! The GR-tree literature evaluates on synthetic update streams of
+//! employee-style facts: tuples are inserted with valid-time intervals
+//! that are fixed or now-relative, live for a while as part of the
+//! current state, and are then logically deleted or modified. This
+//! crate generates such histories and matching query workloads,
+//! deterministically from a seed, parameterised by the **fraction of
+//! now-relative data** — the key axis of the paper's performance
+//! claims.
+
+pub mod history;
+pub mod queries;
+
+pub use history::{History, HistoryEvent, HistoryParams};
+pub use queries::{QueryKind, QueryParams, QuerySet};

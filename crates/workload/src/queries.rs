@@ -1,0 +1,137 @@
+//! Bitemporal query workloads.
+
+use grt_temporal::{Day, TimeExtent, TtEnd, VtEnd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The classical bitemporal query shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// A point in (tt, vt): "as known at T1, was the fact true at T2?"
+    Point,
+    /// A rectangle window in both dimensions.
+    Window,
+    /// The current state: tt pinned to "now", a window in vt.
+    CurrentState,
+    /// A transaction timeslice: tt pinned to a past day, vt open.
+    TransactionTimeslice,
+}
+
+/// Parameters of a query workload.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryParams {
+    /// Number of queries.
+    pub count: usize,
+    /// The query shape.
+    pub kind: QueryKind,
+    /// The data's transaction-time span (queries land inside it).
+    pub tt_range: (Day, Day),
+    /// Window edge length for `Window`/`CurrentState`, days.
+    pub window: i32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A generated query set.
+#[derive(Debug, Clone)]
+pub struct QuerySet {
+    /// The queries as query extents (the argument of `Overlaps`).
+    pub queries: Vec<TimeExtent>,
+    /// The parameters that generated them.
+    pub params: QueryParams,
+}
+
+impl QuerySet {
+    /// Generates a deterministic query set. `ct` is the current time at
+    /// which `CurrentState` queries are pinned.
+    pub fn generate(params: QueryParams, ct: Day) -> QuerySet {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let (lo, hi) = (
+            params.tt_range.0 .0,
+            params.tt_range.1 .0.max(params.tt_range.0 .0 + 1),
+        );
+        let w = params.window.max(0);
+        let mut queries = Vec::with_capacity(params.count);
+        for _ in 0..params.count {
+            let t = rng.gen_range(lo..hi);
+            let v = rng.gen_range(lo..hi);
+            let q = match params.kind {
+                QueryKind::Point => TimeExtent::from_parts(
+                    Day(t),
+                    TtEnd::Ground(Day(t)),
+                    Day(v),
+                    VtEnd::Ground(Day(v)),
+                ),
+                QueryKind::Window => TimeExtent::from_parts(
+                    Day(t),
+                    TtEnd::Ground(Day(t + w)),
+                    Day(v),
+                    VtEnd::Ground(Day(v + w)),
+                ),
+                QueryKind::CurrentState => {
+                    TimeExtent::from_parts(ct, TtEnd::Ground(ct), Day(v), VtEnd::Ground(Day(v + w)))
+                }
+                QueryKind::TransactionTimeslice => TimeExtent::from_parts(
+                    Day(t),
+                    TtEnd::Ground(Day(t)),
+                    Day(lo - 1),
+                    VtEnd::Ground(Day(hi + 1)),
+                ),
+            }
+            .expect("query extents are legal");
+            queries.push(q);
+        }
+        QuerySet { queries, params }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(kind: QueryKind) -> QueryParams {
+        QueryParams {
+            count: 50,
+            kind,
+            tt_range: (Day(10_000), Day(11_000)),
+            window: 20,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let ct = Day(11_000);
+        for kind in [
+            QueryKind::Point,
+            QueryKind::Window,
+            QueryKind::CurrentState,
+            QueryKind::TransactionTimeslice,
+        ] {
+            let a = QuerySet::generate(params(kind), ct);
+            let b = QuerySet::generate(params(kind), ct);
+            assert_eq!(a.queries, b.queries);
+            assert_eq!(a.queries.len(), 50);
+            for q in &a.queries {
+                assert!(q.tt_begin >= Day(9_999), "{q}");
+                q.spec().validate(ct).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn current_state_pins_transaction_time() {
+        let ct = Day(11_000);
+        let qs = QuerySet::generate(params(QueryKind::CurrentState), ct);
+        assert!(qs.queries.iter().all(|q| q.tt_begin == ct));
+    }
+
+    #[test]
+    fn point_queries_are_points() {
+        let qs = QuerySet::generate(params(QueryKind::Point), Day(11_000));
+        for q in &qs.queries {
+            assert_eq!(TtEnd::Ground(q.tt_begin), q.tt_end);
+            assert_eq!(VtEnd::Ground(q.vt_begin), q.vt_end);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! A developer's tour of the extension machinery: what a DataBlade
+//! author sees — the registration script, the system catalogs, the
+//! purpose-function call sequences, the step-level traces, and the
+//! index statistics and consistency check.
+//!
+//! ```text
+//! cargo run --example blade_anatomy
+//! ```
+
+use grtree_datablade::blade::{install_grtree_blade, install_rstar_blade, GrTreeAmOptions};
+use grtree_datablade::ids::{Database, DatabaseOptions};
+use grtree_datablade::rstar::bitemporal::NowStrategy;
+use grtree_datablade::rstar::RStarOptions;
+use grtree_datablade::temporal::{Clock, Day, MockClock};
+use std::sync::Arc;
+
+fn main() {
+    let clock = MockClock::new(Day::from_ymd(1998, 9, 2).unwrap());
+    let db = Database::new(DatabaseOptions {
+        clock: Arc::new(clock.clone()),
+        ..Default::default()
+    });
+
+    println!("== step 1-4: registration (the BladeSmith-generated script) ==\n");
+    let script = install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
+    println!("{script}");
+    install_rstar_blade(&db, NowStrategy::MaxTimestamp, RStarOptions::default()).unwrap();
+
+    println!("== the system catalogs after registration ==\n");
+    for cat in ["sysams", "sysopclasses", "sysprocedures"] {
+        let (hdr, rows) = db.catalog_dump(cat).unwrap();
+        println!("{cat}:");
+        println!("  {}", hdr.join(" | "));
+        for r in rows {
+            println!(
+                "  {}",
+                r.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            );
+        }
+        println!();
+    }
+
+    println!("== steps 5-6: a table with a virtual index ==\n");
+    let conn = db.connect();
+    conn.exec("CREATE TABLE t (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    conn.exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am IN spc")
+        .unwrap();
+    let (hdr, rows) = db.catalog_dump("sysindices").unwrap();
+    println!("sysindices: {}", hdr.join(" | "));
+    for r in rows {
+        println!(
+            "            {}",
+            r.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" | ")
+        );
+    }
+    let (_, frags) = db.catalog_dump("sysfragments").unwrap();
+    println!("sysfragments (index -> BLOB handle): {frags:?}\n");
+
+    println!("== purpose-function call sequences (trace class AM) ==\n");
+    let trace = db.trace();
+    trace.on("AM", 1);
+    trace.on("GRT", 2);
+    conn.exec("INSERT INTO t VALUES (1, '09/02/1998, UC, 09/02/1998, NOW')")
+        .unwrap();
+    let calls: Vec<String> = trace
+        .take()
+        .into_iter()
+        .filter(|e| e.class == "AM")
+        .map(|e| e.message)
+        .collect();
+    println!("INSERT: {}", calls.join(" -> "));
+    conn.exec("SELECT id FROM t WHERE Overlaps(Time_Extent, '09/02/1998, UC, 09/02/1998, NOW')")
+        .unwrap();
+    let events = trace.take();
+    let calls: Vec<String> = events
+        .iter()
+        .filter(|e| e.class == "AM")
+        .map(|e| e.message.clone())
+        .collect();
+    println!("SELECT: {}", calls.join(" -> "));
+    println!("\nstep-level trace (class GRT) of the same SELECT:");
+    for e in events.iter().filter(|e| e.class == "GRT") {
+        println!("  {}", e.message);
+    }
+
+    println!("\n== maintenance statements ==\n");
+    for i in 2..300 {
+        clock.advance(1);
+        let (y, m, d) = clock.today().to_ymd();
+        conn.exec(&format!(
+            "INSERT INTO t VALUES ({i}, '{m:02}/{d:02}/{y}, UC, {m:02}/{d:02}/{y}, NOW')"
+        ))
+        .unwrap();
+    }
+    let stats = conn.exec("UPDATE STATISTICS FOR INDEX tix").unwrap();
+    println!("UPDATE STATISTICS -> {}", stats.message);
+    conn.exec("CHECK INDEX tix").unwrap();
+    println!("CHECK INDEX -> consistent");
+    println!("\nio counters: {}", db.io_stats().snapshot());
+}

@@ -1,0 +1,118 @@
+//! The paper's running example, end to end: the EmpDep relation of
+//! Table 1 is built through SQL insertions, logical deletions, and
+//! updates as the clock advances from 3/97 to 9/97, and then queried
+//! bitemporally — including the Table 3 "Julie" query that breaks
+//! per-interval decomposition.
+//!
+//! ```text
+//! cargo run --example employee_history
+//! ```
+
+use grtree_datablade::blade::{install_grtree_blade, GrTreeAmOptions};
+use grtree_datablade::ids::{Database, DatabaseOptions};
+use grtree_datablade::temporal::{Day, MockClock};
+use std::sync::Arc;
+
+fn month(m: u32, y: i32) -> Day {
+    Day::from_ymd(y, m, 1).unwrap()
+}
+
+fn main() {
+    let clock = MockClock::new(month(1, 1997));
+    let db = Database::new(DatabaseOptions {
+        clock: Arc::new(clock.clone()),
+        ..Default::default()
+    });
+    install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE Employees (Name text, Department text, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    conn.exec("CREATE INDEX grt_index ON Employees(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+
+    println!("== playing the EmpDep history ==");
+    clock.set(month(3, 1997));
+    conn.exec("INSERT INTO Employees VALUES ('Tom', 'Management', '3/97, UC, 6/97, 8/97')")
+        .unwrap();
+    conn.exec("INSERT INTO Employees VALUES ('Julie', 'Sales', '3/97, UC, 3/97, NOW')")
+        .unwrap();
+    println!("3/97: recorded Tom's future stint and Julie's open-ended job");
+
+    clock.set(month(4, 1997));
+    conn.exec("INSERT INTO Employees VALUES ('John', 'Advertising', '4/97, UC, 3/97, 5/97')")
+        .unwrap();
+    println!("4/97: recorded John's already-bounded stint");
+
+    clock.set(month(5, 1997));
+    conn.exec("INSERT INTO Employees VALUES ('Jane', 'Sales', '5/97, UC, 5/97, NOW')")
+        .unwrap();
+    conn.exec("INSERT INTO Employees VALUES ('Michelle', 'Management', '5/97, UC, 3/97, NOW')")
+        .unwrap();
+    println!("5/97: Jane joins; Michelle's job (true since 3/97) is recorded late");
+
+    clock.set(month(8, 1997));
+    // Bitemporal deletion/modification is an application-level rewrite
+    // of the 4TS attributes — exactly as in the paper's data model.
+    conn.exec(
+        "UPDATE Employees SET Time_Extent = '3/97, 07/31/1997, 6/97, 8/97' WHERE Name = 'Tom'",
+    )
+    .unwrap();
+    conn.exec(
+        "UPDATE Employees SET Time_Extent = '3/97, 07/31/1997, 3/97, NOW' WHERE Name = 'Julie'",
+    )
+    .unwrap();
+    conn.exec("INSERT INTO Employees VALUES ('Julie', 'Sales', '8/97, UC, 3/97, 7/97')")
+        .unwrap();
+    println!("8/97: Tom logically deleted; Julie's tuple closed and re-asserted");
+
+    clock.set(month(9, 1997));
+    println!("\n== the relation at CT = 9/97 (the paper's Table 1) ==");
+    let r = conn
+        .exec("SELECT Name, Department, Time_Extent FROM Employees")
+        .unwrap();
+    println!("{}", r.to_table());
+
+    println!("== bitemporal queries ==");
+    let current = conn
+        .exec(
+            "SELECT Name, Department FROM Employees \
+             WHERE Overlaps(Time_Extent, '9/97, 9/97, 9/97, 9/97')",
+        )
+        .unwrap();
+    println!(
+        "current state (who works where, as known now):\n{}",
+        current.to_table()
+    );
+
+    let julie_q = conn
+        .exec(
+            "SELECT Name FROM Employees \
+             WHERE Overlaps(Time_Extent, '5/97, 5/97, 7/97, 7/97') AND Department = 'Sales'",
+        )
+        .unwrap();
+    println!(
+        "who worked in Sales during 7/97 as known during 5/97? -> {} rows",
+        julie_q.rows.len()
+    );
+    println!(
+        "(the naive per-interval check would wrongly return Julie —\n\
+         her region is a stair shape, not a rectangle; see Section 5.1)\n"
+    );
+
+    // The index keeps answering correctly as time passes, with no
+    // refresh: that is the GR-tree's whole point.
+    clock.set(month(6, 1999));
+    let later = conn
+        .exec(
+            "SELECT Name FROM Employees \
+             WHERE Overlaps(Time_Extent, '6/99, 6/99, 6/99, 6/99')",
+        )
+        .unwrap();
+    println!(
+        "current state two years later (grown stairs, zero maintenance):\n{}",
+        later.to_table()
+    );
+
+    let stats = conn.exec("UPDATE STATISTICS FOR INDEX grt_index").unwrap();
+    println!("{}", stats.message);
+}

@@ -1,0 +1,155 @@
+//! Multi-session tests: the LO-level locking regime of Section 5.3
+//! observed through the engine — readers coexist, writers serialize on
+//! the whole index, isolation levels change shared-lock lifetimes, and
+//! deadlocks are detected rather than hung.
+
+use grtree_datablade::blade::{install_grtree_blade, GrTreeAmOptions};
+use grtree_datablade::ids::{Database, DatabaseOptions, IdsError};
+use grtree_datablade::sbspace::{IsolationLevel, LockMode, SbError, Sbspace, SbspaceOptions};
+use grtree_datablade::temporal::{Day, MockClock};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn quick_db() -> (Database, MockClock) {
+    let clock = MockClock::new(Day(10_000));
+    let db = Database::new(DatabaseOptions {
+        space: SbspaceOptions {
+            pool_pages: 512,
+            lock_timeout: Duration::from_millis(300),
+        },
+        clock: Arc::new(clock.clone()),
+    });
+    install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE t (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    conn.exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+    for i in 0..20 {
+        conn.exec(&format!(
+            "INSERT INTO t VALUES ({i}, '05/18/1997, UC, 05/18/1997, NOW')"
+        ))
+        .unwrap();
+    }
+    (db, clock)
+}
+
+#[test]
+fn concurrent_readers_coexist() {
+    let (db, _clock) = quick_db();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let db = db.clone();
+            s.spawn(move || {
+                let conn = db.connect();
+                for _ in 0..10 {
+                    let r = conn
+                        .exec(
+                            "SELECT id FROM t WHERE \
+                             Overlaps(Time_Extent, '05/18/1997, UC, 05/18/1997, NOW')",
+                        )
+                        .unwrap();
+                    assert_eq!(r.rows.len(), 20);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn writer_blocks_reader_in_open_transaction() {
+    let (db, _clock) = quick_db();
+    let writer = db.connect();
+    writer.exec("BEGIN WORK").unwrap();
+    // The writer's insert takes the X lock on the index LO and holds it
+    // to transaction end (two-phase locking).
+    writer
+        .exec("INSERT INTO t VALUES (99, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+
+    let reader = db.connect();
+    let err = reader
+        .exec("SELECT id FROM t WHERE Overlaps(Time_Extent, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap_err();
+    match err {
+        IdsError::Storage(SbError::LockTimeout(_)) | IdsError::AccessMethod(_) => {}
+        other => panic!("expected a lock timeout, got {other:?}"),
+    }
+
+    // After commit the reader proceeds.
+    writer.exec("COMMIT WORK").unwrap();
+    let r = reader
+        .exec("SELECT id FROM t WHERE Overlaps(Time_Extent, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+    assert_eq!(r.rows.len(), 21);
+}
+
+#[test]
+fn repeatable_read_holds_shared_locks_to_commit() {
+    let (db, _clock) = quick_db();
+    let reader = db.connect();
+    reader.exec("SET ISOLATION TO REPEATABLE READ").unwrap();
+    reader.exec("BEGIN WORK").unwrap();
+    reader
+        .exec("SELECT id FROM t WHERE Overlaps(Time_Extent, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+    // The shared lock on the index (and the heap) persists past the
+    // statement: a writer times out.
+    let writer = db.connect();
+    assert!(writer
+        .exec("INSERT INTO t VALUES (99, '05/18/1997, UC, 05/18/1997, NOW')")
+        .is_err());
+    reader.exec("COMMIT WORK").unwrap();
+    writer
+        .exec("INSERT INTO t VALUES (99, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+}
+
+#[test]
+fn read_committed_releases_shared_locks_at_statement_end() {
+    let (db, _clock) = quick_db();
+    let reader = db.connect();
+    reader.exec("BEGIN WORK").unwrap();
+    reader
+        .exec("SELECT id FROM t WHERE Overlaps(Time_Extent, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+    // Under the default committed-read isolation, the S locks were
+    // released when the LOs were closed at statement end — a writer in
+    // another session proceeds even though the reader's transaction is
+    // still open.
+    let writer = db.connect();
+    writer
+        .exec("INSERT INTO t VALUES (99, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+    reader.exec("COMMIT WORK").unwrap();
+}
+
+#[test]
+fn deadlock_is_detected_not_hung() {
+    // Raw sbspace sessions arranged into a classic two-object cycle.
+    let sb = Sbspace::mem(SbspaceOptions {
+        pool_pages: 128,
+        lock_timeout: Duration::from_secs(5),
+    });
+    let setup = sb.begin(IsolationLevel::ReadCommitted);
+    let a = sb.create_lo(&setup).unwrap();
+    let b = sb.create_lo(&setup).unwrap();
+    setup.commit().unwrap();
+
+    let t1 = sb.begin(IsolationLevel::ReadCommitted);
+    let t2 = sb.begin(IsolationLevel::ReadCommitted);
+    let _h1 = sb.open_lo(&t1, a, LockMode::Exclusive).unwrap();
+    let _h2 = sb.open_lo(&t2, b, LockMode::Exclusive).unwrap();
+    let sb2 = sb.clone();
+    let waiter = std::thread::spawn(move || sb2.open_lo(&t1, b, LockMode::Exclusive).map(|_| t1));
+    std::thread::sleep(Duration::from_millis(100));
+    let err = sb.open_lo(&t2, a, LockMode::Exclusive).err().unwrap();
+    assert!(matches!(err, SbError::Deadlock(_)), "{err}");
+    // The victim aborts; the waiter is granted and finishes.
+    t2.abort().unwrap();
+    let t1 = waiter
+        .join()
+        .unwrap()
+        .expect("waiter granted after victim aborts");
+    t1.commit().unwrap();
+}

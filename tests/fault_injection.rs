@@ -1,0 +1,89 @@
+//! Failure injection through the whole stack: backend I/O faults during
+//! DML must fail the statement, roll the transaction back, and leave
+//! both heap and GR-tree consistent.
+
+use grt_sbspace::wal::MemWal;
+use grt_sbspace::{FaultInjector, MemBackend, Sbspace, SbspaceOptions};
+use grtree_datablade::blade::{install_grtree_blade, GrTreeAmOptions};
+use grtree_datablade::grtree::GrTreeOptions;
+use grtree_datablade::ids::Database;
+use grtree_datablade::temporal::{Day, MockClock};
+use std::sync::Arc;
+
+fn faulty_db() -> (Database, Arc<FaultInjector<MemBackend>>, MockClock) {
+    let backend = Arc::new(FaultInjector::new(MemBackend::new()));
+    let wal = Arc::new(MemWal::new());
+    let space = Sbspace::open_with(Arc::clone(&backend), wal, SbspaceOptions::default()).unwrap();
+    let clock = MockClock::new(Day(10_000));
+    let db = Database::with_space(space, Arc::new(clock.clone()));
+    install_grtree_blade(
+        &db,
+        GrTreeAmOptions {
+            tree: GrTreeOptions {
+                max_entries: 6,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (db, backend, clock)
+}
+
+#[test]
+fn io_fault_mid_statement_rolls_back_cleanly() {
+    let (db, backend, clock) = faulty_db();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE t (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    conn.exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+    for i in 0..60i32 {
+        clock.set(Day(10_000 + i));
+        let (y, m, d) = Day(10_000 + i).to_ymd();
+        conn.exec(&format!(
+            "INSERT INTO t VALUES ({i}, '{m:02}/{d:02}/{y}, UC, {m:02}/{d:02}/{y}, NOW')"
+        ))
+        .unwrap();
+    }
+    let before = conn.exec("SELECT id FROM t").unwrap().rows.len();
+
+    // Break the disk mid-flight: some statement soon fails.
+    backend.fail_after(10);
+    let mut failures = 0;
+    for i in 100..120i32 {
+        let (y, m, d) = Day(10_150).to_ymd();
+        if conn
+            .exec(&format!(
+                "INSERT INTO t VALUES ({i}, '{m:02}/{d:02}/{y}, UC, {m:02}/{d:02}/{y}, NOW')"
+            ))
+            .is_err()
+        {
+            failures += 1;
+        }
+    }
+    assert!(failures > 0, "the injected fault must surface");
+    backend.heal();
+
+    // Every failed statement rolled back atomically: the table and the
+    // index agree, and the index passes its consistency check.
+    let rows = conn.exec("SELECT id FROM t").unwrap().rows.len();
+    let via_index = conn
+        .exec(
+            "SELECT id FROM t WHERE Overlaps(Time_Extent, \
+             '01/01/1997, UC, 01/01/1997, NOW')",
+        )
+        .unwrap()
+        .rows
+        .len();
+    assert_eq!(rows, via_index, "heap and index diverged after faults");
+    assert!(rows >= before, "committed rows must survive");
+    conn.exec("CHECK INDEX tix").unwrap();
+
+    // And the system keeps working after healing.
+    clock.set(Day(10_200));
+    conn.exec("INSERT INTO t VALUES (999, '10/01/1997, UC, 10/01/1997, NOW')")
+        .unwrap();
+    let after = conn.exec("SELECT id FROM t").unwrap().rows.len();
+    assert_eq!(after, rows + 1);
+}
