@@ -21,6 +21,7 @@ fn setup(k: usize) -> (Sbspace, Vec<LoId>) {
     let sb = Sbspace::mem(SbspaceOptions {
         pool_pages: 1 << 14,
         lock_timeout: Duration::from_secs(20),
+        ..Default::default()
     });
     let txn = sb.begin(IsolationLevel::ReadCommitted);
     let mut los = Vec::new();
@@ -106,6 +107,48 @@ fn run_mixed_latched(tree: &grt_grtree::ConcurrentGrTree) {
     });
 }
 
+/// Read-only scan: a fixed total of 40 query transactions (25 searches
+/// each) over the K partitions through the pinned node path, divided
+/// evenly among `threads` readers. With fixed total work the ideal
+/// curve is flat (or falling, given spare cores); growth with the
+/// thread count is contention in the pool and lock manager.
+fn run_readers(sb: &Sbspace, los: &[LoId], threads: usize) {
+    let per_thread = 40 / threads;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let txn = sb.begin(IsolationLevel::ReadCommitted);
+                    let lo = los[i % los.len()];
+                    let handle = sb.open_lo(&txn, lo, LockMode::Shared).unwrap();
+                    let tree = GrTree::open(handle).unwrap();
+                    for d in 0..25 {
+                        let day = Day(10_000 + d * 16);
+                        let q = TimeExtent::from_parts(day, TtEnd::Uc, day, VtEnd::Now).unwrap();
+                        let _ = tree.search(Predicate::Overlaps, &q, Day(10_700)).unwrap();
+                    }
+                    tree.into_lo().unwrap().close().unwrap();
+                    txn.commit().unwrap();
+                }
+            });
+        }
+    });
+}
+
+/// Multi-reader scaling of the sharded buffer pool: fixed per-thread
+/// work, so flat times across thread counts mean linear read scaling.
+fn bench_reader_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reader-scaling");
+    group.sample_size(10);
+    let (sb, los) = setup(8);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("readers", threads), &threads, |b, &t| {
+            b.iter(|| run_readers(&sb, &los, t))
+        });
+    }
+    group.finish();
+}
+
 fn bench_concurrency(c: &mut Criterion) {
     let mut group = c.benchmark_group("lo-locking");
     group.sample_size(10);
@@ -126,5 +169,5 @@ fn bench_concurrency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_concurrency);
+criterion_group!(benches, bench_concurrency, bench_reader_scaling);
 criterion_main!(benches);

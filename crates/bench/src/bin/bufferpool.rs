@@ -1,0 +1,265 @@
+//! Buffer-pool and group-commit benchmark: baseline (one shard, no
+//! group commit — the pre-rework configuration) versus the sharded
+//! clock pool with zero-copy pinned reads and WAL group commit.
+//!
+//! ```text
+//! cargo run --release -p grt-bench --bin bufferpool
+//! ```
+//!
+//! Emits `BENCH_bufferpool.json` in the working directory with three
+//! sections per configuration:
+//!
+//! * `readers`: ns per pinned page read at 1/2/4/8 concurrent workers
+//!   running a read-mostly transactional round — a full 256-page pinned
+//!   sweep of a shared large object plus one single-page write to a
+//!   private object, committed. The per-read figure therefore includes
+//!   the amortised commit cost, which is where the baseline's
+//!   two-fsyncs-per-commit shows up against group commit's shared,
+//!   no-force flush;
+//! * `zero_copy`: the phase counter identity
+//!   `Δlogical_reads == Δpinned_reads` (every read on the hot path took
+//!   the zero-copy guard, none fell back to a page copy);
+//! * `commit_burst`: durable sync calls (WAL + data backend) for a
+//!   burst of 16 concurrent single-page commit transactions.
+//!
+//! The two configurations are measured interleaved (every repetition
+//! alternates between them), so ambient drift hits both equally.
+
+use grt_sbspace::{IsolationLevel, LoId, LockMode, Sbspace, SbspaceOptions, PAGE_SIZE};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const READER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const PAGES: u32 = 256;
+const ROUNDS_PER_READER: usize = 40;
+const BURST_TXNS: usize = 16;
+
+struct Config {
+    name: &'static str,
+    shards: usize,
+    group_commit: bool,
+}
+
+const CONFIGS: [Config; 2] = [
+    Config {
+        name: "baseline",
+        shards: 1,
+        group_commit: false,
+    },
+    Config {
+        name: "sharded+group",
+        shards: 16,
+        group_commit: true,
+    },
+];
+
+/// File-backed space: WAL syncs are real fsyncs, so the commit-burst
+/// numbers reflect the latency group commit amortises.
+fn space(cfg: &Config) -> (Sbspace, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "grt-bench-bufferpool-{}-{}",
+        std::process::id(),
+        cfg.name.replace('+', "-")
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sb = Sbspace::file(
+        &dir,
+        SbspaceOptions {
+            pool_pages: 1 << 12,
+            pool_shards: cfg.shards,
+            lock_timeout: Duration::from_secs(20),
+            group_commit: cfg.group_commit,
+            commit_batch_size: 32,
+        },
+    )
+    .unwrap();
+    (sb, dir)
+}
+
+/// One shared read object of `PAGES` data pages, plus a private
+/// single-page write object per worker thread.
+fn preload(sb: &Sbspace) -> (LoId, Vec<LoId>) {
+    let txn = sb.begin(IsolationLevel::ReadCommitted);
+    let lo = sb.create_lo(&txn).unwrap();
+    let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+    let mut page = [0u8; PAGE_SIZE];
+    for i in 0..PAGES {
+        page[..4].copy_from_slice(&i.to_le_bytes());
+        h.append_page(&page).unwrap();
+    }
+    h.close().unwrap();
+    let max_threads = *READER_COUNTS.iter().max().unwrap();
+    let write_los: Vec<LoId> = (0..max_threads)
+        .map(|_| {
+            let w = sb.create_lo(&txn).unwrap();
+            let mut h = sb.open_lo(&txn, w, LockMode::Exclusive).unwrap();
+            h.append_page(&[1u8; PAGE_SIZE]).unwrap();
+            h.close().unwrap();
+            w
+        })
+        .collect();
+    txn.commit().unwrap();
+    (lo, write_los)
+}
+
+/// `threads` workers, each running `ROUNDS_PER_READER` read-mostly
+/// transactions: a full pinned sweep of the shared LO plus one page
+/// written to the worker's private LO, then commit. Returns
+/// (ns/read, reads) — the commit cost is amortised into ns/read.
+fn reader_phase(sb: &Sbspace, lo: LoId, write_los: &[LoId], threads: usize) -> (f64, u64) {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for &wlo in &write_los[..threads] {
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                barrier.wait();
+                for round in 0..ROUNDS_PER_READER {
+                    let txn = sb.begin(IsolationLevel::ReadCommitted);
+                    let h = sb.open_lo(&txn, lo, LockMode::Shared).unwrap();
+                    let mut checksum = 0u64;
+                    for p in 0..PAGES {
+                        let guard = h.read_page_pinned(p).unwrap();
+                        checksum += u64::from(guard[0]);
+                    }
+                    assert!(checksum > 0);
+                    h.close().unwrap();
+                    let mut w = sb.open_lo(&txn, wlo, LockMode::Exclusive).unwrap();
+                    w.write_page(0, &[round as u8; PAGE_SIZE]).unwrap();
+                    w.close().unwrap();
+                    txn.commit().unwrap();
+                }
+            });
+        }
+        barrier.wait();
+    });
+    let elapsed = start.elapsed();
+    let reads = (threads * ROUNDS_PER_READER) as u64 * u64::from(PAGES);
+    (elapsed.as_nanos() as f64 / reads as f64, reads)
+}
+
+/// A burst of `BURST_TXNS` concurrent transactions, each writing one
+/// page of its own LO and committing. Returns durable sync calls.
+fn commit_burst(sb: &Sbspace) -> u64 {
+    let setup = sb.begin(IsolationLevel::ReadCommitted);
+    let los: Vec<LoId> = (0..BURST_TXNS)
+        .map(|_| {
+            let lo = sb.create_lo(&setup).unwrap();
+            let mut h = sb.open_lo(&setup, lo, LockMode::Exclusive).unwrap();
+            h.append_page(&[7u8; PAGE_SIZE]).unwrap();
+            h.close().unwrap();
+            lo
+        })
+        .collect();
+    setup.commit().unwrap();
+
+    let before = sb.stats().snapshot();
+    let barrier = Arc::new(Barrier::new(BURST_TXNS));
+    std::thread::scope(|s| {
+        for &lo in &los {
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                let txn = sb.begin(IsolationLevel::ReadCommitted);
+                let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+                h.write_page(0, &[9u8; PAGE_SIZE]).unwrap();
+                h.close().unwrap();
+                barrier.wait();
+                txn.commit().unwrap();
+            });
+        }
+    });
+    sb.stats().snapshot().since(&before).total_syncs()
+}
+
+const REPS: usize = 5;
+
+fn main() {
+    // Both spaces live for the whole run and every repetition
+    // alternates between them, so ambient drift (page-cache warming,
+    // background load) hits both configurations equally instead of
+    // whichever happened to be measured last.
+    let spaces: Vec<(Sbspace, PathBuf, LoId, Vec<LoId>)> = CONFIGS
+        .iter()
+        .map(|cfg| {
+            let (sb, dir) = space(cfg);
+            let (lo, write_los) = preload(&sb);
+            // Warm the pool so the measured phase is pure hit-path work.
+            reader_phase(&sb, lo, &write_los, 1);
+            (sb, dir, lo, write_los)
+        })
+        .collect();
+
+    let mut best = [[f64::INFINITY; READER_COUNTS.len()]; CONFIGS.len()];
+    let mut reads = [[0u64; READER_COUNTS.len()]; CONFIGS.len()];
+    for (ti, &t) in READER_COUNTS.iter().enumerate() {
+        for _ in 0..REPS {
+            for (ci, (sb, _, lo, write_los)) in spaces.iter().enumerate() {
+                let zc_before = sb.stats().snapshot();
+                let (ns, n) = reader_phase(sb, *lo, write_los, t);
+                let d = sb.stats().snapshot().since(&zc_before);
+                // Zero-copy identity: every logical read in the phase
+                // went through the pinned (no page copy) path.
+                assert_eq!(
+                    d.logical_reads, d.pinned_reads,
+                    "copying reads leaked into the pinned phase: {d}"
+                );
+                best[ci][ti] = best[ci][ti].min(ns);
+                reads[ci][ti] = n;
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let mut summary: Vec<String> = Vec::new();
+    for (ci, cfg) in CONFIGS.iter().enumerate() {
+        println!(
+            "== {} (shards={}, group_commit={}) ==",
+            cfg.name, cfg.shards, cfg.group_commit
+        );
+        let (sb, _, _, _) = &spaces[ci];
+        let mut reader_json = Vec::new();
+        for (ti, &t) in READER_COUNTS.iter().enumerate() {
+            let (ns, n) = (best[ci][ti], reads[ci][ti]);
+            println!("  {t} reader(s): {ns:10.1} ns/read  ({n} reads/run, zero_copy=true)");
+            reader_json.push(format!(
+                "      {{\"threads\": {t}, \"ns_per_read\": {ns:.1}, \
+                 \"reads\": {n}, \"zero_copy\": true}}"
+            ));
+        }
+
+        let syncs = commit_burst(sb);
+        println!("  commit burst: {BURST_TXNS} txns -> {syncs} durable syncs");
+        let four = READER_COUNTS.iter().position(|&t| t == 4).unwrap();
+        summary.push(format!(
+            "{}: 4-reader {:.1} ns/read, burst {} syncs",
+            cfg.name, best[ci][four], syncs
+        ));
+
+        let _ = write!(
+            json,
+            "  \"{}\": {{\n    \"pool_shards\": {},\n    \"group_commit\": {},\n    \
+             \"readers\": [\n{}\n    ],\n    \"commit_burst\": {{\"txns\": {}, \
+             \"durable_syncs\": {}}}\n  }}{}\n",
+            cfg.name,
+            cfg.shards,
+            cfg.group_commit,
+            reader_json.join(",\n"),
+            BURST_TXNS,
+            syncs,
+            if ci + 1 < CONFIGS.len() { "," } else { "" }
+        );
+    }
+    for (sb, dir, _, _) in spaces {
+        drop(sb);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    json.push('}');
+    json.push('\n');
+    std::fs::write("BENCH_bufferpool.json", &json).unwrap();
+    println!("\nwrote BENCH_bufferpool.json");
+    for line in summary {
+        println!("  {line}");
+    }
+}

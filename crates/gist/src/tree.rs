@@ -134,7 +134,7 @@ impl<E: GistExtension> GistTree<E> {
 
     /// Opens an existing tree with the matching extension.
     pub fn open(ext: E, lo: LoHandle) -> Result<GistTree<E>> {
-        let meta = Meta::decode(&*lo.read_page(0)?)?;
+        let meta = Meta::decode(&*lo.read_page_pinned(0)?)?;
         Ok(GistTree { ext, lo, meta })
     }
 
@@ -177,7 +177,7 @@ impl<E: GistExtension> GistTree<E> {
     }
 
     fn read_node(&self, page: u32) -> Result<RawNode> {
-        RawNode::decode(&*self.lo.read_page(page)?)
+        RawNode::decode(&*self.lo.read_page_pinned(page)?)
     }
 
     fn write_node(&mut self, page: u32, node: &RawNode) -> Result<()> {
@@ -188,7 +188,7 @@ impl<E: GistExtension> GistTree<E> {
     fn alloc_node(&mut self, node: &RawNode) -> Result<u32> {
         if self.meta.free_head != NO_PAGE {
             let page = self.meta.free_head;
-            let buf = self.lo.read_page(page)?;
+            let buf = self.lo.read_page_pinned(page)?;
             if &buf[0..4] != b"GSTF" {
                 return Err(GistError::Corrupt("bad free-chain page".into()));
             }

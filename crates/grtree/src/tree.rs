@@ -103,7 +103,7 @@ impl GrTree {
 
     /// Opens an existing tree.
     pub fn open(lo: LoHandle) -> Result<GrTree> {
-        let meta = GrMeta::decode(&*lo.read_page(0)?)?;
+        let meta = GrMeta::decode(&*lo.read_page_pinned(0)?)?;
         Ok(GrTree { lo, meta })
     }
 
@@ -158,7 +158,7 @@ impl GrTree {
 
     /// Reads the node at `page` (public for dumps and stats).
     pub fn read_node(&self, page: u32) -> Result<GrNode> {
-        GrNode::decode(&*self.lo.read_page(page)?)
+        GrNode::decode(&*self.lo.read_page_pinned(page)?)
     }
 
     fn write_node(&mut self, page: u32, node: &GrNode) -> Result<()> {
@@ -169,7 +169,7 @@ impl GrTree {
     fn alloc_node(&mut self, node: &GrNode) -> Result<u32> {
         if self.meta.free_head != NO_PAGE {
             let page = self.meta.free_head;
-            self.meta.free_head = decode_free(&*self.lo.read_page(page)?)?;
+            self.meta.free_head = decode_free(&*self.lo.read_page_pinned(page)?)?;
             self.write_node(page, node)?;
             return Ok(page);
         }

@@ -91,7 +91,7 @@ impl RStarTree {
 
     /// Opens an existing tree.
     pub fn open(lo: LoHandle) -> Result<RStarTree> {
-        let meta = Meta::decode(&*lo.read_page(0)?)?;
+        let meta = Meta::decode(&*lo.read_page_pinned(0)?)?;
         Ok(RStarTree { lo, meta })
     }
 
@@ -136,7 +136,7 @@ impl RStarTree {
 
     /// Reads the node at `page` (public for dumps and stats).
     pub fn read_node(&self, page: u32) -> Result<Node> {
-        Node::decode(&*self.lo.read_page(page)?)
+        Node::decode(&*self.lo.read_page_pinned(page)?)
     }
 
     fn write_node(&mut self, page: u32, node: &Node) -> Result<()> {
@@ -147,7 +147,7 @@ impl RStarTree {
     fn alloc_node(&mut self, node: &Node) -> Result<u32> {
         if self.meta.free_head != NO_PAGE {
             let page = self.meta.free_head;
-            self.meta.free_head = decode_free(&*self.lo.read_page(page)?)?;
+            self.meta.free_head = decode_free(&*self.lo.read_page_pinned(page)?)?;
             self.write_node(page, node)?;
             return Ok(page);
         }

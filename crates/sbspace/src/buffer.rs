@@ -1,198 +1,416 @@
-//! The buffer pool: page caching with no-steal transactional dirtying.
+//! The buffer pool: sharded page caching with clock eviction, pinned
+//! zero-copy reads, and no-steal transactional dirtying.
+//!
+//! The pool is split into `N` lock-striped shards, keyed by
+//! `page_id % N`, so readers and writers touching different pages
+//! contend only when their pages hash to the same shard. Each shard
+//! runs a clock (second-chance) eviction policy: frames carry a
+//! reference bit that a sweep clears before a frame becomes a victim,
+//! replacing the previous O(n) LRU scan with an amortised O(1) hand
+//! advance.
 //!
 //! Frames dirtied by a transaction stay in the pool until that
 //! transaction commits (force-at-commit) or aborts (frames discarded) —
-//! the simplest policy that makes the redo-only WAL sound. Clean frames
-//! are evicted LRU when the pool exceeds its capacity; dirty frames are
-//! never evicted (the pool grows past capacity rather than stealing).
+//! the no-steal policy that makes the redo-only WAL sound. Dirty and
+//! pinned frames are never evicted; when a full clock sweep finds no
+//! victim the shard temporarily exceeds its capacity (counted in
+//! [`IoStats::dirty_overflows`]) rather than stealing.
+//!
+//! Page data lives behind `Arc<[u8; PAGE_SIZE]>`. [`BufferPool::read_pinned`]
+//! clones that `Arc` into a [`PageGuard`] — no page copy — and pins the
+//! frame against eviction until the guard drops. Writes go through
+//! `Arc::make_mut`, so a write to a pinned page leaves the guard's
+//! snapshot intact (copy-on-write) instead of mutating under a reader.
 
 use crate::backend::Backend;
-use crate::page::{zeroed_page, PageBuf, PageId, PAGE_SIZE};
+use crate::page::{zeroed_page, PageId, PAGE_SIZE};
 use crate::stats::IoStats;
 use crate::txn::TxnId;
 use crate::Result;
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Shared, immutable-unless-sole-owner page bytes.
+type PageArc = Arc<[u8; PAGE_SIZE]>;
+
 struct Frame {
-    data: PageBuf,
+    data: PageArc,
     /// `Some(txn)` when the frame holds uncommitted writes of `txn`.
     dirty_owner: Option<TxnId>,
-    last_use: u64,
+    /// Clock reference bit: set on access, cleared by the sweep.
+    referenced: bool,
+    /// Outstanding [`PageGuard`]s on this frame (shared with them so a
+    /// guard can unpin without re-locking the shard).
+    pins: Arc<AtomicU64>,
 }
 
-/// The buffer pool. All methods are called under the space's pool lock.
+struct Shard {
+    frames: HashMap<u32, Frame>,
+    /// Clock ring of resident page ids; `hand` is the sweep position.
+    clock: Vec<u32>,
+    hand: usize,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            frames: HashMap::new(),
+            clock: Vec::new(),
+            hand: 0,
+        }
+    }
+}
+
+/// A pinned, zero-copy view of one page.
+///
+/// Holding a guard keeps its frame in the pool (eviction skips pinned
+/// frames) and keeps this snapshot of the bytes alive even if a writer
+/// later replaces the frame's contents (copy-on-write). The pool
+/// asserts on drop that no guard outlives it.
+pub struct PageGuard {
+    data: PageArc,
+    frame_pins: Arc<AtomicU64>,
+    /// The owning shard's pin total — striped so guards on different
+    /// shards never contend on one pool-wide counter.
+    shard_pins: Arc<AtomicU64>,
+}
+
+impl Deref for PageGuard {
+    type Target = [u8; PAGE_SIZE];
+    fn deref(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+}
+
+impl Drop for PageGuard {
+    fn drop(&mut self) {
+        self.frame_pins.fetch_sub(1, Ordering::Release);
+        self.shard_pins.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// The sharded buffer pool. Internally synchronised: all methods take
+/// `&self` and lock only the shard(s) they touch.
 pub struct BufferPool {
     backend: Box<dyn Backend>,
-    frames: HashMap<u32, Frame>,
-    capacity: usize,
-    tick: u64,
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard frame budget.
+    shard_capacity: usize,
     stats: Arc<IoStats>,
+    /// Per-shard counts of live [`PageGuard`]s (striped to keep guard
+    /// pin/unpin off a shared cache line).
+    shard_pins: Vec<Arc<AtomicU64>>,
 }
 
 impl BufferPool {
-    /// Creates a pool of `capacity` frames over `backend`.
-    pub fn new(backend: Box<dyn Backend>, capacity: usize, stats: Arc<IoStats>) -> BufferPool {
+    /// Creates a pool of `capacity` frames over `backend`, striped into
+    /// `shards` partitions (`page_id % shards`).
+    pub fn new(
+        backend: Box<dyn Backend>,
+        capacity: usize,
+        shards: usize,
+        stats: Arc<IoStats>,
+    ) -> BufferPool {
+        let shards = shards.max(1);
+        let shard_capacity = capacity.max(1).div_ceil(shards);
         BufferPool {
             backend,
-            frames: HashMap::new(),
-            capacity: capacity.max(1),
-            tick: 0,
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_capacity,
             stats,
+            shard_pins: (0..shards).map(|_| Arc::new(AtomicU64::new(0))).collect(),
         }
     }
 
-    fn touch(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
+    /// Number of shards the pool is striped into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    fn evict_if_needed(&mut self) {
-        while self.frames.len() > self.capacity {
-            let victim = self
-                .frames
-                .iter()
-                .filter(|(_, f)| f.dirty_owner.is_none())
-                .min_by_key(|(_, f)| f.last_use)
-                .map(|(&pid, _)| pid);
-            match victim {
-                Some(pid) => {
-                    self.frames.remove(&pid);
+    /// Pool-wide count of outstanding page pins (test hook).
+    pub fn outstanding_pins(&self) -> u64 {
+        self.shard_pins
+            .iter()
+            .map(|p| p.load(Ordering::Acquire))
+            .sum()
+    }
+
+    fn shard_idx(&self, pid: PageId) -> usize {
+        pid.0 as usize % self.shards.len()
+    }
+
+    fn shard(&self, pid: PageId) -> &Mutex<Shard> {
+        &self.shards[self.shard_idx(pid)]
+    }
+
+    /// Clock sweep: evict unreferenced, clean, unpinned frames until the
+    /// shard fits its budget. A frame whose reference bit is set gets a
+    /// second chance (the bit is cleared and the hand moves on). If a
+    /// bounded sweep finds no victim — everything dirty or pinned — the
+    /// shard overflows its capacity rather than stealing.
+    fn evict_to_capacity(&self, shard: &mut Shard) {
+        while shard.frames.len() > self.shard_capacity {
+            let mut evicted = false;
+            let budget = shard.clock.len() * 2;
+            let mut scanned = 0;
+            while scanned < budget && !shard.clock.is_empty() {
+                if shard.hand >= shard.clock.len() {
+                    shard.hand = 0;
                 }
-                // Everything is dirty-uncommitted: no-steal forbids
-                // eviction, so the pool temporarily exceeds capacity.
-                None => return,
+                let pid = shard.clock[shard.hand];
+                let f = shard.frames.get_mut(&pid).expect("clock entry resident");
+                if f.dirty_owner.is_some() || f.pins.load(Ordering::Acquire) > 0 {
+                    shard.hand += 1;
+                } else if f.referenced {
+                    f.referenced = false;
+                    shard.hand += 1;
+                } else {
+                    shard.frames.remove(&pid);
+                    shard.clock.remove(shard.hand);
+                    IoStats::bump(&self.stats.evictions);
+                    evicted = true;
+                    break;
+                }
+                scanned += 1;
+            }
+            if !evicted {
+                IoStats::bump(&self.stats.dirty_overflows);
+                return;
             }
         }
     }
 
-    /// Reads page `pid` into `out` (logical read; miss = physical read).
-    pub fn read(&mut self, pid: PageId, out: &mut [u8; PAGE_SIZE]) -> Result<()> {
-        IoStats::bump(&self.stats.logical_reads);
-        let tick = self.touch();
-        if let Some(f) = self.frames.get_mut(&pid.0) {
-            f.last_use = tick;
-            out.copy_from_slice(&f.data[..]);
-            return Ok(());
+    /// Faults `pid` into `shard` if absent, returning whether the caller
+    /// must run eviction (a new frame was inserted).
+    fn fault_in(&self, shard: &mut Shard, pid: PageId) -> Result<bool> {
+        if shard.frames.contains_key(&pid.0) {
+            return Ok(false);
         }
         IoStats::bump(&self.stats.physical_reads);
         let mut buf = zeroed_page();
         self.backend.read_page(pid, &mut buf)?;
-        out.copy_from_slice(&buf[..]);
-        self.frames.insert(
+        shard.frames.insert(
             pid.0,
             Frame {
-                data: buf,
+                data: Arc::from(buf),
                 dirty_owner: None,
-                last_use: tick,
+                // Clear on insertion: the bit means "hit since faulted
+                // in", so one-touch pages lose to re-referenced ones.
+                referenced: false,
+                pins: Arc::new(AtomicU64::new(0)),
             },
         );
-        self.evict_if_needed();
+        shard.clock.push(pid.0);
+        Ok(true)
+    }
+
+    /// Reads page `pid` into `out` (logical read; miss = physical read).
+    pub fn read(&self, pid: PageId, out: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        IoStats::bump(&self.stats.logical_reads);
+        let mut shard = self.shard(pid).lock();
+        let inserted = self.fault_in(&mut shard, pid)?;
+        let f = shard.frames.get_mut(&pid.0).expect("just faulted in");
+        if !inserted {
+            f.referenced = true;
+        }
+        out.copy_from_slice(&f.data[..]);
+        if inserted {
+            self.evict_to_capacity(&mut shard);
+        }
         Ok(())
+    }
+
+    /// Pins page `pid` and returns a zero-copy guard over its bytes.
+    /// The frame cannot be evicted while the guard lives; a concurrent
+    /// writer gets a private copy (copy-on-write), so the guard always
+    /// sees the bytes as of the pin.
+    pub fn read_pinned(&self, pid: PageId) -> Result<PageGuard> {
+        IoStats::bump(&self.stats.logical_reads);
+        IoStats::bump(&self.stats.pinned_reads);
+        let idx = self.shard_idx(pid);
+        let mut shard = self.shards[idx].lock();
+        let inserted = self.fault_in(&mut shard, pid)?;
+        let f = shard.frames.get_mut(&pid.0).expect("just faulted in");
+        if !inserted {
+            f.referenced = true;
+        }
+        f.pins.fetch_add(1, Ordering::AcqRel);
+        self.shard_pins[idx].fetch_add(1, Ordering::AcqRel);
+        let guard = PageGuard {
+            data: Arc::clone(&f.data),
+            frame_pins: Arc::clone(&f.pins),
+            shard_pins: Arc::clone(&self.shard_pins[idx]),
+        };
+        if inserted {
+            self.evict_to_capacity(&mut shard);
+        }
+        Ok(guard)
     }
 
     /// Buffers a transactional write of page `pid` by `txn` (no-steal:
     /// nothing reaches the backend until commit).
-    pub fn write_txn(&mut self, txn: TxnId, pid: PageId, data: &[u8; PAGE_SIZE]) {
+    pub fn write_txn(&self, txn: TxnId, pid: PageId, data: &[u8; PAGE_SIZE]) {
         IoStats::bump(&self.stats.logical_writes);
-        let tick = self.touch();
-        let frame = self.frames.entry(pid.0).or_insert_with(|| Frame {
-            data: zeroed_page(),
+        let mut shard = self.shard(pid).lock();
+        let inserted = !shard.frames.contains_key(&pid.0);
+        let frame = shard.frames.entry(pid.0).or_insert_with(|| Frame {
+            data: Arc::new([0u8; PAGE_SIZE]),
             dirty_owner: None,
-            last_use: tick,
+            referenced: false,
+            pins: Arc::new(AtomicU64::new(0)),
         });
-        frame.data.copy_from_slice(data);
+        // Copy-on-write: pinned guards keep their snapshot.
+        Arc::make_mut(&mut frame.data).copy_from_slice(data);
         frame.dirty_owner = Some(txn);
-        frame.last_use = tick;
-        self.evict_if_needed();
+        frame.referenced = true;
+        if inserted {
+            shard.clock.push(pid.0);
+            self.evict_to_capacity(&mut shard);
+        }
     }
 
     /// Writes a metadata page through to the backend immediately (its
     /// redo image must already be in the log) and refreshes the cache.
-    pub fn write_through(&mut self, pid: PageId, data: &[u8; PAGE_SIZE]) -> Result<()> {
+    pub fn write_through(&self, pid: PageId, data: &[u8; PAGE_SIZE]) -> Result<()> {
         IoStats::bump(&self.stats.logical_writes);
         IoStats::bump(&self.stats.physical_writes);
         self.backend.write_page(pid, data)?;
-        let tick = self.touch();
-        self.frames.insert(
-            pid.0,
-            Frame {
-                data: crate::page::page_from_slice(data),
-                dirty_owner: None,
-                last_use: tick,
-            },
-        );
-        self.evict_if_needed();
+        let mut shard = self.shard(pid).lock();
+        let inserted = !shard.frames.contains_key(&pid.0);
+        let frame = shard.frames.entry(pid.0).or_insert_with(|| Frame {
+            data: Arc::new([0u8; PAGE_SIZE]),
+            dirty_owner: None,
+            referenced: false,
+            pins: Arc::new(AtomicU64::new(0)),
+        });
+        Arc::make_mut(&mut frame.data).copy_from_slice(data);
+        frame.dirty_owner = None;
+        frame.referenced = true;
+        if inserted {
+            shard.clock.push(pid.0);
+            self.evict_to_capacity(&mut shard);
+        }
         Ok(())
     }
 
-    /// Returns copies of all dirty frames owned by `txn` (for the WAL).
-    pub fn dirty_of(&self, txn: TxnId) -> Vec<(PageId, PageBuf)> {
-        let mut out: Vec<(PageId, PageBuf)> = self
-            .frames
-            .iter()
-            .filter(|(_, f)| f.dirty_owner == Some(txn))
-            .map(|(&pid, f)| (PageId(pid), f.data.clone()))
-            .collect();
+    /// Returns all dirty frames owned by `txn` as shared references
+    /// (`Arc` clones, no page copies), sorted by page id for the WAL.
+    pub fn dirty_of(&self, txn: TxnId) -> Vec<(PageId, Arc<[u8; PAGE_SIZE]>)> {
+        let mut out: Vec<(PageId, PageArc)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            out.extend(
+                shard
+                    .frames
+                    .iter()
+                    .filter(|(_, f)| f.dirty_owner == Some(txn))
+                    .map(|(&pid, f)| (PageId(pid), Arc::clone(&f.data))),
+            );
+        }
         out.sort_by_key(|(pid, _)| pid.0);
         out
     }
 
     /// Flushes `txn`'s dirty frames to the backend and marks them clean
     /// (the force step of commit — call after their images are logged).
-    pub fn flush_txn(&mut self, txn: TxnId) -> Result<()> {
-        let pids: Vec<u32> = self
-            .frames
-            .iter()
-            .filter(|(_, f)| f.dirty_owner == Some(txn))
-            .map(|(&pid, _)| pid)
-            .collect();
-        for pid in pids {
-            let frame = self.frames.get_mut(&pid).expect("frame exists");
-            IoStats::bump(&self.stats.physical_writes);
-            self.backend.write_page(PageId(pid), &frame.data)?;
-            frame.dirty_owner = None;
+    ///
+    /// The backend is synced only when `sync` is requested **and** the
+    /// transaction actually dirtied pages: a read-only commit performs
+    /// no backend I/O at all. Group commit passes `sync = false` — the
+    /// redo images in the WAL are already durable, so the data sync is
+    /// deferred to the next checkpoint (no-force).
+    pub fn flush_txn(&self, txn: TxnId, sync: bool) -> Result<()> {
+        let mut flushed = 0usize;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let pids: Vec<u32> = shard
+                .frames
+                .iter()
+                .filter(|(_, f)| f.dirty_owner == Some(txn))
+                .map(|(&pid, _)| pid)
+                .collect();
+            for pid in pids {
+                let frame = shard.frames.get_mut(&pid).expect("frame exists");
+                IoStats::bump(&self.stats.physical_writes);
+                self.backend.write_page(PageId(pid), &frame.data)?;
+                frame.dirty_owner = None;
+                flushed += 1;
+            }
+            self.evict_to_capacity(&mut shard);
         }
-        self.backend.sync()?;
-        self.evict_if_needed();
+        if sync && flushed > 0 {
+            IoStats::bump(&self.stats.data_syncs);
+            self.backend.sync()?;
+        }
         Ok(())
     }
 
     /// Discards `txn`'s dirty frames (abort: the backend still holds the
     /// pre-transaction images).
-    pub fn discard_txn(&mut self, txn: TxnId) {
-        self.frames.retain(|_, f| f.dirty_owner != Some(txn));
+    pub fn discard_txn(&self, txn: TxnId) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.frames.retain(|_, f| f.dirty_owner != Some(txn));
+            let shard = &mut *shard;
+            let frames = &shard.frames;
+            shard.clock.retain(|pid| frames.contains_key(pid));
+            shard.hand = 0;
+        }
     }
 
     /// True if any frame is dirty (used by checkpoint assertions).
     pub fn any_dirty(&self) -> bool {
-        self.frames.values().any(|f| f.dirty_owner.is_some())
+        self.shards
+            .iter()
+            .any(|s| s.lock().frames.values().any(|f| f.dirty_owner.is_some()))
     }
 
     /// Drops the entire cache (used after out-of-band backend changes,
-    /// e.g. recovery replay).
-    pub fn invalidate(&mut self) {
-        self.frames.clear();
+    /// e.g. recovery replay). Outstanding guards keep their snapshots
+    /// but no longer pin anything resident.
+    pub fn invalidate(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.frames.clear();
+            shard.clock.clear();
+            shard.hand = 0;
+        }
     }
 
     /// Durably syncs the backend.
     pub fn sync_backend(&self) -> Result<()> {
+        IoStats::bump(&self.stats.data_syncs);
         self.backend.sync()
     }
 
     /// Direct backend write used by recovery (bypasses cache and stats).
-    pub fn recovery_write(&mut self, pid: PageId, data: &[u8; PAGE_SIZE]) -> Result<()> {
+    pub fn recovery_write(&self, pid: PageId, data: &[u8; PAGE_SIZE]) -> Result<()> {
         self.backend.write_page(pid, data)
     }
 
     /// Direct backend read used by recovery.
-    pub fn recovery_read(&mut self, pid: PageId, out: &mut [u8; PAGE_SIZE]) -> Result<()> {
+    pub fn recovery_read(&self, pid: PageId, out: &mut [u8; PAGE_SIZE]) -> Result<()> {
         self.backend.read_page(pid, out)
     }
 
-    /// Number of cached frames (test hook).
+    /// Number of cached frames across all shards (test hook).
     pub fn cached_frames(&self) -> usize {
-        self.frames.len()
+        self.shards.iter().map(|s| s.lock().frames.len()).sum()
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        // A PageGuard outliving the pool means a pin was leaked past the
+        // storage layer's lifetime — catch it loudly in tests rather
+        // than silently in production traces.
+        if !std::thread::panicking() {
+            let pins = self.outstanding_pins();
+            assert_eq!(pins, 0, "{pins} PageGuard(s) outlive their BufferPool");
+        }
     }
 }
 
@@ -202,13 +420,18 @@ mod tests {
     use crate::backend::MemBackend;
     use crate::page::page_from_slice;
 
-    fn pool(cap: usize) -> BufferPool {
-        BufferPool::new(Box::new(MemBackend::new()), cap, IoStats::new_shared())
+    fn pool(cap: usize, shards: usize) -> BufferPool {
+        BufferPool::new(
+            Box::new(MemBackend::new()),
+            cap,
+            shards,
+            IoStats::new_shared(),
+        )
     }
 
     #[test]
     fn txn_writes_invisible_to_backend_until_flush() {
-        let mut p = pool(8);
+        let p = pool(8, 2);
         let data = page_from_slice(b"uncommitted");
         p.write_txn(TxnId(1), PageId(3), &data);
         // The cache serves the new data...
@@ -223,11 +446,11 @@ mod tests {
 
     #[test]
     fn flush_persists_and_cleans() {
-        let mut p = pool(8);
+        let p = pool(8, 2);
         let data = page_from_slice(b"committed");
         p.write_txn(TxnId(1), PageId(3), &data);
         assert_eq!(p.dirty_of(TxnId(1)).len(), 1);
-        p.flush_txn(TxnId(1)).unwrap();
+        p.flush_txn(TxnId(1), true).unwrap();
         assert!(p.dirty_of(TxnId(1)).is_empty());
         assert!(!p.any_dirty());
         p.invalidate();
@@ -237,8 +460,9 @@ mod tests {
     }
 
     #[test]
-    fn lru_evicts_clean_not_dirty() {
-        let mut p = pool(2);
+    fn clock_evicts_clean_not_dirty() {
+        // One shard so all four pages compete for two frames.
+        let p = pool(2, 1);
         let d = page_from_slice(b"d");
         p.write_txn(TxnId(1), PageId(0), &d);
         let mut out = zeroed_page();
@@ -253,7 +477,7 @@ mod tests {
     #[test]
     fn hit_miss_accounting() {
         let stats = IoStats::new_shared();
-        let mut p = BufferPool::new(Box::new(MemBackend::new()), 8, Arc::clone(&stats));
+        let p = BufferPool::new(Box::new(MemBackend::new()), 8, 2, Arc::clone(&stats));
         let mut out = zeroed_page();
         p.read(PageId(5), &mut out).unwrap(); // miss
         p.read(PageId(5), &mut out).unwrap(); // hit
@@ -265,7 +489,7 @@ mod tests {
     #[test]
     fn write_through_is_immediate() {
         let stats = IoStats::new_shared();
-        let mut p = BufferPool::new(Box::new(MemBackend::new()), 8, Arc::clone(&stats));
+        let p = BufferPool::new(Box::new(MemBackend::new()), 8, 2, Arc::clone(&stats));
         p.write_through(PageId(9), &page_from_slice(b"meta"))
             .unwrap();
         assert!(!p.any_dirty());
@@ -274,5 +498,118 @@ mod tests {
         p.read(PageId(9), &mut out).unwrap();
         assert_eq!(&out[..4], b"meta");
         assert_eq!(stats.snapshot().physical_writes, 1);
+    }
+
+    #[test]
+    fn pinned_read_is_zero_copy_and_snapshot_isolated() {
+        let p = pool(8, 2);
+        p.write_through(PageId(4), &page_from_slice(b"before"))
+            .unwrap();
+        let g = p.read_pinned(PageId(4)).unwrap();
+        assert_eq!(&g[..6], b"before");
+        assert_eq!(p.outstanding_pins(), 1);
+        // A writer replaces the frame's bytes; the guard's snapshot
+        // survives (copy-on-write).
+        p.write_txn(TxnId(1), PageId(4), &page_from_slice(b"after!"));
+        assert_eq!(&g[..6], b"before");
+        let g2 = p.read_pinned(PageId(4)).unwrap();
+        assert_eq!(&g2[..6], b"after!");
+        drop(g);
+        drop(g2);
+        assert_eq!(p.outstanding_pins(), 0);
+        p.discard_txn(TxnId(1));
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let stats = IoStats::new_shared();
+        let p = BufferPool::new(Box::new(MemBackend::new()), 2, 1, Arc::clone(&stats));
+        p.write_through(PageId(0), &page_from_slice(b"pinned"))
+            .unwrap();
+        let guard = p.read_pinned(PageId(0)).unwrap();
+        let mut out = zeroed_page();
+        for pid in 1..20 {
+            p.read(PageId(pid), &mut out).unwrap();
+        }
+        // The pinned frame is still resident: reading it again is a hit.
+        let before = stats.snapshot().physical_reads;
+        p.read(PageId(0), &mut out).unwrap();
+        assert_eq!(stats.snapshot().physical_reads, before);
+        assert_eq!(&out[..6], b"pinned");
+        assert!(stats.snapshot().evictions > 0, "pressure did evict others");
+        drop(guard);
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let stats = IoStats::new_shared();
+        let p = BufferPool::new(Box::new(MemBackend::new()), 2, 1, Arc::clone(&stats));
+        let mut out = zeroed_page();
+        p.read(PageId(0), &mut out).unwrap();
+        p.read(PageId(1), &mut out).unwrap();
+        // Re-reference page 0, then fault page 2: the sweep clears 0's
+        // bit, passes it over once, and evicts page 1 instead.
+        p.read(PageId(0), &mut out).unwrap();
+        p.read(PageId(2), &mut out).unwrap();
+        let before = stats.snapshot().physical_reads;
+        p.read(PageId(0), &mut out).unwrap(); // still resident: hit
+        assert_eq!(stats.snapshot().physical_reads, before);
+        p.read(PageId(1), &mut out).unwrap(); // evicted: miss
+        assert_eq!(stats.snapshot().physical_reads, before + 1);
+    }
+
+    #[test]
+    fn all_dirty_overflows_capacity() {
+        let stats = IoStats::new_shared();
+        let p = BufferPool::new(Box::new(MemBackend::new()), 2, 1, Arc::clone(&stats));
+        for pid in 0..5 {
+            p.write_txn(TxnId(1), PageId(pid), &page_from_slice(b"dirty"));
+        }
+        // No-steal: every frame is dirty, so the pool grows past its
+        // two-frame budget instead of evicting.
+        assert_eq!(p.cached_frames(), 5);
+        assert!(stats.snapshot().dirty_overflows > 0);
+        assert_eq!(stats.snapshot().evictions, 0);
+        p.discard_txn(TxnId(1));
+    }
+
+    #[test]
+    fn guard_outliving_pool_trips_assertion() {
+        let p = pool(4, 2);
+        p.write_through(PageId(1), &page_from_slice(b"x")).unwrap();
+        let guard = p.read_pinned(PageId(1)).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(p)));
+        assert!(
+            err.is_err(),
+            "dropping the pool under a live pin must panic"
+        );
+        drop(guard);
+    }
+
+    #[test]
+    fn concurrent_readers_on_distinct_shards() {
+        let p = Arc::new(pool(64, 8));
+        for pid in 0..8 {
+            p.write_through(PageId(pid), &page_from_slice(&[b'a' + pid as u8]))
+                .unwrap();
+        }
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8u32)
+            .map(|pid| {
+                let p = Arc::clone(&p);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for _ in 0..500 {
+                        let g = p.read_pinned(PageId(pid)).unwrap();
+                        assert_eq!(g[0], b'a' + pid as u8);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.outstanding_pins(), 0);
     }
 }

@@ -1,0 +1,243 @@
+//! WAL group commit: one log append + sync per group of committers.
+//!
+//! Committing transactions encode their log records (page images plus
+//! the commit record) into one contiguous byte batch and enqueue it
+//! here. The first committer to find no leader becomes the leader: it
+//! drains the queue (up to `max_batch` batches), appends everything in
+//! one `WalStore::append`, issues a single `sync`, and wakes the
+//! followers whose batches rode along. Under a commit burst of `k`
+//! transactions this collapses `k` WAL syncs into a handful.
+//!
+//! Ordering is sound without extra coordination because sbspace holds
+//! LO-level two-phase locks until after commit: two conflicting
+//! transactions can never be in the queue at once, so any queue order
+//! of the non-conflicting residents is serialisable. Within the queue,
+//! batches retain enqueue order (sequence numbers are handed out under
+//! the same lock), so the log stream stays a valid history.
+//!
+//! If the leader's append or sync fails, every batch in that group
+//! failed: the error is recorded against the group's sequence range and
+//! returned to each affected committer. The committer also *poisons*
+//! itself — a partial append may have left garbage at the log tail, and
+//! appending more records past it would strand them beyond the torn
+//! region where recovery cannot decode them — so every later commit
+//! fails too, until the space is reopened (which replays and resets the
+//! log).
+
+use crate::stats::IoStats;
+use crate::wal::WalStore;
+use crate::{Result, SbError};
+use parking_lot::{Condvar, Mutex};
+
+struct State {
+    /// Pending batches in enqueue order: `(seq, encoded records)`.
+    queue: Vec<(u64, Vec<u8>)>,
+    next_seq: u64,
+    /// Every batch with `seq <= durable_seq` has been appended and
+    /// synced (or failed — see `failed`).
+    durable_seq: u64,
+    /// A leader is currently appending and syncing.
+    leader: bool,
+    /// Sequence ranges whose group flush failed, with the error.
+    failed: Vec<(u64, u64, String)>,
+    /// Set once any group flush fails: a partial append may have left
+    /// garbage at the log tail, and appending past it would strand
+    /// later records beyond the torn region where recovery's stream
+    /// decoder cannot reach them. Every commit fails from then on.
+    poisoned: Option<String>,
+}
+
+/// The group-commit coordinator (one per space).
+pub(crate) struct GroupCommitter {
+    state: Mutex<State>,
+    cond: Condvar,
+    max_batch: usize,
+}
+
+impl GroupCommitter {
+    /// A coordinator flushing at most `max_batch` batches per group.
+    pub fn new(max_batch: usize) -> GroupCommitter {
+        GroupCommitter {
+            state: Mutex::new(State {
+                queue: Vec::new(),
+                next_seq: 1,
+                durable_seq: 0,
+                leader: false,
+                failed: Vec::new(),
+                poisoned: None,
+            }),
+            cond: Condvar::new(),
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    fn outcome(state: &State, seq: u64) -> Result<()> {
+        for (lo, hi, msg) in &state.failed {
+            if (*lo..=*hi).contains(&seq) {
+                return Err(SbError::Io(format!("group commit failed: {msg}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Makes `batch` durable in the WAL, riding or leading a group.
+    /// Returns once the batch is synced (or its group's flush failed).
+    pub fn commit(&self, wal: &dyn WalStore, stats: &IoStats, batch: Vec<u8>) -> Result<()> {
+        let mut state = self.state.lock();
+        if let Some(msg) = &state.poisoned {
+            return Err(SbError::Io(format!("wal unavailable: {msg}")));
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.queue.push((seq, batch));
+        loop {
+            if state.durable_seq >= seq {
+                return Self::outcome(&state, seq);
+            }
+            if let Some(msg) = &state.poisoned {
+                // A flush failed while this batch waited: the tail is
+                // suspect and the batch will never be written.
+                return Err(SbError::Io(format!("wal unavailable: {msg}")));
+            }
+            if state.leader || state.queue.is_empty() {
+                self.cond.wait(&mut state);
+                continue;
+            }
+            // Lead: drain a group and flush it outside the lock.
+            state.leader = true;
+            let take = state.queue.len().min(self.max_batch);
+            let group: Vec<(u64, Vec<u8>)> = state.queue.drain(..take).collect();
+            let (lo, hi) = (group[0].0, group[take - 1].0);
+            drop(state);
+
+            let flat: Vec<u8> = group.into_iter().flat_map(|(_, b)| b).collect();
+            let res = wal.append(&flat).and_then(|()| wal.sync());
+            IoStats::bump(&stats.wal_syncs);
+            IoStats::bump(&stats.group_commits);
+
+            state = self.state.lock();
+            state.leader = false;
+            state.durable_seq = state.durable_seq.max(hi);
+            if let Err(e) = &res {
+                // Kept forever: a follower may observe its range long
+                // after later groups succeed, and failed flushes are
+                // rare enough that the list stays tiny.
+                state.failed.push((lo, hi, e.to_string()));
+                state.poisoned = Some(e.to_string());
+            }
+            self.cond.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{MemWal, WalRecord};
+    use crate::TxnId;
+    use std::sync::Arc;
+
+    #[test]
+    fn burst_of_commits_shares_syncs() {
+        let gc = Arc::new(GroupCommitter::new(32));
+        let wal = Arc::new(MemWal::new());
+        let stats = IoStats::new_shared();
+        let barrier = Arc::new(std::sync::Barrier::new(16));
+        let handles: Vec<_> = (0..16u64)
+            .map(|i| {
+                let (gc, wal, stats, barrier) = (
+                    Arc::clone(&gc),
+                    Arc::clone(&wal),
+                    Arc::clone(&stats),
+                    Arc::clone(&barrier),
+                );
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let batch = WalRecord::Commit { txn: TxnId(i) }.encode();
+                    gc.commit(wal.as_ref(), &stats, batch).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All 16 commit records are durable...
+        let records = WalRecord::decode_stream(&wal.read_all().unwrap());
+        assert_eq!(records.len(), 16);
+        // ...in strictly fewer syncs than committers (groups formed).
+        let syncs = stats.snapshot().wal_syncs;
+        assert!(syncs <= 16, "at most one sync per committer, got {syncs}");
+        assert_eq!(stats.snapshot().group_commits, syncs);
+    }
+
+    #[test]
+    fn single_commit_still_works() {
+        let gc = GroupCommitter::new(8);
+        let wal = MemWal::new();
+        let stats = IoStats::new_shared();
+        gc.commit(&wal, &stats, WalRecord::Commit { txn: TxnId(1) }.encode())
+            .unwrap();
+        let records = WalRecord::decode_stream(&wal.read_all().unwrap());
+        assert_eq!(records, vec![WalRecord::Commit { txn: TxnId(1) }]);
+        assert_eq!(stats.snapshot().wal_syncs, 1);
+    }
+
+    struct FailingWal;
+    impl WalStore for FailingWal {
+        fn append(&self, _bytes: &[u8]) -> Result<()> {
+            Err(SbError::Io("disk full".into()))
+        }
+        fn sync(&self) -> Result<()> {
+            Ok(())
+        }
+        fn read_all(&self) -> Result<Vec<u8>> {
+            Ok(Vec::new())
+        }
+        fn truncate(&self) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failure_poisons_later_commits() {
+        let gc = GroupCommitter::new(8);
+        let stats = IoStats::new_shared();
+        let first = gc.commit(
+            &FailingWal,
+            &stats,
+            WalRecord::Commit { txn: TxnId(1) }.encode(),
+        );
+        assert!(matches!(first, Err(SbError::Io(_))));
+        // The log tail is suspect: a later commit over a healthy WAL
+        // must still fail rather than append past possible garbage.
+        let wal = MemWal::new();
+        let later = gc.commit(&wal, &stats, WalRecord::Commit { txn: TxnId(2) }.encode());
+        assert!(matches!(later, Err(SbError::Io(_))), "{later:?}");
+        assert!(wal.read_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn leader_failure_reaches_every_rider() {
+        let gc = Arc::new(GroupCommitter::new(32));
+        let stats = IoStats::new_shared();
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let (gc, stats, barrier) =
+                    (Arc::clone(&gc), Arc::clone(&stats), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    gc.commit(
+                        &FailingWal,
+                        &stats,
+                        WalRecord::Commit { txn: TxnId(i) }.encode(),
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            let res = h.join().unwrap();
+            assert!(matches!(res, Err(SbError::Io(_))), "{res:?}");
+        }
+    }
+}

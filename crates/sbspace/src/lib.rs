@@ -28,6 +28,7 @@
 
 pub mod backend;
 pub mod buffer;
+pub(crate) mod group;
 pub mod lo;
 pub mod lock;
 pub mod page;
@@ -37,6 +38,7 @@ pub mod txn;
 pub mod wal;
 
 pub use backend::{Backend, FaultInjector, FileBackend, MemBackend};
+pub use buffer::PageGuard;
 pub use lo::LoId;
 pub use lock::{IsolationLevel, LockMode};
 pub use page::{PageBuf, PageId, PAGE_SIZE};

@@ -159,8 +159,12 @@ impl Inode {
     }
 
     /// Decodes an inode and its indirect chain, fetching pages through
-    /// `read`.
-    pub fn decode(id: LoId, mut read: impl FnMut(u32) -> Result<PageBuf>) -> Result<Inode> {
+    /// `read`. Generic over the page representation so callers can hand
+    /// back owned buffers (`PageBuf`) or zero-copy pinned guards.
+    pub fn decode<P>(id: LoId, mut read: impl FnMut(u32) -> Result<P>) -> Result<Inode>
+    where
+        P: std::ops::Deref<Target = [u8; PAGE_SIZE]>,
+    {
         let inode = read(id.0)?;
         if &inode[0..4] != MAGIC_INODE {
             return Err(SbError::Corrupt(format!("{id}: bad inode magic")));

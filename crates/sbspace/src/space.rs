@@ -11,7 +11,8 @@
 //! allocated by transactions that never finished.
 
 use crate::backend::{Backend, FileBackend, MemBackend};
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, PageGuard};
+use crate::group::GroupCommitter;
 use crate::lo::{decode_free_next, encode_free_page, Header, Inode, LoId};
 use crate::lock::{IsolationLevel, LockManager, LockMode};
 use crate::page::{PageBuf, PageId, NO_PAGE, PAGE_SIZE};
@@ -31,15 +32,30 @@ use std::time::Duration;
 pub struct SbspaceOptions {
     /// Buffer-pool capacity in pages.
     pub pool_pages: usize,
+    /// Number of lock-striped buffer-pool shards (`page_id % shards`).
+    /// More shards reduce contention between threads touching different
+    /// pages; a power of two near the expected thread count works well.
+    pub pool_shards: usize,
     /// Lock-wait timeout.
     pub lock_timeout: Duration,
+    /// When true, committing transactions share WAL appends and syncs
+    /// through a group-commit leader, and the per-commit data-backend
+    /// sync is deferred to the next checkpoint (no-force — the WAL's
+    /// redo images carry durability). When false (the default), every
+    /// commit forces the log and the data pages itself.
+    pub group_commit: bool,
+    /// Maximum commit batches a group-commit leader flushes per sync.
+    pub commit_batch_size: usize,
 }
 
 impl Default for SbspaceOptions {
     fn default() -> Self {
         SbspaceOptions {
             pool_pages: 256,
+            pool_shards: 8,
             lock_timeout: Duration::from_secs(2),
+            group_commit: false,
+            commit_batch_size: 32,
         }
     }
 }
@@ -58,8 +74,11 @@ pub struct SpaceInfo {
 type EndCallback = Box<dyn Fn(TxnId, TxnEnd) + Send + Sync>;
 
 pub(crate) struct SpaceInner {
-    pool: Mutex<BufferPool>,
+    /// Sharded and internally synchronised — no outer lock.
+    pool: BufferPool,
     wal: Box<dyn WalStore>,
+    group: GroupCommitter,
+    group_commit: bool,
     pub(crate) lm: LockManager,
     stats: Arc<IoStats>,
     /// Serialises header/free-list operations.
@@ -102,8 +121,13 @@ impl Sbspace {
         opts: SbspaceOptions,
     ) -> Result<Sbspace> {
         let stats = IoStats::new_shared();
-        let mut pool = BufferPool::new(Box::new(backend), opts.pool_pages, Arc::clone(&stats));
-        Self::recover(&mut pool, &wal)?;
+        let pool = BufferPool::new(
+            Box::new(backend),
+            opts.pool_pages,
+            opts.pool_shards,
+            Arc::clone(&stats),
+        );
+        Self::recover(&pool, &wal)?;
         // Initialise the header if the space is brand new.
         let mut page0 = crate::page::zeroed_page();
         pool.recovery_read(PageId(0), &mut page0)?;
@@ -116,8 +140,10 @@ impl Sbspace {
         pool.invalidate();
         Ok(Sbspace {
             inner: Arc::new(SpaceInner {
-                pool: Mutex::new(pool),
+                pool,
                 wal: Box::new(wal),
+                group: GroupCommitter::new(opts.commit_batch_size),
+                group_commit: opts.group_commit,
                 lm: LockManager::new(opts.lock_timeout, Arc::clone(&stats)),
                 stats,
                 meta: Mutex::new(()),
@@ -143,7 +169,7 @@ impl Sbspace {
 
     /// Log replay: metadata images always, data images of committed
     /// transactions, then compensation for unfinished allocations.
-    fn recover(pool: &mut BufferPool, wal: &dyn WalStore) -> Result<()> {
+    fn recover(pool: &BufferPool, wal: &dyn WalStore) -> Result<()> {
         let records = WalRecord::decode_stream(&wal.read_all()?);
         if records.is_empty() {
             return Ok(());
@@ -215,10 +241,10 @@ impl Sbspace {
     pub fn begin(&self, iso: IsolationLevel) -> Txn {
         let id = TxnId(self.inner.next_txn.fetch_add(1, Ordering::SeqCst));
         self.inner.txns.lock().insert(id.0, TxnState::new(iso));
-        self.inner
-            .wal
-            .append(&WalRecord::Begin { txn: id }.encode())
-            .ok();
+        // Deliberately not logged: recovery infers unfinished
+        // transactions from the absence of a Commit/Abort record, and a
+        // fire-and-forget Begin append could tear and strand every
+        // later record beyond the garbage.
         Txn {
             inner: Arc::clone(&self.inner),
             id,
@@ -245,9 +271,8 @@ impl Sbspace {
         self.inner.lock_for(txn.id, id, LockMode::Exclusive)?;
         // The inode itself is transactional data: invisible until commit.
         let images = Inode::empty().encode(id);
-        let mut pool = self.inner.pool.lock();
         for (p, data) in images {
-            pool.write_txn(txn.id, PageId(p), &data);
+            self.inner.pool.write_txn(txn.id, PageId(p), &data);
         }
         Ok(id)
     }
@@ -315,7 +340,7 @@ impl Sbspace {
             }
             free += 1;
             let mut p = crate::page::zeroed_page();
-            self.inner.pool.lock().read(PageId(cursor), &mut p)?;
+            self.inner.pool.read(PageId(cursor), &mut p)?;
             cursor = decode_free_next(&p)?;
         }
         Ok(SpaceInfo {
@@ -331,9 +356,8 @@ impl Sbspace {
         if !txns.is_empty() {
             return Err(SbError::Usage("checkpoint with active transactions".into()));
         }
-        let pool = self.inner.pool.lock();
-        debug_assert!(!pool.any_dirty());
-        pool.sync_backend()?;
+        debug_assert!(!self.inner.pool.any_dirty());
+        self.inner.pool.sync_backend()?;
         self.inner.wal.truncate()
     }
 }
@@ -341,7 +365,7 @@ impl Sbspace {
 impl SpaceInner {
     fn read_header(&self) -> Result<Header> {
         let mut buf = crate::page::zeroed_page();
-        self.pool.lock().read(PageId(0), &mut buf)?;
+        self.pool.read(PageId(0), &mut buf)?;
         Header::decode(&buf)
     }
 
@@ -354,12 +378,9 @@ impl SpaceInner {
     }
 
     fn load_inode(&self, lo: LoId) -> Result<Inode> {
-        let mut pool = self.pool.lock();
-        Inode::decode(lo, |pid| {
-            let mut buf = crate::page::zeroed_page();
-            pool.read(PageId(pid), &mut buf)?;
-            Ok(buf)
-        })
+        // Pinned reads: the inode and indirect pages are decoded in
+        // place, no page copies.
+        Inode::decode(lo, |pid| self.pool.read_pinned(PageId(pid)))
     }
 
     /// Durably applies metadata page images: log first, then write
@@ -374,10 +395,10 @@ impl SpaceInner {
                 .encode(),
             )?;
         }
+        IoStats::bump(&self.stats.wal_syncs);
         self.wal.sync()?;
-        let mut pool = self.pool.lock();
         for (pid, data) in &images {
-            pool.write_through(PageId(*pid), data)?;
+            self.pool.write_through(PageId(*pid), data)?;
         }
         Ok(())
     }
@@ -393,7 +414,7 @@ impl SpaceInner {
             if header.free_head != NO_PAGE {
                 let pid = header.free_head;
                 let mut buf = crate::page::zeroed_page();
-                self.pool.lock().read(PageId(pid), &mut buf)?;
+                self.pool.read(PageId(pid), &mut buf)?;
                 header.free_head = decode_free_next(&buf)?;
                 got.push(pid);
             } else {
@@ -452,23 +473,63 @@ impl SpaceInner {
     pub(crate) fn commit_txn(&self, txn: TxnId) -> Result<()> {
         let state = self.txns.lock().remove(&txn.0).ok_or(SbError::TxnEnded)?;
         // 1. Log redo images of every page this transaction dirtied,
-        //    then the commit record, then force the log.
-        let dirty = self.pool.lock().dirty_of(txn);
-        for (pid, data) in &dirty {
-            self.wal.append(
-                &WalRecord::PageImage {
-                    txn,
-                    pid: pid.0,
-                    data: data.clone(),
+        //    then the commit record, then force the log. A read-only
+        //    transaction (no dirty pages, no logged allocations) has
+        //    nothing to redo or compensate and skips the WAL entirely.
+        let dirty = self.pool.dirty_of(txn);
+        let read_only = dirty.is_empty() && state.alloc_pages.is_empty();
+        let logged = if read_only {
+            // No WAL traffic, no sync.
+            Ok(())
+        } else if self.group_commit {
+            // Group commit: encode everything into one batch and ride a
+            // shared append + sync. Held 2PL locks serialise conflicting
+            // transactions, so queue order is a valid history.
+            let mut batch = Vec::new();
+            for (pid, data) in &dirty {
+                batch.extend_from_slice(
+                    &WalRecord::PageImage {
+                        txn,
+                        pid: pid.0,
+                        data: crate::page::page_from_slice(&data[..]),
+                    }
+                    .encode(),
+                );
+            }
+            batch.extend_from_slice(&WalRecord::Commit { txn }.encode());
+            self.group.commit(self.wal.as_ref(), &self.stats, batch)
+        } else {
+            (|| {
+                for (pid, data) in &dirty {
+                    self.wal.append(
+                        &WalRecord::PageImage {
+                            txn,
+                            pid: pid.0,
+                            data: crate::page::page_from_slice(&data[..]),
+                        }
+                        .encode(),
+                    )?;
                 }
-                .encode(),
-            )?;
+                self.wal.append(&WalRecord::Commit { txn }.encode())?;
+                IoStats::bump(&self.stats.wal_syncs);
+                self.wal.sync()
+            })()
+        };
+        if let Err(e) = logged {
+            // The commit record never became durable, so this is an
+            // abort: shed the dirty frames and the locks rather than
+            // leaking them (the allocated pages are reclaimed by the
+            // next recovery, as for any unfinished transaction).
+            self.pool.discard_txn(txn);
+            self.lm.release_all(txn);
+            self.run_callbacks(txn, TxnEnd::Abort);
+            return Err(e);
         }
-        self.wal.append(&WalRecord::Commit { txn }.encode())?;
-        self.wal.sync()?;
-        // 2. Force the data pages (redo images are durable, so a crash
-        //    anywhere from here is repaired by replay).
-        self.pool.lock().flush_txn(txn)?;
+        // 2. Write the data pages. Group commit is no-force: the
+        //    backend sync is deferred to the next checkpoint, since the
+        //    durable redo images above repair any crash from here.
+        //    Without group commit the pages are forced immediately.
+        self.pool.flush_txn(txn, !self.group_commit)?;
         // 3. Apply deferred LO drops (each a system transaction).
         for lo in &state.pending_drops {
             let inode = self.load_inode(LoId(*lo))?;
@@ -484,11 +545,12 @@ impl SpaceInner {
     pub(crate) fn abort_txn(&self, txn: TxnId) -> Result<()> {
         let state = self.txns.lock().remove(&txn.0).ok_or(SbError::TxnEnded)?;
         // 1. Drop uncommitted frames (no-steal: the backend is clean).
-        self.pool.lock().discard_txn(txn);
+        self.pool.discard_txn(txn);
         // 2. Compensate allocations: the pages go back to the free list.
         self.free_pages(&state.alloc_pages)?;
         // 3. Record the abort so recovery does not re-compensate.
         self.wal.append(&WalRecord::Abort { txn }.encode())?;
+        IoStats::bump(&self.stats.wal_syncs);
         self.wal.sync()?;
         // 4. Release locks and notify.
         self.lm.release_all(txn);
@@ -585,12 +647,23 @@ impl LoHandle {
             .ok_or_else(|| SbError::NotFound(format!("{}: page {logical}", self.lo)))
     }
 
-    /// Reads logical page `logical` of the object.
+    /// Reads logical page `logical` of the object into a fresh buffer.
+    /// Prefer [`LoHandle::read_page_pinned`] on hot paths — it avoids
+    /// the page copy.
     pub fn read_page(&self, logical: u32) -> Result<PageBuf> {
         let pid = self.phys(logical)?;
         let mut buf = crate::page::zeroed_page();
-        self.inner.pool.lock().read(PageId(pid), &mut buf)?;
+        self.inner.pool.read(PageId(pid), &mut buf)?;
         Ok(buf)
+    }
+
+    /// Pins logical page `logical` and returns a zero-copy view of its
+    /// bytes. The underlying frame stays resident until the guard drops;
+    /// concurrent writers see a private copy (copy-on-write), so the
+    /// guard is a stable snapshot.
+    pub fn read_page_pinned(&self, logical: u32) -> Result<PageGuard> {
+        let pid = self.phys(logical)?;
+        self.inner.pool.read_pinned(PageId(pid))
     }
 
     /// Writes logical page `logical` (buffered until commit).
@@ -600,10 +673,7 @@ impl LoHandle {
     pub fn write_page(&mut self, logical: u32, data: &[u8; PAGE_SIZE]) -> Result<()> {
         self.check_writable()?;
         let pid = self.phys(logical)?;
-        self.inner
-            .pool
-            .lock()
-            .write_txn(self.txn, PageId(pid), data);
+        self.inner.pool.write_txn(self.txn, PageId(pid), data);
         Ok(())
     }
 
@@ -614,10 +684,7 @@ impl LoHandle {
         self.inode.data_pages.push(pid);
         let logical = self.inode.data_pages.len() as u32 - 1;
         self.inode_dirty = true;
-        self.inner
-            .pool
-            .lock()
-            .write_txn(self.txn, PageId(pid), data);
+        self.inner.pool.write_txn(self.txn, PageId(pid), data);
         Ok(logical)
     }
 
@@ -672,10 +739,7 @@ impl LoHandle {
             let mut buf = self.read_page(page)?;
             buf[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
             let pid = self.phys(page)?;
-            self.inner
-                .pool
-                .lock()
-                .write_txn(self.txn, PageId(pid), &buf);
+            self.inner.pool.write_txn(self.txn, PageId(pid), &buf);
             done += n;
         }
         if end > self.inode.size {
@@ -702,11 +766,9 @@ impl LoHandle {
             self.inner.free_pages(&extra)?;
         }
         let images = self.inode.encode(self.lo);
-        let mut pool = self.inner.pool.lock();
         for (pid, data) in images {
-            pool.write_txn(self.txn, PageId(pid), &data);
+            self.inner.pool.write_txn(self.txn, PageId(pid), &data);
         }
-        drop(pool);
         self.inode_dirty = false;
         Ok(())
     }
@@ -755,6 +817,7 @@ mod tests {
         Sbspace::mem(SbspaceOptions {
             pool_pages: 64,
             lock_timeout: Duration::from_millis(200),
+            ..Default::default()
         })
     }
 
@@ -926,6 +989,7 @@ mod tests {
         let sb = Sbspace::mem(SbspaceOptions {
             pool_pages: 4096,
             lock_timeout: Duration::from_millis(200),
+            ..Default::default()
         });
         let txn = sb.begin(IsolationLevel::ReadCommitted);
         let lo = sb.create_lo(&txn).unwrap();

@@ -28,6 +28,20 @@ pub struct IoStats {
     pub lock_waits: AtomicU64,
     /// Deadlocks detected (victim aborted).
     pub deadlocks: AtomicU64,
+    /// Frames evicted by the clock sweep.
+    pub evictions: AtomicU64,
+    /// Times a shard overflowed its capacity because every frame was
+    /// dirty or pinned (no-steal forbids eviction).
+    pub dirty_overflows: AtomicU64,
+    /// WAL flush groups written by a group-commit leader.
+    pub group_commits: AtomicU64,
+    /// Zero-copy pinned page reads ([`crate::buffer::BufferPool::read_pinned`]).
+    /// `logical_reads - pinned_reads` is the number of copying reads.
+    pub pinned_reads: AtomicU64,
+    /// Durable WAL syncs.
+    pub wal_syncs: AtomicU64,
+    /// Durable data-backend syncs.
+    pub data_syncs: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -40,6 +54,12 @@ pub struct IoSnapshot {
     pub lo_opens: u64,
     pub lock_waits: u64,
     pub deadlocks: u64,
+    pub evictions: u64,
+    pub dirty_overflows: u64,
+    pub group_commits: u64,
+    pub pinned_reads: u64,
+    pub wal_syncs: u64,
+    pub data_syncs: u64,
 }
 
 impl IoStats {
@@ -58,6 +78,12 @@ impl IoStats {
             lo_opens: self.lo_opens.load(Ordering::Relaxed),
             lock_waits: self.lock_waits.load(Ordering::Relaxed),
             deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            dirty_overflows: self.dirty_overflows.load(Ordering::Relaxed),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            pinned_reads: self.pinned_reads.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
+            data_syncs: self.data_syncs.load(Ordering::Relaxed),
         }
     }
 
@@ -79,7 +105,19 @@ impl IoSnapshot {
             lo_opens: self.lo_opens - earlier.lo_opens,
             lock_waits: self.lock_waits - earlier.lock_waits,
             deadlocks: self.deadlocks - earlier.deadlocks,
+            evictions: self.evictions - earlier.evictions,
+            dirty_overflows: self.dirty_overflows - earlier.dirty_overflows,
+            group_commits: self.group_commits - earlier.group_commits,
+            pinned_reads: self.pinned_reads - earlier.pinned_reads,
+            wal_syncs: self.wal_syncs - earlier.wal_syncs,
+            data_syncs: self.data_syncs - earlier.data_syncs,
         }
+    }
+
+    /// Total durable sync calls (WAL plus data backend) — the metric the
+    /// group-commit benchmark compares.
+    pub fn total_syncs(&self) -> u64 {
+        self.wal_syncs + self.data_syncs
     }
 }
 
@@ -87,14 +125,20 @@ impl std::fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "lr={} lw={} pr={} pw={} opens={} waits={} dl={}",
+            "lr={} lw={} pr={} pw={} opens={} waits={} dl={} ev={} ovf={} gc={} pin={} ws={} ds={}",
             self.logical_reads,
             self.logical_writes,
             self.physical_reads,
             self.physical_writes,
             self.lo_opens,
             self.lock_waits,
-            self.deadlocks
+            self.deadlocks,
+            self.evictions,
+            self.dirty_overflows,
+            self.group_commits,
+            self.pinned_reads,
+            self.wal_syncs,
+            self.data_syncs
         )
     }
 }
@@ -110,10 +154,16 @@ mod tests {
         IoStats::bump(&s.logical_reads);
         IoStats::bump(&s.logical_reads);
         IoStats::bump(&s.physical_writes);
+        IoStats::bump(&s.evictions);
+        IoStats::bump(&s.group_commits);
+        IoStats::bump(&s.wal_syncs);
         let after = s.snapshot();
         let d = after.since(&before);
         assert_eq!(d.logical_reads, 2);
         assert_eq!(d.physical_writes, 1);
         assert_eq!(d.logical_writes, 0);
+        assert_eq!(d.evictions, 1);
+        assert_eq!(d.group_commits, 1);
+        assert_eq!(d.total_syncs(), 1);
     }
 }

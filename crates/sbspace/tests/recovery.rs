@@ -1,18 +1,24 @@
 //! Crash-recovery tests: a "crash" abandons an `Sbspace` without
 //! committing and reopens a new one over the same backend and log.
+//!
+//! Every scenario runs twice — with per-commit WAL forcing and with
+//! group commit (shared syncs, no-force data pages) — since the two
+//! modes take different paths to the same durability contract.
 
-use grt_sbspace::wal::MemWal;
+use grt_sbspace::wal::{MemWal, WalStore};
 use grt_sbspace::{
-    FaultInjector, IsolationLevel, LockMode, MemBackend, SbError, Sbspace, SbspaceOptions,
+    FaultInjector, IsolationLevel, LockMode, MemBackend, Result, SbError, Sbspace, SbspaceOptions,
     PAGE_SIZE,
 };
 use std::sync::Arc;
 use std::time::Duration;
 
-fn opts() -> SbspaceOptions {
+fn opts(group_commit: bool) -> SbspaceOptions {
     SbspaceOptions {
         pool_pages: 64,
         lock_timeout: Duration::from_millis(200),
+        group_commit,
+        ..Default::default()
     }
 }
 
@@ -20,35 +26,313 @@ fn shared() -> (Arc<MemBackend>, Arc<MemWal>) {
     (Arc::new(MemBackend::new()), Arc::new(MemWal::new()))
 }
 
-fn reopen(backend: &Arc<MemBackend>, wal: &Arc<MemWal>) -> Sbspace {
-    Sbspace::open_with(Arc::clone(backend), Arc::clone(wal), opts()).expect("reopen")
+fn reopen(backend: &Arc<MemBackend>, wal: &Arc<MemWal>, group_commit: bool) -> Sbspace {
+    Sbspace::open_with(Arc::clone(backend), Arc::clone(wal), opts(group_commit)).expect("reopen")
+}
+
+/// Runs `body` once with group commit off and once with it on, each
+/// over a fresh backend and log.
+fn both_modes(body: impl Fn(bool)) {
+    for group_commit in [false, true] {
+        body(group_commit);
+    }
 }
 
 #[test]
 fn committed_data_survives_crash() {
-    let (backend, wal) = shared();
-    let sb = reopen(&backend, &wal);
-    let txn = sb.begin(IsolationLevel::ReadCommitted);
-    let lo = sb.create_lo(&txn).unwrap();
-    let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
-    h.write_at(0, b"durable bytes").unwrap();
-    h.close().unwrap();
-    txn.commit().unwrap();
-    drop(sb); // crash (no checkpoint)
+    both_modes(|gc| {
+        let (backend, wal) = shared();
+        let sb = reopen(&backend, &wal, gc);
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        h.write_at(0, b"durable bytes").unwrap();
+        h.close().unwrap();
+        txn.commit().unwrap();
+        drop(sb); // crash (no checkpoint)
 
-    let sb2 = reopen(&backend, &wal);
-    let t = sb2.begin(IsolationLevel::ReadCommitted);
-    let h = sb2.open_lo(&t, lo, LockMode::Shared).unwrap();
-    let mut buf = [0u8; 13];
-    h.read_at(0, &mut buf).unwrap();
-    assert_eq!(&buf, b"durable bytes");
+        let sb2 = reopen(&backend, &wal, gc);
+        let t = sb2.begin(IsolationLevel::ReadCommitted);
+        let h = sb2.open_lo(&t, lo, LockMode::Shared).unwrap();
+        let mut buf = [0u8; 13];
+        h.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"durable bytes", "group_commit={gc}");
+    });
 }
 
 #[test]
 fn uncommitted_data_vanishes_after_crash() {
+    both_modes(|gc| {
+        let (backend, wal) = shared();
+        let sb = reopen(&backend, &wal, gc);
+        // One committed object as a baseline.
+        let t0 = sb.begin(IsolationLevel::ReadCommitted);
+        let base = sb.create_lo(&t0).unwrap();
+        let mut h = sb.open_lo(&t0, base, LockMode::Exclusive).unwrap();
+        h.write_at(0, b"base").unwrap();
+        h.close().unwrap();
+        t0.commit().unwrap();
+
+        // A transaction that crashes mid-flight.
+        let t1 = sb.begin(IsolationLevel::ReadCommitted);
+        let doomed = sb.create_lo(&t1).unwrap();
+        let mut h = sb.open_lo(&t1, doomed, LockMode::Exclusive).unwrap();
+        h.write_at(0, &vec![7u8; 5 * PAGE_SIZE]).unwrap();
+        h.close().unwrap();
+        std::mem::forget(t1); // crash without abort
+        drop(sb);
+
+        let sb2 = reopen(&backend, &wal, gc);
+        let t = sb2.begin(IsolationLevel::ReadCommitted);
+        // The committed object is intact.
+        let hb = sb2.open_lo(&t, base, LockMode::Shared).unwrap();
+        let mut buf = [0u8; 4];
+        hb.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"base", "group_commit={gc}");
+        // The uncommitted object never came to exist.
+        assert!(sb2.open_lo(&t, doomed, LockMode::Shared).is_err());
+    });
+}
+
+#[test]
+fn crashed_allocations_are_reclaimed() {
+    both_modes(|gc| {
+        let (backend, wal) = shared();
+        let sb = reopen(&backend, &wal, gc);
+        let t1 = sb.begin(IsolationLevel::ReadCommitted);
+        let doomed = sb.create_lo(&t1).unwrap();
+        let mut h = sb.open_lo(&t1, doomed, LockMode::Exclusive).unwrap();
+        for _ in 0..10 {
+            h.append_page(&[1u8; PAGE_SIZE]).unwrap();
+        }
+        h.close().unwrap();
+        std::mem::forget(t1);
+        drop(sb);
+
+        // Recovery frees the leaked pages; a new object reuses them
+        // instead of extending the space.
+        let sb2 = reopen(&backend, &wal, gc);
+        let recovered = sb2.space_info().unwrap();
+        assert!(
+            recovered.free_pages >= 11,
+            "leaked pages not back on the free list: {recovered:?} (group_commit={gc})"
+        );
+        let t2 = sb2.begin(IsolationLevel::ReadCommitted);
+        let lo = sb2.create_lo(&t2).unwrap();
+        let mut h = sb2.open_lo(&t2, lo, LockMode::Exclusive).unwrap();
+        for _ in 0..10 {
+            h.append_page(&[2u8; PAGE_SIZE]).unwrap();
+        }
+        h.close().unwrap();
+        t2.commit().unwrap();
+        let after = sb2.space_info().unwrap();
+        assert_eq!(
+            after.total_pages, recovered.total_pages,
+            "allocation watermark grew instead of reusing freed pages (group_commit={gc})"
+        );
+    });
+}
+
+#[test]
+fn repeated_crashes_are_idempotent() {
+    both_modes(|gc| {
+        let (backend, wal) = shared();
+        for round in 0..5 {
+            let sb = reopen(&backend, &wal, gc);
+            let t = sb.begin(IsolationLevel::ReadCommitted);
+            let lo = sb.create_lo(&t).unwrap();
+            let mut h = sb.open_lo(&t, lo, LockMode::Exclusive).unwrap();
+            h.write_at(0, format!("round {round}").as_bytes()).unwrap();
+            h.close().unwrap();
+            if round % 2 == 0 {
+                t.commit().unwrap();
+            } else {
+                std::mem::forget(t);
+            }
+            drop(sb); // crash every round
+        }
+        // The space still opens and works.
+        let sb = reopen(&backend, &wal, gc);
+        let t = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&t).unwrap();
+        sb.verify_lo(&t, lo).unwrap();
+        t.commit().unwrap();
+    });
+}
+
+#[test]
+fn torn_log_tail_is_survivable() {
+    both_modes(|gc| {
+        let (backend, wal) = shared();
+        let sb = reopen(&backend, &wal, gc);
+        let t = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&t).unwrap();
+        let mut h = sb.open_lo(&t, lo, LockMode::Exclusive).unwrap();
+        h.write_at(0, b"ok").unwrap();
+        h.close().unwrap();
+        t.commit().unwrap();
+        drop(sb);
+        // Corrupt the log by appending garbage (a torn record).
+        wal.append(&[0xde, 0xad, 0xbe]).unwrap();
+        let sb2 = reopen(&backend, &wal, gc);
+        let t2 = sb2.begin(IsolationLevel::ReadCommitted);
+        let h2 = sb2.open_lo(&t2, lo, LockMode::Shared).unwrap();
+        let mut buf = [0u8; 2];
+        h2.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"ok", "group_commit={gc}");
+    });
+}
+
+#[test]
+fn io_fault_surfaces_as_error_not_corruption() {
+    both_modes(|gc| {
+        let backend = Arc::new(FaultInjector::new(MemBackend::new()));
+        let wal = Arc::new(MemWal::new());
+        let sb = Sbspace::open_with(Arc::clone(&backend), Arc::clone(&wal), opts(gc)).unwrap();
+        let t = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&t).unwrap();
+        let mut h = sb.open_lo(&t, lo, LockMode::Exclusive).unwrap();
+        h.write_at(0, b"before fault").unwrap();
+        backend.fail_after(0);
+        // Reads now fail loudly...
+        let mut sink = [0u8; 4096 * 4];
+        let got: Result<usize> = h.read_at(1 << 20, &mut sink);
+        let _ = got; // reads within cache may still succeed; force a miss below
+        let err = sb.open_lo(&t, lo, LockMode::Exclusive).err();
+        backend.heal();
+        // ...and after healing everything still works.
+        let mut buf = [0u8; 12];
+        h.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"before fault", "group_commit={gc}");
+        drop(err);
+    });
+}
+
+#[test]
+fn file_backed_space_recovers_across_process_style_reopen() {
+    for gc in [false, true] {
+        let dir =
+            std::env::temp_dir().join(format!("sbspace-recovery-{}-gc{gc}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let lo;
+        {
+            let sb = Sbspace::file(&dir, opts(gc)).unwrap();
+            let t = sb.begin(IsolationLevel::ReadCommitted);
+            lo = sb.create_lo(&t).unwrap();
+            let mut h = sb.open_lo(&t, lo, LockMode::Exclusive).unwrap();
+            h.write_at(0, b"on disk").unwrap();
+            h.close().unwrap();
+            t.commit().unwrap();
+            // No checkpoint: the log still holds the images.
+        }
+        {
+            let sb = Sbspace::file(&dir, opts(gc)).unwrap();
+            let t = sb.begin(IsolationLevel::ReadCommitted);
+            let h = sb.open_lo(&t, lo, LockMode::Shared).unwrap();
+            let mut buf = [0u8; 7];
+            h.read_at(0, &mut buf).unwrap();
+            assert_eq!(&buf, b"on disk", "group_commit={gc}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Group-commit crash safety
+// ---------------------------------------------------------------------
+
+/// A WAL that, once armed, tears the next append — only the first half
+/// of the bytes lands before the append reports failure. Models a
+/// partial log write during a group flush.
+struct TearingWal {
+    inner: MemWal,
+    armed: std::sync::atomic::AtomicBool,
+}
+
+impl TearingWal {
+    fn new() -> TearingWal {
+        TearingWal {
+            inner: MemWal::new(),
+            armed: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+    fn arm(&self) {
+        self.armed.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl WalStore for TearingWal {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        if self.armed.swap(false, std::sync::atomic::Ordering::SeqCst) {
+            self.inner.append(&bytes[..bytes.len() / 2]).unwrap();
+            return Err(SbError::Io("torn log write".into()));
+        }
+        self.inner.append(bytes)
+    }
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+    fn read_all(&self) -> Result<Vec<u8>> {
+        self.inner.read_all()
+    }
+    fn truncate(&self) -> Result<()> {
+        self.inner.truncate()
+    }
+}
+
+/// A burst of committed transactions under group commit fully replays
+/// after a crash: no-force means the data pages may never have reached
+/// the backend, so every byte must come back from the shared log.
+#[test]
+fn group_commit_burst_fully_replays_after_crash() {
     let (backend, wal) = shared();
-    let sb = reopen(&backend, &wal);
-    // One committed object as a baseline.
+    let sb = reopen(&backend, &wal, true);
+    let setup = sb.begin(IsolationLevel::ReadCommitted);
+    let los: Vec<_> = (0..8).map(|_| sb.create_lo(&setup).unwrap()).collect();
+    for &lo in &los {
+        let h = sb.open_lo(&setup, lo, LockMode::Exclusive).unwrap();
+        h.close().unwrap();
+    }
+    setup.commit().unwrap();
+
+    let barrier = Arc::new(std::sync::Barrier::new(los.len()));
+    std::thread::scope(|s| {
+        for (i, &lo) in los.iter().enumerate() {
+            let (sb, barrier) = (&sb, Arc::clone(&barrier));
+            s.spawn(move || {
+                let t = sb.begin(IsolationLevel::ReadCommitted);
+                let mut h = sb.open_lo(&t, lo, LockMode::Exclusive).unwrap();
+                h.write_at(0, format!("txn {i} payload").as_bytes())
+                    .unwrap();
+                h.close().unwrap();
+                barrier.wait(); // commit as one burst, sharing groups
+                t.commit().unwrap();
+            });
+        }
+    });
+    drop(sb); // crash: no checkpoint, data pages possibly never synced
+
+    let sb2 = reopen(&backend, &wal, true);
+    let t = sb2.begin(IsolationLevel::ReadCommitted);
+    for (i, &lo) in los.iter().enumerate() {
+        let h = sb2.open_lo(&t, lo, LockMode::Shared).unwrap();
+        let want = format!("txn {i} payload");
+        let mut buf = vec![0u8; want.len()];
+        h.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, want.into_bytes(), "txn {i} lost from the group");
+    }
+}
+
+/// If the group leader's log write tears mid-batch, every transaction
+/// in the batch reports failure and none of their effects survive the
+/// crash — the batch is all-or-nothing.
+#[test]
+fn torn_group_batch_is_fully_absent_after_crash() {
+    let backend = Arc::new(MemBackend::new());
+    let wal = Arc::new(TearingWal::new());
+    let sb = Sbspace::open_with(Arc::clone(&backend), Arc::clone(&wal), opts(true)).expect("open");
+
+    // A committed baseline object that must survive everything below.
     let t0 = sb.begin(IsolationLevel::ReadCommitted);
     let base = sb.create_lo(&t0).unwrap();
     let mut h = sb.open_lo(&t0, base, LockMode::Exclusive).unwrap();
@@ -56,155 +340,62 @@ fn uncommitted_data_vanishes_after_crash() {
     h.close().unwrap();
     t0.commit().unwrap();
 
-    // A transaction that crashes mid-flight.
-    let t1 = sb.begin(IsolationLevel::ReadCommitted);
-    let doomed = sb.create_lo(&t1).unwrap();
-    let mut h = sb.open_lo(&t1, doomed, LockMode::Exclusive).unwrap();
-    h.write_at(0, &vec![7u8; 5 * PAGE_SIZE]).unwrap();
-    h.close().unwrap();
-    std::mem::forget(t1); // crash without abort
-    drop(sb);
+    // Objects for the doomed burst, created and pre-sized up front so
+    // the burst transactions allocate nothing and log only their group
+    // batch (page images + commit) — the tear must hit the batch.
+    let setup = sb.begin(IsolationLevel::ReadCommitted);
+    let los: Vec<_> = (0..4).map(|_| sb.create_lo(&setup).unwrap()).collect();
+    for &lo in &los {
+        let mut h = sb.open_lo(&setup, lo, LockMode::Exclusive).unwrap();
+        h.append_page(&[0u8; PAGE_SIZE]).unwrap();
+        h.close().unwrap();
+    }
+    setup.commit().unwrap();
 
-    let sb2 = reopen(&backend, &wal);
+    wal.arm(); // the next group flush tears
+    let barrier = Arc::new(std::sync::Barrier::new(los.len()));
+    let outcomes: Vec<(usize, bool)> = std::thread::scope(|s| {
+        let handles: Vec<_> = los
+            .iter()
+            .enumerate()
+            .map(|(i, &lo)| {
+                let (sb, barrier) = (&sb, Arc::clone(&barrier));
+                s.spawn(move || {
+                    let t = sb.begin(IsolationLevel::ReadCommitted);
+                    let mut h = sb.open_lo(&t, lo, LockMode::Exclusive).unwrap();
+                    h.write_at(0, format!("doomed {i}").as_bytes()).unwrap();
+                    h.close().unwrap();
+                    barrier.wait();
+                    (i, t.commit().is_ok())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    drop(sb); // crash
+
+    // Atomicity: a transaction's payload survives recovery if and only
+    // if its commit reported success.
+    let sb2 = Sbspace::open_with(Arc::clone(&backend), Arc::clone(&wal), opts(true)).unwrap();
     let t = sb2.begin(IsolationLevel::ReadCommitted);
-    // The committed object is intact.
     let hb = sb2.open_lo(&t, base, LockMode::Shared).unwrap();
     let mut buf = [0u8; 4];
     hb.read_at(0, &mut buf).unwrap();
-    assert_eq!(&buf, b"base");
-    // The uncommitted object never came to exist.
-    assert!(sb2.open_lo(&t, doomed, LockMode::Shared).is_err());
-}
-
-#[test]
-fn crashed_allocations_are_reclaimed() {
-    let (backend, wal) = shared();
-    let sb = reopen(&backend, &wal);
-    let t1 = sb.begin(IsolationLevel::ReadCommitted);
-    let doomed = sb.create_lo(&t1).unwrap();
-    let mut h = sb.open_lo(&t1, doomed, LockMode::Exclusive).unwrap();
-    for _ in 0..10 {
-        h.append_page(&[1u8; PAGE_SIZE]).unwrap();
-    }
-    h.close().unwrap();
-    std::mem::forget(t1);
-    drop(sb);
-
-    // Recovery frees the leaked pages; a new object reuses them instead
-    // of extending the space.
-    let sb2 = reopen(&backend, &wal);
-    let recovered = sb2.space_info().unwrap();
-    assert!(
-        recovered.free_pages >= 11,
-        "leaked pages not back on the free list: {recovered:?}"
-    );
-    let t2 = sb2.begin(IsolationLevel::ReadCommitted);
-    let lo = sb2.create_lo(&t2).unwrap();
-    let mut h = sb2.open_lo(&t2, lo, LockMode::Exclusive).unwrap();
-    for _ in 0..10 {
-        h.append_page(&[2u8; PAGE_SIZE]).unwrap();
-    }
-    h.close().unwrap();
-    t2.commit().unwrap();
-    let after = sb2.space_info().unwrap();
-    assert_eq!(
-        after.total_pages, recovered.total_pages,
-        "allocation watermark grew instead of reusing freed pages"
-    );
-}
-
-#[test]
-fn repeated_crashes_are_idempotent() {
-    let (backend, wal) = shared();
-    for round in 0..5 {
-        let sb = reopen(&backend, &wal);
-        let t = sb.begin(IsolationLevel::ReadCommitted);
-        let lo = sb.create_lo(&t).unwrap();
-        let mut h = sb.open_lo(&t, lo, LockMode::Exclusive).unwrap();
-        h.write_at(0, format!("round {round}").as_bytes()).unwrap();
-        h.close().unwrap();
-        if round % 2 == 0 {
-            t.commit().unwrap();
-        } else {
-            std::mem::forget(t);
+    assert_eq!(&buf, b"base", "baseline object lost");
+    let mut failures = 0;
+    for (i, ok) in outcomes {
+        let h = sb2.open_lo(&t, los[i], LockMode::Shared).unwrap();
+        let want = format!("doomed {i}").into_bytes();
+        let mut got = vec![0u8; want.len()];
+        let read = h.read_at(0, &mut got).unwrap_or(0);
+        let survived = read == want.len() && got == want;
+        assert_eq!(
+            survived, ok,
+            "txn {i}: commit said {ok} but recovery says survived={survived}"
+        );
+        if !ok {
+            failures += 1;
         }
-        drop(sb); // crash every round
     }
-    // The space still opens and works.
-    let sb = reopen(&backend, &wal);
-    let t = sb.begin(IsolationLevel::ReadCommitted);
-    let lo = sb.create_lo(&t).unwrap();
-    sb.verify_lo(&t, lo).unwrap();
-    t.commit().unwrap();
-}
-
-#[test]
-fn torn_log_tail_is_survivable() {
-    let (backend, wal) = shared();
-    let sb = reopen(&backend, &wal);
-    let t = sb.begin(IsolationLevel::ReadCommitted);
-    let lo = sb.create_lo(&t).unwrap();
-    let mut h = sb.open_lo(&t, lo, LockMode::Exclusive).unwrap();
-    h.write_at(0, b"ok").unwrap();
-    h.close().unwrap();
-    t.commit().unwrap();
-    drop(sb);
-    // Corrupt the log by appending garbage (a torn record).
-    use grt_sbspace::wal::WalStore;
-    wal.append(&[0xde, 0xad, 0xbe]).unwrap();
-    let sb2 = reopen(&backend, &wal);
-    let t2 = sb2.begin(IsolationLevel::ReadCommitted);
-    let h2 = sb2.open_lo(&t2, lo, LockMode::Shared).unwrap();
-    let mut buf = [0u8; 2];
-    h2.read_at(0, &mut buf).unwrap();
-    assert_eq!(&buf, b"ok");
-}
-
-#[test]
-fn io_fault_surfaces_as_error_not_corruption() {
-    let backend = Arc::new(FaultInjector::new(MemBackend::new()));
-    let wal = Arc::new(MemWal::new());
-    let sb = Sbspace::open_with(Arc::clone(&backend), Arc::clone(&wal), opts()).unwrap();
-    let t = sb.begin(IsolationLevel::ReadCommitted);
-    let lo = sb.create_lo(&t).unwrap();
-    let mut h = sb.open_lo(&t, lo, LockMode::Exclusive).unwrap();
-    h.write_at(0, b"before fault").unwrap();
-    backend.fail_after(0);
-    // Reads now fail loudly...
-    let mut sink = [0u8; 4096 * 4];
-    let got: Result<usize, SbError> = h.read_at(1 << 20, &mut sink);
-    let _ = got; // reads within cache may still succeed; force a miss below
-    let err = sb.open_lo(&t, lo, LockMode::Exclusive).err();
-    backend.heal();
-    // ...and after healing everything still works.
-    let mut buf = [0u8; 12];
-    h.read_at(0, &mut buf).unwrap();
-    assert_eq!(&buf, b"before fault");
-    drop(err);
-}
-
-#[test]
-fn file_backed_space_recovers_across_process_style_reopen() {
-    let dir = std::env::temp_dir().join(format!("sbspace-recovery-{}", std::process::id()));
-    std::fs::remove_dir_all(&dir).ok();
-    let lo;
-    {
-        let sb = Sbspace::file(&dir, opts()).unwrap();
-        let t = sb.begin(IsolationLevel::ReadCommitted);
-        lo = sb.create_lo(&t).unwrap();
-        let mut h = sb.open_lo(&t, lo, LockMode::Exclusive).unwrap();
-        h.write_at(0, b"on disk").unwrap();
-        h.close().unwrap();
-        t.commit().unwrap();
-        // No checkpoint: the log still holds the images.
-    }
-    {
-        let sb = Sbspace::file(&dir, opts()).unwrap();
-        let t = sb.begin(IsolationLevel::ReadCommitted);
-        let h = sb.open_lo(&t, lo, LockMode::Shared).unwrap();
-        let mut buf = [0u8; 7];
-        h.read_at(0, &mut buf).unwrap();
-        assert_eq!(&buf, b"on disk");
-    }
-    std::fs::remove_dir_all(&dir).ok();
+    assert!(failures > 0, "the torn append failed no transaction");
 }

@@ -15,6 +15,7 @@ fn concurrent_writers_keep_committed_state() {
     let sb = Sbspace::mem(SbspaceOptions {
         pool_pages: 512,
         lock_timeout: Duration::from_secs(10),
+        ..Default::default()
     });
     // Eight shared objects, each holding a single u64 counter value and
     // a writer tag.
@@ -92,6 +93,7 @@ fn readers_never_see_uncommitted_writes() {
     let sb = Sbspace::mem(SbspaceOptions {
         pool_pages: 256,
         lock_timeout: Duration::from_millis(50),
+        ..Default::default()
     });
     let setup = sb.begin(IsolationLevel::ReadCommitted);
     let lo = sb.create_lo(&setup).unwrap();

@@ -16,6 +16,7 @@ fn quick_db() -> (Database, MockClock) {
         space: SbspaceOptions {
             pool_pages: 512,
             lock_timeout: Duration::from_millis(300),
+            ..Default::default()
         },
         clock: Arc::new(clock.clone()),
     });
@@ -130,6 +131,7 @@ fn deadlock_is_detected_not_hung() {
     let sb = Sbspace::mem(SbspaceOptions {
         pool_pages: 128,
         lock_timeout: Duration::from_secs(5),
+        ..Default::default()
     });
     let setup = sb.begin(IsolationLevel::ReadCommitted);
     let a = sb.create_lo(&setup).unwrap();

@@ -1,0 +1,103 @@
+//! Deterministic case RNG, run configuration, and failure reporting.
+
+/// Configuration of a [`crate::proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic per-case generator (SplitMix64). Case `i` of every
+/// run sees the same stream, so failures reproduce without a seed file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The RNG of case number `case`.
+    pub fn for_case(case: u32) -> TestRng {
+        TestRng {
+            state: 0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(case as u64 + 1) ^ 0x5bf0_3635,
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Prints the failing case's inputs when a property body panics.
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    rendered: String,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms a guard around one case with its pre-rendered inputs.
+    pub fn new(name: &'static str, case: u32, rendered: String) -> CaseGuard {
+        CaseGuard {
+            name,
+            case,
+            rendered,
+            armed: true,
+        }
+    }
+
+    /// Marks the case as passed (the guard stays silent on drop).
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest: property `{}` failed at case {} with inputs:\n{}",
+                self.name, self.case, self.rendered
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_case_rng_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_case(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_case(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut r = TestRng::for_case(8);
+        let c: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert_ne!(a, c);
+    }
+}
