@@ -1,0 +1,77 @@
+//! CI perf-regression gate:
+//!
+//! ```text
+//! bench_gate <baseline.json> <candidate.json> [--tolerance 0.25]
+//! ```
+//!
+//! Compares `ns_per_read` for every `(config, threads)` pair present in
+//! both reports and exits non-zero when the candidate is more than
+//! `tolerance` slower on any of them.
+
+use grt_bench::gate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut tolerance = 0.25f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            tolerance = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage("--tolerance needs a number"));
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let [baseline_path, candidate_path] = files.as_slice() else {
+        usage("expected two report files")
+    };
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = gate::parse_read_rates(&read(baseline_path));
+    let candidate = gate::parse_read_rates(&read(candidate_path));
+    let comparisons = gate::compare(&baseline, &candidate);
+    if comparisons.is_empty() {
+        eprintln!("bench_gate: no shared (config, threads) pairs between the reports");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for c in &comparisons {
+        let verdict = if c.regressed(tolerance) {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<16} {} reader(s): baseline {:8.1} ns/read, candidate {:8.1} ns/read ({:+.1}%)  {verdict}",
+            c.config,
+            c.threads,
+            c.baseline_ns,
+            c.candidate_ns,
+            (c.ratio - 1.0) * 100.0,
+        );
+    }
+    if failed {
+        eprintln!(
+            "bench_gate: read latency regressed more than {:.0}% — see lines above",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench_gate: all pairs within {:.0}%", tolerance * 100.0);
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("bench_gate: {err}");
+    eprintln!("usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.25]");
+    std::process::exit(2);
+}

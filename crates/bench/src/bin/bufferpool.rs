@@ -3,10 +3,12 @@
 //! clock pool with zero-copy pinned reads and WAL group commit.
 //!
 //! ```text
-//! cargo run --release -p grt-bench --bin bufferpool
+//! cargo run --release -p grt-bench --bin bufferpool [-- --quick]
 //! ```
 //!
-//! Emits `BENCH_bufferpool.json` in the working directory with three
+//! Emits `BENCH_bufferpool.json` in the working directory (with
+//! `--quick`: fewer rounds and repetitions, written to
+//! `BENCH_bufferpool_quick.json` for the CI `bench_gate`) with three
 //! sections per configuration:
 //!
 //! * `readers`: ns per pinned page read at 1/2/4/8 concurrent workers
@@ -25,6 +27,8 @@
 //! The two configurations are measured interleaved (every repetition
 //! alternates between them), so ambient drift hits both equally.
 
+use grt_bench::CostTrailer;
+use grt_metrics::MetricsSnapshot;
 use grt_sbspace::{IsolationLevel, LoId, LockMode, Sbspace, SbspaceOptions, PAGE_SIZE};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -33,7 +37,6 @@ use std::time::{Duration, Instant};
 
 const READER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const PAGES: u32 = 256;
-const ROUNDS_PER_READER: usize = 40;
 const BURST_TXNS: usize = 16;
 
 struct Config {
@@ -104,11 +107,17 @@ fn preload(sb: &Sbspace) -> (LoId, Vec<LoId>) {
     (lo, write_los)
 }
 
-/// `threads` workers, each running `ROUNDS_PER_READER` read-mostly
-/// transactions: a full pinned sweep of the shared LO plus one page
-/// written to the worker's private LO, then commit. Returns
-/// (ns/read, reads) — the commit cost is amortised into ns/read.
-fn reader_phase(sb: &Sbspace, lo: LoId, write_los: &[LoId], threads: usize) -> (f64, u64) {
+/// `threads` workers, each running `rounds` read-mostly transactions:
+/// a full pinned sweep of the shared LO plus one page written to the
+/// worker's private LO, then commit. Returns (ns/read, reads) — the
+/// commit cost is amortised into ns/read.
+fn reader_phase(
+    sb: &Sbspace,
+    lo: LoId,
+    write_los: &[LoId],
+    threads: usize,
+    rounds: usize,
+) -> (f64, u64) {
     let barrier = Arc::new(Barrier::new(threads + 1));
     let start = Instant::now();
     std::thread::scope(|s| {
@@ -116,7 +125,7 @@ fn reader_phase(sb: &Sbspace, lo: LoId, write_los: &[LoId], threads: usize) -> (
             let barrier = Arc::clone(&barrier);
             s.spawn(move || {
                 barrier.wait();
-                for round in 0..ROUNDS_PER_READER {
+                for round in 0..rounds {
                     let txn = sb.begin(IsolationLevel::ReadCommitted);
                     let h = sb.open_lo(&txn, lo, LockMode::Shared).unwrap();
                     let mut checksum = 0u64;
@@ -136,13 +145,14 @@ fn reader_phase(sb: &Sbspace, lo: LoId, write_los: &[LoId], threads: usize) -> (
         barrier.wait();
     });
     let elapsed = start.elapsed();
-    let reads = (threads * ROUNDS_PER_READER) as u64 * u64::from(PAGES);
+    let reads = (threads * rounds) as u64 * u64::from(PAGES);
     (elapsed.as_nanos() as f64 / reads as f64, reads)
 }
 
 /// A burst of `BURST_TXNS` concurrent transactions, each writing one
-/// page of its own LO and committing. Returns durable sync calls.
-fn commit_burst(sb: &Sbspace) -> u64 {
+/// page of its own LO and committing. Returns durable sync calls plus
+/// the phase's full counter deltas for the trailer.
+fn commit_burst(sb: &Sbspace) -> (u64, MetricsSnapshot) {
     let setup = sb.begin(IsolationLevel::ReadCommitted);
     let los: Vec<LoId> = (0..BURST_TXNS)
         .map(|_| {
@@ -155,7 +165,7 @@ fn commit_burst(sb: &Sbspace) -> u64 {
         .collect();
     setup.commit().unwrap();
 
-    let before = sb.stats().snapshot();
+    let mut trailer = CostTrailer::new(sb.metrics());
     let barrier = Arc::new(Barrier::new(BURST_TXNS));
     std::thread::scope(|s| {
         for &lo in &los {
@@ -170,12 +180,20 @@ fn commit_burst(sb: &Sbspace) -> u64 {
             });
         }
     });
-    sb.stats().snapshot().since(&before).total_syncs()
+    let d = trailer.phase();
+    let syncs = d.get("sbspace.wal_syncs") + d.get("sbspace.data_syncs");
+    (syncs, d)
 }
 
-const REPS: usize = 5;
-
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Quick mode keeps the shape of the measurement (same thread
+    // counts, same interleaving) but shrinks the work to CI-smoke size.
+    let (reps, rounds, out_file) = if quick {
+        (2, 8, "BENCH_bufferpool_quick.json")
+    } else {
+        (5, 40, "BENCH_bufferpool.json")
+    };
     // Both spaces live for the whole run and every repetition
     // alternates between them, so ambient drift (page-cache warming,
     // background load) hits both configurations equally instead of
@@ -186,26 +204,32 @@ fn main() {
             let (sb, dir) = space(cfg);
             let (lo, write_los) = preload(&sb);
             // Warm the pool so the measured phase is pure hit-path work.
-            reader_phase(&sb, lo, &write_los, 1);
+            reader_phase(&sb, lo, &write_los, 1, rounds);
             (sb, dir, lo, write_los)
         })
         .collect();
 
     let mut best = [[f64::INFINITY; READER_COUNTS.len()]; CONFIGS.len()];
     let mut reads = [[0u64; READER_COUNTS.len()]; CONFIGS.len()];
+    let mut phase_diffs: Vec<Vec<MetricsSnapshot>> =
+        vec![vec![MetricsSnapshot::default(); READER_COUNTS.len()]; CONFIGS.len()];
     for (ti, &t) in READER_COUNTS.iter().enumerate() {
-        for _ in 0..REPS {
+        for _ in 0..reps {
             for (ci, (sb, _, lo, write_los)) in spaces.iter().enumerate() {
-                let zc_before = sb.stats().snapshot();
-                let (ns, n) = reader_phase(sb, *lo, write_los, t);
-                let d = sb.stats().snapshot().since(&zc_before);
+                let mut trailer = CostTrailer::new(sb.metrics());
+                let (ns, n) = reader_phase(sb, *lo, write_los, t, rounds);
+                let d = trailer.phase();
                 // Zero-copy identity: every logical read in the phase
                 // went through the pinned (no page copy) path.
                 assert_eq!(
-                    d.logical_reads, d.pinned_reads,
+                    d.get("sbspace.logical_reads"),
+                    d.get("sbspace.pinned_reads"),
                     "copying reads leaked into the pinned phase: {d}"
                 );
-                best[ci][ti] = best[ci][ti].min(ns);
+                if ns < best[ci][ti] {
+                    best[ci][ti] = ns;
+                    phase_diffs[ci][ti] = d;
+                }
                 reads[ci][ti] = n;
             }
         }
@@ -223,14 +247,19 @@ fn main() {
         for (ti, &t) in READER_COUNTS.iter().enumerate() {
             let (ns, n) = (best[ci][ti], reads[ci][ti]);
             println!("  {t} reader(s): {ns:10.1} ns/read  ({n} reads/run, zero_copy=true)");
+            println!(
+                "{}",
+                CostTrailer::line(&format!("readers t={t}"), &phase_diffs[ci][ti])
+            );
             reader_json.push(format!(
                 "      {{\"threads\": {t}, \"ns_per_read\": {ns:.1}, \
                  \"reads\": {n}, \"zero_copy\": true}}"
             ));
         }
 
-        let syncs = commit_burst(sb);
+        let (syncs, burst_diff) = commit_burst(sb);
         println!("  commit burst: {BURST_TXNS} txns -> {syncs} durable syncs");
+        println!("{}", CostTrailer::line("commit burst", &burst_diff));
         let four = READER_COUNTS.iter().position(|&t| t == 4).unwrap();
         summary.push(format!(
             "{}: 4-reader {:.1} ns/read, burst {} syncs",
@@ -257,8 +286,8 @@ fn main() {
     }
     json.push('}');
     json.push('\n');
-    std::fs::write("BENCH_bufferpool.json", &json).unwrap();
-    println!("\nwrote BENCH_bufferpool.json");
+    std::fs::write(out_file, &json).unwrap();
+    println!("\nwrote {out_file}");
     for line in summary {
         println!("  {line}");
     }

@@ -1,0 +1,140 @@
+//! The perf-regression gate over `BENCH_bufferpool.json` files.
+//!
+//! Reads the `ns_per_read` figures of a checked-in baseline and a fresh
+//! candidate run and fails when any shared `(config, threads)` pair
+//! regressed beyond the tolerance. The parser handles exactly the JSON
+//! the `bufferpool` binary writes — a deliberate choice over a vendored
+//! JSON dependency, since both sides of the comparison come from the
+//! same writer.
+
+use std::collections::BTreeMap;
+
+/// `(config name, reader threads) -> ns per read`.
+pub type ReadRates = BTreeMap<(String, u64), f64>;
+
+/// Extracts every `ns_per_read` figure from a bench report.
+pub fn parse_read_rates(json: &str) -> ReadRates {
+    let mut out = ReadRates::new();
+    let mut config = String::new();
+    for line in json.lines() {
+        let t = line.trim();
+        // A top-level section opens as `"name": {` with no other keys.
+        if let Some(rest) = t.strip_prefix('"') {
+            if let Some((name, tail)) = rest.split_once('"') {
+                if tail.trim() == ": {" {
+                    config = name.to_string();
+                    continue;
+                }
+            }
+        }
+        let (Some(threads), Some(ns)) = (field(t, "threads"), field(t, "ns_per_read")) else {
+            continue;
+        };
+        out.insert((config.clone(), threads as u64), ns);
+    }
+    out
+}
+
+/// The numeric value of `"key": <num>` inside a one-line JSON object.
+fn field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// One compared `(config, threads)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    pub config: String,
+    pub threads: u64,
+    pub baseline_ns: f64,
+    pub candidate_ns: f64,
+    /// `candidate / baseline`; > 1 means slower.
+    pub ratio: f64,
+}
+
+impl Comparison {
+    pub fn regressed(&self, tolerance: f64) -> bool {
+        self.ratio > 1.0 + tolerance
+    }
+}
+
+/// Compares every pair present in both reports. Pairs only one side
+/// measured (e.g. a quick run covering fewer thread counts) are
+/// skipped, not failed.
+pub fn compare(baseline: &ReadRates, candidate: &ReadRates) -> Vec<Comparison> {
+    baseline
+        .iter()
+        .filter_map(|((config, threads), &base_ns)| {
+            let cand_ns = *candidate.get(&(config.clone(), *threads))?;
+            Some(Comparison {
+                config: config.clone(),
+                threads: *threads,
+                baseline_ns: base_ns,
+                candidate_ns: cand_ns,
+                ratio: cand_ns / base_ns,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{
+  "baseline": {
+    "pool_shards": 1,
+    "readers": [
+      {"threads": 1, "ns_per_read": 2000.0, "reads": 10240, "zero_copy": true},
+      {"threads": 4, "ns_per_read": 1000.0, "reads": 40960, "zero_copy": true}
+    ],
+    "commit_burst": {"txns": 16, "durable_syncs": 32}
+  },
+  "sharded+group": {
+    "readers": [
+      {"threads": 4, "ns_per_read": 500.0, "reads": 40960, "zero_copy": true}
+    ]
+  }
+}
+"#;
+
+    #[test]
+    fn parses_all_pairs() {
+        let rates = parse_read_rates(REPORT);
+        assert_eq!(rates.len(), 3);
+        assert_eq!(rates[&("baseline".to_string(), 4)], 1000.0);
+        assert_eq!(rates[&("sharded+group".to_string(), 4)], 500.0);
+    }
+
+    #[test]
+    fn flags_only_regressions_beyond_tolerance() {
+        let base = parse_read_rates(REPORT);
+        let mut cand = base.clone();
+        cand.insert(("baseline".to_string(), 4), 1200.0); // +20%: inside 25%
+        cand.insert(("sharded+group".to_string(), 4), 700.0); // +40%: out
+        let cmp = compare(&base, &cand);
+        assert_eq!(cmp.len(), 3);
+        let bad: Vec<_> = cmp.iter().filter(|c| c.regressed(0.25)).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(
+            (bad[0].config.as_str(), bad[0].threads),
+            ("sharded+group", 4)
+        );
+    }
+
+    #[test]
+    fn unmatched_pairs_are_skipped() {
+        let base = parse_read_rates(REPORT);
+        let mut cand = ReadRates::new();
+        cand.insert(("baseline".to_string(), 4), 900.0);
+        let cmp = compare(&base, &cand);
+        assert_eq!(cmp.len(), 1, "only the shared pair is compared");
+        assert!(!cmp[0].regressed(0.25));
+    }
+}

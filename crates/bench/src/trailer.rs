@@ -1,0 +1,54 @@
+//! Per-phase cost trailers over the unified metrics registry.
+//!
+//! Benchmarks mark phase boundaries; each mark yields the counter
+//! deltas accumulated since the previous one as a [`MetricsSnapshot`],
+//! printable as a one-line trailer (`name=value` pairs, non-zero only).
+
+use grt_metrics::{Metrics, MetricsSnapshot};
+use std::sync::Arc;
+
+/// Tracks a registry across benchmark phases.
+pub struct CostTrailer {
+    metrics: Arc<Metrics>,
+    last: MetricsSnapshot,
+}
+
+impl CostTrailer {
+    /// Starts tracking; the first phase diffs against this point.
+    pub fn new(metrics: Arc<Metrics>) -> CostTrailer {
+        let last = metrics.snapshot();
+        CostTrailer { metrics, last }
+    }
+
+    /// Ends the current phase: returns the deltas since the previous
+    /// mark and starts the next phase.
+    pub fn phase(&mut self) -> MetricsSnapshot {
+        let now = self.metrics.snapshot();
+        let diff = now.since(&self.last);
+        self.last = now;
+        diff
+    }
+
+    /// Formats a phase delta as an indented `[label] k=v ...` line.
+    pub fn line(label: &str, diff: &MetricsSnapshot) -> String {
+        format!("    [{label}] {diff}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_diff_against_the_previous_mark() {
+        let metrics = Metrics::shared();
+        let c = metrics.counter("x");
+        let mut trailer = CostTrailer::new(Arc::clone(&metrics));
+        c.add(3);
+        assert_eq!(trailer.phase().get("x"), 3);
+        c.add(2);
+        let d = trailer.phase();
+        assert_eq!(d.get("x"), 2, "second phase sees only its own delta");
+        assert!(CostTrailer::line("p", &d).contains("[p] x=2"));
+    }
+}

@@ -19,6 +19,7 @@ use grt_ids::{
     AccessMethod, AmContext, DataType, IdsError, IndexDescriptor, QualDescriptor, RowId,
     ScanDescriptor, Value,
 };
+use grt_metrics::TreeMetrics;
 use grt_sbspace::{LoId, LockMode};
 use grt_temporal::Day;
 use std::collections::HashSet;
@@ -153,7 +154,9 @@ impl GrTreeAm {
             handle.close()?;
         }
         let handle = ctx.space.open_lo(ctx.txn, td.lo, need)?;
-        td.tree = Some(GrTree::open(handle).map_err(gr_err)?);
+        let mut tree = GrTree::open(handle).map_err(gr_err)?;
+        tree.set_metrics(TreeMetrics::registered(&ctx.space.metrics(), "grtree"));
+        td.tree = Some(tree);
         td.mode = need;
         Ok(())
     }
@@ -212,7 +215,8 @@ impl AccessMethod for GrTreeAm {
         );
         // (7) Open the BLOB and initialise the tree.
         let handle = ctx.space.open_lo(ctx.txn, lo, LockMode::Exclusive)?;
-        let tree = GrTree::create(handle, self.opts.tree).map_err(gr_err)?;
+        let mut tree = GrTree::create(handle, self.opts.tree).map_err(gr_err)?;
+        tree.set_metrics(TreeMetrics::registered(&ctx.space.metrics(), "grtree"));
         self.trace_step(ctx, "grt_create", "(7) Open the BLOB");
         *idx.user_data.lock() = Some(Box::new(TdState {
             lo,

@@ -16,6 +16,7 @@ use grt_ids::{
     AccessMethod, AmContext, DataType, IdsError, IndexDescriptor, QualDescriptor, RowId,
     ScanDescriptor, Value,
 };
+use grt_metrics::TreeMetrics;
 use grt_rstar::bitemporal::NowStrategy;
 use grt_rstar::{RStarCursor, RStarOptions, RStarTree, SpatialPredicate};
 use grt_sbspace::{LoHandle, LoId, LockMode};
@@ -112,7 +113,9 @@ impl RStarBitemporalAm {
             tree.into_lo().map_err(rs_err)?.close()?;
         }
         let handle = ctx.space.open_lo(ctx.txn, td.lo, need)?;
-        td.tree = Some(RStarTree::open(handle).map_err(rs_err)?);
+        let mut tree = RStarTree::open(handle).map_err(rs_err)?;
+        tree.set_metrics(TreeMetrics::registered(&ctx.space.metrics(), "rstar"));
+        td.tree = Some(tree);
         td.mode = need;
         Ok(())
     }
@@ -158,7 +161,8 @@ impl AccessMethod for RStarBitemporalAm {
         let lo = ctx.space.create_lo(ctx.txn)?;
         ctx.fragments.lock().insert(idx.index_name.clone(), lo.0);
         let handle = ctx.space.open_lo(ctx.txn, lo, LockMode::Exclusive)?;
-        let tree = RStarTree::create(handle, self.tree_opts).map_err(rs_err)?;
+        let mut tree = RStarTree::create(handle, self.tree_opts).map_err(rs_err)?;
+        tree.set_metrics(TreeMetrics::registered(&ctx.space.metrics(), "rstar"));
         *idx.user_data.lock() = Some(Box::new(TdState {
             lo,
             mode: LockMode::Exclusive,

@@ -7,6 +7,7 @@
 
 use crate::node::{RawEntry, RawNode};
 use crate::{GistError, Result};
+use grt_metrics::TreeMetrics;
 use grt_sbspace::page::{get_u32, get_u64, page_from_slice, put_u32, put_u64, PageBuf, PAGE_SIZE};
 use grt_sbspace::LoHandle;
 
@@ -107,6 +108,9 @@ pub struct GistTree<E: GistExtension> {
     ext: E,
     lo: LoHandle,
     meta: Meta,
+    /// Operation counters; detached by default, swapped for
+    /// registry-backed cells via [`GistTree::set_metrics`].
+    metrics: TreeMetrics,
 }
 
 enum ChildFate {
@@ -129,13 +133,34 @@ impl<E: GistExtension> GistTree<E> {
         };
         lo.append_page(&meta.encode())?;
         lo.append_page(&*RawNode::new(0).encode()?)?;
-        Ok(GistTree { ext, lo, meta })
+        Ok(GistTree {
+            ext,
+            lo,
+            meta,
+            metrics: TreeMetrics::default(),
+        })
     }
 
     /// Opens an existing tree with the matching extension.
     pub fn open(ext: E, lo: LoHandle) -> Result<GistTree<E>> {
         let meta = Meta::decode(&*lo.read_page_pinned(0)?)?;
-        Ok(GistTree { ext, lo, meta })
+        Ok(GistTree {
+            ext,
+            lo,
+            meta,
+            metrics: TreeMetrics::default(),
+        })
+    }
+
+    /// Replaces the operation counters, typically with
+    /// [`TreeMetrics::registered`] cells feeding an engine-wide registry.
+    pub fn set_metrics(&mut self, metrics: TreeMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// The operation counters this tree bumps.
+    pub fn metrics(&self) -> &TreeMetrics {
+        &self.metrics
     }
 
     /// Releases the large object (flushing the header when writable).
@@ -292,6 +317,7 @@ impl<E: GistExtension> GistTree<E> {
     }
 
     fn split(&self, node: &RawNode) -> Result<(RawNode, RawNode)> {
+        self.metrics.splits.inc();
         let keys = self.keys_of(node)?;
         let (left_idx, right_idx) = self.ext.pick_split(&keys);
         if left_idx.is_empty() || right_idx.is_empty() {
@@ -323,6 +349,9 @@ impl<E: GistExtension> GistTree<E> {
             });
         }
         let condensed = !orphans.is_empty();
+        if condensed {
+            self.metrics.condenses.inc();
+        }
         for (entries, level) in orphans {
             for entry in entries {
                 self.insert_toplevel(entry, level)?;
@@ -422,6 +451,7 @@ impl<E: GistExtension> GistTree<E> {
 
     /// Opens a scan cursor.
     pub fn cursor(&self) -> GistCursor {
+        self.metrics.searches.inc();
         GistCursor {
             stack: Vec::new(),
             root: self.meta.root,
@@ -438,6 +468,7 @@ impl<E: GistExtension> GistTree<E> {
         if !cursor.primed {
             cursor.primed = true;
             let node = self.read_node(cursor.root)?;
+            self.metrics.nodes_visited.inc();
             cursor.stack.push((node, 0));
         }
         loop {
@@ -459,6 +490,7 @@ impl<E: GistExtension> GistTree<E> {
                 return Ok(Some((key, entry.payload)));
             }
             let child = self.read_node(entry.payload as u32)?;
+            self.metrics.nodes_visited.inc();
             cursor.stack.push((child, 0));
         }
     }

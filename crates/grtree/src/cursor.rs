@@ -9,7 +9,7 @@
 use crate::entry::{GrNode, InternalEntry, LeafEntry};
 use crate::tree::GrTree;
 use crate::Result;
-use grt_temporal::{Day, Predicate, Region, TimeExtent};
+use grt_temporal::{Day, Predicate, Region, TimeExtent, VtEnd};
 
 enum FrameEntries {
     Leaf(Vec<LeafEntry>),
@@ -70,6 +70,7 @@ impl GrCursor {
     }
 
     fn push(&mut self, tree: &GrTree, page: u32) -> Result<()> {
+        tree.metrics.nodes_visited.inc();
         let entries = match tree.read_node(page)? {
             GrNode::Leaf(v) => FrameEntries::Leaf(v),
             GrNode::Internal { entries, .. } => FrameEntries::Internal(entries),
@@ -95,6 +96,9 @@ impl GrCursor {
                     }
                     let e = entries[frame.next];
                     frame.next += 1;
+                    if matches!(e.spec().vt_end, VtEnd::Now) {
+                        tree.metrics.now_resolutions.inc();
+                    }
                     if self
                         .pred
                         .eval_regions(&e.extent.region(self.ct), &self.query_region)
@@ -109,6 +113,12 @@ impl GrCursor {
                     }
                     let e = entries[frame.next];
                     frame.next += 1;
+                    if e.spec.hidden {
+                        tree.metrics.hidden_resolutions.inc();
+                    }
+                    if matches!(e.spec.vt_end, VtEnd::Now) {
+                        tree.metrics.now_resolutions.inc();
+                    }
                     // Descend only where the bounding region could
                     // contain a qualifying child — the NOW/UC resolution
                     // algorithm applied to the internal entry.

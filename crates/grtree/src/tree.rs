@@ -6,6 +6,7 @@ use crate::entry::{GrNode, InternalEntry, LeafEntry, MAX_FANOUT};
 use crate::meta::{decode_free, encode_free, GrMeta, NO_PAGE};
 use crate::stats::GrQuality;
 use crate::{GrError, Result};
+use grt_metrics::TreeMetrics;
 use grt_sbspace::LoHandle;
 use grt_temporal::{bound_entries, Day, Predicate, RegionSpec, TimeExtent};
 use std::collections::HashSet;
@@ -70,6 +71,9 @@ impl AnyEntry {
 pub struct GrTree {
     lo: LoHandle,
     meta: GrMeta,
+    /// Operation counters; detached by default, swapped for
+    /// registry-backed cells via [`GrTree::set_metrics`].
+    pub(crate) metrics: TreeMetrics,
 }
 
 enum ChildFate {
@@ -98,13 +102,33 @@ impl GrTree {
         };
         lo.append_page(&meta.encode())?;
         lo.append_page(&GrNode::Leaf(Vec::new()).encode())?;
-        Ok(GrTree { lo, meta })
+        Ok(GrTree {
+            lo,
+            meta,
+            metrics: TreeMetrics::default(),
+        })
     }
 
     /// Opens an existing tree.
     pub fn open(lo: LoHandle) -> Result<GrTree> {
         let meta = GrMeta::decode(&*lo.read_page_pinned(0)?)?;
-        Ok(GrTree { lo, meta })
+        Ok(GrTree {
+            lo,
+            meta,
+            metrics: TreeMetrics::default(),
+        })
+    }
+
+    /// Replaces the operation counters, typically with
+    /// [`TreeMetrics::registered`] cells so this tree's splits,
+    /// condenses and search costs show up in an engine-wide registry.
+    pub fn set_metrics(&mut self, metrics: TreeMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// The operation counters this tree bumps.
+    pub fn metrics(&self) -> &TreeMetrics {
+        &self.metrics
     }
 
     /// Releases the large-object handle, flushing the header when the
@@ -324,6 +348,7 @@ impl GrTree {
     fn forced_reinsert(&self, node: &mut GrNode, ct: Day) -> Vec<AnyEntry> {
         let tref = self.tref(ct);
         let k = ((node.len() * self.meta.reinsert_pct as usize) / 100).max(1);
+        self.metrics.reinserts.add(k as u64);
         let node_mbr = node.bound(ct).resolve(tref).mbr();
         let center_key = |spec: &RegionSpec| {
             let m = spec.resolve(tref).mbr();
@@ -394,6 +419,7 @@ impl GrTree {
     /// GR-tree split: R\*-style axis and distribution selection over
     /// regions resolved at `ct + time_param`.
     fn split(&self, node: GrNode, ct: Day) -> (GrNode, GrNode) {
+        self.metrics.splits.inc();
         let tref = self.tref(ct);
         let m = self.meta.min_fill as usize;
         let level = node.level();
@@ -491,6 +517,9 @@ impl GrTree {
             });
         }
         let condensed = !orphans.is_empty();
+        if condensed {
+            self.metrics.condenses.inc();
+        }
         for (entries, level) in orphans {
             for entry in entries {
                 let mut reinserted = HashSet::new();
@@ -605,6 +634,7 @@ impl GrTree {
     /// Opens a scan cursor. The current time is fixed at cursor creation
     /// — the paper's per-statement current time (Section 5.4).
     pub fn cursor(&self, pred: Predicate, query: TimeExtent, ct: Day) -> GrCursor {
+        self.metrics.searches.inc();
         GrCursor::new(pred, query, ct, self.meta.root)
     }
 

@@ -13,6 +13,7 @@ use crate::udr::{RoutineFn, UdrRegistry};
 use crate::value::{DataType, Value};
 use crate::vii::{AccessMethod, AmContext, IndexDescriptor, RowId, ScanDescriptor};
 use crate::{IdsError, Result};
+use grt_metrics::{Counter, Histogram, Metrics, MetricsSnapshot};
 use grt_sbspace::{IsolationLevel, LoHandle, LockMode, Sbspace, SbspaceOptions, Txn, TxnEnd};
 use grt_temporal::{Clock, MockClock};
 use parking_lot::Mutex;
@@ -37,6 +38,51 @@ impl Default for DatabaseOptions {
     }
 }
 
+/// Pre-registered engine counters, so the statement hot path bumps
+/// atomics without touching the registry map.
+pub(crate) struct EngineCounters {
+    pub statements: Counter,
+    pub statement_errors: Counter,
+    pub plans_index: Counter,
+    pub plans_seq: Counter,
+    pub udr_calls: Counter,
+    /// Purpose-function invocations by slot (`am.am_insert`, ...).
+    pub am_calls: HashMap<&'static str, Counter>,
+}
+
+/// Every purpose-function slot the engine can invoke (Figure 5).
+const AM_SLOTS: [&str; 13] = [
+    "am_create",
+    "am_drop",
+    "am_open",
+    "am_close",
+    "am_insert",
+    "am_delete",
+    "am_update",
+    "am_beginscan",
+    "am_getnext",
+    "am_endscan",
+    "am_scancost",
+    "am_check",
+    "am_stats",
+];
+
+impl EngineCounters {
+    fn registered(metrics: &Metrics) -> EngineCounters {
+        EngineCounters {
+            statements: metrics.counter("ids.statements"),
+            statement_errors: metrics.counter("ids.statement_errors"),
+            plans_index: metrics.counter("ids.plans_index"),
+            plans_seq: metrics.counter("ids.plans_seq"),
+            udr_calls: metrics.counter("ids.udr_calls"),
+            am_calls: AM_SLOTS
+                .iter()
+                .map(|&slot| (slot, metrics.counter(&format!("am.{slot}"))))
+                .collect(),
+        }
+    }
+}
+
 pub(crate) struct DbInner {
     pub space: Sbspace,
     pub catalog: Mutex<Catalog>,
@@ -48,7 +94,14 @@ pub(crate) struct DbInner {
     pub libraries: Mutex<HashMap<String, Arc<dyn AccessMethod>>>,
     pub clock: Arc<dyn Clock>,
     pub trace: TraceSink,
+    /// The unified registry, shared with the sbspace underneath.
+    pub metrics: Arc<Metrics>,
+    pub counters: EngineCounters,
+    /// Wall-clock statement latency.
+    pub exec_ns: Histogram,
     next_session: AtomicU64,
+    /// Statement span ids, unique across sessions.
+    next_span: AtomicU64,
     /// Transaction → session mapping for the end-of-transaction
     /// callback that clears per-transaction named memory (Section 5.4).
     txn_sessions: Arc<Mutex<HashMap<u64, Arc<Session>>>>,
@@ -66,6 +119,9 @@ pub struct Connection {
     session: Arc<Session>,
     txn: Mutex<Option<Txn>>,
     iso: Mutex<IsolationLevel>,
+    /// Span id of the statement currently executing (0 between
+    /// statements); stamped on trace events emitted on its behalf.
+    span: AtomicU64,
 }
 
 /// The result of one statement.
@@ -98,6 +154,13 @@ impl Database {
                 session.clear_duration(MemDuration::PerTransaction);
             }
         });
+        // The sbspace already registered its I/O counters; the engine
+        // joins the same registry so one snapshot covers every layer.
+        let metrics = space.metrics();
+        let trace = TraceSink::new();
+        metrics.adopt_counter("trace.dropped", trace.dropped_counter());
+        let counters = EngineCounters::registered(&metrics);
+        let exec_ns = metrics.histogram("ids.exec_ns");
         Database {
             inner: Arc::new(DbInner {
                 space,
@@ -107,8 +170,12 @@ impl Database {
                 opclasses: Mutex::new(OpClassRegistry::default()),
                 libraries: Mutex::new(HashMap::new()),
                 clock,
-                trace: TraceSink::new(),
+                trace,
+                metrics,
+                counters,
+                exec_ns,
                 next_session: AtomicU64::new(1),
+                next_span: AtomicU64::new(1),
                 txn_sessions,
             }),
         }
@@ -122,6 +189,7 @@ impl Database {
             session: Arc::new(Session::new(id)),
             txn: Mutex::new(None),
             iso: Mutex::new(IsolationLevel::ReadCommitted),
+            span: AtomicU64::new(0),
         }
     }
 
@@ -179,6 +247,19 @@ impl Database {
         self.inner.space.stats()
     }
 
+    /// The unified metrics registry: engine, access-method, and sbspace
+    /// counters all live here. Also queryable as `SELECT * FROM
+    /// sysmetrics`.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// A point-in-time snapshot of every registered counter and
+    /// histogram, for `MetricsSnapshot::since` diffing.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
     /// The underlying sbspace (test and benchmark hook).
     pub fn space(&self) -> Sbspace {
         self.inner.space.clone()
@@ -186,6 +267,27 @@ impl Database {
 
     /// Dumps a system catalog.
     pub fn catalog_dump(&self, name: &str) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+        if name.eq_ignore_ascii_case("sysmetrics") {
+            let snap = self.inner.metrics.snapshot();
+            let mut rows: Vec<Vec<Value>> = snap
+                .counters
+                .iter()
+                .map(|(k, &v)| vec![Value::Text(k.clone()), Value::Int(v as i64)])
+                .collect();
+            // Histograms surface as count/mean pseudo-counters so the
+            // whole registry fits one two-column relation.
+            for (k, h) in &snap.histograms {
+                rows.push(vec![
+                    Value::Text(format!("{k}.count")),
+                    Value::Int(h.count as i64),
+                ]);
+                rows.push(vec![
+                    Value::Text(format!("{k}.mean_ns")),
+                    Value::Int(h.mean_ns() as i64),
+                ]);
+            }
+            return Ok((vec!["name".into(), "value".into()], rows));
+        }
         if name.eq_ignore_ascii_case("sysprocedures") {
             let udrs = self.inner.udrs.lock();
             let rows = udrs
@@ -274,6 +376,23 @@ impl Connection {
     }
 
     fn execute(&self, stmt: Statement) -> Result<QueryResult> {
+        let inner = &self.db.inner;
+        inner.counters.statements.inc();
+        self.span.store(
+            inner.next_span.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        let started = std::time::Instant::now();
+        let out = self.execute_stmt(stmt);
+        inner.exec_ns.observe(started.elapsed());
+        if out.is_err() {
+            inner.counters.statement_errors.inc();
+        }
+        self.span.store(0, Ordering::Relaxed);
+        out
+    }
+
+    fn execute_stmt(&self, stmt: Statement) -> Result<QueryResult> {
         match stmt {
             Statement::Begin => {
                 let mut guard = self.txn.lock();
@@ -311,12 +430,41 @@ impl Connection {
                 *self.iso.lock() = iso;
                 Ok(msg("isolation set"))
             }
-            Statement::SetTrace { class, level } => {
-                match level {
-                    Some(l) => self.db.inner.trace.on(&class, l),
-                    None => self.db.inner.trace.off(&class),
+            Statement::SetTrace {
+                class,
+                level,
+                session,
+            } => {
+                let trace = &self.db.inner.trace;
+                match (class, level, session) {
+                    (Some(c), Some(l), false) => trace.on(&c, l),
+                    (Some(c), None, false) => trace.off(&c),
+                    (Some(c), Some(l), true) => trace.on_session(self.session.id(), &c, l),
+                    (Some(c), None, true) => trace.off_session(self.session.id(), Some(&c)),
+                    (None, _, true) => trace.off_session(self.session.id(), None),
+                    (None, _, false) => {
+                        return Err(IdsError::Semantic(
+                            "SET TRACE without a class is session-scoped only".into(),
+                        ))
+                    }
                 }
                 Ok(msg("trace updated"))
+            }
+            Statement::SetExplain { on } => {
+                // EXPLAIN rides the trace facility: the planner emits
+                // class "EXPLAIN" events, enabled here per session.
+                if on {
+                    self.db
+                        .inner
+                        .trace
+                        .on_session(self.session.id(), "EXPLAIN", 1);
+                } else {
+                    self.db
+                        .inner
+                        .trace
+                        .off_session(self.session.id(), Some("EXPLAIN"));
+                }
+                Ok(msg("explain updated"))
             }
             other => self.with_txn(|txn| self.run(other.clone(), txn)),
         }
@@ -358,8 +506,17 @@ impl Connection {
             clock: Arc::clone(&self.db.inner.clock),
             session: Arc::clone(&self.session),
             fragments: Arc::clone(&self.db.inner.catalog.lock().fragments),
-            trace: self.db.inner.trace.clone(),
+            trace: self.scoped_trace(),
         }
+    }
+
+    /// The shared trace sink, tagged with this connection's session and
+    /// the span of the statement currently executing.
+    fn scoped_trace(&self) -> TraceSink {
+        self.db
+            .inner
+            .trace
+            .scoped(self.session.id(), self.span.load(Ordering::Relaxed))
     }
 
     fn run(&self, stmt: Statement, txn: &Txn) -> Result<QueryResult> {
@@ -810,7 +967,10 @@ impl Connection {
     }
 
     fn trace_purpose(&self, am: &AmEntry, slot: &str) {
-        self.db.inner.trace.emit("AM", 1, am.purpose_name(slot));
+        if let Some(c) = self.db.inner.counters.am_calls.get(slot) {
+            c.inc();
+        }
+        self.scoped_trace().emit("AM", 1, am.purpose_name(slot));
     }
 
     /// The `LOAD` command: reads a pipe-separated text file and inserts
@@ -969,6 +1129,7 @@ impl Connection {
         for (v, ty) in args.into_iter().zip(&routine.arg_types) {
             coerced.push(self.coerce(v, ty)?);
         }
+        self.db.inner.counters.udr_calls.inc();
         (routine.imp)(&coerced, ctx)
     }
 
@@ -1137,7 +1298,14 @@ impl Connection {
             let opclasses = self.db.inner.opclasses.lock();
             planner::candidates(&catalog, &opclasses, table, where_clause, &fold)
         };
+        let trace = self.scoped_trace();
         if cands.is_empty() {
+            self.db.inner.counters.plans_seq.inc();
+            trace.emit(
+                "EXPLAIN",
+                1,
+                format!("{}: sequential scan (no index candidates)", table.name),
+            );
             return Ok(Plan::SeqScan {
                 filter: where_clause.cloned(),
             });
@@ -1154,14 +1322,36 @@ impl Connection {
                 .handler
                 .am_scancost(&desc, &c.qual, &ctx)
                 .unwrap_or(f64::MAX);
+            trace.emit(
+                "EXPLAIN",
+                1,
+                format!("{}: index {} cost {cost:.1}", table.name, c.index),
+            );
             costs.insert(c.index.clone(), cost);
         }
-        Ok(planner::choose(
-            cands,
-            |c| costs[&c.index],
-            seq_cost,
-            where_clause,
-        ))
+        let plan = planner::choose(cands, |c| costs[&c.index], seq_cost, where_clause);
+        match &plan {
+            Plan::IndexScan { index, .. } => {
+                self.db.inner.counters.plans_index.inc();
+                trace.emit(
+                    "EXPLAIN",
+                    1,
+                    format!(
+                        "{}: chose index scan via {index} (seq cost {seq_cost:.1})",
+                        table.name
+                    ),
+                );
+            }
+            Plan::SeqScan { .. } => {
+                self.db.inner.counters.plans_seq.inc();
+                trace.emit(
+                    "EXPLAIN",
+                    1,
+                    format!("{}: chose sequential scan (cost {seq_cost:.1})", table.name),
+                );
+            }
+        }
+        Ok(plan)
     }
 
     /// Runs a scan, invoking `sink` for each qualifying `(rowid, row)`.

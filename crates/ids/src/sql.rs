@@ -135,8 +135,20 @@ pub enum Statement {
     Rollback,
     /// `SET ISOLATION TO <level>`
     SetIsolation { level: String },
-    /// `SET TRACE 'class' TO <level>` / `SET TRACE 'class' OFF`
-    SetTrace { class: String, level: Option<u8> },
+    /// `SET TRACE 'class' TO <level>` / `SET TRACE 'class' OFF` switch
+    /// a class globally; `SET TRACE ON 'class' [LEVEL n]` and
+    /// `SET TRACE OFF ['class']` do so for the issuing session only.
+    SetTrace {
+        /// `None` only for `SET TRACE OFF` with no class, which clears
+        /// every class the session had enabled.
+        class: Option<String>,
+        /// `None` disables.
+        level: Option<u8>,
+        /// Session-scoped (`ON`/`OFF` forms) vs global (`TO` form).
+        session: bool,
+    },
+    /// `SET EXPLAIN ON|OFF` — planner decisions traced for the session.
+    SetExplain { on: bool },
     /// `CHECK INDEX name` (runs `am_check`)
     CheckIndex { name: String },
     /// `UPDATE STATISTICS FOR INDEX name` (runs `am_stats`)
@@ -629,20 +641,65 @@ impl Parser {
             return Ok(Statement::SetIsolation { level });
         }
         if self.eat_kw("TRACE") {
+            // Session-scoped forms: SET TRACE ON 'class' [LEVEL n],
+            // SET TRACE OFF ['class'].
+            if self.eat_kw("ON") {
+                let class = self.string()?;
+                let level = if self.eat_kw("LEVEL") {
+                    match self.next()? {
+                        Tok::Num(n) => n as u8,
+                        other => return Err(IdsError::Parse(format!("bad trace level {other:?}"))),
+                    }
+                } else {
+                    1
+                };
+                return Ok(Statement::SetTrace {
+                    class: Some(class),
+                    level: Some(level),
+                    session: true,
+                });
+            }
+            if self.eat_kw("OFF") {
+                let class = match self.peek() {
+                    Some(Tok::Str(_)) => Some(self.string()?),
+                    _ => None,
+                };
+                return Ok(Statement::SetTrace {
+                    class,
+                    level: None,
+                    session: true,
+                });
+            }
+            // Global forms: SET TRACE 'class' TO n / SET TRACE 'class' OFF.
             let class = self.string()?;
             if self.eat_kw("OFF") {
-                return Ok(Statement::SetTrace { class, level: None });
+                return Ok(Statement::SetTrace {
+                    class: Some(class),
+                    level: None,
+                    session: false,
+                });
             }
             self.expect_kw("TO")?;
             match self.next()? {
                 Tok::Num(n) => Ok(Statement::SetTrace {
-                    class,
+                    class: Some(class),
                     level: Some(n as u8),
+                    session: false,
                 }),
                 other => Err(IdsError::Parse(format!("bad trace level {other:?}"))),
             }
+        } else if self.eat_kw("EXPLAIN") {
+            if self.eat_kw("ON") {
+                Ok(Statement::SetExplain { on: true })
+            } else if self.eat_kw("OFF") {
+                Ok(Statement::SetExplain { on: false })
+            } else {
+                Err(IdsError::Parse("expected ON or OFF after EXPLAIN".into()))
+            }
         } else {
-            Err(IdsError::Parse("expected ISOLATION or TRACE".into()))
+            Err(IdsError::Parse(
+                "expected ISOLATION, TRACE, or EXPLAIN".into(),
+            ))
         }
     }
 
@@ -911,16 +968,58 @@ mod tests {
         assert_eq!(
             parse("SET TRACE 'AM' TO 2").unwrap(),
             Statement::SetTrace {
-                class: "AM".into(),
-                level: Some(2)
+                class: Some("AM".into()),
+                level: Some(2),
+                session: false
             }
         );
         assert_eq!(
             parse("SET TRACE 'AM' OFF").unwrap(),
             Statement::SetTrace {
-                class: "AM".into(),
-                level: None
+                class: Some("AM".into()),
+                level: None,
+                session: false
             }
+        );
+        assert_eq!(
+            parse("SET TRACE ON 'AM' LEVEL 2").unwrap(),
+            Statement::SetTrace {
+                class: Some("AM".into()),
+                level: Some(2),
+                session: true
+            }
+        );
+        assert_eq!(
+            parse("SET TRACE ON 'GRT'").unwrap(),
+            Statement::SetTrace {
+                class: Some("GRT".into()),
+                level: Some(1),
+                session: true
+            }
+        );
+        assert_eq!(
+            parse("SET TRACE OFF 'AM'").unwrap(),
+            Statement::SetTrace {
+                class: Some("AM".into()),
+                level: None,
+                session: true
+            }
+        );
+        assert_eq!(
+            parse("SET TRACE OFF").unwrap(),
+            Statement::SetTrace {
+                class: None,
+                level: None,
+                session: true
+            }
+        );
+        assert_eq!(
+            parse("SET EXPLAIN ON").unwrap(),
+            Statement::SetExplain { on: true }
+        );
+        assert_eq!(
+            parse("SET EXPLAIN OFF").unwrap(),
+            Statement::SetExplain { on: false }
         );
         assert_eq!(
             parse("CHECK INDEX grt_index").unwrap(),

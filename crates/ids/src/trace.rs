@@ -5,9 +5,23 @@
 //! levels." The engine itself traces every purpose-function invocation
 //! in class `"AM"` — which is how the Figure 6 call sequences are
 //! regenerated — and DataBlade code can emit its own classes.
+//!
+//! Events are structured: besides class and level each record carries
+//! the emitting session and a statement span id (0 when emitted outside
+//! a statement), so one shared "trace file" can be filtered per session
+//! after the fact. Classes can be enabled globally (`SET TRACE 'AM' TO
+//! 1` — every session's events recorded) or per session (`SET TRACE ON
+//! 'AM'` — only that session's events recorded). The buffer is a capped
+//! ring: the oldest events are dropped first and the drop count is a
+//! [`grt_metrics::Counter`] so a snapshot shows the loss.
 
+use grt_metrics::Counter;
 use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Default ring-buffer capacity in events.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
 /// One trace record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,63 +30,167 @@ pub struct TraceEvent {
     pub class: String,
     /// Trace level of the message.
     pub level: u8,
+    /// Session that emitted the event (0 = engine / no session).
+    pub session: u64,
+    /// Statement span the event belongs to (0 = outside a statement).
+    pub span: u64,
     /// The message.
     pub message: String,
 }
 
 #[derive(Default)]
 struct SinkInner {
-    /// Enabled classes with their threshold level.
-    enabled: std::collections::HashMap<String, u8>,
-    events: Vec<TraceEvent>,
+    /// Globally enabled classes with their threshold level.
+    enabled: HashMap<String, u8>,
+    /// Per-session enabled classes: `(session, class) -> level`.
+    session_enabled: HashMap<(u64, String), u8>,
+    /// The ring buffer; oldest events at the front.
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
 }
 
-/// A shared trace sink (the "trace file").
+#[derive(Default)]
+struct SinkShared {
+    inner: Mutex<SinkInner>,
+    /// Events evicted from the ring, surfaced as `trace.dropped`.
+    dropped: Counter,
+}
+
+/// A shared trace sink (the "trace file"). Clones share the buffer and
+/// filters; [`TraceSink::scoped`] returns a clone whose emissions are
+/// tagged with a session and span id.
 #[derive(Clone, Default)]
 pub struct TraceSink {
-    inner: Arc<Mutex<SinkInner>>,
+    shared: Arc<SinkShared>,
+    /// Tags stamped on events emitted through this handle. Outside the
+    /// `Arc` so scoping is per-handle, not global.
+    session: u64,
+    span: u64,
 }
 
 impl TraceSink {
-    /// A fresh sink with everything off.
+    /// A fresh sink with everything off and the default capacity.
     pub fn new() -> TraceSink {
-        TraceSink::default()
+        TraceSink::with_capacity(DEFAULT_TRACE_CAPACITY)
     }
 
-    /// Enables a trace class up to `level`.
-    pub fn on(&self, class: &str, level: u8) {
-        self.inner.lock().enabled.insert(class.to_string(), level);
+    /// A fresh sink with an explicit ring-buffer capacity.
+    pub fn with_capacity(capacity: usize) -> TraceSink {
+        let sink = TraceSink::default();
+        sink.shared.inner.lock().capacity = capacity.max(1);
+        sink
     }
 
-    /// Disables a trace class.
-    pub fn off(&self, class: &str) {
-        self.inner.lock().enabled.remove(class);
-    }
-
-    /// Emits a message if the class is enabled at this level.
-    pub fn emit(&self, class: &str, level: u8, message: impl Into<String>) {
-        let mut inner = self.inner.lock();
-        match inner.enabled.get(class) {
-            Some(&threshold) if level <= threshold => {
-                let message = message.into();
-                inner.events.push(TraceEvent {
-                    class: class.to_string(),
-                    level,
-                    message,
-                });
-            }
-            _ => {}
+    /// A clone of this handle whose emissions carry `session`/`span`
+    /// tags and are additionally matched against that session's
+    /// per-session filters.
+    pub fn scoped(&self, session: u64, span: u64) -> TraceSink {
+        TraceSink {
+            shared: Arc::clone(&self.shared),
+            session,
+            span,
         }
     }
 
-    /// Drains all recorded events.
+    /// Enables a trace class up to `level` for every session.
+    pub fn on(&self, class: &str, level: u8) {
+        self.shared
+            .inner
+            .lock()
+            .enabled
+            .insert(class.to_string(), level);
+    }
+
+    /// Disables a globally enabled trace class.
+    pub fn off(&self, class: &str) {
+        self.shared.inner.lock().enabled.remove(class);
+    }
+
+    /// Enables a trace class up to `level` for one session only.
+    pub fn on_session(&self, session: u64, class: &str, level: u8) {
+        self.shared
+            .inner
+            .lock()
+            .session_enabled
+            .insert((session, class.to_string()), level);
+    }
+
+    /// Disables a session-scoped trace class; with `None`, every class
+    /// that session had enabled.
+    pub fn off_session(&self, session: u64, class: Option<&str>) {
+        let mut inner = self.shared.inner.lock();
+        match class {
+            Some(c) => {
+                inner.session_enabled.remove(&(session, c.to_string()));
+            }
+            None => inner.session_enabled.retain(|(s, _), _| *s != session),
+        }
+    }
+
+    /// Emits a message if the class is enabled at this level, globally
+    /// or for this handle's session.
+    pub fn emit(&self, class: &str, level: u8, message: impl Into<String>) {
+        let mut inner = self.shared.inner.lock();
+        let global = inner.enabled.get(class).copied();
+        let session = inner
+            .session_enabled
+            .get(&(self.session, class.to_string()))
+            .copied();
+        let threshold = match (global, session) {
+            (Some(g), Some(s)) => g.max(s),
+            (Some(g), None) => g,
+            (None, Some(s)) => s,
+            (None, None) => return,
+        };
+        if level > threshold {
+            return;
+        }
+        if inner.capacity == 0 {
+            inner.capacity = DEFAULT_TRACE_CAPACITY;
+        }
+        while inner.events.len() >= inner.capacity {
+            inner.events.pop_front();
+            self.shared.dropped.inc();
+        }
+        inner.events.push_back(TraceEvent {
+            class: class.to_string(),
+            level,
+            session: self.session,
+            span: self.span,
+            message: message.into(),
+        });
+    }
+
+    /// Drains all recorded events, oldest first.
     pub fn take(&self) -> Vec<TraceEvent> {
-        std::mem::take(&mut self.inner.lock().events)
+        self.shared.inner.lock().events.drain(..).collect()
     }
 
     /// Copies recorded events without draining.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.lock().events.clone()
+        self.shared.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// Copies the recorded events of one session without draining.
+    pub fn events_for(&self, session: u64) -> Vec<TraceEvent> {
+        self.shared
+            .inner
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.session == session)
+            .cloned()
+            .collect()
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.get()
+    }
+
+    /// The drop counter itself, for adoption into a metrics registry.
+    pub fn dropped_counter(&self) -> Counter {
+        self.shared.dropped.clone()
     }
 }
 
@@ -105,5 +223,52 @@ mod tests {
         t.off("X");
         t2.emit("X", 1, "now off");
         assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_caps_and_counts_drops() {
+        let t = TraceSink::with_capacity(3);
+        t.on("X", 1);
+        for i in 0..5 {
+            t.emit("X", 1, format!("m{i}"));
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3, "capped at capacity");
+        assert_eq!(events[0].message, "m2", "oldest evicted first");
+        assert_eq!(events[2].message, "m4");
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn session_scoped_filters_and_tags() {
+        let t = TraceSink::new();
+        let s7 = t.scoped(7, 100);
+        let s9 = t.scoped(9, 200);
+        // Only session 7 enables the class.
+        t.on_session(7, "AM", 1);
+        s7.emit("AM", 1, "session seven");
+        s9.emit("AM", 1, "session nine: filtered");
+        let events = t.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].session, 7);
+        assert_eq!(events[0].span, 100);
+        // A global enable records everyone; per-session events separate.
+        t.on("AM", 1);
+        s9.emit("AM", 1, "session nine: global now");
+        assert_eq!(t.events_for(9).len(), 1);
+        assert_eq!(t.events_for(7).len(), 1);
+        // Session disable leaves the global filter in force.
+        t.off_session(7, None);
+        s7.emit("AM", 1, "still recorded via global");
+        assert_eq!(t.events_for(7).len(), 2);
+    }
+
+    #[test]
+    fn untagged_handle_has_session_zero() {
+        let t = TraceSink::new();
+        t.on("E", 1);
+        t.emit("E", 1, "engine event");
+        let e = &t.events()[0];
+        assert_eq!((e.session, e.span), (0, 0));
     }
 }

@@ -50,6 +50,7 @@ impl RStarCursor {
     }
 
     fn push(&mut self, tree: &RStarTree, page: u32) -> Result<()> {
+        tree.metrics.nodes_visited.inc();
         let node = tree.read_node(page)?;
         self.stack.push(Frame {
             entries: node.entries,

@@ -17,6 +17,7 @@ use crate::meta::{decode_free, encode_free, Meta, NO_PAGE};
 use crate::node::{Entry, Node, MAX_FANOUT};
 use crate::stats::TreeQuality;
 use crate::{RStarError, Result};
+use grt_metrics::TreeMetrics;
 use grt_sbspace::LoHandle;
 use std::collections::HashSet;
 
@@ -57,6 +58,9 @@ pub struct DeleteOutcome {
 pub struct RStarTree {
     lo: LoHandle,
     meta: Meta,
+    /// Operation counters; detached by default, swapped for
+    /// registry-backed cells via [`RStarTree::set_metrics`].
+    pub(crate) metrics: TreeMetrics,
 }
 
 enum ChildFate {
@@ -86,13 +90,32 @@ impl RStarTree {
         };
         lo.append_page(&meta.encode())?;
         lo.append_page(&Node::new(0).encode())?;
-        Ok(RStarTree { lo, meta })
+        Ok(RStarTree {
+            lo,
+            meta,
+            metrics: TreeMetrics::default(),
+        })
     }
 
     /// Opens an existing tree.
     pub fn open(lo: LoHandle) -> Result<RStarTree> {
         let meta = Meta::decode(&*lo.read_page_pinned(0)?)?;
-        Ok(RStarTree { lo, meta })
+        Ok(RStarTree {
+            lo,
+            meta,
+            metrics: TreeMetrics::default(),
+        })
+    }
+
+    /// Replaces the operation counters, typically with
+    /// [`TreeMetrics::registered`] cells feeding an engine-wide registry.
+    pub fn set_metrics(&mut self, metrics: TreeMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// The operation counters this tree bumps.
+    pub fn metrics(&self) -> &TreeMetrics {
+        &self.metrics
     }
 
     /// Releases the large-object handle, flushing the header when the
@@ -230,6 +253,7 @@ impl RStarTree {
                 // Forced reinsertion: evict the entries farthest from the
                 // node centre and re-add them at this level.
                 let k = ((node.entries.len() * self.meta.reinsert_pct as usize) / 100).max(1);
+                self.metrics.reinserts.add(k as u64);
                 let mbr = node.mbr();
                 node.entries
                     .sort_by_key(|e| std::cmp::Reverse(e.rect.center_dist2(&mbr)));
@@ -292,6 +316,7 @@ impl RStarTree {
     /// R\*-tree split: margin-driven axis selection, overlap-driven
     /// distribution selection.
     fn split(&self, node: Node) -> (Node, Node) {
+        self.metrics.splits.inc();
         let m = self.meta.min_fill as usize;
         let total = node.entries.len();
         let level = node.level;
@@ -364,6 +389,9 @@ impl RStarTree {
             });
         }
         let condensed = !orphans.is_empty();
+        if condensed {
+            self.metrics.condenses.inc();
+        }
         // Reinsert the dissolved nodes' entries at their own level.
         for (entries, level) in orphans {
             for entry in entries {
@@ -460,6 +488,7 @@ impl RStarTree {
 
     /// Opens a scan cursor.
     pub fn cursor(&self, pred: SpatialPredicate, query: Rect2) -> RStarCursor {
+        self.metrics.searches.inc();
         RStarCursor::new(pred, query, self.meta.root)
     }
 

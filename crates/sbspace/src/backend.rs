@@ -135,6 +135,8 @@ pub struct FaultInjector<B: Backend> {
     /// Fail every operation once this many operations have happened.
     /// `u64::MAX` disables injection.
     fail_after: AtomicU64,
+    /// Operations actually failed by injection.
+    injected: AtomicU64,
 }
 
 impl<B: Backend> FaultInjector<B> {
@@ -144,6 +146,7 @@ impl<B: Backend> FaultInjector<B> {
             inner,
             ops: AtomicU64::new(0),
             fail_after: AtomicU64::new(u64::MAX),
+            injected: AtomicU64::new(0),
         }
     }
 
@@ -161,9 +164,16 @@ impl<B: Backend> FaultInjector<B> {
     fn tick(&self) -> Result<()> {
         let n = self.ops.fetch_add(1, Ordering::SeqCst);
         if n >= self.fail_after.load(Ordering::SeqCst) {
+            self.injected.fetch_add(1, Ordering::SeqCst);
             return Err(SbError::Io("injected fault".into()));
         }
         Ok(())
+    }
+
+    /// Number of operations this injector has failed so far — what the
+    /// fault-injection tests reconcile abort counters against.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
     }
 }
 

@@ -20,6 +20,7 @@ use crate::stats::IoStats;
 use crate::txn::{TxnEnd, TxnId, TxnState};
 use crate::wal::{FileWal, MemWal, WalRecord, WalStore};
 use crate::{Result, SbError};
+use grt_metrics::Metrics;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
@@ -81,6 +82,10 @@ pub(crate) struct SpaceInner {
     group_commit: bool,
     pub(crate) lm: LockManager,
     stats: Arc<IoStats>,
+    /// Engine-wide metrics registry; holds the [`IoStats`] cells under
+    /// `sbspace.*` names and is shared upward so higher layers (ids,
+    /// the tree access methods) register their counters alongside.
+    metrics: Arc<Metrics>,
     /// Serialises header/free-list operations.
     meta: Mutex<()>,
     txns: Mutex<HashMap<u64, TxnState>>,
@@ -121,6 +126,8 @@ impl Sbspace {
         opts: SbspaceOptions,
     ) -> Result<Sbspace> {
         let stats = IoStats::new_shared();
+        let metrics = Metrics::shared();
+        stats.register_in(&metrics);
         let pool = BufferPool::new(
             Box::new(backend),
             opts.pool_pages,
@@ -146,6 +153,7 @@ impl Sbspace {
                 group_commit: opts.group_commit,
                 lm: LockManager::new(opts.lock_timeout, Arc::clone(&stats)),
                 stats,
+                metrics,
                 meta: Mutex::new(()),
                 txns: Mutex::new(HashMap::new()),
                 next_txn: AtomicU64::new(1),
@@ -261,6 +269,13 @@ impl Sbspace {
     /// The shared I/O counters.
     pub fn stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.inner.stats)
+    }
+
+    /// The engine-wide metrics registry. The `sbspace.*` counters are
+    /// pre-registered; callers add their own counters and histograms
+    /// next to them and diff [`Metrics::snapshot`]s for per-phase costs.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.inner.metrics)
     }
 
     /// Creates a new large object, exclusively locked by `txn`.
@@ -522,9 +537,12 @@ impl SpaceInner {
             // next recovery, as for any unfinished transaction).
             self.pool.discard_txn(txn);
             self.lm.release_all(txn);
+            IoStats::bump(&self.stats.txn_aborts);
             self.run_callbacks(txn, TxnEnd::Abort);
             return Err(e);
         }
+        // The commit record is durable — past the commit point.
+        IoStats::bump(&self.stats.txn_commits);
         // 2. Write the data pages. Group commit is no-force: the
         //    backend sync is deferred to the next checkpoint, since the
         //    durable redo images above repair any crash from here.
@@ -544,6 +562,9 @@ impl SpaceInner {
 
     pub(crate) fn abort_txn(&self, txn: TxnId) -> Result<()> {
         let state = self.txns.lock().remove(&txn.0).ok_or(SbError::TxnEnded)?;
+        // Counted up front: a failure while compensating below still
+        // ends the transaction as an abort.
+        IoStats::bump(&self.stats.txn_aborts);
         // 1. Drop uncommitted frames (no-steal: the backend is clean).
         self.pool.discard_txn(txn);
         // 2. Compensate allocations: the pages go back to the free list.

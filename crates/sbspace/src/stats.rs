@@ -1,7 +1,13 @@
 //! Shared I/O counters — the platform-independent cost metric of the
 //! benchmark harness.
+//!
+//! The counters are [`grt_metrics::Counter`] cells so the whole block
+//! can be adopted into an engine-wide [`grt_metrics::Metrics`] registry
+//! (see [`IoStats::register_in`]): the same cell is then visible both
+//! through the typed [`IoSnapshot`] and through the registry's named
+//! `sbspace.*` snapshot, with no double counting.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use grt_metrics::{Counter, Metrics};
 use std::sync::Arc;
 
 /// Monotone counters of logical and physical I/O, shared by handle.
@@ -14,34 +20,38 @@ use std::sync::Arc;
 #[derive(Debug, Default)]
 pub struct IoStats {
     /// Buffer-pool page read requests.
-    pub logical_reads: AtomicU64,
+    pub logical_reads: Counter,
     /// Buffer-pool page write requests.
-    pub logical_writes: AtomicU64,
+    pub logical_writes: Counter,
     /// Pages fetched from the backend (pool misses).
-    pub physical_reads: AtomicU64,
+    pub physical_reads: Counter,
     /// Pages flushed to the backend.
-    pub physical_writes: AtomicU64,
+    pub physical_writes: Counter,
     /// Large objects opened (the paper notes LO open/close can be
     /// time-consuming — the storage-granularity ablation counts them).
-    pub lo_opens: AtomicU64,
+    pub lo_opens: Counter,
     /// Lock waits that actually blocked.
-    pub lock_waits: AtomicU64,
+    pub lock_waits: Counter,
     /// Deadlocks detected (victim aborted).
-    pub deadlocks: AtomicU64,
+    pub deadlocks: Counter,
     /// Frames evicted by the clock sweep.
-    pub evictions: AtomicU64,
+    pub evictions: Counter,
     /// Times a shard overflowed its capacity because every frame was
     /// dirty or pinned (no-steal forbids eviction).
-    pub dirty_overflows: AtomicU64,
+    pub dirty_overflows: Counter,
     /// WAL flush groups written by a group-commit leader.
-    pub group_commits: AtomicU64,
+    pub group_commits: Counter,
     /// Zero-copy pinned page reads ([`crate::buffer::BufferPool::read_pinned`]).
     /// `logical_reads - pinned_reads` is the number of copying reads.
-    pub pinned_reads: AtomicU64,
+    pub pinned_reads: Counter,
     /// Durable WAL syncs.
-    pub wal_syncs: AtomicU64,
+    pub wal_syncs: Counter,
     /// Durable data-backend syncs.
-    pub data_syncs: AtomicU64,
+    pub data_syncs: Counter,
+    /// Transactions that reached their WAL commit point.
+    pub txn_commits: Counter,
+    /// Transactions aborted, whether explicitly or by a failed commit.
+    pub txn_aborts: Counter,
 }
 
 /// A point-in-time copy of the counters.
@@ -60,6 +70,8 @@ pub struct IoSnapshot {
     pub pinned_reads: u64,
     pub wal_syncs: u64,
     pub data_syncs: u64,
+    pub txn_commits: u64,
+    pub txn_aborts: u64,
 }
 
 impl IoStats {
@@ -71,25 +83,51 @@ impl IoStats {
     /// Takes a snapshot of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
-            logical_reads: self.logical_reads.load(Ordering::Relaxed),
-            logical_writes: self.logical_writes.load(Ordering::Relaxed),
-            physical_reads: self.physical_reads.load(Ordering::Relaxed),
-            physical_writes: self.physical_writes.load(Ordering::Relaxed),
-            lo_opens: self.lo_opens.load(Ordering::Relaxed),
-            lock_waits: self.lock_waits.load(Ordering::Relaxed),
-            deadlocks: self.deadlocks.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            dirty_overflows: self.dirty_overflows.load(Ordering::Relaxed),
-            group_commits: self.group_commits.load(Ordering::Relaxed),
-            pinned_reads: self.pinned_reads.load(Ordering::Relaxed),
-            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
-            data_syncs: self.data_syncs.load(Ordering::Relaxed),
+            logical_reads: self.logical_reads.get(),
+            logical_writes: self.logical_writes.get(),
+            physical_reads: self.physical_reads.get(),
+            physical_writes: self.physical_writes.get(),
+            lo_opens: self.lo_opens.get(),
+            lock_waits: self.lock_waits.get(),
+            deadlocks: self.deadlocks.get(),
+            evictions: self.evictions.get(),
+            dirty_overflows: self.dirty_overflows.get(),
+            group_commits: self.group_commits.get(),
+            pinned_reads: self.pinned_reads.get(),
+            wal_syncs: self.wal_syncs.get(),
+            data_syncs: self.data_syncs.get(),
+            txn_commits: self.txn_commits.get(),
+            txn_aborts: self.txn_aborts.get(),
+        }
+    }
+
+    /// Adopts every counter into `metrics` under `sbspace.*` names, so
+    /// the registry snapshot and [`IoSnapshot`] read the same cells.
+    pub fn register_in(&self, metrics: &Metrics) {
+        for (name, c) in [
+            ("sbspace.logical_reads", &self.logical_reads),
+            ("sbspace.logical_writes", &self.logical_writes),
+            ("sbspace.physical_reads", &self.physical_reads),
+            ("sbspace.physical_writes", &self.physical_writes),
+            ("sbspace.lo_opens", &self.lo_opens),
+            ("sbspace.lock_waits", &self.lock_waits),
+            ("sbspace.deadlocks", &self.deadlocks),
+            ("sbspace.evictions", &self.evictions),
+            ("sbspace.dirty_overflows", &self.dirty_overflows),
+            ("sbspace.group_commits", &self.group_commits),
+            ("sbspace.pinned_reads", &self.pinned_reads),
+            ("sbspace.wal_syncs", &self.wal_syncs),
+            ("sbspace.data_syncs", &self.data_syncs),
+            ("sbspace.txn_commits", &self.txn_commits),
+            ("sbspace.txn_aborts", &self.txn_aborts),
+        ] {
+            metrics.adopt_counter(name, c.clone());
         }
     }
 
     /// Adds one to a counter (internal convenience).
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn bump(counter: &Counter) {
+        counter.inc();
     }
 }
 
@@ -111,6 +149,8 @@ impl IoSnapshot {
             pinned_reads: self.pinned_reads - earlier.pinned_reads,
             wal_syncs: self.wal_syncs - earlier.wal_syncs,
             data_syncs: self.data_syncs - earlier.data_syncs,
+            txn_commits: self.txn_commits - earlier.txn_commits,
+            txn_aborts: self.txn_aborts - earlier.txn_aborts,
         }
     }
 
@@ -125,7 +165,7 @@ impl std::fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "lr={} lw={} pr={} pw={} opens={} waits={} dl={} ev={} ovf={} gc={} pin={} ws={} ds={}",
+            "lr={} lw={} pr={} pw={} opens={} waits={} dl={} ev={} ovf={} gc={} pin={} ws={} ds={} tc={} ta={}",
             self.logical_reads,
             self.logical_writes,
             self.physical_reads,
@@ -138,7 +178,9 @@ impl std::fmt::Display for IoSnapshot {
             self.group_commits,
             self.pinned_reads,
             self.wal_syncs,
-            self.data_syncs
+            self.data_syncs,
+            self.txn_commits,
+            self.txn_aborts
         )
     }
 }
@@ -157,6 +199,7 @@ mod tests {
         IoStats::bump(&s.evictions);
         IoStats::bump(&s.group_commits);
         IoStats::bump(&s.wal_syncs);
+        IoStats::bump(&s.txn_commits);
         let after = s.snapshot();
         let d = after.since(&before);
         assert_eq!(d.logical_reads, 2);
@@ -165,5 +208,24 @@ mod tests {
         assert_eq!(d.evictions, 1);
         assert_eq!(d.group_commits, 1);
         assert_eq!(d.total_syncs(), 1);
+        assert_eq!(d.txn_commits, 1);
+        assert_eq!(d.txn_aborts, 0);
+    }
+
+    #[test]
+    fn registry_adoption_shares_cells() {
+        let s = IoStats::new_shared();
+        let m = Metrics::new();
+        s.register_in(&m);
+        IoStats::bump(&s.logical_reads);
+        IoStats::bump(&s.txn_aborts);
+        let snap = m.snapshot();
+        assert_eq!(snap.get("sbspace.logical_reads"), 1);
+        assert_eq!(snap.get("sbspace.txn_aborts"), 1);
+        assert_eq!(snap.get("sbspace.evictions"), 0);
+        // Registering twice keeps the original cells.
+        s.register_in(&m);
+        IoStats::bump(&s.logical_reads);
+        assert_eq!(m.snapshot().get("sbspace.logical_reads"), 2);
     }
 }

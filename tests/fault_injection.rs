@@ -3,7 +3,9 @@
 //! both heap and GR-tree consistent.
 
 use grt_sbspace::wal::MemWal;
-use grt_sbspace::{FaultInjector, MemBackend, Sbspace, SbspaceOptions};
+use grt_sbspace::{
+    FaultInjector, IsolationLevel, LockMode, MemBackend, Sbspace, SbspaceOptions, PAGE_SIZE,
+};
 use grtree_datablade::blade::{install_grtree_blade, GrTreeAmOptions};
 use grtree_datablade::grtree::GrTreeOptions;
 use grtree_datablade::ids::Database;
@@ -86,4 +88,112 @@ fn io_fault_mid_statement_rolls_back_cleanly() {
         .unwrap();
     let after = conn.exec("SELECT id FROM t").unwrap().rows.len();
     assert_eq!(after, rows + 1);
+}
+
+/// Every counter in the unified registry must reconcile across a fault
+/// window: each auto-commit statement ends exactly one transaction (as
+/// a commit or an abort), statement errors are counted, and every
+/// failed statement traces back to at least one injected fault.
+#[test]
+fn metrics_reconcile_across_aborted_transactions() {
+    let (db, backend, clock) = faulty_db();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE t (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    conn.exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+    for i in 0..30i32 {
+        clock.set(Day(10_000 + i));
+        let (y, m, d) = Day(10_000 + i).to_ymd();
+        conn.exec(&format!(
+            "INSERT INTO t VALUES ({i}, '{m:02}/{d:02}/{y}, UC, {m:02}/{d:02}/{y}, NOW')"
+        ))
+        .unwrap();
+    }
+
+    let base = db.metrics_snapshot();
+    let injected_base = backend.injected();
+    backend.fail_after(10);
+    let statements = 20u64;
+    let mut failures = 0u64;
+    for i in 100..120i32 {
+        let (y, m, d) = Day(10_150).to_ymd();
+        if conn
+            .exec(&format!(
+                "INSERT INTO t VALUES ({i}, '{m:02}/{d:02}/{y}, UC, {m:02}/{d:02}/{y}, NOW')"
+            ))
+            .is_err()
+        {
+            failures += 1;
+        }
+    }
+    backend.heal();
+    let d = db.metrics_snapshot().since(&base);
+
+    assert!(failures > 0, "the injected fault must surface");
+    assert_eq!(d.get("ids.statements"), statements);
+    assert_eq!(d.get("ids.statement_errors"), failures);
+    // Exactly one transaction outcome per auto-commit statement. A
+    // statement failing after its commit record became durable counts
+    // as a commit plus a statement error, so aborts can undercount
+    // failures but commits + aborts never drift from the statements.
+    assert_eq!(
+        d.get("sbspace.txn_commits") + d.get("sbspace.txn_aborts"),
+        statements,
+        "transaction outcomes drifted from statements: {d}"
+    );
+    assert!(d.get("sbspace.txn_aborts") <= failures);
+    assert!(d.get("sbspace.txn_commits") >= statements - failures);
+    // The failures trace back to the injector (one injected fault can
+    // cascade into several statement failures, so no exact equality).
+    let injected = backend.injected() - injected_base;
+    assert!(injected > 0, "statements failed without an injected fault");
+}
+
+/// A rolled-back write is counted once. An abort does pay a fixed
+/// compensation cost (freed pages go back to the free list), but it
+/// must be exactly that: identical aborted transactions yield identical
+/// counter deltas, and a commit costs the same whether or not aborts
+/// ran in between — nothing leaks or double-counts across rollback.
+#[test]
+fn rollback_does_not_double_count_writes() {
+    let (db, _backend, _clock) = faulty_db();
+    let sb = db.space();
+
+    let measure = |commit: bool| -> (u64, u64) {
+        let before = db.metrics_snapshot();
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        h.append_page(&[7u8; PAGE_SIZE]).unwrap();
+        h.close().unwrap();
+        if commit {
+            txn.commit().unwrap();
+        } else {
+            txn.abort().unwrap();
+        }
+        let d = db.metrics_snapshot().since(&before);
+        (d.get("sbspace.logical_writes"), d.get("sbspace.txn_aborts"))
+    };
+
+    let (commit_before, ca) = measure(true);
+    let (abort_first, aa1) = measure(false);
+    let (abort_second, aa2) = measure(false);
+    let (commit_after, cb) = measure(true);
+    assert_eq!((ca, cb), (0, 0));
+    assert_eq!((aa1, aa2), (1, 1), "each rollback is counted exactly once");
+    assert_eq!(
+        abort_first, abort_second,
+        "identical aborted transactions logged different write counts"
+    );
+    assert_eq!(
+        commit_before, commit_after,
+        "a commit after rollbacks costs more than one before — aborted \
+         work leaked into the write counters"
+    );
+    assert!(
+        abort_first < 2 * commit_before,
+        "abort compensation rewrote the transaction's own writes: \
+         {abort_first} vs {commit_before} committed"
+    );
 }

@@ -1,0 +1,88 @@
+//! Trace-driven regression test for the Figure 6 call sequences: with
+//! the `"AM"` trace class enabled, `CREATE INDEX` over a populated
+//! table followed by one index probe must emit exactly the golden
+//! purpose-function sequence. Any drift in how the engine drives the
+//! virtual-index interface shows up as a diff against the golden file
+//! (regenerate deliberately with `UPDATE_GOLDEN=1`).
+
+use grtree_datablade::blade::{install_grtree_blade, GrTreeAmOptions};
+use grtree_datablade::ids::{Database, DatabaseOptions};
+use grtree_datablade::temporal::{Day, MockClock};
+use std::sync::Arc;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/figure6_am.txt");
+
+#[test]
+fn create_index_and_probe_match_golden_am_sequence() {
+    let clock = MockClock::new(Day(10_000));
+    let db = Database::new(DatabaseOptions {
+        clock: Arc::new(clock.clone()),
+        ..Default::default()
+    });
+    // Default tree fanout: the whole index stays a few pages, so the
+    // planner's `height + pages/4` estimate beats the sequential scan
+    // and the probe exercises the Figure 6(b) sequence.
+    install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE t (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    // Preloaded rows, so CREATE INDEX walks the heap and inserts every
+    // existing row through the purpose functions (Figure 6a), and so
+    // the planner later picks the index over a sequential scan.
+    for i in 0..40i32 {
+        clock.set(Day(10_000 + i));
+        let (y, m, d) = Day(10_000 + i).to_ymd();
+        conn.exec(&format!(
+            "INSERT INTO t VALUES ({i}, '{m:02}/{d:02}/{y}, UC, {m:02}/{d:02}/{y}, NOW')"
+        ))
+        .unwrap();
+    }
+
+    conn.exec("SET TRACE ON 'AM'").unwrap();
+    conn.exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+    conn.exec(
+        "SELECT id FROM t WHERE Overlaps(Time_Extent, \
+         '01/01/1997, UC, 01/01/1997, NOW')",
+    )
+    .unwrap();
+    conn.exec("SET TRACE OFF").unwrap();
+
+    let events: Vec<_> = db
+        .trace()
+        .events_for(conn.session().id())
+        .into_iter()
+        .filter(|e| e.class == "AM")
+        .collect();
+
+    // The two statements are distinct spans: every event carries one of
+    // exactly two non-zero span ids, in two contiguous runs.
+    let spans: Vec<u64> = events.iter().map(|e| e.span).collect();
+    let mut distinct = spans.clone();
+    distinct.dedup();
+    assert_eq!(distinct.len(), 2, "expected two statement spans: {spans:?}");
+    assert!(distinct.iter().all(|&s| s != 0));
+
+    let got: String = events
+        .iter()
+        .map(|e| e.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .expect("golden file missing — regenerate with UPDATE_GOLDEN=1");
+    // The probe must actually have used the index, or the golden
+    // sequence is not the Figure 6(b) one.
+    assert!(
+        want.contains("grt_beginscan"),
+        "golden trace does not contain an index scan"
+    );
+    assert_eq!(
+        got, want,
+        "AM call sequence drifted from the golden Figure 6 trace \
+         (UPDATE_GOLDEN=1 regenerates after a deliberate change)"
+    );
+}
