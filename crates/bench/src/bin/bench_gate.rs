@@ -1,12 +1,15 @@
 //! CI perf-regression gate:
 //!
 //! ```text
-//! bench_gate <baseline.json> <candidate.json> [--tolerance 0.25]
+//! bench_gate <baseline.json> <candidate.json> [--tolerance 0.25] [--throughput]
 //! ```
 //!
-//! Compares `ns_per_read` for every `(config, threads)` pair present in
-//! both reports and exits non-zero when the candidate is more than
-//! `tolerance` slower on any of them.
+//! Default mode compares `ns_per_read` for every `(config, threads)`
+//! pair present in both reports (lower is better) and exits non-zero
+//! when the candidate is more than `tolerance` slower on any of them.
+//! With `--throughput` it compares `stmt_per_sec` for every
+//! `(config, sessions)` pair instead (higher is better) and fails when
+//! the candidate falls more than `tolerance` below the baseline.
 
 use grt_bench::gate;
 
@@ -14,6 +17,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut tolerance = 0.25f64;
+    let mut throughput = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--tolerance" {
@@ -21,6 +25,8 @@ fn main() {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| usage("--tolerance needs a number"));
+        } else if a == "--throughput" {
+            throughput = true;
         } else {
             files.push(a.clone());
         }
@@ -35,34 +41,65 @@ fn main() {
             std::process::exit(2);
         })
     };
-    let baseline = gate::parse_read_rates(&read(baseline_path));
-    let candidate = gate::parse_read_rates(&read(candidate_path));
+    let parse = if throughput {
+        gate::parse_throughputs
+    } else {
+        gate::parse_read_rates
+    };
+    let baseline = parse(&read(baseline_path));
+    let candidate = parse(&read(candidate_path));
     let comparisons = gate::compare(&baseline, &candidate);
     if comparisons.is_empty() {
-        eprintln!("bench_gate: no shared (config, threads) pairs between the reports");
+        let key = if throughput {
+            "(config, sessions)"
+        } else {
+            "(config, threads)"
+        };
+        eprintln!("bench_gate: no shared {key} pairs between the reports");
         std::process::exit(2);
     }
 
     let mut failed = false;
     for c in &comparisons {
-        let verdict = if c.regressed(tolerance) {
+        let regressed = if throughput {
+            c.regressed_throughput(tolerance)
+        } else {
+            c.regressed(tolerance)
+        };
+        let verdict = if regressed {
             failed = true;
             "REGRESSED"
         } else {
             "ok"
         };
-        println!(
-            "{:<16} {} reader(s): baseline {:8.1} ns/read, candidate {:8.1} ns/read ({:+.1}%)  {verdict}",
-            c.config,
-            c.threads,
-            c.baseline_ns,
-            c.candidate_ns,
-            (c.ratio - 1.0) * 100.0,
-        );
+        if throughput {
+            println!(
+                "{:<20} {} session(s): baseline {:9.1} stmt/s, candidate {:9.1} stmt/s ({:+.1}%)  {verdict}",
+                c.config,
+                c.threads,
+                c.baseline_ns,
+                c.candidate_ns,
+                (c.ratio - 1.0) * 100.0,
+            );
+        } else {
+            println!(
+                "{:<16} {} reader(s): baseline {:8.1} ns/read, candidate {:8.1} ns/read ({:+.1}%)  {verdict}",
+                c.config,
+                c.threads,
+                c.baseline_ns,
+                c.candidate_ns,
+                (c.ratio - 1.0) * 100.0,
+            );
+        }
     }
     if failed {
+        let what = if throughput {
+            "throughput"
+        } else {
+            "read latency"
+        };
         eprintln!(
-            "bench_gate: read latency regressed more than {:.0}% — see lines above",
+            "bench_gate: {what} regressed more than {:.0}% — see lines above",
             tolerance * 100.0
         );
         std::process::exit(1);
@@ -72,6 +109,8 @@ fn main() {
 
 fn usage(err: &str) -> ! {
     eprintln!("bench_gate: {err}");
-    eprintln!("usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.25]");
+    eprintln!(
+        "usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.25] [--throughput]"
+    );
     std::process::exit(2);
 }

@@ -1,0 +1,270 @@
+//! Multi-session throughput benchmark: client statements per second as
+//! the session count grows, under the engine's lock manager, victim
+//! aborts, and automatic statement retry.
+//!
+//! ```text
+//! cargo run --release -p grt-bench --bin sessions [-- --quick]
+//! ```
+//!
+//! Emits `BENCH_concurrency.json` in the working directory (with
+//! `--quick`: fewer operations and session counts, written to
+//! `BENCH_concurrency_quick.json` for the CI `bench_gate
+//! --throughput`). Two configurations:
+//!
+//! * `read_committed`: every session at the default READ COMMITTED
+//!   level — writers contend on exclusive LO locks but readers release
+//!   at close, so deadlocks are rare and throughput tracks raw engine
+//!   overhead;
+//! * `repeatable_read_mix`: half the sessions SET ISOLATION TO
+//!   REPEATABLE READ, whose UPDATEs perform the shared→exclusive
+//!   upgrade that manufactures deadlock cycles. Throughput here prices
+//!   the victim-abort + backoff + retry machinery, and the report
+//!   records how many deadlocks and retries the run absorbed.
+//!
+//! Each `(config, sessions)` pair runs on a fresh in-memory database so
+//! tree growth from one measurement never bleeds into the next; the
+//! best of `reps` repetitions is reported.
+
+use grt_bench::CostTrailer;
+use grt_blade::{install_grtree_blade, GrTreeAmOptions};
+use grt_ids::{Database, DatabaseOptions, IdsError};
+use grt_sbspace::{SbError, SbspaceOptions};
+use grt_temporal::{Day, MockClock};
+use std::fmt::Write as _;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+struct Config {
+    name: &'static str,
+    /// Fraction of sessions (numerator over 2) running REPEATABLE READ.
+    rr_half: bool,
+}
+
+const CONFIGS: [Config; 2] = [
+    Config {
+        name: "read_committed",
+        rr_half: false,
+    },
+    Config {
+        name: "repeatable_read_mix",
+        rr_half: true,
+    },
+];
+
+/// Extents spread over 1997 so updates and scans overlap heavily.
+const EXTENTS: [&str; 4] = [
+    "05/18/1997, UC, 05/18/1997, NOW",
+    "03/01/1997, UC, 03/01/1997, 09/30/1997",
+    "06/10/1997, UC, 06/10/1997, NOW",
+    "01/05/1997, UC, 01/05/1997, 12/20/1997",
+];
+
+const QUERY: &str = "Overlaps(Time_Extent, '01/01/1997, UC, 01/01/1997, NOW')";
+
+/// Deterministic xorshift64* — keeps run-to-run workloads identical.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn fresh_db() -> Database {
+    let db = Database::new(DatabaseOptions {
+        space: SbspaceOptions {
+            pool_pages: 2048,
+            lock_timeout: Duration::from_millis(2_000),
+            ..Default::default()
+        },
+        clock: Arc::new(MockClock::new(Day(10_100))),
+        deadlock_retries: 10,
+        retry_backoff: Duration::from_millis(1),
+    });
+    install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
+    let setup = db.connect();
+    setup
+        .exec("CREATE TABLE t (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    setup
+        .exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+    // Seed rows give scans and cross-session updates something to hit
+    // from the first operation.
+    for i in 0..32u64 {
+        let e = EXTENTS[(i % 4) as usize];
+        setup
+            .exec(&format!("INSERT INTO t VALUES ({}, '{e}')", 9_000_000 + i))
+            .unwrap();
+    }
+    db
+}
+
+struct Measured {
+    stmt_per_sec: f64,
+    statements: u64,
+    deadlocks: u64,
+    retries: u64,
+    diff: grt_metrics::MetricsSnapshot,
+}
+
+/// `sessions` workers each issue `ops` mixed statements; returns the
+/// client-statement throughput and the contention counters the run
+/// absorbed. Statements lost to lock timeouts still count as issued —
+/// the client waited for them either way.
+fn run(db: &Database, sessions: usize, ops: usize, rr_half: bool) -> Measured {
+    let conns: Vec<_> = (0..sessions)
+        .map(|i| {
+            let conn = db.connect();
+            if rr_half && i % 2 == 1 {
+                conn.exec("SET ISOLATION TO REPEATABLE READ").unwrap();
+            }
+            conn
+        })
+        .collect();
+    let before = db.metrics_snapshot();
+    let barrier = Arc::new(Barrier::new(sessions + 1));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (w, conn) in conns.iter().enumerate() {
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                let mut rng = Rng(0x9e37_79b9 + w as u64);
+                let mut my_ids: Vec<u64> = Vec::new();
+                barrier.wait();
+                for op in 0..ops {
+                    let r = match rng.below(10) {
+                        0..=3 => {
+                            let id = w as u64 * 1_000_000 + op as u64;
+                            let e = EXTENTS[rng.below(4) as usize];
+                            let r = conn.exec(&format!("INSERT INTO t VALUES ({id}, '{e}')"));
+                            if r.is_ok() {
+                                my_ids.push(id);
+                            }
+                            r
+                        }
+                        4..=5 if !my_ids.is_empty() => {
+                            let id = my_ids[rng.below(my_ids.len() as u64) as usize];
+                            let e = EXTENTS[rng.below(4) as usize];
+                            conn.exec(&format!("UPDATE t SET Time_Extent = '{e}' WHERE id = {id}"))
+                        }
+                        6..=7 if !my_ids.is_empty() => {
+                            let i = rng.below(my_ids.len() as u64) as usize;
+                            let r = conn.exec(&format!("DELETE FROM t WHERE id = {}", my_ids[i]));
+                            if r.is_ok() {
+                                my_ids.swap_remove(i);
+                            }
+                            r
+                        }
+                        _ => conn.exec(&format!("SELECT id FROM t WHERE {QUERY}")),
+                    };
+                    match r {
+                        Ok(_)
+                        | Err(IdsError::Storage(
+                            SbError::LockTimeout(_) | SbError::Deadlock(_),
+                        )) => {}
+                        Err(other) => panic!("session {w}: unexpected error {other}"),
+                    }
+                }
+            });
+        }
+        barrier.wait();
+    });
+    let elapsed = start.elapsed();
+    let issued = (sessions * ops) as u64;
+    let diff = db.metrics_snapshot().since(&before);
+    Measured {
+        stmt_per_sec: issued as f64 / elapsed.as_secs_f64(),
+        statements: issued,
+        deadlocks: diff.get("lock.deadlocks"),
+        retries: diff.get("stmt.retries"),
+        diff,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Quick keeps a subset of the full run's session counts so the CI
+    // gate always finds shared (config, sessions) pairs to compare.
+    let (session_counts, ops, reps, out_file): (&[usize], usize, usize, &str) = if quick {
+        (&[1, 4], 60, 2, "BENCH_concurrency_quick.json")
+    } else {
+        (&[1, 2, 4, 8], 200, 3, "BENCH_concurrency.json")
+    };
+
+    let mut json = String::from("{\n");
+    let mut summary: Vec<String> = Vec::new();
+    for (ci, cfg) in CONFIGS.iter().enumerate() {
+        println!(
+            "== {} ({}) ==",
+            cfg.name,
+            if cfg.rr_half {
+                "half the sessions REPEATABLE READ"
+            } else {
+                "all sessions READ COMMITTED"
+            }
+        );
+        let mut rows = Vec::new();
+        for &n in session_counts {
+            let mut best: Option<Measured> = None;
+            for _ in 0..reps {
+                // A fresh database per repetition: tree growth and
+                // logically-deleted versions never accumulate across
+                // measurements.
+                let db = fresh_db();
+                let m = run(&db, n, ops, cfg.rr_half);
+                assert!(
+                    db.space().locks_quiescent(),
+                    "bench leaked locks at {n} sessions"
+                );
+                if best
+                    .as_ref()
+                    .is_none_or(|b| m.stmt_per_sec > b.stmt_per_sec)
+                {
+                    best = Some(m);
+                }
+            }
+            let m = best.unwrap();
+            println!(
+                "  {n} session(s): {:9.1} stmt/s  ({} statements, {} deadlocks, {} retries)",
+                m.stmt_per_sec, m.statements, m.deadlocks, m.retries
+            );
+            println!("{}", CostTrailer::line(&format!("sessions n={n}"), &m.diff));
+            rows.push(format!(
+                "      {{\"sessions\": {n}, \"stmt_per_sec\": {:.1}, \"statements\": {}, \
+                 \"deadlocks\": {}, \"retries\": {}}}",
+                m.stmt_per_sec, m.statements, m.deadlocks, m.retries
+            ));
+            if n == *session_counts.last().unwrap() {
+                summary.push(format!(
+                    "{}: {n}-session {:.1} stmt/s, {} deadlocks, {} retries",
+                    cfg.name, m.stmt_per_sec, m.deadlocks, m.retries
+                ));
+            }
+        }
+        let _ = write!(
+            json,
+            "  \"{}\": {{\n    \"rr_sessions\": \"{}\",\n    \"sessions\": [\n{}\n    ]\n  }}{}\n",
+            cfg.name,
+            if cfg.rr_half { "half" } else { "none" },
+            rows.join(",\n"),
+            if ci + 1 < CONFIGS.len() { "," } else { "" }
+        );
+    }
+    json.push('}');
+    json.push('\n');
+    std::fs::write(out_file, &json).unwrap();
+    println!("\nwrote {out_file}");
+    for line in summary {
+        println!("  {line}");
+    }
+}

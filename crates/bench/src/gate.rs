@@ -1,11 +1,13 @@
-//! The perf-regression gate over `BENCH_bufferpool.json` files.
+//! The perf-regression gate over checked-in bench reports.
 //!
-//! Reads the `ns_per_read` figures of a checked-in baseline and a fresh
-//! candidate run and fails when any shared `(config, threads)` pair
-//! regressed beyond the tolerance. The parser handles exactly the JSON
-//! the `bufferpool` binary writes — a deliberate choice over a vendored
-//! JSON dependency, since both sides of the comparison come from the
-//! same writer.
+//! Reads the figures of a checked-in baseline and a fresh candidate run
+//! and fails when any shared `(config, N)` pair regressed beyond the
+//! tolerance — `ns_per_read` latencies from `BENCH_bufferpool.json`
+//! (lower is better) and `stmt_per_sec` throughputs from
+//! `BENCH_concurrency.json` (higher is better). The parser handles
+//! exactly the JSON the bench binaries write — a deliberate choice over
+//! a vendored JSON dependency, since both sides of the comparison come
+//! from the same writer.
 
 use std::collections::BTreeMap;
 
@@ -35,6 +37,29 @@ pub fn parse_read_rates(json: &str) -> ReadRates {
     out
 }
 
+/// Extracts every `stmt_per_sec` figure from a concurrency bench
+/// report, keyed by `(config, sessions)`.
+pub fn parse_throughputs(json: &str) -> ReadRates {
+    let mut out = ReadRates::new();
+    let mut config = String::new();
+    for line in json.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix('"') {
+            if let Some((name, tail)) = rest.split_once('"') {
+                if tail.trim() == ": {" {
+                    config = name.to_string();
+                    continue;
+                }
+            }
+        }
+        let (Some(sessions), Some(tps)) = (field(t, "sessions"), field(t, "stmt_per_sec")) else {
+            continue;
+        };
+        out.insert((config.clone(), sessions as u64), tps);
+    }
+    out
+}
+
 /// The numeric value of `"key": <num>` inside a one-line JSON object.
 fn field(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
@@ -54,13 +79,22 @@ pub struct Comparison {
     pub threads: u64,
     pub baseline_ns: f64,
     pub candidate_ns: f64,
-    /// `candidate / baseline`; > 1 means slower.
+    /// `candidate / baseline`; > 1 means slower for a latency metric,
+    /// faster for a throughput metric.
     pub ratio: f64,
 }
 
 impl Comparison {
+    /// Lower-is-better metric (latency): regressed when the candidate
+    /// is more than `tolerance` above the baseline.
     pub fn regressed(&self, tolerance: f64) -> bool {
         self.ratio > 1.0 + tolerance
+    }
+
+    /// Higher-is-better metric (throughput): regressed when the
+    /// candidate is more than `tolerance` below the baseline.
+    pub fn regressed_throughput(&self, tolerance: f64) -> bool {
+        self.ratio < 1.0 - tolerance
     }
 }
 
@@ -125,6 +159,52 @@ mod tests {
         assert_eq!(
             (bad[0].config.as_str(), bad[0].threads),
             ("sharded+group", 4)
+        );
+    }
+
+    const THROUGHPUT_REPORT: &str = r#"{
+  "read_committed": {
+    "isolation": "read committed",
+    "sessions": [
+      {"sessions": 1, "stmt_per_sec": 5000.0, "statements": 400, "deadlocks": 0, "retries": 0},
+      {"sessions": 4, "stmt_per_sec": 9000.0, "statements": 1600, "deadlocks": 2, "retries": 2}
+    ]
+  },
+  "repeatable_read_mix": {
+    "sessions": [
+      {"sessions": 4, "stmt_per_sec": 6000.0, "statements": 1600, "deadlocks": 9, "retries": 9}
+    ]
+  }
+}
+"#;
+
+    #[test]
+    fn parses_throughput_pairs() {
+        let tps = parse_throughputs(THROUGHPUT_REPORT);
+        assert_eq!(tps.len(), 3);
+        assert_eq!(tps[&("read_committed".to_string(), 4)], 9000.0);
+        assert_eq!(tps[&("repeatable_read_mix".to_string(), 4)], 6000.0);
+    }
+
+    #[test]
+    fn throughput_regression_is_directional() {
+        let base = parse_throughputs(THROUGHPUT_REPORT);
+        let mut cand = base.clone();
+        // Faster is never a regression, even far outside the band.
+        cand.insert(("read_committed".to_string(), 1), 20_000.0);
+        // 20% slower: inside a 25% tolerance.
+        cand.insert(("read_committed".to_string(), 4), 7200.0);
+        // 40% slower: out.
+        cand.insert(("repeatable_read_mix".to_string(), 4), 3600.0);
+        let cmp = compare(&base, &cand);
+        let bad: Vec<_> = cmp
+            .iter()
+            .filter(|c| c.regressed_throughput(0.25))
+            .collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(
+            (bad[0].config.as_str(), bad[0].threads),
+            ("repeatable_read_mix", 4)
         );
     }
 

@@ -116,4 +116,91 @@ mod tests {
             Day(107)
         );
     }
+
+    use grt_ids::{Database, DatabaseOptions, IdsError, Value};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// A database with a probe UDR that resolves the current time under
+    /// `policy`, logs it, and — on its very first call only — advances
+    /// the clock by 5 days and fails as an injected deadlock victim, so
+    /// the engine's automatic retry re-runs the statement with the
+    /// clock visibly moved.
+    fn db_with_failing_probe(
+        policy: CurrentTimePolicy,
+    ) -> (Database, MockClock, Arc<Mutex<Vec<Day>>>) {
+        let clock = MockClock::new(Day(100));
+        let db = Database::new(DatabaseOptions {
+            clock: std::sync::Arc::new(clock.clone()),
+            retry_backoff: std::time::Duration::ZERO,
+            ..Default::default()
+        });
+        let log: Arc<Mutex<Vec<Day>>> = Arc::new(Mutex::new(Vec::new()));
+        let failed = Arc::new(AtomicBool::new(false));
+        {
+            let log = Arc::clone(&log);
+            let failed = Arc::clone(&failed);
+            let clock = clock.clone();
+            db.install_symbol(
+                "usr/probe.bld(ct_probe)",
+                Arc::new(move |_args: &[Value], ctx: &grt_ids::AmContext| {
+                    let ct = resolve_current_time(policy, ctx);
+                    log.lock().unwrap().push(ct);
+                    if !failed.swap(true, Ordering::SeqCst) {
+                        clock.advance(5);
+                        return Err(IdsError::Storage(grt_sbspace::SbError::Deadlock(
+                            "injected victim".into(),
+                        )));
+                    }
+                    Ok(Value::Bool(true))
+                }),
+            );
+        }
+        let conn = db.connect();
+        conn.exec(
+            "CREATE FUNCTION CtProbe(integer) RETURNING boolean \
+             EXTERNAL NAME 'usr/probe.bld(ct_probe)' LANGUAGE c",
+        )
+        .unwrap();
+        conn.exec("CREATE TABLE t (n integer)").unwrap();
+        conn.exec("INSERT INTO t VALUES (1)").unwrap();
+        (db, clock, log)
+    }
+
+    #[test]
+    fn retried_statement_re_resolves_per_statement_time() {
+        let (db, _clock, log) = db_with_failing_probe(CurrentTimePolicy::PerStatement);
+        let conn = db.connect();
+        let before = db.metrics_snapshot();
+        let r = conn.exec("SELECT n FROM t WHERE CtProbe(n)").unwrap();
+        assert_eq!(r.rows.len(), 1, "victim statement succeeded on retry");
+        let d = db.metrics_snapshot().since(&before);
+        assert_eq!(d.get("stmt.retries"), 1);
+        // The first attempt sampled day 100; the abort freed the
+        // per-statement cell, so the retry sampled the moved clock.
+        assert_eq!(*log.lock().unwrap(), vec![Day(100), Day(105)]);
+    }
+
+    #[test]
+    fn retried_statement_keeps_per_transaction_time() {
+        let (db, _clock, log) = db_with_failing_probe(CurrentTimePolicy::PerTransaction);
+        let conn = db.connect();
+        let before = db.metrics_snapshot();
+        let r = conn.exec("SELECT n FROM t WHERE CtProbe(n)").unwrap();
+        assert_eq!(r.rows.len(), 1, "victim statement succeeded on retry");
+        assert_eq!(db.metrics_snapshot().since(&before).get("stmt.retries"), 1);
+        // Section 5.4: the transaction's current time stands still —
+        // the retry is the *same* unit of work to the client, so the
+        // preserved per-transaction value rides across the victim
+        // abort and the retry sees day 100 again.
+        assert_eq!(*log.lock().unwrap(), vec![Day(100), Day(100)]);
+        // Once the retried statement commits, the transaction-end
+        // callback frees the cell: the next statement samples afresh.
+        conn.exec("SELECT n FROM t WHERE CtProbe(n)").unwrap();
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec![Day(100), Day(100), Day(105)],
+            "per-transaction time leaked past the transaction"
+        );
+    }
 }

@@ -10,6 +10,7 @@ use crate::entry::{GrNode, InternalEntry, LeafEntry};
 use crate::tree::GrTree;
 use crate::Result;
 use grt_temporal::{Day, Predicate, Region, TimeExtent, VtEnd};
+use std::collections::HashSet;
 
 enum FrameEntries {
     Leaf(Vec<LeafEntry>),
@@ -30,6 +31,13 @@ pub struct GrCursor {
     root: u32,
     stack: Vec<Frame>,
     primed: bool,
+    /// Entries already returned by this cursor, keyed by rowid plus
+    /// encoded extent (an update gives the same rowid a new extent and
+    /// that counts as a new entry). Survives [`GrCursor::restart`]: a
+    /// Section 5.5 restart re-walks the condensed tree from the root,
+    /// and without this memory it would re-return every row emitted
+    /// before the condense.
+    emitted: HashSet<(u64, [u8; 16])>,
 }
 
 impl GrCursor {
@@ -42,6 +50,7 @@ impl GrCursor {
             root,
             stack: Vec::new(),
             primed: false,
+            emitted: HashSet::new(),
         }
     }
 
@@ -62,7 +71,9 @@ impl GrCursor {
 
     /// Resets the scan to the beginning (used after tree condensation —
     /// the paper's Section 5.5 restart rule). The captured current time
-    /// is kept: the statement's time does not change mid-scan.
+    /// is kept: the statement's time does not change mid-scan. The
+    /// emitted-row memory is also kept, so rows returned before the
+    /// restart are not returned again by the re-walk.
     pub(crate) fn restart(&mut self, root: u32) {
         self.root = root;
         self.stack.clear();
@@ -102,6 +113,7 @@ impl GrCursor {
                     if self
                         .pred
                         .eval_regions(&e.extent.region(self.ct), &self.query_region)
+                        && self.emitted.insert((e.rowid, e.extent.encode_array()))
                     {
                         return Ok(Some((e.extent, e.rowid)));
                     }

@@ -14,12 +14,15 @@ use crate::value::{DataType, Value};
 use crate::vii::{AccessMethod, AmContext, IndexDescriptor, RowId, ScanDescriptor};
 use crate::{IdsError, Result};
 use grt_metrics::{Counter, Histogram, Metrics, MetricsSnapshot};
-use grt_sbspace::{IsolationLevel, LoHandle, LockMode, Sbspace, SbspaceOptions, Txn, TxnEnd};
+use grt_sbspace::{
+    IsolationLevel, LoHandle, LockMode, SbError, Sbspace, SbspaceOptions, Txn, TxnEnd,
+};
 use grt_temporal::{Clock, MockClock};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Engine construction options.
 pub struct DatabaseOptions {
@@ -27,6 +30,16 @@ pub struct DatabaseOptions {
     pub space: SbspaceOptions,
     /// The server clock (a deterministic [`MockClock`] by default).
     pub clock: Arc<dyn Clock>,
+    /// How many times [`Connection::exec`] automatically retries an
+    /// auto-commit statement whose transaction was aborted as a
+    /// deadlock (or lock-timeout) victim. Zero surfaces the error on
+    /// the first occurrence. Statements inside an explicit
+    /// `BEGIN WORK` block are never retried — the whole transaction is
+    /// rolled back and the error surfaced to the client.
+    pub deadlock_retries: u32,
+    /// Backoff slept before the first retry; it doubles on every
+    /// further attempt (bounded exponential backoff).
+    pub retry_backoff: Duration,
 }
 
 impl Default for DatabaseOptions {
@@ -34,6 +47,8 @@ impl Default for DatabaseOptions {
         DatabaseOptions {
             space: SbspaceOptions::default(),
             clock: Arc::new(MockClock::default()),
+            deadlock_retries: 4,
+            retry_backoff: Duration::from_millis(2),
         }
     }
 }
@@ -43,6 +58,7 @@ impl Default for DatabaseOptions {
 pub(crate) struct EngineCounters {
     pub statements: Counter,
     pub statement_errors: Counter,
+    pub stmt_retries: Counter,
     pub plans_index: Counter,
     pub plans_seq: Counter,
     pub udr_calls: Counter,
@@ -72,6 +88,7 @@ impl EngineCounters {
         EngineCounters {
             statements: metrics.counter("ids.statements"),
             statement_errors: metrics.counter("ids.statement_errors"),
+            stmt_retries: metrics.counter("stmt.retries"),
             plans_index: metrics.counter("ids.plans_index"),
             plans_seq: metrics.counter("ids.plans_seq"),
             udr_calls: metrics.counter("ids.udr_calls"),
@@ -99,6 +116,11 @@ pub(crate) struct DbInner {
     pub counters: EngineCounters,
     /// Wall-clock statement latency.
     pub exec_ns: Histogram,
+    /// Automatic retry budget for deadlock-victim auto-commit
+    /// statements ([`DatabaseOptions::deadlock_retries`]).
+    deadlock_retries: u32,
+    /// Initial retry backoff, doubled per attempt.
+    retry_backoff: Duration,
     next_session: AtomicU64,
     /// Statement span ids, unique across sessions.
     next_span: AtomicU64,
@@ -122,6 +144,14 @@ pub struct Connection {
     /// Span id of the statement currently executing (0 between
     /// statements); stamped on trace events emitted on its behalf.
     span: AtomicU64,
+    /// Set when a statement failed inside an explicit transaction: the
+    /// transaction was rolled back (victim abort — all locks released)
+    /// and every further statement is refused until the client
+    /// acknowledges with `ROLLBACK WORK` (or `COMMIT WORK`, which
+    /// reports the rollback). Without this flag, statements after the
+    /// error would silently run outside the transaction the client
+    /// believes is still open.
+    aborted: AtomicBool,
 }
 
 /// The result of one statement.
@@ -141,11 +171,27 @@ impl Database {
     /// Boots a database over an in-memory sbspace.
     pub fn new(opts: DatabaseOptions) -> Database {
         let space = Sbspace::mem(opts.space);
-        Self::with_space(space, opts.clock)
+        Self::boot(space, opts.clock, opts.deadlock_retries, opts.retry_backoff)
     }
 
-    /// Boots a database over an existing sbspace (e.g. file-backed).
+    /// Boots a database over an existing sbspace (e.g. file-backed),
+    /// with the default retry policy.
     pub fn with_space(space: Sbspace, clock: Arc<dyn Clock>) -> Database {
+        let defaults = DatabaseOptions::default();
+        Self::boot(
+            space,
+            clock,
+            defaults.deadlock_retries,
+            defaults.retry_backoff,
+        )
+    }
+
+    fn boot(
+        space: Sbspace,
+        clock: Arc<dyn Clock>,
+        deadlock_retries: u32,
+        retry_backoff: Duration,
+    ) -> Database {
         let txn_sessions: Arc<Mutex<HashMap<u64, Arc<Session>>>> =
             Arc::new(Mutex::new(HashMap::new()));
         let cb_map = Arc::clone(&txn_sessions);
@@ -159,6 +205,11 @@ impl Database {
         let metrics = space.metrics();
         let trace = TraceSink::new();
         metrics.adopt_counter("trace.dropped", trace.dropped_counter());
+        // Alias the storage lock counters under the engine-facing
+        // `lock.*` names (same cells — no double counting).
+        let io = space.stats();
+        metrics.adopt_counter("lock.waits", io.lock_waits.clone());
+        metrics.adopt_counter("lock.deadlocks", io.deadlocks.clone());
         let counters = EngineCounters::registered(&metrics);
         let exec_ns = metrics.histogram("ids.exec_ns");
         Database {
@@ -174,6 +225,8 @@ impl Database {
                 metrics,
                 counters,
                 exec_ns,
+                deadlock_retries,
+                retry_backoff,
                 next_session: AtomicU64::new(1),
                 next_span: AtomicU64::new(1),
                 txn_sessions,
@@ -190,6 +243,7 @@ impl Database {
             txn: Mutex::new(None),
             iso: Mutex::new(IsolationLevel::ReadCommitted),
             span: AtomicU64::new(0),
+            aborted: AtomicBool::new(false),
         }
     }
 
@@ -358,21 +412,69 @@ impl Connection {
     }
 
     /// Executes one SQL statement.
+    ///
+    /// An auto-commit statement whose transaction is aborted as a
+    /// deadlock (or lock-timeout) victim is retried here automatically,
+    /// up to [`DatabaseOptions::deadlock_retries`] times with bounded
+    /// exponential backoff. Each attempt runs in a fresh transaction;
+    /// per-statement named memory is cleared between attempts (the
+    /// Section 5.4 `PerStatement` current time re-resolves) while
+    /// preserved `PerTransaction` memory carries over the victim abort.
     pub fn exec(&self, sql_text: &str) -> Result<QueryResult> {
         let stmt = sql::parse(sql_text)?;
-        let out = self.execute(stmt);
-        self.session.clear_duration(MemDuration::PerStatement);
-        out
+        self.execute_with_retry(stmt)
     }
 
     /// Executes a semicolon-separated script, returning the last result.
     pub fn exec_script(&self, script: &str) -> Result<QueryResult> {
         let mut last = QueryResult::default();
         for stmt in sql::parse_script(script)? {
-            last = self.execute(stmt)?;
-            self.session.clear_duration(MemDuration::PerStatement);
+            last = self.execute_with_retry(stmt)?;
         }
         Ok(last)
+    }
+
+    /// True for errors produced by a transaction aborted as a
+    /// concurrency victim — the only errors worth retrying.
+    fn is_retryable(e: &IdsError) -> bool {
+        matches!(
+            e,
+            IdsError::Storage(SbError::Deadlock(_)) | IdsError::Storage(SbError::LockTimeout(_))
+        )
+    }
+
+    fn execute_with_retry(&self, stmt: Statement) -> Result<QueryResult> {
+        let inner = &self.db.inner;
+        let mut attempt = 0u32;
+        loop {
+            // Retry is only sound for auto-commit statements: inside an
+            // explicit transaction the failed statement is not the whole
+            // unit of work, so the error must surface to the client.
+            let auto_commit = !self.aborted.load(Ordering::SeqCst) && self.txn.lock().is_none();
+            let out = self.execute(stmt.clone());
+            self.session.clear_duration(MemDuration::PerStatement);
+            match out {
+                Err(ref e)
+                    if auto_commit && Self::is_retryable(e) && attempt < inner.deadlock_retries =>
+                {
+                    let backoff = inner.retry_backoff.saturating_mul(1 << attempt.min(16));
+                    attempt += 1;
+                    inner.counters.stmt_retries.inc();
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+                out => {
+                    if out.is_err() && auto_commit {
+                        // Retries exhausted (or the error was never
+                        // retryable): drop any per-transaction memory
+                        // preserved for a retry that will not happen.
+                        self.session.clear_duration(MemDuration::PerTransaction);
+                    }
+                    return out;
+                }
+            }
+        }
     }
 
     fn execute(&self, stmt: Statement) -> Result<QueryResult> {
@@ -393,6 +495,16 @@ impl Connection {
     }
 
     fn execute_stmt(&self, stmt: Statement) -> Result<QueryResult> {
+        // A failed statement aborted the explicit transaction; refuse
+        // everything except the closing COMMIT/ROLLBACK so the client
+        // cannot mistake later statements for part of the transaction.
+        if self.aborted.load(Ordering::SeqCst)
+            && !matches!(stmt, Statement::Commit | Statement::Rollback)
+        {
+            return Err(IdsError::Semantic(
+                "current transaction is aborted; statements ignored until ROLLBACK WORK".into(),
+            ));
+        }
         match stmt {
             Statement::Begin => {
                 let mut guard = self.txn.lock();
@@ -404,6 +516,11 @@ impl Connection {
                 Ok(msg("transaction started"))
             }
             Statement::Commit => {
+                if self.aborted.swap(false, Ordering::SeqCst) {
+                    // The transaction was already rolled back on error;
+                    // COMMIT closes the block but reports the truth.
+                    return Ok(msg("rolled back (transaction aborted by an earlier error)"));
+                }
                 let txn = self
                     .txn
                     .lock()
@@ -413,6 +530,9 @@ impl Connection {
                 Ok(msg("committed"))
             }
             Statement::Rollback => {
+                if self.aborted.swap(false, Ordering::SeqCst) {
+                    return Ok(msg("rolled back"));
+                }
                 let txn = self
                     .txn
                     .lock()
@@ -481,9 +601,20 @@ impl Connection {
     }
 
     fn with_txn<F: FnOnce(&Txn) -> Result<QueryResult>>(&self, f: F) -> Result<QueryResult> {
-        let guard = self.txn.lock();
-        if let Some(txn) = guard.as_ref() {
-            return f(txn);
+        let mut guard = self.txn.lock();
+        if guard.is_some() {
+            let out = f(guard.as_ref().expect("checked"));
+            if out.is_err() {
+                // Abort-on-error: the explicit transaction cannot
+                // continue past a failed statement. Roll it back right
+                // here — the victim's locks must not outlive the error
+                // — and poison the connection until ROLLBACK WORK.
+                let txn = guard.take().expect("checked");
+                drop(guard);
+                let _ = txn.abort();
+                self.aborted.store(true, Ordering::SeqCst);
+            }
+            return out;
         }
         drop(guard);
         let txn = self.begin_txn();
@@ -493,7 +624,17 @@ impl Connection {
                 Ok(v)
             }
             Err(e) => {
+                // Victim abort. When the statement will be retried, the
+                // Section 5.4 per-transaction memory (the cached
+                // current time) must survive into the retry even though
+                // the abort callback clears it — snapshot and restore
+                // around the rollback.
+                let preserved = Self::is_retryable(&e)
+                    .then(|| self.session.snapshot_duration(MemDuration::PerTransaction));
                 let _ = txn.abort();
+                if let Some(snapshot) = preserved {
+                    self.session.restore(snapshot);
+                }
                 Err(e)
             }
         }

@@ -33,6 +33,16 @@ struct NamedMemory {
     cells: HashMap<String, (MemDuration, NamedCell)>,
 }
 
+/// An opaque copy of the named cells of one duration, taken with
+/// [`Session::snapshot_duration`] and put back with
+/// [`Session::restore`]. The engine's deadlock-retry path uses this to
+/// carry `PerTransaction` memory (e.g. the Section 5.4 current-time
+/// value) across the victim abort into the retried attempt.
+pub struct DurationSnapshot {
+    duration: MemDuration,
+    cells: Vec<(String, NamedCell)>,
+}
+
 /// A client session: identity plus named memory.
 pub struct Session {
     id: u64,
@@ -81,6 +91,31 @@ impl Session {
         self.memory.lock().cells.retain(|_, (d, _)| *d != duration);
     }
 
+    /// Copies every cell with the given duration (cheap: cells are
+    /// shared by `Arc`).
+    pub fn snapshot_duration(&self, duration: MemDuration) -> DurationSnapshot {
+        DurationSnapshot {
+            duration,
+            cells: self
+                .memory
+                .lock()
+                .cells
+                .iter()
+                .filter(|(_, (d, _))| *d == duration)
+                .map(|(name, (_, cell))| (name.clone(), Arc::clone(cell)))
+                .collect(),
+        }
+    }
+
+    /// Puts a snapshot's cells back under their original duration,
+    /// replacing any same-named cells.
+    pub fn restore(&self, snapshot: DurationSnapshot) {
+        let mut mem = self.memory.lock();
+        for (name, cell) in snapshot.cells {
+            mem.cells.insert(name, (snapshot.duration, cell));
+        }
+    }
+
     /// Number of live named cells (test hook).
     pub fn named_count(&self) -> usize {
         self.memory.lock().cells.len()
@@ -116,5 +151,24 @@ mod tests {
         assert_eq!(s.get_named::<i32>("b"), None);
         assert_eq!(s.get_named::<i32>("c"), Some(3));
         assert_eq!(s.named_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_survives_a_clear() {
+        let s = Session::new(1);
+        s.put_named("ct", MemDuration::PerTransaction, 42i32);
+        s.put_named("tmp", MemDuration::PerStatement, 7i32);
+        let snap = s.snapshot_duration(MemDuration::PerTransaction);
+        // The transaction aborts: its memory is cleared...
+        s.clear_duration(MemDuration::PerTransaction);
+        s.clear_duration(MemDuration::PerStatement);
+        assert_eq!(s.get_named::<i32>("ct"), None);
+        // ...and the retry restores it, per-statement cells excluded.
+        s.restore(snap);
+        assert_eq!(s.get_named::<i32>("ct"), Some(42));
+        assert_eq!(s.get_named::<i32>("tmp"), None);
+        // The restored cell keeps its duration.
+        s.clear_duration(MemDuration::PerTransaction);
+        assert_eq!(s.get_named::<i32>("ct"), None);
     }
 }

@@ -10,6 +10,7 @@ use crate::geom::{Rect2, SpatialPredicate};
 use crate::node::Entry;
 use crate::tree::RStarTree;
 use crate::Result;
+use std::collections::HashSet;
 
 struct Frame {
     entries: Vec<Entry>,
@@ -24,6 +25,9 @@ pub struct RStarCursor {
     root: u32,
     stack: Vec<Frame>,
     primed: bool,
+    /// Entries already returned, kept across [`RStarCursor::restart`]
+    /// so a post-condense re-walk does not re-return earlier rows.
+    emitted: HashSet<(u64, [i32; 4])>,
 }
 
 impl RStarCursor {
@@ -34,6 +38,7 @@ impl RStarCursor {
             root,
             stack: Vec::new(),
             primed: false,
+            emitted: HashSet::new(),
         }
     }
 
@@ -76,7 +81,12 @@ impl RStarCursor {
             let entry = frame.entries[frame.next];
             frame.next += 1;
             if frame.level == 0 {
-                if entry.rect.eval(self.pred, &self.query) {
+                let r = entry.rect;
+                if r.eval(self.pred, &self.query)
+                    && self
+                        .emitted
+                        .insert((entry.payload, [r.x1, r.x2, r.y1, r.y2]))
+                {
                     return Ok(Some((entry.rect, entry.payload)));
                 }
             } else if entry.rect.consistent(self.pred, &self.query) {

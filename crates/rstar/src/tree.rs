@@ -727,13 +727,55 @@ mod tests {
         }
         got.sort_unstable();
         assert_eq!(got, (0..120).collect::<Vec<_>>());
-        // Restart replays from the beginning.
+        // A restart re-walks the tree but never re-returns rows the
+        // cursor already emitted (the Section 5.5 restart rule), so a
+        // fully drained cursor stays drained.
         t.cursor_restart(&mut cursor);
         let mut again = 0;
         while t.cursor_next(&mut cursor).unwrap().is_some() {
             again += 1;
         }
-        assert_eq!(again, 120);
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn cursor_restart_does_not_replay_emitted_rows() {
+        let mut t = tree(8);
+        for i in 0..120 {
+            t.insert(rect_for(i), i as u64).unwrap();
+        }
+        let q = Rect2::new(0, 1000, 0, 1000);
+        let mut cursor = t.cursor(SpatialPredicate::Overlap, q);
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let (_, id) = t.cursor_next(&mut cursor).unwrap().expect("tree has rows");
+            got.push(id);
+        }
+        // Condense mid-scan, deleting only rows not yet returned.
+        let mut condensed = false;
+        for i in 0..120u64 {
+            if got.contains(&i) {
+                continue;
+            }
+            if t.delete(rect_for(i as i32), i).unwrap().condensed {
+                condensed = true;
+                break;
+            }
+        }
+        assert!(condensed);
+        t.cursor_restart(&mut cursor);
+        while let Some((_, id)) = t.cursor_next(&mut cursor).unwrap() {
+            got.push(id);
+        }
+        let unique: std::collections::HashSet<u64> = got.iter().copied().collect();
+        assert_eq!(
+            unique.len(),
+            got.len(),
+            "restart re-returned rows already emitted before the condense"
+        );
+        for id in t.search(SpatialPredicate::Overlap, &q).unwrap() {
+            assert!(unique.contains(&id), "row {id} lost across restart");
+        }
     }
 
     #[test]

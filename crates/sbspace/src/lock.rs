@@ -77,8 +77,26 @@ impl LockEntry {
 
 struct LmState {
     locks: HashMap<u32, LockEntry>,
-    /// Current wait-for edges (waiter -> holders it waits on).
-    waits: HashMap<TxnId, HashSet<TxnId>>,
+    /// Current wait records (waiter -> the object and mode it waits
+    /// for). Wait-for *edges* are recomputed from the live holder sets
+    /// during cycle detection, so a blocker that released after the
+    /// waiter went to sleep never contributes a phantom edge — and an
+    /// upgrader's own shared hold never hides the opposing upgrader.
+    waits: HashMap<TxnId, (u32, LockMode)>,
+}
+
+impl LmState {
+    /// The transactions `waiter` is blocked on right now.
+    fn edges(&self, waiter: TxnId) -> Vec<TxnId> {
+        match self.waits.get(&waiter) {
+            Some(&(obj, mode)) => self
+                .locks
+                .get(&obj)
+                .map(|e| e.blockers(waiter, mode))
+                .unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
 }
 
 /// The lock manager. One instance per sbspace.
@@ -105,7 +123,9 @@ impl LockManager {
 
     /// Would adding edge `from -> to*` close a cycle through `from`?
     fn closes_cycle(state: &LmState, from: TxnId, targets: &[TxnId]) -> bool {
-        // DFS over the wait-for graph starting at each target.
+        // DFS over the wait-for graph starting at each target. Edges
+        // are derived from the current holder sets, never from stale
+        // blocker snapshots.
         let mut stack: Vec<TxnId> = targets.to_vec();
         let mut seen = HashSet::new();
         while let Some(t) = stack.pop() {
@@ -115,9 +135,7 @@ impl LockManager {
             if !seen.insert(t) {
                 continue;
             }
-            if let Some(next) = state.waits.get(&t) {
-                stack.extend(next.iter().copied());
-            }
+            stack.extend(state.edges(t));
         }
         false
     }
@@ -148,7 +166,7 @@ impl LockManager {
                     "txn {txn:?} requesting {mode:?} on lo {obj}"
                 )));
             }
-            state.waits.insert(txn, blockers.into_iter().collect());
+            state.waits.insert(txn, (obj, mode));
             IoStats::bump(&self.stats.lock_waits);
             let timed_out = self.cond.wait_until(&mut state, deadline).timed_out();
             if timed_out {
@@ -192,6 +210,27 @@ impl LockManager {
             .locks
             .get(&obj)
             .and_then(|e| e.holders.get(&txn).copied())
+    }
+
+    /// Number of large objects with at least one lock holder
+    /// (diagnostic — the stress harness asserts zero at quiesce).
+    pub fn lock_count(&self) -> usize {
+        self.state.lock().locks.len()
+    }
+
+    /// Number of transactions currently blocked inside [`acquire`]
+    /// (diagnostic).
+    ///
+    /// [`acquire`]: LockManager::acquire
+    pub fn waiter_count(&self) -> usize {
+        self.state.lock().waits.len()
+    }
+
+    /// True when no lock is held and no waiter is queued — every
+    /// transaction either committed or aborted and released everything.
+    pub fn is_quiescent(&self) -> bool {
+        let state = self.state.lock();
+        state.locks.is_empty() && state.waits.is_empty()
     }
 }
 
@@ -276,6 +315,84 @@ mod tests {
         assert!(matches!(err, SbError::Deadlock(_)), "{err}");
         m.release_all(TxnId(2));
         h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn upgrade_deadlock_victim_keeps_its_shared_lock() {
+        // The deadlock error must not silently drop the victim's
+        // pre-existing shared lock: the *transaction* decides what to
+        // do (abort and release_all, or keep reading) — the failed
+        // upgrade itself only refuses the exclusive mode.
+        let m = lm();
+        m.acquire(TxnId(1), 5, LockMode::Shared).unwrap();
+        m.acquire(TxnId(2), 5, LockMode::Shared).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.acquire(TxnId(1), 5, LockMode::Exclusive));
+        std::thread::sleep(Duration::from_millis(50));
+        let err = m.acquire(TxnId(2), 5, LockMode::Exclusive).unwrap_err();
+        assert!(matches!(err, SbError::Deadlock(_)), "{err}");
+        assert_eq!(
+            m.held(TxnId(2), 5),
+            Some(LockMode::Shared),
+            "victim's shared lock dropped by the failed upgrade"
+        );
+        // Only release_all (victim abort) lets the survivor through.
+        m.release_all(TxnId(2));
+        h.join().unwrap().unwrap();
+        assert_eq!(m.held(TxnId(1), 5), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn stale_wait_edges_do_not_report_phantom_deadlocks() {
+        // Txn 1 blocks on object 9 held exclusively by txn 2; txn 2
+        // then releases 9 but — before txn 1 wakes and clears its wait
+        // record — requests an object held by txn 1. With snapshotted
+        // blocker edges this read as a cycle 2 -> 1 -> 2; live-edge
+        // recomputation sees that txn 1 no longer waits on txn 2.
+        let m = lm();
+        m.acquire(TxnId(1), 1, LockMode::Exclusive).unwrap();
+        m.acquire(TxnId(2), 9, LockMode::Exclusive).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.acquire(TxnId(1), 9, LockMode::Exclusive));
+        std::thread::sleep(Duration::from_millis(50));
+        {
+            // Hold the state lock across release + re-acquire so txn 1
+            // provably cannot wake in between.
+            let mut state = m.state.lock();
+            if let Some(e) = state.locks.get_mut(&9) {
+                e.holders.remove(&TxnId(2));
+            }
+            let entry = state.locks.entry(1).or_default();
+            assert!(!entry.compatible(TxnId(2), LockMode::Exclusive));
+            let blockers = entry.blockers(TxnId(2), LockMode::Exclusive);
+            assert!(
+                !LockManager::closes_cycle(&state, TxnId(2), &blockers),
+                "stale wait record for txn 1 reported a phantom cycle"
+            );
+        }
+        m.cond.notify_all();
+        h.join().unwrap().unwrap();
+        m.release_all(TxnId(1));
+        assert!(m.is_quiescent());
+    }
+
+    #[test]
+    fn quiescence_reports_locks_and_waiters() {
+        let m = lm();
+        assert!(m.is_quiescent());
+        m.acquire(TxnId(1), 1, LockMode::Shared).unwrap();
+        m.acquire(TxnId(1), 2, LockMode::Exclusive).unwrap();
+        assert_eq!(m.lock_count(), 2);
+        assert_eq!(m.waiter_count(), 0);
+        assert!(!m.is_quiescent());
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.acquire(TxnId(2), 2, LockMode::Shared));
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(m.waiter_count(), 1);
+        m.release_all(TxnId(1));
+        h.join().unwrap().unwrap();
+        m.release_all(TxnId(2));
+        assert!(m.is_quiescent(), "locks or waiters leaked");
     }
 
     #[test]

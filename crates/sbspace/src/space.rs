@@ -278,6 +278,29 @@ impl Sbspace {
         Arc::clone(&self.inner.metrics)
     }
 
+    /// Number of large objects currently locked (diagnostic).
+    pub fn locked_objects(&self) -> usize {
+        self.inner.lm.lock_count()
+    }
+
+    /// The lock mode `txn` currently holds on `lo`, if any (diagnostic).
+    pub fn lock_held(&self, txn: &Txn, lo: LoId) -> Option<LockMode> {
+        self.inner.lm.held(txn.id(), lo.0)
+    }
+
+    /// Number of transactions currently blocked on a lock (diagnostic).
+    pub fn lock_waiters(&self) -> usize {
+        self.inner.lm.waiter_count()
+    }
+
+    /// True when the lock table and the wait-for graph are both empty.
+    /// A correctly quiesced workload — every session's transactions
+    /// committed or aborted — must leave the lock manager in this
+    /// state; the stress harness asserts it.
+    pub fn locks_quiescent(&self) -> bool {
+        self.inner.lm.is_quiescent()
+    }
+
     /// Creates a new large object, exclusively locked by `txn`.
     pub fn create_lo(&self, txn: &Txn) -> Result<LoId> {
         txn.check_live()?;

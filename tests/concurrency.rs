@@ -11,6 +11,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn quick_db() -> (Database, MockClock) {
+    // deadlock_retries: 0 — these tests assert the *surfaced* error
+    // semantics; automatic retry is exercised separately below and in
+    // tests/stress_concurrency.rs.
+    quick_db_with_retries(0)
+}
+
+fn quick_db_with_retries(deadlock_retries: u32) -> (Database, MockClock) {
     let clock = MockClock::new(Day(10_000));
     let db = Database::new(DatabaseOptions {
         space: SbspaceOptions {
@@ -19,6 +26,8 @@ fn quick_db() -> (Database, MockClock) {
             ..Default::default()
         },
         clock: Arc::new(clock.clone()),
+        deadlock_retries,
+        retry_backoff: Duration::from_millis(1),
     });
     install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
     let conn = db.connect();
@@ -154,4 +163,146 @@ fn deadlock_is_detected_not_hung() {
         .unwrap()
         .expect("waiter granted after victim aborts");
     t1.commit().unwrap();
+}
+
+#[test]
+fn simultaneous_upgraders_deadlock_and_victim_keeps_shared_lock() {
+    // Two transactions hold shared locks on the same LO and race to
+    // upgrade: that is an unresolvable cycle of length two, and it must
+    // be reported as a deadlock *immediately* — not ridden out to the
+    // lock timeout — with the victim's pre-existing shared lock intact
+    // until the victim itself decides to abort.
+    let sb = Sbspace::mem(SbspaceOptions {
+        pool_pages: 128,
+        lock_timeout: Duration::from_secs(30),
+        ..Default::default()
+    });
+    let setup = sb.begin(IsolationLevel::ReadCommitted);
+    let lo = sb.create_lo(&setup).unwrap();
+    setup.commit().unwrap();
+
+    let barrier = std::sync::Barrier::new(2);
+    let outcomes: Vec<&str> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let sb = sb.clone();
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let txn = sb.begin(IsolationLevel::RepeatableRead);
+                    let _shared = sb.open_lo(&txn, lo, LockMode::Shared).unwrap();
+                    barrier.wait();
+                    match sb.open_lo(&txn, lo, LockMode::Exclusive) {
+                        Ok(_handle) => {
+                            assert_eq!(sb.lock_held(&txn, lo), Some(LockMode::Exclusive));
+                            txn.commit().unwrap();
+                            "granted"
+                        }
+                        Err(SbError::Deadlock(_)) => {
+                            // The failed upgrade did not drop the
+                            // shared lock the victim already held.
+                            assert_eq!(
+                                sb.lock_held(&txn, lo),
+                                Some(LockMode::Shared),
+                                "victim's shared lock silently dropped"
+                            );
+                            // Victim abort releases it and unblocks the
+                            // surviving upgrader.
+                            txn.abort().unwrap();
+                            "deadlock"
+                        }
+                        Err(other) => panic!("expected deadlock, got {other}"),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(
+        outcomes.contains(&"deadlock") && outcomes.contains(&"granted"),
+        "expected one victim and one survivor, got {outcomes:?}"
+    );
+    assert!(sb.locks_quiescent(), "locks leaked after quiesce");
+}
+
+#[test]
+fn statement_error_aborts_open_transaction_and_poisons_connection() {
+    let (db, _clock) = quick_db();
+    let conn = db.connect();
+    conn.exec("BEGIN WORK").unwrap();
+    conn.exec("INSERT INTO t VALUES (50, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+    // A failing statement aborts the whole transaction...
+    assert!(conn.exec("SELECT id FROM missing").is_err());
+    // ...releasing its exclusive locks: another session's writer
+    // proceeds instead of timing out on the dead transaction's locks.
+    let other = db.connect();
+    other
+        .exec("INSERT INTO t VALUES (51, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+    // Until the client acknowledges, every statement is refused — it
+    // would otherwise silently run outside the transaction the client
+    // believes is open.
+    let err = conn.exec("SELECT id FROM t").unwrap_err();
+    assert!(
+        matches!(&err, IdsError::Semantic(m) if m.contains("aborted")),
+        "{err:?}"
+    );
+    assert!(conn.exec("BEGIN WORK").is_err());
+    conn.exec("ROLLBACK WORK").unwrap();
+    // Usable again; the pre-error insert was rolled back with the rest.
+    let r = conn.exec("SELECT id FROM t").unwrap();
+    assert_eq!(r.rows.len(), 21, "20 seeded rows + the other session's");
+    assert!(db.space().locks_quiescent());
+}
+
+#[test]
+fn commit_of_poisoned_transaction_reports_the_rollback() {
+    let (db, _clock) = quick_db();
+    let conn = db.connect();
+    conn.exec("BEGIN WORK").unwrap();
+    conn.exec("INSERT INTO t VALUES (50, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+    assert!(conn.exec("SELECT id FROM missing").is_err());
+    // COMMIT closes the aborted block but must not pretend it
+    // committed.
+    let r = conn.exec("COMMIT WORK").unwrap();
+    assert!(r.message.contains("rolled back"), "{}", r.message);
+    let r = conn.exec("SELECT id FROM t").unwrap();
+    assert_eq!(r.rows.len(), 20, "aborted transaction left no rows");
+}
+
+#[test]
+fn deadlock_victim_statement_succeeds_on_automatic_retry() {
+    // Two repeatable-read sessions race UPDATEs over the same table:
+    // each takes S on the heap during its scan and upgrades to X for
+    // the rewrite, so a simultaneous pair deadlocks. The victim's
+    // statement must succeed transparently via the engine's automatic
+    // retry — neither client ever sees the deadlock.
+    let (db, _clock) = quick_db_with_retries(5);
+    let before = db.metrics_snapshot();
+    let mut observed_deadlock = false;
+    for round in 0..50 {
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            for i in 0..2 {
+                let db = db.clone();
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let conn = db.connect();
+                    conn.exec("SET ISOLATION TO REPEATABLE READ").unwrap();
+                    barrier.wait();
+                    conn.exec(&format!("UPDATE t SET id = id WHERE id = {i}"))
+                        .unwrap_or_else(|e| panic!("round {round} writer {i}: {e}"));
+                });
+            }
+        });
+        if db.metrics_snapshot().since(&before).get("lock.deadlocks") > 0 {
+            observed_deadlock = true;
+            break;
+        }
+    }
+    assert!(observed_deadlock, "no deadlock provoked in 50 rounds");
+    let d = db.metrics_snapshot().since(&before);
+    assert!(d.get("stmt.retries") >= 1, "victim was not retried: {d}");
+    assert!(db.space().locks_quiescent(), "locks leaked after quiesce");
 }

@@ -1,0 +1,249 @@
+//! Multi-session contention stress harness.
+//!
+//! N sessions run a mixed bitemporal insert / update / delete / scan
+//! workload against one GR-tree-indexed table, deliberately provoking
+//! lock waits, shared→exclusive upgrade deadlocks (half the sessions
+//! run REPEATABLE READ), automatic victim retries, and mid-scan
+//! condenses. The harness then checks the engine-level invariants:
+//!
+//! * no scan ever returns a duplicate row (the Section 5.5
+//!   restart-after-condense rule, plus cursor emitted-row memory);
+//! * the lock manager is empty at quiesce — no transaction leaked a
+//!   lock past its commit or victim abort;
+//! * the counters reconcile exactly: statements = issued + retries,
+//!   every attempt ran in exactly one transaction that either
+//!   committed or aborted, and every abort maps to a failed attempt.
+//!
+//! Quick by default (CI's `stress-smoke` job); scale with
+//! `STRESS_SESSIONS` / `STRESS_OPS`.
+
+use grtree_datablade::blade::{install_grtree_blade, GrTreeAmOptions};
+use grtree_datablade::ids::{Database, DatabaseOptions, IdsError};
+use grtree_datablade::sbspace::{SbError, SbspaceOptions};
+use grtree_datablade::temporal::{Day, MockClock};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic xorshift64* — no external RNG, reproducible per seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A handful of valid extents; variety drives splits and condenses.
+const EXTENTS: [&str; 4] = [
+    "05/18/1997, UC, 05/18/1997, NOW",
+    "03/01/1997, UC, 03/01/1997, 09/30/1997",
+    "06/10/1997, UC, 06/10/1997, NOW",
+    "01/05/1997, UC, 01/05/1997, 12/20/1997",
+];
+
+const QUERY: &str = "Overlaps(Time_Extent, '01/01/1997, UC, 01/01/1997, NOW')";
+
+#[derive(Default)]
+struct WorkerTally {
+    ok: u64,
+    failed: u64,
+}
+
+#[test]
+fn stress_mixed_workload_reconciles() {
+    let sessions = env_usize("STRESS_SESSIONS", 8);
+    let ops = env_usize("STRESS_OPS", 40);
+
+    // Day 10,100 ≈ late August 1997: safely after every transaction-
+    // time begin in `EXTENTS`, so logical updates can close them.
+    let clock = MockClock::new(Day(10_100));
+    let db = Database::new(DatabaseOptions {
+        space: SbspaceOptions {
+            pool_pages: 2048,
+            lock_timeout: Duration::from_millis(1_000),
+            ..Default::default()
+        },
+        clock: Arc::new(clock),
+        deadlock_retries: 10,
+        retry_backoff: Duration::from_millis(1),
+    });
+    install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
+    let setup = db.connect();
+    setup
+        .exec("CREATE TABLE t (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    setup
+        .exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+
+    // Connections (and their isolation levels) are set up *before* the
+    // metric snapshot: from here on, every statement is auto-commit
+    // DML/SELECT and must map 1:1 onto a transaction.
+    let conns: Vec<_> = (0..sessions)
+        .map(|i| {
+            let conn = db.connect();
+            if i % 2 == 1 {
+                conn.exec("SET ISOLATION TO REPEATABLE READ").unwrap();
+            }
+            conn
+        })
+        .collect();
+    let before = db.metrics_snapshot();
+
+    let tallies: Vec<WorkerTally> = std::thread::scope(|s| {
+        let handles: Vec<_> = conns
+            .iter()
+            .enumerate()
+            .map(|(w, conn)| {
+                s.spawn(move || {
+                    let mut rng = Rng(0x9e37_79b9 + w as u64);
+                    let mut tally = WorkerTally::default();
+                    let mut my_ids: Vec<u64> = Vec::new();
+                    let record = |r: Result<_, IdsError>, tally: &mut WorkerTally| match r {
+                        Ok(_) => {
+                            tally.ok += 1;
+                            true
+                        }
+                        Err(
+                            IdsError::Storage(SbError::LockTimeout(_))
+                            | IdsError::Storage(SbError::Deadlock(_)),
+                        ) => {
+                            // Contention losses are allowed; anything
+                            // else is a real bug.
+                            tally.failed += 1;
+                            false
+                        }
+                        Err(other) => panic!("worker {w}: unexpected error {other}"),
+                    };
+                    for op in 0..ops {
+                        match rng.below(10) {
+                            // 40% inserts
+                            0..=3 => {
+                                let id = w as u64 * 1_000_000 + op as u64;
+                                let e = EXTENTS[rng.below(4) as usize];
+                                if record(
+                                    conn.exec(&format!("INSERT INTO t VALUES ({id}, '{e}')")),
+                                    &mut tally,
+                                ) {
+                                    my_ids.push(id);
+                                }
+                            }
+                            // 20% updates of an own row
+                            4..=5 if !my_ids.is_empty() => {
+                                let id = my_ids[rng.below(my_ids.len() as u64) as usize];
+                                let e = EXTENTS[rng.below(4) as usize];
+                                record(
+                                    conn.exec(&format!(
+                                        "UPDATE t SET Time_Extent = '{e}' WHERE id = {id}"
+                                    )),
+                                    &mut tally,
+                                );
+                            }
+                            // 20% deletes of an own row (drives condense)
+                            6..=7 if !my_ids.is_empty() => {
+                                let i = rng.below(my_ids.len() as u64) as usize;
+                                let id = my_ids[i];
+                                if record(
+                                    conn.exec(&format!("DELETE FROM t WHERE id = {id}")),
+                                    &mut tally,
+                                ) {
+                                    my_ids.swap_remove(i);
+                                }
+                            }
+                            // the rest: index scans with a duplicate check
+                            _ => {
+                                let r = conn.exec(&format!("SELECT id FROM t WHERE {QUERY}"));
+                                if let Ok(ref out) = r {
+                                    let ids: Vec<&_> = out.rows.iter().map(|row| &row[0]).collect();
+                                    let unique: HashSet<_> = ids.iter().collect();
+                                    assert_eq!(
+                                        unique.len(),
+                                        ids.len(),
+                                        "worker {w} scan returned duplicate rows"
+                                    );
+                                }
+                                record(r, &mut tally);
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let issued: u64 = tallies.iter().map(|t| t.ok + t.failed).sum();
+    let failed: u64 = tallies.iter().map(|t| t.failed).sum();
+    let d = db.metrics_snapshot().since(&before);
+
+    // Zero leaked locks: every transaction released everything.
+    assert!(
+        db.space().locks_quiescent(),
+        "lock manager not empty at quiesce: {} objects locked, {} waiters",
+        db.space().locked_objects(),
+        db.space().lock_waiters()
+    );
+
+    // Counter reconciliation. Each client-visible statement ran 1 +
+    // (its retries) attempts; each attempt is one `ids.statements`
+    // tick and exactly one transaction.
+    let statements = d.get("ids.statements");
+    let retries = d.get("stmt.retries");
+    let errors = d.get("ids.statement_errors");
+    assert_eq!(
+        statements,
+        issued + retries,
+        "attempt accounting drifted: {d}"
+    );
+    assert_eq!(
+        errors,
+        retries + failed,
+        "every retry and every surfaced failure is one failed attempt: {d}"
+    );
+    assert_eq!(
+        d.get("sbspace.txn_commits") + d.get("sbspace.txn_aborts"),
+        statements,
+        "transactions drifted from statement attempts: {d}"
+    );
+    assert_eq!(
+        d.get("sbspace.txn_aborts"),
+        errors,
+        "victim aborts must match failed attempts: {d}"
+    );
+
+    // The workload must have actually contended — otherwise the
+    // harness proves nothing. Waits are guaranteed at 2+ sessions;
+    // deadlocks/retries are probabilistic, so only assert that the
+    // counters agree with each other (above), not that they are
+    // non-zero.
+    if sessions > 1 {
+        assert!(d.get("lock.waits") > 0, "no lock contention provoked: {d}");
+    }
+
+    // Final consistency: a quiesced scan sees each live row once.
+    let r = setup
+        .exec(&format!("SELECT id FROM t WHERE {QUERY}"))
+        .unwrap();
+    let ids: Vec<&_> = r.rows.iter().map(|row| &row[0]).collect();
+    let unique: HashSet<_> = ids.iter().collect();
+    assert_eq!(unique.len(), ids.len(), "final scan returned duplicates");
+    setup.exec("CHECK INDEX tix").unwrap();
+}
