@@ -1,7 +1,8 @@
 //! CI perf-regression gate:
 //!
 //! ```text
-//! bench_gate <baseline.json> <candidate.json> [--tolerance 0.25] [--throughput]
+//! bench_gate <baseline.json> <candidate.json> [--tolerance 0.25]
+//!            [--throughput | --scan-speedup]
 //! ```
 //!
 //! Default mode compares `ns_per_read` for every `(config, threads)`
@@ -9,15 +10,26 @@
 //! when the candidate is more than `tolerance` slower on any of them.
 //! With `--throughput` it compares `stmt_per_sec` for every
 //! `(config, sessions)` pair instead (higher is better) and fails when
-//! the candidate falls more than `tolerance` below the baseline.
+//! the candidate falls more than `tolerance` below the baseline. With
+//! `--scan-speedup` it compares parallel-scan `speedup` ratios for
+//! every `(config, workers)` pair (higher is better) — a candidate
+//! whose scan no longer scales with workers fails the gate even when
+//! its absolute latency happens to be fine.
 
 use grt_bench::gate;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    ReadLatency,
+    Throughput,
+    ScanSpeedup,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut tolerance = 0.25f64;
-    let mut throughput = false;
+    let mut mode = Mode::ReadLatency;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--tolerance" {
@@ -26,7 +38,9 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| usage("--tolerance needs a number"));
         } else if a == "--throughput" {
-            throughput = true;
+            mode = Mode::Throughput;
+        } else if a == "--scan-speedup" {
+            mode = Mode::ScanSpeedup;
         } else {
             files.push(a.clone());
         }
@@ -41,19 +55,19 @@ fn main() {
             std::process::exit(2);
         })
     };
-    let parse = if throughput {
-        gate::parse_throughputs
-    } else {
-        gate::parse_read_rates
+    let parse = match mode {
+        Mode::ReadLatency => gate::parse_read_rates,
+        Mode::Throughput => gate::parse_throughputs,
+        Mode::ScanSpeedup => gate::parse_speedups,
     };
     let baseline = parse(&read(baseline_path));
     let candidate = parse(&read(candidate_path));
     let comparisons = gate::compare(&baseline, &candidate);
     if comparisons.is_empty() {
-        let key = if throughput {
-            "(config, sessions)"
-        } else {
-            "(config, threads)"
+        let key = match mode {
+            Mode::ReadLatency => "(config, threads)",
+            Mode::Throughput => "(config, sessions)",
+            Mode::ScanSpeedup => "(config, workers)",
         };
         eprintln!("bench_gate: no shared {key} pairs between the reports");
         std::process::exit(2);
@@ -61,10 +75,10 @@ fn main() {
 
     let mut failed = false;
     for c in &comparisons {
-        let regressed = if throughput {
-            c.regressed_throughput(tolerance)
-        } else {
-            c.regressed(tolerance)
+        let regressed = match mode {
+            Mode::ReadLatency => c.regressed(tolerance),
+            // Throughput and speedup are both higher-is-better.
+            Mode::Throughput | Mode::ScanSpeedup => c.regressed_throughput(tolerance),
         };
         let verdict = if regressed {
             failed = true;
@@ -72,31 +86,38 @@ fn main() {
         } else {
             "ok"
         };
-        if throughput {
-            println!(
-                "{:<20} {} session(s): baseline {:9.1} stmt/s, candidate {:9.1} stmt/s ({:+.1}%)  {verdict}",
-                c.config,
-                c.threads,
-                c.baseline_ns,
-                c.candidate_ns,
-                (c.ratio - 1.0) * 100.0,
-            );
-        } else {
-            println!(
+        match mode {
+            Mode::ReadLatency => println!(
                 "{:<16} {} reader(s): baseline {:8.1} ns/read, candidate {:8.1} ns/read ({:+.1}%)  {verdict}",
                 c.config,
                 c.threads,
                 c.baseline_ns,
                 c.candidate_ns,
                 (c.ratio - 1.0) * 100.0,
-            );
+            ),
+            Mode::Throughput => println!(
+                "{:<20} {} session(s): baseline {:9.1} stmt/s, candidate {:9.1} stmt/s ({:+.1}%)  {verdict}",
+                c.config,
+                c.threads,
+                c.baseline_ns,
+                c.candidate_ns,
+                (c.ratio - 1.0) * 100.0,
+            ),
+            Mode::ScanSpeedup => println!(
+                "{:<12} {} worker(s): baseline {:5.2}x, candidate {:5.2}x ({:+.1}%)  {verdict}",
+                c.config,
+                c.threads,
+                c.baseline_ns,
+                c.candidate_ns,
+                (c.ratio - 1.0) * 100.0,
+            ),
         }
     }
     if failed {
-        let what = if throughput {
-            "throughput"
-        } else {
-            "read latency"
+        let what = match mode {
+            Mode::ReadLatency => "read latency",
+            Mode::Throughput => "throughput",
+            Mode::ScanSpeedup => "scan speedup",
         };
         eprintln!(
             "bench_gate: {what} regressed more than {:.0}% — see lines above",
@@ -110,7 +131,8 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("bench_gate: {err}");
     eprintln!(
-        "usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.25] [--throughput]"
+        "usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.25] \
+         [--throughput | --scan-speedup]"
     );
     std::process::exit(2);
 }

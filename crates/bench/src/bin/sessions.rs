@@ -89,6 +89,7 @@ fn fresh_db() -> Database {
         clock: Arc::new(MockClock::new(Day(10_100))),
         deadlock_retries: 10,
         retry_backoff: Duration::from_millis(1),
+        scan_workers: 1,
     });
     install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
     let setup = db.connect();

@@ -3,8 +3,9 @@
 //! Reads the figures of a checked-in baseline and a fresh candidate run
 //! and fails when any shared `(config, N)` pair regressed beyond the
 //! tolerance — `ns_per_read` latencies from `BENCH_bufferpool.json`
-//! (lower is better) and `stmt_per_sec` throughputs from
-//! `BENCH_concurrency.json` (higher is better). The parser handles
+//! (lower is better), `stmt_per_sec` throughputs from
+//! `BENCH_concurrency.json`, and parallel-scan `speedup` ratios from
+//! `BENCH_scan.json` (both higher is better). The parser handles
 //! exactly the JSON the bench binaries write — a deliberate choice over
 //! a vendored JSON dependency, since both sides of the comparison come
 //! from the same writer.
@@ -56,6 +57,30 @@ pub fn parse_throughputs(json: &str) -> ReadRates {
             continue;
         };
         out.insert((config.clone(), sessions as u64), tps);
+    }
+    out
+}
+
+/// Extracts every parallel-scan `speedup` figure from a scan bench
+/// report, keyed by `(config, workers)`. Rows without a `workers`
+/// field (the `index_build` section) are skipped.
+pub fn parse_speedups(json: &str) -> ReadRates {
+    let mut out = ReadRates::new();
+    let mut config = String::new();
+    for line in json.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix('"') {
+            if let Some((name, tail)) = rest.split_once('"') {
+                if tail.trim() == ": {" {
+                    config = name.to_string();
+                    continue;
+                }
+            }
+        }
+        let (Some(workers), Some(speedup)) = (field(t, "workers"), field(t, "speedup")) else {
+            continue;
+        };
+        out.insert((config.clone(), workers as u64), speedup);
     }
     out
 }
@@ -206,6 +231,48 @@ mod tests {
             (bad[0].config.as_str(), bad[0].threads),
             ("repeatable_read_mix", 4)
         );
+    }
+
+    const SCAN_REPORT: &str = r#"{
+  "selective": {
+    "entries": 150000,
+    "scans": [
+      {"workers": 1, "ns_per_row": 80.0, "rows": 9000, "speedup": 1.000},
+      {"workers": 4, "ns_per_row": 26.0, "rows": 9000, "speedup": 3.100}
+    ]
+  },
+  "index_build": {
+    "entries": 50000,
+    "builds": [
+      {"method": "bulk", "ns_per_row": 300.0, "advantage": 4.2},
+      {"method": "incremental", "ns_per_row": 1260.0, "advantage": 1.0}
+    ]
+  }
+}
+"#;
+
+    #[test]
+    fn parses_speedup_pairs_and_skips_builds() {
+        let s = parse_speedups(SCAN_REPORT);
+        assert_eq!(s.len(), 2, "index_build rows must not parse as scans");
+        assert_eq!(s[&("selective".to_string(), 1)], 1.0);
+        assert_eq!(s[&("selective".to_string(), 4)], 3.1);
+    }
+
+    #[test]
+    fn speedup_regression_is_directional() {
+        let base = parse_speedups(SCAN_REPORT);
+        let mut cand = base.clone();
+        // Scaling *better* is never a regression.
+        cand.insert(("selective".to_string(), 4), 3.9);
+        assert!(compare(&base, &cand)
+            .iter()
+            .all(|c| !c.regressed_throughput(0.25)));
+        // Collapsing to serial-equivalent is.
+        cand.insert(("selective".to_string(), 4), 1.1);
+        assert!(compare(&base, &cand)
+            .iter()
+            .any(|c| c.regressed_throughput(0.25)));
     }
 
     #[test]

@@ -21,8 +21,24 @@ use grt_ids::{
 };
 use grt_metrics::TreeMetrics;
 use grt_sbspace::{LoId, LockMode};
-use grt_temporal::Day;
+use grt_temporal::{Day, TimeExtent};
 use std::collections::HashSet;
+
+/// Index scans on trees at least this many pages go parallel when the
+/// effective degree exceeds one; smaller probes stay on the serial
+/// cursor, whose setup cost they cannot amortise.
+const PARALLEL_PAGE_THRESHOLD: u32 = 32;
+
+/// Effective parallel degree for a scan: the session's `SET PARALLEL`
+/// override when present, else the engine-wide default carried in the
+/// index descriptor's parameters.
+pub(crate) fn scan_degree(idx: &IndexDescriptor, ctx: &AmContext) -> usize {
+    ctx.session
+        .get_named::<usize>("parallel_workers")
+        .or_else(|| idx.params.get("scan_workers").and_then(|s| s.parse().ok()))
+        .unwrap_or(1)
+        .max(1)
+}
 
 /// Scan-restart policy after deletions (the Section 5.5 design space).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,6 +97,11 @@ struct ScanState {
     probes: Vec<Probe>,
     current: usize,
     cursor: Option<GrCursor>,
+    /// Merged parallel results for the current probe, handed out from
+    /// the back. `None` while the probe runs on the serial cursor.
+    buffer: Option<Vec<(TimeExtent, u64)>>,
+    /// Requested parallel degree (resolved at `am_beginscan`).
+    workers: usize,
     qual: QualDescriptor,
     seen: HashSet<(u64, [u8; 16])>,
 }
@@ -170,9 +191,12 @@ impl GrTreeAm {
 
     fn restart_scan(td: &mut TdState) {
         if let Some(scan) = td.scan.as_mut() {
-            // Drop the live cursor and rewind to the first probe; the
-            // dedup set keeps already-returned entries from reappearing.
+            // Drop the live cursor — and any buffered parallel results,
+            // which the restarted traversal re-derives from the new
+            // root — and rewind to the first probe; the dedup set keeps
+            // already-returned entries from reappearing.
             scan.cursor = None;
+            scan.buffer = None;
             scan.current = 0;
         }
     }
@@ -305,12 +329,15 @@ impl AccessMethod for GrTreeAm {
         self.trace_step(ctx, "grt_beginscan", "(2) Get index descriptor td from sd");
         let probes = decompose(&scan.qual)?;
         let qual = scan.qual.clone();
+        let workers = scan_degree(idx, ctx);
         self.with_td(idx, ctx, |td| {
             self.ensure_tree(td, ctx, false)?;
             td.scan = Some(ScanState {
                 probes,
                 current: 0,
                 cursor: None,
+                buffer: None,
+                workers,
                 qual,
                 seen: HashSet::new(),
             });
@@ -334,6 +361,7 @@ impl AccessMethod for GrTreeAm {
         self.with_td(idx, ctx, |td| {
             if let Some(scan) = td.scan.as_mut() {
                 scan.cursor = None;
+                scan.buffer = None;
                 scan.current = 0;
                 scan.seen.clear();
             }
@@ -357,11 +385,69 @@ impl AccessMethod for GrTreeAm {
                 .as_mut()
                 .ok_or_else(|| IdsError::AccessMethod("getnext without beginscan".into()))?;
             loop {
-                if scan.cursor.is_none() {
+                if scan.cursor.is_none() && scan.buffer.is_none() {
                     let Some(probe) = scan.probes.get(scan.current) else {
                         return Ok(None);
                     };
-                    scan.cursor = Some(tree.cursor(probe.pred, probe.query, ct));
+                    let (pred, query) = (probe.pred, probe.query);
+                    if scan.workers > 1 && tree.pages() >= PARALLEL_PAGE_THRESHOLD {
+                        // The probe clears the page threshold: run it
+                        // through the work-stealing traversal over the
+                        // pinned read path and buffer the merged rows.
+                        let reader = tree.reader();
+                        let result =
+                            grt_grtree::parallel_scan(&reader, pred, query, ct, scan.workers)
+                                .map_err(gr_err)?;
+                        let metrics = ctx.space.metrics();
+                        metrics.counter("scan.parallel_scans").inc();
+                        let worker_ns = metrics.histogram("scan.parallel_worker_ns");
+                        for &ns in &result.stats.worker_ns {
+                            worker_ns.observe_ns(ns);
+                        }
+                        self.trace_step(
+                            ctx,
+                            "grt_getnext",
+                            &format!(
+                                "parallel scan: degree {}, {} frontier subtrees, {} rows",
+                                result.stats.workers,
+                                result.stats.frontier,
+                                result.rows.len()
+                            ),
+                        );
+                        ctx.trace.emit(
+                            "EXPLAIN",
+                            1,
+                            format!(
+                                "parallel index scan on {}: degree {} (requested {})",
+                                idx.index_name, result.stats.workers, scan.workers
+                            ),
+                        );
+                        let mut rows = result.rows;
+                        rows.reverse();
+                        scan.buffer = Some(rows);
+                    } else {
+                        if scan.workers > 1 {
+                            ctx.space.metrics().counter("scan.parallel_fallbacks").inc();
+                        }
+                        scan.cursor = Some(tree.cursor(pred, query, ct));
+                    }
+                }
+                if let Some(buf) = scan.buffer.as_mut() {
+                    match buf.pop() {
+                        None => {
+                            scan.buffer = None;
+                            scan.current += 1;
+                        }
+                        Some((extent, rowid)) => {
+                            if !scan.seen.insert((rowid, extent.encode_array())) {
+                                continue;
+                            }
+                            if eval_full(&scan.qual, &extent, ct)? {
+                                return Ok(Some((RowId(rowid), vec![extent_to_value(&extent)])));
+                            }
+                        }
+                    }
+                    continue;
                 }
                 let cursor = scan.cursor.as_mut().expect("just set");
                 match tree.cursor_next(cursor).map_err(gr_err)? {
@@ -431,6 +517,43 @@ impl AccessMethod for GrTreeAm {
         })
     }
 
+    fn am_build(
+        &self,
+        idx: &IndexDescriptor,
+        rows: &[(RowId, Vec<Value>)],
+        ctx: &AmContext,
+    ) -> Result<bool, IdsError> {
+        let mut entries = Vec::with_capacity(rows.len());
+        for (rid, keys) in rows {
+            entries.push(grt_grtree::LeafEntry {
+                extent: Self::extent_of(keys)?,
+                rowid: rid.0,
+            });
+        }
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, true)?;
+            self.trace_step(ctx, "grt_build", "(1) Get a pointer to Tree object from td");
+            let ct = td.ct;
+            let tree = td.tree.take().expect("ensured");
+            let mut handle = tree.into_lo().map_err(gr_err)?;
+            // grt_create already initialised an empty tree in the BLOB;
+            // the packed build replaces it wholesale.
+            handle.truncate_pages(0)?;
+            let count = entries.len();
+            let mut tree =
+                grt_grtree::bulk::bulk_load(handle, entries, ct, self.opts.tree).map_err(gr_err)?;
+            tree.set_metrics(TreeMetrics::registered(&ctx.space.metrics(), "grtree"));
+            td.tree = Some(tree);
+            td.mode = LockMode::Exclusive;
+            self.trace_step(
+                ctx,
+                "grt_build",
+                &format!("(2) Bulk-load {count} entries via STR packing"),
+            );
+            Ok(true)
+        })
+    }
+
     fn am_delete(
         &self,
         idx: &IndexDescriptor,
@@ -480,15 +603,35 @@ impl AccessMethod for GrTreeAm {
     fn am_scancost(
         &self,
         idx: &IndexDescriptor,
-        _qual: &QualDescriptor,
+        qual: &QualDescriptor,
         ctx: &AmContext,
     ) -> Result<f64, IdsError> {
         self.with_td(idx, ctx, |td| {
             self.ensure_tree(td, ctx, false)?;
+            let ct = td.ct;
             let tree = td.tree.as_ref().expect("ensured");
-            // Height plus a selectivity-blind fraction of the data pages
-            // — coarse, but monotone in index size as the planner needs.
-            Ok(tree.height() as f64 + tree.pages() as f64 * 0.25)
+            let height = tree.height() as f64;
+            let pages = tree.pages() as f64;
+            // Selectivity from the qualification: the fraction of the
+            // root bound (resolved at ct) the probes' query extents
+            // cover, floored so the estimate stays monotone in size.
+            let fraction = match tree.root_bound(ct).map_err(gr_err)? {
+                None => 0.0,
+                Some(bound) => {
+                    let total = bound.area();
+                    let probes = decompose(qual).unwrap_or_default();
+                    if probes.is_empty() || total <= 0 {
+                        1.0
+                    } else {
+                        let overlap: i128 = probes
+                            .iter()
+                            .map(|p| bound.intersection_area(&p.query.region(ct)))
+                            .sum();
+                        (overlap as f64 / total as f64).clamp(0.02, 1.0)
+                    }
+                }
+            };
+            Ok(height + pages * fraction)
         })
     }
 

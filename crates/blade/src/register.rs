@@ -14,11 +14,12 @@ use std::sync::Arc;
 
 /// The purpose-function names of the GR-tree access method, in the
 /// paper's Table 5 order.
-pub const GRT_PURPOSE_FUNCTIONS: [&str; 14] = [
+pub const GRT_PURPOSE_FUNCTIONS: [&str; 15] = [
     "grt_create",
     "grt_drop",
     "grt_open",
     "grt_close",
+    "grt_build",
     "grt_beginscan",
     "grt_rescan",
     "grt_getnext",
@@ -72,10 +73,11 @@ pub fn registration_script() -> String {
     s.push_str(
         "CREATE SECONDARY ACCESS_METHOD grtree_am ( \
          am_create = grt_create, am_drop = grt_drop, am_open = grt_open, \
-         am_close = grt_close, am_beginscan = grt_beginscan, am_rescan = grt_rescan, \
-         am_getnext = grt_getnext, am_endscan = grt_endscan, am_insert = grt_insert, \
-         am_delete = grt_delete, am_update = grt_update, am_scancost = grt_scancost, \
-         am_stats = grt_stats, am_check = grt_check, am_sptype = 'S' );\n",
+         am_close = grt_close, am_build = grt_build, am_beginscan = grt_beginscan, \
+         am_rescan = grt_rescan, am_getnext = grt_getnext, am_endscan = grt_endscan, \
+         am_insert = grt_insert, am_delete = grt_delete, am_update = grt_update, \
+         am_scancost = grt_scancost, am_stats = grt_stats, am_check = grt_check, \
+         am_sptype = 'S' );\n",
     );
     s.push_str(
         "CREATE OPCLASS grt_opclass FOR grtree_am \
@@ -220,7 +222,7 @@ pub fn install_grtree_blade(db: &Database, opts: GrTreeAmOptions) -> Result<Stri
 pub fn rstar_registration_script() -> String {
     let mut s = String::new();
     s.push_str("-- R*-tree baseline access method registration script\n");
-    for f in ["rst_create", "rst_drop", "rst_getnext"] {
+    for f in ["rst_create", "rst_drop", "rst_build", "rst_getnext"] {
         s.push_str(&format!(
             "CREATE FUNCTION {f}(pointer) RETURNING int \
              EXTERNAL NAME 'usr/functions/rstar.bld({f})' LANGUAGE c;\n"
@@ -228,8 +230,8 @@ pub fn rstar_registration_script() -> String {
     }
     s.push_str(
         "CREATE SECONDARY ACCESS_METHOD rstar_am ( \
-         am_create = rst_create, am_drop = rst_drop, am_getnext = rst_getnext, \
-         am_sptype = 'S' );\n",
+         am_create = rst_create, am_drop = rst_drop, am_build = rst_build, \
+         am_getnext = rst_getnext, am_sptype = 'S' );\n",
     );
     s.push_str(
         "CREATE OPCLASS rstar_opclass FOR rstar_am \
@@ -258,7 +260,7 @@ pub fn install_rstar_blade(
             ))?;
         }
     }
-    for f in ["rst_create", "rst_drop", "rst_getnext"] {
+    for f in ["rst_create", "rst_drop", "rst_build", "rst_getnext"] {
         db.install_symbol(&format!("usr/functions/rstar.bld({f})"), purpose_stub(f));
     }
     db.install_library(

@@ -10,6 +10,7 @@
 
 use crate::curtime::{resolve_current_time, CurrentTimePolicy};
 use crate::extent_type::{extent_from_value, extent_to_value, TYPE_NAME};
+use crate::grtree_am::scan_degree;
 use crate::qual::{decompose, eval_full, Probe};
 use grt_ids::heap;
 use grt_ids::{
@@ -44,10 +45,19 @@ impl RStarBitemporalAm {
     }
 }
 
+/// Index scans on trees at least this many pages go parallel when the
+/// effective degree exceeds one (same gate as the GR-tree blade).
+const PARALLEL_PAGE_THRESHOLD: u32 = 32;
+
 struct ScanState {
     probes: Vec<Probe>,
     current: usize,
     cursor: Option<RStarCursor>,
+    /// Merged parallel candidates for the current probe, handed out
+    /// from the back (refinement still happens per candidate below).
+    buffer: Option<Vec<(grt_rstar::Rect2, u64)>>,
+    /// Requested parallel degree (resolved at `am_beginscan`).
+    workers: usize,
     qual: QualDescriptor,
     seen: HashSet<u64>,
     heap: LoHandle,
@@ -217,6 +227,7 @@ impl AccessMethod for RStarBitemporalAm {
     ) -> Result<(), IdsError> {
         let probes = decompose(&scan.qual)?;
         let qual = scan.qual.clone();
+        let workers = scan_degree(idx, ctx);
         let (table_lo, column_pos) = Self::table_info(idx)?;
         let heap = ctx.space.open_lo(ctx.txn, table_lo, LockMode::Shared)?;
         self.with_td(idx, ctx, |td| {
@@ -225,6 +236,8 @@ impl AccessMethod for RStarBitemporalAm {
                 probes,
                 current: 0,
                 cursor: None,
+                buffer: None,
+                workers,
                 qual,
                 seen: HashSet::new(),
                 heap,
@@ -245,6 +258,7 @@ impl AccessMethod for RStarBitemporalAm {
         self.with_td(idx, ctx, |td| {
             if let Some(scan) = td.scan.as_mut() {
                 scan.cursor = None;
+                scan.buffer = None;
                 scan.current = 0;
                 scan.seen.clear();
             }
@@ -267,17 +281,65 @@ impl AccessMethod for RStarBitemporalAm {
                 .as_mut()
                 .ok_or_else(|| IdsError::AccessMethod("getnext without beginscan".into()))?;
             loop {
-                if scan.cursor.is_none() {
+                if scan.cursor.is_none() && scan.buffer.is_none() {
                     let Some(probe) = scan.probes.get(scan.current) else {
                         return Ok(None);
                     };
                     let (pred, rect) = self.spatial_probe(probe, ct);
-                    scan.cursor = Some(tree.cursor(pred, rect));
+                    if scan.workers > 1 && tree.pages() >= PARALLEL_PAGE_THRESHOLD {
+                        let reader = tree.reader();
+                        let result = grt_rstar::parallel_scan(&reader, pred, rect, scan.workers)
+                            .map_err(rs_err)?;
+                        let metrics = ctx.space.metrics();
+                        metrics.counter("scan.parallel_scans").inc();
+                        let worker_ns = metrics.histogram("scan.parallel_worker_ns");
+                        for &ns in &result.stats.worker_ns {
+                            worker_ns.observe_ns(ns);
+                        }
+                        ctx.trace.emit(
+                            "RSTAR",
+                            2,
+                            format!(
+                                "parallel scan: degree {}, {} frontier subtrees, {} candidates",
+                                result.stats.workers,
+                                result.stats.frontier,
+                                result.rows.len()
+                            ),
+                        );
+                        ctx.trace.emit(
+                            "EXPLAIN",
+                            1,
+                            format!(
+                                "parallel index scan on {}: degree {} (requested {})",
+                                idx.index_name, result.stats.workers, scan.workers
+                            ),
+                        );
+                        let mut rows = result.rows;
+                        rows.reverse();
+                        scan.buffer = Some(rows);
+                    } else {
+                        if scan.workers > 1 {
+                            ctx.space.metrics().counter("scan.parallel_fallbacks").inc();
+                        }
+                        scan.cursor = Some(tree.cursor(pred, rect));
+                    }
                 }
-                let cursor = scan.cursor.as_mut().expect("just set");
-                match tree.cursor_next(cursor).map_err(rs_err)? {
-                    None => {
+                let next = if let Some(buf) = scan.buffer.as_mut() {
+                    let popped = buf.pop();
+                    if popped.is_none() {
+                        scan.buffer = None;
+                    }
+                    popped
+                } else {
+                    let cursor = scan.cursor.as_mut().expect("just set");
+                    let stepped = tree.cursor_next(cursor).map_err(rs_err)?;
+                    if stepped.is_none() {
                         scan.cursor = None;
+                    }
+                    stepped
+                };
+                match next {
+                    None => {
                         scan.current += 1;
                     }
                     Some((_rect, rowid)) => {
@@ -344,6 +406,42 @@ impl AccessMethod for RStarBitemporalAm {
         })
     }
 
+    fn am_build(
+        &self,
+        idx: &IndexDescriptor,
+        rows: &[(RowId, Vec<Value>)],
+        ctx: &AmContext,
+    ) -> Result<bool, IdsError> {
+        self.with_td(idx, ctx, |td| {
+            self.ensure_tree(td, ctx, true)?;
+            let ct = td.ct;
+            let mut pairs = Vec::with_capacity(rows.len());
+            for (rid, keys) in rows {
+                let extent = extent_from_value(
+                    keys.first()
+                        .ok_or_else(|| IdsError::AccessMethod("no key column".into()))?,
+                )?;
+                pairs.push((self.strategy.to_rect(&extent, ct), rid.0));
+            }
+            let tree = td.tree.take().expect("ensured");
+            let mut handle = tree.into_lo().map_err(rs_err)?;
+            // rst_create already initialised an empty tree in the BLOB;
+            // the packed build replaces it wholesale.
+            handle.truncate_pages(0)?;
+            let mut tree =
+                grt_rstar::bulk_load_pairs(handle, &pairs, self.tree_opts).map_err(rs_err)?;
+            tree.set_metrics(TreeMetrics::registered(&ctx.space.metrics(), "rstar"));
+            td.tree = Some(tree);
+            td.mode = LockMode::Exclusive;
+            ctx.trace.emit(
+                "RSTAR",
+                2,
+                format!("bulk build: {} entries packed", pairs.len()),
+            );
+            Ok(true)
+        })
+    }
+
     fn am_delete(
         &self,
         idx: &IndexDescriptor,
@@ -377,13 +475,34 @@ impl AccessMethod for RStarBitemporalAm {
     fn am_scancost(
         &self,
         idx: &IndexDescriptor,
-        _qual: &QualDescriptor,
+        qual: &QualDescriptor,
         ctx: &AmContext,
     ) -> Result<f64, IdsError> {
         self.with_td(idx, ctx, |td| {
             self.ensure_tree(td, ctx, false)?;
+            let ct = td.ct;
             let tree = td.tree.as_ref().expect("ensured");
-            Ok(tree.height() as f64 + tree.pages() as f64 * 0.25)
+            let height = tree.height() as f64;
+            let pages = tree.pages() as f64;
+            // Selectivity from the qualification: the fraction of the
+            // root MBR the probes' grounded query rectangles cover.
+            let fraction = match tree.root_mbr().map_err(rs_err)? {
+                None => 0.0,
+                Some(bound) => {
+                    let total = bound.area();
+                    let probes = decompose(qual).unwrap_or_default();
+                    if probes.is_empty() || total <= 0 {
+                        1.0
+                    } else {
+                        let overlap: i128 = probes
+                            .iter()
+                            .map(|p| bound.overlap_area(&self.strategy.query_rect(&p.query, ct)))
+                            .sum();
+                        (overlap as f64 / total as f64).clamp(0.02, 1.0)
+                    }
+                }
+            };
+            Ok(height + pages * fraction)
         })
     }
 

@@ -52,12 +52,14 @@ pub mod concurrent;
 pub mod cursor;
 pub mod entry;
 pub mod meta;
+pub mod parallel;
 pub mod stats;
 pub mod tree;
 
 pub use concurrent::ConcurrentGrTree;
 pub use cursor::GrCursor;
 pub use entry::{GrNode, InternalEntry, LeafEntry};
+pub use parallel::{parallel_scan, GrTreeReader, ParallelScan, ParallelScanStats};
 pub use stats::GrQuality;
 pub use tree::{GrDeleteOutcome, GrTree, GrTreeOptions};
 

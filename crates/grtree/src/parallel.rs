@@ -1,0 +1,363 @@
+//! Parallel range-scan execution over the pinned read path.
+//!
+//! The serial [`GrCursor`](crate::GrCursor) walks qualifying subtrees
+//! depth-first through one thread. This module splits the same
+//! traversal across N workers: the scan seeds a *frontier* of internal
+//! entries whose bounds are consistent with the predicate, pushes their
+//! subtree roots onto a shared deque, and lets each worker claim
+//! subtrees until the deque drains. Workers read nodes through a
+//! [`GrTreeReader`] — a `Send + Sync` snapshot built on
+//! [`LoReader`] pinned reads — so the traversal
+//! never touches the lock manager and never mutates the tree.
+//!
+//! Subtrees claimed from the deque are disjoint, so two workers cannot
+//! emit the same leaf entry; the merge still deduplicates on
+//! `(rowid, extent)` to keep exactly the serial cursor's contract.
+
+use crate::entry::GrNode;
+use crate::meta::GrMeta;
+use crate::Result;
+use grt_metrics::TreeMetrics;
+use grt_sbspace::LoReader;
+use grt_temporal::{Day, Predicate, Region, TimeExtent, VtEnd};
+use std::collections::HashSet;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A `Send + Sync` read-only handle on a disk-resident GR-tree:
+/// a page-table snapshot plus the header copied at creation. Obtained
+/// via [`GrTree::reader`](crate::GrTree::reader); valid for as long as
+/// the originating tree (and its large-object lock) stays open.
+pub struct GrTreeReader {
+    reader: LoReader,
+    meta: GrMeta,
+    metrics: TreeMetrics,
+}
+
+impl GrTreeReader {
+    pub(crate) fn new(reader: LoReader, meta: GrMeta, metrics: TreeMetrics) -> GrTreeReader {
+        GrTreeReader {
+            reader,
+            meta,
+            metrics,
+        }
+    }
+
+    /// Tree height (1 = the root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.meta.height
+    }
+
+    /// Pages in the underlying large object (header included).
+    pub fn pages(&self) -> u32 {
+        self.reader.page_count()
+    }
+
+    /// Decodes the node at `page` through a pinned read.
+    fn read_node(&self, page: u32) -> Result<GrNode> {
+        self.metrics.nodes_visited.inc();
+        GrNode::decode(&*self.reader.read_page_pinned(page)?)
+    }
+}
+
+/// Figures reported by one [`parallel_scan`] execution.
+#[derive(Debug, Clone)]
+pub struct ParallelScanStats {
+    /// Degree actually used (may be lower than requested when the
+    /// frontier is small).
+    pub workers: usize,
+    /// Subtrees seeded into the shared deque.
+    pub frontier: usize,
+    /// Per-worker busy time, nanoseconds.
+    pub worker_ns: Vec<u64>,
+}
+
+/// A merged, deduplicated parallel scan result.
+pub struct ParallelScan {
+    /// Qualifying `(extent, rowid)` pairs, in a deterministic
+    /// (rowid, extent) order.
+    pub rows: Vec<(TimeExtent, u64)>,
+    /// Execution statistics for metrics and tracing.
+    pub stats: ParallelScanStats,
+}
+
+/// One worker's depth-first walk over a claimed subtree. Mirrors the
+/// leaf/descent tests of the serial cursor exactly.
+fn scan_subtree(
+    reader: &GrTreeReader,
+    pred: Predicate,
+    query_region: &Region,
+    ct: Day,
+    root: u32,
+    out: &mut Vec<(TimeExtent, u64)>,
+) -> Result<()> {
+    let mut stack = vec![root];
+    while let Some(page) = stack.pop() {
+        match reader.read_node(page)? {
+            GrNode::Leaf(entries) => {
+                for e in entries {
+                    if matches!(e.spec().vt_end, VtEnd::Now) {
+                        reader.metrics.now_resolutions.inc();
+                    }
+                    if pred.eval_regions(&e.extent.region(ct), query_region) {
+                        out.push((e.extent, e.rowid));
+                    }
+                }
+            }
+            GrNode::Internal { entries, .. } => {
+                for e in entries {
+                    if e.spec.hidden {
+                        reader.metrics.hidden_resolutions.inc();
+                    }
+                    if matches!(e.spec.vt_end, VtEnd::Now) {
+                        reader.metrics.now_resolutions.inc();
+                    }
+                    if pred.consistent(&e.spec.resolve(ct), query_region) {
+                        stack.push(e.child);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs one predicate over the tree with up to `workers` threads and
+/// returns the merged result set. Equivalent to draining a fresh serial
+/// cursor: same leaf test, same descent test, same dedup key. The
+/// caller owns restart semantics — on a concurrent condense it simply
+/// re-runs the scan against the new root and filters against its own
+/// emitted-set, exactly as it would restart a cursor.
+pub fn parallel_scan(
+    reader: &GrTreeReader,
+    pred: Predicate,
+    query: TimeExtent,
+    ct: Day,
+    workers: usize,
+) -> Result<ParallelScan> {
+    let query_region = query.region(ct);
+    reader.metrics.searches.inc();
+
+    // Seed the frontier with the root's qualifying children, expanding
+    // one level at a time while the tree is deep enough and the
+    // frontier too small to keep every worker busy.
+    let mut rows: Vec<(TimeExtent, u64)> = Vec::new();
+    let mut frontier: Vec<u32> = Vec::new();
+    match reader.read_node(reader.meta.root)? {
+        GrNode::Leaf(_) => {
+            // Height-1 tree: nothing to fan out over.
+            scan_subtree(reader, pred, &query_region, ct, reader.meta.root, &mut rows)?;
+            dedup_sort(&mut rows);
+            return Ok(ParallelScan {
+                rows,
+                stats: ParallelScanStats {
+                    workers: 1,
+                    frontier: 1,
+                    worker_ns: Vec::new(),
+                },
+            });
+        }
+        GrNode::Internal { entries, .. } => {
+            for e in entries {
+                if e.spec.hidden {
+                    reader.metrics.hidden_resolutions.inc();
+                }
+                if matches!(e.spec.vt_end, VtEnd::Now) {
+                    reader.metrics.now_resolutions.inc();
+                }
+                if pred.consistent(&e.spec.resolve(ct), &query_region) {
+                    frontier.push(e.child);
+                }
+            }
+        }
+    }
+    // Frontier nodes start one level below the root; stop expanding
+    // before the leaf level (depth `height - 1`).
+    let mut depth = 1;
+    while frontier.len() < workers.saturating_mul(2) && depth + 1 < reader.meta.height {
+        let mut next = Vec::new();
+        for page in frontier.drain(..) {
+            match reader.read_node(page)? {
+                GrNode::Leaf(_) => unreachable!("frontier expansion stopped above leaf level"),
+                GrNode::Internal { entries, .. } => {
+                    for e in entries {
+                        if e.spec.hidden {
+                            reader.metrics.hidden_resolutions.inc();
+                        }
+                        if matches!(e.spec.vt_end, VtEnd::Now) {
+                            reader.metrics.now_resolutions.inc();
+                        }
+                        if pred.consistent(&e.spec.resolve(ct), &query_region) {
+                            next.push(e.child);
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+
+    let frontier_len = frontier.len();
+    let degree = workers.max(1).min(frontier_len.max(1));
+    if degree <= 1 || frontier_len <= 1 {
+        for page in frontier {
+            scan_subtree(reader, pred, &query_region, ct, page, &mut rows)?;
+        }
+        dedup_sort(&mut rows);
+        return Ok(ParallelScan {
+            rows,
+            stats: ParallelScanStats {
+                workers: 1,
+                frontier: frontier_len,
+                worker_ns: Vec::new(),
+            },
+        });
+    }
+
+    // Shared deque of subtree roots; workers pop until it drains.
+    let deque = Mutex::new(frontier);
+    // One worker's collected rows plus its busy time in nanoseconds.
+    type WorkerBatch = (Vec<(TimeExtent, u64)>, u64);
+    let results: Vec<Result<WorkerBatch>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..degree)
+            .map(|_| {
+                let deque = &deque;
+                s.spawn(move || {
+                    let start = Instant::now();
+                    let mut local = Vec::new();
+                    loop {
+                        let page = { deque.lock().expect("scan deque poisoned").pop() };
+                        let Some(page) = page else { break };
+                        scan_subtree(reader, pred, &query_region, ct, page, &mut local)?;
+                    }
+                    Ok((local, start.elapsed().as_nanos() as u64))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
+    });
+
+    let mut worker_ns = Vec::with_capacity(degree);
+    for r in results {
+        let (local, ns) = r?;
+        rows.extend(local);
+        worker_ns.push(ns);
+    }
+    dedup_sort(&mut rows);
+    Ok(ParallelScan {
+        rows,
+        stats: ParallelScanStats {
+            workers: degree,
+            frontier: frontier_len,
+            worker_ns,
+        },
+    })
+}
+
+/// Deterministic merge order plus the cursor's dedup key.
+fn dedup_sort(rows: &mut Vec<(TimeExtent, u64)>) {
+    rows.sort_by_key(|(e, rowid)| (*rowid, e.encode_array()));
+    let mut seen: HashSet<(u64, [u8; 16])> = HashSet::with_capacity(rows.len());
+    rows.retain(|(e, rowid)| seen.insert((*rowid, e.encode_array())));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{GrTree, GrTreeOptions};
+    use grt_sbspace::{IsolationLevel, LoHandle, LockMode, Sbspace, SbspaceOptions};
+    use grt_temporal::{TtEnd, VtEnd};
+
+    fn fresh_lo() -> LoHandle {
+        let sb = Sbspace::mem(SbspaceOptions {
+            pool_pages: 8192,
+            ..Default::default()
+        });
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        let h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        std::mem::forget(txn);
+        std::mem::forget(sb);
+        h
+    }
+
+    fn extent(ttb: i32, tte: Option<i32>, vtb: i32, vte: Option<i32>) -> TimeExtent {
+        TimeExtent::from_parts(
+            Day(ttb),
+            tte.map_or(TtEnd::Uc, |x| TtEnd::Ground(Day(x))),
+            Day(vtb),
+            vte.map_or(VtEnd::Now, |x| VtEnd::Ground(Day(x))),
+        )
+        .unwrap()
+    }
+
+    fn build(n: i32) -> GrTree {
+        let mut tree = GrTree::create(
+            fresh_lo(),
+            GrTreeOptions {
+                max_entries: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..n {
+            let base = (i * 13) % 500;
+            let e = match i % 6 {
+                0 => extent(base, None, base - (i % 9), Some(base + 40)),
+                1 => extent(base, Some(base + 25), base - 7, Some(base + 30)),
+                2 => extent(base, None, base, None),
+                3 => extent(base, Some(base + 15), base, None),
+                4 => extent(base, None, base - (1 + i % 5), None),
+                _ => extent(base, Some(base + 12), base - (1 + i % 5), None),
+            };
+            tree.insert(e, i as u64, Day(600)).unwrap();
+        }
+        tree
+    }
+
+    fn serial(tree: &GrTree, pred: Predicate, query: TimeExtent, ct: Day) -> Vec<(u64, [u8; 16])> {
+        let mut c = tree.cursor(pred, query, ct);
+        let mut out = Vec::new();
+        while let Some((e, rowid)) = tree.cursor_next(&mut c).unwrap() {
+            out.push((rowid, e.encode_array()));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_degrees() {
+        let tree = build(400);
+        let query = extent(100, Some(400), 100, Some(400));
+        for pred in [Predicate::Overlaps, Predicate::Contains] {
+            let want = serial(&tree, pred, query, Day(700));
+            let reader = tree.reader();
+            for workers in [1, 2, 4, 8] {
+                let got = parallel_scan(&reader, pred, query, Day(700), workers)
+                    .unwrap()
+                    .rows
+                    .iter()
+                    .map(|(e, rowid)| (*rowid, e.encode_array()))
+                    .collect::<Vec<_>>();
+                assert_eq!(got, want, "{pred} at degree {workers} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn height_one_tree_scans_inline() {
+        let tree = build(3);
+        let query = extent(0, None, 0, None);
+        let reader = tree.reader();
+        let out = parallel_scan(&reader, Predicate::Overlaps, query, Day(700), 8).unwrap();
+        assert_eq!(out.stats.workers, 1);
+        assert_eq!(
+            out.rows.len(),
+            serial(&tree, Predicate::Overlaps, query, Day(700)).len()
+        );
+    }
+}

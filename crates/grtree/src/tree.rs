@@ -8,7 +8,7 @@ use crate::stats::GrQuality;
 use crate::{GrError, Result};
 use grt_metrics::TreeMetrics;
 use grt_sbspace::LoHandle;
-use grt_temporal::{bound_entries, Day, Predicate, RegionSpec, TimeExtent};
+use grt_temporal::{bound_entries, Day, Predicate, Region, RegionSpec, TimeExtent};
 use std::collections::HashSet;
 
 /// Construction parameters.
@@ -232,6 +232,25 @@ impl GrTree {
             time_param: self.meta.time_param,
             rectangle_only: self.meta.rectangle_only,
         }
+    }
+
+    /// Snapshots this tree into a `Send + Sync` read-only handle for
+    /// parallel scans; see [`crate::parallel`]. The snapshot is valid
+    /// while this tree (and the lock its large-object handle holds)
+    /// stays open.
+    pub fn reader(&self) -> crate::parallel::GrTreeReader {
+        crate::parallel::GrTreeReader::new(self.lo.reader(), self.meta, self.metrics.clone())
+    }
+
+    /// The root node's bounding region resolved at `ct`, or `None` for
+    /// an empty tree. The planner's selectivity estimate compares a
+    /// query region against this bound.
+    pub fn root_bound(&self, ct: Day) -> Result<Option<Region>> {
+        if self.meta.count == 0 {
+            return Ok(None);
+        }
+        let node = self.read_node(self.meta.root)?;
+        Ok(Some(self.node_bound(&node, ct).resolve(ct)))
     }
 
     /// Appends a packed node during bulk load (no balancing).

@@ -40,6 +40,10 @@ pub struct DatabaseOptions {
     /// Backoff slept before the first retry; it doubles on every
     /// further attempt (bounded exponential backoff).
     pub retry_backoff: Duration,
+    /// Default parallel-scan degree offered to access methods for index
+    /// scans (and used by the planner when costing them). `1` keeps
+    /// every scan serial; sessions override it with `SET PARALLEL n`.
+    pub scan_workers: usize,
 }
 
 impl Default for DatabaseOptions {
@@ -49,6 +53,7 @@ impl Default for DatabaseOptions {
             clock: Arc::new(MockClock::default()),
             deadlock_retries: 4,
             retry_backoff: Duration::from_millis(2),
+            scan_workers: 1,
         }
     }
 }
@@ -67,11 +72,12 @@ pub(crate) struct EngineCounters {
 }
 
 /// Every purpose-function slot the engine can invoke (Figure 5).
-const AM_SLOTS: [&str; 13] = [
+const AM_SLOTS: [&str; 14] = [
     "am_create",
     "am_drop",
     "am_open",
     "am_close",
+    "am_build",
     "am_insert",
     "am_delete",
     "am_update",
@@ -121,6 +127,8 @@ pub(crate) struct DbInner {
     deadlock_retries: u32,
     /// Initial retry backoff, doubled per attempt.
     retry_backoff: Duration,
+    /// Default parallel-scan degree ([`DatabaseOptions::scan_workers`]).
+    scan_workers: usize,
     next_session: AtomicU64,
     /// Statement span ids, unique across sessions.
     next_span: AtomicU64,
@@ -171,7 +179,13 @@ impl Database {
     /// Boots a database over an in-memory sbspace.
     pub fn new(opts: DatabaseOptions) -> Database {
         let space = Sbspace::mem(opts.space);
-        Self::boot(space, opts.clock, opts.deadlock_retries, opts.retry_backoff)
+        Self::boot(
+            space,
+            opts.clock,
+            opts.deadlock_retries,
+            opts.retry_backoff,
+            opts.scan_workers,
+        )
     }
 
     /// Boots a database over an existing sbspace (e.g. file-backed),
@@ -183,6 +197,7 @@ impl Database {
             clock,
             defaults.deadlock_retries,
             defaults.retry_backoff,
+            defaults.scan_workers,
         )
     }
 
@@ -191,6 +206,7 @@ impl Database {
         clock: Arc<dyn Clock>,
         deadlock_retries: u32,
         retry_backoff: Duration,
+        scan_workers: usize,
     ) -> Database {
         let txn_sessions: Arc<Mutex<HashMap<u64, Arc<Session>>>> =
             Arc::new(Mutex::new(HashMap::new()));
@@ -227,6 +243,7 @@ impl Database {
                 exec_ns,
                 deadlock_retries,
                 retry_backoff,
+                scan_workers: scan_workers.max(1),
                 next_session: AtomicU64::new(1),
                 next_span: AtomicU64::new(1),
                 txn_sessions,
@@ -586,6 +603,17 @@ impl Connection {
                 }
                 Ok(msg("explain updated"))
             }
+            Statement::SetParallel { workers } => {
+                // Session-scoped override of the engine's default scan
+                // degree; access methods read it back through the named
+                // memory they share with the engine.
+                self.session.put_named(
+                    "parallel_workers",
+                    MemDuration::PerSession,
+                    (workers as usize).max(1),
+                );
+                Ok(msg("parallel degree set"))
+            }
             other => self.with_txn(|txn| self.run(other.clone(), txn)),
         }
     }
@@ -876,6 +904,7 @@ impl Connection {
             "am_drop",
             "am_open",
             "am_close",
+            "am_build",
             "am_beginscan",
             "am_rescan",
             "am_getnext",
@@ -1017,6 +1046,10 @@ impl Connection {
             "column_pos".into(),
             table_meta.column_index(&columns[0].0)?.to_string(),
         );
+        params.insert(
+            "scan_workers".into(),
+            self.db.inner.scan_workers.to_string(),
+        );
         let desc = IndexDescriptor {
             index_name: name.clone(),
             table: table_meta.name.clone(),
@@ -1037,12 +1070,27 @@ impl Connection {
         {
             let h = self.open_heap(txn, &table_meta, false)?;
             let mut scan = heap::HeapScan::new();
-            self.trace_purpose(&am, "am_open");
-            am.handler.am_open(&desc, &ctx)?;
+            let mut rows: Vec<(RowId, Vec<Value>)> = Vec::new();
             while let Some((rid, row)) = scan.next(&h)? {
                 let keys: Vec<Value> = col_indexes.iter().map(|&i| row[i].clone()).collect();
-                self.trace_purpose(&am, "am_insert");
-                am.handler.am_insert(&desc, &keys, rid, &ctx)?;
+                rows.push((rid, keys));
+            }
+            self.trace_purpose(&am, "am_open");
+            am.handler.am_open(&desc, &ctx)?;
+            // An access method that knows how to pack a tree builds the
+            // index in one pass; otherwise fall back to row-at-a-time
+            // insertion, the original Figure 6(a) loop.
+            let built = if rows.is_empty() {
+                false
+            } else {
+                self.trace_purpose(&am, "am_build");
+                am.handler.am_build(&desc, &rows, &ctx)?
+            };
+            if !built {
+                for (rid, keys) in &rows {
+                    self.trace_purpose(&am, "am_insert");
+                    am.handler.am_insert(&desc, keys, *rid, &ctx)?;
+                }
             }
             self.trace_purpose(&am, "am_close");
             am.handler.am_close(&desc, &ctx)?;
@@ -1092,6 +1140,10 @@ impl Connection {
         params.insert(
             "column_pos".to_string(),
             table.column_index(&ix.columns[0])?.to_string(),
+        );
+        params.insert(
+            "scan_workers".to_string(),
+            self.db.inner.scan_workers.to_string(),
         );
         Ok((
             am,

@@ -269,6 +269,20 @@ pub trait AccessMethod: Send + Sync {
         Err(IdsError::AccessMethod("am_insert not provided".into()))
     }
 
+    /// Bulk-building the index over an already-populated table.
+    /// `CREATE INDEX` offers the full row set once; an access method
+    /// that can pack a tree directly (sort-tile-recursive loading, say)
+    /// returns `Ok(true)`. The default declines, and the engine falls
+    /// back to one `am_insert` call per row.
+    fn am_build(
+        &self,
+        idx: &IndexDescriptor,
+        rows: &[(RowId, Vec<Value>)],
+        ctx: &AmContext,
+    ) -> Result<bool> {
+        Ok(false)
+    }
+
     /// Deleting a row's indexed fields.
     fn am_delete(
         &self,

@@ -19,15 +19,19 @@
 //!   that motivate the GR-tree.
 
 pub mod bitemporal;
+pub mod bulk;
 pub mod cursor;
 pub mod geom;
 pub mod meta;
 pub mod node;
+pub mod parallel;
 pub mod stats;
 pub mod tree;
 
+pub use bulk::{bulk_load, bulk_load_pairs};
 pub use cursor::RStarCursor;
 pub use geom::{Rect2, SpatialPredicate};
+pub use parallel::{parallel_scan, ParallelScan, ParallelScanStats, RStarTreeReader};
 pub use stats::TreeQuality;
 pub use tree::{RStarOptions, RStarTree};
 

@@ -1,0 +1,284 @@
+//! Parallel range-scan execution over the pinned read path — the
+//! R\*-tree mirror of `grt-grtree`'s `parallel` module.
+//!
+//! The scan seeds a frontier of internal entries consistent with the
+//! predicate, pushes their subtree roots onto a shared deque, and lets
+//! N workers claim subtrees through a `Send + Sync`
+//! [`RStarTreeReader`] snapshot. Claimed subtrees are disjoint; the
+//! merge still deduplicates on `(payload, rect)` to keep exactly the
+//! serial cursor's contract.
+
+use crate::geom::{Rect2, SpatialPredicate};
+use crate::meta::Meta;
+use crate::node::Node;
+use crate::Result;
+use grt_metrics::TreeMetrics;
+use grt_sbspace::LoReader;
+use std::collections::HashSet;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A `Send + Sync` read-only handle on a disk-resident R\*-tree.
+/// Obtained via [`RStarTree::reader`](crate::RStarTree::reader); valid
+/// for as long as the originating tree (and its large-object lock)
+/// stays open.
+pub struct RStarTreeReader {
+    reader: LoReader,
+    meta: Meta,
+    metrics: TreeMetrics,
+}
+
+impl RStarTreeReader {
+    pub(crate) fn new(reader: LoReader, meta: Meta, metrics: TreeMetrics) -> RStarTreeReader {
+        RStarTreeReader {
+            reader,
+            meta,
+            metrics,
+        }
+    }
+
+    /// Tree height (1 = the root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.meta.height
+    }
+
+    /// Pages in the underlying large object (header included).
+    pub fn pages(&self) -> u32 {
+        self.reader.page_count()
+    }
+
+    /// Decodes the node at `page` through a pinned read.
+    fn read_node(&self, page: u32) -> Result<Node> {
+        self.metrics.nodes_visited.inc();
+        Node::decode(&*self.reader.read_page_pinned(page)?)
+    }
+}
+
+/// Figures reported by one [`parallel_scan`] execution.
+#[derive(Debug, Clone)]
+pub struct ParallelScanStats {
+    /// Degree actually used (may be lower than requested when the
+    /// frontier is small).
+    pub workers: usize,
+    /// Subtrees seeded into the shared deque.
+    pub frontier: usize,
+    /// Per-worker busy time, nanoseconds.
+    pub worker_ns: Vec<u64>,
+}
+
+/// A merged, deduplicated parallel scan result.
+pub struct ParallelScan {
+    /// Qualifying `(rect, payload)` pairs, in a deterministic
+    /// (payload, rect) order.
+    pub rows: Vec<(Rect2, u64)>,
+    /// Execution statistics for metrics and tracing.
+    pub stats: ParallelScanStats,
+}
+
+/// One worker's depth-first walk over a claimed subtree. Mirrors the
+/// leaf/descent tests of the serial cursor exactly.
+fn scan_subtree(
+    reader: &RStarTreeReader,
+    pred: SpatialPredicate,
+    query: &Rect2,
+    root: u32,
+    out: &mut Vec<(Rect2, u64)>,
+) -> Result<()> {
+    let mut stack = vec![root];
+    while let Some(page) = stack.pop() {
+        let node = reader.read_node(page)?;
+        if node.is_leaf() {
+            for e in node.entries {
+                if e.rect.eval(pred, query) {
+                    out.push((e.rect, e.payload));
+                }
+            }
+        } else {
+            for e in node.entries {
+                if e.rect.consistent(pred, query) {
+                    stack.push(e.payload as u32);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs one predicate over the tree with up to `workers` threads and
+/// returns the merged result set — equivalent to draining a fresh
+/// serial cursor. The caller owns restart semantics, re-running the
+/// scan against the new root after a condense and filtering against its
+/// own emitted-set.
+pub fn parallel_scan(
+    reader: &RStarTreeReader,
+    pred: SpatialPredicate,
+    query: Rect2,
+    workers: usize,
+) -> Result<ParallelScan> {
+    reader.metrics.searches.inc();
+
+    let mut rows: Vec<(Rect2, u64)> = Vec::new();
+    let mut frontier: Vec<u32> = Vec::new();
+    let root = reader.read_node(reader.meta.root)?;
+    if root.is_leaf() {
+        // Height-1 tree: nothing to fan out over.
+        scan_subtree(reader, pred, &query, reader.meta.root, &mut rows)?;
+        dedup_sort(&mut rows);
+        return Ok(ParallelScan {
+            rows,
+            stats: ParallelScanStats {
+                workers: 1,
+                frontier: 1,
+                worker_ns: Vec::new(),
+            },
+        });
+    }
+    for e in root.entries {
+        if e.rect.consistent(pred, &query) {
+            frontier.push(e.payload as u32);
+        }
+    }
+    // Frontier nodes start one level below the root; stop expanding
+    // before the leaf level (depth `height - 1`).
+    let mut depth = 1;
+    while frontier.len() < workers.saturating_mul(2) && depth + 1 < reader.meta.height {
+        let mut next = Vec::new();
+        for page in frontier.drain(..) {
+            for e in reader.read_node(page)?.entries {
+                if e.rect.consistent(pred, &query) {
+                    next.push(e.payload as u32);
+                }
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+
+    let frontier_len = frontier.len();
+    let degree = workers.max(1).min(frontier_len.max(1));
+    if degree <= 1 || frontier_len <= 1 {
+        for page in frontier {
+            scan_subtree(reader, pred, &query, page, &mut rows)?;
+        }
+        dedup_sort(&mut rows);
+        return Ok(ParallelScan {
+            rows,
+            stats: ParallelScanStats {
+                workers: 1,
+                frontier: frontier_len,
+                worker_ns: Vec::new(),
+            },
+        });
+    }
+
+    // Shared deque of subtree roots; workers pop until it drains.
+    let deque = Mutex::new(frontier);
+    // One worker's collected rows plus its busy time in nanoseconds.
+    type WorkerBatch = (Vec<(Rect2, u64)>, u64);
+    let results: Vec<Result<WorkerBatch>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..degree)
+            .map(|_| {
+                let deque = &deque;
+                s.spawn(move || {
+                    let start = Instant::now();
+                    let mut local = Vec::new();
+                    loop {
+                        let page = { deque.lock().expect("scan deque poisoned").pop() };
+                        let Some(page) = page else { break };
+                        scan_subtree(reader, pred, &query, page, &mut local)?;
+                    }
+                    Ok((local, start.elapsed().as_nanos() as u64))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
+    });
+
+    let mut worker_ns = Vec::with_capacity(degree);
+    for r in results {
+        let (local, ns) = r?;
+        rows.extend(local);
+        worker_ns.push(ns);
+    }
+    dedup_sort(&mut rows);
+    Ok(ParallelScan {
+        rows,
+        stats: ParallelScanStats {
+            workers: degree,
+            frontier: frontier_len,
+            worker_ns,
+        },
+    })
+}
+
+/// Deterministic merge order plus the cursor's dedup key.
+fn dedup_sort(rows: &mut Vec<(Rect2, u64)>) {
+    rows.sort_by_key(|(r, payload)| (*payload, r.x1, r.x2, r.y1, r.y2));
+    let mut seen: HashSet<(u64, [i32; 4])> = HashSet::with_capacity(rows.len());
+    rows.retain(|(r, payload)| seen.insert((*payload, [r.x1, r.x2, r.y1, r.y2])));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{RStarOptions, RStarTree};
+    use grt_sbspace::{IsolationLevel, LoHandle, LockMode, Sbspace, SbspaceOptions};
+
+    fn fresh_lo() -> LoHandle {
+        let sb = Sbspace::mem(SbspaceOptions {
+            pool_pages: 4096,
+            ..Default::default()
+        });
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        let h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        std::mem::forget(txn);
+        std::mem::forget(sb);
+        h
+    }
+
+    fn rect_for(i: i32) -> Rect2 {
+        let x = (i * 37) % 1000;
+        let y = (i * 59) % 1000;
+        Rect2::new(x, x + 5 + i % 7, y, y + 3 + i % 11)
+    }
+
+    fn build(n: i32) -> RStarTree {
+        let mut t = RStarTree::create(
+            fresh_lo(),
+            RStarOptions {
+                max_entries: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..n {
+            t.insert(rect_for(i), i as u64).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_degrees() {
+        let tree = build(400);
+        let query = Rect2::new(100, 600, 100, 600);
+        for pred in [SpatialPredicate::Overlap, SpatialPredicate::Within] {
+            let mut want = tree.search(pred, &query).unwrap();
+            want.sort_unstable();
+            let reader = tree.reader();
+            for workers in [1, 2, 4, 8] {
+                let mut got: Vec<u64> = parallel_scan(&reader, pred, query, workers)
+                    .unwrap()
+                    .rows
+                    .iter()
+                    .map(|(_, id)| *id)
+                    .collect();
+                got.sort_unstable();
+                assert_eq!(got, want, "{pred:?} at degree {workers} diverged");
+            }
+        }
+    }
+}

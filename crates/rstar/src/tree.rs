@@ -147,6 +147,11 @@ impl RStarTree {
         self.meta.max_entries as usize
     }
 
+    /// Minimum fill of non-root nodes of this tree instance.
+    pub fn min_fill(&self) -> usize {
+        self.meta.min_fill as usize
+    }
+
     /// The root page (for structure dumps).
     pub fn root_page(&self) -> u32 {
         self.meta.root
@@ -165,6 +170,37 @@ impl RStarTree {
     fn write_node(&mut self, page: u32, node: &Node) -> Result<()> {
         self.lo.write_page(page, &node.encode())?;
         Ok(())
+    }
+
+    /// Snapshots this tree into a `Send + Sync` read-only handle for
+    /// parallel scans; see [`crate::parallel`]. The snapshot is valid
+    /// while this tree (and the lock its large-object handle holds)
+    /// stays open.
+    pub fn reader(&self) -> crate::parallel::RStarTreeReader {
+        crate::parallel::RStarTreeReader::new(self.lo.reader(), self.meta, self.metrics.clone())
+    }
+
+    /// The root node's minimum bounding rectangle, or `None` for an
+    /// empty tree. The planner's selectivity estimate compares a query
+    /// rectangle against this bound.
+    pub fn root_mbr(&self) -> Result<Option<Rect2>> {
+        if self.meta.count == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.read_node(self.meta.root)?.mbr()))
+    }
+
+    /// Appends a packed node during bulk load (no balancing).
+    pub(crate) fn bulk_append(&mut self, node: &Node) -> Result<u32> {
+        Ok(self.lo.append_page(&node.encode())?)
+    }
+
+    /// Installs the bulk-loaded root and counters.
+    pub(crate) fn bulk_finish(&mut self, root: u32, height: u32, count: u64) -> Result<()> {
+        self.meta.root = root;
+        self.meta.height = height.max(1);
+        self.meta.count = count;
+        self.write_meta()
     }
 
     fn alloc_node(&mut self, node: &Node) -> Result<u32> {

@@ -853,6 +853,59 @@ impl Drop for LoHandle {
     }
 }
 
+/// A `Send + Sync` read-only view of a large object: the page table is
+/// snapshotted at creation and every read goes through the shared
+/// buffer pool's pinned path, so any number of threads can traverse the
+/// same object concurrently without a lock-manager interaction per
+/// read.
+///
+/// The view is only as stable as the lock of the [`LoHandle`] it was
+/// taken from: the parent handle (and its transaction) must outlive the
+/// reader, otherwise the pages it names may be reused by a concurrent
+/// writer. Readers hand out [`PageGuard`]s, which must all be dropped
+/// before the owning space shuts down.
+pub struct LoReader {
+    inner: Arc<SpaceInner>,
+    lo: LoId,
+    pages: Vec<u32>,
+}
+
+impl LoReader {
+    /// The object's id.
+    pub fn id(&self) -> LoId {
+        self.lo
+    }
+
+    /// Number of data pages in the snapshot.
+    pub fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    /// Pins logical page `logical` and returns a zero-copy view of its
+    /// bytes, exactly like [`LoHandle::read_page_pinned`].
+    pub fn read_page_pinned(&self, logical: u32) -> Result<PageGuard> {
+        let pid = self
+            .pages
+            .get(logical as usize)
+            .copied()
+            .ok_or_else(|| SbError::NotFound(format!("{}: page {logical}", self.lo)))?;
+        self.inner.pool.read_pinned(PageId(pid))
+    }
+}
+
+impl LoHandle {
+    /// Snapshots this handle into a [`LoReader`] that worker threads can
+    /// share. The handle's lock protects the reader: keep the handle
+    /// open for as long as any reader (or guard it produced) is live.
+    pub fn reader(&self) -> LoReader {
+        LoReader {
+            inner: self.inner.clone(),
+            lo: self.lo,
+            pages: self.inode.data_pages.clone(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -55,10 +55,15 @@ fn sysmetrics_reports_live_counters_from_every_layer() {
     for i in 0..180 {
         insert(&conn, &clock, i);
     }
-    conn.exec(
+    // A narrow ground-extent probe: wide enough to hit some entries,
+    // narrow enough that the qual-aware cost estimate picks the index.
+    let (y1, m1, d1) = Day(10_005).to_ymd();
+    let (y2, m2, d2) = Day(10_020).to_ymd();
+    conn.exec(&format!(
         "SELECT id FROM t WHERE Overlaps(Time_Extent, \
-         '01/01/1997, UC, 01/01/1997, NOW')",
-    )
+         '{m1:02}/{d1:02}/{y1}, {m2:02}/{d2:02}/{y2}, \
+          {m1:02}/{d1:02}/{y1}, {m2:02}/{d2:02}/{y2}')"
+    ))
     .unwrap();
     // A probe against an unindexed table evaluates the strategy
     // function as a plain UDR over a sequential scan.

@@ -1,0 +1,239 @@
+//! Parallel index-scan equivalence: for any degree, `SET PARALLEL n`
+//! must change only the execution strategy, never the answer. The
+//! suite drives the SQL surface end to end — session degree override,
+//! the planner picking the index, the work-stealing traversal over the
+//! pinned read path, and the merged-batch cursor contract (no
+//! duplicate rows, restart-after-condense) — and cross-checks the
+//! `scan.parallel_*` counters.
+
+use grtree_datablade::blade::{install_grtree_blade, GrTreeAmOptions};
+use grtree_datablade::grtree::GrTreeOptions;
+use grtree_datablade::ids::{Connection, Database, DatabaseOptions, Value};
+use grtree_datablade::temporal::{Day, MockClock};
+use std::sync::Arc;
+
+fn render(day: i32) -> String {
+    let (y, m, d) = Day(day).to_ymd();
+    format!("{m:02}/{d:02}/{y:04}")
+}
+
+/// A database whose GR-tree uses a small fan-out, so a few hundred
+/// rows spread the index over enough pages to clear the parallel-scan
+/// threshold.
+fn db_small_fanout() -> (Database, MockClock) {
+    let clock = MockClock::new(Day(10_000));
+    let db = Database::new(DatabaseOptions {
+        clock: Arc::new(clock.clone()),
+        ..Default::default()
+    });
+    install_grtree_blade(
+        &db,
+        GrTreeAmOptions {
+            tree: GrTreeOptions {
+                max_entries: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (db, clock)
+}
+
+/// Populates `t` with `n` rows: even ids now-relative (`UC`/`NOW`),
+/// odd ids with closed extents — the mix the GR-tree's stair encoding
+/// exists for.
+fn populate(conn: &Connection, clock: &MockClock, n: i32) {
+    conn.exec("CREATE TABLE t (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    conn.exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+    for i in 0..n {
+        clock.set(Day(10_000 + i));
+        let start = render(10_000 + i);
+        let extent = if i % 2 == 0 {
+            format!("{start}, UC, {start}, NOW")
+        } else {
+            format!("{start}, UC, {start}, {}", render(10_000 + i + 30))
+        };
+        conn.exec(&format!("INSERT INTO t VALUES ({i}, '{extent}')"))
+            .unwrap();
+    }
+}
+
+fn ids_of(conn: &Connection, query: &str) -> Vec<i64> {
+    let mut out: Vec<i64> = conn
+        .exec(query)
+        .unwrap()
+        .rows
+        .into_iter()
+        .map(|row| match row[0] {
+            Value::Int(v) => v,
+            ref other => panic!("unexpected id value {other:?}"),
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn parallel_scan_matches_serial_across_degrees() {
+    let (db, clock) = db_small_fanout();
+    let conn = db.connect();
+    populate(&conn, &clock, 300);
+    clock.set(Day(10_400));
+
+    // Two selective slices of the history — one early, one late enough
+    // to cut across the still-growing `UC`/`NOW` stairs. Either way the
+    // qual-aware estimate keeps the index cheaper than the heap sweep.
+    let probes = [
+        format!(
+            "Overlaps(Time_Extent, '{}, {}, {}, {}')",
+            render(10_050),
+            render(10_080),
+            render(10_040),
+            render(10_090)
+        ),
+        format!(
+            "Overlaps(Time_Extent, '{}, {}, {}, {}')",
+            render(10_150),
+            render(10_190),
+            render(10_140),
+            render(10_200)
+        ),
+    ];
+
+    for probe in &probes {
+        let query = format!("SELECT id FROM t WHERE {probe}");
+        let serial = ids_of(&conn, &query);
+        assert!(
+            !serial.is_empty(),
+            "probe must match rows or the test proves nothing: {probe}"
+        );
+        for degree in [1usize, 2, 4, 8] {
+            conn.exec(&format!("SET PARALLEL {degree}")).unwrap();
+            let before = db.metrics_snapshot();
+            let got = ids_of(&conn, &query);
+            assert_eq!(
+                got, serial,
+                "degree {degree} changed the answer for {probe}"
+            );
+            let d = db.metrics_snapshot().since(&before);
+            assert_eq!(
+                d.get("ids.plans_index"),
+                1,
+                "probe must go through the index: {probe}"
+            );
+            if degree > 1 {
+                assert!(
+                    d.get("scan.parallel_scans") >= 1,
+                    "degree {degree} never took the parallel path: {d}"
+                );
+                assert!(
+                    d.histogram("scan.parallel_worker_ns").count > 0,
+                    "worker latency histogram unobserved: {d}"
+                );
+            } else {
+                assert_eq!(
+                    d.get("scan.parallel_scans"),
+                    0,
+                    "degree 1 must stay on the serial cursor: {d}"
+                );
+            }
+        }
+        conn.exec("SET PARALLEL 1").unwrap();
+    }
+}
+
+#[test]
+fn small_trees_fall_back_to_serial() {
+    // A handful of rows: the index stays under the page threshold, so
+    // even a high requested degree runs the serial cursor and ticks
+    // the fallback counter instead.
+    let clock = MockClock::new(Day(10_000));
+    let db = Database::new(DatabaseOptions {
+        clock: Arc::new(clock.clone()),
+        ..Default::default()
+    });
+    install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE t (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    conn.exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+    for i in 0..10 {
+        clock.set(Day(10_000 + i));
+        let s = render(10_000 + i);
+        conn.exec(&format!("INSERT INTO t VALUES ({i}, '{s}, UC, {s}, NOW')"))
+            .unwrap();
+    }
+    conn.exec("SET PARALLEL 8").unwrap();
+    let probe = format!(
+        "Overlaps(Time_Extent, '{}, {}, {}, {}')",
+        render(10_002),
+        render(10_006),
+        render(10_001),
+        render(10_007)
+    );
+    let before = db.metrics_snapshot();
+    let got = ids_of(&conn, &format!("SELECT id FROM t WHERE {probe}"));
+    assert!(!got.is_empty());
+    let d = db.metrics_snapshot().since(&before);
+    assert_eq!(d.get("scan.parallel_scans"), 0, "tiny tree went parallel");
+    if d.get("ids.plans_index") == 1 {
+        assert!(
+            d.get("scan.parallel_fallbacks") >= 1,
+            "fallback went uncounted: {d}"
+        );
+    }
+}
+
+#[test]
+fn parallel_delete_mid_scan_condenses_and_restarts() {
+    // The Section 5.5 contract under the parallel executor: a DELETE
+    // through the index interleaves getnext with deletions, deletions
+    // condense the tree, and every condense must throw away the
+    // buffered parallel batch and re-derive it from the new root —
+    // without ever deleting a row twice or leaving one behind.
+    let (db, clock) = db_small_fanout();
+    let conn = db.connect();
+    populate(&conn, &clock, 300);
+    clock.set(Day(10_400));
+    conn.exec("SET PARALLEL 4").unwrap();
+
+    let before = db.metrics_snapshot();
+    conn.exec(&format!(
+        "DELETE FROM t WHERE Overlaps(Time_Extent, '{}, {}, {}, {}')",
+        render(10_000),
+        render(10_250),
+        render(9_990),
+        render(10_251)
+    ))
+    .unwrap();
+    let d = db.metrics_snapshot().since(&before);
+    assert!(
+        d.get("grtree.condenses") > 0,
+        "the mass delete never condensed the tree: {d}"
+    );
+
+    // Rows 251..299 began after the probe's transaction-time window
+    // closed; everything else is gone.
+    let left = ids_of(&conn, "SELECT id FROM t");
+    assert_eq!(left.len(), 49, "rows 251..299 remain: {left:?}");
+    assert!(left.iter().all(|&id| id >= 251), "{left:?}");
+    conn.exec("CHECK INDEX tix").unwrap();
+
+    // And a parallel scan over the condensed tree still agrees with
+    // the serial one.
+    let probe = format!(
+        "SELECT id FROM t WHERE Overlaps(Time_Extent, '{}, {}, {}, {}')",
+        render(10_251),
+        render(10_299),
+        render(10_240),
+        render(10_330)
+    );
+    conn.exec("SET PARALLEL 1").unwrap();
+    let serial = ids_of(&conn, &probe);
+    conn.exec("SET PARALLEL 4").unwrap();
+    assert_eq!(ids_of(&conn, &probe), serial);
+}

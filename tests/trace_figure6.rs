@@ -19,16 +19,17 @@ fn create_index_and_probe_match_golden_am_sequence() {
         clock: Arc::new(clock.clone()),
         ..Default::default()
     });
-    // Default tree fanout: the whole index stays a few pages, so the
-    // planner's `height + pages/4` estimate beats the sequential scan
-    // and the probe exercises the Figure 6(b) sequence.
+    // Default tree fanout: the whole index stays a few pages, and the
+    // probe below is narrow, so the planner's qual-aware estimate beats
+    // the sequential scan and exercises the Figure 6(b) sequence.
     install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
     let conn = db.connect();
     conn.exec("CREATE TABLE t (id integer, Time_Extent GRT_TimeExtent_t)")
         .unwrap();
-    // Preloaded rows, so CREATE INDEX walks the heap and inserts every
-    // existing row through the purpose functions (Figure 6a), and so
-    // the planner later picks the index over a sequential scan.
+    // Preloaded rows, so CREATE INDEX walks the heap and bulk-builds
+    // the index through `am_build` (with `am_insert` as the engine's
+    // fallback), and so the planner later picks the index over a
+    // sequential scan.
     for i in 0..40i32 {
         clock.set(Day(10_000 + i));
         let (y, m, d) = Day(10_000 + i).to_ymd();
@@ -41,10 +42,15 @@ fn create_index_and_probe_match_golden_am_sequence() {
     conn.exec("SET TRACE ON 'AM'").unwrap();
     conn.exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
         .unwrap();
-    conn.exec(
+    // A narrow ground-extent probe: it covers a sliver of the indexed
+    // region, so the qual-aware `am_scancost` beats the sequential scan.
+    let (y1, m1, d1) = Day(10_005).to_ymd();
+    let (y2, m2, d2) = Day(10_010).to_ymd();
+    conn.exec(&format!(
         "SELECT id FROM t WHERE Overlaps(Time_Extent, \
-         '01/01/1997, UC, 01/01/1997, NOW')",
-    )
+         '{m1:02}/{d1:02}/{y1}, {m2:02}/{d2:02}/{y2}, \
+          {m1:02}/{d1:02}/{y1}, {m2:02}/{d2:02}/{y2}')"
+    ))
     .unwrap();
     conn.exec("SET TRACE OFF").unwrap();
 
