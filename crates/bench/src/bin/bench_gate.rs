@@ -3,6 +3,7 @@
 //! ```text
 //! bench_gate <baseline.json> <candidate.json> [--tolerance 0.25]
 //!            [--throughput | --scan-speedup]
+//! bench_gate <candidate.json> --prepared-speedup [--threshold 1.3]
 //! ```
 //!
 //! Default mode compares `ns_per_read` for every `(config, threads)`
@@ -15,6 +16,13 @@
 //! every `(config, workers)` pair (higher is better) — a candidate
 //! whose scan no longer scales with workers fails the gate even when
 //! its absolute latency happens to be fine.
+//!
+//! `--prepared-speedup` is an absolute gate over a single concurrency
+//! report, not a baseline comparison: every session count's prepared
+//! speedup must beat compile-every-time (> 1.0x) and the 1-session
+//! figure must reach `--threshold` (default 1.3x). A ratio against a
+//! disabled plan cache has a meaningful fixed point, so checking it
+//! absolutely avoids ratcheting a baseline downward run over run.
 
 use grt_bench::gate;
 
@@ -23,12 +31,14 @@ enum Mode {
     ReadLatency,
     Throughput,
     ScanSpeedup,
+    PreparedSpeedup,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut tolerance = 0.25f64;
+    let mut threshold = 1.3f64;
     let mut mode = Mode::ReadLatency;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -37,17 +47,21 @@ fn main() {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| usage("--tolerance needs a number"));
+        } else if a == "--threshold" {
+            threshold = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage("--threshold needs a number"));
         } else if a == "--throughput" {
             mode = Mode::Throughput;
         } else if a == "--scan-speedup" {
             mode = Mode::ScanSpeedup;
+        } else if a == "--prepared-speedup" {
+            mode = Mode::PreparedSpeedup;
         } else {
             files.push(a.clone());
         }
     }
-    let [baseline_path, candidate_path] = files.as_slice() else {
-        usage("expected two report files")
-    };
 
     let read = |path: &str| -> String {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -55,10 +69,46 @@ fn main() {
             std::process::exit(2);
         })
     };
+
+    if mode == Mode::PreparedSpeedup {
+        let [candidate_path] = files.as_slice() else {
+            usage("--prepared-speedup expects one report file")
+        };
+        let speedups = gate::parse_prepared_speedups(&read(candidate_path));
+        if speedups.is_empty() {
+            eprintln!("bench_gate: no prepared_speedup section in {candidate_path}");
+            std::process::exit(2);
+        }
+        let failures = gate::prepared_speedup_failures(&speedups, threshold);
+        for (sessions, speedup) in &speedups {
+            let target = if *sessions == 1 { threshold } else { 1.0 };
+            let verdict = if *speedup <= 1.0 || (*sessions == 1 && *speedup < threshold) {
+                "FAILED"
+            } else {
+                "ok"
+            };
+            println!(
+                "prepared_speedup {sessions} session(s): {speedup:.2}x (target {target:.2}x)  {verdict}"
+            );
+        }
+        if !failures.is_empty() {
+            for msg in &failures {
+                eprintln!("bench_gate: {msg}");
+            }
+            std::process::exit(1);
+        }
+        println!("bench_gate: prepared speedup holds at every session count");
+        return;
+    }
+
+    let [baseline_path, candidate_path] = files.as_slice() else {
+        usage("expected two report files")
+    };
     let parse = match mode {
         Mode::ReadLatency => gate::parse_read_rates,
         Mode::Throughput => gate::parse_throughputs,
         Mode::ScanSpeedup => gate::parse_speedups,
+        Mode::PreparedSpeedup => unreachable!("handled above"),
     };
     let baseline = parse(&read(baseline_path));
     let candidate = parse(&read(candidate_path));
@@ -67,7 +117,7 @@ fn main() {
         let key = match mode {
             Mode::ReadLatency => "(config, threads)",
             Mode::Throughput => "(config, sessions)",
-            Mode::ScanSpeedup => "(config, workers)",
+            Mode::ScanSpeedup | Mode::PreparedSpeedup => "(config, workers)",
         };
         eprintln!("bench_gate: no shared {key} pairs between the reports");
         std::process::exit(2);
@@ -78,7 +128,9 @@ fn main() {
         let regressed = match mode {
             Mode::ReadLatency => c.regressed(tolerance),
             // Throughput and speedup are both higher-is-better.
-            Mode::Throughput | Mode::ScanSpeedup => c.regressed_throughput(tolerance),
+            Mode::Throughput | Mode::ScanSpeedup | Mode::PreparedSpeedup => {
+                c.regressed_throughput(tolerance)
+            }
         };
         let verdict = if regressed {
             failed = true;
@@ -103,7 +155,7 @@ fn main() {
                 c.candidate_ns,
                 (c.ratio - 1.0) * 100.0,
             ),
-            Mode::ScanSpeedup => println!(
+            Mode::ScanSpeedup | Mode::PreparedSpeedup => println!(
                 "{:<12} {} worker(s): baseline {:5.2}x, candidate {:5.2}x ({:+.1}%)  {verdict}",
                 c.config,
                 c.threads,
@@ -117,7 +169,7 @@ fn main() {
         let what = match mode {
             Mode::ReadLatency => "read latency",
             Mode::Throughput => "throughput",
-            Mode::ScanSpeedup => "scan speedup",
+            Mode::ScanSpeedup | Mode::PreparedSpeedup => "scan speedup",
         };
         eprintln!(
             "bench_gate: {what} regressed more than {:.0}% — see lines above",
@@ -132,7 +184,8 @@ fn usage(err: &str) -> ! {
     eprintln!("bench_gate: {err}");
     eprintln!(
         "usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.25] \
-         [--throughput | --scan-speedup]"
+         [--throughput | --scan-speedup]\n       \
+         bench_gate <candidate.json> --prepared-speedup [--threshold 1.3]"
     );
     std::process::exit(2);
 }

@@ -19,7 +19,25 @@
 //!   REPEATABLE READ, whose UPDATEs perform the shared→exclusive
 //!   upgrade that manufactures deadlock cycles. Throughput here prices
 //!   the victim-abort + backoff + retry machinery, and the report
-//!   records how many deadlocks and retries the run absorbed.
+//!   records how many deadlocks and retries the run absorbed;
+//! * `prepared`: the `read_committed` workload issued through
+//!   PREPARE/EXECUTE handles compiled once at session start. On this
+//!   write-heavy mix GR-tree maintenance dominates, so `prepared`
+//!   tracks `read_committed` closely — the transparent plan cache
+//!   already gives ad-hoc statements the compiled-form reuse.
+//!
+//! The `prepared_speedup` section isolates the compile-once payoff on
+//! the workload where it matters: point-probe index SELECTs whose
+//! execution is a bare tree descent, reissued many times per session.
+//! It compares EXECUTE against ad-hoc statements on a database with the
+//! transparent plan cache *disabled* (`plan_cache_size: 0` — compile
+//! every time), and also records the plan-cached ad-hoc rate, which
+//! lands within noise of EXECUTE. `bench_gate --prepared-speedup`
+//! guards the EXECUTE-over-uncached ratio.
+//!
+//! A final `batch_sweep` section re-runs the 4-session scan-heavy mix
+//! with `scan_batch_rows` at 1 / 16 / 256, pricing the per-call
+//! overhead the batched `am_getnext_batch` fetch amortises.
 //!
 //! Each `(config, sessions)` pair runs on a fresh in-memory database so
 //! tree growth from one measurement never bleeds into the next; the
@@ -38,16 +56,26 @@ struct Config {
     name: &'static str,
     /// Fraction of sessions (numerator over 2) running REPEATABLE READ.
     rr_half: bool,
+    /// Sessions PREPARE their four statement shapes during setup and
+    /// issue the whole workload through EXECUTE handles.
+    prepared: bool,
 }
 
-const CONFIGS: [Config; 2] = [
+const CONFIGS: [Config; 3] = [
     Config {
         name: "read_committed",
         rr_half: false,
+        prepared: false,
     },
     Config {
         name: "repeatable_read_mix",
         rr_half: true,
+        prepared: false,
+    },
+    Config {
+        name: "prepared",
+        rr_half: false,
+        prepared: true,
     },
 ];
 
@@ -80,6 +108,15 @@ impl Rng {
 }
 
 fn fresh_db() -> Database {
+    let defaults = DatabaseOptions::default();
+    fresh_db_with(defaults.scan_batch_rows, defaults.plan_cache_size)
+}
+
+fn fresh_db_with_batch(scan_batch_rows: usize) -> Database {
+    fresh_db_with(scan_batch_rows, DatabaseOptions::default().plan_cache_size)
+}
+
+fn fresh_db_with(scan_batch_rows: usize, plan_cache_size: usize) -> Database {
     let db = Database::new(DatabaseOptions {
         space: SbspaceOptions {
             pool_pages: 2048,
@@ -90,6 +127,8 @@ fn fresh_db() -> Database {
         deadlock_retries: 10,
         retry_backoff: Duration::from_millis(1),
         scan_workers: 1,
+        scan_batch_rows,
+        plan_cache_size,
     });
     install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
     let setup = db.connect();
@@ -99,9 +138,9 @@ fn fresh_db() -> Database {
     setup
         .exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
         .unwrap();
-    // Seed rows give scans and cross-session updates something to hit
-    // from the first operation.
-    for i in 0..32u64 {
+    // Seed rows give scans and cross-session updates a realistic
+    // working set to chew through from the first operation.
+    for i in 0..96u64 {
         let e = EXTENTS[(i % 4) as usize];
         setup
             .exec(&format!("INSERT INTO t VALUES ({}, '{e}')", 9_000_000 + i))
@@ -121,13 +160,28 @@ struct Measured {
 /// `sessions` workers each issue `ops` mixed statements; returns the
 /// client-statement throughput and the contention counters the run
 /// absorbed. Statements lost to lock timeouts still count as issued —
-/// the client waited for them either way.
-fn run(db: &Database, sessions: usize, ops: usize, rr_half: bool) -> Measured {
+/// the client waited for them either way. With `prepared`, the four
+/// statement shapes are compiled once per session before the clock
+/// starts and the timed loop goes through EXECUTE handles.
+fn run(db: &Database, sessions: usize, ops: usize, rr_half: bool, prepared: bool) -> Measured {
     let conns: Vec<_> = (0..sessions)
         .map(|i| {
             let conn = db.connect();
             if rr_half && i % 2 == 1 {
                 conn.exec("SET ISOLATION TO REPEATABLE READ").unwrap();
+            }
+            if prepared {
+                conn.exec("PREPARE ins FROM 'INSERT INTO t VALUES (?, ?)'")
+                    .unwrap();
+                conn.exec("PREPARE upd FROM 'UPDATE t SET Time_Extent = ? WHERE id = ?'")
+                    .unwrap();
+                conn.exec("PREPARE del FROM 'DELETE FROM t WHERE id = ?'")
+                    .unwrap();
+                conn.exec(
+                    "PREPARE sel FROM 'SELECT id FROM t \
+                     WHERE Overlaps(Time_Extent, ?)'",
+                )
+                .unwrap();
             }
             conn
         })
@@ -147,7 +201,11 @@ fn run(db: &Database, sessions: usize, ops: usize, rr_half: bool) -> Measured {
                         0..=3 => {
                             let id = w as u64 * 1_000_000 + op as u64;
                             let e = EXTENTS[rng.below(4) as usize];
-                            let r = conn.exec(&format!("INSERT INTO t VALUES ({id}, '{e}')"));
+                            let r = conn.exec(&if prepared {
+                                format!("EXECUTE ins USING {id}, '{e}'")
+                            } else {
+                                format!("INSERT INTO t VALUES ({id}, '{e}')")
+                            });
                             if r.is_ok() {
                                 my_ids.push(id);
                             }
@@ -156,17 +214,35 @@ fn run(db: &Database, sessions: usize, ops: usize, rr_half: bool) -> Measured {
                         4..=5 if !my_ids.is_empty() => {
                             let id = my_ids[rng.below(my_ids.len() as u64) as usize];
                             let e = EXTENTS[rng.below(4) as usize];
-                            conn.exec(&format!("UPDATE t SET Time_Extent = '{e}' WHERE id = {id}"))
+                            conn.exec(&if prepared {
+                                format!("EXECUTE upd USING '{e}', {id}")
+                            } else {
+                                format!("UPDATE t SET Time_Extent = '{e}' WHERE id = {id}")
+                            })
                         }
                         6..=7 if !my_ids.is_empty() => {
                             let i = rng.below(my_ids.len() as u64) as usize;
-                            let r = conn.exec(&format!("DELETE FROM t WHERE id = {}", my_ids[i]));
+                            let id = my_ids[i];
+                            let r = conn.exec(&if prepared {
+                                format!("EXECUTE del USING {id}")
+                            } else {
+                                format!("DELETE FROM t WHERE id = {id}")
+                            });
                             if r.is_ok() {
                                 my_ids.swap_remove(i);
                             }
                             r
                         }
-                        _ => conn.exec(&format!("SELECT id FROM t WHERE {QUERY}")),
+                        _ => {
+                            if prepared {
+                                conn.exec(
+                                    "EXECUTE sel USING \
+                                     '01/01/1997, UC, 01/01/1997, NOW'",
+                                )
+                            } else {
+                                conn.exec(&format!("SELECT id FROM t WHERE {QUERY}"))
+                            }
+                        }
                     };
                     match r {
                         Ok(_)
@@ -199,17 +275,19 @@ fn main() {
     let (session_counts, ops, reps, out_file): (&[usize], usize, usize, &str) = if quick {
         (&[1, 4], 60, 2, "BENCH_concurrency_quick.json")
     } else {
-        (&[1, 2, 4, 8], 200, 3, "BENCH_concurrency.json")
+        (&[1, 2, 4, 8], 200, 4, "BENCH_concurrency.json")
     };
 
     let mut json = String::from("{\n");
     let mut summary: Vec<String> = Vec::new();
-    for (ci, cfg) in CONFIGS.iter().enumerate() {
+    for cfg in CONFIGS.iter() {
         println!(
             "== {} ({}) ==",
             cfg.name,
             if cfg.rr_half {
                 "half the sessions REPEATABLE READ"
+            } else if cfg.prepared {
+                "all statements through PREPARE/EXECUTE"
             } else {
                 "all sessions READ COMMITTED"
             }
@@ -222,7 +300,7 @@ fn main() {
                 // logically-deleted versions never accumulate across
                 // measurements.
                 let db = fresh_db();
-                let m = run(&db, n, ops, cfg.rr_half);
+                let m = run(&db, n, ops, cfg.rr_half, cfg.prepared);
                 assert!(
                     db.space().locks_quiescent(),
                     "bench leaked locks at {n} sessions"
@@ -254,13 +332,79 @@ fn main() {
         }
         let _ = write!(
             json,
-            "  \"{}\": {{\n    \"rr_sessions\": \"{}\",\n    \"sessions\": [\n{}\n    ]\n  }}{}\n",
+            "  \"{}\": {{\n    \"rr_sessions\": \"{}\",\n    \"sessions\": [\n{}\n    ]\n  }},\n",
             cfg.name,
             if cfg.rr_half { "half" } else { "none" },
             rows.join(",\n"),
-            if ci + 1 < CONFIGS.len() { "," } else { "" }
         );
     }
+
+    // Compile-once payoff, isolated: point-probe index SELECTs whose
+    // execution is a bare tree descent. EXECUTE (compiled once at
+    // PREPARE) against ad-hoc with the transparent cache disabled
+    // (compile every time); the plan-cached ad-hoc rate rides along to
+    // show the transparent cache closes the same gap.
+    println!("== prepared speedup (point probes, vs compile-every-time) ==");
+    let mut rows = Vec::new();
+    let probe_ops = if quick { 600 } else { 1_500 };
+    for &n in session_counts {
+        let mut uncached = 0f64;
+        let mut prepared = 0f64;
+        let mut cached = 0f64;
+        for _ in 0..reps {
+            let defaults = DatabaseOptions::default();
+            let db = fresh_db_with(defaults.scan_batch_rows, 0);
+            uncached = uncached.max(probe_run(&db, n, probe_ops, ProbeMode::Adhoc));
+            let db = fresh_db_with(defaults.scan_batch_rows, 0);
+            prepared = prepared.max(probe_run(&db, n, probe_ops, ProbeMode::Execute));
+            let db = fresh_db();
+            cached = cached.max(probe_run(&db, n, probe_ops, ProbeMode::Adhoc));
+        }
+        let speedup = prepared / uncached;
+        println!(
+            "  {n} session(s): {speedup:.2}x  \
+             (EXECUTE {prepared:.0} stmt/s, uncached ad-hoc {uncached:.0}, \
+             plan-cached ad-hoc {cached:.0})"
+        );
+        rows.push(format!(
+            "      {{\"sessions\": {n}, \"speedup\": {speedup:.3}, \
+             \"prepared_stmt_per_sec\": {prepared:.1}, \
+             \"uncached_stmt_per_sec\": {uncached:.1}, \
+             \"cached_stmt_per_sec\": {cached:.1}}}"
+        ));
+    }
+    let _ = write!(
+        json,
+        "  \"prepared_speedup\": {{\n    \"baseline\": \"uncached_adhoc\",\n    \
+         \"workload\": \"point_probe_select\",\n    \
+         \"sessions\": [\n{}\n    ]\n  }},\n",
+        rows.join(",\n")
+    );
+
+    // Batch sweep: a scan-heavy 4-session run at different
+    // `scan_batch_rows`, pricing the per-call AM overhead the batched
+    // fetch amortises.
+    println!("== batch sweep (scan-heavy, 4 sessions) ==");
+    let mut rows = Vec::new();
+    let sweep_ops = if quick { 40 } else { 120 };
+    for batch in [1usize, 16, 256] {
+        let mut best = 0f64;
+        for _ in 0..reps {
+            let db = fresh_db_with_batch(batch);
+            let m = scan_sweep(&db, 4, sweep_ops);
+            best = best.max(m);
+        }
+        println!("  batch {batch:3}: {best:9.1} stmt/s");
+        rows.push(format!(
+            "      {{\"batch\": {batch}, \"stmt_per_sec\": {best:.1}}}"
+        ));
+    }
+    let _ = write!(
+        json,
+        "  \"batch_sweep\": {{\n    \"sessions_fixed\": 4,\n    \"batches\": [\n{}\n    ]\n  }}\n",
+        rows.join(",\n")
+    );
+
     json.push('}');
     json.push('\n');
     std::fs::write(out_file, &json).unwrap();
@@ -268,4 +412,107 @@ fn main() {
     for line in summary {
         println!("  {line}");
     }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ProbeMode {
+    /// Ad-hoc SQL text per probe (compiled fresh unless the database's
+    /// transparent plan cache serves it).
+    Adhoc,
+    /// One PREPARE per session, probes issued via EXECUTE.
+    Execute,
+}
+
+/// Narrow probe extents that overlap nothing in the seed data: the
+/// scan is a pure index descent, so per-statement compile cost is the
+/// dominant variable between the modes.
+const PROBES: [&str; 4] = [
+    "01/01/1990, 01/01/1990, 01/01/1990, 01/01/1990",
+    "06/15/1991, 06/15/1991, 06/15/1991, 06/15/1991",
+    "03/03/1992, 03/03/1992, 03/03/1992, 03/03/1992",
+    "12/24/1993, 12/24/1993, 12/24/1993, 12/24/1993",
+];
+
+/// `sessions` workers each issue `ops` point-probe SELECTs; returns
+/// client statements per second.
+fn probe_run(db: &Database, sessions: usize, ops: usize, mode: ProbeMode) -> f64 {
+    let conns: Vec<_> = (0..sessions)
+        .map(|_| {
+            let conn = db.connect();
+            if mode == ProbeMode::Execute {
+                conn.exec(
+                    "PREPARE sel FROM 'SELECT id FROM t \
+                     WHERE Overlaps(Time_Extent, ?)'",
+                )
+                .unwrap();
+            }
+            // Untimed warmup: touches every probe shape so the buffer
+            // pool, the plan memos (including the generic promotion
+            // after repeated re-costs), and the transparent cache are
+            // in steady state — the timed loop measures "execute
+            // many", not first-touch costs.
+            for p in PROBES.iter().cycle().take(8) {
+                let sql = match mode {
+                    ProbeMode::Adhoc => {
+                        format!("SELECT id FROM t WHERE Overlaps(Time_Extent, '{p}')")
+                    }
+                    ProbeMode::Execute => format!("EXECUTE sel USING '{p}'"),
+                };
+                conn.exec(&sql).unwrap();
+            }
+            conn
+        })
+        .collect();
+    let barrier = Arc::new(Barrier::new(sessions + 1));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for (w, conn) in conns.iter().enumerate() {
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                let mut rng = Rng(0x9e37_79b9 + w as u64);
+                barrier.wait();
+                for _ in 0..ops {
+                    let p = PROBES[rng.below(4) as usize];
+                    let sql = match mode {
+                        ProbeMode::Adhoc => {
+                            format!("SELECT id FROM t WHERE Overlaps(Time_Extent, '{p}')")
+                        }
+                        ProbeMode::Execute => format!("EXECUTE sel USING '{p}'"),
+                    };
+                    conn.exec(&sql).unwrap();
+                }
+            });
+        }
+        barrier.wait();
+    });
+    (sessions * ops) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Seeds a scan-heavy table and hammers it with the overlap probe from
+/// `sessions` concurrent sessions; returns statements per second.
+fn scan_sweep(db: &Database, sessions: usize, ops: usize) -> f64 {
+    let setup = db.connect();
+    for i in 0..1_500u64 {
+        let e = EXTENTS[(i % 4) as usize];
+        setup
+            .exec(&format!("INSERT INTO t VALUES ({}, '{e}')", 8_000_000 + i))
+            .unwrap();
+    }
+    let conns: Vec<_> = (0..sessions).map(|_| db.connect()).collect();
+    let barrier = Arc::new(Barrier::new(sessions + 1));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for conn in conns.iter() {
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..ops {
+                    conn.exec(&format!("SELECT id FROM t WHERE {QUERY}"))
+                        .unwrap();
+                }
+            });
+        }
+        barrier.wait();
+    });
+    (sessions * ops) as f64 / start.elapsed().as_secs_f64()
 }

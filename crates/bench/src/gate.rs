@@ -85,6 +85,62 @@ pub fn parse_speedups(json: &str) -> ReadRates {
     out
 }
 
+/// `sessions -> prepared/uncached speedup` from the concurrency
+/// report's `prepared_speedup` section.
+pub type PreparedSpeedups = BTreeMap<u64, f64>;
+
+/// Extracts the prepared-statement speedup figures from a concurrency
+/// bench report. Only rows inside the `prepared_speedup` section
+/// count — the per-config `sessions` rows elsewhere in the report
+/// carry different fields and are skipped.
+pub fn parse_prepared_speedups(json: &str) -> PreparedSpeedups {
+    let mut out = PreparedSpeedups::new();
+    let mut config = String::new();
+    for line in json.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix('"') {
+            if let Some((name, tail)) = rest.split_once('"') {
+                if tail.trim() == ": {" {
+                    config = name.to_string();
+                    continue;
+                }
+            }
+        }
+        if config != "prepared_speedup" {
+            continue;
+        }
+        let (Some(sessions), Some(speedup)) = (field(t, "sessions"), field(t, "speedup")) else {
+            continue;
+        };
+        out.insert(sessions as u64, speedup);
+    }
+    out
+}
+
+/// Gate verdict over the prepared-statement speedups: every session
+/// count must beat compile-every-time (> 1.0), and the single-session
+/// figure — where compile cost is the largest share of a statement —
+/// must reach `threshold`. Returns one message per violation; empty
+/// means the gate passes.
+pub fn prepared_speedup_failures(speedups: &PreparedSpeedups, threshold: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for (&sessions, &speedup) in speedups {
+        if speedup <= 1.0 {
+            out.push(format!(
+                "{sessions} session(s): {speedup:.2}x does not beat compile-every-time"
+            ));
+        }
+    }
+    if let Some(&single) = speedups.get(&1) {
+        if single < threshold {
+            out.push(format!(
+                "1 session(s): {single:.2}x is below the {threshold:.2}x target"
+            ));
+        }
+    }
+    out
+}
+
 /// The numeric value of `"key": <num>` inside a one-line JSON object.
 fn field(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
@@ -273,6 +329,56 @@ mod tests {
         assert!(compare(&base, &cand)
             .iter()
             .any(|c| c.regressed_throughput(0.25)));
+    }
+
+    const PREPARED_REPORT: &str = r#"{
+  "read_committed": {
+    "sessions": [
+      {"sessions": 1, "stmt_per_sec": 5000.0, "statements": 400, "deadlocks": 0, "retries": 0}
+    ]
+  },
+  "prepared_speedup": {
+    "baseline": "uncached_adhoc",
+    "workload": "point_probe_select",
+    "sessions": [
+      {"sessions": 1, "speedup": 2.334, "prepared_stmt_per_sec": 60933.5, "uncached_stmt_per_sec": 26105.3, "cached_stmt_per_sec": 52394.8},
+      {"sessions": 4, "speedup": 1.911, "prepared_stmt_per_sec": 58869.3, "uncached_stmt_per_sec": 30811.1, "cached_stmt_per_sec": 54663.4}
+    ]
+  },
+  "batch_sweep": {
+    "batches": [
+      {"batch_rows": 16, "stmt_per_sec": 540.1, "sessions": 4}
+    ]
+  }
+}
+"#;
+
+    #[test]
+    fn parses_prepared_speedups_only_from_their_section() {
+        let s = parse_prepared_speedups(PREPARED_REPORT);
+        assert_eq!(s.len(), 2, "config and batch rows must not parse");
+        assert_eq!(s[&1], 2.334);
+        assert_eq!(s[&4], 1.911);
+        // The extra *_stmt_per_sec fields must not leak into the
+        // throughput parser either: its key is the exact `stmt_per_sec`.
+        let tps = parse_throughputs(PREPARED_REPORT);
+        assert!(!tps.contains_key(&("prepared_speedup".to_string(), 1)));
+    }
+
+    #[test]
+    fn prepared_speedup_gate_is_directional() {
+        let s = parse_prepared_speedups(PREPARED_REPORT);
+        assert!(prepared_speedup_failures(&s, 1.3).is_empty());
+        // The 1-session figure carries the headline target.
+        let msgs = prepared_speedup_failures(&s, 2.5);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("below the 2.50x target"));
+        // Any session count at or under parity fails outright.
+        let mut bad = s.clone();
+        bad.insert(4, 0.97);
+        let msgs = prepared_speedup_failures(&bad, 1.3);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("does not beat compile-every-time"));
     }
 
     #[test]

@@ -167,6 +167,83 @@ mod tests {
         (db, clock, log)
     }
 
+    /// Like [`db_with_failing_probe`] but the probe only logs — no
+    /// injected failure — so tests can watch when the current time is
+    /// sampled across statements.
+    fn db_with_probe(policy: CurrentTimePolicy) -> (Database, MockClock, Arc<Mutex<Vec<Day>>>) {
+        let clock = MockClock::new(Day(100));
+        let db = Database::new(DatabaseOptions {
+            clock: std::sync::Arc::new(clock.clone()),
+            ..Default::default()
+        });
+        let log: Arc<Mutex<Vec<Day>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let log = Arc::clone(&log);
+            db.install_symbol(
+                "usr/probe.bld(ct_probe)",
+                Arc::new(move |_args: &[Value], ctx: &grt_ids::AmContext| {
+                    log.lock().unwrap().push(resolve_current_time(policy, ctx));
+                    Ok(Value::Bool(true))
+                }),
+            );
+        }
+        let conn = db.connect();
+        conn.exec(
+            "CREATE FUNCTION CtProbe(integer) RETURNING boolean \
+             EXTERNAL NAME 'usr/probe.bld(ct_probe)' LANGUAGE c",
+        )
+        .unwrap();
+        conn.exec("CREATE TABLE t (n integer)").unwrap();
+        conn.exec("INSERT INTO t VALUES (1)").unwrap();
+        (db, clock, log)
+    }
+
+    #[test]
+    fn execute_resolves_per_statement_time_like_ad_hoc() {
+        // A prepared statement reuses the *plan*, never the sampled
+        // current time: each EXECUTE is its own statement, so the
+        // per-statement policy re-samples exactly as ad-hoc SQL does.
+        let (db, clock, log) = db_with_probe(CurrentTimePolicy::PerStatement);
+        let conn = db.connect();
+        conn.exec("PREPARE p FROM 'SELECT n FROM t WHERE CtProbe(n)'")
+            .unwrap();
+        conn.exec("EXECUTE p").unwrap();
+        conn.exec("SELECT n FROM t WHERE CtProbe(n)").unwrap();
+        clock.advance(5);
+        conn.exec("EXECUTE p").unwrap();
+        conn.exec("SELECT n FROM t WHERE CtProbe(n)").unwrap();
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec![Day(100), Day(100), Day(105), Day(105)],
+            "EXECUTE and ad-hoc must sample per-statement time identically"
+        );
+    }
+
+    #[test]
+    fn execute_shares_per_transaction_time_with_ad_hoc_statements() {
+        // Section 5.4 inside an explicit transaction: the first index
+        // use pins the transaction's current time, and it must not
+        // matter whether the statements arrive via EXECUTE or ad-hoc.
+        let (db, clock, log) = db_with_probe(CurrentTimePolicy::PerTransaction);
+        let conn = db.connect();
+        conn.exec("PREPARE p FROM 'SELECT n FROM t WHERE CtProbe(n)'")
+            .unwrap();
+        conn.exec("BEGIN WORK").unwrap();
+        conn.exec("EXECUTE p").unwrap();
+        clock.advance(5);
+        conn.exec("SELECT n FROM t WHERE CtProbe(n)").unwrap();
+        conn.exec("EXECUTE p").unwrap();
+        conn.exec("COMMIT WORK").unwrap();
+        // A fresh transaction samples the moved clock — again via both
+        // paths.
+        conn.exec("EXECUTE p").unwrap();
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec![Day(100), Day(100), Day(100), Day(105)],
+            "per-transaction time must ride across EXECUTE and ad-hoc alike"
+        );
+    }
+
     #[test]
     fn retried_statement_re_resolves_per_statement_time() {
         let (db, _clock, log) = db_with_failing_probe(CurrentTimePolicy::PerStatement);

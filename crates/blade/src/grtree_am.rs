@@ -121,7 +121,7 @@ fn gr_err(e: grt_grtree::GrError) -> IdsError {
 
 impl GrTreeAm {
     fn trace_step(&self, ctx: &AmContext, func: &str, step: &str) {
-        ctx.trace.emit("GRT", 2, format!("{func}: {step}"));
+        ctx.trace.emit_with("GRT", 2, || format!("{func}: {step}"));
     }
 
     /// Runs `f` with the descriptor's `TdState`, creating it on demand
@@ -198,6 +198,100 @@ impl GrTreeAm {
             scan.cursor = None;
             scan.buffer = None;
             scan.current = 0;
+        }
+    }
+
+    /// One qualifying row off the scan, shared by `grt_getnext` and
+    /// `grt_getnext_batch`; the caller already holds the descriptor
+    /// lock via [`Self::with_td`].
+    fn scan_step(
+        &self,
+        idx: &IndexDescriptor,
+        td: &mut TdState,
+        ctx: &AmContext,
+    ) -> Result<Option<(RowId, Vec<Value>)>, IdsError> {
+        self.ensure_tree(td, ctx, false)?;
+        let ct = td.ct;
+        let tree = td.tree.as_ref().expect("ensured");
+        let scan = td
+            .scan
+            .as_mut()
+            .ok_or_else(|| IdsError::AccessMethod("getnext without beginscan".into()))?;
+        loop {
+            if scan.cursor.is_none() && scan.buffer.is_none() {
+                let Some(probe) = scan.probes.get(scan.current) else {
+                    return Ok(None);
+                };
+                let (pred, query) = (probe.pred, probe.query);
+                if scan.workers > 1 && tree.pages() >= PARALLEL_PAGE_THRESHOLD {
+                    // The probe clears the page threshold: run it
+                    // through the work-stealing traversal over the
+                    // pinned read path and buffer the merged rows.
+                    let reader = tree.reader();
+                    let result = grt_grtree::parallel_scan(&reader, pred, query, ct, scan.workers)
+                        .map_err(gr_err)?;
+                    let metrics = ctx.space.metrics();
+                    metrics.counter("scan.parallel_scans").inc();
+                    let worker_ns = metrics.histogram("scan.parallel_worker_ns");
+                    for &ns in &result.stats.worker_ns {
+                        worker_ns.observe_ns(ns);
+                    }
+                    ctx.trace.emit_with("GRT", 2, || {
+                        format!(
+                            "grt_getnext: parallel scan: degree {}, {} frontier subtrees, {} rows",
+                            result.stats.workers,
+                            result.stats.frontier,
+                            result.rows.len()
+                        )
+                    });
+                    ctx.trace.emit_with("EXPLAIN", 1, || {
+                        format!(
+                            "parallel index scan on {}: degree {} (requested {})",
+                            idx.index_name, result.stats.workers, scan.workers
+                        )
+                    });
+                    let mut rows = result.rows;
+                    rows.reverse();
+                    scan.buffer = Some(rows);
+                } else {
+                    if scan.workers > 1 {
+                        ctx.space.metrics().counter("scan.parallel_fallbacks").inc();
+                    }
+                    scan.cursor = Some(tree.cursor(pred, query, ct));
+                }
+            }
+            if let Some(buf) = scan.buffer.as_mut() {
+                match buf.pop() {
+                    None => {
+                        scan.buffer = None;
+                        scan.current += 1;
+                    }
+                    Some((extent, rowid)) => {
+                        if !scan.seen.insert((rowid, extent.encode_array())) {
+                            continue;
+                        }
+                        if eval_full(&scan.qual, &extent, ct)? {
+                            return Ok(Some((RowId(rowid), vec![extent_to_value(&extent)])));
+                        }
+                    }
+                }
+                continue;
+            }
+            let cursor = scan.cursor.as_mut().expect("just set");
+            match tree.cursor_next(cursor).map_err(gr_err)? {
+                None => {
+                    scan.cursor = None;
+                    scan.current += 1;
+                }
+                Some((extent, rowid)) => {
+                    if !scan.seen.insert((rowid, extent.encode_array())) {
+                        continue;
+                    }
+                    if eval_full(&scan.qual, &extent, ct)? {
+                        return Ok(Some((RowId(rowid), vec![extent_to_value(&extent)])));
+                    }
+                }
+            }
         }
     }
 }
@@ -376,95 +470,35 @@ impl AccessMethod for GrTreeAm {
         _scan: &mut ScanDescriptor,
         ctx: &AmContext,
     ) -> Result<Option<(RowId, Vec<Value>)>, IdsError> {
+        self.with_td(idx, ctx, |td| self.scan_step(idx, td, ctx))
+    }
+
+    fn am_getnext_batch(
+        &self,
+        idx: &IndexDescriptor,
+        _scan: &mut ScanDescriptor,
+        max_rows: usize,
+        ctx: &AmContext,
+    ) -> Result<Vec<(RowId, Vec<Value>)>, IdsError> {
+        // One descriptor-lock acquisition for the whole batch; a short
+        // batch tells the executor the scan is exhausted.
         self.with_td(idx, ctx, |td| {
-            self.ensure_tree(td, ctx, false)?;
-            let ct = td.ct;
-            let tree = td.tree.as_ref().expect("ensured");
-            let scan = td
-                .scan
-                .as_mut()
-                .ok_or_else(|| IdsError::AccessMethod("getnext without beginscan".into()))?;
-            loop {
-                if scan.cursor.is_none() && scan.buffer.is_none() {
-                    let Some(probe) = scan.probes.get(scan.current) else {
-                        return Ok(None);
-                    };
-                    let (pred, query) = (probe.pred, probe.query);
-                    if scan.workers > 1 && tree.pages() >= PARALLEL_PAGE_THRESHOLD {
-                        // The probe clears the page threshold: run it
-                        // through the work-stealing traversal over the
-                        // pinned read path and buffer the merged rows.
-                        let reader = tree.reader();
-                        let result =
-                            grt_grtree::parallel_scan(&reader, pred, query, ct, scan.workers)
-                                .map_err(gr_err)?;
-                        let metrics = ctx.space.metrics();
-                        metrics.counter("scan.parallel_scans").inc();
-                        let worker_ns = metrics.histogram("scan.parallel_worker_ns");
-                        for &ns in &result.stats.worker_ns {
-                            worker_ns.observe_ns(ns);
-                        }
-                        self.trace_step(
-                            ctx,
-                            "grt_getnext",
-                            &format!(
-                                "parallel scan: degree {}, {} frontier subtrees, {} rows",
-                                result.stats.workers,
-                                result.stats.frontier,
-                                result.rows.len()
-                            ),
-                        );
-                        ctx.trace.emit(
-                            "EXPLAIN",
-                            1,
-                            format!(
-                                "parallel index scan on {}: degree {} (requested {})",
-                                idx.index_name, result.stats.workers, scan.workers
-                            ),
-                        );
-                        let mut rows = result.rows;
-                        rows.reverse();
-                        scan.buffer = Some(rows);
-                    } else {
-                        if scan.workers > 1 {
-                            ctx.space.metrics().counter("scan.parallel_fallbacks").inc();
-                        }
-                        scan.cursor = Some(tree.cursor(pred, query, ct));
-                    }
-                }
-                if let Some(buf) = scan.buffer.as_mut() {
-                    match buf.pop() {
-                        None => {
-                            scan.buffer = None;
-                            scan.current += 1;
-                        }
-                        Some((extent, rowid)) => {
-                            if !scan.seen.insert((rowid, extent.encode_array())) {
-                                continue;
-                            }
-                            if eval_full(&scan.qual, &extent, ct)? {
-                                return Ok(Some((RowId(rowid), vec![extent_to_value(&extent)])));
-                            }
-                        }
-                    }
-                    continue;
-                }
-                let cursor = scan.cursor.as_mut().expect("just set");
-                match tree.cursor_next(cursor).map_err(gr_err)? {
-                    None => {
-                        scan.cursor = None;
-                        scan.current += 1;
-                    }
-                    Some((extent, rowid)) => {
-                        if !scan.seen.insert((rowid, extent.encode_array())) {
-                            continue;
-                        }
-                        if eval_full(&scan.qual, &extent, ct)? {
-                            return Ok(Some((RowId(rowid), vec![extent_to_value(&extent)])));
-                        }
-                    }
+            let mut out = Vec::with_capacity(max_rows.min(64));
+            while out.len() < max_rows {
+                match self.scan_step(idx, td, ctx)? {
+                    Some(hit) => out.push(hit),
+                    None => break,
                 }
             }
+            self.trace_step(
+                ctx,
+                "grt_getnext_batch",
+                &format!(
+                    "(1-2) Advance Cursor up to {max_rows} rows: {} row(s)",
+                    out.len()
+                ),
+            );
+            Ok(out)
         })
     }
 

@@ -7,7 +7,7 @@
 //!   constraint checks) — [`extent_type`];
 //! * the strategy-function UDRs `Overlaps`, `Equal`, `Contains`,
 //!   `ContainedIn` over two time extents — [`register`];
-//! * the thirteen `grt_*` access-method purpose functions of the
+//! * the `grt_*` access-method purpose functions of the
 //!   paper's Table 5, bridging the engine's Virtual-Index Interface to
 //!   the GR-tree core, including qualification decomposition
 //!   ([`qual`]), cursor management with the Section 5.5

@@ -13,8 +13,9 @@ use grt_temporal::{bound_entries, Predicate};
 use std::sync::Arc;
 
 /// The purpose-function names of the GR-tree access method, in the
-/// paper's Table 5 order.
-pub const GRT_PURPOSE_FUNCTIONS: [&str; 15] = [
+/// paper's Table 5 order (plus the batched-fetch extension
+/// `grt_getnext_batch`).
+pub const GRT_PURPOSE_FUNCTIONS: [&str; 16] = [
     "grt_create",
     "grt_drop",
     "grt_open",
@@ -23,6 +24,7 @@ pub const GRT_PURPOSE_FUNCTIONS: [&str; 15] = [
     "grt_beginscan",
     "grt_rescan",
     "grt_getnext",
+    "grt_getnext_batch",
     "grt_endscan",
     "grt_insert",
     "grt_delete",
@@ -74,7 +76,8 @@ pub fn registration_script() -> String {
         "CREATE SECONDARY ACCESS_METHOD grtree_am ( \
          am_create = grt_create, am_drop = grt_drop, am_open = grt_open, \
          am_close = grt_close, am_build = grt_build, am_beginscan = grt_beginscan, \
-         am_rescan = grt_rescan, am_getnext = grt_getnext, am_endscan = grt_endscan, \
+         am_rescan = grt_rescan, am_getnext = grt_getnext, \
+         am_getnext_batch = grt_getnext_batch, am_endscan = grt_endscan, \
          am_insert = grt_insert, am_delete = grt_delete, am_update = grt_update, \
          am_scancost = grt_scancost, am_stats = grt_stats, am_check = grt_check, \
          am_sptype = 'S' );\n",
@@ -222,7 +225,13 @@ pub fn install_grtree_blade(db: &Database, opts: GrTreeAmOptions) -> Result<Stri
 pub fn rstar_registration_script() -> String {
     let mut s = String::new();
     s.push_str("-- R*-tree baseline access method registration script\n");
-    for f in ["rst_create", "rst_drop", "rst_build", "rst_getnext"] {
+    for f in [
+        "rst_create",
+        "rst_drop",
+        "rst_build",
+        "rst_getnext",
+        "rst_getnext_batch",
+    ] {
         s.push_str(&format!(
             "CREATE FUNCTION {f}(pointer) RETURNING int \
              EXTERNAL NAME 'usr/functions/rstar.bld({f})' LANGUAGE c;\n"
@@ -231,7 +240,8 @@ pub fn rstar_registration_script() -> String {
     s.push_str(
         "CREATE SECONDARY ACCESS_METHOD rstar_am ( \
          am_create = rst_create, am_drop = rst_drop, am_build = rst_build, \
-         am_getnext = rst_getnext, am_sptype = 'S' );\n",
+         am_getnext = rst_getnext, am_getnext_batch = rst_getnext_batch, \
+         am_sptype = 'S' );\n",
     );
     s.push_str(
         "CREATE OPCLASS rstar_opclass FOR rstar_am \
@@ -260,7 +270,13 @@ pub fn install_rstar_blade(
             ))?;
         }
     }
-    for f in ["rst_create", "rst_drop", "rst_build", "rst_getnext"] {
+    for f in [
+        "rst_create",
+        "rst_drop",
+        "rst_build",
+        "rst_getnext",
+        "rst_getnext_batch",
+    ] {
         db.install_symbol(&format!("usr/functions/rstar.bld({f})"), purpose_stub(f));
     }
     db.install_library(

@@ -156,6 +156,100 @@ impl RStarBitemporalAm {
             .unwrap_or(0);
         Ok((LoId(lo), pos))
     }
+
+    /// One refined row off the scan, shared by `rst_getnext` and
+    /// `rst_getnext_batch`; the caller already holds the descriptor
+    /// lock via [`Self::with_td`].
+    fn scan_step(
+        &self,
+        idx: &IndexDescriptor,
+        td: &mut TdState,
+        ctx: &AmContext,
+    ) -> Result<Option<(RowId, Vec<Value>)>, IdsError> {
+        self.ensure_tree(td, ctx, false)?;
+        let ct = td.ct;
+        let tree = td.tree.as_ref().expect("ensured");
+        let scan = td
+            .scan
+            .as_mut()
+            .ok_or_else(|| IdsError::AccessMethod("getnext without beginscan".into()))?;
+        loop {
+            if scan.cursor.is_none() && scan.buffer.is_none() {
+                let Some(probe) = scan.probes.get(scan.current) else {
+                    return Ok(None);
+                };
+                let (pred, rect) = self.spatial_probe(probe, ct);
+                if scan.workers > 1 && tree.pages() >= PARALLEL_PAGE_THRESHOLD {
+                    let reader = tree.reader();
+                    let result = grt_rstar::parallel_scan(&reader, pred, rect, scan.workers)
+                        .map_err(rs_err)?;
+                    let metrics = ctx.space.metrics();
+                    metrics.counter("scan.parallel_scans").inc();
+                    let worker_ns = metrics.histogram("scan.parallel_worker_ns");
+                    for &ns in &result.stats.worker_ns {
+                        worker_ns.observe_ns(ns);
+                    }
+                    ctx.trace.emit_with("RSTAR", 2, || {
+                        format!(
+                            "parallel scan: degree {}, {} frontier subtrees, {} candidates",
+                            result.stats.workers,
+                            result.stats.frontier,
+                            result.rows.len()
+                        )
+                    });
+                    ctx.trace.emit_with("EXPLAIN", 1, || {
+                        format!(
+                            "parallel index scan on {}: degree {} (requested {})",
+                            idx.index_name, result.stats.workers, scan.workers
+                        )
+                    });
+                    let mut rows = result.rows;
+                    rows.reverse();
+                    scan.buffer = Some(rows);
+                } else {
+                    if scan.workers > 1 {
+                        ctx.space.metrics().counter("scan.parallel_fallbacks").inc();
+                    }
+                    scan.cursor = Some(tree.cursor(pred, rect));
+                }
+            }
+            let next = if let Some(buf) = scan.buffer.as_mut() {
+                let popped = buf.pop();
+                if popped.is_none() {
+                    scan.buffer = None;
+                }
+                popped
+            } else {
+                let cursor = scan.cursor.as_mut().expect("just set");
+                let stepped = tree.cursor_next(cursor).map_err(rs_err)?;
+                if stepped.is_none() {
+                    scan.cursor = None;
+                }
+                stepped
+            };
+            match next {
+                None => {
+                    scan.current += 1;
+                }
+                Some((_rect, rowid)) => {
+                    if !scan.seen.insert(rowid) {
+                        continue;
+                    }
+                    // Refinement: fetch the base row and apply the
+                    // exact bitemporal predicate.
+                    scan.candidates += 1;
+                    let Some(row) = heap::fetch(&scan.heap, RowId(rowid))? else {
+                        continue;
+                    };
+                    let stored = extent_from_value(&row[scan.column_pos])?;
+                    if eval_full(&scan.qual, &stored, ct)? {
+                        scan.matches += 1;
+                        return Ok(Some((RowId(rowid), vec![extent_to_value(&stored)])));
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl AccessMethod for RStarBitemporalAm {
@@ -272,94 +366,27 @@ impl AccessMethod for RStarBitemporalAm {
         _scan: &mut ScanDescriptor,
         ctx: &AmContext,
     ) -> Result<Option<(RowId, Vec<Value>)>, IdsError> {
+        self.with_td(idx, ctx, |td| self.scan_step(idx, td, ctx))
+    }
+
+    fn am_getnext_batch(
+        &self,
+        idx: &IndexDescriptor,
+        _scan: &mut ScanDescriptor,
+        max_rows: usize,
+        ctx: &AmContext,
+    ) -> Result<Vec<(RowId, Vec<Value>)>, IdsError> {
+        // One descriptor-lock acquisition per batch of refined rows; a
+        // short batch tells the executor the scan is exhausted.
         self.with_td(idx, ctx, |td| {
-            self.ensure_tree(td, ctx, false)?;
-            let ct = td.ct;
-            let tree = td.tree.as_ref().expect("ensured");
-            let scan = td
-                .scan
-                .as_mut()
-                .ok_or_else(|| IdsError::AccessMethod("getnext without beginscan".into()))?;
-            loop {
-                if scan.cursor.is_none() && scan.buffer.is_none() {
-                    let Some(probe) = scan.probes.get(scan.current) else {
-                        return Ok(None);
-                    };
-                    let (pred, rect) = self.spatial_probe(probe, ct);
-                    if scan.workers > 1 && tree.pages() >= PARALLEL_PAGE_THRESHOLD {
-                        let reader = tree.reader();
-                        let result = grt_rstar::parallel_scan(&reader, pred, rect, scan.workers)
-                            .map_err(rs_err)?;
-                        let metrics = ctx.space.metrics();
-                        metrics.counter("scan.parallel_scans").inc();
-                        let worker_ns = metrics.histogram("scan.parallel_worker_ns");
-                        for &ns in &result.stats.worker_ns {
-                            worker_ns.observe_ns(ns);
-                        }
-                        ctx.trace.emit(
-                            "RSTAR",
-                            2,
-                            format!(
-                                "parallel scan: degree {}, {} frontier subtrees, {} candidates",
-                                result.stats.workers,
-                                result.stats.frontier,
-                                result.rows.len()
-                            ),
-                        );
-                        ctx.trace.emit(
-                            "EXPLAIN",
-                            1,
-                            format!(
-                                "parallel index scan on {}: degree {} (requested {})",
-                                idx.index_name, result.stats.workers, scan.workers
-                            ),
-                        );
-                        let mut rows = result.rows;
-                        rows.reverse();
-                        scan.buffer = Some(rows);
-                    } else {
-                        if scan.workers > 1 {
-                            ctx.space.metrics().counter("scan.parallel_fallbacks").inc();
-                        }
-                        scan.cursor = Some(tree.cursor(pred, rect));
-                    }
-                }
-                let next = if let Some(buf) = scan.buffer.as_mut() {
-                    let popped = buf.pop();
-                    if popped.is_none() {
-                        scan.buffer = None;
-                    }
-                    popped
-                } else {
-                    let cursor = scan.cursor.as_mut().expect("just set");
-                    let stepped = tree.cursor_next(cursor).map_err(rs_err)?;
-                    if stepped.is_none() {
-                        scan.cursor = None;
-                    }
-                    stepped
-                };
-                match next {
-                    None => {
-                        scan.current += 1;
-                    }
-                    Some((_rect, rowid)) => {
-                        if !scan.seen.insert(rowid) {
-                            continue;
-                        }
-                        // Refinement: fetch the base row and apply the
-                        // exact bitemporal predicate.
-                        scan.candidates += 1;
-                        let Some(row) = heap::fetch(&scan.heap, RowId(rowid))? else {
-                            continue;
-                        };
-                        let stored = extent_from_value(&row[scan.column_pos])?;
-                        if eval_full(&scan.qual, &stored, ct)? {
-                            scan.matches += 1;
-                            return Ok(Some((RowId(rowid), vec![extent_to_value(&stored)])));
-                        }
-                    }
+            let mut out = Vec::with_capacity(max_rows.min(64));
+            while out.len() < max_rows {
+                match self.scan_step(idx, td, ctx)? {
+                    Some(hit) => out.push(hit),
+                    None => break,
                 }
             }
+            Ok(out)
         })
     }
 
@@ -371,14 +398,12 @@ impl AccessMethod for RStarBitemporalAm {
     ) -> Result<(), IdsError> {
         self.with_td(idx, ctx, |td| {
             if let Some(scan) = td.scan.take() {
-                ctx.trace.emit(
-                    "RSTAR",
-                    2,
+                ctx.trace.emit_with("RSTAR", 2, || {
                     format!(
                         "scan finished: {} candidates, {} matches",
                         scan.candidates, scan.matches
-                    ),
-                );
+                    )
+                });
             }
             Ok(())
         })
@@ -433,11 +458,9 @@ impl AccessMethod for RStarBitemporalAm {
             tree.set_metrics(TreeMetrics::registered(&ctx.space.metrics(), "rstar"));
             td.tree = Some(tree);
             td.mode = LockMode::Exclusive;
-            ctx.trace.emit(
-                "RSTAR",
-                2,
-                format!("bulk build: {} entries packed", pairs.len()),
-            );
+            ctx.trace.emit_with("RSTAR", 2, || {
+                format!("bulk build: {} entries packed", pairs.len())
+            });
             Ok(true)
         })
     }

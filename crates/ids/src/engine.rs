@@ -6,10 +6,11 @@ use crate::heap;
 use crate::opaque::OpaqueType;
 use crate::opclass::{OpClass, OpClassRegistry};
 use crate::planner::{self, Candidate, Plan};
+use crate::prepare::{self, CompiledStatement, PlanCache, PlanChoice};
 use crate::session::{MemDuration, Session};
 use crate::sql::{self, Expr, Lit, SelectCols, Statement};
 use crate::trace::TraceSink;
-use crate::udr::{RoutineFn, UdrRegistry};
+use crate::udr::{Routine, RoutineFn, UdrRegistry};
 use crate::value::{DataType, Value};
 use crate::vii::{AccessMethod, AmContext, IndexDescriptor, RowId, ScanDescriptor};
 use crate::{IdsError, Result};
@@ -44,6 +45,18 @@ pub struct DatabaseOptions {
     /// scans (and used by the planner when costing them). `1` keeps
     /// every scan serial; sessions override it with `SET PARALLEL n`.
     pub scan_workers: usize,
+    /// Capacity (in compiled statements) of the transparent plan cache
+    /// keyed on normalized statement text. Least-recently-used entries
+    /// are evicted beyond it; `PREPARE`d handles are not counted (they
+    /// are owned by their connections). `0` disables transparent
+    /// caching — every ad-hoc statement recompiles from scratch (the
+    /// baseline the `sessions` bench measures prepared statements
+    /// against).
+    pub plan_cache_size: usize,
+    /// Rows fetched per `am_getnext_batch` call on index scans — the
+    /// dynamic-dispatch round trips per scan shrink by this factor.
+    /// `1` degenerates to the row-at-a-time protocol.
+    pub scan_batch_rows: usize,
 }
 
 impl Default for DatabaseOptions {
@@ -54,6 +67,8 @@ impl Default for DatabaseOptions {
             deadlock_retries: 4,
             retry_backoff: Duration::from_millis(2),
             scan_workers: 1,
+            plan_cache_size: 128,
+            scan_batch_rows: 64,
         }
     }
 }
@@ -67,12 +82,16 @@ pub(crate) struct EngineCounters {
     pub plans_index: Counter,
     pub plans_seq: Counter,
     pub udr_calls: Counter,
+    /// `PREPARE`d statement handles opened / closed (DEALLOCATE,
+    /// re-PREPARE, or connection drop) — equal when nothing leaks.
+    pub prepared_opened: Counter,
+    pub prepared_closed: Counter,
     /// Purpose-function invocations by slot (`am.am_insert`, ...).
     pub am_calls: HashMap<&'static str, Counter>,
 }
 
 /// Every purpose-function slot the engine can invoke (Figure 5).
-const AM_SLOTS: [&str; 14] = [
+const AM_SLOTS: [&str; 15] = [
     "am_create",
     "am_drop",
     "am_open",
@@ -83,6 +102,7 @@ const AM_SLOTS: [&str; 14] = [
     "am_update",
     "am_beginscan",
     "am_getnext",
+    "am_getnext_batch",
     "am_endscan",
     "am_scancost",
     "am_check",
@@ -98,6 +118,8 @@ impl EngineCounters {
             plans_index: metrics.counter("ids.plans_index"),
             plans_seq: metrics.counter("ids.plans_seq"),
             udr_calls: metrics.counter("ids.udr_calls"),
+            prepared_opened: metrics.counter("ids.prepared_opened"),
+            prepared_closed: metrics.counter("ids.prepared_closed"),
             am_calls: AM_SLOTS
                 .iter()
                 .map(|&slot| (slot, metrics.counter(&format!("am.{slot}"))))
@@ -106,10 +128,30 @@ impl EngineCounters {
     }
 }
 
+/// Compensation applied to the (non-transactional, in-memory) catalog
+/// when the transaction that performed a piece of DDL aborts: the
+/// storage side rolls back through the sbspace log, the catalog side
+/// through these records, applied in reverse order.
+enum CatalogUndo {
+    /// Undo of `DROP TABLE`.
+    ReinsertTable(TableMeta),
+    /// Undo of `CREATE TABLE` (catalog key).
+    RemoveTable(String),
+    /// Undo of `DROP INDEX`, with the index's root-fragment registry
+    /// entry captured before `am_drop` tore it down.
+    ReinsertIndex(IndexMeta, Option<u32>),
+    /// Undo of `CREATE INDEX` (catalog key).
+    RemoveIndex(String),
+}
+
 pub(crate) struct DbInner {
     pub space: Sbspace,
-    pub catalog: Mutex<Catalog>,
+    pub catalog: Arc<Mutex<Catalog>>,
     pub udrs: Mutex<UdrRegistry>,
+    /// Bumped on every routine-registry mutation (CREATE / DROP / ALTER
+    /// FUNCTION); sessions discard their memoized routine resolutions
+    /// when it moves (see [`Connection::resolve_udr`]).
+    pub udr_generation: AtomicU64,
     pub opaques: Mutex<HashMap<String, OpaqueType>>,
     pub opclasses: Mutex<OpClassRegistry>,
     /// Loaded "shared libraries" providing access-method handlers,
@@ -122,6 +164,18 @@ pub(crate) struct DbInner {
     pub counters: EngineCounters,
     /// Wall-clock statement latency.
     pub exec_ns: Histogram,
+    /// Rows returned per `am_getnext_batch` call (`scan.batch_rows`;
+    /// the histogram's mean is the average batch fill).
+    pub batch_rows: Histogram,
+    /// The per-database plan cache (tentpole of the compile-once,
+    /// execute-many path).
+    pub plan_cache: Arc<PlanCache>,
+    /// Catalog compensation records per open transaction, applied in
+    /// reverse on abort (see [`CatalogUndo`]).
+    txn_undo: Arc<Mutex<HashMap<u64, Vec<CatalogUndo>>>>,
+    /// Rows pulled per batched index-scan fetch
+    /// ([`DatabaseOptions::scan_batch_rows`]).
+    scan_batch_rows: usize,
     /// Automatic retry budget for deadlock-victim auto-commit
     /// statements ([`DatabaseOptions::deadlock_retries`]).
     deadlock_retries: u32,
@@ -160,6 +214,58 @@ pub struct Connection {
     /// error would silently run outside the transaction the client
     /// believes is still open.
     aborted: AtomicBool,
+    /// `PREPARE`d statements by (lower-cased) name.
+    prepared: Mutex<HashMap<String, Arc<CompiledStatement>>>,
+    /// The compiled statement behind the statement currently executing,
+    /// consulted by the planner for its memoized plan choice. Set for
+    /// the duration of `execute_with_retry` only.
+    current_compiled: Mutex<Option<Arc<CompiledStatement>>>,
+    /// Memoized routine resolutions (see [`Connection::resolve_udr`]).
+    udr_cache: Mutex<UdrCache>,
+}
+
+/// One memoized routine lookup: the argument types it resolved for (as
+/// produced by [`Value::data_type`]) and the winning overload.
+struct ResolvedUdr {
+    types: Vec<Option<DataType>>,
+    routine: Arc<Routine>,
+}
+
+/// Session-local memo of routine resolutions, keyed by the name as
+/// written in the expression. Expression evaluation calls a routine
+/// once per *row*; without the memo every row of a sequential scan
+/// locks the shared registry and re-runs overload resolution. Entries
+/// are dropped wholesale whenever [`DbInner::udr_generation`] moves
+/// (any function DDL).
+#[derive(Default)]
+struct UdrCache {
+    generation: u64,
+    entries: HashMap<String, Vec<ResolvedUdr>>,
+}
+
+/// True when a cached argument-type slot matches the value — exactly
+/// `*slot == value.data_type()`, without materializing the type (which
+/// clones the type name for opaque values).
+fn udr_type_matches(slot: &Option<DataType>, value: &Value) -> bool {
+    match (slot, value) {
+        (None, Value::Null) => true,
+        (Some(DataType::Integer), Value::Int(_)) => true,
+        (Some(DataType::Text), Value::Text(_)) => true,
+        (Some(DataType::Date), Value::Date(_)) => true,
+        (Some(DataType::Boolean), Value::Bool(_)) => true,
+        (Some(DataType::Opaque(n)), Value::Opaque { type_name, .. }) => n == type_name,
+        _ => false,
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        // Disconnect deallocates the surviving prepared handles, so the
+        // opened/closed counters reconcile (no leaked handles).
+        let leaked = self.prepared.get_mut().len() as u64;
+        self.prepared.get_mut().clear();
+        self.db.inner.counters.prepared_closed.add(leaked);
+    }
 }
 
 /// The result of one statement.
@@ -178,13 +284,24 @@ pub struct QueryResult {
 impl Database {
     /// Boots a database over an in-memory sbspace.
     pub fn new(opts: DatabaseOptions) -> Database {
-        let space = Sbspace::mem(opts.space);
+        let DatabaseOptions {
+            space,
+            clock,
+            deadlock_retries,
+            retry_backoff,
+            scan_workers,
+            plan_cache_size,
+            scan_batch_rows,
+        } = opts;
+        let space = Sbspace::mem(space);
         Self::boot(
             space,
-            opts.clock,
-            opts.deadlock_retries,
-            opts.retry_backoff,
-            opts.scan_workers,
+            clock,
+            deadlock_retries,
+            retry_backoff,
+            scan_workers,
+            plan_cache_size,
+            scan_batch_rows,
         )
     }
 
@@ -198,6 +315,8 @@ impl Database {
             defaults.deadlock_retries,
             defaults.retry_backoff,
             defaults.scan_workers,
+            defaults.plan_cache_size,
+            defaults.scan_batch_rows,
         )
     }
 
@@ -207,18 +326,69 @@ impl Database {
         deadlock_retries: u32,
         retry_backoff: Duration,
         scan_workers: usize,
+        plan_cache_size: usize,
+        scan_batch_rows: usize,
     ) -> Database {
-        let txn_sessions: Arc<Mutex<HashMap<u64, Arc<Session>>>> =
-            Arc::new(Mutex::new(HashMap::new()));
-        let cb_map = Arc::clone(&txn_sessions);
-        space.on_txn_end(move |txn, _end: TxnEnd| {
-            if let Some(session) = cb_map.lock().remove(&txn.0) {
-                session.clear_duration(MemDuration::PerTransaction);
-            }
-        });
         // The sbspace already registered its I/O counters; the engine
         // joins the same registry so one snapshot covers every layer.
         let metrics = space.metrics();
+        let txn_sessions: Arc<Mutex<HashMap<u64, Arc<Session>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let catalog: Arc<Mutex<Catalog>> = Arc::new(Mutex::new(Catalog::default()));
+        let plan_cache = Arc::new(PlanCache::new(plan_cache_size, &metrics));
+        let txn_undo: Arc<Mutex<HashMap<u64, Vec<CatalogUndo>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let cb_map = Arc::clone(&txn_sessions);
+        let cb_undo = Arc::clone(&txn_undo);
+        let cb_catalog = Arc::clone(&catalog);
+        let cb_cache = Arc::clone(&plan_cache);
+        space.on_txn_end(move |txn, end: TxnEnd| {
+            if let Some(session) = cb_map.lock().remove(&txn.0) {
+                session.clear_duration(MemDuration::PerTransaction);
+            }
+            // DDL undo: a rolled-back transaction takes its catalog
+            // changes with it. The compensation records are applied in
+            // reverse, then the plan cache drops every compiled
+            // statement touching the affected tables.
+            let ops = cb_undo.lock().remove(&txn.0);
+            if end == TxnEnd::Abort {
+                if let Some(ops) = ops {
+                    let mut affected: Vec<String> = Vec::new();
+                    {
+                        let mut cat = cb_catalog.lock();
+                        for op in ops.into_iter().rev() {
+                            match op {
+                                CatalogUndo::ReinsertTable(meta) => {
+                                    let key = meta.name.to_ascii_lowercase();
+                                    affected.push(key.clone());
+                                    cat.tables.insert(key, meta);
+                                }
+                                CatalogUndo::RemoveTable(key) => {
+                                    affected.push(key.clone());
+                                    cat.tables.remove(&key);
+                                }
+                                CatalogUndo::ReinsertIndex(meta, frag) => {
+                                    affected.push(meta.table.to_ascii_lowercase());
+                                    if let Some(page) = frag {
+                                        cat.fragments.lock().insert(meta.name.clone(), page);
+                                    }
+                                    cat.indices.insert(meta.name.to_ascii_lowercase(), meta);
+                                }
+                                CatalogUndo::RemoveIndex(key) => {
+                                    if let Some(meta) = cat.indices.remove(&key) {
+                                        affected.push(meta.table.to_ascii_lowercase());
+                                        cat.fragments.lock().remove(&meta.name);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for table in affected {
+                        cb_cache.invalidate_table(&table);
+                    }
+                }
+            }
+        });
         let trace = TraceSink::new();
         metrics.adopt_counter("trace.dropped", trace.dropped_counter());
         // Alias the storage lock counters under the engine-facing
@@ -228,11 +398,13 @@ impl Database {
         metrics.adopt_counter("lock.deadlocks", io.deadlocks.clone());
         let counters = EngineCounters::registered(&metrics);
         let exec_ns = metrics.histogram("ids.exec_ns");
+        let batch_rows = metrics.histogram("scan.batch_rows");
         Database {
             inner: Arc::new(DbInner {
                 space,
-                catalog: Mutex::new(Catalog::default()),
+                catalog,
                 udrs: Mutex::new(UdrRegistry::default()),
+                udr_generation: AtomicU64::new(0),
                 opaques: Mutex::new(HashMap::new()),
                 opclasses: Mutex::new(OpClassRegistry::default()),
                 libraries: Mutex::new(HashMap::new()),
@@ -241,6 +413,10 @@ impl Database {
                 metrics,
                 counters,
                 exec_ns,
+                batch_rows,
+                plan_cache,
+                txn_undo,
+                scan_batch_rows: scan_batch_rows.max(1),
                 deadlock_retries,
                 retry_backoff,
                 scan_workers: scan_workers.max(1),
@@ -261,6 +437,9 @@ impl Database {
             iso: Mutex::new(IsolationLevel::ReadCommitted),
             span: AtomicU64::new(0),
             aborted: AtomicBool::new(false),
+            prepared: Mutex::new(HashMap::new()),
+            current_compiled: Mutex::new(None),
+            udr_cache: Mutex::new(UdrCache::default()),
         }
     }
 
@@ -334,6 +513,17 @@ impl Database {
     /// The underlying sbspace (test and benchmark hook).
     pub fn space(&self) -> Sbspace {
         self.inner.space.clone()
+    }
+
+    /// Live `PREPARE`d statement handles across every connection — the
+    /// stress harness's leak check (zero once all sessions are gone).
+    pub fn prepared_live(&self) -> usize {
+        self.inner.plan_cache.live_prepared()
+    }
+
+    /// Compiled statements in the transparent plan cache (test hook).
+    pub fn plan_cache_len(&self) -> usize {
+        self.inner.plan_cache.len()
     }
 
     /// Dumps a system catalog.
@@ -438,17 +628,107 @@ impl Connection {
     /// Section 5.4 `PerStatement` current time re-resolves) while
     /// preserved `PerTransaction` memory carries over the victim abort.
     pub fn exec(&self, sql_text: &str) -> Result<QueryResult> {
-        let stmt = sql::parse(sql_text)?;
-        self.execute_with_retry(stmt)
+        // The EXECUTE hot path: the named statement was compiled at
+        // PREPARE, so the transparent-cache normalization below would
+        // only re-lex text whose compiled form we already hold. Parse
+        // the short EXECUTE statement directly instead.
+        let head = sql_text.trim_start().as_bytes();
+        if head.len() > 7
+            && head[..7].eq_ignore_ascii_case(b"EXECUTE")
+            && head[7].is_ascii_whitespace()
+        {
+            return self.dispatch(sql::parse(sql_text)?, None);
+        }
+        // Phase 1+2 (parse, verify/resolve) are served from the
+        // transparent plan cache when the normalized statement text has
+        // been seen before; a cache hit never parses at all.
+        if let Some(normalized) = sql::normalize_dml(sql_text)? {
+            let args: Vec<Value> = normalized.args.iter().map(Self::literal_value).collect();
+            let compiled = match self.db.inner.plan_cache.get(&normalized.key) {
+                Some(compiled) => compiled,
+                None => {
+                    let key = normalized.key.clone();
+                    let Ok(stmt) = normalized.parse() else {
+                        // Surface the parse error with the original
+                        // (unlifted) statement text.
+                        return self.dispatch(sql::parse(sql_text)?, None);
+                    };
+                    match self.resolve(stmt, Some(key)) {
+                        Ok(compiled) => {
+                            let compiled = Arc::new(compiled);
+                            self.db.inner.plan_cache.insert(Arc::clone(&compiled));
+                            compiled
+                        }
+                        // Unresolvable (e.g. unknown table): run the
+                        // statement uncached so the error surfaces
+                        // exactly as it always has.
+                        Err(_) => return self.dispatch(sql::parse(sql_text)?, None),
+                    }
+                }
+            };
+            let stmt = prepare::bind(&compiled.stmt, &args)?;
+            return self.dispatch(stmt, Some(compiled));
+        }
+        self.dispatch(sql::parse(sql_text)?, None)
     }
 
     /// Executes a semicolon-separated script, returning the last result.
     pub fn exec_script(&self, script: &str) -> Result<QueryResult> {
         let mut last = QueryResult::default();
         for stmt in sql::parse_script(script)? {
-            last = self.execute_with_retry(stmt)?;
+            last = self.dispatch(stmt, None)?;
         }
         Ok(last)
+    }
+
+    /// Routes a parsed statement: top-level `EXECUTE` runs its bound
+    /// prepared statement (counting as one statement); everything else
+    /// goes straight to the retry loop.
+    fn dispatch(
+        &self,
+        stmt: Statement,
+        compiled: Option<Arc<CompiledStatement>>,
+    ) -> Result<QueryResult> {
+        if let Statement::Execute { name, using } = stmt {
+            return self.execute_prepared(&name, &using);
+        }
+        self.execute_with_retry(stmt, compiled)
+    }
+
+    /// `EXECUTE name [USING v1, …]`: bind-time checks (the statement
+    /// never starts executing on an arity or type error), then the
+    /// normal execution path with the compiled handle attached.
+    fn execute_prepared(&self, name: &str, using: &[Expr]) -> Result<QueryResult> {
+        let compiled = self
+            .prepared
+            .lock()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| IdsError::NotFound(format!("prepared statement {name}")))?;
+        if using.len() != compiled.n_params {
+            return Err(IdsError::Type(format!(
+                "prepared statement {name} takes {} parameters, {} given",
+                compiled.n_params,
+                using.len()
+            )));
+        }
+        let mut args = Vec::with_capacity(using.len());
+        for (expr, expected) in using.iter().zip(&compiled.param_types) {
+            let Expr::Literal(lit) = expr else {
+                return Err(IdsError::Semantic(
+                    "EXECUTE ... USING accepts literal values".into(),
+                ));
+            };
+            let v = Self::literal_value(lit);
+            args.push(match expected {
+                Some(ty) => self
+                    .coerce(v, ty)
+                    .map_err(|e| IdsError::Type(format!("binding parameters of {name}: {e}")))?,
+                None => v,
+            });
+        }
+        let stmt = prepare::bind(&compiled.stmt, &args)?;
+        self.execute_with_retry(stmt, Some(compiled))
     }
 
     /// True for errors produced by a transaction aborted as a
@@ -460,7 +740,18 @@ impl Connection {
         )
     }
 
-    fn execute_with_retry(&self, stmt: Statement) -> Result<QueryResult> {
+    fn execute_with_retry(
+        &self,
+        stmt: Statement,
+        compiled: Option<Arc<CompiledStatement>>,
+    ) -> Result<QueryResult> {
+        *self.current_compiled.lock() = compiled;
+        let out = self.retry_loop(stmt);
+        *self.current_compiled.lock() = None;
+        out
+    }
+
+    fn retry_loop(&self, stmt: Statement) -> Result<QueryResult> {
         let inner = &self.db.inner;
         let mut attempt = 0u32;
         loop {
@@ -614,8 +905,194 @@ impl Connection {
                 );
                 Ok(msg("parallel degree set"))
             }
+            Statement::Prepare { name, sql } => self.prepare_statement(&name, &sql),
+            Statement::Deallocate { name } => {
+                if self
+                    .prepared
+                    .lock()
+                    .remove(&name.to_ascii_lowercase())
+                    .is_none()
+                {
+                    return Err(IdsError::NotFound(format!("prepared statement {name}")));
+                }
+                self.db.inner.counters.prepared_closed.inc();
+                Ok(msg(&format!("statement {name} deallocated")))
+            }
+            Statement::Execute { .. } => Err(IdsError::Semantic(
+                "EXECUTE must be a top-level statement".into(),
+            )),
             other => self.with_txn(|txn| self.run(other.clone(), txn)),
         }
+    }
+
+    /// `PREPARE name FROM '<sql>'`: parse and resolve now (errors are
+    /// prepare-time), plan lazily on first EXECUTE.
+    fn prepare_statement(&self, name: &str, sql_text: &str) -> Result<QueryResult> {
+        let stmt = sql::parse(sql_text)?;
+        if matches!(
+            stmt,
+            Statement::Prepare { .. }
+                | Statement::Execute { .. }
+                | Statement::Deallocate { .. }
+                | Statement::Begin
+                | Statement::Commit
+                | Statement::Rollback
+        ) {
+            return Err(IdsError::Semantic(format!(
+                "statement cannot be prepared: {sql_text}"
+            )));
+        }
+        let compiled = Arc::new(self.resolve(stmt, None)?);
+        self.db.inner.plan_cache.register(&compiled);
+        let replaced = self
+            .prepared
+            .lock()
+            .insert(name.to_ascii_lowercase(), compiled);
+        let counters = &self.db.inner.counters;
+        if replaced.is_some() {
+            // Re-PREPARE under the same name closes the old handle.
+            counters.prepared_closed.inc();
+        }
+        counters.prepared_opened.inc();
+        Ok(msg(&format!("statement {name} prepared")))
+    }
+
+    /// Phase 2 of statement execution — verify/resolve: check the
+    /// statement against the catalog and infer the types of its
+    /// parameter slots, so `EXECUTE … USING` can reject mismatched
+    /// values at bind time.
+    fn resolve(&self, stmt: Statement, key: Option<String>) -> Result<CompiledStatement> {
+        let n_params = sql::param_count(&stmt);
+        let mut param_types: Vec<Option<DataType>> = vec![None; n_params];
+        let mut tables = Vec::new();
+        let table_name = match &stmt {
+            Statement::Insert { table, .. }
+            | Statement::Select { table, .. }
+            | Statement::Delete { table, .. }
+            | Statement::Update { table, .. } => Some(table.clone()),
+            _ => None,
+        };
+        if let Some(tname) = &table_name {
+            let table = self.db.inner.catalog.lock().table(tname)?.clone();
+            tables.push(tname.to_ascii_lowercase());
+            match &stmt {
+                Statement::Insert { values, .. } => {
+                    if values.len() != table.columns.len() {
+                        return Err(IdsError::Semantic(format!(
+                            "table {tname} has {} columns, {} values given",
+                            table.columns.len(),
+                            values.len()
+                        )));
+                    }
+                    for (expr, (_, ty)) in values.iter().zip(&table.columns) {
+                        self.infer_param_types(expr, Some(ty), &table, &mut param_types)?;
+                    }
+                }
+                Statement::Select { where_clause, .. } | Statement::Delete { where_clause, .. } => {
+                    if let Some(w) = where_clause {
+                        self.validate_expr(w, &table)?;
+                        self.infer_param_types(w, None, &table, &mut param_types)?;
+                    }
+                }
+                Statement::Update {
+                    sets, where_clause, ..
+                } => {
+                    for (col, expr) in sets {
+                        let i = table.column_index(col)?;
+                        let ty = table.columns[i].1.clone();
+                        self.validate_expr(expr, &table)?;
+                        self.infer_param_types(expr, Some(&ty), &table, &mut param_types)?;
+                    }
+                    if let Some(w) = where_clause {
+                        self.validate_expr(w, &table)?;
+                        self.infer_param_types(w, None, &table, &mut param_types)?;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(CompiledStatement {
+            key,
+            stmt,
+            n_params,
+            param_types,
+            tables,
+            plan: Mutex::new(None),
+        })
+    }
+
+    /// Walks an expression assigning a type to every `?` slot that sits
+    /// in a position whose type is known: INSERT values and UPDATE SET
+    /// take their column's type, comparison operands the type of the
+    /// other side, routine arguments the declared type when the routine
+    /// resolves unambiguously by name and arity. Slots in opaque
+    /// positions stay untyped and are checked at execution.
+    fn infer_param_types(
+        &self,
+        expr: &Expr,
+        expected: Option<&DataType>,
+        table: &TableMeta,
+        out: &mut Vec<Option<DataType>>,
+    ) -> Result<()> {
+        match expr {
+            Expr::Param(i) => {
+                if let (Some(ty), Some(slot)) = (expected, out.get_mut(*i)) {
+                    if slot.is_none() {
+                        *slot = Some(ty.clone());
+                    }
+                }
+                Ok(())
+            }
+            Expr::Call { name, args } => {
+                let declared: Option<Vec<DataType>> = {
+                    let udrs = self.db.inner.udrs.lock();
+                    let mut matching = udrs
+                        .all()
+                        .into_iter()
+                        .filter(|r| {
+                            r.name.eq_ignore_ascii_case(name) && r.arg_types.len() == args.len()
+                        })
+                        .map(|r| r.arg_types.clone());
+                    match (matching.next(), matching.next()) {
+                        (Some(sig), None) => Some(sig),
+                        _ => None,
+                    }
+                };
+                for (i, a) in args.iter().enumerate() {
+                    self.infer_param_types(a, declared.as_ref().map(|s| &s[i]), table, out)?;
+                }
+                Ok(())
+            }
+            Expr::Cmp { left, right, .. } => {
+                let side_type = |e: &Expr| -> Option<DataType> {
+                    match e {
+                        Expr::Column(c) => table.column_type(c).ok().cloned(),
+                        Expr::Literal(lit) => Self::literal_value(lit).data_type(),
+                        _ => None,
+                    }
+                };
+                let lt = side_type(left);
+                let rt = side_type(right);
+                self.infer_param_types(left, rt.as_ref(), table, out)?;
+                self.infer_param_types(right, lt.as_ref(), table, out)
+            }
+            Expr::And(parts) | Expr::Or(parts) => parts
+                .iter()
+                .try_for_each(|p| self.infer_param_types(p, None, table, out)),
+            Expr::Not(inner) => self.infer_param_types(inner, None, table, out),
+            Expr::Literal(_) | Expr::Column(_) | Expr::Bound(_) => Ok(()),
+        }
+    }
+
+    /// Records a catalog compensation to run if `txn` aborts.
+    fn register_undo(&self, txn: &Txn, op: CatalogUndo) {
+        self.db
+            .inner
+            .txn_undo
+            .lock()
+            .entry(txn.id().0)
+            .or_default()
+            .push(op);
     }
 
     fn begin_txn(&self) -> Txn {
@@ -705,10 +1182,13 @@ impl Connection {
                     DataType::parse(&returns),
                     &external,
                 )?;
+                self.db.inner.udr_generation.fetch_add(1, Ordering::Release);
                 Ok(msg(&format!("function {name} created")))
             }
             Statement::DropFunction { name } => {
                 self.db.inner.udrs.lock().drop_function(&name)?;
+                self.db.inner.udr_generation.fetch_add(1, Ordering::Release);
+                self.db.inner.plan_cache.invalidate_all();
                 Ok(msg(&format!("function {name} dropped")))
             }
             Statement::CreateAccessMethod { name, bindings } => {
@@ -762,6 +1242,8 @@ impl Connection {
                     .ams
                     .remove(&name.to_ascii_lowercase())
                     .ok_or_else(|| IdsError::NotFound(format!("access method {name}")))?;
+                drop(catalog);
+                self.db.inner.plan_cache.invalidate_all();
                 Ok(msg(&format!("access method {name} dropped")))
             }
             Statement::DropOpClass { name } => {
@@ -777,6 +1259,7 @@ impl Connection {
                 }
                 drop(catalog);
                 self.db.inner.opclasses.lock().drop_class(&name)?;
+                self.db.inner.plan_cache.invalidate_all();
                 Ok(msg(&format!("opclass {name} dropped")))
             }
             Statement::Insert { table, values } => self.insert(txn, table, values),
@@ -814,6 +1297,9 @@ impl Connection {
                 if let Some(c) = commutator {
                     udrs.set_commutator(&name, &c)?;
                 }
+                drop(udrs);
+                self.db.inner.udr_generation.fetch_add(1, Ordering::Release);
+                self.db.inner.plan_cache.invalidate_all();
                 Ok(msg(&format!("function {name} altered")))
             }
             Statement::UpdateStatistics { index } => {
@@ -864,13 +1350,15 @@ impl Connection {
         heap::init(&mut h)?;
         h.close()?;
         self.db.inner.catalog.lock().tables.insert(
-            key,
+            key.clone(),
             TableMeta {
                 name: name.clone(),
                 columns: cols,
                 lo,
             },
         );
+        self.register_undo(txn, CatalogUndo::RemoveTable(key.clone()));
+        self.db.inner.plan_cache.invalidate_table(&key);
         Ok(msg(&format!("table {name} created")))
     }
 
@@ -891,6 +1379,11 @@ impl Connection {
             .lock()
             .tables
             .remove(&name.to_ascii_lowercase());
+        self.register_undo(txn, CatalogUndo::ReinsertTable(meta));
+        self.db
+            .inner
+            .plan_cache
+            .invalidate_table(&name.to_ascii_lowercase());
         Ok(msg(&format!("table {name} dropped")))
     }
 
@@ -908,6 +1401,7 @@ impl Connection {
             "am_beginscan",
             "am_rescan",
             "am_getnext",
+            "am_getnext_batch",
             "am_endscan",
             "am_insert",
             "am_delete",
@@ -1106,11 +1600,24 @@ impl Connection {
                 space: space.unwrap_or_else(|| "sbspace".into()),
             },
         );
+        self.register_undo(txn, CatalogUndo::RemoveIndex(name.to_ascii_lowercase()));
+        self.db
+            .inner
+            .plan_cache
+            .invalidate_table(&table_meta.name.to_ascii_lowercase());
         Ok(msg(&format!("index {name} created")))
     }
 
     fn drop_index(&self, txn: &Txn, name: String) -> Result<QueryResult> {
         let (am, desc) = self.index_am(&name)?;
+        // Capture the root-fragment registry entry before am_drop tears
+        // it down, so an aborting transaction can reinstate it.
+        let (meta, frag) = {
+            let catalog = self.db.inner.catalog.lock();
+            let meta = catalog.index(&name)?.clone();
+            let frag = catalog.fragments.lock().get(&meta.name).copied();
+            (meta, frag)
+        };
         let ctx = self.ctx(txn);
         self.trace_purpose(&am, "am_drop");
         am.handler.am_drop(&desc, &ctx)?;
@@ -1120,6 +1627,9 @@ impl Connection {
             .lock()
             .indices
             .remove(&name.to_ascii_lowercase());
+        let table_key = meta.table.to_ascii_lowercase();
+        self.register_undo(txn, CatalogUndo::ReinsertIndex(meta, frag));
+        self.db.inner.plan_cache.invalidate_table(&table_key);
         Ok(msg(&format!("index {name} dropped")))
     }
 
@@ -1163,7 +1673,8 @@ impl Connection {
         if let Some(c) = self.db.inner.counters.am_calls.get(slot) {
             c.inc();
         }
-        self.scoped_trace().emit("AM", 1, am.purpose_name(slot));
+        self.scoped_trace()
+            .emit_with("AM", 1, || am.purpose_name(slot));
     }
 
     /// The `LOAD` command: reads a pipe-separated text file and inserts
@@ -1273,6 +1784,10 @@ impl Connection {
     ) -> Result<Value> {
         let v = match expr {
             Expr::Literal(lit) => Self::literal_value(lit),
+            Expr::Bound(v) => v.clone(),
+            Expr::Param(i) => {
+                return Err(IdsError::Semantic(format!("unbound parameter {}", i + 1)))
+            }
             Expr::Call { name, args } => {
                 let vals: Result<Vec<Value>> =
                     args.iter().map(|a| self.fold_expr(a, None, ctx)).collect();
@@ -1292,26 +1807,62 @@ impl Connection {
 
     /// Invokes a UDR, coercing text literals to the declared argument
     /// types when the overload is unambiguous.
-    fn call_udr(&self, name: &str, args: Vec<Value>, ctx: &AmContext) -> Result<Value> {
+    /// Resolves a routine call's overload, memoized per session. The
+    /// resolution is a pure function of the name, the argument types,
+    /// and the registry contents, so the memo holds until function DDL
+    /// bumps the registry generation.
+    fn resolve_udr(&self, name: &str, args: &[Value]) -> Result<Arc<Routine>> {
+        let generation = self.db.inner.udr_generation.load(Ordering::Acquire);
+        let mut cache = self.udr_cache.lock();
+        if cache.generation != generation {
+            cache.entries.clear();
+            cache.generation = generation;
+        }
+        if let Some(resolved) = cache.entries.get(name) {
+            for e in resolved {
+                if e.types.len() == args.len()
+                    && e.types
+                        .iter()
+                        .zip(args)
+                        .all(|(t, v)| udr_type_matches(t, v))
+                {
+                    return Ok(Arc::clone(&e.routine));
+                }
+            }
+        }
+        let types: Vec<Option<DataType>> = args.iter().map(|v| v.data_type()).collect();
         let routine = {
             let udrs = self.db.inner.udrs.lock();
-            let types: Vec<Option<DataType>> = args.iter().map(|v| v.data_type()).collect();
             match udrs.resolve(name, &types) {
                 Ok(r) => r.clone(),
                 Err(first_err) => {
                     // Retry with text arguments treated as wildcards
                     // (they may coerce to opaque/date parameters).
-                    let relaxed: Vec<Option<DataType>> = args
+                    let relaxed: Vec<Option<DataType>> = types
                         .iter()
-                        .map(|v| match v.data_type() {
+                        .map(|t| match t {
                             Some(DataType::Text) => None,
-                            other => other,
+                            other => other.clone(),
                         })
                         .collect();
                     udrs.resolve(name, &relaxed).map_err(|_| first_err)?.clone()
                 }
             }
         };
+        let routine = Arc::new(routine);
+        cache
+            .entries
+            .entry(name.to_string())
+            .or_default()
+            .push(ResolvedUdr {
+                types,
+                routine: Arc::clone(&routine),
+            });
+        Ok(routine)
+    }
+
+    fn call_udr(&self, name: &str, args: Vec<Value>, ctx: &AmContext) -> Result<Value> {
+        let routine = self.resolve_udr(name, &args)?;
         if routine.arg_types.len() != args.len() {
             return Err(IdsError::Type(format!(
                 "{name} expects {} arguments",
@@ -1336,6 +1887,8 @@ impl Connection {
     ) -> Result<Value> {
         match expr {
             Expr::Literal(lit) => Ok(Self::literal_value(lit)),
+            Expr::Bound(v) => Ok(v.clone()),
+            Expr::Param(i) => Err(IdsError::Semantic(format!("unbound parameter {}", i + 1))),
             Expr::Column(c) => Ok(row[table.column_index(c)?].clone()),
             Expr::Call { name, args } => {
                 let vals: Result<Vec<Value>> = args
@@ -1460,7 +2013,7 @@ impl Connection {
     /// must resolve to a registered UDR, and every column must exist.
     fn validate_expr(&self, expr: &Expr, table: &TableMeta) -> Result<()> {
         match expr {
-            Expr::Literal(_) => Ok(()),
+            Expr::Literal(_) | Expr::Param(_) | Expr::Bound(_) => Ok(()),
             Expr::Column(c) => table.column_index(c).map(|_| ()),
             Expr::Call { name, args } => {
                 if !self.db.inner.udrs.lock().exists(name) {
@@ -1479,8 +2032,108 @@ impl Connection {
         }
     }
 
-    /// Plans a WHERE clause for a table.
+    /// Phase 3 of statement execution — plan. A statement that came
+    /// through the plan cache memoizes its access-path *choice*; a hit
+    /// rebuilds the concrete plan for that choice against the current
+    /// catalog and bindings, skipping validation, candidate search, and
+    /// the `am_scancost` round trips. DDL invalidation clears the memo,
+    /// and a memo that no longer matches the catalog (the index vanished
+    /// between invalidation and replanning) falls back to fresh planning.
     fn plan(&self, txn: &Txn, table: &TableMeta, where_clause: Option<&Expr>) -> Result<Plan> {
+        let compiled = self.current_compiled.lock().clone();
+        let Some(compiled) = compiled else {
+            return self.plan_fresh(txn, table, where_clause);
+        };
+        let cache = &self.db.inner.plan_cache;
+        let memo = compiled.plan.lock().clone();
+        if let Some(memo) = memo {
+            // Index-vs-seq is a function of the bound values (a narrow
+            // probe favors the index, a full-range one the heap sweep):
+            // reuse the memo only for the bindings it was costed for,
+            // until enough re-costs agree that the choice is generic.
+            if memo.serves(where_clause) {
+                if let Some(plan) = self.rebuild_plan(txn, &memo.choice, table, where_clause)? {
+                    cache.hits.inc();
+                    let counters = &self.db.inner.counters;
+                    match &plan {
+                        Plan::IndexScan { .. } => counters.plans_index.inc(),
+                        Plan::SeqScan { .. } => counters.plans_seq.inc(),
+                    }
+                    self.scoped_trace()
+                        .emit_with("EXPLAIN", 1, || format!("{}: plan: cached", table.name));
+                    return Ok(plan);
+                }
+            }
+        }
+        cache.misses.inc();
+        let plan = self.plan_fresh(txn, table, where_clause)?;
+        self.scoped_trace()
+            .emit_with("EXPLAIN", 1, || format!("{}: plan: fresh", table.name));
+        let choice = match &plan {
+            Plan::SeqScan { .. } => PlanChoice::Seq,
+            Plan::IndexScan { index, .. } => PlanChoice::Index(index.clone()),
+        };
+        let mut slot = compiled.plan.lock();
+        let streak = match &*slot {
+            Some(prev) if prev.choice == choice => prev.streak + 1,
+            _ => 0,
+        };
+        *slot = Some(prepare::PlanMemo {
+            binding: where_clause.cloned(),
+            choice,
+            streak,
+        });
+        Ok(plan)
+    }
+
+    /// Rebuilds a concrete plan from a memoized choice. `None` when the
+    /// choice no longer applies to the current catalog.
+    fn rebuild_plan(
+        &self,
+        txn: &Txn,
+        choice: &PlanChoice,
+        table: &TableMeta,
+        where_clause: Option<&Expr>,
+    ) -> Result<Option<Plan>> {
+        match choice {
+            PlanChoice::Seq => Ok(Some(Plan::SeqScan {
+                filter: where_clause.cloned(),
+            })),
+            PlanChoice::Index(name) => {
+                let Some(expr) = where_clause else {
+                    return Ok(None);
+                };
+                let ctx = self.ctx(txn);
+                let fold = |e: &Expr, ty: Option<&DataType>| self.fold_expr(e, ty, &ctx).ok();
+                let catalog = self.db.inner.catalog.lock();
+                let opclasses = self.db.inner.opclasses.lock();
+                let Ok(ix) = catalog.index(name) else {
+                    return Ok(None);
+                };
+                if !ix.table.eq_ignore_ascii_case(&table.name) {
+                    return Ok(None);
+                }
+                Ok(
+                    planner::candidate_for(&opclasses, table, ix, expr, &fold).map(|c| {
+                        Plan::IndexScan {
+                            index: c.index,
+                            qual: c.qual,
+                            residual: c.residual,
+                        }
+                    }),
+                )
+            }
+        }
+    }
+
+    /// Plans a WHERE clause for a table: validate, enumerate index
+    /// candidates, cost them through `am_scancost`, choose.
+    fn plan_fresh(
+        &self,
+        txn: &Txn,
+        table: &TableMeta,
+        where_clause: Option<&Expr>,
+    ) -> Result<Plan> {
         if let Some(w) = where_clause {
             self.validate_expr(w, table)?;
         }
@@ -1494,11 +2147,9 @@ impl Connection {
         let trace = self.scoped_trace();
         if cands.is_empty() {
             self.db.inner.counters.plans_seq.inc();
-            trace.emit(
-                "EXPLAIN",
-                1,
-                format!("{}: sequential scan (no index candidates)", table.name),
-            );
+            trace.emit_with("EXPLAIN", 1, || {
+                format!("{}: sequential scan (no index candidates)", table.name)
+            });
             return Ok(Plan::SeqScan {
                 filter: where_clause.cloned(),
             });
@@ -1515,33 +2166,27 @@ impl Connection {
                 .handler
                 .am_scancost(&desc, &c.qual, &ctx)
                 .unwrap_or(f64::MAX);
-            trace.emit(
-                "EXPLAIN",
-                1,
-                format!("{}: index {} cost {cost:.1}", table.name, c.index),
-            );
+            trace.emit_with("EXPLAIN", 1, || {
+                format!("{}: index {} cost {cost:.1}", table.name, c.index)
+            });
             costs.insert(c.index.clone(), cost);
         }
         let plan = planner::choose(cands, |c| costs[&c.index], seq_cost, where_clause);
         match &plan {
             Plan::IndexScan { index, .. } => {
                 self.db.inner.counters.plans_index.inc();
-                trace.emit(
-                    "EXPLAIN",
-                    1,
+                trace.emit_with("EXPLAIN", 1, || {
                     format!(
                         "{}: chose index scan via {index} (seq cost {seq_cost:.1})",
                         table.name
-                    ),
-                );
+                    )
+                });
             }
             Plan::SeqScan { .. } => {
                 self.db.inner.counters.plans_seq.inc();
-                trace.emit(
-                    "EXPLAIN",
-                    1,
-                    format!("{}: chose sequential scan (cost {seq_cost:.1})", table.name),
-                );
+                trace.emit_with("EXPLAIN", 1, || {
+                    format!("{}: chose sequential scan (cost {seq_cost:.1})", table.name)
+                });
             }
         }
         Ok(plan)
@@ -1585,21 +2230,30 @@ impl Connection {
                 let mut scan = ScanDescriptor::new(qual.clone());
                 self.trace_purpose(&am, "am_beginscan");
                 am.handler.am_beginscan(&desc, &mut scan, &ctx)?;
-                loop {
-                    self.trace_purpose(&am, "am_getnext");
-                    let Some((rid, _keys)) = am.handler.am_getnext(&desc, &mut scan, &ctx)? else {
-                        break;
-                    };
-                    // Fetch the base row; it may be gone under weaker
-                    // isolation.
-                    let Some(row) = heap::fetch(&h, rid)? else {
-                        continue;
-                    };
-                    let keep = match residual {
-                        Some(f) => self.eval_expr(f, &row, table, &ctx)?.as_bool()?,
-                        None => true,
-                    };
-                    if keep && !sink(rid, row)? {
+                // Rows are pulled a batch at a time — one dynamic
+                // dispatch per `scan_batch_rows` rows instead of one per
+                // row. A short batch means the scan is exhausted.
+                let batch = self.db.inner.scan_batch_rows;
+                'batches: loop {
+                    self.trace_purpose(&am, "am_getnext_batch");
+                    let hits = am.handler.am_getnext_batch(&desc, &mut scan, batch, &ctx)?;
+                    self.db.inner.batch_rows.observe_ns(hits.len() as u64);
+                    let exhausted = hits.len() < batch;
+                    for (rid, _keys) in hits {
+                        // Fetch the base row; it may be gone under
+                        // weaker isolation.
+                        let Some(row) = heap::fetch(&h, rid)? else {
+                            continue;
+                        };
+                        let keep = match residual {
+                            Some(f) => self.eval_expr(f, &row, table, &ctx)?.as_bool()?,
+                            None => true,
+                        };
+                        if keep && !sink(rid, row)? {
+                            break 'batches;
+                        }
+                    }
+                    if exhausted {
                         break;
                     }
                 }
@@ -1713,42 +2367,54 @@ impl Connection {
                 self.trace_purpose(&am, "am_beginscan");
                 am.handler.am_beginscan(&desc, &mut scan, &ctx)?;
                 let mut count = 0usize;
+                // Victims are fetched a batch at a time through the open
+                // cursor, then deleted through the SAME descriptor — the
+                // deletes may condense the tree and restart the cursor,
+                // which the next am_getnext_batch call must survive
+                // without re-emitting rows.
+                let batch = self.db.inner.scan_batch_rows;
                 loop {
-                    self.trace_purpose(&am, "am_getnext");
-                    let Some((rid, _keys)) = am.handler.am_getnext(&desc, &mut scan, &ctx)? else {
-                        break;
-                    };
-                    let Some(row) = heap::fetch(&h, rid)? else {
-                        continue;
-                    };
-                    let keep = match residual {
-                        Some(f) => self.eval_expr(f, &row, &table_meta, &ctx)?.as_bool()?,
-                        None => true,
-                    };
-                    if !keep {
-                        continue;
-                    }
-                    heap::delete(&mut h, rid)?;
-                    // The scanned index is maintained through the open
-                    // descriptor (grt_delete resets the cursor if the
-                    // tree condensed)...
-                    let keys: Vec<Value> = scanned_cols.iter().map(|&i| row[i].clone()).collect();
-                    self.trace_purpose(&am, "am_delete");
-                    am.handler.am_delete(&desc, &keys, rid, &ctx)?;
-                    // ...other indexes of the table through their own.
-                    self.for_each_index(&table_meta, |other_am, other_desc, keys_of| {
-                        if other_desc.index_name == desc.index_name {
-                            return Ok(());
+                    self.trace_purpose(&am, "am_getnext_batch");
+                    let hits = am.handler.am_getnext_batch(&desc, &mut scan, batch, &ctx)?;
+                    self.db.inner.batch_rows.observe_ns(hits.len() as u64);
+                    let exhausted = hits.len() < batch;
+                    for (rid, _keys) in hits {
+                        let Some(row) = heap::fetch(&h, rid)? else {
+                            continue;
+                        };
+                        let keep = match residual {
+                            Some(f) => self.eval_expr(f, &row, &table_meta, &ctx)?.as_bool()?,
+                            None => true,
+                        };
+                        if !keep {
+                            continue;
                         }
-                        let keys = keys_of(&row);
-                        self.trace_purpose(other_am, "am_open");
-                        other_am.handler.am_open(other_desc, &ctx)?;
-                        self.trace_purpose(other_am, "am_delete");
-                        other_am.handler.am_delete(other_desc, &keys, rid, &ctx)?;
-                        self.trace_purpose(other_am, "am_close");
-                        other_am.handler.am_close(other_desc, &ctx)
-                    })?;
-                    count += 1;
+                        heap::delete(&mut h, rid)?;
+                        // The scanned index is maintained through the
+                        // open descriptor (grt_delete resets the cursor
+                        // if the tree condensed)...
+                        let keys: Vec<Value> =
+                            scanned_cols.iter().map(|&i| row[i].clone()).collect();
+                        self.trace_purpose(&am, "am_delete");
+                        am.handler.am_delete(&desc, &keys, rid, &ctx)?;
+                        // ...other indexes of the table through their own.
+                        self.for_each_index(&table_meta, |other_am, other_desc, keys_of| {
+                            if other_desc.index_name == desc.index_name {
+                                return Ok(());
+                            }
+                            let keys = keys_of(&row);
+                            self.trace_purpose(other_am, "am_open");
+                            other_am.handler.am_open(other_desc, &ctx)?;
+                            self.trace_purpose(other_am, "am_delete");
+                            other_am.handler.am_delete(other_desc, &keys, rid, &ctx)?;
+                            self.trace_purpose(other_am, "am_close");
+                            other_am.handler.am_close(other_desc, &ctx)
+                        })?;
+                        count += 1;
+                    }
+                    if exhausted {
+                        break;
+                    }
                 }
                 self.trace_purpose(&am, "am_endscan");
                 am.handler.am_endscan(&desc, &mut scan, &ctx)?;

@@ -45,6 +45,7 @@ pub mod heap;
 pub mod opaque;
 pub mod opclass;
 pub mod planner;
+pub(crate) mod prepare;
 pub mod session;
 pub mod sql;
 pub mod trace;

@@ -135,7 +135,10 @@ pub fn candidates(
     out
 }
 
-fn candidate_for(
+/// Builds the candidate for one specific index, if the clause is
+/// convertible. Public within the crate so a cached plan can rebuild
+/// its qualification against the current catalog and bound parameters.
+pub(crate) fn candidate_for(
     opclasses: &OpClassRegistry,
     table: &TableMeta,
     ix: &IndexMeta,

@@ -8,6 +8,7 @@
 //! `ROLLBACK WORK`, `SET ISOLATION`, `SET TRACE`, `CHECK INDEX`,
 //! `UPDATE STATISTICS`).
 
+use crate::value::Value;
 use crate::{IdsError, Result};
 
 /// A literal value in SQL text.
@@ -52,6 +53,14 @@ pub enum Expr {
     Or(Vec<Expr>),
     /// Negation.
     Not(Box<Expr>),
+    /// A positional parameter `?` (0-based, in textual order). Appears
+    /// in prepared statements and in plan-cache templates; it must be
+    /// bound to a value before execution.
+    Param(usize),
+    /// A parameter bound to a concrete value. Never produced by the
+    /// parser: the engine substitutes these for [`Expr::Param`] when a
+    /// compiled statement is executed.
+    Bound(Value),
 }
 
 /// The selected column list.
@@ -166,6 +175,61 @@ pub enum Statement {
         negator: Option<String>,
         commutator: Option<String>,
     },
+    /// `PREPARE name FROM '<sql>'` — compile a statement once; `?`
+    /// placeholders become typed parameter slots.
+    Prepare { name: String, sql: String },
+    /// `EXECUTE name [USING v1, v2, ...]` — run a prepared statement
+    /// with the given parameter values.
+    Execute { name: String, using: Vec<Expr> },
+    /// `DEALLOCATE [PREPARE] name` — drop a prepared statement.
+    Deallocate { name: String },
+}
+
+/// Calls `f` on every expression (recursively) in a statement.
+fn visit_exprs(stmt: &Statement, f: &mut impl FnMut(&Expr)) {
+    fn walk(e: &Expr, f: &mut impl FnMut(&Expr)) {
+        f(e);
+        match e {
+            Expr::Call { args, .. } => args.iter().for_each(|a| walk(a, f)),
+            Expr::Cmp { left, right, .. } => {
+                walk(left, f);
+                walk(right, f);
+            }
+            Expr::And(parts) | Expr::Or(parts) => parts.iter().for_each(|p| walk(p, f)),
+            Expr::Not(inner) => walk(inner, f),
+            Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) | Expr::Bound(_) => {}
+        }
+    }
+    match stmt {
+        Statement::Insert { values, .. } => values.iter().for_each(|v| walk(v, f)),
+        Statement::Select { where_clause, .. } | Statement::Delete { where_clause, .. } => {
+            if let Some(w) = where_clause {
+                walk(w, f);
+            }
+        }
+        Statement::Update {
+            sets, where_clause, ..
+        } => {
+            sets.iter().for_each(|(_, e)| walk(e, f));
+            if let Some(w) = where_clause {
+                walk(w, f);
+            }
+        }
+        Statement::Execute { using, .. } => using.iter().for_each(|u| walk(u, f)),
+        _ => {}
+    }
+}
+
+/// Number of positional parameter slots a statement needs (highest
+/// `?` index + 1).
+pub fn param_count(stmt: &Statement) -> usize {
+    let mut n = 0;
+    visit_exprs(stmt, &mut |e| {
+        if let Expr::Param(i) = e {
+            n = n.max(i + 1);
+        }
+    });
+    n
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -238,7 +302,7 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                 out.push(Tok::Sym(format!("{c}=")));
                 i += 2;
             }
-            '(' | ')' | ',' | '=' | ';' | '*' | '.' | '<' | '>' => {
+            '(' | ')' | ',' | '=' | ';' | '*' | '.' | '<' | '>' | '?' => {
                 out.push(Tok::Sym(c.to_string()));
                 i += 1;
             }
@@ -251,6 +315,8 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
 struct Parser {
     toks: Vec<Tok>,
     pos: usize,
+    /// Positional parameters seen so far; each `?` takes the next index.
+    params: usize,
 }
 
 impl Parser {
@@ -362,6 +428,31 @@ impl Parser {
                 Ok(Statement::Rollback)
             }
             "SET" => self.set(),
+            "PREPARE" => {
+                let name = self.ident()?;
+                self.expect_kw("FROM")?;
+                let sql = self.string()?;
+                Ok(Statement::Prepare { name, sql })
+            }
+            "EXECUTE" => {
+                let name = self.ident()?;
+                let mut using = Vec::new();
+                if self.eat_kw("USING") {
+                    loop {
+                        using.push(self.expr()?);
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                }
+                Ok(Statement::Execute { name, using })
+            }
+            "DEALLOCATE" => {
+                self.eat_kw("PREPARE");
+                Ok(Statement::Deallocate {
+                    name: self.ident()?,
+                })
+            }
             "CHECK" => {
                 self.expect_kw("INDEX")?;
                 Ok(Statement::CheckIndex {
@@ -762,6 +853,11 @@ impl Parser {
         if self.eat_kw("NOT") {
             return Ok(Expr::Not(Box::new(self.primary()?)));
         }
+        if self.eat_sym("?") {
+            let idx = self.params;
+            self.params += 1;
+            return Ok(Expr::Param(idx));
+        }
         if self.eat_sym("(") {
             let e = self.expr()?;
             self.expect_sym(")")?;
@@ -802,8 +898,15 @@ impl Parser {
 
 /// Parses one statement (an optional trailing semicolon is allowed).
 pub fn parse(input: &str) -> Result<Statement> {
-    let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0 };
+    parse_tokens(lex(input)?)
+}
+
+fn parse_tokens(toks: Vec<Tok>) -> Result<Statement> {
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        params: 0,
+    };
     let stmt = p.statement()?;
     p.eat_sym(";");
     if p.pos != p.toks.len() {
@@ -813,6 +916,77 @@ pub fn parse(input: &str) -> Result<Statement> {
         )));
     }
     Ok(stmt)
+}
+
+/// A DML statement with its literals lifted into positional parameters:
+/// the plan-cache key, the lifted token stream (parsed lazily — a plan
+/// cache hit on `key` never parses at all), and the lifted argument
+/// values.
+pub struct Normalized {
+    /// The cache key: the token stream with every literal replaced by
+    /// `?` and identifiers uppercased, so `select * from T where id=3`
+    /// and `SELECT * FROM t WHERE id = 7` share one plan.
+    pub key: String,
+    /// The lifted literal values, in parameter order.
+    pub args: Vec<Lit>,
+    /// The token stream with literals replaced by `?` placeholders.
+    lifted: Vec<Tok>,
+}
+
+impl Normalized {
+    /// Parses the lifted token stream; lifted literals appear as
+    /// [`Expr::Param`]. Only needed on a plan-cache miss.
+    pub fn parse(self) -> Result<Statement> {
+        parse_tokens(self.lifted)
+    }
+}
+
+/// Normalizes a DML statement (INSERT / SELECT / DELETE / UPDATE) for
+/// the transparent plan cache by lifting its literals to parameters.
+/// Returns `Ok(None)` for non-DML statements and for text that already
+/// contains explicit `?` placeholders (those arrive only via `PREPARE`,
+/// which keeps its own compiled handle).
+pub fn normalize_dml(input: &str) -> Result<Option<Normalized>> {
+    let toks = lex(input)?;
+    let head_is =
+        |kw: &str| matches!(toks.first(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw));
+    let dml = head_is("INSERT")
+        || head_is("SELECT")
+        || head_is("DELETE")
+        || (head_is("UPDATE")
+            && !matches!(toks.get(1), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("STATISTICS")));
+    if !dml || toks.iter().any(|t| matches!(t, Tok::Sym(s) if s == "?")) {
+        return Ok(None);
+    }
+    let mut lifted = Vec::with_capacity(toks.len());
+    let mut args = Vec::new();
+    let mut key = String::new();
+    for t in toks {
+        if !key.is_empty() {
+            key.push(' ');
+        }
+        match t {
+            Tok::Num(n) => {
+                args.push(Lit::Int(n));
+                key.push('?');
+                lifted.push(Tok::Sym("?".into()));
+            }
+            Tok::Str(s) => {
+                args.push(Lit::Str(s));
+                key.push('?');
+                lifted.push(Tok::Sym("?".into()));
+            }
+            Tok::Ident(s) => {
+                key.push_str(&s.to_ascii_uppercase());
+                lifted.push(Tok::Ident(s));
+            }
+            Tok::Sym(s) => {
+                key.push_str(&s);
+                lifted.push(Tok::Sym(s));
+            }
+        }
+    }
+    Ok(Some(Normalized { key, args, lifted }))
 }
 
 /// Splits a script into statements on semicolons outside strings and
@@ -1070,6 +1244,94 @@ mod tests {
         assert!(parse("CREATE SOMETHING x").is_err());
         assert!(parse("INSERT INTO t VALUES ('unterminated)").is_err());
         assert!(parse("SELECT * FROM t WHERE a = 1 garbage garbage").is_err());
+    }
+
+    #[test]
+    fn parses_prepared_statement_syntax() {
+        assert_eq!(
+            parse("PREPARE p FROM 'SELECT * FROM t WHERE id = ?'").unwrap(),
+            Statement::Prepare {
+                name: "p".into(),
+                sql: "SELECT * FROM t WHERE id = ?".into()
+            }
+        );
+        assert_eq!(
+            parse("EXECUTE p USING 1, 'x'").unwrap(),
+            Statement::Execute {
+                name: "p".into(),
+                using: vec![
+                    Expr::Literal(Lit::Int(1)),
+                    Expr::Literal(Lit::Str("x".into()))
+                ]
+            }
+        );
+        assert_eq!(
+            parse("EXECUTE p").unwrap(),
+            Statement::Execute {
+                name: "p".into(),
+                using: vec![]
+            }
+        );
+        assert_eq!(
+            parse("DEALLOCATE PREPARE p;").unwrap(),
+            Statement::Deallocate { name: "p".into() }
+        );
+        assert_eq!(
+            parse("DEALLOCATE p").unwrap(),
+            Statement::Deallocate { name: "p".into() }
+        );
+        // `?` placeholders number left to right.
+        let s = parse("UPDATE t SET a = ?, b = ? WHERE c = ?").unwrap();
+        match &s {
+            Statement::Update {
+                sets, where_clause, ..
+            } => {
+                assert_eq!(sets[0].1, Expr::Param(0));
+                assert_eq!(sets[1].1, Expr::Param(1));
+                assert_eq!(
+                    where_clause,
+                    &Some(Expr::Cmp {
+                        op: "=".into(),
+                        left: Box::new(Expr::Column("c".into())),
+                        right: Box::new(Expr::Param(2)),
+                    })
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(param_count(&s), 3);
+        assert!(parse("PREPARE p").is_err());
+    }
+
+    #[test]
+    fn normalization_lifts_literals() {
+        let n = normalize_dml("select id from T where id = 42 AND name = 'Julie'")
+            .unwrap()
+            .unwrap();
+        assert_eq!(n.key, "SELECT ID FROM T WHERE ID = ? AND NAME = ?");
+        assert_eq!(n.args, vec![Lit::Int(42), Lit::Str("Julie".into())]);
+        // Different literals, same key: one cache entry.
+        let m = normalize_dml("SELECT id FROM t WHERE id = 7 AND name = 'Ada'")
+            .unwrap()
+            .unwrap();
+        assert_eq!(m.key, n.key);
+        assert_eq!(param_count(&n.parse().unwrap()), 2);
+        // Non-DML and explicit-param statements are not normalized.
+        assert!(normalize_dml("CREATE TABLE t (id integer)")
+            .unwrap()
+            .is_none());
+        assert!(normalize_dml("UPDATE STATISTICS FOR INDEX ix")
+            .unwrap()
+            .is_none());
+        assert!(normalize_dml("SELECT * FROM t WHERE id = ?")
+            .unwrap()
+            .is_none());
+        // Malformed DML normalizes (parsing is lazy) but fails to parse.
+        assert!(normalize_dml("SELECT FROM WHERE")
+            .unwrap()
+            .unwrap()
+            .parse()
+            .is_err());
     }
 
     #[test]

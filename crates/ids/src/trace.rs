@@ -18,6 +18,7 @@
 use grt_metrics::Counter;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Default ring-buffer capacity in events.
@@ -54,6 +55,20 @@ struct SinkShared {
     inner: Mutex<SinkInner>,
     /// Events evicted from the ring, surfaced as `trace.dropped`.
     dropped: Counter,
+    /// Count of installed filter entries (global + per-session),
+    /// mirrored outside the lock. Tracing is off in steady state, and
+    /// purpose functions emit on every index touch: when this is zero
+    /// [`TraceSink::emit`] returns without taking the lock at all.
+    filters: AtomicUsize,
+}
+
+impl SinkShared {
+    fn refresh_filters(&self, inner: &SinkInner) {
+        self.filters.store(
+            inner.enabled.len() + inner.session_enabled.len(),
+            Ordering::Release,
+        );
+    }
 }
 
 /// A shared trace sink (the "trace file"). Clones share the buffer and
@@ -94,25 +109,25 @@ impl TraceSink {
 
     /// Enables a trace class up to `level` for every session.
     pub fn on(&self, class: &str, level: u8) {
-        self.shared
-            .inner
-            .lock()
-            .enabled
-            .insert(class.to_string(), level);
+        let mut inner = self.shared.inner.lock();
+        inner.enabled.insert(class.to_string(), level);
+        self.shared.refresh_filters(&inner);
     }
 
     /// Disables a globally enabled trace class.
     pub fn off(&self, class: &str) {
-        self.shared.inner.lock().enabled.remove(class);
+        let mut inner = self.shared.inner.lock();
+        inner.enabled.remove(class);
+        self.shared.refresh_filters(&inner);
     }
 
     /// Enables a trace class up to `level` for one session only.
     pub fn on_session(&self, session: u64, class: &str, level: u8) {
-        self.shared
-            .inner
-            .lock()
+        let mut inner = self.shared.inner.lock();
+        inner
             .session_enabled
             .insert((session, class.to_string()), level);
+        self.shared.refresh_filters(&inner);
     }
 
     /// Disables a session-scoped trace class; with `None`, every class
@@ -125,11 +140,33 @@ impl TraceSink {
             }
             None => inner.session_enabled.retain(|(s, _), _| *s != session),
         }
+        self.shared.refresh_filters(&inner);
+    }
+
+    /// True when any filter is installed at all — the cheap gate for
+    /// callers that would otherwise format a message only to see it
+    /// dropped. A `true` answer still goes through the normal class
+    /// and level filtering in [`TraceSink::emit`].
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.shared.filters.load(Ordering::Acquire) != 0
+    }
+
+    /// Emits a lazily-built message: the closure runs only when some
+    /// filter is armed. Use on hot paths where the message needs a
+    /// `format!`.
+    pub fn emit_with(&self, class: &str, level: u8, message: impl FnOnce() -> String) {
+        if self.armed() {
+            self.emit(class, level, message());
+        }
     }
 
     /// Emits a message if the class is enabled at this level, globally
     /// or for this handle's session.
     pub fn emit(&self, class: &str, level: u8, message: impl Into<String>) {
+        if !self.armed() {
+            return;
+        }
         let mut inner = self.shared.inner.lock();
         let global = inner.enabled.get(class).copied();
         let session = inner
@@ -261,6 +298,29 @@ mod tests {
         t.off_session(7, None);
         s7.emit("AM", 1, "still recorded via global");
         assert_eq!(t.events_for(7).len(), 2);
+    }
+
+    #[test]
+    fn emit_with_builds_messages_only_when_armed() {
+        let t = TraceSink::new();
+        assert!(!t.armed(), "fresh sink has no filters");
+        t.emit_with("AM", 1, || panic!("message built with tracing off"));
+        // Arming any class (even another one) makes the closure run;
+        // class filtering still applies to what gets recorded.
+        t.on("GRT", 1);
+        assert!(t.armed());
+        t.emit_with("AM", 1, || "filtered by class".into());
+        t.emit_with("GRT", 1, || "recorded".into());
+        let events = t.take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].message, "recorded");
+        // Session filters arm the sink too; removing the last filter
+        // disarms it.
+        t.off("GRT");
+        t.on_session(3, "AM", 1);
+        assert!(t.armed());
+        t.off_session(3, None);
+        assert!(!t.armed());
     }
 
     #[test]

@@ -248,6 +248,36 @@ pub trait AccessMethod: Send + Sync {
         ctx: &AmContext,
     ) -> Result<Option<(RowId, Vec<Value>)>>;
 
+    /// Fetching up to `max_rows` qualifying rows in one call, cutting
+    /// the dynamic-dispatch round trips of a scan by the batch factor.
+    /// Optional: the default delegates to repeated [`am_getnext`]
+    /// calls, so third-party access methods are untouched.
+    ///
+    /// Contract: a batch shorter than `max_rows` means the scan is
+    /// exhausted (the executor stops calling). Rows already handed out
+    /// must not be re-emitted by later batches, even if the underlying
+    /// structure reorganized between calls (e.g. an R-tree condense
+    /// forced a cursor restart mid-DELETE) — same rules as repeated
+    /// `am_getnext`.
+    ///
+    /// [`am_getnext`]: AccessMethod::am_getnext
+    fn am_getnext_batch(
+        &self,
+        idx: &IndexDescriptor,
+        scan: &mut ScanDescriptor,
+        max_rows: usize,
+        ctx: &AmContext,
+    ) -> Result<Vec<(RowId, Vec<Value>)>> {
+        let mut out = Vec::with_capacity(max_rows.min(64));
+        while out.len() < max_rows {
+            match self.am_getnext(idx, scan, ctx)? {
+                Some(hit) => out.push(hit),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
     /// Ending a scan.
     fn am_endscan(
         &self,

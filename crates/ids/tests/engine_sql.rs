@@ -293,12 +293,15 @@ fn index_scan_used_and_correct() {
     assert_eq!(r.rows.len(), 5);
     let calls: Vec<String> = db.trace().take().into_iter().map(|e| e.message).collect();
     assert_eq!(calls[0], "il_scancost", "planner consults am_scancost");
+    // The engine pulls rows through the batched fetch slot; this AM
+    // leaves it unbound, so it traces under the generic name (and the
+    // default implementation delegates to the bound il_getnext).
     assert_eq!(
         calls[1..4],
         [
             "am_open".to_string(),
             "il_beginscan".into(),
-            "il_getnext".into()
+            "am_getnext_batch".into()
         ],
         "unbound slots trace under their generic names: {calls:?}"
     );

@@ -29,6 +29,7 @@ fn quick_db_with_retries(deadlock_retries: u32) -> (Database, MockClock) {
         deadlock_retries,
         retry_backoff: Duration::from_millis(1),
         scan_workers: 1,
+        ..Default::default()
     });
     install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
     let conn = db.connect();
@@ -282,7 +283,7 @@ fn deadlock_victim_statement_succeeds_on_automatic_retry() {
     let (db, _clock) = quick_db_with_retries(5);
     let before = db.metrics_snapshot();
     let mut observed_deadlock = false;
-    for round in 0..50 {
+    for round in 0..500 {
         let barrier = std::sync::Barrier::new(2);
         std::thread::scope(|s| {
             for i in 0..2 {
@@ -302,7 +303,7 @@ fn deadlock_victim_statement_succeeds_on_automatic_retry() {
             break;
         }
     }
-    assert!(observed_deadlock, "no deadlock provoked in 50 rounds");
+    assert!(observed_deadlock, "no deadlock provoked in 500 rounds");
     let d = db.metrics_snapshot().since(&before);
     assert!(d.get("stmt.retries") >= 1, "victim was not retried: {d}");
     assert!(db.space().locks_quiescent(), "locks leaked after quiesce");

@@ -106,6 +106,62 @@ fn sysmetrics_reports_live_counters_from_every_layer() {
 }
 
 #[test]
+fn sysmetrics_exposes_plan_cache_and_batched_fetch_counters() {
+    let (db, clock) = blade_db();
+    let conn = db.connect();
+    conn.exec("CREATE TABLE t (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    conn.exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+    for i in 0..40 {
+        insert(&conn, &clock, i);
+    }
+
+    // An index probe, repeated: the first execution plans fresh, the
+    // repeat hits the transparent plan cache and pulls its rows through
+    // am_getnext_batch.
+    let (y1, m1, d1) = Day(10_005).to_ymd();
+    let (y2, m2, d2) = Day(10_020).to_ymd();
+    let probe = format!(
+        "SELECT id FROM t WHERE Overlaps(Time_Extent, \
+         '{m1:02}/{d1:02}/{y1}, {m2:02}/{d2:02}/{y2}, \
+          {m1:02}/{d1:02}/{y1}, {m2:02}/{d2:02}/{y2}')"
+    );
+    conn.exec(&probe).unwrap();
+    conn.exec(&probe).unwrap();
+
+    // An explicit prepared handle, and a DDL statement that must knock
+    // the cached plans over t out of the cache.
+    conn.exec("PREPARE q FROM 'SELECT id FROM t WHERE id < ?'")
+        .unwrap();
+    conn.exec("EXECUTE q USING 5").unwrap();
+    conn.exec("DEALLOCATE q").unwrap();
+    conn.exec("DROP INDEX tix").unwrap();
+
+    let m = sysmetrics(&conn);
+    assert!(m["ids.plan_cache_misses"] > 0, "first plan is a miss");
+    assert!(m["ids.plan_cache_hits"] > 0, "repeat never hit the cache");
+    assert!(
+        m["ids.plan_cache_invalidations"] >= 1,
+        "DROP INDEX left cached plans standing"
+    );
+    assert!(
+        m.contains_key("ids.plan_cache_evictions"),
+        "eviction counter unregistered"
+    );
+    assert_eq!(m["ids.prepared_opened"], 1);
+    assert_eq!(m["ids.prepared_closed"], 1);
+    assert!(
+        m["am.am_getnext_batch"] > 0,
+        "index probe bypassed the batched fetch"
+    );
+    assert!(
+        m["scan.batch_rows.count"] > 0,
+        "batch-fill histogram missing from sysmetrics"
+    );
+}
+
+#[test]
 fn snapshot_diff_isolates_one_statement() {
     let (db, clock) = blade_db();
     let conn = db.connect();

@@ -237,3 +237,90 @@ fn parallel_delete_mid_scan_condenses_and_restarts() {
     conn.exec("SET PARALLEL 4").unwrap();
     assert_eq!(ids_of(&conn, &probe), serial);
 }
+
+/// A database like [`db_small_fanout`] but with an explicit executor
+/// batch size for `am_getnext_batch`.
+fn db_with_batch(batch: usize) -> (Database, MockClock) {
+    let clock = MockClock::new(Day(10_000));
+    let db = Database::new(DatabaseOptions {
+        clock: Arc::new(clock.clone()),
+        scan_batch_rows: batch,
+        ..Default::default()
+    });
+    install_grtree_blade(
+        &db,
+        GrTreeAmOptions {
+            tree: GrTreeOptions {
+                max_entries: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (db, clock)
+}
+
+#[test]
+fn batch_size_changes_execution_not_answers() {
+    // The batched-fetch contract: `scan_batch_rows` ∈ {1, 16, 256}
+    // must change only how many rows each am_getnext_batch call hands
+    // back, never the rows themselves — serially, in parallel, and
+    // through a condense-mid-DELETE cursor restart.
+    let mut reference: Option<(Vec<i64>, Vec<i64>)> = None;
+    for batch in [1usize, 16, 256] {
+        let (db, clock) = db_with_batch(batch);
+        let conn = db.connect();
+        populate(&conn, &clock, 300);
+        clock.set(Day(10_400));
+
+        let probe = format!(
+            "SELECT id FROM t WHERE Overlaps(Time_Extent, '{}, {}, {}, {}')",
+            render(10_050),
+            render(10_080),
+            render(10_040),
+            render(10_090)
+        );
+        let before = db.metrics_snapshot();
+        let serial = ids_of(&conn, &probe);
+        let d = db.metrics_snapshot().since(&before);
+        assert_eq!(d.get("ids.plans_index"), 1, "probe through the index: {d}");
+        let h = d.histogram("scan.batch_rows");
+        assert!(h.count > 0, "batch fills unobserved: {d}");
+        assert!(
+            h.mean_ns() <= batch as u64,
+            "a batch cannot exceed scan_batch_rows={batch}: {d}"
+        );
+        conn.exec("SET PARALLEL 4").unwrap();
+        let parallel = ids_of(&conn, &probe);
+        assert_eq!(parallel, serial, "parallel ≠ serial at batch {batch}");
+        conn.exec("SET PARALLEL 1").unwrap();
+
+        // The condense-mid-DELETE restart: deletions interleave with
+        // batched fetches through the same descriptor.
+        let before = db.metrics_snapshot();
+        conn.exec(&format!(
+            "DELETE FROM t WHERE Overlaps(Time_Extent, '{}, {}, {}, {}')",
+            render(10_000),
+            render(10_250),
+            render(9_990),
+            render(10_251)
+        ))
+        .unwrap();
+        let d = db.metrics_snapshot().since(&before);
+        assert!(
+            d.get("grtree.condenses") > 0,
+            "mass delete at batch {batch} never condensed: {d}"
+        );
+        let left = ids_of(&conn, "SELECT id FROM t");
+        conn.exec("CHECK INDEX tix").unwrap();
+
+        match &reference {
+            None => reference = Some((serial, left)),
+            Some((ref_serial, ref_left)) => {
+                assert_eq!(&serial, ref_serial, "scan drifted at batch {batch}");
+                assert_eq!(&left, ref_left, "delete drifted at batch {batch}");
+            }
+        }
+    }
+}

@@ -87,6 +87,7 @@ fn stress_mixed_workload_reconciles() {
         deadlock_retries: 10,
         retry_backoff: Duration::from_millis(1),
         scan_workers: 1,
+        ..Default::default()
     });
     install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
     let setup = db.connect();
@@ -97,9 +98,10 @@ fn stress_mixed_workload_reconciles() {
         .exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
         .unwrap();
 
-    // Connections (and their isolation levels) are set up *before* the
-    // metric snapshot: from here on, every statement is auto-commit
-    // DML/SELECT and must map 1:1 onto a transaction.
+    // Connections (and their isolation levels, and any PREPAREs) are
+    // set up *before* the metric snapshot: from here on, every
+    // statement is auto-commit DML/SELECT and must map 1:1 onto a
+    // transaction.
     let conns: Vec<_> = (0..sessions)
         .map(|i| {
             let conn = db.connect();
@@ -111,6 +113,22 @@ fn stress_mixed_workload_reconciles() {
             // (and with the serial cursors of everyone else).
             if i % 3 == 0 {
                 conn.exec("SET PARALLEL 4").unwrap();
+            }
+            // Another third compile once and execute many: the whole
+            // workload goes through PREPARE/EXECUTE handles, racing
+            // cached plans against everyone else's ad-hoc statements.
+            if i % 3 == 1 {
+                conn.exec("PREPARE ins FROM 'INSERT INTO t VALUES (?, ?)'")
+                    .unwrap();
+                conn.exec("PREPARE upd FROM 'UPDATE t SET Time_Extent = ? WHERE id = ?'")
+                    .unwrap();
+                conn.exec("PREPARE del FROM 'DELETE FROM t WHERE id = ?'")
+                    .unwrap();
+                conn.exec(
+                    "PREPARE sel FROM 'SELECT id FROM t \
+                     WHERE Overlaps(Time_Extent, ?)'",
+                )
+                .unwrap();
             }
             conn
         })
@@ -126,6 +144,7 @@ fn stress_mixed_workload_reconciles() {
                     let mut rng = Rng(0x9e37_79b9 + w as u64);
                     let mut tally = WorkerTally::default();
                     let mut my_ids: Vec<u64> = Vec::new();
+                    let prepared = w % 3 == 1;
                     let record = |r: Result<_, IdsError>, tally: &mut WorkerTally| match r {
                         Ok(_) => {
                             tally.ok += 1;
@@ -148,10 +167,12 @@ fn stress_mixed_workload_reconciles() {
                             0..=3 => {
                                 let id = w as u64 * 1_000_000 + op as u64;
                                 let e = EXTENTS[rng.below(4) as usize];
-                                if record(
-                                    conn.exec(&format!("INSERT INTO t VALUES ({id}, '{e}')")),
-                                    &mut tally,
-                                ) {
+                                let sql = if prepared {
+                                    format!("EXECUTE ins USING {id}, '{e}'")
+                                } else {
+                                    format!("INSERT INTO t VALUES ({id}, '{e}')")
+                                };
+                                if record(conn.exec(&sql), &mut tally) {
                                     my_ids.push(id);
                                 }
                             }
@@ -159,27 +180,36 @@ fn stress_mixed_workload_reconciles() {
                             4..=5 if !my_ids.is_empty() => {
                                 let id = my_ids[rng.below(my_ids.len() as u64) as usize];
                                 let e = EXTENTS[rng.below(4) as usize];
-                                record(
-                                    conn.exec(&format!(
-                                        "UPDATE t SET Time_Extent = '{e}' WHERE id = {id}"
-                                    )),
-                                    &mut tally,
-                                );
+                                let sql = if prepared {
+                                    format!("EXECUTE upd USING '{e}', {id}")
+                                } else {
+                                    format!("UPDATE t SET Time_Extent = '{e}' WHERE id = {id}")
+                                };
+                                record(conn.exec(&sql), &mut tally);
                             }
                             // 20% deletes of an own row (drives condense)
                             6..=7 if !my_ids.is_empty() => {
                                 let i = rng.below(my_ids.len() as u64) as usize;
                                 let id = my_ids[i];
-                                if record(
-                                    conn.exec(&format!("DELETE FROM t WHERE id = {id}")),
-                                    &mut tally,
-                                ) {
+                                let sql = if prepared {
+                                    format!("EXECUTE del USING {id}")
+                                } else {
+                                    format!("DELETE FROM t WHERE id = {id}")
+                                };
+                                if record(conn.exec(&sql), &mut tally) {
                                     my_ids.swap_remove(i);
                                 }
                             }
                             // the rest: index scans with a duplicate check
                             _ => {
-                                let r = conn.exec(&format!("SELECT id FROM t WHERE {QUERY}"));
+                                let r = if prepared {
+                                    conn.exec(
+                                        "EXECUTE sel USING \
+                                         '01/01/1997, UC, 01/01/1997, NOW'",
+                                    )
+                                } else {
+                                    conn.exec(&format!("SELECT id FROM t WHERE {QUERY}"))
+                                };
                                 if let Ok(ref out) = r {
                                     let ids: Vec<&_> = out.rows.iter().map(|row| &row[0]).collect();
                                     let unique: HashSet<_> = ids.iter().collect();
@@ -248,6 +278,21 @@ fn stress_mixed_workload_reconciles() {
         assert!(d.get("lock.waits") > 0, "no lock contention provoked: {d}");
     }
 
+    // Plan-cache reconciliation: every planner decision in this
+    // workload runs through a statement handle (named or transparent),
+    // so cache hits + misses must account for exactly the planned
+    // attempts — and with every worker repeating a handful of
+    // statement shapes, the cache must actually be hitting.
+    assert_eq!(
+        d.get("ids.plan_cache_hits") + d.get("ids.plan_cache_misses"),
+        d.get("ids.plans_index") + d.get("ids.plans_seq"),
+        "plan-cache accounting drifted from planner decisions: {d}"
+    );
+    assert!(
+        d.get("ids.plan_cache_hits") > 0,
+        "repeated statement shapes never hit the plan cache: {d}"
+    );
+
     // Final consistency: a quiesced scan sees each live row once.
     let r = setup
         .exec(&format!("SELECT id FROM t WHERE {QUERY}"))
@@ -256,4 +301,19 @@ fn stress_mixed_workload_reconciles() {
     let unique: HashSet<_> = ids.iter().collect();
     assert_eq!(unique.len(), ids.len(), "final scan returned duplicates");
     setup.exec("CHECK INDEX tix").unwrap();
+
+    // Zero leaked prepared handles: dropping the sessions closes every
+    // PREPAREd statement they still held.
+    drop(conns);
+    assert_eq!(
+        db.prepared_live(),
+        0,
+        "prepared handles leaked past session drop"
+    );
+    let m = db.metrics_snapshot();
+    assert_eq!(
+        m.get("ids.prepared_opened"),
+        m.get("ids.prepared_closed"),
+        "prepared open/close accounting drifted"
+    );
 }
