@@ -4,6 +4,7 @@
 //! bench_gate <baseline.json> <candidate.json> [--tolerance 0.25]
 //!            [--throughput | --scan-speedup]
 //! bench_gate <candidate.json> --prepared-speedup [--threshold 1.3]
+//! bench_gate <candidate.json> --wire-overhead [--threshold 10.0]
 //! ```
 //!
 //! Default mode compares `ns_per_read` for every `(config, threads)`
@@ -23,6 +24,13 @@
 //! figure must reach `--threshold` (default 1.3x). A ratio against a
 //! disabled plan cache has a meaningful fixed point, so checking it
 //! absolutely avoids ratcheting a baseline downward run over run.
+//!
+//! `--wire-overhead` is likewise absolute, over a `BENCH_wire.json`
+//! report: the connect path must work and no session count may pay
+//! more than `--threshold` (default 10x) the embedded statement rate
+//! for going over loopback TCP — a ceiling generous enough for a
+//! 1-CPU CI runner, tight enough to catch a per-statement wire
+//! pathology (e.g. an accidental handshake or flush storm).
 
 use grt_bench::gate;
 
@@ -32,6 +40,7 @@ enum Mode {
     Throughput,
     ScanSpeedup,
     PreparedSpeedup,
+    WireOverhead,
 }
 
 fn main() {
@@ -58,6 +67,9 @@ fn main() {
             mode = Mode::ScanSpeedup;
         } else if a == "--prepared-speedup" {
             mode = Mode::PreparedSpeedup;
+        } else if a == "--wire-overhead" {
+            mode = Mode::WireOverhead;
+            threshold = 10.0;
         } else {
             files.push(a.clone());
         }
@@ -69,6 +81,29 @@ fn main() {
             std::process::exit(2);
         })
     };
+
+    if mode == Mode::WireOverhead {
+        let [candidate_path] = files.as_slice() else {
+            usage("--wire-overhead expects one report file")
+        };
+        let (overheads, conn_per_sec) = gate::parse_wire_overheads(&read(candidate_path));
+        println!("wire connections: {conn_per_sec:.1}/s");
+        for (sessions, ratio) in &overheads {
+            let verdict = if *ratio > threshold { "FAILED" } else { "ok" };
+            println!(
+                "wire_overhead {sessions} session(s): {ratio:.2}x embedded (ceiling {threshold:.2}x)  {verdict}"
+            );
+        }
+        let failures = gate::wire_overhead_failures(&overheads, conn_per_sec, threshold);
+        if !failures.is_empty() {
+            for msg in &failures {
+                eprintln!("bench_gate: {msg}");
+            }
+            std::process::exit(1);
+        }
+        println!("bench_gate: wire overhead within {threshold:.2}x at every session count");
+        return;
+    }
 
     if mode == Mode::PreparedSpeedup {
         let [candidate_path] = files.as_slice() else {
@@ -108,7 +143,7 @@ fn main() {
         Mode::ReadLatency => gate::parse_read_rates,
         Mode::Throughput => gate::parse_throughputs,
         Mode::ScanSpeedup => gate::parse_speedups,
-        Mode::PreparedSpeedup => unreachable!("handled above"),
+        Mode::PreparedSpeedup | Mode::WireOverhead => unreachable!("handled above"),
     };
     let baseline = parse(&read(baseline_path));
     let candidate = parse(&read(candidate_path));
@@ -117,7 +152,7 @@ fn main() {
         let key = match mode {
             Mode::ReadLatency => "(config, threads)",
             Mode::Throughput => "(config, sessions)",
-            Mode::ScanSpeedup | Mode::PreparedSpeedup => "(config, workers)",
+            Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead => "(config, workers)",
         };
         eprintln!("bench_gate: no shared {key} pairs between the reports");
         std::process::exit(2);
@@ -128,7 +163,7 @@ fn main() {
         let regressed = match mode {
             Mode::ReadLatency => c.regressed(tolerance),
             // Throughput and speedup are both higher-is-better.
-            Mode::Throughput | Mode::ScanSpeedup | Mode::PreparedSpeedup => {
+            Mode::Throughput | Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead => {
                 c.regressed_throughput(tolerance)
             }
         };
@@ -155,7 +190,7 @@ fn main() {
                 c.candidate_ns,
                 (c.ratio - 1.0) * 100.0,
             ),
-            Mode::ScanSpeedup | Mode::PreparedSpeedup => println!(
+            Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead => println!(
                 "{:<12} {} worker(s): baseline {:5.2}x, candidate {:5.2}x ({:+.1}%)  {verdict}",
                 c.config,
                 c.threads,
@@ -169,7 +204,7 @@ fn main() {
         let what = match mode {
             Mode::ReadLatency => "read latency",
             Mode::Throughput => "throughput",
-            Mode::ScanSpeedup | Mode::PreparedSpeedup => "scan speedup",
+            Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead => "scan speedup",
         };
         eprintln!(
             "bench_gate: {what} regressed more than {:.0}% — see lines above",
@@ -185,7 +220,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.25] \
          [--throughput | --scan-speedup]\n       \
-         bench_gate <candidate.json> --prepared-speedup [--threshold 1.3]"
+         bench_gate <candidate.json> --prepared-speedup [--threshold 1.3]\n       \
+         bench_gate <candidate.json> --wire-overhead [--threshold 10.0]"
     );
     std::process::exit(2);
 }

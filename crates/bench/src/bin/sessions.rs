@@ -3,7 +3,7 @@
 //! aborts, and automatic statement retry.
 //!
 //! ```text
-//! cargo run --release -p grt-bench --bin sessions [-- --quick]
+//! cargo run --release -p grt-bench --bin sessions [-- --quick] [-- --wire]
 //! ```
 //!
 //! Emits `BENCH_concurrency.json` in the working directory (with
@@ -42,11 +42,22 @@
 //! Each `(config, sessions)` pair runs on a fresh in-memory database so
 //! tree growth from one measurement never bleeds into the next; the
 //! best of `reps` repetitions is reported.
+//!
+//! With `--wire` the benchmark instead prices the served path: the
+//! same point-probe workload through a `RemoteDriver` against a
+//! loopback `grt-server` versus an `EmbeddedDriver` on an identical
+//! database, reporting per-session-count throughput, p99 statement
+//! latency, the wire-vs-embedded overhead ratio, and the sequential
+//! connect/disconnect rate. Written to `BENCH_wire.json`
+//! (`BENCH_wire_quick.json` with `--quick`) and gated by `bench_gate
+//! --wire-overhead`.
 
 use grt_bench::CostTrailer;
 use grt_blade::{install_grtree_blade, GrTreeAmOptions};
+use grt_client::{Driver, EmbeddedDriver, RemoteDriver};
 use grt_ids::{Database, DatabaseOptions, IdsError};
 use grt_sbspace::{SbError, SbspaceOptions};
+use grt_server::{Server, ServerOptions};
 use grt_temporal::{Day, MockClock};
 use std::fmt::Write as _;
 use std::sync::{Arc, Barrier};
@@ -270,6 +281,10 @@ fn run(db: &Database, sessions: usize, ops: usize, rr_half: bool, prepared: bool
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::args().any(|a| a == "--wire") {
+        wire_bench(quick);
+        return;
+    }
     // Quick keeps a subset of the full run's session counts so the CI
     // gate always finds shared (config, sessions) pairs to compare.
     let (session_counts, ops, reps, out_file): (&[usize], usize, usize, &str) = if quick {
@@ -412,6 +427,139 @@ fn main() {
     for line in summary {
         println!("  {line}");
     }
+}
+
+/// The `--wire` benchmark: the point-probe workload through remote
+/// and embedded drivers, plus the raw connection rate.
+fn wire_bench(quick: bool) {
+    let (session_counts, ops, reps, out_file): (&[usize], usize, usize, &str) = if quick {
+        (&[1, 4], 200, 2, "BENCH_wire_quick.json")
+    } else {
+        (&[1, 2, 4, 8], 600, 3, "BENCH_wire.json")
+    };
+
+    // Sequential connect → handshake → goodbye cycles per second:
+    // the session setup/teardown cost a pooled client amortises.
+    let db = fresh_db();
+    let mut server = Server::new(db, ServerOptions::default())
+        .start()
+        .expect("loopback server");
+    let addr = server.local_addr().to_string();
+    let cycles = if quick { 100 } else { 400 };
+    let start = Instant::now();
+    for _ in 0..cycles {
+        RemoteDriver::connect(&*addr)
+            .expect("connect")
+            .goodbye()
+            .expect("goodbye");
+    }
+    let conn_per_sec = cycles as f64 / start.elapsed().as_secs_f64();
+    server.shutdown();
+    println!("== wire connections ==");
+    println!("  {conn_per_sec:9.1} connect/disconnect cycles/s");
+
+    println!("== wire vs embedded (point probes) ==");
+    let mut rows = Vec::new();
+    for &n in session_counts {
+        let mut wire_rate = 0f64;
+        let mut wire_p99 = u64::MAX;
+        let mut embedded_rate = 0f64;
+        for _ in 0..reps {
+            // Served: the same database the server owns, reached over
+            // loopback TCP.
+            let db = fresh_db();
+            let mut server = Server::new(db, ServerOptions::default())
+                .start()
+                .expect("loopback server");
+            let addr = server.local_addr().to_string();
+            let drivers: Vec<Box<dyn Driver>> = (0..n)
+                .map(|_| {
+                    Box::new(RemoteDriver::connect(&*addr).expect("connect")) as Box<dyn Driver>
+                })
+                .collect();
+            let (rate, p99) = driver_probe_run(&drivers, ops);
+            server.shutdown();
+            if rate > wire_rate {
+                wire_rate = rate;
+                wire_p99 = p99;
+            }
+
+            // Embedded: identical workload, in-process connections.
+            let db = fresh_db();
+            let drivers: Vec<Box<dyn Driver>> = (0..n)
+                .map(|_| Box::new(EmbeddedDriver::connect(&db)) as Box<dyn Driver>)
+                .collect();
+            let (rate, _) = driver_probe_run(&drivers, ops);
+            embedded_rate = embedded_rate.max(rate);
+        }
+        let overhead = embedded_rate / wire_rate;
+        println!(
+            "  {n} session(s): wire {wire_rate:9.1} stmt/s (p99 {:.1} us), \
+             embedded {embedded_rate:9.1} stmt/s, overhead {overhead:.2}x",
+            wire_p99 as f64 / 1_000.0
+        );
+        rows.push(format!(
+            "      {{\"sessions\": {n}, \"stmt_per_sec\": {wire_rate:.1}, \
+             \"p99_us\": {:.1}, \"embedded_stmt_per_sec\": {embedded_rate:.1}, \
+             \"overhead_ratio\": {overhead:.3}}}",
+            wire_p99 as f64 / 1_000.0
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"connections\": {{\n    \"per_sec\": {conn_per_sec:.1}\n  }},\n  \
+         \"wire\": {{\n    \"workload\": \"point_probe_select\",\n    \
+         \"sessions\": [\n{}\n    ]\n  }}\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(out_file, &json).unwrap();
+    println!("\nwrote {out_file}");
+}
+
+/// Each driver runs `ops` prepared point probes on its own thread;
+/// returns aggregate statements per second and the p99 per-statement
+/// latency in nanoseconds.
+fn driver_probe_run(drivers: &[Box<dyn Driver>], ops: usize) -> (f64, u64) {
+    for d in drivers {
+        d.prepare("sel", "SELECT id FROM t WHERE Overlaps(Time_Extent, ?)")
+            .unwrap();
+        for p in PROBES.iter().cycle().take(8) {
+            d.execute("sel", &[grt_ids::Value::Text((*p).into())])
+                .unwrap();
+        }
+    }
+    let barrier = Arc::new(Barrier::new(drivers.len() + 1));
+    let start = Instant::now();
+    let mut lats: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = drivers
+            .iter()
+            .enumerate()
+            .map(|(w, d)| {
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let mut rng = Rng(0x9e37_79b9 + w as u64);
+                    let mut lats = Vec::with_capacity(ops);
+                    barrier.wait();
+                    for _ in 0..ops {
+                        let p = PROBES[rng.below(4) as usize];
+                        let t = Instant::now();
+                        d.execute("sel", &[grt_ids::Value::Text(p.into())]).unwrap();
+                        lats.push(t.elapsed().as_nanos() as u64);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        barrier.wait();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    lats.sort_unstable();
+    let p99 = lats[(lats.len() * 99 / 100).saturating_sub(1)];
+    ((drivers.len() * ops) as f64 / elapsed.as_secs_f64(), p99)
 }
 
 #[derive(Clone, Copy, PartialEq)]

@@ -141,6 +141,58 @@ pub fn prepared_speedup_failures(speedups: &PreparedSpeedups, threshold: f64) ->
     out
 }
 
+/// `sessions -> embedded/wire overhead ratio` from a wire bench
+/// report's `wire` section.
+pub type WireOverheads = BTreeMap<u64, f64>;
+
+/// Extracts the `(sessions, overhead_ratio)` figures and the
+/// connection rate from a `BENCH_wire.json`-shaped report. Returns
+/// `(overheads, connections_per_sec)`.
+pub fn parse_wire_overheads(json: &str) -> (WireOverheads, f64) {
+    let mut out = WireOverheads::new();
+    let mut conn_per_sec = 0.0;
+    for line in json.lines() {
+        let t = line.trim();
+        if let Some(rate) = field(t, "per_sec") {
+            conn_per_sec = rate;
+        }
+        let (Some(sessions), Some(ratio)) = (field(t, "sessions"), field(t, "overhead_ratio"))
+        else {
+            continue;
+        };
+        out.insert(sessions as u64, ratio);
+    }
+    (out, conn_per_sec)
+}
+
+/// Gate verdict over the wire overhead: the report must contain
+/// figures at all, the connection path must work (rate > 0), and no
+/// session count may pay more than `threshold`× the embedded rate for
+/// going over the wire. Returns one message per violation; empty
+/// means the gate passes.
+pub fn wire_overhead_failures(
+    overheads: &WireOverheads,
+    conn_per_sec: f64,
+    threshold: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    if overheads.is_empty() {
+        out.push("no wire overhead figures in the report".to_string());
+    }
+    if conn_per_sec <= 0.0 {
+        out.push("connection rate missing or zero".to_string());
+    }
+    for (&sessions, &ratio) in overheads {
+        if ratio > threshold {
+            out.push(format!(
+                "{sessions} session(s): wire costs {ratio:.2}x embedded \
+                 (above the {threshold:.2}x ceiling)"
+            ));
+        }
+    }
+    out
+}
+
 /// The numeric value of `"key": <num>` inside a one-line JSON object.
 fn field(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
@@ -379,6 +431,42 @@ mod tests {
         let msgs = prepared_speedup_failures(&bad, 1.3);
         assert_eq!(msgs.len(), 1);
         assert!(msgs[0].contains("does not beat compile-every-time"));
+    }
+
+    const WIRE_REPORT: &str = r#"{
+  "connections": {
+    "per_sec": 4821.4
+  },
+  "wire": {
+    "workload": "point_probe_select",
+    "sessions": [
+      {"sessions": 1, "stmt_per_sec": 18000.0, "p99_us": 210.0, "embedded_stmt_per_sec": 52000.0, "overhead_ratio": 2.889},
+      {"sessions": 4, "stmt_per_sec": 30000.0, "p99_us": 400.0, "embedded_stmt_per_sec": 60000.0, "overhead_ratio": 2.000}
+    ]
+  }
+}
+"#;
+
+    #[test]
+    fn parses_wire_overheads_and_connection_rate() {
+        let (overheads, conn) = parse_wire_overheads(WIRE_REPORT);
+        assert_eq!(conn, 4821.4);
+        assert_eq!(overheads.len(), 2);
+        assert_eq!(overheads[&1], 2.889);
+        assert_eq!(overheads[&4], 2.0);
+    }
+
+    #[test]
+    fn wire_overhead_gate_is_absolute() {
+        let (overheads, conn) = parse_wire_overheads(WIRE_REPORT);
+        assert!(wire_overhead_failures(&overheads, conn, 10.0).is_empty());
+        // Any session count over the ceiling fails.
+        let msgs = wire_overhead_failures(&overheads, conn, 2.5);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("2.89x embedded"));
+        // An empty report or a dead connect path can never pass.
+        assert!(!wire_overhead_failures(&WireOverheads::new(), conn, 10.0).is_empty());
+        assert!(!wire_overhead_failures(&overheads, 0.0, 10.0).is_empty());
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! The embedded driver: the [`Driver`] trait over an in-process
+//! engine connection.
+
+use crate::{ClientError, Driver, Result};
+use grt_ids::{Connection, Database, QueryResult, Value};
+
+/// An in-process driver. Everything forwards to the underlying
+/// [`Connection`]; the adapter exists so embedded and served runs
+/// share one calling convention (and one error surface).
+pub struct EmbeddedDriver {
+    conn: Connection,
+}
+
+impl EmbeddedDriver {
+    /// Opens a session on an in-process database.
+    pub fn connect(db: &Database) -> EmbeddedDriver {
+        EmbeddedDriver { conn: db.connect() }
+    }
+
+    /// The underlying engine connection (for engine-only hooks).
+    pub fn connection(&self) -> &Connection {
+        &self.conn
+    }
+}
+
+impl Driver for EmbeddedDriver {
+    fn exec(&self, sql: &str) -> Result<QueryResult> {
+        self.conn.exec(sql).map_err(ClientError::Engine)
+    }
+
+    fn prepare(&self, name: &str, sql: &str) -> Result<()> {
+        self.conn
+            .prepare(name, sql)
+            .map(|_| ())
+            .map_err(ClientError::Engine)
+    }
+
+    fn execute(&self, name: &str, args: &[Value]) -> Result<QueryResult> {
+        self.conn
+            .execute_values(name, args)
+            .map_err(ClientError::Engine)
+    }
+
+    fn deallocate(&self, name: &str) -> Result<()> {
+        self.conn
+            .deallocate(name)
+            .map(|_| ())
+            .map_err(ClientError::Engine)
+    }
+
+    fn metrics(&self) -> Result<Vec<(String, u64)>> {
+        Ok(crate::flatten_metrics(&self.conn.database()))
+    }
+}

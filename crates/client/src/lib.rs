@@ -1,0 +1,126 @@
+//! Client drivers for the served engine.
+//!
+//! The paper's DataBlade runs inside a server that many clients talk
+//! to over a wire; this crate is the client half of that layering.
+//! One [`Driver`] trait fronts two implementations:
+//!
+//! * [`EmbeddedDriver`] — the in-process path: a thin adapter over
+//!   [`grt_ids::Connection`], for tests, benches, and tools that link
+//!   the engine directly;
+//! * [`RemoteDriver`] — a TCP client speaking the length-prefixed
+//!   protocol of [`proto`] to a `grt-server`, with the same
+//!   `connect → prepare → execute → fetch` lifecycle and the same
+//!   error surface (engine errors are reconstructed from their wire
+//!   codes, so retry-on-contention logic works unchanged in either
+//!   mode).
+//!
+//! Anything written against `&dyn Driver` runs embedded or served
+//! without modification — the property the stress harness and the
+//! `sessions --wire` benchmark lean on.
+
+pub mod proto;
+
+mod embedded;
+mod remote;
+
+pub use embedded::EmbeddedDriver;
+pub use remote::RemoteDriver;
+
+use grt_ids::{Database, IdsError, QueryResult, Value};
+
+/// Flattens a database's metric registry to sorted `(name, value)`
+/// pairs, histograms contributing `.count` / `.mean_ns` entries —
+/// the one shape `SHOW METRICS` has on both sides of the wire (the
+/// server serializes exactly this; the embedded driver returns it
+/// directly).
+pub fn flatten_metrics(db: &Database) -> Vec<(String, u64)> {
+    let snap = db.metrics_snapshot();
+    let mut entries: Vec<(String, u64)> =
+        snap.counters.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    for (k, h) in &snap.histograms {
+        entries.push((format!("{k}.count"), h.count));
+        entries.push((format!("{k}.mean_ns"), h.mean_ns()));
+    }
+    entries.sort();
+    entries
+}
+
+/// How a driver call can fail. Engine errors keep their exact
+/// [`IdsError`] shape in both modes; the remaining variants only
+/// occur on the wire.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The engine rejected or failed the statement.
+    Engine(IdsError),
+    /// The wire protocol was violated (by either side).
+    Protocol(String),
+    /// The server refused the connection: its session pool is full.
+    Backpressure,
+    /// The server is shutting down gracefully.
+    ShuttingDown,
+    /// Transport-level I/O failure.
+    Io(String),
+}
+
+impl ClientError {
+    /// True for contention losses (deadlock victim, lock timeout) —
+    /// the errors a client workload may treat as retryable.
+    pub fn is_contention(&self) -> bool {
+        use grt_sbspace::SbError;
+        matches!(
+            self,
+            ClientError::Engine(IdsError::Storage(
+                SbError::Deadlock(_) | SbError::LockTimeout(_)
+            ))
+        )
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Engine(e) => write!(f, "{e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Backpressure => write!(f, "server busy: session pool full"),
+            ClientError::ShuttingDown => write!(f, "server shutting down"),
+            ClientError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<IdsError> for ClientError {
+    fn from(e: IdsError) -> Self {
+        ClientError::Engine(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// The driver surface shared by the embedded and remote paths: the
+/// `connect → prepare → execute → fetch` lifecycle of Section 6, plus
+/// ad-hoc statements and the `SHOW METRICS` observability hook.
+/// Implementations are internally synchronized (`&self` methods), so
+/// one driver per worker thread is the intended usage — exactly like
+/// an engine [`grt_ids::Connection`].
+pub trait Driver: Send + Sync {
+    /// Executes one ad-hoc SQL statement and returns the full result
+    /// (remote drivers fetch every batch before returning).
+    fn exec(&self, sql: &str) -> Result<QueryResult>;
+
+    /// Compiles `sql` (with `?` slots) under `name`.
+    fn prepare(&self, name: &str, sql: &str) -> Result<()>;
+
+    /// Runs a prepared statement with bound values.
+    fn execute(&self, name: &str, args: &[Value]) -> Result<QueryResult>;
+
+    /// Drops a prepared statement handle.
+    fn deallocate(&self, name: &str) -> Result<()>;
+
+    /// The server's unified counter registry (`ids.*`, `am.*`,
+    /// `sbspace.*`, …), histograms flattened to `.count`/`.mean_ns`
+    /// entries exactly like the `sysmetrics` catalog.
+    fn metrics(&self) -> Result<Vec<(String, u64)>>;
+}

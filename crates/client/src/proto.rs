@@ -1,0 +1,909 @@
+//! The wire protocol: length-prefixed frames carrying a small
+//! request/response message set.
+//!
+//! Every frame is a 4-byte little-endian payload length followed by
+//! the payload. A zero-length frame and a frame longer than
+//! [`MAX_FRAME`] are protocol violations — the peer answers with a
+//! protocol error and closes the connection. Inside a frame, the
+//! first byte is the message tag; strings are `u32` length + UTF-8
+//! bytes; values ride the engine's own row codec
+//! ([`Value::encode`] / [`Value::decode`]), so anything a `SELECT`
+//! can return survives the wire unchanged.
+//!
+//! The message set is deliberately small (the Section 6 surface a
+//! DataBlade client actually needs): handshake, ad-hoc query,
+//! prepare / execute / deallocate, batched row fetch, a
+//! `SHOW METRICS`-style observability pair, and a clean goodbye.
+
+use grt_ids::Value;
+use std::io::{self, Read, Write};
+
+/// Protocol version sent in the handshake; the server refuses
+/// mismatches so framing bugs surface as a clean error, not garbage.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard ceiling on a frame payload (16 MiB). A declared length beyond
+/// it is rejected *before* any payload is read, so a malicious or
+/// corrupt length prefix cannot make the server allocate unboundedly.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Error classification carried by [`Response::Err`]. Codes 1–14 map
+/// the engine's [`grt_ids::IdsError`] (including the storage variants
+/// a client needs to distinguish to implement retry-on-contention);
+/// 32+ are transport-level conditions the engine never produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// SQL syntax error.
+    Parse = 1,
+    /// Unknown table/column/function/type/index/access method.
+    NotFound = 2,
+    /// Name already registered.
+    Duplicate = 3,
+    /// Type mismatch or bad value.
+    Type = 4,
+    /// Constraint or semantic violation.
+    Semantic = 5,
+    /// A user-defined routine failed.
+    Routine = 6,
+    /// Access-method failure.
+    AccessMethod = 7,
+    /// Storage-layer I/O failure.
+    StorageIo = 8,
+    /// Storage-layer object not found.
+    StorageNotFound = 9,
+    /// The statement's transaction was aborted as a deadlock victim.
+    Deadlock = 10,
+    /// Lock acquisition timed out.
+    LockTimeout = 11,
+    /// The store's on-disk state is corrupt.
+    Corrupt = 12,
+    /// Storage API misuse.
+    Usage = 13,
+    /// The transaction had already ended.
+    TxnEnded = 14,
+    /// The peer violated the framing or message grammar.
+    Protocol = 32,
+    /// The server's session pool is full — try again later.
+    Backpressure = 33,
+    /// The server is shutting down gracefully.
+    ShuttingDown = 34,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        Some(match v {
+            1 => Parse,
+            2 => NotFound,
+            3 => Duplicate,
+            4 => Type,
+            5 => Semantic,
+            6 => Routine,
+            7 => AccessMethod,
+            8 => StorageIo,
+            9 => StorageNotFound,
+            10 => Deadlock,
+            11 => LockTimeout,
+            12 => Corrupt,
+            13 => Usage,
+            14 => TxnEnded,
+            32 => Protocol,
+            33 => Backpressure,
+            34 => ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// Maps an engine error onto its wire code and message.
+pub fn encode_error(e: &grt_ids::IdsError) -> (ErrorCode, String) {
+    use grt_ids::IdsError as E;
+    match e {
+        E::Parse(m) => (ErrorCode::Parse, m.clone()),
+        E::NotFound(m) => (ErrorCode::NotFound, m.clone()),
+        E::Duplicate(m) => (ErrorCode::Duplicate, m.clone()),
+        E::Type(m) => (ErrorCode::Type, m.clone()),
+        E::Semantic(m) => (ErrorCode::Semantic, m.clone()),
+        E::Routine(m) => (ErrorCode::Routine, m.clone()),
+        E::AccessMethod(m) => (ErrorCode::AccessMethod, m.clone()),
+        E::Storage(s) => {
+            use grt_sbspace::SbError as S;
+            match s {
+                S::Io(m) => (ErrorCode::StorageIo, m.clone()),
+                S::NotFound(m) => (ErrorCode::StorageNotFound, m.clone()),
+                S::Deadlock(m) => (ErrorCode::Deadlock, m.clone()),
+                S::LockTimeout(m) => (ErrorCode::LockTimeout, m.clone()),
+                S::Corrupt(m) => (ErrorCode::Corrupt, m.clone()),
+                S::Usage(m) => (ErrorCode::Usage, m.clone()),
+                S::TxnEnded => (ErrorCode::TxnEnded, String::new()),
+            }
+        }
+    }
+}
+
+/// Reconstructs the engine error a wire code stands for, so remote
+/// callers can match on [`grt_ids::IdsError`] exactly as embedded
+/// callers do (e.g. to treat deadlock/timeout losses as retryable).
+/// Transport codes (`Protocol`, `Backpressure`, `ShuttingDown`) have
+/// no engine equivalent and return `None`.
+pub fn decode_error(code: ErrorCode, message: &str) -> Option<grt_ids::IdsError> {
+    use grt_ids::IdsError as E;
+    use grt_sbspace::SbError as S;
+    let m = message.to_string();
+    Some(match code {
+        ErrorCode::Parse => E::Parse(m),
+        ErrorCode::NotFound => E::NotFound(m),
+        ErrorCode::Duplicate => E::Duplicate(m),
+        ErrorCode::Type => E::Type(m),
+        ErrorCode::Semantic => E::Semantic(m),
+        ErrorCode::Routine => E::Routine(m),
+        ErrorCode::AccessMethod => E::AccessMethod(m),
+        ErrorCode::StorageIo => E::Storage(S::Io(m)),
+        ErrorCode::StorageNotFound => E::Storage(S::NotFound(m)),
+        ErrorCode::Deadlock => E::Storage(S::Deadlock(m)),
+        ErrorCode::LockTimeout => E::Storage(S::LockTimeout(m)),
+        ErrorCode::Corrupt => E::Storage(S::Corrupt(m)),
+        ErrorCode::Usage => E::Storage(S::Usage(m)),
+        ErrorCode::TxnEnded => E::Storage(S::TxnEnded),
+        ErrorCode::Protocol | ErrorCode::Backpressure | ErrorCode::ShuttingDown => return None,
+    })
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake — must be the first frame on a connection.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Execute one ad-hoc SQL statement.
+    Query {
+        /// The statement text.
+        sql: String,
+    },
+    /// Compile a statement under a name (server-side `PREPARE`).
+    Prepare {
+        /// Handle name, unique per session.
+        name: String,
+        /// The statement text, with `?` parameter slots.
+        sql: String,
+    },
+    /// Run a prepared statement with bound parameter values.
+    Execute {
+        /// Handle name from a previous [`Request::Prepare`].
+        name: String,
+        /// Parameter values, one per `?` slot.
+        args: Vec<Value>,
+    },
+    /// Drop a prepared statement handle.
+    Deallocate {
+        /// Handle name to drop.
+        name: String,
+    },
+    /// Pull the next batch of rows from an open result cursor.
+    Fetch {
+        /// Cursor id from a [`Response::ResultHead`].
+        cursor: u64,
+        /// Upper bound on rows returned in this batch.
+        max_rows: u32,
+    },
+    /// `SHOW METRICS`: the server's unified counter registry.
+    Metrics,
+    /// `SHOW TRACE`: recent trace events for this session.
+    Trace {
+        /// Upper bound on events returned (most recent win).
+        max: u32,
+    },
+    /// Clean disconnect; the server replies [`Response::Bye`].
+    Goodbye,
+}
+
+/// One batch of result rows (raw values plus their rendered text).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Batch {
+    /// Raw result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// The same rows rendered through the type support functions.
+    pub rendered: Vec<Vec<String>>,
+    /// True when the cursor is exhausted (and closed server-side).
+    pub done: bool,
+}
+
+/// One trace event as it crosses the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTraceEvent {
+    /// Trace class (e.g. `GRT`, `EXPLAIN`).
+    pub class: String,
+    /// Trace level.
+    pub level: u8,
+    /// Session the event belongs to.
+    pub session: u64,
+    /// Statement span id.
+    pub span: u64,
+    /// The event text.
+    pub message: String,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    Welcome {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// The engine session id backing this connection.
+        session: u64,
+    },
+    /// A statement succeeded without a result set.
+    Ok {
+        /// Engine status message (e.g. `committed`).
+        message: String,
+    },
+    /// Head of a result set: columns plus the first row batch. When
+    /// `batch.done` is false, `cursor` is non-zero and the remaining
+    /// rows are pulled with [`Request::Fetch`].
+    ResultHead {
+        /// Column headers.
+        columns: Vec<String>,
+        /// Engine status message.
+        message: String,
+        /// Cursor id for follow-up fetches (0 when `batch.done`).
+        cursor: u64,
+        /// Total rows in the result set.
+        total_rows: u64,
+        /// The first batch.
+        batch: Batch,
+    },
+    /// A fetched continuation batch.
+    Rows(Batch),
+    /// Counter registry dump (`SHOW METRICS`).
+    Metrics {
+        /// `(name, value)` pairs; histograms flatten to
+        /// `.count` / `.mean_ns` rows exactly like `sysmetrics`.
+        entries: Vec<(String, u64)>,
+    },
+    /// Recent trace events (`SHOW TRACE`).
+    Trace {
+        /// The events, oldest first.
+        events: Vec<WireTraceEvent>,
+    },
+    /// The request failed.
+    Err {
+        /// Error classification.
+        code: ErrorCode,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Acknowledges [`Request::Goodbye`].
+    Bye,
+}
+
+// ---------------------------------------------------------------------
+// Primitive codec helpers.
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked reader over a frame payload.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| format!("truncated message (wanted {n} bytes at {})", self.pos))?;
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let n = self.u32()? as usize;
+        if n > MAX_FRAME {
+            return Err(format!("string length {n} exceeds frame limit"));
+        }
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| "invalid utf-8".into())
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        let mut pos = self.pos;
+        let v = Value::decode(self.buf, &mut pos).map_err(|e| e.to_string())?;
+        self.pos = pos;
+        Ok(v)
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.pos != self.buf.len() {
+            return Err(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn put_batch(out: &mut Vec<u8>, b: &Batch) {
+    out.push(b.done as u8);
+    out.extend_from_slice(&(b.rows.len() as u32).to_le_bytes());
+    for row in &b.rows {
+        out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+        for v in row {
+            v.encode(out);
+        }
+    }
+    out.extend_from_slice(&(b.rendered.len() as u32).to_le_bytes());
+    for row in &b.rendered {
+        out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+        for cell in row {
+            put_str(out, cell);
+        }
+    }
+}
+
+fn get_batch(d: &mut Dec) -> Result<Batch, String> {
+    let done = d.u8()? != 0;
+    let nrows = d.u32()? as usize;
+    let mut rows = Vec::with_capacity(nrows.min(4096));
+    for _ in 0..nrows {
+        let ncols = d.u32()? as usize;
+        let mut row = Vec::with_capacity(ncols.min(256));
+        for _ in 0..ncols {
+            row.push(d.value()?);
+        }
+        rows.push(row);
+    }
+    let nrend = d.u32()? as usize;
+    let mut rendered = Vec::with_capacity(nrend.min(4096));
+    for _ in 0..nrend {
+        let ncols = d.u32()? as usize;
+        let mut row = Vec::with_capacity(ncols.min(256));
+        for _ in 0..ncols {
+            row.push(d.str()?);
+        }
+        rendered.push(row);
+    }
+    Ok(Batch {
+        rows,
+        rendered,
+        done,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Message codec.
+
+const REQ_HELLO: u8 = 1;
+const REQ_QUERY: u8 = 2;
+const REQ_PREPARE: u8 = 3;
+const REQ_EXECUTE: u8 = 4;
+const REQ_DEALLOCATE: u8 = 5;
+const REQ_FETCH: u8 = 6;
+const REQ_METRICS: u8 = 7;
+const REQ_TRACE: u8 = 8;
+const REQ_GOODBYE: u8 = 9;
+
+const RESP_WELCOME: u8 = 1;
+const RESP_OK: u8 = 2;
+const RESP_RESULT_HEAD: u8 = 3;
+const RESP_ROWS: u8 = 4;
+const RESP_METRICS: u8 = 5;
+const RESP_TRACE: u8 = 6;
+const RESP_ERR: u8 = 7;
+const RESP_BYE: u8 = 8;
+
+impl Request {
+    /// Serialises into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Request::Hello { version } => {
+                out.push(REQ_HELLO);
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            Request::Query { sql } => {
+                out.push(REQ_QUERY);
+                put_str(&mut out, sql);
+            }
+            Request::Prepare { name, sql } => {
+                out.push(REQ_PREPARE);
+                put_str(&mut out, name);
+                put_str(&mut out, sql);
+            }
+            Request::Execute { name, args } => {
+                out.push(REQ_EXECUTE);
+                put_str(&mut out, name);
+                out.extend_from_slice(&(args.len() as u32).to_le_bytes());
+                for v in args {
+                    v.encode(&mut out);
+                }
+            }
+            Request::Deallocate { name } => {
+                out.push(REQ_DEALLOCATE);
+                put_str(&mut out, name);
+            }
+            Request::Fetch { cursor, max_rows } => {
+                out.push(REQ_FETCH);
+                out.extend_from_slice(&cursor.to_le_bytes());
+                out.extend_from_slice(&max_rows.to_le_bytes());
+            }
+            Request::Metrics => out.push(REQ_METRICS),
+            Request::Trace { max } => {
+                out.push(REQ_TRACE);
+                out.extend_from_slice(&max.to_le_bytes());
+            }
+            Request::Goodbye => out.push(REQ_GOODBYE),
+        }
+        out
+    }
+
+    /// Deserialises a frame payload; a malformed payload is a
+    /// protocol violation described by the returned string.
+    pub fn decode(buf: &[u8]) -> Result<Request, String> {
+        let mut d = Dec::new(buf);
+        let req = match d.u8()? {
+            REQ_HELLO => Request::Hello { version: d.u32()? },
+            REQ_QUERY => Request::Query { sql: d.str()? },
+            REQ_PREPARE => Request::Prepare {
+                name: d.str()?,
+                sql: d.str()?,
+            },
+            REQ_EXECUTE => {
+                let name = d.str()?;
+                let n = d.u32()? as usize;
+                if n > 4096 {
+                    return Err(format!("{n} execute parameters exceed the limit"));
+                }
+                let mut args = Vec::with_capacity(n);
+                for _ in 0..n {
+                    args.push(d.value()?);
+                }
+                Request::Execute { name, args }
+            }
+            REQ_DEALLOCATE => Request::Deallocate { name: d.str()? },
+            REQ_FETCH => Request::Fetch {
+                cursor: d.u64()?,
+                max_rows: d.u32()?,
+            },
+            REQ_METRICS => Request::Metrics,
+            REQ_TRACE => Request::Trace { max: d.u32()? },
+            REQ_GOODBYE => Request::Goodbye,
+            other => return Err(format!("unknown request tag {other}")),
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialises into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Response::Welcome { version, session } => {
+                out.push(RESP_WELCOME);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&session.to_le_bytes());
+            }
+            Response::Ok { message } => {
+                out.push(RESP_OK);
+                put_str(&mut out, message);
+            }
+            Response::ResultHead {
+                columns,
+                message,
+                cursor,
+                total_rows,
+                batch,
+            } => {
+                out.push(RESP_RESULT_HEAD);
+                out.extend_from_slice(&(columns.len() as u32).to_le_bytes());
+                for c in columns {
+                    put_str(&mut out, c);
+                }
+                put_str(&mut out, message);
+                out.extend_from_slice(&cursor.to_le_bytes());
+                out.extend_from_slice(&total_rows.to_le_bytes());
+                put_batch(&mut out, batch);
+            }
+            Response::Rows(batch) => {
+                out.push(RESP_ROWS);
+                put_batch(&mut out, batch);
+            }
+            Response::Metrics { entries } => {
+                out.push(RESP_METRICS);
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for (name, value) in entries {
+                    put_str(&mut out, name);
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+            }
+            Response::Trace { events } => {
+                out.push(RESP_TRACE);
+                out.extend_from_slice(&(events.len() as u32).to_le_bytes());
+                for e in events {
+                    put_str(&mut out, &e.class);
+                    out.push(e.level);
+                    out.extend_from_slice(&e.session.to_le_bytes());
+                    out.extend_from_slice(&e.span.to_le_bytes());
+                    put_str(&mut out, &e.message);
+                }
+            }
+            Response::Err { code, message } => {
+                out.push(RESP_ERR);
+                out.push(*code as u8);
+                put_str(&mut out, message);
+            }
+            Response::Bye => out.push(RESP_BYE),
+        }
+        out
+    }
+
+    /// Deserialises a frame payload.
+    pub fn decode(buf: &[u8]) -> Result<Response, String> {
+        let mut d = Dec::new(buf);
+        let resp = match d.u8()? {
+            RESP_WELCOME => Response::Welcome {
+                version: d.u32()?,
+                session: d.u64()?,
+            },
+            RESP_OK => Response::Ok { message: d.str()? },
+            RESP_RESULT_HEAD => {
+                let ncols = d.u32()? as usize;
+                if ncols > 4096 {
+                    return Err(format!("{ncols} columns exceed the limit"));
+                }
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    columns.push(d.str()?);
+                }
+                Response::ResultHead {
+                    columns,
+                    message: d.str()?,
+                    cursor: d.u64()?,
+                    total_rows: d.u64()?,
+                    batch: get_batch(&mut d)?,
+                }
+            }
+            RESP_ROWS => Response::Rows(get_batch(&mut d)?),
+            RESP_METRICS => {
+                let n = d.u32()? as usize;
+                let mut entries = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    let name = d.str()?;
+                    entries.push((name, d.u64()?));
+                }
+                Response::Metrics { entries }
+            }
+            RESP_TRACE => {
+                let n = d.u32()? as usize;
+                let mut events = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    events.push(WireTraceEvent {
+                        class: d.str()?,
+                        level: d.u8()?,
+                        session: d.u64()?,
+                        span: d.u64()?,
+                        message: d.str()?,
+                    });
+                }
+                Response::Trace { events }
+            }
+            RESP_ERR => {
+                let raw = d.u8()?;
+                let code =
+                    ErrorCode::from_u8(raw).ok_or_else(|| format!("unknown error code {raw}"))?;
+                Response::Err {
+                    code,
+                    message: d.str()?,
+                }
+            }
+            RESP_BYE => Response::Bye,
+            other => return Err(format!("unknown response tag {other}")),
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+
+/// How reading a frame can fail, beyond plain I/O.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The peer closed the stream (cleanly, between frames).
+    Eof,
+    /// A zero-length frame: always a protocol violation.
+    Empty,
+    /// A declared payload length beyond [`MAX_FRAME`].
+    Oversized(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "io error: {e}"),
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::Empty => write!(f, "zero-length frame"),
+            FrameError::Oversized(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(!payload.is_empty() && payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, blocking until it is complete. The client side
+/// uses this directly; the server uses [`FrameReader`], which
+/// tolerates read timeouts so it can poll a shutdown flag.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Err(FrameError::Eof),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n == 0 {
+        return Err(FrameError::Empty);
+    }
+    if n > MAX_FRAME {
+        return Err(FrameError::Oversized(n));
+    }
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf).map_err(FrameError::Io)?;
+    Ok(buf)
+}
+
+/// An incremental frame parser that survives partial reads: bytes
+/// accumulate across [`FrameReader::poll`] calls, so a frame split
+/// over many TCP segments (or interleaved with read timeouts used to
+/// poll a shutdown flag) is reassembled rather than misparsed.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// Creates an empty reader.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Returns a complete buffered frame if one is available.
+    fn pop(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let n = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        // Validate the declared length as soon as it is visible, long
+        // before the payload arrives.
+        if n == 0 {
+            return Err(FrameError::Empty);
+        }
+        if n > MAX_FRAME {
+            return Err(FrameError::Oversized(n));
+        }
+        if self.buf.len() < 4 + n {
+            return Ok(None);
+        }
+        let frame = self.buf[4..4 + n].to_vec();
+        self.buf.drain(..4 + n);
+        Ok(Some(frame))
+    }
+
+    /// Feeds from `r` once and returns a complete frame when
+    /// available. `Ok(None)` means "no full frame yet" — either the
+    /// read timed out (the server's shutdown-poll tick) or only part
+    /// of a frame has arrived. `Err(Eof)` is a clean close between
+    /// frames; a close mid-frame reports as an I/O error.
+    pub fn poll(&mut self, r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+        if let Some(frame) = self.pop()? {
+            return Ok(Some(frame));
+        }
+        let mut chunk = [0u8; 64 * 1024];
+        match r.read(&mut chunk) {
+            Ok(0) if self.buf.is_empty() => Err(FrameError::Eof),
+            Ok(0) => Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            ))),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                self.pop()
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(FrameError::Io(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grt_ids::Value as V;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Request::Query {
+                sql: "SELECT 1".into(),
+            },
+            Request::Prepare {
+                name: "p".into(),
+                sql: "INSERT INTO t VALUES (?, ?)".into(),
+            },
+            Request::Execute {
+                name: "p".into(),
+                args: vec![V::Int(7), V::Text("x'y".into()), V::Null],
+            },
+            Request::Deallocate { name: "p".into() },
+            Request::Fetch {
+                cursor: 42,
+                max_rows: 100,
+            },
+            Request::Metrics,
+            Request::Trace { max: 64 },
+            Request::Goodbye,
+        ];
+        for req in reqs {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resps = [
+            Response::Welcome {
+                version: 1,
+                session: 9,
+            },
+            Response::Ok {
+                message: "committed".into(),
+            },
+            Response::ResultHead {
+                columns: vec!["id".into(), "s".into()],
+                message: String::new(),
+                cursor: 3,
+                total_rows: 2,
+                batch: Batch {
+                    rows: vec![vec![V::Int(1), V::Text("one".into())]],
+                    rendered: vec![vec!["1".into(), "one".into()]],
+                    done: false,
+                },
+            },
+            Response::Rows(Batch {
+                rows: vec![],
+                rendered: vec![],
+                done: true,
+            }),
+            Response::Metrics {
+                entries: vec![("ids.statements".into(), 12)],
+            },
+            Response::Trace {
+                events: vec![WireTraceEvent {
+                    class: "GRT".into(),
+                    level: 2,
+                    session: 1,
+                    span: 5,
+                    message: "grt_search".into(),
+                }],
+            },
+            Response::Err {
+                code: ErrorCode::Deadlock,
+                message: "victim".into(),
+            },
+            Response::Bye,
+        ];
+        for resp in resps {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_error_not_panic() {
+        // Truncations of a valid message at every byte boundary.
+        let full = Request::Execute {
+            name: "p".into(),
+            args: vec![V::Int(7), V::Text("hello".into())],
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(Request::decode(&full[..cut]).is_err(), "cut {cut}");
+        }
+        // Unknown tags and trailing garbage.
+        assert!(Request::decode(&[200]).is_err());
+        assert!(Request::decode(&[]).is_err());
+        let mut trailing = Request::Metrics.encode();
+        trailing.push(0);
+        assert!(Request::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn frame_reader_reassembles_partial_reads() {
+        let payload = Request::Query {
+            sql: "SELECT 1".into(),
+        }
+        .encode();
+        let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+        // Deliver the frame one byte at a time.
+        let mut fr = FrameReader::new();
+        let mut out = None;
+        for b in &wire {
+            let mut one = &[*b][..];
+            if let Some(frame) = fr.poll(&mut one).unwrap() {
+                out = Some(frame);
+            }
+        }
+        assert_eq!(out.as_deref(), Some(&payload[..]));
+    }
+
+    #[test]
+    fn frame_reader_rejects_bad_lengths_eagerly() {
+        let mut fr = FrameReader::new();
+        let mut zeros = &[0u8, 0, 0, 0][..];
+        assert!(matches!(fr.poll(&mut zeros), Err(FrameError::Empty)));
+        let mut fr = FrameReader::new();
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut huge = &huge[..];
+        assert!(matches!(fr.poll(&mut huge), Err(FrameError::Oversized(_))));
+    }
+}

@@ -86,6 +86,11 @@ pub(crate) struct EngineCounters {
     /// re-PREPARE, or connection drop) — equal when nothing leaks.
     pub prepared_opened: Counter,
     pub prepared_closed: Counter,
+    /// Sessions opened by [`Database::connect`] / closed by
+    /// [`Connection::close`] (or drop) — equal when no session leaks,
+    /// which is the reconciliation a network server checks at shutdown.
+    pub sessions_opened: Counter,
+    pub sessions_closed: Counter,
     /// Purpose-function invocations by slot (`am.am_insert`, ...).
     pub am_calls: HashMap<&'static str, Counter>,
 }
@@ -120,6 +125,8 @@ impl EngineCounters {
             udr_calls: metrics.counter("ids.udr_calls"),
             prepared_opened: metrics.counter("ids.prepared_opened"),
             prepared_closed: metrics.counter("ids.prepared_closed"),
+            sessions_opened: metrics.counter("ids.sessions_opened"),
+            sessions_closed: metrics.counter("ids.sessions_closed"),
             am_calls: AM_SLOTS
                 .iter()
                 .map(|&slot| (slot, metrics.counter(&format!("am.{slot}"))))
@@ -222,6 +229,9 @@ pub struct Connection {
     current_compiled: Mutex<Option<Arc<CompiledStatement>>>,
     /// Memoized routine resolutions (see [`Connection::resolve_udr`]).
     udr_cache: Mutex<UdrCache>,
+    /// Set once by [`Connection::close`] so an explicit close followed
+    /// by the drop does not double-count the session teardown.
+    closed: AtomicBool,
 }
 
 /// One memoized routine lookup: the argument types it resolved for (as
@@ -260,11 +270,7 @@ fn udr_type_matches(slot: &Option<DataType>, value: &Value) -> bool {
 
 impl Drop for Connection {
     fn drop(&mut self) {
-        // Disconnect deallocates the surviving prepared handles, so the
-        // opened/closed counters reconcile (no leaked handles).
-        let leaked = self.prepared.get_mut().len() as u64;
-        self.prepared.get_mut().clear();
-        self.db.inner.counters.prepared_closed.add(leaked);
+        self.close();
     }
 }
 
@@ -430,6 +436,7 @@ impl Database {
     /// Opens a client connection.
     pub fn connect(&self) -> Connection {
         let id = self.inner.next_session.fetch_add(1, Ordering::SeqCst);
+        self.inner.counters.sessions_opened.inc();
         Connection {
             db: self.clone(),
             session: Arc::new(Session::new(id)),
@@ -440,6 +447,7 @@ impl Database {
             prepared: Mutex::new(HashMap::new()),
             current_compiled: Mutex::new(None),
             udr_cache: Mutex::new(UdrCache::default()),
+            closed: AtomicBool::new(false),
         }
     }
 
@@ -681,6 +689,103 @@ impl Connection {
         Ok(last)
     }
 
+    /// Compiles `sql_text` under `name` — the programmatic form of
+    /// `PREPARE name FROM '<sql>'`, for drivers (network or embedded)
+    /// that carry the statement text out of band and must not worry
+    /// about re-quoting it into SQL.
+    pub fn prepare(&self, name: &str, sql_text: &str) -> Result<QueryResult> {
+        self.execute_with_retry(
+            Statement::Prepare {
+                name: name.to_string(),
+                sql: sql_text.to_string(),
+            },
+            None,
+        )
+    }
+
+    /// Runs the prepared statement `name` with already-materialized
+    /// parameter values — the programmatic form of `EXECUTE name USING
+    /// …` used by drivers whose bindings arrive as [`Value`]s (e.g.
+    /// decoded off a wire protocol) rather than SQL literals. The same
+    /// bind-time arity and type checks apply: a bad binding never
+    /// starts a transaction.
+    pub fn execute_values(&self, name: &str, args: &[Value]) -> Result<QueryResult> {
+        let compiled = self
+            .prepared
+            .lock()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| IdsError::NotFound(format!("prepared statement {name}")))?;
+        if args.len() != compiled.n_params {
+            return Err(IdsError::Type(format!(
+                "prepared statement {name} takes {} parameters, {} given",
+                compiled.n_params,
+                args.len()
+            )));
+        }
+        let mut bound = Vec::with_capacity(args.len());
+        for (v, expected) in args.iter().zip(&compiled.param_types) {
+            bound.push(match expected {
+                Some(ty) => self
+                    .coerce(v.clone(), ty)
+                    .map_err(|e| IdsError::Type(format!("binding parameters of {name}: {e}")))?,
+                None => v.clone(),
+            });
+        }
+        let stmt = prepare::bind(&compiled.stmt, &bound)?;
+        self.execute_with_retry(stmt, Some(compiled))
+    }
+
+    /// Drops the prepared statement `name` — the programmatic form of
+    /// `DEALLOCATE PREPARE name`.
+    pub fn deallocate(&self, name: &str) -> Result<QueryResult> {
+        self.execute_with_retry(
+            Statement::Deallocate {
+                name: name.to_string(),
+            },
+            None,
+        )
+    }
+
+    /// Disconnects the session: any open explicit transaction is
+    /// aborted (its locks released), surviving `PREPARE`d handles are
+    /// deallocated so `ids.prepared_opened == ids.prepared_closed`
+    /// reconciles, and per-session named memory is freed. Idempotent —
+    /// a server reaping a dead network connection calls it explicitly,
+    /// and the eventual drop becomes a no-op. Called automatically on
+    /// drop.
+    pub fn close(&self) {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Abort-on-disconnect: a client that vanishes mid-transaction
+        // must not leave its locks held. `Txn::drop` aborts the
+        // storage side; taking it out of the slot makes that happen
+        // now rather than at connection drop.
+        if let Some(txn) = self.txn.lock().take() {
+            let _ = txn.abort();
+        }
+        self.aborted.store(false, Ordering::SeqCst);
+        let leaked = {
+            let mut prepared = self.prepared.lock();
+            let n = prepared.len() as u64;
+            prepared.clear();
+            n
+        };
+        let counters = &self.db.inner.counters;
+        counters.prepared_closed.add(leaked);
+        counters.sessions_closed.inc();
+        self.session.clear_duration(MemDuration::PerStatement);
+        self.session.clear_duration(MemDuration::PerTransaction);
+        self.session.clear_duration(MemDuration::PerSession);
+    }
+
+    /// True once [`Connection::close`] has run (explicitly or via
+    /// drop); a closed connection refuses further statements.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
     /// Routes a parsed statement: top-level `EXECUTE` runs its bound
     /// prepared statement (counting as one statement); everything else
     /// goes straight to the retry loop.
@@ -699,36 +804,16 @@ impl Connection {
     /// never starts executing on an arity or type error), then the
     /// normal execution path with the compiled handle attached.
     fn execute_prepared(&self, name: &str, using: &[Expr]) -> Result<QueryResult> {
-        let compiled = self
-            .prepared
-            .lock()
-            .get(&name.to_ascii_lowercase())
-            .cloned()
-            .ok_or_else(|| IdsError::NotFound(format!("prepared statement {name}")))?;
-        if using.len() != compiled.n_params {
-            return Err(IdsError::Type(format!(
-                "prepared statement {name} takes {} parameters, {} given",
-                compiled.n_params,
-                using.len()
-            )));
-        }
         let mut args = Vec::with_capacity(using.len());
-        for (expr, expected) in using.iter().zip(&compiled.param_types) {
+        for expr in using {
             let Expr::Literal(lit) = expr else {
                 return Err(IdsError::Semantic(
                     "EXECUTE ... USING accepts literal values".into(),
                 ));
             };
-            let v = Self::literal_value(lit);
-            args.push(match expected {
-                Some(ty) => self
-                    .coerce(v, ty)
-                    .map_err(|e| IdsError::Type(format!("binding parameters of {name}: {e}")))?,
-                None => v,
-            });
+            args.push(Self::literal_value(lit));
         }
-        let stmt = prepare::bind(&compiled.stmt, &args)?;
-        self.execute_with_retry(stmt, Some(compiled))
+        self.execute_values(name, &args)
     }
 
     /// True for errors produced by a transaction aborted as a
@@ -745,6 +830,9 @@ impl Connection {
         stmt: Statement,
         compiled: Option<Arc<CompiledStatement>>,
     ) -> Result<QueryResult> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(IdsError::Semantic("connection is closed".into()));
+        }
         *self.current_compiled.lock() = compiled;
         let out = self.retry_loop(stmt);
         *self.current_compiled.lock() = None;

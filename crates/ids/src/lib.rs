@@ -53,7 +53,7 @@ pub mod udr;
 pub mod value;
 pub mod vii;
 
-pub use engine::{Connection, Database, DatabaseOptions};
+pub use engine::{Connection, Database, DatabaseOptions, QueryResult};
 pub use session::{MemDuration, Session};
 pub use trace::{TraceEvent, TraceSink};
 pub use value::{DataType, Value};

@@ -1,0 +1,120 @@
+//! The `grt-server` binary: boots a fresh engine with the GR-tree
+//! DataBlade installed and serves it over TCP until SIGTERM/SIGINT.
+//!
+//! ```text
+//! grt-server [--addr HOST:PORT] [--max-sessions N] [--fetch-rows N]
+//! ```
+//!
+//! On graceful shutdown it prints a reconciliation report — live
+//! sessions left (must be 0) and the prepared open/close counters —
+//! and exits nonzero if anything leaked, so the `server-e2e` CI job
+//! can assert cleanliness from the exit code alone.
+
+use grt_blade::{install_grtree_blade, GrTreeAmOptions};
+use grt_ids::{Database, DatabaseOptions};
+use grt_server::{Server, ServerOptions};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set from the signal handler; the main loop polls it.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Installs a handler for a POSIX signal. `std` links libc already;
+/// declaring `signal` directly avoids an external crate dependency.
+fn install_signal(signum: i32) {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+    unsafe {
+        signal(signum, on_signal);
+    }
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+fn main() {
+    let mut opts = ServerOptions {
+        addr: "127.0.0.1:7878".to_string(),
+        ..Default::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("grt-server: {what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr"),
+            "--max-sessions" => {
+                opts.max_sessions = value("--max-sessions").parse().unwrap_or_else(|_| {
+                    eprintln!("grt-server: bad --max-sessions");
+                    std::process::exit(2);
+                })
+            }
+            "--fetch-rows" => {
+                opts.fetch_rows = value("--fetch-rows").parse().unwrap_or_else(|_| {
+                    eprintln!("grt-server: bad --fetch-rows");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: grt-server [--addr HOST:PORT] [--max-sessions N] [--fetch-rows N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("grt-server: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let db = Database::new(DatabaseOptions::default());
+    install_grtree_blade(&db, GrTreeAmOptions::default()).expect("blade install");
+
+    install_signal(SIGTERM);
+    install_signal(SIGINT);
+
+    let mut handle = match Server::new(db.clone(), opts.clone()).start() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("grt-server: bind {} failed: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "grt-server: listening on {} (max {} sessions)",
+        handle.local_addr(),
+        opts.max_sessions
+    );
+
+    while !STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!("grt-server: shutting down");
+    handle.shutdown();
+
+    // Reconciliation report: after a graceful shutdown every session
+    // is reaped and every prepared handle released.
+    let leaked = handle.engine().pool.live();
+    let m = db.metrics_snapshot();
+    let opened = m.get("ids.sessions_opened");
+    let closed = m.get("ids.sessions_closed");
+    let p_open = m.get("ids.prepared_opened");
+    let p_closed = m.get("ids.prepared_closed");
+    println!(
+        "grt-server: stopped, leaked={leaked} sessions={opened}/{closed} prepared={p_open}/{p_closed}"
+    );
+    if leaked != 0 || opened != closed || p_open != p_closed {
+        eprintln!("grt-server: session reconciliation failed");
+        std::process::exit(1);
+    }
+}

@@ -4,13 +4,17 @@
 //! [`grt_temporal`] (bitemporal model), [`grt_sbspace`] (storage),
 //! [`grt_rstar`] (baseline R*-tree), [`grt_grtree`] (the GR-tree),
 //! [`grt_ids`] (the extensible mini-DBMS), [`grt_blade`] (the
-//! DataBlade), and [`grt_workload`] (synthetic workloads).
+//! DataBlade), [`grt_workload`] (synthetic workloads), and the wire
+//! layer: [`grt_server`] (the TCP server) and [`grt_client`] (the
+//! client drivers and protocol codec).
 
 pub use grt_blade as blade;
+pub use grt_client as client;
 pub use grt_gist as gist;
 pub use grt_grtree as grtree;
 pub use grt_ids as ids;
 pub use grt_rstar as rstar;
 pub use grt_sbspace as sbspace;
+pub use grt_server as server;
 pub use grt_temporal as temporal;
 pub use grt_workload as workload;

@@ -17,12 +17,20 @@
 //!   every attempt ran in exactly one transaction that either
 //!   committed or aborted, and every abort maps to a failed attempt.
 //!
+//! A third of the sessions run over the wire: their statements go
+//! through a `RemoteDriver` against a loopback `grt-server` sharing
+//! the same database, so the TCP/session-pool layer faces the same
+//! contention (and the same exact counter reconciliation) as the
+//! embedded paths.
+//!
 //! Quick by default (CI's `stress-smoke` job); scale with
 //! `STRESS_SESSIONS` / `STRESS_OPS`.
 
 use grtree_datablade::blade::{install_grtree_blade, GrTreeAmOptions};
-use grtree_datablade::ids::{Database, DatabaseOptions, IdsError};
-use grtree_datablade::sbspace::{SbError, SbspaceOptions};
+use grtree_datablade::client::{ClientError, Driver, EmbeddedDriver, RemoteDriver};
+use grtree_datablade::ids::{Database, DatabaseOptions};
+use grtree_datablade::sbspace::SbspaceOptions;
+use grtree_datablade::server::{Server, ServerOptions};
 use grtree_datablade::temporal::{Day, MockClock};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -98,13 +106,25 @@ fn stress_mixed_workload_reconciles() {
         .exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
         .unwrap();
 
+    // A loopback server over the *same* database: remote sessions'
+    // statements land in the same counter registry, so the exact
+    // reconciliation below covers both paths.
+    let mut server = Server::new(db.clone(), ServerOptions::default())
+        .start()
+        .expect("loopback server");
+    let server_addr = server.local_addr().to_string();
+
     // Connections (and their isolation levels, and any PREPAREs) are
     // set up *before* the metric snapshot: from here on, every
     // statement is auto-commit DML/SELECT and must map 1:1 onto a
-    // transaction.
-    let conns: Vec<_> = (0..sessions)
+    // transaction. Every third session is a wire client.
+    let conns: Vec<Box<dyn Driver>> = (0..sessions)
         .map(|i| {
-            let conn = db.connect();
+            let conn: Box<dyn Driver> = if i % 3 == 2 {
+                Box::new(RemoteDriver::connect(&*server_addr).expect("wire connect"))
+            } else {
+                Box::new(EmbeddedDriver::connect(&db))
+            };
             if i % 2 == 1 {
                 conn.exec("SET ISOLATION TO REPEATABLE READ").unwrap();
             }
@@ -145,17 +165,15 @@ fn stress_mixed_workload_reconciles() {
                     let mut tally = WorkerTally::default();
                     let mut my_ids: Vec<u64> = Vec::new();
                     let prepared = w % 3 == 1;
-                    let record = |r: Result<_, IdsError>, tally: &mut WorkerTally| match r {
+                    let record = |r: Result<_, ClientError>, tally: &mut WorkerTally| match r {
                         Ok(_) => {
                             tally.ok += 1;
                             true
                         }
-                        Err(
-                            IdsError::Storage(SbError::LockTimeout(_))
-                            | IdsError::Storage(SbError::Deadlock(_)),
-                        ) => {
-                            // Contention losses are allowed; anything
-                            // else is a real bug.
+                        // Contention losses are allowed (and keep
+                        // their exact engine shape across the wire);
+                        // anything else is a real bug.
+                        Err(e) if e.is_contention() => {
                             tally.failed += 1;
                             false
                         }
@@ -302,9 +320,11 @@ fn stress_mixed_workload_reconciles() {
     assert_eq!(unique.len(), ids.len(), "final scan returned duplicates");
     setup.exec("CHECK INDEX tix").unwrap();
 
-    // Zero leaked prepared handles: dropping the sessions closes every
-    // PREPAREd statement they still held.
+    // Zero leaked prepared handles: dropping the sessions (and, for
+    // the wire third, joining the server workers that reap them)
+    // closes every PREPAREd statement they still held.
     drop(conns);
+    server.shutdown();
     assert_eq!(
         db.prepared_live(),
         0,

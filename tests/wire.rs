@@ -1,0 +1,369 @@
+//! End-to-end tests of the wire layer: a real `grt-server` on a
+//! loopback socket, driven through `grt-client`.
+//!
+//! Covers the tentpole guarantees: remote and embedded drivers are
+//! observably identical behind the [`Driver`] trait; results stream
+//! through cursors; overload sheds with a clean backpressure error;
+//! framing and message-grammar violations fail the *connection* (and
+//! reap its session, aborting any open transaction) without ever
+//! failing the server; shutdown leaks nothing.
+
+use grtree_datablade::blade::{install_grtree_blade, GrTreeAmOptions};
+use grtree_datablade::client::proto::{
+    read_frame, write_frame, ErrorCode, Request, Response, MAX_FRAME, PROTOCOL_VERSION,
+};
+use grtree_datablade::client::{ClientError, Driver, EmbeddedDriver, RemoteDriver};
+use grtree_datablade::ids::{Database, DatabaseOptions, Value};
+use grtree_datablade::server::{Server, ServerHandle, ServerOptions};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+const EXTENT: &str = "05/18/1997, UC, 05/18/1997, NOW";
+const OVERLAP: &str = "01/01/1997, UC, 01/01/1997, NOW";
+
+fn fresh_db() -> Database {
+    let db = Database::new(DatabaseOptions::default());
+    install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
+    db
+}
+
+fn boot(opts: ServerOptions) -> (Database, ServerHandle) {
+    let db = fresh_db();
+    let handle = Server::new(db.clone(), opts).start().unwrap();
+    (db, handle)
+}
+
+fn addr(h: &ServerHandle) -> String {
+    h.local_addr().to_string()
+}
+
+/// Runs the same script through a driver and returns the SELECT's
+/// rows — used to compare embedded and remote behaviour verbatim.
+fn script(driver: &dyn Driver) -> Vec<Vec<Value>> {
+    driver
+        .exec("CREATE TABLE s (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    driver
+        .exec("CREATE INDEX six ON s(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+    driver
+        .prepare("ins", "INSERT INTO s VALUES (?, ?)")
+        .unwrap();
+    for id in 0..10i64 {
+        driver
+            .execute("ins", &[Value::Int(id), Value::Text(EXTENT.into())])
+            .unwrap();
+    }
+    driver.deallocate("ins").unwrap();
+    let out = driver
+        .exec(&format!(
+            "SELECT id FROM s WHERE Overlaps(Time_Extent, '{OVERLAP}')"
+        ))
+        .unwrap();
+    assert!(!out.columns.is_empty());
+    let mut rows = out.rows;
+    rows.sort_by_key(|r| match r[0] {
+        Value::Int(v) => v,
+        _ => panic!("non-integer id"),
+    });
+    rows
+}
+
+#[test]
+fn remote_driver_matches_embedded_driver() {
+    let (_db, mut server) = boot(ServerOptions::default());
+    let remote = RemoteDriver::connect(addr(&server)).unwrap();
+    let remote_rows = script(&remote);
+
+    let embedded_db = fresh_db();
+    let embedded = EmbeddedDriver::connect(&embedded_db);
+    let embedded_rows = script(&embedded);
+
+    assert_eq!(remote_rows, embedded_rows);
+
+    // Engine errors keep their exact shape across the wire.
+    let e = remote.exec("SELECT id FROM nope").unwrap_err();
+    let embedded_e = embedded.exec("SELECT id FROM nope").unwrap_err();
+    match (&e, &embedded_e) {
+        (ClientError::Engine(re), ClientError::Engine(ee)) => assert_eq!(re, ee),
+        other => panic!("expected engine errors on both paths, got {other:?}"),
+    }
+
+    remote.goodbye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn results_stream_through_cursors() {
+    // A 7-row head forces the 25-row result through multiple fetches.
+    let (_db, mut server) = boot(ServerOptions {
+        fetch_rows: 7,
+        ..Default::default()
+    });
+    let driver = RemoteDriver::connect(addr(&server)).unwrap();
+    driver
+        .exec("CREATE TABLE c (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    for id in 0..25i64 {
+        driver
+            .exec(&format!("INSERT INTO c VALUES ({id}, '{EXTENT}')"))
+            .unwrap();
+    }
+    let out = driver.exec("SELECT id FROM c").unwrap();
+    assert_eq!(out.rows.len(), 25);
+    assert_eq!(out.rendered.len(), 25);
+    driver.goodbye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn eight_concurrent_wire_clients() {
+    let (db, mut server) = boot(ServerOptions::default());
+    let setup = RemoteDriver::connect(addr(&server)).unwrap();
+    setup
+        .exec("CREATE TABLE w (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    setup
+        .exec("CREATE INDEX wix ON w(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+
+    let a = addr(&server);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|w| {
+                let a = a.clone();
+                s.spawn(move || {
+                    let driver = RemoteDriver::connect(a).unwrap();
+                    driver
+                        .prepare("ins", "INSERT INTO w VALUES (?, ?)")
+                        .unwrap();
+                    for i in 0..16i64 {
+                        driver
+                            .execute(
+                                "ins",
+                                &[Value::Int(w * 1000 + i), Value::Text(EXTENT.into())],
+                            )
+                            .unwrap();
+                    }
+                    let got = driver
+                        .exec(&format!(
+                            "SELECT id FROM w WHERE Overlaps(Time_Extent, '{OVERLAP}')"
+                        ))
+                        .unwrap();
+                    assert!(got.rows.len() >= 16);
+                    driver.goodbye().unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    let total = setup.exec("SELECT id FROM w").unwrap();
+    assert_eq!(total.rows.len(), 8 * 16);
+    setup.goodbye().unwrap();
+    server.shutdown();
+
+    // Every wire session was reaped; nothing leaked.
+    assert_eq!(server.engine().pool.live(), 0);
+    let m = db.metrics_snapshot();
+    assert_eq!(m.get("ids.sessions_opened"), m.get("ids.sessions_closed"));
+    assert_eq!(m.get("ids.prepared_opened"), m.get("ids.prepared_closed"));
+}
+
+#[test]
+fn overload_sheds_with_backpressure_error() {
+    let (_db, mut server) = boot(ServerOptions {
+        max_sessions: 2,
+        ..Default::default()
+    });
+    let a = addr(&server);
+    let first = RemoteDriver::connect(&*a).unwrap();
+    let second = RemoteDriver::connect(&*a).unwrap();
+    // The pool is full: the third connection is answered, not hung.
+    match RemoteDriver::connect(&*a) {
+        Err(ClientError::Backpressure) => {}
+        Err(other) => panic!("expected backpressure, got {other}"),
+        Ok(_) => panic!("expected backpressure, got an admitted session"),
+    }
+    // Releasing a session re-admits.
+    first.goodbye().unwrap();
+    // The worker releases its permit asynchronously after the Bye;
+    // poll briefly rather than racing it.
+    let mut admitted = None;
+    for _ in 0..100 {
+        match RemoteDriver::connect(&*a) {
+            Ok(d) => {
+                admitted = Some(d);
+                break;
+            }
+            Err(ClientError::Backpressure) => std::thread::sleep(Duration::from_millis(10)),
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+    let third = admitted.expect("slot never released after goodbye");
+    third.goodbye().unwrap();
+    second.goodbye().unwrap();
+    server.shutdown();
+}
+
+/// Raw-socket helper: handshake, then return the stream.
+fn raw_handshake(addr: &str) -> TcpStream {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut s,
+        &Request::Hello {
+            version: PROTOCOL_VERSION,
+        }
+        .encode(),
+    )
+    .unwrap();
+    let frame = read_frame(&mut s).unwrap();
+    assert!(matches!(
+        Response::decode(&frame).unwrap(),
+        Response::Welcome { .. }
+    ));
+    s
+}
+
+fn expect_protocol_error_then_close(mut s: TcpStream) {
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let frame = read_frame(&mut s).unwrap();
+    match Response::decode(&frame).unwrap() {
+        Response::Err { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    // And then the server closes the connection.
+    assert!(read_frame(&mut s).is_err());
+}
+
+#[test]
+fn framing_violations_fail_the_connection_cleanly() {
+    let (_db, mut server) = boot(ServerOptions::default());
+    let a = addr(&server);
+
+    // Zero-length frame.
+    let s = raw_handshake(&a);
+    (&s).write_all(&0u32.to_le_bytes()).unwrap();
+    expect_protocol_error_then_close(s);
+
+    // Oversized declared length — rejected from the prefix alone,
+    // before any payload is sent.
+    let s = raw_handshake(&a);
+    (&s).write_all(&((MAX_FRAME as u32) + 1).to_le_bytes())
+        .unwrap();
+    expect_protocol_error_then_close(s);
+
+    // Malformed message: unknown request tag inside a valid frame.
+    let s = raw_handshake(&a);
+    write_frame(&mut &s, &[0xEE, 1, 2, 3]).unwrap();
+    expect_protocol_error_then_close(s);
+
+    // Truncated message body (valid frame, short payload).
+    let s = raw_handshake(&a);
+    let mut query = Request::Query {
+        sql: "SELECT 1".into(),
+    }
+    .encode();
+    query.truncate(query.len() - 3);
+    write_frame(&mut &s, &query).unwrap();
+    expect_protocol_error_then_close(s);
+
+    // Statement before handshake.
+    let mut s = TcpStream::connect(&a).unwrap();
+    write_frame(
+        &mut s,
+        &Request::Query {
+            sql: "SELECT 1".into(),
+        }
+        .encode(),
+    )
+    .unwrap();
+    expect_protocol_error_then_close(s);
+
+    // After all that abuse the server still serves normal clients.
+    let driver = RemoteDriver::connect(&*a).unwrap();
+    driver.exec("CREATE TABLE ok (id integer)").unwrap();
+    driver.goodbye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn mid_statement_disconnect_aborts_open_transaction() {
+    let (db, mut server) = boot(ServerOptions::default());
+    let a = addr(&server);
+    {
+        let driver = RemoteDriver::connect(&*a).unwrap();
+        driver.exec("CREATE TABLE d (id integer)").unwrap();
+        driver.exec("BEGIN WORK").unwrap();
+        driver.exec("INSERT INTO d VALUES (1)").unwrap();
+        // Drop the TCP connection with the transaction still open
+        // (and write locks still held).
+    }
+    // Shutdown joins the worker, which must have reaped the session —
+    // aborting the transaction and releasing its locks.
+    server.shutdown();
+    assert!(
+        db.space().locks_quiescent(),
+        "disconnected session leaked locks"
+    );
+    let m = db.metrics_snapshot();
+    assert_eq!(m.get("ids.sessions_opened"), m.get("ids.sessions_closed"));
+    // The uncommitted insert rolled back.
+    let check = fresh_check(&db);
+    assert_eq!(check, 0);
+}
+
+fn fresh_check(db: &Database) -> usize {
+    let conn = db.connect();
+    conn.exec("SELECT id FROM d").unwrap().rows.len()
+}
+
+#[test]
+fn trace_rides_the_wire() {
+    let (_db, mut server) = boot(ServerOptions::default());
+    let driver = RemoteDriver::connect(addr(&server)).unwrap();
+    driver
+        .exec("CREATE TABLE tr (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    driver
+        .exec("CREATE INDEX trix ON tr(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+    driver.exec("SET TRACE ON 'AM'").unwrap();
+    driver
+        .exec(&format!("INSERT INTO tr VALUES (1, '{EXTENT}')"))
+        .unwrap();
+    driver
+        .exec(&format!(
+            "SELECT id FROM tr WHERE Overlaps(Time_Extent, '{OVERLAP}')"
+        ))
+        .unwrap();
+    let events = driver.trace(64).unwrap();
+    assert!(
+        !events.is_empty(),
+        "SET TRACE ON produced no events over the wire"
+    );
+    driver.goodbye().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn metrics_ride_the_wire() {
+    let (db, mut server) = boot(ServerOptions::default());
+    let driver = RemoteDriver::connect(addr(&server)).unwrap();
+    driver.exec("CREATE TABLE m (id integer)").unwrap();
+    driver.exec("INSERT INTO m VALUES (1)").unwrap();
+    let wire = driver.metrics().unwrap();
+    let get = |k: &str| wire.iter().find(|(n, _)| n == k).map(|&(_, v)| v);
+    assert!(get("ids.statements").unwrap_or(0) >= 2);
+    // The wire view is the same flattening the embedded driver uses.
+    let local = grtree_datablade::client::flatten_metrics(&db);
+    let names: std::collections::BTreeSet<_> = wire.iter().map(|(n, _)| n.clone()).collect();
+    for (n, _) in &local {
+        assert!(names.contains(n), "metric {n} missing from the wire view");
+    }
+    driver.goodbye().unwrap();
+    server.shutdown();
+}
