@@ -1,10 +1,11 @@
 //! CI perf-regression gate:
 //!
 //! ```text
-//! bench_gate <baseline.json> <candidate.json> [--tolerance 0.25]
+//! bench_gate <baseline.json> <candidate.json> [--tolerance 0.25] [--quick]
 //!            [--throughput | --scan-speedup]
 //! bench_gate <candidate.json> --prepared-speedup [--threshold 1.3]
 //! bench_gate <candidate.json> --wire-overhead [--threshold 10.0]
+//! bench_gate <candidate.json> --read-scaling [--threshold 1.0]
 //! ```
 //!
 //! Default mode compares `ns_per_read` for every `(config, threads)`
@@ -31,6 +32,20 @@
 //! for going over loopback TCP — a ceiling generous enough for a
 //! 1-CPU CI runner, tight enough to catch a per-statement wire
 //! pathology (e.g. an accidental handshake or flush storm).
+//!
+//! `--read-scaling` is absolute over one concurrency report: the
+//! `read_mostly` config's 8-session throughput must reach
+//! `--threshold` (default 1.0x) times its 1-session throughput.
+//! Snapshot reads keep the scan-dominated workload flat-to-rising in
+//! the session count; a collapse means readers queue on writer locks.
+//!
+//! `--quick` marks the candidate as a quick-mode run (fewer ops, fewer
+//! repetitions): it doubles the effective tolerance for the comparison
+//! modes, relaxes the `--read-scaling` floor by 0.8x (quick runs are
+//! too short to resolve a few percent, but a lock-queueing collapse
+//! still lands far below the relaxed floor), and labels the output —
+//! so CI invocations say what they mean instead of hand-tuning a
+//! looser `--tolerance` per job step.
 
 use grt_bench::gate;
 
@@ -41,6 +56,7 @@ enum Mode {
     ScanSpeedup,
     PreparedSpeedup,
     WireOverhead,
+    ReadScaling,
 }
 
 fn main() {
@@ -49,6 +65,7 @@ fn main() {
     let mut tolerance = 0.25f64;
     let mut threshold = 1.3f64;
     let mut mode = Mode::ReadLatency;
+    let mut quick = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--tolerance" {
@@ -70,9 +87,21 @@ fn main() {
         } else if a == "--wire-overhead" {
             mode = Mode::WireOverhead;
             threshold = 10.0;
+        } else if a == "--read-scaling" {
+            mode = Mode::ReadScaling;
+            threshold = 1.0;
+        } else if a == "--quick" {
+            quick = true;
         } else {
             files.push(a.clone());
         }
+    }
+    if quick {
+        tolerance *= 2.0;
+        if mode == Mode::ReadScaling {
+            threshold *= 0.8;
+        }
+        println!("bench_gate: quick-mode candidate, tolerance widened to {tolerance:.2}");
     }
 
     let read = |path: &str| -> String {
@@ -102,6 +131,30 @@ fn main() {
             std::process::exit(1);
         }
         println!("bench_gate: wire overhead within {threshold:.2}x at every session count");
+        return;
+    }
+
+    if mode == Mode::ReadScaling {
+        let [candidate_path] = files.as_slice() else {
+            usage("--read-scaling expects one report file")
+        };
+        let tps = gate::parse_throughputs(&read(candidate_path));
+        for ((config, sessions), rate) in &tps {
+            if config == "read_mostly" {
+                println!("read_mostly {sessions} session(s): {rate:9.1} stmt/s");
+            }
+        }
+        let failures = gate::read_scaling_failures(&tps, threshold);
+        if !failures.is_empty() {
+            for msg in &failures {
+                eprintln!("bench_gate: {msg}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "bench_gate: read-mostly throughput holds {threshold:.2}x the \
+             1-session rate at 8 sessions"
+        );
         return;
     }
 
@@ -143,7 +196,9 @@ fn main() {
         Mode::ReadLatency => gate::parse_read_rates,
         Mode::Throughput => gate::parse_throughputs,
         Mode::ScanSpeedup => gate::parse_speedups,
-        Mode::PreparedSpeedup | Mode::WireOverhead => unreachable!("handled above"),
+        Mode::PreparedSpeedup | Mode::WireOverhead | Mode::ReadScaling => {
+            unreachable!("handled above")
+        }
     };
     let baseline = parse(&read(baseline_path));
     let candidate = parse(&read(candidate_path));
@@ -152,7 +207,9 @@ fn main() {
         let key = match mode {
             Mode::ReadLatency => "(config, threads)",
             Mode::Throughput => "(config, sessions)",
-            Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead => "(config, workers)",
+            Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead | Mode::ReadScaling => {
+                "(config, workers)"
+            }
         };
         eprintln!("bench_gate: no shared {key} pairs between the reports");
         std::process::exit(2);
@@ -163,9 +220,11 @@ fn main() {
         let regressed = match mode {
             Mode::ReadLatency => c.regressed(tolerance),
             // Throughput and speedup are both higher-is-better.
-            Mode::Throughput | Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead => {
-                c.regressed_throughput(tolerance)
-            }
+            Mode::Throughput
+            | Mode::ScanSpeedup
+            | Mode::PreparedSpeedup
+            | Mode::WireOverhead
+            | Mode::ReadScaling => c.regressed_throughput(tolerance),
         };
         let verdict = if regressed {
             failed = true;
@@ -190,21 +249,25 @@ fn main() {
                 c.candidate_ns,
                 (c.ratio - 1.0) * 100.0,
             ),
-            Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead => println!(
-                "{:<12} {} worker(s): baseline {:5.2}x, candidate {:5.2}x ({:+.1}%)  {verdict}",
-                c.config,
-                c.threads,
-                c.baseline_ns,
-                c.candidate_ns,
-                (c.ratio - 1.0) * 100.0,
-            ),
+            Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead | Mode::ReadScaling => {
+                println!(
+                    "{:<12} {} worker(s): baseline {:5.2}x, candidate {:5.2}x ({:+.1}%)  {verdict}",
+                    c.config,
+                    c.threads,
+                    c.baseline_ns,
+                    c.candidate_ns,
+                    (c.ratio - 1.0) * 100.0,
+                )
+            }
         }
     }
     if failed {
         let what = match mode {
             Mode::ReadLatency => "read latency",
             Mode::Throughput => "throughput",
-            Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead => "scan speedup",
+            Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead | Mode::ReadScaling => {
+                "scan speedup"
+            }
         };
         eprintln!(
             "bench_gate: {what} regressed more than {:.0}% — see lines above",
@@ -218,10 +281,11 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("bench_gate: {err}");
     eprintln!(
-        "usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.25] \
+        "usage: bench_gate <baseline.json> <candidate.json> [--tolerance 0.25] [--quick] \
          [--throughput | --scan-speedup]\n       \
          bench_gate <candidate.json> --prepared-speedup [--threshold 1.3]\n       \
-         bench_gate <candidate.json> --wire-overhead [--threshold 10.0]"
+         bench_gate <candidate.json> --wire-overhead [--threshold 10.0]\n       \
+         bench_gate <candidate.json> --read-scaling [--threshold 1.0]"
     );
     std::process::exit(2);
 }

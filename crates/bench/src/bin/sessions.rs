@@ -24,7 +24,12 @@
 //!   PREPARE/EXECUTE handles compiled once at session start. On this
 //!   write-heavy mix GR-tree maintenance dominates, so `prepared`
 //!   tracks `read_committed` closely — the transparent plan cache
-//!   already gives ad-hoc statements the compiled-form reuse.
+//!   already gives ad-hoc statements the compiled-form reuse;
+//! * `read_mostly`: every session interleaves seven scans per mixed-DML
+//!   statement (write ops staggered across sessions). The scans ride
+//!   the lock-free snapshot read path, so aggregate throughput must
+//!   hold flat-to-rising as sessions grow; `bench_gate --read-scaling`
+//!   gates the 8-session rate against the 1-session rate.
 //!
 //! The `prepared_speedup` section isolates the compile-once payoff on
 //! the workload where it matters: point-probe index SELECTs whose
@@ -70,23 +75,40 @@ struct Config {
     /// Sessions PREPARE their four statement shapes during setup and
     /// issue the whole workload through EXECUTE handles.
     prepared: bool,
+    /// Seven reads per write: every session scans on seven of each
+    /// eight ops and runs one mixed-DML statement on the eighth, so the
+    /// per-session workload is identical at every session count. Scans
+    /// route over lock-free space snapshots. `bench_gate
+    /// --read-scaling` gates that this config's throughput does not
+    /// collapse from 1 to 8 sessions — the pre-snapshot regime queued
+    /// every reader behind the writers' exclusive LO locks.
+    read_mostly: bool,
 }
 
-const CONFIGS: [Config; 3] = [
+const CONFIGS: [Config; 4] = [
     Config {
         name: "read_committed",
         rr_half: false,
         prepared: false,
+        read_mostly: false,
     },
     Config {
         name: "repeatable_read_mix",
         rr_half: true,
         prepared: false,
+        read_mostly: false,
     },
     Config {
         name: "prepared",
         rr_half: false,
         prepared: true,
+        read_mostly: false,
+    },
+    Config {
+        name: "read_mostly",
+        rr_half: false,
+        prepared: false,
+        read_mostly: true,
     },
 ];
 
@@ -174,7 +196,14 @@ struct Measured {
 /// the client waited for them either way. With `prepared`, the four
 /// statement shapes are compiled once per session before the clock
 /// starts and the timed loop goes through EXECUTE handles.
-fn run(db: &Database, sessions: usize, ops: usize, rr_half: bool, prepared: bool) -> Measured {
+fn run(
+    db: &Database,
+    sessions: usize,
+    ops: usize,
+    rr_half: bool,
+    prepared: bool,
+    read_mostly: bool,
+) -> Measured {
     let conns: Vec<_> = (0..sessions)
         .map(|i| {
             let conn = db.connect();
@@ -208,6 +237,22 @@ fn run(db: &Database, sessions: usize, ops: usize, rr_half: bool, prepared: bool
                 let mut my_ids: Vec<u64> = Vec::new();
                 barrier.wait();
                 for op in 0..ops {
+                    // Read-mostly sessions interleave seven scans per
+                    // DML statement, staggered by session index so the
+                    // write ops don't land in lockstep. Scans ride the
+                    // snapshot read path while the writes keep
+                    // committing underneath them; keeping every session
+                    // on the same 7:1 mix makes the 1-session and
+                    // 8-session figures directly comparable.
+                    if read_mostly && (op + w) % 8 != 7 {
+                        match conn.exec(&format!("SELECT id FROM t WHERE {QUERY}")) {
+                            Ok(_)
+                            | Err(IdsError::Storage(
+                                SbError::LockTimeout(_) | SbError::Deadlock(_),
+                            )) => continue,
+                            Err(other) => panic!("session {w}: unexpected error {other}"),
+                        }
+                    }
                     let r = match rng.below(10) {
                         0..=3 => {
                             let id = w as u64 * 1_000_000 + op as u64;
@@ -303,19 +348,29 @@ fn main() {
                 "half the sessions REPEATABLE READ"
             } else if cfg.prepared {
                 "all statements through PREPARE/EXECUTE"
+            } else if cfg.read_mostly {
+                "7 reads : 1 write per session, scans on the snapshot path"
             } else {
                 "all sessions READ COMMITTED"
             }
         );
+        // Quick mode still measures read_mostly at 1 and 8 sessions:
+        // those two points are exactly what `bench_gate --read-scaling`
+        // compares, and the CI smoke run feeds it the quick report.
+        let counts: &[usize] = if cfg.read_mostly && quick {
+            &[1, 8]
+        } else {
+            session_counts
+        };
         let mut rows = Vec::new();
-        for &n in session_counts {
+        for &n in counts {
             let mut best: Option<Measured> = None;
             for _ in 0..reps {
                 // A fresh database per repetition: tree growth and
                 // logically-deleted versions never accumulate across
                 // measurements.
                 let db = fresh_db();
-                let m = run(&db, n, ops, cfg.rr_half, cfg.prepared);
+                let m = run(&db, n, ops, cfg.rr_half, cfg.prepared, cfg.read_mostly);
                 assert!(
                     db.space().locks_quiescent(),
                     "bench leaked locks at {n} sessions"
@@ -338,7 +393,7 @@ fn main() {
                  \"deadlocks\": {}, \"retries\": {}}}",
                 m.stmt_per_sec, m.statements, m.deadlocks, m.retries
             ));
-            if n == *session_counts.last().unwrap() {
+            if n == *counts.last().unwrap() {
                 summary.push(format!(
                     "{}: {n}-session {:.1} stmt/s, {} deadlocks, {} retries",
                     cfg.name, m.stmt_per_sec, m.deadlocks, m.retries

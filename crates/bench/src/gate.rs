@@ -141,6 +141,28 @@ pub fn prepared_speedup_failures(speedups: &PreparedSpeedups, threshold: f64) ->
     out
 }
 
+/// Gate verdict over read-mostly scaling: the report must carry the
+/// 1- and 8-session `read_mostly` throughputs, and the 8-session
+/// figure must reach `threshold` × the 1-session one. Snapshot reads
+/// make the scan-dominated workload flat-to-rising in the session
+/// count even on one core; falling back below the single-session rate
+/// means readers are queueing on writer LO locks again. Returns one
+/// message per violation; empty means the gate passes.
+pub fn read_scaling_failures(tps: &ReadRates, threshold: f64) -> Vec<String> {
+    let one = tps.get(&("read_mostly".to_string(), 1)).copied();
+    let eight = tps.get(&("read_mostly".to_string(), 8)).copied();
+    match (one, eight) {
+        (Some(one), Some(eight)) if eight < one * threshold => vec![format!(
+            "read_mostly: 8-session {eight:.1} stmt/s fell below {threshold:.2}x \
+             the 1-session {one:.1} stmt/s"
+        )],
+        (Some(_), Some(_)) => Vec::new(),
+        _ => vec!["read_mostly: report lacks the 1- and 8-session figures \
+             (rerun the sessions bench)"
+            .to_string()],
+    }
+}
+
 /// `sessions -> embedded/wire overhead ratio` from a wire bench
 /// report's `wire` section.
 pub type WireOverheads = BTreeMap<u64, f64>;
@@ -431,6 +453,38 @@ mod tests {
         let msgs = prepared_speedup_failures(&bad, 1.3);
         assert_eq!(msgs.len(), 1);
         assert!(msgs[0].contains("does not beat compile-every-time"));
+    }
+
+    const READ_SCALING_REPORT: &str = r#"{
+  "read_mostly": {
+    "sessions": [
+      {"sessions": 1, "stmt_per_sec": 4000.0, "statements": 200, "deadlocks": 0, "retries": 0},
+      {"sessions": 8, "stmt_per_sec": 4400.0, "statements": 1600, "deadlocks": 0, "retries": 0}
+    ]
+  }
+}
+"#;
+
+    #[test]
+    fn read_scaling_gate_is_directional() {
+        let tps = parse_throughputs(READ_SCALING_REPORT);
+        assert!(read_scaling_failures(&tps, 1.0).is_empty());
+        // Collapsing below the single-session rate fails.
+        let mut bad = tps.clone();
+        bad.insert(("read_mostly".to_string(), 8), 2000.0);
+        let msgs = read_scaling_failures(&bad, 1.0);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("fell below"));
+        // Scaling beyond the floor is never a failure.
+        let mut good = tps.clone();
+        good.insert(("read_mostly".to_string(), 8), 9000.0);
+        assert!(read_scaling_failures(&good, 1.0).is_empty());
+        // A report without the config (or missing one endpoint) cannot
+        // pass — the gate must not silently approve an absent figure.
+        assert!(!read_scaling_failures(&ReadRates::new(), 1.0).is_empty());
+        let mut partial = ReadRates::new();
+        partial.insert(("read_mostly".to_string(), 1), 4000.0);
+        assert!(!read_scaling_failures(&partial, 1.0).is_empty());
     }
 
     const WIRE_REPORT: &str = r#"{

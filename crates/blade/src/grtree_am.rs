@@ -14,7 +14,7 @@
 use crate::curtime::{resolve_current_time, CurrentTimePolicy};
 use crate::extent_type::{extent_from_value, extent_to_value, TYPE_NAME};
 use crate::qual::{decompose, eval_full, Probe};
-use grt_grtree::{GrCursor, GrTree, GrTreeOptions};
+use grt_grtree::{GrCursor, GrTree, GrTreeOptions, GrTreeReader};
 use grt_ids::{
     AccessMethod, AmContext, DataType, IdsError, IndexDescriptor, QualDescriptor, RowId,
     ScanDescriptor, Value,
@@ -104,6 +104,11 @@ struct ScanState {
     workers: usize,
     qual: QualDescriptor,
     seen: HashSet<(u64, [u8; 16])>,
+    /// Frozen-view reader when the statement runs on a space snapshot
+    /// (no BLOB lock, no condense restarts). Lives in the scan — not in
+    /// "td" — so it is released with the statement, never pinning
+    /// retired pages past `am_endscan`.
+    reader: Option<GrTreeReader>,
 }
 
 /// The DataBlade's private index state ("td").
@@ -182,6 +187,53 @@ impl GrTreeAm {
         Ok(())
     }
 
+    /// Mounts the statement's frozen view of this index, if the engine
+    /// routed the statement onto a space snapshot.
+    fn snapshot_reader(
+        &self,
+        td: &TdState,
+        ctx: &AmContext,
+    ) -> Result<Option<GrTreeReader>, IdsError> {
+        let Some(snap) = ctx.snapshot.as_deref() else {
+            return Ok(None);
+        };
+        let reader = GrTreeReader::open(
+            snap.reader(td.lo)?,
+            TreeMetrics::registered(&ctx.space.metrics(), "grtree"),
+        )
+        .map_err(gr_err)?;
+        Ok(Some(reader))
+    }
+
+    /// The Section 6 cost formula shared by the locked and snapshot
+    /// scan-cost paths: tree height plus the page count scaled by the
+    /// fraction of the root bound the probes cover.
+    fn cost_estimate(
+        height: f64,
+        pages: f64,
+        bound: Option<grt_temporal::Region>,
+        qual: &QualDescriptor,
+        ct: Day,
+    ) -> f64 {
+        let fraction = match bound {
+            None => 0.0,
+            Some(bound) => {
+                let total = bound.area();
+                let probes = decompose(qual).unwrap_or_default();
+                if probes.is_empty() || total <= 0 {
+                    1.0
+                } else {
+                    let overlap: i128 = probes
+                        .iter()
+                        .map(|p| bound.intersection_area(&p.query.region(ct)))
+                        .sum();
+                    (overlap as f64 / total as f64).clamp(0.02, 1.0)
+                }
+            }
+        };
+        height + pages * fraction
+    }
+
     fn extent_of(row: &[Value]) -> Result<grt_temporal::TimeExtent, IdsError> {
         extent_from_value(
             row.first()
@@ -210,9 +262,14 @@ impl GrTreeAm {
         td: &mut TdState,
         ctx: &AmContext,
     ) -> Result<Option<(RowId, Vec<Value>)>, IdsError> {
-        self.ensure_tree(td, ctx, false)?;
+        // A snapshot scan never touches the locked tree; everything it
+        // needs lives in the scan state's frozen reader.
+        let on_snapshot = td.scan.as_ref().is_some_and(|s| s.reader.is_some());
+        if !on_snapshot {
+            self.ensure_tree(td, ctx, false)?;
+        }
         let ct = td.ct;
-        let tree = td.tree.as_ref().expect("ensured");
+        let tree = td.tree.as_ref();
         let scan = td
             .scan
             .as_mut()
@@ -223,12 +280,23 @@ impl GrTreeAm {
                     return Ok(None);
                 };
                 let (pred, query) = (probe.pred, probe.query);
-                if scan.workers > 1 && tree.pages() >= PARALLEL_PAGE_THRESHOLD {
+                let pages = match &scan.reader {
+                    Some(r) => r.pages(),
+                    None => tree.expect("ensured").pages(),
+                };
+                if scan.workers > 1 && pages >= PARALLEL_PAGE_THRESHOLD {
                     // The probe clears the page threshold: run it
                     // through the work-stealing traversal over the
                     // pinned read path and buffer the merged rows.
-                    let reader = tree.reader();
-                    let result = grt_grtree::parallel_scan(&reader, pred, query, ct, scan.workers)
+                    let locked_view;
+                    let reader = match &scan.reader {
+                        Some(r) => r,
+                        None => {
+                            locked_view = tree.expect("ensured").reader();
+                            &locked_view
+                        }
+                    };
+                    let result = grt_grtree::parallel_scan(reader, pred, query, ct, scan.workers)
                         .map_err(gr_err)?;
                     let metrics = ctx.space.metrics();
                     metrics.counter("scan.parallel_scans").inc();
@@ -257,7 +325,10 @@ impl GrTreeAm {
                     if scan.workers > 1 {
                         ctx.space.metrics().counter("scan.parallel_fallbacks").inc();
                     }
-                    scan.cursor = Some(tree.cursor(pred, query, ct));
+                    scan.cursor = Some(match &scan.reader {
+                        Some(r) => r.cursor(pred, query, ct),
+                        None => tree.expect("ensured").cursor(pred, query, ct),
+                    });
                 }
             }
             if let Some(buf) = scan.buffer.as_mut() {
@@ -278,7 +349,11 @@ impl GrTreeAm {
                 continue;
             }
             let cursor = scan.cursor.as_mut().expect("just set");
-            match tree.cursor_next(cursor).map_err(gr_err)? {
+            let step = match &scan.reader {
+                Some(r) => r.cursor_next(cursor),
+                None => tree.expect("ensured").cursor_next(cursor),
+            };
+            match step.map_err(gr_err)? {
                 None => {
                     scan.cursor = None;
                     scan.current += 1;
@@ -378,6 +453,13 @@ impl AccessMethod for GrTreeAm {
                 self.trace_step(ctx, "grt_open", "(1) invoked right after grt_create: exit");
                 return Ok(());
             }
+            if ctx.snapshot.is_some() {
+                // The statement runs on a frozen space snapshot: no BLOB
+                // is opened and no LO-level lock is taken — the scan
+                // mounts the view at grt_beginscan.
+                self.trace_step(ctx, "grt_open", "(2) snapshot scan: defer to frozen view");
+                return Ok(());
+            }
             self.trace_step(
                 ctx,
                 "grt_open",
@@ -425,7 +507,16 @@ impl AccessMethod for GrTreeAm {
         let qual = scan.qual.clone();
         let workers = scan_degree(idx, ctx);
         self.with_td(idx, ctx, |td| {
-            self.ensure_tree(td, ctx, false)?;
+            let reader = self.snapshot_reader(td, ctx)?;
+            if reader.is_some() {
+                self.trace_step(
+                    ctx,
+                    "grt_beginscan",
+                    "(2a) snapshot scan: mount frozen view, no BLOB lock",
+                );
+            } else {
+                self.ensure_tree(td, ctx, false)?;
+            }
             td.scan = Some(ScanState {
                 probes,
                 current: 0,
@@ -434,6 +525,7 @@ impl AccessMethod for GrTreeAm {
                 workers,
                 qual,
                 seen: HashSet::new(),
+                reader,
             });
             self.trace_step(
                 ctx,
@@ -641,32 +733,36 @@ impl AccessMethod for GrTreeAm {
         ctx: &AmContext,
     ) -> Result<f64, IdsError> {
         self.with_td(idx, ctx, |td| {
-            self.ensure_tree(td, ctx, false)?;
             let ct = td.ct;
+            // Snapshot statements cost the plan from a transient frozen
+            // reader — the planner must not take the LO-level S lock the
+            // snapshot path exists to avoid.
+            if let Some(reader) = self.snapshot_reader(td, ctx)? {
+                return Ok(Self::cost_estimate(
+                    reader.height() as f64,
+                    reader.pages() as f64,
+                    reader.root_bound(ct).map_err(gr_err)?,
+                    qual,
+                    ct,
+                ));
+            }
+            self.ensure_tree(td, ctx, false)?;
             let tree = td.tree.as_ref().expect("ensured");
-            let height = tree.height() as f64;
-            let pages = tree.pages() as f64;
             // Selectivity from the qualification: the fraction of the
             // root bound (resolved at ct) the probes' query extents
             // cover, floored so the estimate stays monotone in size.
-            let fraction = match tree.root_bound(ct).map_err(gr_err)? {
-                None => 0.0,
-                Some(bound) => {
-                    let total = bound.area();
-                    let probes = decompose(qual).unwrap_or_default();
-                    if probes.is_empty() || total <= 0 {
-                        1.0
-                    } else {
-                        let overlap: i128 = probes
-                            .iter()
-                            .map(|p| bound.intersection_area(&p.query.region(ct)))
-                            .sum();
-                        (overlap as f64 / total as f64).clamp(0.02, 1.0)
-                    }
-                }
-            };
-            Ok(height + pages * fraction)
+            Ok(Self::cost_estimate(
+                tree.height() as f64,
+                tree.pages() as f64,
+                tree.root_bound(ct).map_err(gr_err)?,
+                qual,
+                ct,
+            ))
         })
+    }
+
+    fn am_supports_snapshot(&self) -> bool {
+        true
     }
 
     fn am_stats(&self, idx: &IndexDescriptor, ctx: &AmContext) -> Result<String, IdsError> {

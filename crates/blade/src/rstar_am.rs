@@ -19,8 +19,8 @@ use grt_ids::{
 };
 use grt_metrics::TreeMetrics;
 use grt_rstar::bitemporal::NowStrategy;
-use grt_rstar::{RStarCursor, RStarOptions, RStarTree, SpatialPredicate};
-use grt_sbspace::{LoHandle, LoId, LockMode};
+use grt_rstar::{RStarCursor, RStarOptions, RStarTree, RStarTreeReader, SpatialPredicate};
+use grt_sbspace::{LoId, LockMode, PageSource};
 use grt_temporal::{Day, Predicate};
 use std::collections::HashSet;
 
@@ -60,12 +60,19 @@ struct ScanState {
     workers: usize,
     qual: QualDescriptor,
     seen: HashSet<u64>,
-    heap: LoHandle,
+    /// The base table for refinement fetches: an S-locked handle on the
+    /// locked path, a frozen page-table view on the snapshot path.
+    heap: Box<dyn PageSource + Send>,
     column_pos: usize,
     /// Candidates examined (refinement fetches) — the inefficiency
     /// metric the benchmarks report.
     candidates: u64,
     matches: u64,
+    /// Frozen-view reader when the statement runs on a space snapshot
+    /// (no BLOB lock). Lives in the scan — not in "td" — so it is
+    /// released with the statement, never pinning retired pages past
+    /// `am_endscan`.
+    reader: Option<RStarTreeReader>,
 }
 
 struct TdState {
@@ -166,9 +173,14 @@ impl RStarBitemporalAm {
         td: &mut TdState,
         ctx: &AmContext,
     ) -> Result<Option<(RowId, Vec<Value>)>, IdsError> {
-        self.ensure_tree(td, ctx, false)?;
+        // A snapshot scan never touches the locked tree; everything it
+        // needs lives in the scan state's frozen reader.
+        let on_snapshot = td.scan.as_ref().is_some_and(|s| s.reader.is_some());
+        if !on_snapshot {
+            self.ensure_tree(td, ctx, false)?;
+        }
         let ct = td.ct;
-        let tree = td.tree.as_ref().expect("ensured");
+        let tree = td.tree.as_ref();
         let scan = td
             .scan
             .as_mut()
@@ -179,9 +191,20 @@ impl RStarBitemporalAm {
                     return Ok(None);
                 };
                 let (pred, rect) = self.spatial_probe(probe, ct);
-                if scan.workers > 1 && tree.pages() >= PARALLEL_PAGE_THRESHOLD {
-                    let reader = tree.reader();
-                    let result = grt_rstar::parallel_scan(&reader, pred, rect, scan.workers)
+                let pages = match &scan.reader {
+                    Some(r) => r.pages(),
+                    None => tree.expect("ensured").pages(),
+                };
+                if scan.workers > 1 && pages >= PARALLEL_PAGE_THRESHOLD {
+                    let locked_view;
+                    let reader = match &scan.reader {
+                        Some(r) => r,
+                        None => {
+                            locked_view = tree.expect("ensured").reader();
+                            &locked_view
+                        }
+                    };
+                    let result = grt_rstar::parallel_scan(reader, pred, rect, scan.workers)
                         .map_err(rs_err)?;
                     let metrics = ctx.space.metrics();
                     metrics.counter("scan.parallel_scans").inc();
@@ -210,7 +233,10 @@ impl RStarBitemporalAm {
                     if scan.workers > 1 {
                         ctx.space.metrics().counter("scan.parallel_fallbacks").inc();
                     }
-                    scan.cursor = Some(tree.cursor(pred, rect));
+                    scan.cursor = Some(match &scan.reader {
+                        Some(r) => r.cursor(pred, rect),
+                        None => tree.expect("ensured").cursor(pred, rect),
+                    });
                 }
             }
             let next = if let Some(buf) = scan.buffer.as_mut() {
@@ -221,7 +247,11 @@ impl RStarBitemporalAm {
                 popped
             } else {
                 let cursor = scan.cursor.as_mut().expect("just set");
-                let stepped = tree.cursor_next(cursor).map_err(rs_err)?;
+                let stepped = match &scan.reader {
+                    Some(r) => r.cursor_next(cursor),
+                    None => tree.expect("ensured").cursor_next(cursor),
+                }
+                .map_err(rs_err)?;
                 if stepped.is_none() {
                     scan.cursor = None;
                 }
@@ -238,7 +268,8 @@ impl RStarBitemporalAm {
                     // Refinement: fetch the base row and apply the
                     // exact bitemporal predicate.
                     scan.candidates += 1;
-                    let Some(row) = heap::fetch(&scan.heap, RowId(rowid))? else {
+                    let heap_src: &(dyn PageSource + Send) = scan.heap.as_ref();
+                    let Some(row) = heap::fetch(&heap_src, RowId(rowid))? else {
                         continue;
                     };
                     let stored = extent_from_value(&row[scan.column_pos])?;
@@ -295,7 +326,9 @@ impl AccessMethod for RStarBitemporalAm {
         let ct = resolve_current_time(self.curtime, ctx);
         self.with_td(idx, ctx, |td| {
             td.ct = ct;
-            if td.tree.is_none() {
+            // Snapshot statements never open the BLOB here — the scan
+            // mounts the frozen view at rst_beginscan, lock-free.
+            if td.tree.is_none() && ctx.snapshot.is_none() {
                 self.ensure_tree(td, ctx, false)?;
             }
             Ok(())
@@ -323,9 +356,26 @@ impl AccessMethod for RStarBitemporalAm {
         let qual = scan.qual.clone();
         let workers = scan_degree(idx, ctx);
         let (table_lo, column_pos) = Self::table_info(idx)?;
-        let heap = ctx.space.open_lo(ctx.txn, table_lo, LockMode::Shared)?;
+        // The refinement heap: frozen view on the snapshot path (no
+        // LO-level S lock), locked handle otherwise.
+        let heap: Box<dyn PageSource + Send> = match ctx.snapshot.as_deref() {
+            Some(snap) => Box::new(snap.reader(table_lo)?),
+            None => Box::new(ctx.space.open_lo(ctx.txn, table_lo, LockMode::Shared)?),
+        };
         self.with_td(idx, ctx, |td| {
-            self.ensure_tree(td, ctx, false)?;
+            let reader = match ctx.snapshot.as_deref() {
+                Some(snap) => Some(
+                    RStarTreeReader::open(
+                        snap.reader(td.lo)?,
+                        TreeMetrics::registered(&ctx.space.metrics(), "rstar"),
+                    )
+                    .map_err(rs_err)?,
+                ),
+                None => {
+                    self.ensure_tree(td, ctx, false)?;
+                    None
+                }
+            };
             td.scan = Some(ScanState {
                 probes,
                 current: 0,
@@ -338,6 +388,7 @@ impl AccessMethod for RStarBitemporalAm {
                 column_pos,
                 candidates: 0,
                 matches: 0,
+                reader,
             });
             Ok(())
         })
@@ -502,14 +553,33 @@ impl AccessMethod for RStarBitemporalAm {
         ctx: &AmContext,
     ) -> Result<f64, IdsError> {
         self.with_td(idx, ctx, |td| {
-            self.ensure_tree(td, ctx, false)?;
             let ct = td.ct;
-            let tree = td.tree.as_ref().expect("ensured");
-            let height = tree.height() as f64;
-            let pages = tree.pages() as f64;
+            // Snapshot statements cost the plan from a transient frozen
+            // reader — the planner must not take the LO-level S lock the
+            // snapshot path exists to avoid.
+            let (height, pages, bound) = if let Some(snap) = ctx.snapshot.as_deref() {
+                let reader = RStarTreeReader::open(
+                    snap.reader(td.lo)?,
+                    TreeMetrics::registered(&ctx.space.metrics(), "rstar"),
+                )
+                .map_err(rs_err)?;
+                (
+                    reader.height() as f64,
+                    reader.pages() as f64,
+                    reader.root_mbr().map_err(rs_err)?,
+                )
+            } else {
+                self.ensure_tree(td, ctx, false)?;
+                let tree = td.tree.as_ref().expect("ensured");
+                (
+                    tree.height() as f64,
+                    tree.pages() as f64,
+                    tree.root_mbr().map_err(rs_err)?,
+                )
+            };
             // Selectivity from the qualification: the fraction of the
             // root MBR the probes' grounded query rectangles cover.
-            let fraction = match tree.root_mbr().map_err(rs_err)? {
+            let fraction = match bound {
                 None => 0.0,
                 Some(bound) => {
                     let total = bound.area();
@@ -527,6 +597,10 @@ impl AccessMethod for RStarBitemporalAm {
             };
             Ok(height + pages * fraction)
         })
+    }
+
+    fn am_supports_snapshot(&self) -> bool {
+        true
     }
 
     fn am_stats(&self, idx: &IndexDescriptor, ctx: &AmContext) -> Result<String, IdsError> {

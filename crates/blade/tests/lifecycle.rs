@@ -143,6 +143,7 @@ fn update_is_delete_plus_insert() {
         let mut c = AmContext {
             space: ctx.space.clone(),
             txn: ctx.txn,
+            snapshot: None,
             clock: Arc::new(MockClock::new(Day(6_000))),
             session: Arc::clone(&ctx.session),
             fragments: Arc::clone(&ctx.fragments),

@@ -37,6 +37,7 @@ pub fn flatten_metrics(db: &Database) -> Vec<(String, u64)> {
     let snap = db.metrics_snapshot();
     let mut entries: Vec<(String, u64)> =
         snap.counters.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    entries.extend(snap.gauges.iter().map(|(k, &v)| (k.clone(), v)));
     for (k, h) in &snap.histograms {
         entries.push((format!("{k}.count"), h.count));
         entries.push((format!("{k}.mean_ns"), h.mean_ns()));

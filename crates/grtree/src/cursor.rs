@@ -7,10 +7,23 @@
 //! per-statement current-time rule (Section 5.4).
 
 use crate::entry::{GrNode, InternalEntry, LeafEntry};
-use crate::tree::GrTree;
 use crate::Result;
+use grt_metrics::TreeMetrics;
 use grt_temporal::{Day, Predicate, Region, TimeExtent, VtEnd};
 use std::collections::HashSet;
+
+/// Where a cursor reads its nodes from: a [`GrTree`](crate::GrTree)
+/// (locked handle, sees the owning transaction's writes) or a
+/// [`GrTreeReader`](crate::GrTreeReader) (lock-free frozen view). The
+/// same cursor walks both — node pages are immutable once published, so
+/// the traversal needs no per-node latch coupling on either source.
+pub trait NodeSource {
+    /// Decodes the node at `page` (no counter side effects — the cursor
+    /// bumps `nodes_visited` itself).
+    fn read_node(&self, page: u32) -> Result<GrNode>;
+    /// The operation counters to charge the traversal to.
+    fn metrics(&self) -> &TreeMetrics;
+}
 
 enum FrameEntries {
     Leaf(Vec<LeafEntry>),
@@ -80,9 +93,9 @@ impl GrCursor {
         self.primed = false;
     }
 
-    fn push(&mut self, tree: &GrTree, page: u32) -> Result<()> {
-        tree.metrics.nodes_visited.inc();
-        let entries = match tree.read_node(page)? {
+    fn push<S: NodeSource>(&mut self, src: &S, page: u32) -> Result<()> {
+        src.metrics().nodes_visited.inc();
+        let entries = match src.read_node(page)? {
             GrNode::Leaf(v) => FrameEntries::Leaf(v),
             GrNode::Internal { entries, .. } => FrameEntries::Internal(entries),
         };
@@ -90,10 +103,10 @@ impl GrCursor {
         Ok(())
     }
 
-    pub(crate) fn next(&mut self, tree: &GrTree) -> Result<Option<(TimeExtent, u64)>> {
+    pub(crate) fn next<S: NodeSource>(&mut self, src: &S) -> Result<Option<(TimeExtent, u64)>> {
         if !self.primed {
             self.primed = true;
-            self.push(tree, self.root)?;
+            self.push(src, self.root)?;
         }
         loop {
             let Some(frame) = self.stack.last_mut() else {
@@ -108,7 +121,7 @@ impl GrCursor {
                     let e = entries[frame.next];
                     frame.next += 1;
                     if matches!(e.spec().vt_end, VtEnd::Now) {
-                        tree.metrics.now_resolutions.inc();
+                        src.metrics().now_resolutions.inc();
                     }
                     if self
                         .pred
@@ -126,10 +139,10 @@ impl GrCursor {
                     let e = entries[frame.next];
                     frame.next += 1;
                     if e.spec.hidden {
-                        tree.metrics.hidden_resolutions.inc();
+                        src.metrics().hidden_resolutions.inc();
                     }
                     if matches!(e.spec.vt_end, VtEnd::Now) {
-                        tree.metrics.now_resolutions.inc();
+                        src.metrics().now_resolutions.inc();
                     }
                     // Descend only where the bounding region could
                     // contain a qualifying child — the NOW/UC resolution
@@ -138,7 +151,7 @@ impl GrCursor {
                         .pred
                         .consistent(&e.spec.resolve(self.ct), &self.query_region)
                     {
-                        self.push(tree, e.child)?;
+                        self.push(src, e.child)?;
                     }
                 }
             }

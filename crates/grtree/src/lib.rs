@@ -57,7 +57,7 @@ pub mod stats;
 pub mod tree;
 
 pub use concurrent::ConcurrentGrTree;
-pub use cursor::GrCursor;
+pub use cursor::{GrCursor, NodeSource};
 pub use entry::{GrNode, InternalEntry, LeafEntry};
 pub use parallel::{parallel_scan, GrTreeReader, ParallelScan, ParallelScanStats};
 pub use stats::GrQuality;

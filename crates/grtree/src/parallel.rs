@@ -1,6 +1,6 @@
 //! Parallel range-scan execution over the pinned read path.
 //!
-//! The serial [`GrCursor`](crate::GrCursor) walks qualifying subtrees
+//! The serial [`GrCursor`] walks qualifying subtrees
 //! depth-first through one thread. This module splits the same
 //! traversal across N workers: the scan seeds a *frontier* of internal
 //! entries whose bounds are consistent with the predicate, pushes their
@@ -14,6 +14,7 @@
 //! emit the same leaf entry; the merge still deduplicates on
 //! `(rowid, extent)` to keep exactly the serial cursor's contract.
 
+use crate::cursor::{GrCursor, NodeSource};
 use crate::entry::GrNode;
 use crate::meta::GrMeta;
 use crate::Result;
@@ -26,8 +27,10 @@ use std::time::Instant;
 
 /// A `Send + Sync` read-only handle on a disk-resident GR-tree:
 /// a page-table snapshot plus the header copied at creation. Obtained
-/// via [`GrTree::reader`](crate::GrTree::reader); valid for as long as
-/// the originating tree (and its large-object lock) stays open.
+/// via [`GrTree::reader`](crate::GrTree::reader) (valid while the
+/// originating tree and its large-object lock stay open) or via
+/// [`GrTreeReader::open`] over a space-snapshot [`LoReader`] (valid
+/// while that snapshot stays open — the engine's lock-free read path).
 pub struct GrTreeReader {
     reader: LoReader,
     meta: GrMeta,
@@ -43,9 +46,31 @@ impl GrTreeReader {
         }
     }
 
+    /// Opens a reader directly over a large-object view, decoding the
+    /// tree header from page 0. No tree (or LO-level lock) is involved:
+    /// this is how a snapshot read mounts an index.
+    pub fn open(reader: LoReader, metrics: TreeMetrics) -> Result<GrTreeReader> {
+        let meta = GrMeta::decode(&*reader.read_page_pinned(0)?)?;
+        Ok(GrTreeReader {
+            reader,
+            meta,
+            metrics,
+        })
+    }
+
     /// Tree height (1 = the root is a leaf).
     pub fn height(&self) -> u32 {
         self.meta.height
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> u64 {
+        self.meta.count
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.meta.count == 0
     }
 
     /// Pages in the underlying large object (header included).
@@ -53,10 +78,50 @@ impl GrTreeReader {
         self.reader.page_count()
     }
 
+    /// Opens a scan cursor — the same cursor, predicate semantics, and
+    /// per-statement current time as [`GrTree::cursor`](crate::GrTree::cursor).
+    pub fn cursor(&self, pred: Predicate, query: TimeExtent, ct: Day) -> GrCursor {
+        self.metrics.searches.inc();
+        GrCursor::new(pred, query, ct, self.meta.root)
+    }
+
+    /// Advances a cursor to the next qualifying `(extent, rowid)`.
+    /// Unlike the locked path, no condense-restart handling exists or
+    /// is needed: the view is frozen, so a concurrent condense can
+    /// never move nodes out from under the scan.
+    pub fn cursor_next(&self, cursor: &mut GrCursor) -> Result<Option<(TimeExtent, u64)>> {
+        cursor.next(self)
+    }
+
+    /// The root node's bounding region resolved at `ct`, or `None` for
+    /// an empty tree — the planner's selectivity input, mirroring
+    /// [`GrTree::root_bound`](crate::GrTree::root_bound).
+    pub fn root_bound(&self, ct: Day) -> Result<Option<Region>> {
+        if self.meta.count == 0 {
+            return Ok(None);
+        }
+        let node = NodeSource::read_node(self, self.meta.root)?;
+        let mut b = node.bound(ct);
+        if self.meta.rectangle_only && matches!(b.vt_end, VtEnd::Now) {
+            b.rect = true;
+        }
+        Ok(Some(b.resolve(ct)))
+    }
+
     /// Decodes the node at `page` through a pinned read.
     fn read_node(&self, page: u32) -> Result<GrNode> {
         self.metrics.nodes_visited.inc();
         GrNode::decode(&*self.reader.read_page_pinned(page)?)
+    }
+}
+
+impl NodeSource for GrTreeReader {
+    fn read_node(&self, page: u32) -> Result<GrNode> {
+        GrNode::decode(&*self.reader.read_page_pinned(page)?)
+    }
+
+    fn metrics(&self) -> &TreeMetrics {
+        &self.metrics
     }
 }
 

@@ -746,6 +746,16 @@ impl GrTree {
     }
 }
 
+impl crate::cursor::NodeSource for GrTree {
+    fn read_node(&self, page: u32) -> Result<GrNode> {
+        GrTree::read_node(self, page)
+    }
+
+    fn metrics(&self) -> &TreeMetrics {
+        &self.metrics
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

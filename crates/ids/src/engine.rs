@@ -16,7 +16,8 @@ use crate::vii::{AccessMethod, AmContext, IndexDescriptor, RowId, ScanDescriptor
 use crate::{IdsError, Result};
 use grt_metrics::{Counter, Histogram, Metrics, MetricsSnapshot};
 use grt_sbspace::{
-    IsolationLevel, LoHandle, LockMode, SbError, Sbspace, SbspaceOptions, Txn, TxnEnd,
+    IsolationLevel, LoHandle, LoId, LockMode, PageSource, SbError, Sbspace, SbspaceOptions,
+    SpaceSnapshot, Txn, TxnEnd,
 };
 use grt_temporal::{Clock, MockClock};
 use parking_lot::Mutex;
@@ -232,6 +233,23 @@ pub struct Connection {
     /// Set once by [`Connection::close`] so an explicit close followed
     /// by the drop does not double-count the session teardown.
     closed: AtomicBool,
+    /// True while the statement currently executing runs inside an
+    /// explicit transaction (stamped by [`Connection::with_txn`]).
+    in_explicit: AtomicBool,
+    /// Set once an explicit transaction runs any non-SELECT statement:
+    /// later reads in that transaction must see its own uncommitted
+    /// writes, so they leave the snapshot path until the transaction
+    /// ends (the first-write-switches-to-locked rule).
+    wrote: AtomicBool,
+    /// The snapshot pinned by a REPEATABLE READ explicit transaction at
+    /// its first snapshot-eligible read: every later read reuses it, so
+    /// the whole transaction sees one consistent view without holding
+    /// shared locks. Cleared at COMMIT/ROLLBACK (and on victim abort).
+    pinned_snapshot: Mutex<Option<Arc<SpaceSnapshot>>>,
+    /// The snapshot the statement currently executing reads from, if it
+    /// took the snapshot path; [`Connection::ctx`] hands it to the
+    /// access methods. Cleared when the statement finishes.
+    active_snapshot: Mutex<Option<Arc<SpaceSnapshot>>>,
 }
 
 /// One memoized routine lookup: the argument types it resolved for (as
@@ -448,6 +466,10 @@ impl Database {
             current_compiled: Mutex::new(None),
             udr_cache: Mutex::new(UdrCache::default()),
             closed: AtomicBool::new(false),
+            in_explicit: AtomicBool::new(false),
+            wrote: AtomicBool::new(false),
+            pinned_snapshot: Mutex::new(None),
+            active_snapshot: Mutex::new(None),
         }
     }
 
@@ -543,6 +565,10 @@ impl Database {
                 .iter()
                 .map(|(k, &v)| vec![Value::Text(k.clone()), Value::Int(v as i64)])
                 .collect();
+            // Gauges report their current level next to the counters.
+            for (k, &v) in &snap.gauges {
+                rows.push(vec![Value::Text(k.clone()), Value::Int(v as i64)]);
+            }
             // Histograms surface as count/mean pseudo-counters so the
             // whole registry fits one two-column relation.
             for (k, h) in &snap.histograms {
@@ -765,6 +791,8 @@ impl Connection {
         if let Some(txn) = self.txn.lock().take() {
             let _ = txn.abort();
         }
+        self.reset_snapshot_state();
+        *self.active_snapshot.lock() = None;
         self.aborted.store(false, Ordering::SeqCst);
         let leaked = {
             let mut prepared = self.prepared.lock();
@@ -909,9 +937,11 @@ impl Connection {
                 }
                 let txn = self.begin_txn();
                 *guard = Some(txn);
+                self.reset_snapshot_state();
                 Ok(msg("transaction started"))
             }
             Statement::Commit => {
+                self.reset_snapshot_state();
                 if self.aborted.swap(false, Ordering::SeqCst) {
                     // The transaction was already rolled back on error;
                     // COMMIT closes the block but reports the truth.
@@ -926,6 +956,7 @@ impl Connection {
                 Ok(msg("committed"))
             }
             Statement::Rollback => {
+                self.reset_snapshot_state();
                 if self.aborted.swap(false, Ordering::SeqCst) {
                     return Ok(msg("rolled back"));
                 }
@@ -1196,6 +1227,7 @@ impl Connection {
     fn with_txn<F: FnOnce(&Txn) -> Result<QueryResult>>(&self, f: F) -> Result<QueryResult> {
         let mut guard = self.txn.lock();
         if guard.is_some() {
+            self.in_explicit.store(true, Ordering::SeqCst);
             let out = f(guard.as_ref().expect("checked"));
             if out.is_err() {
                 // Abort-on-error: the explicit transaction cannot
@@ -1205,11 +1237,13 @@ impl Connection {
                 let txn = guard.take().expect("checked");
                 drop(guard);
                 let _ = txn.abort();
+                self.reset_snapshot_state();
                 self.aborted.store(true, Ordering::SeqCst);
             }
             return out;
         }
         drop(guard);
+        self.in_explicit.store(false, Ordering::SeqCst);
         let txn = self.begin_txn();
         match f(&txn) {
             Ok(v) => {
@@ -1241,7 +1275,16 @@ impl Connection {
             session: Arc::clone(&self.session),
             fragments: Arc::clone(&self.db.inner.catalog.lock().fragments),
             trace: self.scoped_trace(),
+            snapshot: self.active_snapshot.lock().clone(),
         }
+    }
+
+    /// Forgets the per-transaction snapshot state: the write marker and
+    /// the REPEATABLE READ pinned snapshot (dropping the latter lets
+    /// the space reclaim the pages it kept alive).
+    fn reset_snapshot_state(&self) {
+        self.wrote.store(false, Ordering::SeqCst);
+        *self.pinned_snapshot.lock() = None;
     }
 
     /// The shared trace sink, tagged with this connection's session and
@@ -1254,6 +1297,12 @@ impl Connection {
     }
 
     fn run(&self, stmt: Statement, txn: &Txn) -> Result<QueryResult> {
+        // Any non-SELECT inside an explicit transaction takes it off the
+        // snapshot read path for the rest of its life: its own writes
+        // must be visible, which only the locked path guarantees.
+        if self.in_explicit.load(Ordering::SeqCst) && !matches!(stmt, Statement::Select { .. }) {
+            self.wrote.store(true, Ordering::SeqCst);
+        }
         match stmt {
             Statement::CreateTable { name, columns } => self.create_table(txn, name, columns),
             Statement::DropTable { name } => self.drop_table(txn, name),
@@ -2012,6 +2061,61 @@ impl Connection {
         }
     }
 
+    /// Decides whether the statement about to read `table` can run on a
+    /// frozen space snapshot instead of the LO-locked path, and takes
+    /// (or reuses) that snapshot. `None` means the locked path:
+    /// the explicit transaction has written (its own writes must be
+    /// visible), an index on the table does not support snapshot
+    /// traversal, a REPEATABLE READ pinned snapshot does not cover this
+    /// table, or the snapshot could not be taken (e.g. an LO created in
+    /// a still-open transaction has no published state to freeze).
+    fn statement_snapshot(&self, table: &TableMeta) -> Option<Arc<SpaceSnapshot>> {
+        let explicit = self.in_explicit.load(Ordering::SeqCst);
+        if explicit && self.wrote.load(Ordering::SeqCst) {
+            return None;
+        }
+        // The statement's view: the heap plus every index fragment. All
+        // indexes must opt in — one locked index would deadlock the
+        // statement against itself on a mixed plan.
+        let mut los = vec![table.lo];
+        let index_names: Vec<String> = self
+            .db
+            .inner
+            .catalog
+            .lock()
+            .indices_of(&table.name)
+            .into_iter()
+            .map(|ix| ix.name.clone())
+            .collect();
+        if !index_names.is_empty() {
+            let fragments = Arc::clone(&self.db.inner.catalog.lock().fragments);
+            let fragments = fragments.lock();
+            for name in &index_names {
+                let Ok((am, _)) = self.index_am(name) else {
+                    return None;
+                };
+                if !am.handler.am_supports_snapshot() {
+                    return None;
+                }
+                los.push(LoId(*fragments.get(name)?));
+            }
+        }
+        if explicit && *self.iso.lock() == IsolationLevel::RepeatableRead {
+            // One consistent view for the whole transaction: reuse the
+            // pinned snapshot when it covers this statement's objects,
+            // and never mix epochs — a table outside the pinned view
+            // reads through the locked path instead.
+            let mut pinned = self.pinned_snapshot.lock();
+            if let Some(s) = pinned.as_ref() {
+                return los.iter().all(|&lo| s.contains(lo)).then(|| Arc::clone(s));
+            }
+            let snap = Arc::new(self.db.inner.space.snapshot_for(&los).ok()?);
+            *pinned = Some(Arc::clone(&snap));
+            return Some(snap);
+        }
+        self.db.inner.space.snapshot_for(&los).ok().map(Arc::new)
+    }
+
     fn open_heap(&self, txn: &Txn, table: &TableMeta, write: bool) -> Result<LoHandle> {
         let mode = if write {
             LockMode::Exclusive
@@ -2242,9 +2346,16 @@ impl Connection {
                 filter: where_clause.cloned(),
             });
         }
-        let seq_cost = {
-            let h = self.open_heap(txn, table, false)?;
-            heap::page_count(&h) as f64 + 1.0
+        // The sequential baseline costs one pass over the heap. A
+        // snapshot statement must size the heap from its frozen view —
+        // opening the heap here would take the very S lock the snapshot
+        // path exists to avoid.
+        let seq_cost = match ctx.snapshot.as_deref() {
+            Some(s) => heap::page_count(&s.reader(table.lo)?) as f64 + 1.0,
+            None => {
+                let h = self.open_heap(txn, table, false)?;
+                heap::page_count(&h) as f64 + 1.0
+            }
         };
         let mut costs = HashMap::new();
         for c in &cands {
@@ -2290,9 +2401,25 @@ impl Connection {
         mut sink: impl FnMut(RowId, Vec<Value>) -> Result<bool>,
     ) -> Result<()> {
         let ctx = self.ctx(txn);
+        // Snapshot statements read the heap through the frozen view —
+        // no LO-level S lock; locked statements open the heap as before.
+        let heap_src = |frozen: &mut Option<grt_sbspace::LoReader>,
+                        locked: &mut Option<LoHandle>|
+         -> Result<()> {
+            match ctx.snapshot.as_deref() {
+                Some(s) => *frozen = Some(s.reader(table.lo)?),
+                None => *locked = Some(self.open_heap(txn, table, false)?),
+            }
+            Ok(())
+        };
         match plan {
             Plan::SeqScan { filter } => {
-                let h = self.open_heap(txn, table, false)?;
+                let (mut frozen, mut locked) = (None, None);
+                heap_src(&mut frozen, &mut locked)?;
+                let h: &dyn PageSource = match &frozen {
+                    Some(r) => r,
+                    None => locked.as_ref().expect("opened"),
+                };
                 let mut scan = heap::HeapScan::new();
                 while let Some((rid, row)) = scan.next(&h)? {
                     let keep = match filter {
@@ -2311,7 +2438,12 @@ impl Connection {
                 residual,
             } => {
                 let (am, desc) = self.index_am(index)?;
-                let h = self.open_heap(txn, table, false)?;
+                let (mut frozen, mut locked) = (None, None);
+                heap_src(&mut frozen, &mut locked)?;
+                let h: &dyn PageSource = match &frozen {
+                    Some(r) => r,
+                    None => locked.as_ref().expect("opened"),
+                };
                 // The Figure 6(b) call sequence.
                 self.trace_purpose(&am, "am_open");
                 am.handler.am_open(&desc, &ctx)?;
@@ -2410,12 +2542,30 @@ impl Connection {
                 (cols.clone(), idx)
             }
         };
-        let plan = self.plan(txn, &table_meta, where_clause.as_ref())?;
+        // Route the read: a snapshot statement plans and scans against a
+        // frozen view (no LO-level locks at all); everything else keeps
+        // the 2PL locked path. The choice is surfaced on the EXPLAIN
+        // trace channel so plans are auditable.
+        let snapshot = self.statement_snapshot(&table_meta);
+        self.scoped_trace()
+            .emit_with("EXPLAIN", 1, || match &snapshot {
+                Some(s) => format!("{}: plan: snapshot (epoch {})", table_meta.name, s.epoch()),
+                None => format!("{}: plan: locked", table_meta.name),
+            });
+        *self.active_snapshot.lock() = snapshot;
         let mut rows = Vec::new();
-        self.scan(txn, &table_meta, &plan, |_rid, row| {
-            rows.push(proj.iter().map(|&i| row[i].clone()).collect::<Vec<_>>());
-            Ok(true)
-        })?;
+        let scanned = (|| {
+            let plan = self.plan(txn, &table_meta, where_clause.as_ref())?;
+            self.scan(txn, &table_meta, &plan, |_rid, row| {
+                rows.push(proj.iter().map(|&i| row[i].clone()).collect::<Vec<_>>());
+                Ok(true)
+            })
+        })();
+        // The statement is over: stop handing the snapshot to access
+        // methods whatever the outcome (the RR pin, if any, keeps its
+        // own reference).
+        *self.active_snapshot.lock() = None;
+        scanned?;
         let rendered = rows
             .iter()
             .map(|r| r.iter().map(|v| self.render_value(v)).collect())

@@ -10,7 +10,7 @@ use crate::value::Value;
 use crate::vii::RowId;
 use crate::{IdsError, Result};
 use grt_sbspace::page::{get_u32, get_u64, page_from_slice, put_u32, put_u64, PageBuf, PAGE_SIZE};
-use grt_sbspace::LoHandle;
+use grt_sbspace::{LoHandle, PageSource};
 
 const HEADER_MAGIC: &[u8; 4] = b"HEPH";
 const PAGE_MAGIC: &[u8; 4] = b"HEAP";
@@ -118,7 +118,7 @@ impl PageView {
     }
 }
 
-fn read_header(lo: &LoHandle) -> Result<(u64, u32)> {
+fn read_header<P: PageSource>(lo: &P) -> Result<(u64, u32)> {
     let buf = lo.read_page(0)?;
     if &buf[0..4] != HEADER_MAGIC {
         return Err(IdsError::Storage(grt_sbspace::SbError::Corrupt(
@@ -149,12 +149,12 @@ pub fn init(lo: &mut LoHandle) -> Result<()> {
 }
 
 /// Number of live rows.
-pub fn row_count(lo: &LoHandle) -> Result<u64> {
+pub fn row_count<P: PageSource>(lo: &P) -> Result<u64> {
     Ok(read_header(lo)?.0)
 }
 
 /// Number of data pages (for sequential-scan costing).
-pub fn page_count(lo: &LoHandle) -> u32 {
+pub fn page_count<P: PageSource>(lo: &P) -> u32 {
     lo.page_count().saturating_sub(1)
 }
 
@@ -186,7 +186,7 @@ pub fn insert(lo: &mut LoHandle, row: &[Value]) -> Result<RowId> {
 }
 
 /// Fetches a row by id (`None` if deleted or out of range).
-pub fn fetch(lo: &LoHandle, id: RowId) -> Result<Option<Vec<Value>>> {
+pub fn fetch<P: PageSource>(lo: &P, id: RowId) -> Result<Option<Vec<Value>>> {
     let (pno, slot) = unrid(id);
     if pno == 0 || pno >= lo.page_count() {
         return Ok(None);
@@ -237,7 +237,7 @@ impl HeapScan {
     }
 
     /// The next live row, or `None` at the end.
-    pub fn next(&mut self, lo: &LoHandle) -> Result<Option<(RowId, Vec<Value>)>> {
+    pub fn next<P: PageSource>(&mut self, lo: &P) -> Result<Option<(RowId, Vec<Value>)>> {
         loop {
             if self.page >= lo.page_count() {
                 return Ok(None);

@@ -166,6 +166,12 @@ pub struct AmContext<'a> {
     pub space: Sbspace,
     /// The transaction this statement runs under.
     pub txn: &'a Txn,
+    /// When set, the statement is a snapshot read: purpose functions
+    /// should traverse this frozen committed view instead of opening
+    /// LOs (and taking LO-level locks) through `space`. Only access
+    /// methods reporting [`AccessMethod::am_supports_snapshot`] ever
+    /// see it.
+    pub snapshot: Option<Arc<grt_sbspace::SpaceSnapshot>>,
     /// The server clock (never read directly by well-behaved blades —
     /// they cache per statement/transaction, Section 5.4).
     pub clock: Arc<dyn Clock>,
@@ -186,6 +192,7 @@ impl<'a> AmContext<'a> {
         AmContext {
             space,
             txn,
+            snapshot: None,
             clock: Arc::new(MockClock::default()),
             session: Arc::new(Session::new(0)),
             fragments: Arc::new(Mutex::new(HashMap::new())),
@@ -358,6 +365,15 @@ pub trait AccessMethod: Send + Sync {
     /// Verifies index consistency.
     fn am_check(&self, idx: &IndexDescriptor, ctx: &AmContext) -> Result<()> {
         Ok(())
+    }
+
+    /// True when the method's read-side purpose functions honour
+    /// [`AmContext::snapshot`] (traversing the frozen view without
+    /// LO-level locks). The engine only routes a statement through the
+    /// snapshot path when every index on the table opts in; the default
+    /// keeps third-party blades on the locked path.
+    fn am_supports_snapshot(&self) -> bool {
+        false
     }
 }
 

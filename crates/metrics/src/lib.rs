@@ -63,6 +63,52 @@ impl Counter {
     }
 }
 
+/// A level gauge: like [`Counter`] a clone-able handle to one shared
+/// atomic, but the value goes **down** as well as up — it tracks how
+/// many of something exist right now (open snapshots, live sessions),
+/// not how many events ever happened. Snapshot diffs therefore carry
+/// gauges at their current level rather than as deltas.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Raises the level by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by one (saturating at zero — a stray extra
+    /// decrement is a bug upstream, but must not wrap the gauge to
+    /// `u64::MAX` and poison every later reading).
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .cell
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// True when two handles share the same cell.
+    pub fn same_cell(&self, other: &Gauge) -> bool {
+        Arc::ptr_eq(&self.cell, &other.cell)
+    }
+}
+
 /// Number of histogram buckets: powers of two of microseconds from
 /// `<1µs` up to `>=2^(BUCKETS-2)µs`, plus the overflow bucket.
 pub const HISTOGRAM_BUCKETS: usize = 22;
@@ -238,6 +284,7 @@ impl TreeMetrics {
 #[derive(Default)]
 struct Registered {
     counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -287,6 +334,20 @@ impl Metrics {
             .clone()
     }
 
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.read().gauges.get(name) {
+            return g.clone();
+        }
+        self.inner
+            .write()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
     /// Returns the histogram registered under `name`, creating it on
     /// first use.
     pub fn histogram(&self, name: &str) -> Histogram {
@@ -311,6 +372,11 @@ impl Metrics {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
             histograms: inner
                 .histograms
                 .iter()
@@ -326,6 +392,8 @@ impl Metrics {
 pub struct MetricsSnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, u64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
@@ -334,6 +402,11 @@ impl MetricsSnapshot {
     /// Value of a counter (0 when absent).
     pub fn get(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Level of a gauge (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
     }
 
     /// Snapshot of a histogram (empty when absent).
@@ -358,6 +431,10 @@ impl MetricsSnapshot {
             .collect();
         MetricsSnapshot {
             counters,
+            // Gauges are levels, not monotone totals — a delta between
+            // two levels has no meaning, so a diff carries the current
+            // level unchanged.
+            gauges: self.gauges.clone(),
             histograms,
         }
     }
@@ -377,6 +454,13 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut first = true;
         for (k, v) in self.nonzero() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{k}={v}")?;
+            first = false;
+        }
+        for (k, &v) in self.gauges.iter().filter(|(_, &v)| v > 0) {
             if !first {
                 write!(f, " ")?;
             }
@@ -431,6 +515,28 @@ mod tests {
         let kept = m.adopt_counter("io.reads", other.clone());
         assert!(kept.same_cell(&mine));
         assert!(!kept.same_cell(&other));
+    }
+
+    #[test]
+    fn gauge_levels_move_both_ways() {
+        let m = Metrics::new();
+        let g = m.gauge("x.open");
+        let g2 = m.gauge("x.open");
+        assert!(g.same_cell(&g2));
+        g.inc();
+        g.inc();
+        g2.dec();
+        assert_eq!(g.get(), 1);
+        assert_eq!(m.snapshot().gauge("x.open"), 1);
+        assert_eq!(m.snapshot().gauge("x.missing"), 0);
+        // Decrement saturates instead of wrapping.
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), 0);
+        // A diff reports the current level, not a delta.
+        let before = m.snapshot();
+        g.inc();
+        assert_eq!(m.snapshot().since(&before).gauge("x.open"), 1);
     }
 
     #[test]

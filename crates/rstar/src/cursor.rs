@@ -7,10 +7,23 @@
 //! visit.
 
 use crate::geom::{Rect2, SpatialPredicate};
-use crate::node::Entry;
-use crate::tree::RStarTree;
+use crate::node::{Entry, Node};
 use crate::Result;
+use grt_metrics::TreeMetrics;
 use std::collections::HashSet;
+
+/// Where a cursor reads its nodes from: an [`RStarTree`](crate::RStarTree)
+/// (locked handle, sees the owning transaction's writes) or an
+/// [`RStarTreeReader`](crate::RStarTreeReader) (lock-free frozen view).
+/// Node pages are immutable once published, so the traversal needs no
+/// per-node latch coupling on either source.
+pub trait NodeSource {
+    /// Decodes the node at `page` (no counter side effects — the cursor
+    /// bumps `nodes_visited` itself).
+    fn read_node(&self, page: u32) -> Result<Node>;
+    /// The operation counters to charge the traversal to.
+    fn metrics(&self) -> &TreeMetrics;
+}
 
 struct Frame {
     entries: Vec<Entry>,
@@ -54,9 +67,9 @@ impl RStarCursor {
         self.primed = false;
     }
 
-    fn push(&mut self, tree: &RStarTree, page: u32) -> Result<()> {
-        tree.metrics.nodes_visited.inc();
-        let node = tree.read_node(page)?;
+    fn push<S: NodeSource>(&mut self, src: &S, page: u32) -> Result<()> {
+        src.metrics().nodes_visited.inc();
+        let node = src.read_node(page)?;
         self.stack.push(Frame {
             entries: node.entries,
             level: node.level,
@@ -65,10 +78,10 @@ impl RStarCursor {
         Ok(())
     }
 
-    pub(crate) fn next(&mut self, tree: &RStarTree) -> Result<Option<(Rect2, u64)>> {
+    pub(crate) fn next<S: NodeSource>(&mut self, src: &S) -> Result<Option<(Rect2, u64)>> {
         if !self.primed {
             self.primed = true;
-            self.push(tree, self.root)?;
+            self.push(src, self.root)?;
         }
         loop {
             let Some(frame) = self.stack.last_mut() else {
@@ -90,7 +103,7 @@ impl RStarCursor {
                     return Ok(Some((entry.rect, entry.payload)));
                 }
             } else if entry.rect.consistent(self.pred, &self.query) {
-                self.push(tree, entry.payload as u32)?;
+                self.push(src, entry.payload as u32)?;
             }
         }
     }

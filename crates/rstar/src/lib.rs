@@ -29,7 +29,7 @@ pub mod stats;
 pub mod tree;
 
 pub use bulk::{bulk_load, bulk_load_pairs};
-pub use cursor::RStarCursor;
+pub use cursor::{NodeSource, RStarCursor};
 pub use geom::{Rect2, SpatialPredicate};
 pub use parallel::{parallel_scan, ParallelScan, ParallelScanStats, RStarTreeReader};
 pub use stats::TreeQuality;

@@ -8,6 +8,7 @@
 //! merge still deduplicates on `(payload, rect)` to keep exactly the
 //! serial cursor's contract.
 
+use crate::cursor::{NodeSource, RStarCursor};
 use crate::geom::{Rect2, SpatialPredicate};
 use crate::meta::Meta;
 use crate::node::Node;
@@ -19,9 +20,11 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// A `Send + Sync` read-only handle on a disk-resident R\*-tree.
-/// Obtained via [`RStarTree::reader`](crate::RStarTree::reader); valid
-/// for as long as the originating tree (and its large-object lock)
-/// stays open.
+/// Obtained via [`RStarTree::reader`](crate::RStarTree::reader) (valid
+/// while the originating tree and its large-object lock stay open) or
+/// via [`RStarTreeReader::open`] over a space-snapshot [`LoReader`]
+/// (valid while that snapshot stays open — the engine's lock-free read
+/// path).
 pub struct RStarTreeReader {
     reader: LoReader,
     meta: Meta,
@@ -37,9 +40,31 @@ impl RStarTreeReader {
         }
     }
 
+    /// Opens a reader directly over a large-object view, decoding the
+    /// tree header from page 0. No tree (or LO-level lock) is involved:
+    /// this is how a snapshot read mounts an index.
+    pub fn open(reader: LoReader, metrics: TreeMetrics) -> Result<RStarTreeReader> {
+        let meta = Meta::decode(&*reader.read_page_pinned(0)?)?;
+        Ok(RStarTreeReader {
+            reader,
+            meta,
+            metrics,
+        })
+    }
+
     /// Tree height (1 = the root is a leaf).
     pub fn height(&self) -> u32 {
         self.meta.height
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> u64 {
+        self.meta.count
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.meta.count == 0
     }
 
     /// Pages in the underlying large object (header included).
@@ -47,10 +72,45 @@ impl RStarTreeReader {
         self.reader.page_count()
     }
 
+    /// Opens a scan cursor — same contract as
+    /// [`RStarTree::cursor`](crate::RStarTree::cursor).
+    pub fn cursor(&self, pred: SpatialPredicate, query: Rect2) -> RStarCursor {
+        self.metrics.searches.inc();
+        RStarCursor::new(pred, query, self.meta.root)
+    }
+
+    /// Advances a cursor to the next qualifying `(rect, rowid)`.
+    /// No condense-restart handling exists or is needed on this path:
+    /// the view is frozen, so a concurrent condense can never move
+    /// nodes out from under the scan.
+    pub fn cursor_next(&self, cursor: &mut RStarCursor) -> Result<Option<(Rect2, u64)>> {
+        cursor.next(self)
+    }
+
+    /// The root node's minimum bounding rectangle, or `None` for an
+    /// empty tree — the planner's selectivity input, mirroring
+    /// [`RStarTree::root_mbr`](crate::RStarTree::root_mbr).
+    pub fn root_mbr(&self) -> Result<Option<Rect2>> {
+        if self.meta.count == 0 {
+            return Ok(None);
+        }
+        Ok(Some(NodeSource::read_node(self, self.meta.root)?.mbr()))
+    }
+
     /// Decodes the node at `page` through a pinned read.
     fn read_node(&self, page: u32) -> Result<Node> {
         self.metrics.nodes_visited.inc();
         Node::decode(&*self.reader.read_page_pinned(page)?)
+    }
+}
+
+impl NodeSource for RStarTreeReader {
+    fn read_node(&self, page: u32) -> Result<Node> {
+        Node::decode(&*self.reader.read_page_pinned(page)?)
+    }
+
+    fn metrics(&self) -> &TreeMetrics {
+        &self.metrics
     }
 }
 

@@ -606,6 +606,16 @@ impl RStarTree {
     }
 }
 
+impl crate::cursor::NodeSource for RStarTree {
+    fn read_node(&self, page: u32) -> Result<Node> {
+        RStarTree::read_node(self, page)
+    }
+
+    fn metrics(&self) -> &TreeMetrics {
+        &self.metrics
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,7 +42,9 @@ pub use buffer::PageGuard;
 pub use lo::LoId;
 pub use lock::{IsolationLevel, LockMode};
 pub use page::{PageBuf, PageId, PAGE_SIZE};
-pub use space::{LoHandle, LoReader, Sbspace, SbspaceOptions, SpaceInfo};
+pub use space::{
+    LoHandle, LoReader, PageSource, Sbspace, SbspaceOptions, SpaceInfo, SpaceSnapshot,
+};
 pub use stats::{IoSnapshot, IoStats};
 pub use txn::{Txn, TxnEnd, TxnId};
 

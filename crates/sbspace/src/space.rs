@@ -20,9 +20,9 @@ use crate::stats::IoStats;
 use crate::txn::{TxnEnd, TxnId, TxnState};
 use crate::wal::{FileWal, MemWal, WalRecord, WalStore};
 use crate::{Result, SbError};
-use grt_metrics::Metrics;
+use grt_metrics::{Counter, Gauge, Metrics};
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -74,6 +74,30 @@ pub struct SpaceInfo {
 
 type EndCallback = Box<dyn Fn(TxnId, TxnEnd) + Send + Sync>;
 
+/// A committed page table of one large object, as last published.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct LoTable {
+    pub pages: Vec<u32>,
+    pub size: u64,
+}
+
+/// The versioned registry of committed page tables. `tables` is swapped
+/// wholesale at each publishing commit, so cloning the `Arc` yields a
+/// transactionally consistent cut across every large object; `epoch`
+/// counts publishes that retired pages, and `open`/`retired` gate the
+/// reclamation of superseded pages on the oldest live snapshot.
+struct PublishedState {
+    epoch: u64,
+    tables: Arc<HashMap<u32, Arc<LoTable>>>,
+    /// Live snapshots per epoch (count of [`SpaceSnapshot`]s opened
+    /// while `epoch` had that value).
+    open: BTreeMap<u64, usize>,
+    /// Retired page batches, each tagged with the epoch whose snapshots
+    /// may still reference them. A batch is freed once every open
+    /// snapshot's epoch is strictly newer.
+    retired: VecDeque<(u64, Vec<u32>)>,
+}
+
 pub(crate) struct SpaceInner {
     /// Sharded and internally synchronised — no outer lock.
     pool: BufferPool,
@@ -91,6 +115,14 @@ pub(crate) struct SpaceInner {
     txns: Mutex<HashMap<u64, TxnState>>,
     next_txn: AtomicU64,
     callbacks: Mutex<Vec<EndCallback>>,
+    /// Committed page tables and snapshot/reclamation bookkeeping.
+    published: Mutex<PublishedState>,
+    /// Snapshot reads taken (`sbspace.snapshot_reads`).
+    snapshot_reads: Counter,
+    /// Snapshots currently open (`sbspace.snapshots_open`).
+    snapshots_open: Gauge,
+    /// Published page-table entries superseded (`sbspace.page_tables_retired`).
+    page_tables_retired: Counter,
 }
 
 /// A store of smart large objects. Cheap to clone (shared handle).
@@ -145,6 +177,9 @@ impl Sbspace {
             Header::decode(&page0)?;
         }
         pool.invalidate();
+        let snapshot_reads = metrics.counter("sbspace.snapshot_reads");
+        let snapshots_open = metrics.gauge("sbspace.snapshots_open");
+        let page_tables_retired = metrics.counter("sbspace.page_tables_retired");
         Ok(Sbspace {
             inner: Arc::new(SpaceInner {
                 pool,
@@ -158,6 +193,15 @@ impl Sbspace {
                 txns: Mutex::new(HashMap::new()),
                 next_txn: AtomicU64::new(1),
                 callbacks: Mutex::new(Vec::new()),
+                published: Mutex::new(PublishedState {
+                    epoch: 0,
+                    tables: Arc::new(HashMap::new()),
+                    open: BTreeMap::new(),
+                    retired: VecDeque::new(),
+                }),
+                snapshot_reads,
+                snapshots_open,
+                page_tables_retired,
             }),
         })
     }
@@ -197,6 +241,12 @@ impl Sbspace {
             }
         }
         let mut leaked: Vec<u32> = Vec::new();
+        // Pages retired by committed transactions whose deferred
+        // reclamation may not have reached the free list (a snapshot
+        // held them at the crash). A later AllocNote for the same page
+        // proves its reclamation DID complete — the page was handed out
+        // again — so the retire claim is cancelled in log order.
+        let mut retired: HashSet<u32> = HashSet::new();
         for r in &records {
             match r {
                 WalRecord::MetaImage { pid, data } => {
@@ -205,12 +255,21 @@ impl Sbspace {
                 WalRecord::PageImage { txn, pid, data } if committed.contains(txn) => {
                     pool.recovery_write(PageId(*pid), data)?;
                 }
-                WalRecord::AllocNote { txn, pages } if !finished.contains(txn) => {
-                    leaked.extend_from_slice(pages);
+                WalRecord::AllocNote { txn, pages } => {
+                    for p in pages {
+                        retired.remove(p);
+                    }
+                    if !finished.contains(txn) {
+                        leaked.extend_from_slice(pages);
+                    }
+                }
+                WalRecord::RetireNote { txn, pages } if committed.contains(txn) => {
+                    retired.extend(pages.iter().copied());
                 }
                 _ => {}
             }
         }
+        leaked.extend(retired);
         if !leaked.is_empty() {
             // Free leaked pages, skipping any already on the free list
             // (a crash mid-abort may have freed a prefix).
@@ -395,8 +454,126 @@ impl Sbspace {
             return Err(SbError::Usage("checkpoint with active transactions".into()));
         }
         debug_assert!(!self.inner.pool.any_dirty());
+        // Reclaim whatever the snapshot gate allows before the retire
+        // notes in the log are truncated away: any batch still held by
+        // an open snapshot at a crash *after* this point leaks until
+        // the next `CHECK SPACE`-style audit (a documented trade).
+        let to_reclaim = {
+            let mut published = self.inner.published.lock();
+            SpaceInner::reclaimable(&mut published)
+        };
+        self.inner.free_pages(&to_reclaim)?;
         self.inner.pool.sync_backend()?;
         self.inner.wal.truncate()
+    }
+
+    /// Takes a consistent snapshot covering the given large objects:
+    /// their last **committed** page tables, pinned against reclamation
+    /// until the snapshot drops. No LO-level lock is held by the
+    /// snapshot — concurrent writers proceed under 2PL and shadow
+    /// paging, and this snapshot keeps seeing the pre-commit pages.
+    ///
+    /// Objects never published since the space opened are seeded from
+    /// their inodes under a momentary shared lock (so an in-flight
+    /// writer's uncommitted table is never captured). Errors if an
+    /// object does not exist — callers fall back to the locked read
+    /// path.
+    pub fn snapshot_for(&self, los: &[LoId]) -> Result<SpaceSnapshot> {
+        for &lo in los {
+            self.inner.publish_if_absent(lo)?;
+        }
+        let mut published = self.inner.published.lock();
+        for &lo in los {
+            if !published.tables.contains_key(&lo.0) {
+                return Err(SbError::NotFound(format!("{lo}: not published")));
+            }
+        }
+        let epoch = published.epoch;
+        *published.open.entry(epoch).or_insert(0) += 1;
+        let tables = Arc::clone(&published.tables);
+        drop(published);
+        self.inner.snapshot_reads.inc();
+        self.inner.snapshots_open.inc();
+        Ok(SpaceSnapshot {
+            inner: Arc::clone(&self.inner),
+            epoch,
+            tables,
+        })
+    }
+
+    /// Number of snapshots currently open (diagnostic; also exported as
+    /// the `sbspace.snapshots_open` gauge).
+    pub fn snapshots_open(&self) -> u64 {
+        self.inner.snapshots_open.get()
+    }
+}
+
+/// A consistent read view over the committed page tables of a set of
+/// large objects, taken by [`Sbspace::snapshot_for`]. Holding the
+/// snapshot pins every page it references: pages a concurrent writer
+/// retires stay readable and are only returned to the free list after
+/// the last snapshot of their epoch drops.
+///
+/// Cheap to clone at the `Arc` level by the caller; internally it is
+/// one epoch registration, deregistered on drop.
+pub struct SpaceSnapshot {
+    inner: Arc<SpaceInner>,
+    epoch: u64,
+    tables: Arc<HashMap<u32, Arc<LoTable>>>,
+}
+
+impl SpaceSnapshot {
+    /// The publish epoch this snapshot pinned.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True when the snapshot covers `lo`.
+    pub fn contains(&self, lo: LoId) -> bool {
+        self.tables.contains_key(&lo.0)
+    }
+
+    /// Opens a lock-free reader over `lo`'s snapshotted page table.
+    /// The returned [`LoReader`] must not outlive this snapshot — the
+    /// snapshot's registration is what keeps the pages unreclaimed.
+    pub fn reader(&self, lo: LoId) -> Result<LoReader> {
+        let table = self
+            .tables
+            .get(&lo.0)
+            .ok_or_else(|| SbError::NotFound(format!("{lo}: not in snapshot")))?;
+        Ok(LoReader {
+            inner: Arc::clone(&self.inner),
+            lo,
+            pages: table.pages.clone(),
+        })
+    }
+
+    /// Byte size of `lo` in the snapshot.
+    pub fn len_of(&self, lo: LoId) -> Result<u64> {
+        self.tables
+            .get(&lo.0)
+            .map(|t| t.size)
+            .ok_or_else(|| SbError::NotFound(format!("{lo}: not in snapshot")))
+    }
+}
+
+impl Drop for SpaceSnapshot {
+    fn drop(&mut self) {
+        let to_reclaim = {
+            let mut published = self.inner.published.lock();
+            match published.open.get_mut(&self.epoch) {
+                Some(n) if *n > 1 => *n -= 1,
+                _ => {
+                    published.open.remove(&self.epoch);
+                }
+            }
+            SpaceInner::reclaimable(&mut published)
+        };
+        self.inner.snapshots_open.dec();
+        // Reclamation failure in a destructor is unreportable; on a
+        // store whose metadata writes fail the pages stay unreachable
+        // until the next recovery replays their retire notes.
+        let _ = self.inner.free_pages(&to_reclaim);
     }
 }
 
@@ -419,6 +596,54 @@ impl SpaceInner {
         // Pinned reads: the inode and indirect pages are decoded in
         // place, no page copies.
         Inode::decode(lo, |pid| self.pool.read_pinned(PageId(pid)))
+    }
+
+    /// Seeds the published registry with `lo`'s committed page table
+    /// when it has never been published since the space opened (e.g. a
+    /// file-backed space freshly reopened). A momentary shared lock —
+    /// under a throwaway transaction id that holds nothing else, so it
+    /// cannot deadlock — excludes in-flight writers while the inode is
+    /// read; no epoch bump, since nothing is superseded.
+    fn publish_if_absent(&self, lo: LoId) -> Result<()> {
+        if self.published.lock().tables.contains_key(&lo.0) {
+            return Ok(());
+        }
+        let tid = TxnId(self.next_txn.fetch_add(1, Ordering::SeqCst));
+        self.lm.acquire(tid, lo.0, LockMode::Shared)?;
+        let seeded = (|| -> Result<()> {
+            let inode = self.load_inode(lo)?;
+            let mut published = self.published.lock();
+            if !published.tables.contains_key(&lo.0) {
+                let mut tables = (*published.tables).clone();
+                tables.insert(
+                    lo.0,
+                    Arc::new(LoTable {
+                        pages: inode.data_pages.clone(),
+                        size: inode.size,
+                    }),
+                );
+                published.tables = Arc::new(tables);
+            }
+            Ok(())
+        })();
+        self.lm.release(tid, lo.0);
+        seeded
+    }
+
+    /// Pops every retired batch no open snapshot can still reference.
+    /// Call with the published-state lock held; free the returned pages
+    /// *after* releasing it.
+    fn reclaimable(published: &mut PublishedState) -> Vec<u32> {
+        let min_open = published.open.keys().next().copied().unwrap_or(u64::MAX);
+        let mut out = Vec::new();
+        while let Some((tag, _)) = published.retired.front() {
+            if *tag < min_open {
+                out.extend(published.retired.pop_front().expect("front exists").1);
+            } else {
+                break;
+            }
+        }
+        out
     }
 
     /// Durably applies metadata page images: log first, then write
@@ -472,6 +697,7 @@ impl SpaceInner {
         self.meta_apply(images)?;
         if let Some(st) = self.txns.lock().get_mut(&txn.0) {
             st.alloc_pages.extend_from_slice(&got);
+            st.owned.extend(got.iter().copied());
         }
         Ok(got)
     }
@@ -509,13 +735,37 @@ impl SpaceInner {
     }
 
     pub(crate) fn commit_txn(&self, txn: TxnId) -> Result<()> {
-        let state = self.txns.lock().remove(&txn.0).ok_or(SbError::TxnEnded)?;
+        let mut state = self.txns.lock().remove(&txn.0).ok_or(SbError::TxnEnded)?;
+        // 0. Resolve deferred LO drops into their page sets now, under
+        //    the exclusive locks this transaction still holds. The
+        //    whole set — inode, indirect chain, data pages — is retired
+        //    rather than freed: an open snapshot may still be reading
+        //    the data pages. A failure here aborts cleanly.
+        let mut all_retired = std::mem::take(&mut state.retired);
+        let mut drop_failed = None;
+        for lo in &state.pending_drops {
+            match self.load_inode(LoId(*lo)) {
+                Ok(inode) => all_retired.extend(inode.all_pages(LoId(*lo))),
+                Err(e) => {
+                    drop_failed = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = drop_failed {
+            self.pool.discard_txn(txn);
+            self.lm.release_all(txn);
+            IoStats::bump(&self.stats.txn_aborts);
+            self.run_callbacks(txn, TxnEnd::Abort);
+            return Err(e);
+        }
         // 1. Log redo images of every page this transaction dirtied,
-        //    then the commit record, then force the log. A read-only
-        //    transaction (no dirty pages, no logged allocations) has
+        //    a retire note for the pages it superseded, then the commit
+        //    record, then force the log. A read-only transaction (no
+        //    dirty pages, no logged allocations, nothing retired) has
         //    nothing to redo or compensate and skips the WAL entirely.
         let dirty = self.pool.dirty_of(txn);
-        let read_only = dirty.is_empty() && state.alloc_pages.is_empty();
+        let read_only = dirty.is_empty() && state.alloc_pages.is_empty() && all_retired.is_empty();
         let logged = if read_only {
             // No WAL traffic, no sync.
             Ok(())
@@ -534,6 +784,15 @@ impl SpaceInner {
                     .encode(),
                 );
             }
+            if !all_retired.is_empty() {
+                batch.extend_from_slice(
+                    &WalRecord::RetireNote {
+                        txn,
+                        pages: all_retired.clone(),
+                    }
+                    .encode(),
+                );
+            }
             batch.extend_from_slice(&WalRecord::Commit { txn }.encode());
             self.group.commit(self.wal.as_ref(), &self.stats, batch)
         } else {
@@ -544,6 +803,15 @@ impl SpaceInner {
                             txn,
                             pid: pid.0,
                             data: crate::page::page_from_slice(&data[..]),
+                        }
+                        .encode(),
+                    )?;
+                }
+                if !all_retired.is_empty() {
+                    self.wal.append(
+                        &WalRecord::RetireNote {
+                            txn,
+                            pages: all_retired.clone(),
                         }
                         .encode(),
                     )?;
@@ -564,23 +832,69 @@ impl SpaceInner {
             self.run_callbacks(txn, TxnEnd::Abort);
             return Err(e);
         }
-        // The commit record is durable — past the commit point.
+        // The commit record is durable — past the commit point. From
+        // here every path must still publish, release locks, and fire
+        // callbacks: a failure below is reported but cannot un-commit
+        // the transaction (the durable redo images repair the backend
+        // on the next recovery), and leaked locks would wedge every
+        // later transaction touching the same objects.
         IoStats::bump(&self.stats.txn_commits);
         // 2. Write the data pages. Group commit is no-force: the
         //    backend sync is deferred to the next checkpoint, since the
         //    durable redo images above repair any crash from here.
         //    Without group commit the pages are forced immediately.
-        self.pool.flush_txn(txn, !self.group_commit)?;
-        // 3. Apply deferred LO drops (each a system transaction).
-        for lo in &state.pending_drops {
-            let inode = self.load_inode(LoId(*lo))?;
-            self.free_pages(&inode.all_pages(LoId(*lo)))?;
-            self.adjust_lo_count(-1)?;
-        }
+        let flush_result = self.pool.flush_txn(txn, !self.group_commit);
+        // 3. Publish the new page tables atomically (one map swap =
+        //    one consistent cut for future snapshots) and queue the
+        //    retired pages behind the epoch gate. Pages shared between
+        //    the old and new table versions are never in the retired
+        //    set, so superseding a published entry frees nothing by
+        //    itself.
+        let to_reclaim = {
+            let mut published = self.published.lock();
+            if !state.pending_publish.is_empty() || !state.pending_drops.is_empty() {
+                let mut tables = (*published.tables).clone();
+                for (lo, table) in state.pending_publish.drain() {
+                    match table {
+                        Some(t) => {
+                            if tables.get(&lo).is_some_and(|prev| **prev == t) {
+                                continue; // unchanged (e.g. an idle exclusive open)
+                            }
+                            if tables.insert(lo, Arc::new(t)).is_some() {
+                                self.page_tables_retired.inc();
+                            }
+                        }
+                        None => {
+                            if tables.remove(&lo).is_some() {
+                                self.page_tables_retired.inc();
+                            }
+                        }
+                    }
+                }
+                for lo in &state.pending_drops {
+                    if tables.remove(lo).is_some() {
+                        self.page_tables_retired.inc();
+                    }
+                }
+                published.tables = Arc::new(tables);
+            }
+            if !all_retired.is_empty() {
+                let tag = published.epoch;
+                published.epoch += 1;
+                published.retired.push_back((tag, all_retired));
+            }
+            Self::reclaimable(&mut published)
+        };
+        let reclaim_result = self.free_pages(&to_reclaim);
+        let count_result = if state.pending_drops.is_empty() {
+            Ok(())
+        } else {
+            self.adjust_lo_count(-(state.pending_drops.len() as i64))
+        };
         // 4. Release locks and notify.
         self.lm.release_all(txn);
         self.run_callbacks(txn, TxnEnd::Commit);
-        Ok(())
+        flush_result.and(reclaim_result).and(count_result)
     }
 
     pub(crate) fn abort_txn(&self, txn: TxnId) -> Result<()> {
@@ -590,16 +904,25 @@ impl SpaceInner {
         IoStats::bump(&self.stats.txn_aborts);
         // 1. Drop uncommitted frames (no-steal: the backend is clean).
         self.pool.discard_txn(txn);
-        // 2. Compensate allocations: the pages go back to the free list.
-        self.free_pages(&state.alloc_pages)?;
-        // 3. Record the abort so recovery does not re-compensate.
-        self.wal.append(&WalRecord::Abort { txn }.encode())?;
-        IoStats::bump(&self.stats.wal_syncs);
-        self.wal.sync()?;
+        // 2./3. Compensate allocations (the pages go back to the free
+        //    list) and record the abort so recovery does not
+        //    re-compensate. Shadow paging allocates a fresh page for
+        //    every copy-on-write redirect, so this compensation does
+        //    real free-list I/O for any aborted writer — and it can
+        //    fail on a faulty backend. The locks are released either
+        //    way: a compensation failure leaks at most free pages
+        //    (repaired by the next recovery), while a leaked lock
+        //    wedges every later transaction on the same objects.
+        let compensated = (|| {
+            self.free_pages(&state.alloc_pages)?;
+            self.wal.append(&WalRecord::Abort { txn }.encode())?;
+            IoStats::bump(&self.stats.wal_syncs);
+            self.wal.sync()
+        })();
         // 4. Release locks and notify.
         self.lm.release_all(txn);
         self.run_callbacks(txn, TxnEnd::Abort);
-        Ok(())
+        compensated
     }
 }
 
@@ -691,6 +1014,43 @@ impl LoHandle {
             .ok_or_else(|| SbError::NotFound(format!("{}: page {logical}", self.lo)))
     }
 
+    /// Shadow paging: returns a physical page this transaction may
+    /// overwrite. A page the transaction allocated itself is written in
+    /// place; a committed page is superseded instead — a fresh page
+    /// takes its page-table slot and the old one is retired, freed at
+    /// commit once no snapshot can still be reading it. Callers always
+    /// supply the full page image, so the old contents are never copied
+    /// forward here.
+    fn redirect(&mut self, logical: u32) -> Result<u32> {
+        let pid = self.phys(logical)?;
+        if self
+            .inner
+            .txns
+            .lock()
+            .get(&self.txn.0)
+            .is_some_and(|st| st.owned.contains(&pid))
+        {
+            return Ok(pid);
+        }
+        let fresh = self.inner.alloc_pages(self.txn, 1)?[0];
+        self.inode.data_pages[logical as usize] = fresh;
+        self.inode_dirty = true;
+        self.retire(vec![pid]);
+        Ok(fresh)
+    }
+
+    /// Queues committed pages this transaction superseded for the
+    /// epoch-gated free at commit (forgotten on abort — the committed
+    /// versions remain live).
+    fn retire(&self, pages: Vec<u32>) {
+        if pages.is_empty() {
+            return;
+        }
+        if let Some(st) = self.inner.txns.lock().get_mut(&self.txn.0) {
+            st.retired.extend(pages);
+        }
+    }
+
     /// Reads logical page `logical` of the object into a fresh buffer.
     /// Prefer [`LoHandle::read_page_pinned`] on hot paths — it avoids
     /// the page copy.
@@ -716,7 +1076,7 @@ impl LoHandle {
     /// manages whole pages reports its extent via [`LoHandle::page_count`].
     pub fn write_page(&mut self, logical: u32, data: &[u8; PAGE_SIZE]) -> Result<()> {
         self.check_writable()?;
-        let pid = self.phys(logical)?;
+        let pid = self.redirect(logical)?;
         self.inner.pool.write_txn(self.txn, PageId(pid), data);
         Ok(())
     }
@@ -732,8 +1092,11 @@ impl LoHandle {
         Ok(logical)
     }
 
-    /// Drops pages from the tail (their storage is reclaimed at once —
-    /// the pages were exclusively locked).
+    /// Drops pages from the tail. Their storage is retired, not freed:
+    /// reclamation happens after commit, once no snapshot can still
+    /// reference them (which also keeps an abort from clobbering the
+    /// committed page table — nothing durable moves before the commit
+    /// record).
     pub fn truncate_pages(&mut self, keep: u32) -> Result<()> {
         self.check_writable()?;
         if (keep as usize) >= self.inode.data_pages.len() {
@@ -742,7 +1105,8 @@ impl LoHandle {
         let dropped: Vec<u32> = self.inode.data_pages.split_off(keep as usize);
         self.inode.size = self.inode.size.min(keep as u64 * PAGE_SIZE as u64);
         self.inode_dirty = true;
-        self.inner.free_pages(&dropped)
+        self.retire(dropped);
+        Ok(())
     }
 
     /// Reads `out.len()` bytes at byte `offset`; short reads past the
@@ -782,8 +1146,7 @@ impl LoHandle {
             let n = (PAGE_SIZE - in_page).min(data.len() - done);
             let mut buf = self.read_page(page)?;
             buf[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
-            let pid = self.phys(page)?;
-            self.inner.pool.write_txn(self.txn, PageId(pid), &buf);
+            self.write_page(page, &buf)?;
             done += n;
         }
         if end > self.inode.size {
@@ -807,7 +1170,7 @@ impl LoHandle {
         }
         if self.inode.indirect_pids.len() > needed {
             let extra = self.inode.indirect_pids.split_off(needed);
-            self.inner.free_pages(&extra)?;
+            self.retire(extra);
         }
         let images = self.inode.encode(self.lo);
         for (pid, data) in images {
@@ -830,6 +1193,20 @@ impl LoHandle {
         }
         self.closed = true;
         self.flush()?;
+        if self.mode == LockMode::Exclusive {
+            // Stage the (possibly rewritten) page table for the atomic
+            // publish at commit; the latest close of an LO wins. Staged
+            // state dies with the transaction on abort.
+            if let Some(st) = self.inner.txns.lock().get_mut(&self.txn.0) {
+                st.pending_publish.insert(
+                    self.lo.0,
+                    Some(LoTable {
+                        pages: self.inode.data_pages.clone(),
+                        size: self.inode.size,
+                    }),
+                );
+            }
+        }
         let iso = self
             .inner
             .txns
@@ -859,11 +1236,15 @@ impl Drop for LoHandle {
 /// same object concurrently without a lock-manager interaction per
 /// read.
 ///
-/// The view is only as stable as the lock of the [`LoHandle`] it was
-/// taken from: the parent handle (and its transaction) must outlive the
-/// reader, otherwise the pages it names may be reused by a concurrent
-/// writer. Readers hand out [`PageGuard`]s, which must all be dropped
-/// before the owning space shuts down.
+/// The view is as stable as whatever pins the page table it was built
+/// from: a reader taken from a [`LoHandle`] is protected by that
+/// handle's lock (keep the handle open while the reader lives); a
+/// reader taken from a [`SpaceSnapshot`] is protected by the snapshot's
+/// epoch registration — shadow paging means committed pages are never
+/// overwritten in place, and the epoch gate keeps them off the free
+/// list (keep the snapshot alive while the reader lives). Readers hand
+/// out [`PageGuard`]s, which must all be dropped before the owning
+/// space shuts down.
 pub struct LoReader {
     inner: Arc<SpaceInner>,
     lo: LoId,
@@ -881,15 +1262,77 @@ impl LoReader {
         self.pages.len() as u32
     }
 
+    fn phys(&self, logical: u32) -> Result<u32> {
+        self.pages
+            .get(logical as usize)
+            .copied()
+            .ok_or_else(|| SbError::NotFound(format!("{}: page {logical}", self.lo)))
+    }
+
+    /// Reads logical page `logical` into a fresh buffer, exactly like
+    /// [`LoHandle::read_page`].
+    pub fn read_page(&self, logical: u32) -> Result<PageBuf> {
+        let pid = self.phys(logical)?;
+        let mut buf = crate::page::zeroed_page();
+        self.inner.pool.read(PageId(pid), &mut buf)?;
+        Ok(buf)
+    }
+
     /// Pins logical page `logical` and returns a zero-copy view of its
     /// bytes, exactly like [`LoHandle::read_page_pinned`].
     pub fn read_page_pinned(&self, logical: u32) -> Result<PageGuard> {
-        let pid = self
-            .pages
-            .get(logical as usize)
-            .copied()
-            .ok_or_else(|| SbError::NotFound(format!("{}: page {logical}", self.lo)))?;
+        let pid = self.phys(logical)?;
         self.inner.pool.read_pinned(PageId(pid))
+    }
+}
+
+/// Page-granular read access shared by the locked and the snapshot
+/// paths: code generic over `PageSource` (the heap scanner, the tree
+/// cursors) runs identically over a [`LoHandle`] — 2PL, sees the
+/// transaction's own writes — and over a [`LoReader`] — lock-free, a
+/// frozen committed view.
+pub trait PageSource {
+    /// Number of data pages visible through this source.
+    fn page_count(&self) -> u32;
+    /// Reads logical page `logical` into a fresh buffer.
+    fn read_page(&self, logical: u32) -> Result<PageBuf>;
+    /// Pins logical page `logical` for zero-copy access.
+    fn read_page_pinned(&self, logical: u32) -> Result<PageGuard>;
+}
+
+impl PageSource for LoHandle {
+    fn page_count(&self) -> u32 {
+        LoHandle::page_count(self)
+    }
+    fn read_page(&self, logical: u32) -> Result<PageBuf> {
+        LoHandle::read_page(self, logical)
+    }
+    fn read_page_pinned(&self, logical: u32) -> Result<PageGuard> {
+        LoHandle::read_page_pinned(self, logical)
+    }
+}
+
+impl PageSource for LoReader {
+    fn page_count(&self) -> u32 {
+        LoReader::page_count(self)
+    }
+    fn read_page(&self, logical: u32) -> Result<PageBuf> {
+        LoReader::read_page(self, logical)
+    }
+    fn read_page_pinned(&self, logical: u32) -> Result<PageGuard> {
+        LoReader::read_page_pinned(self, logical)
+    }
+}
+
+impl<P: PageSource + ?Sized> PageSource for &P {
+    fn page_count(&self) -> u32 {
+        (**self).page_count()
+    }
+    fn read_page(&self, logical: u32) -> Result<PageBuf> {
+        (**self).read_page(logical)
+    }
+    fn read_page_pinned(&self, logical: u32) -> Result<PageGuard> {
+        (**self).read_page_pinned(logical)
     }
 }
 
@@ -1107,5 +1550,108 @@ mod tests {
             assert_eq!(&page[..4], &i.to_le_bytes());
         }
         sb.verify_lo(&t2, lo).unwrap();
+    }
+
+    #[test]
+    fn snapshot_sees_pre_write_state_and_reclaims_on_drop() {
+        let sb = space();
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        h.write_at(0, b"version one").unwrap();
+        h.close().unwrap();
+        txn.commit().unwrap();
+
+        let snap = sb.snapshot_for(&[lo]).unwrap();
+        assert_eq!(sb.snapshots_open(), 1);
+        let reader = snap.reader(lo).unwrap();
+        assert_eq!(&reader.read_page(0).unwrap()[..11], b"version one");
+
+        // A writer overwrites and commits; the snapshot never blocks it.
+        let w = sb.begin(IsolationLevel::ReadCommitted);
+        let mut hw = sb.open_lo(&w, lo, LockMode::Exclusive).unwrap();
+        hw.write_at(0, b"version two").unwrap();
+        hw.close().unwrap();
+        w.commit().unwrap();
+
+        // The snapshot still reads the superseded page...
+        assert_eq!(&reader.read_page(0).unwrap()[..11], b"version one");
+        // ...while a fresh snapshot sees the committed overwrite.
+        let snap2 = sb.snapshot_for(&[lo]).unwrap();
+        let r2 = snap2.reader(lo).unwrap();
+        assert_eq!(&r2.read_page(0).unwrap()[..11], b"version two");
+        drop(r2);
+        drop(snap2);
+
+        let free_before = sb.space_info().unwrap().free_pages;
+        drop(reader);
+        drop(snap);
+        assert_eq!(sb.snapshots_open(), 0);
+        // Dropping the last snapshot of the old epoch frees the retired
+        // page.
+        assert!(sb.space_info().unwrap().free_pages > free_before);
+    }
+
+    #[test]
+    fn snapshot_taken_while_writer_holds_exclusive_lock() {
+        let sb = space();
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        h.write_at(0, b"committed").unwrap();
+        h.close().unwrap();
+        txn.commit().unwrap();
+
+        let w = sb.begin(IsolationLevel::ReadCommitted);
+        let mut hw = sb.open_lo(&w, lo, LockMode::Exclusive).unwrap();
+        hw.write_at(0, b"uncommitt").unwrap();
+        // With the writer's exclusive lock still held, the snapshot
+        // completes immediately (no LO-level lock on this path — a
+        // blocked acquire would trip the 200ms lock timeout) and sees
+        // only committed state.
+        let snap = sb.snapshot_for(&[lo]).unwrap();
+        let r = snap.reader(lo).unwrap();
+        assert_eq!(&r.read_page(0).unwrap()[..9], b"committed");
+        drop(r);
+        drop(snap);
+        hw.close().unwrap();
+        w.abort().unwrap();
+        // The abort freed only the copied-out pages; committed data is
+        // intact.
+        let t = sb.begin(IsolationLevel::ReadCommitted);
+        let hr = sb.open_lo(&t, lo, LockMode::Shared).unwrap();
+        let mut buf = [0u8; 9];
+        hr.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"committed");
+    }
+
+    #[test]
+    fn truncated_pages_stay_readable_under_snapshot() {
+        let sb = space();
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        for i in 0..3u8 {
+            h.append_page(&crate::page::page_from_slice(&[b'a' + i; 8]))
+                .unwrap();
+        }
+        h.close().unwrap();
+        txn.commit().unwrap();
+
+        let snap = sb.snapshot_for(&[lo]).unwrap();
+        let w = sb.begin(IsolationLevel::ReadCommitted);
+        let mut hw = sb.open_lo(&w, lo, LockMode::Exclusive).unwrap();
+        hw.truncate_pages(1).unwrap();
+        hw.close().unwrap();
+        w.commit().unwrap();
+
+        // The snapshot still spans all three pages; the current view is
+        // truncated.
+        let reader = snap.reader(lo).unwrap();
+        assert_eq!(reader.page_count(), 3);
+        assert_eq!(&reader.read_page(2).unwrap()[..8], &[b'c'; 8]);
+        let t = sb.begin(IsolationLevel::ReadCommitted);
+        let hr = sb.open_lo(&t, lo, LockMode::Shared).unwrap();
+        assert_eq!(hr.page_count(), 1);
     }
 }

@@ -26,6 +26,17 @@ pub(crate) struct TxnState {
     pub locks: HashSet<u32>,
     /// Pages allocated by this transaction (compensated on abort).
     pub alloc_pages: Vec<u32>,
+    /// The same pages as a set, for the shadow-paging ownership test:
+    /// a page this transaction allocated may be written in place; any
+    /// other page must be copied out first.
+    pub owned: HashSet<u32>,
+    /// Committed pages this transaction superseded by copy-out (or
+    /// truncation). Freed after commit once no snapshot can reference
+    /// them; simply forgotten on abort (the committed versions live).
+    pub retired: Vec<u32>,
+    /// Page tables to publish at commit: LO id → its new table, or
+    /// `None` for a dropped LO.
+    pub pending_publish: std::collections::HashMap<u32, Option<crate::space::LoTable>>,
     /// Large objects whose drop is deferred to commit.
     pub pending_drops: Vec<u32>,
 }
@@ -36,6 +47,9 @@ impl TxnState {
             iso,
             locks: HashSet::new(),
             alloc_pages: Vec::new(),
+            owned: HashSet::new(),
+            retired: Vec::new(),
+            pending_publish: std::collections::HashMap::new(),
             pending_drops: Vec::new(),
         }
     }

@@ -12,6 +12,11 @@
 //! * `AllocNote` — pages a transaction allocated. If the transaction
 //!   neither commits nor aborts (a crash), recovery frees these pages,
 //!   mirroring the online abort path's compensation.
+//! * `RetireNote` — pages a transaction superseded by shadow-paging
+//!   copy-out (or dropped LOs). Online they are freed only after the
+//!   commit point, once no snapshot can reference them; recovery frees
+//!   them for transactions that **did** commit, since a crash ends
+//!   every snapshot.
 //! * `Begin` / `Commit` / `Abort` — transaction status.
 //!
 //! Records are length-prefixed with a simple checksum; a torn tail is
@@ -36,6 +41,10 @@ pub enum WalRecord {
     MetaImage { pid: u32, data: PageBuf },
     /// Pages allocated by `txn`, to be freed if it never finishes.
     AllocNote { txn: TxnId, pages: Vec<u32> },
+    /// Pages `txn` retired (shadow-paging copy-out, truncation, LO
+    /// drop), to be freed if it committed but crashed before its
+    /// deferred reclamation reached the free list.
+    RetireNote { txn: TxnId, pages: Vec<u32> },
     /// The transaction committed (its page images are durable intent).
     Commit { txn: TxnId },
     /// The transaction aborted and its compensation has been applied.
@@ -48,6 +57,7 @@ const K_META: u8 = 3;
 const K_ALLOC: u8 = 4;
 const K_COMMIT: u8 = 5;
 const K_ABORT: u8 = 6;
+const K_RETIRE: u8 = 7;
 
 fn checksum(bytes: &[u8]) -> u32 {
     // FNV-1a, cheap and adequate for torn-write detection.
@@ -80,6 +90,14 @@ impl WalRecord {
             }
             WalRecord::AllocNote { txn, pages } => {
                 out.push(K_ALLOC);
+                out.extend_from_slice(&txn.0.to_le_bytes());
+                out.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+                for p in pages {
+                    out.extend_from_slice(&p.to_le_bytes());
+                }
+            }
+            WalRecord::RetireNote { txn, pages } => {
+                out.push(K_RETIRE);
                 out.extend_from_slice(&txn.0.to_le_bytes());
                 out.extend_from_slice(&(pages.len() as u32).to_le_bytes());
                 for p in pages {
@@ -147,6 +165,15 @@ impl WalRecord {
                     pages.push(u32_at(12 + 4 * i)?);
                 }
                 Ok(WalRecord::AllocNote { txn, pages })
+            }
+            K_RETIRE => {
+                let txn = TxnId(u64_at(0)?);
+                let n = u32_at(8)? as usize;
+                let mut pages = Vec::with_capacity(n);
+                for i in 0..n {
+                    pages.push(u32_at(12 + 4 * i)?);
+                }
+                Ok(WalRecord::RetireNote { txn, pages })
             }
             K_COMMIT => Ok(WalRecord::Commit {
                 txn: TxnId(u64_at(0)?),
@@ -312,6 +339,10 @@ mod tests {
                 txn: TxnId(7),
                 pid: 3,
                 data: page_from_slice(b"node"),
+            },
+            WalRecord::RetireNote {
+                txn: TxnId(7),
+                pages: vec![2],
             },
             WalRecord::Commit { txn: TxnId(7) },
             WalRecord::Abort { txn: TxnId(8) },

@@ -323,6 +323,39 @@ fn group_commit_burst_fully_replays_after_crash() {
     }
 }
 
+/// A reopened space starts with an empty published-page-table
+/// registry; the first snapshot over an object seeds it from the
+/// on-disk inode and then reads exactly the recovered bytes.
+#[test]
+fn snapshot_after_reopen_seeds_from_inode() {
+    both_modes(|gc| {
+        let (backend, wal) = shared();
+        let sb = reopen(&backend, &wal, gc);
+        let txn = sb.begin(IsolationLevel::ReadCommitted);
+        let lo = sb.create_lo(&txn).unwrap();
+        let mut h = sb.open_lo(&txn, lo, LockMode::Exclusive).unwrap();
+        h.write_at(0, b"seeded bytes").unwrap();
+        h.close().unwrap();
+        txn.commit().unwrap();
+        drop(sb); // crash (no checkpoint)
+
+        let sb2 = reopen(&backend, &wal, gc);
+        let snap = sb2.snapshot_for(&[lo]).unwrap();
+        let reader = snap.reader(lo).unwrap();
+        assert_eq!(
+            &reader.read_page(0).unwrap()[..12],
+            b"seeded bytes",
+            "group_commit={gc}"
+        );
+        drop(reader);
+        drop(snap);
+        assert_eq!(sb2.snapshots_open(), 0);
+        // A snapshot over a missing object errors (the engine's cue to
+        // fall back to the locked path).
+        assert!(sb2.snapshot_for(&[grt_sbspace::LoId(9999)]).is_err());
+    });
+}
+
 /// If the group leader's log write tears mid-batch, every transaction
 /// in the batch reports failure and none of their effects survive the
 /// crash — the batch is all-or-nothing.
@@ -340,9 +373,11 @@ fn torn_group_batch_is_fully_absent_after_crash() {
     h.close().unwrap();
     t0.commit().unwrap();
 
-    // Objects for the doomed burst, created and pre-sized up front so
-    // the burst transactions allocate nothing and log only their group
-    // batch (page images + commit) — the tear must hit the batch.
+    // Objects for the doomed burst, created and pre-sized up front.
+    // The burst transactions still allocate at write time (shadow
+    // paging copies committed pages out), so the tear is armed only
+    // after every write has logged its allocations — it must hit the
+    // group batch itself (page images + retire note + commit).
     let setup = sb.begin(IsolationLevel::ReadCommitted);
     let los: Vec<_> = (0..4).map(|_| sb.create_lo(&setup).unwrap()).collect();
     for &lo in &los {
@@ -352,8 +387,7 @@ fn torn_group_batch_is_fully_absent_after_crash() {
     }
     setup.commit().unwrap();
 
-    wal.arm(); // the next group flush tears
-    let barrier = Arc::new(std::sync::Barrier::new(los.len()));
+    let barrier = Arc::new(std::sync::Barrier::new(los.len() + 1));
     let outcomes: Vec<(usize, bool)> = std::thread::scope(|s| {
         let handles: Vec<_> = los
             .iter()
@@ -365,11 +399,15 @@ fn torn_group_batch_is_fully_absent_after_crash() {
                     let mut h = sb.open_lo(&t, lo, LockMode::Exclusive).unwrap();
                     h.write_at(0, format!("doomed {i}").as_bytes()).unwrap();
                     h.close().unwrap();
-                    barrier.wait();
+                    barrier.wait(); // writes logged; main thread arms the tear
+                    barrier.wait(); // tear armed; commit as one burst
                     (i, t.commit().is_ok())
                 })
             })
             .collect();
+        barrier.wait(); // every write's allocations are durably logged
+        wal.arm(); // the next group flush tears
+        barrier.wait();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     drop(sb); // crash

@@ -1,6 +1,7 @@
-//! Multi-session tests: the LO-level locking regime of Section 5.3
-//! observed through the engine — readers coexist, writers serialize on
-//! the whole index, isolation levels change shared-lock lifetimes, and
+//! Multi-session tests: the concurrency regime observed through the
+//! engine — read-only statements run on lock-free published snapshots
+//! (Section 5.3's LO locks remain for writers only), writers serialize
+//! on the whole index, isolation levels pick the snapshot lifetime, and
 //! deadlocks are detected rather than hung.
 
 use grtree_datablade::blade::{install_grtree_blade, GrTreeAmOptions};
@@ -69,52 +70,112 @@ fn concurrent_readers_coexist() {
 }
 
 #[test]
-fn writer_blocks_reader_in_open_transaction() {
+fn open_writer_does_not_block_snapshot_reader() {
     let (db, _clock) = quick_db();
     let writer = db.connect();
     writer.exec("BEGIN WORK").unwrap();
-    // The writer's insert takes the X lock on the index LO and holds it
-    // to transaction end (two-phase locking).
+    // The writer's insert takes the X lock on the heap and index LOs
+    // and holds it to transaction end (two-phase locking).
     writer
         .exec("INSERT INTO t VALUES (99, '05/18/1997, UC, 05/18/1997, NOW')")
         .unwrap();
 
+    // A read-only statement takes no LO-level lock: it mounts the last
+    // published snapshot, so it neither waits on the writer nor sees
+    // its uncommitted insert.
     let reader = db.connect();
-    let err = reader
+    let r = reader
         .exec("SELECT id FROM t WHERE Overlaps(Time_Extent, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+    assert_eq!(r.rows.len(), 20, "uncommitted insert must stay invisible");
+
+    // After commit a fresh statement snapshot sees the new row.
+    writer.exec("COMMIT WORK").unwrap();
+    let r = reader
+        .exec("SELECT id FROM t WHERE Overlaps(Time_Extent, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+    assert_eq!(r.rows.len(), 21);
+    assert_eq!(db.space().snapshots_open(), 0, "statement snapshot leaked");
+}
+
+#[test]
+fn open_writer_still_blocks_another_writer() {
+    let (db, _clock) = quick_db();
+    let w1 = db.connect();
+    w1.exec("BEGIN WORK").unwrap();
+    w1.exec("INSERT INTO t VALUES (99, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+
+    // Snapshots are a read-path affair only: writers keep strict 2PL
+    // on the LOs, so a second writer times out on the first.
+    let w2 = db.connect();
+    let err = w2
+        .exec("INSERT INTO t VALUES (100, '05/18/1997, UC, 05/18/1997, NOW')")
         .unwrap_err();
     match err {
         IdsError::Storage(SbError::LockTimeout(_)) | IdsError::AccessMethod(_) => {}
         other => panic!("expected a lock timeout, got {other:?}"),
     }
 
-    // After commit the reader proceeds.
-    writer.exec("COMMIT WORK").unwrap();
-    let r = reader
-        .exec("SELECT id FROM t WHERE Overlaps(Time_Extent, '05/18/1997, UC, 05/18/1997, NOW')")
+    w1.exec("COMMIT WORK").unwrap();
+    w2.exec("INSERT INTO t VALUES (100, '05/18/1997, UC, 05/18/1997, NOW')")
         .unwrap();
-    assert_eq!(r.rows.len(), 21);
+    let r = w2.exec("SELECT id FROM t").unwrap();
+    assert_eq!(r.rows.len(), 22);
 }
 
 #[test]
-fn repeatable_read_holds_shared_locks_to_commit() {
+fn repeatable_read_pins_one_snapshot_and_blocks_no_writers() {
     let (db, _clock) = quick_db();
     let reader = db.connect();
     reader.exec("SET ISOLATION TO REPEATABLE READ").unwrap();
     reader.exec("BEGIN WORK").unwrap();
-    reader
+    let r = reader
         .exec("SELECT id FROM t WHERE Overlaps(Time_Extent, '05/18/1997, UC, 05/18/1997, NOW')")
         .unwrap();
-    // The shared lock on the index (and the heap) persists past the
-    // statement: a writer times out.
+    assert_eq!(r.rows.len(), 20);
+
+    // The read held no shared lock past the statement — or at all: a
+    // writer in another session commits immediately instead of timing
+    // out on the reader's transaction.
     let writer = db.connect();
-    assert!(writer
-        .exec("INSERT INTO t VALUES (99, '05/18/1997, UC, 05/18/1997, NOW')")
-        .is_err());
-    reader.exec("COMMIT WORK").unwrap();
     writer
         .exec("INSERT INTO t VALUES (99, '05/18/1997, UC, 05/18/1997, NOW')")
         .unwrap();
+
+    // Repeatable read means exactly that: every statement in the block
+    // answers from the snapshot pinned by the first read, so the
+    // concurrent commit stays invisible until this transaction ends.
+    let r = reader
+        .exec("SELECT id FROM t WHERE Overlaps(Time_Extent, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+    assert_eq!(r.rows.len(), 20, "pinned snapshot saw a later commit");
+
+    reader.exec("COMMIT WORK").unwrap();
+    let r = reader
+        .exec("SELECT id FROM t WHERE Overlaps(Time_Extent, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+    assert_eq!(r.rows.len(), 21, "fresh statement must see the commit");
+    assert_eq!(db.space().snapshots_open(), 0, "pinned snapshot leaked");
+}
+
+#[test]
+fn explicit_transaction_reads_its_own_uncommitted_writes() {
+    let (db, _clock) = quick_db();
+    let conn = db.connect();
+    conn.exec("BEGIN WORK").unwrap();
+    conn.exec("INSERT INTO t VALUES (99, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+    // The first write switches the rest of the block to the locked
+    // path: later reads run under the transaction's own locks and see
+    // its uncommitted rows, not a stale snapshot.
+    let r = conn
+        .exec("SELECT id FROM t WHERE Overlaps(Time_Extent, '05/18/1997, UC, 05/18/1997, NOW')")
+        .unwrap();
+    assert_eq!(r.rows.len(), 21, "own write invisible inside the block");
+    conn.exec("ROLLBACK WORK").unwrap();
+    let r = conn.exec("SELECT id FROM t").unwrap();
+    assert_eq!(r.rows.len(), 20);
 }
 
 #[test]

@@ -23,6 +23,13 @@
 //! contention (and the same exact counter reconciliation) as the
 //! embedded paths.
 //!
+//! On top of the mixed workers, a pool of read-only REPEATABLE READ
+//! sessions (half of them over the wire) runs explicit transaction
+//! blocks on the snapshot path: each block must see one frozen view
+//! across all its scans while writers commit and condense underneath,
+//! and at quiesce every snapshot must have been released
+//! (`snapshots_open` back to zero).
+//!
 //! Quick by default (CI's `stress-smoke` job); scale with
 //! `STRESS_SESSIONS` / `STRESS_OPS`.
 
@@ -153,9 +160,73 @@ fn stress_mixed_workload_reconciles() {
             conn
         })
         .collect();
+
+    // Read-only sessions: explicit REPEATABLE READ blocks that must
+    // ride the snapshot path end to end. Half run over the wire. The
+    // warmup scan (before the metric snapshot) publishes the heap and
+    // index page tables so no later snapshot ever needs a seeding lock.
+    setup
+        .exec(&format!("SELECT id FROM t WHERE {QUERY}"))
+        .unwrap();
+    let ro_sessions = (sessions / 2).max(1);
+    let ro_blocks = (ops / 8).max(3);
+    let ro_conns: Vec<Box<dyn Driver>> = (0..ro_sessions)
+        .map(|i| {
+            let conn: Box<dyn Driver> = if i % 2 == 1 {
+                Box::new(RemoteDriver::connect(&*server_addr).expect("wire connect"))
+            } else {
+                Box::new(EmbeddedDriver::connect(&db))
+            };
+            conn.exec("SET ISOLATION TO REPEATABLE READ").unwrap();
+            conn
+        })
+        .collect();
     let before = db.metrics_snapshot();
 
-    let tallies: Vec<WorkerTally> = std::thread::scope(|s| {
+    let (tallies, ro_tallies): (Vec<WorkerTally>, Vec<(u64, u64)>) = std::thread::scope(|s| {
+        // Read-only sessions: `ro_blocks` explicit transaction blocks of
+        // three scans each. No statement here may fail — the snapshot
+        // path takes no LO-level lock, so there is nothing to contend
+        // on — and within one block every scan must return the same
+        // rows (repeatable read = the block's pinned frozen view),
+        // regardless of what the writers commit in between.
+        let ro_handles: Vec<_> = ro_conns
+            .iter()
+            .enumerate()
+            .map(|(w, conn)| {
+                s.spawn(move || {
+                    let mut stmts = 0u64;
+                    for block in 0..ro_blocks {
+                        conn.exec("BEGIN WORK").unwrap();
+                        stmts += 1;
+                        let mut first = None;
+                        for _ in 0..3 {
+                            let out = conn
+                                .exec(&format!("SELECT id FROM t WHERE {QUERY}"))
+                                .unwrap();
+                            stmts += 1;
+                            let ids: Vec<_> = out.rows.iter().map(|row| row[0].clone()).collect();
+                            let unique: HashSet<_> = ids.iter().collect();
+                            assert_eq!(
+                                unique.len(),
+                                ids.len(),
+                                "ro worker {w} scan returned duplicate rows"
+                            );
+                            match &first {
+                                None => first = Some(ids),
+                                Some(f) => assert_eq!(
+                                    f, &ids,
+                                    "ro worker {w} block {block}: repeatable read drifted"
+                                ),
+                            }
+                        }
+                        conn.exec("COMMIT WORK").unwrap();
+                        stmts += 1;
+                    }
+                    (stmts, ro_blocks as u64)
+                })
+            })
+            .collect();
         let handles: Vec<_> = conns
             .iter()
             .enumerate()
@@ -245,7 +316,10 @@ fn stress_mixed_workload_reconciles() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        (
+            handles.into_iter().map(|h| h.join().unwrap()).collect(),
+            ro_handles.into_iter().map(|h| h.join().unwrap()).collect(),
+        )
     });
 
     let issued: u64 = tallies.iter().map(|t| t.ok + t.failed).sum();
@@ -260,15 +334,19 @@ fn stress_mixed_workload_reconciles() {
         db.space().lock_waiters()
     );
 
-    // Counter reconciliation. Each client-visible statement ran 1 +
-    // (its retries) attempts; each attempt is one `ids.statements`
-    // tick and exactly one transaction.
+    // Counter reconciliation. Each mixed-worker statement ran 1 + (its
+    // retries) attempts, each attempt one `ids.statements` tick and
+    // exactly one transaction. The read-only sessions add their BEGIN /
+    // SELECT / COMMIT statements to the statement count but only one
+    // transaction per block — and none of them may ever fail or retry.
+    let ro_statements: u64 = ro_tallies.iter().map(|(stmts, _)| *stmts).sum();
+    let ro_txns: u64 = ro_tallies.iter().map(|(_, blocks)| *blocks).sum();
     let statements = d.get("ids.statements");
     let retries = d.get("stmt.retries");
     let errors = d.get("ids.statement_errors");
     assert_eq!(
         statements,
-        issued + retries,
+        issued + retries + ro_statements,
         "attempt accounting drifted: {d}"
     );
     assert_eq!(
@@ -278,13 +356,26 @@ fn stress_mixed_workload_reconciles() {
     );
     assert_eq!(
         d.get("sbspace.txn_commits") + d.get("sbspace.txn_aborts"),
-        statements,
+        issued + retries + ro_txns,
         "transactions drifted from statement attempts: {d}"
     );
     assert_eq!(
         d.get("sbspace.txn_aborts"),
         errors,
         "victim aborts must match failed attempts: {d}"
+    );
+
+    // Snapshot hygiene: the read-only blocks (and every auto-commit
+    // scan that rode a statement snapshot) pinned and released their
+    // frozen views — none may outlive its statement or block.
+    assert!(
+        d.get("sbspace.snapshot_reads") >= ro_txns,
+        "read-only blocks never reached the snapshot path: {d}"
+    );
+    assert_eq!(
+        db.space().snapshots_open(),
+        0,
+        "space snapshots leaked past quiesce"
     );
 
     // The workload must have actually contended — otherwise the
@@ -324,6 +415,7 @@ fn stress_mixed_workload_reconciles() {
     // the wire third, joining the server workers that reap them)
     // closes every PREPAREd statement they still held.
     drop(conns);
+    drop(ro_conns);
     server.shutdown();
     assert_eq!(
         db.prepared_live(),
