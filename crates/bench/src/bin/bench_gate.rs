@@ -6,6 +6,7 @@
 //! bench_gate <candidate.json> --prepared-speedup [--threshold 1.3]
 //! bench_gate <candidate.json> --wire-overhead [--threshold 10.0]
 //! bench_gate <candidate.json> --read-scaling [--threshold 1.0]
+//! bench_gate <candidate.json> --wal-bound [--threshold 0.75]
 //! ```
 //!
 //! Default mode compares `ns_per_read` for every `(config, threads)`
@@ -39,6 +40,13 @@
 //! Snapshot reads keep the scan-dominated workload flat-to-rising in
 //! the session count; a collapse means readers queue on writer locks.
 //!
+//! `--wal-bound` is absolute over a `BENCH_soak.json` report: the
+//! soak's peak live WAL must stay under the limit the run was sized
+//! for, recovery must finish under its limit, the checkpointer must
+//! actually have recycled segments, and checkpoint-active churn must
+//! reach `--threshold` (default 0.75x) the checkpoint-off rate — the
+//! fuzzy walk may not stall writers into a throughput cliff.
+//!
 //! `--quick` marks the candidate as a quick-mode run (fewer ops, fewer
 //! repetitions): it doubles the effective tolerance for the comparison
 //! modes, relaxes the `--read-scaling` floor by 0.8x (quick runs are
@@ -57,6 +65,7 @@ enum Mode {
     PreparedSpeedup,
     WireOverhead,
     ReadScaling,
+    WalBound,
 }
 
 fn main() {
@@ -90,6 +99,9 @@ fn main() {
         } else if a == "--read-scaling" {
             mode = Mode::ReadScaling;
             threshold = 1.0;
+        } else if a == "--wal-bound" {
+            mode = Mode::WalBound;
+            threshold = 0.75;
         } else if a == "--quick" {
             quick = true;
         } else {
@@ -98,7 +110,7 @@ fn main() {
     }
     if quick {
         tolerance *= 2.0;
-        if mode == Mode::ReadScaling {
+        if mode == Mode::ReadScaling || mode == Mode::WalBound {
             threshold *= 0.8;
         }
         println!("bench_gate: quick-mode candidate, tolerance widened to {tolerance:.2}");
@@ -131,6 +143,38 @@ fn main() {
             std::process::exit(1);
         }
         println!("bench_gate: wire overhead within {threshold:.2}x at every session count");
+        return;
+    }
+
+    if mode == Mode::WalBound {
+        let [candidate_path] = files.as_slice() else {
+            usage("--wal-bound expects one report file")
+        };
+        let soak = gate::parse_soak(&read(candidate_path));
+        for key in [
+            "wal_live_bytes_max",
+            "wal_live_bytes_limit",
+            "segments_max",
+            "recovery_ms",
+            "checkpoints",
+            "segments_recycled",
+            "throughput_ratio",
+        ] {
+            if let Some(v) = soak.get(key) {
+                println!("soak {key}: {v}");
+            }
+        }
+        let failures = gate::wal_bound_failures(&soak, threshold);
+        if !failures.is_empty() {
+            for msg in &failures {
+                eprintln!("bench_gate: {msg}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "bench_gate: WAL bounded, recovery bounded, checkpoint-active \
+             throughput >= {threshold:.2}x idle"
+        );
         return;
     }
 
@@ -196,7 +240,7 @@ fn main() {
         Mode::ReadLatency => gate::parse_read_rates,
         Mode::Throughput => gate::parse_throughputs,
         Mode::ScanSpeedup => gate::parse_speedups,
-        Mode::PreparedSpeedup | Mode::WireOverhead | Mode::ReadScaling => {
+        Mode::PreparedSpeedup | Mode::WireOverhead | Mode::ReadScaling | Mode::WalBound => {
             unreachable!("handled above")
         }
     };
@@ -207,9 +251,11 @@ fn main() {
         let key = match mode {
             Mode::ReadLatency => "(config, threads)",
             Mode::Throughput => "(config, sessions)",
-            Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead | Mode::ReadScaling => {
-                "(config, workers)"
-            }
+            Mode::ScanSpeedup
+            | Mode::PreparedSpeedup
+            | Mode::WireOverhead
+            | Mode::ReadScaling
+            | Mode::WalBound => "(config, workers)",
         };
         eprintln!("bench_gate: no shared {key} pairs between the reports");
         std::process::exit(2);
@@ -224,7 +270,8 @@ fn main() {
             | Mode::ScanSpeedup
             | Mode::PreparedSpeedup
             | Mode::WireOverhead
-            | Mode::ReadScaling => c.regressed_throughput(tolerance),
+            | Mode::ReadScaling
+            | Mode::WalBound => c.regressed_throughput(tolerance),
         };
         let verdict = if regressed {
             failed = true;
@@ -249,7 +296,7 @@ fn main() {
                 c.candidate_ns,
                 (c.ratio - 1.0) * 100.0,
             ),
-            Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead | Mode::ReadScaling => {
+            Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead | Mode::ReadScaling | Mode::WalBound => {
                 println!(
                     "{:<12} {} worker(s): baseline {:5.2}x, candidate {:5.2}x ({:+.1}%)  {verdict}",
                     c.config,
@@ -265,9 +312,11 @@ fn main() {
         let what = match mode {
             Mode::ReadLatency => "read latency",
             Mode::Throughput => "throughput",
-            Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead | Mode::ReadScaling => {
-                "scan speedup"
-            }
+            Mode::ScanSpeedup
+            | Mode::PreparedSpeedup
+            | Mode::WireOverhead
+            | Mode::ReadScaling
+            | Mode::WalBound => "scan speedup",
         };
         eprintln!(
             "bench_gate: {what} regressed more than {:.0}% — see lines above",

@@ -75,6 +75,7 @@ fn space(cfg: &Config) -> (Sbspace, PathBuf) {
             lock_timeout: Duration::from_secs(20),
             group_commit: cfg.group_commit,
             commit_batch_size: 32,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -162,6 +162,7 @@ fn fresh_db_with(scan_batch_rows: usize, plan_cache_size: usize) -> Database {
         scan_workers: 1,
         scan_batch_rows,
         plan_cache_size,
+        ..Default::default()
     });
     install_grtree_blade(&db, GrTreeAmOptions::default()).unwrap();
     let setup = db.connect();

@@ -215,6 +215,81 @@ pub fn wire_overhead_failures(
     out
 }
 
+/// The figures of a soak report's `soak` section, keyed by field name.
+pub type SoakFigures = BTreeMap<String, f64>;
+
+/// Extracts every numeric field inside the `soak` section of a
+/// `BENCH_soak.json`-shaped report. The soak writes one figure per
+/// line, so each line yields at most one `(key, value)` pair.
+pub fn parse_soak(json: &str) -> SoakFigures {
+    let mut out = SoakFigures::new();
+    let mut config = String::new();
+    for line in json.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix('"') {
+            if let Some((name, tail)) = rest.split_once('"') {
+                if tail.trim() == ": {" {
+                    config = name.to_string();
+                    continue;
+                }
+            }
+        }
+        if config != "soak" {
+            continue;
+        }
+        if let Some((key, _)) = t.trim_start_matches('"').split_once('"') {
+            if let Some(v) = field(t, key) {
+                out.insert(key.to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+/// Gate verdict over a soak report, absolute like the wire gate: the
+/// live WAL must stay under the limit the run was sized for, recovery
+/// must finish under its limit, checkpoint-active throughput must
+/// reach `threshold` × the checkpoint-off rate, and the checkpointer
+/// must actually have recycled segments (a bounded log with zero
+/// recycles proves nothing). Returns one message per violation; empty
+/// means the gate passes.
+pub fn wal_bound_failures(soak: &SoakFigures, threshold: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    let get = |key: &str| soak.get(key).copied();
+    let Some(live_max) = get("wal_live_bytes_max") else {
+        return vec!["no soak figures in the report (rerun the soak bench)".to_string()];
+    };
+    match get("wal_live_bytes_limit") {
+        Some(limit) if live_max > limit => out.push(format!(
+            "live WAL peaked at {live_max:.0} bytes, above the {limit:.0}-byte bound"
+        )),
+        Some(_) => {}
+        None => out.push("report lacks wal_live_bytes_limit".to_string()),
+    }
+    match (get("recovery_ms"), get("recovery_ms_limit")) {
+        (Some(ms), Some(limit)) if ms > limit => out.push(format!(
+            "recovery took {ms:.1} ms, above the {limit:.0} ms bound"
+        )),
+        (Some(_), Some(_)) => {}
+        _ => out.push("report lacks the recovery figures".to_string()),
+    }
+    match get("throughput_ratio") {
+        Some(ratio) if ratio < threshold => out.push(format!(
+            "checkpoint-active churn ran at {ratio:.2}x the idle rate \
+             (below the {threshold:.2}x floor)"
+        )),
+        Some(_) => {}
+        None => out.push("report lacks throughput_ratio".to_string()),
+    }
+    if get("checkpoints").unwrap_or(0.0) <= 0.0 {
+        out.push("no checkpoints completed during the soak".to_string());
+    }
+    if get("segments_recycled").unwrap_or(0.0) <= 0.0 {
+        out.push("no WAL segments were recycled during the soak".to_string());
+    }
+    out
+}
+
 /// The numeric value of `"key": <num>` inside a one-line JSON object.
 fn field(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
@@ -521,6 +596,61 @@ mod tests {
         // An empty report or a dead connect path can never pass.
         assert!(!wire_overhead_failures(&WireOverheads::new(), conn, 10.0).is_empty());
         assert!(!wire_overhead_failures(&overheads, 0.0, 10.0).is_empty());
+    }
+
+    const SOAK_REPORT: &str = r#"{
+  "soak": {
+    "rounds": 2000,
+    "wal_live_bytes_max": 393216,
+    "wal_live_bytes_limit": 1048576,
+    "segments_max": 6,
+    "segment_bound": 16,
+    "recovery_ms": 41.50,
+    "recovery_ms_limit": 2000.0,
+    "checkpoints": 34,
+    "segments_recycled": 88,
+    "idle_ops_per_sec": 5100.0,
+    "active_ops_per_sec": 4800.0,
+    "throughput_ratio": 0.941
+  }
+}
+"#;
+
+    #[test]
+    fn parses_soak_figures() {
+        let s = parse_soak(SOAK_REPORT);
+        assert_eq!(s["wal_live_bytes_max"], 393216.0);
+        assert_eq!(s["recovery_ms"], 41.5);
+        assert_eq!(s["throughput_ratio"], 0.941);
+        assert_eq!(s["segments_recycled"], 88.0);
+    }
+
+    #[test]
+    fn wal_bound_gate_is_absolute() {
+        let s = parse_soak(SOAK_REPORT);
+        assert!(wal_bound_failures(&s, 0.75).is_empty());
+        // An unbounded log fails no matter how fast everything else is.
+        let mut bad = s.clone();
+        bad.insert("wal_live_bytes_max".into(), 2_000_000.0);
+        let msgs = wal_bound_failures(&bad, 0.75);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("above the"));
+        // Slow recovery fails.
+        let mut bad = s.clone();
+        bad.insert("recovery_ms".into(), 9_000.0);
+        assert!(!wal_bound_failures(&bad, 0.75).is_empty());
+        // A checkpoint-induced throughput cliff fails.
+        let mut bad = s.clone();
+        bad.insert("throughput_ratio".into(), 0.4);
+        let msgs = wal_bound_failures(&bad, 0.75);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("below the 0.75x floor"));
+        // A soak whose checkpointer never ran proves nothing.
+        let mut bad = s.clone();
+        bad.insert("segments_recycled".into(), 0.0);
+        assert!(!wal_bound_failures(&bad, 0.75).is_empty());
+        // An empty report can never pass.
+        assert!(!wal_bound_failures(&SoakFigures::new(), 0.75).is_empty());
     }
 
     #[test]

@@ -58,6 +58,17 @@ pub struct DatabaseOptions {
     /// dynamic-dispatch round trips per scan shrink by this factor.
     /// `1` degenerates to the row-at-a-time protocol.
     pub scan_batch_rows: usize,
+    /// How often the storage engine's background fuzzy checkpointer
+    /// runs. `None` (the default) disables it; recovery then replays
+    /// the whole WAL and the log grows without bound. This mirrors
+    /// into [`SbspaceOptions::checkpoint_interval`] and always wins
+    /// over whatever `space` carries.
+    pub checkpoint_interval: Option<Duration>,
+    /// Size of each WAL segment file; checkpoints recycle whole
+    /// segments below the transaction low-water mark. Mirrors into
+    /// [`SbspaceOptions::wal_segment_bytes`] and always wins over
+    /// whatever `space` carries.
+    pub wal_segment_bytes: usize,
 }
 
 impl Default for DatabaseOptions {
@@ -70,6 +81,8 @@ impl Default for DatabaseOptions {
             scan_workers: 1,
             plan_cache_size: 128,
             scan_batch_rows: 64,
+            checkpoint_interval: None,
+            wal_segment_bytes: grt_sbspace::DEFAULT_SEGMENT_BYTES,
         }
     }
 }
@@ -309,14 +322,18 @@ impl Database {
     /// Boots a database over an in-memory sbspace.
     pub fn new(opts: DatabaseOptions) -> Database {
         let DatabaseOptions {
-            space,
+            mut space,
             clock,
             deadlock_retries,
             retry_backoff,
             scan_workers,
             plan_cache_size,
             scan_batch_rows,
+            checkpoint_interval,
+            wal_segment_bytes,
         } = opts;
+        space.checkpoint_interval = checkpoint_interval;
+        space.wal_segment_bytes = wal_segment_bytes;
         let space = Sbspace::mem(space);
         Self::boot(
             space,

@@ -97,6 +97,14 @@ impl Gauge {
             });
     }
 
+    /// Sets the level outright — for gauges that mirror an externally
+    /// measured quantity (bytes on disk, queue depth) rather than a
+    /// count this process increments and decrements itself.
+    #[inline]
+    pub fn set(&self, level: u64) {
+        self.cell.store(level, Ordering::Relaxed);
+    }
+
     /// Current level.
     #[inline]
     pub fn get(&self) -> u64 {
@@ -537,6 +545,11 @@ mod tests {
         let before = m.snapshot();
         g.inc();
         assert_eq!(m.snapshot().since(&before).gauge("x.open"), 1);
+        // An outright set overrides whatever level was there.
+        g.set(42);
+        assert_eq!(g2.get(), 42);
+        g.dec();
+        assert_eq!(g.get(), 41);
     }
 
     #[test]

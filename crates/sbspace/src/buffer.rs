@@ -40,6 +40,12 @@ struct Frame {
     data: PageArc,
     /// `Some(txn)` when the frame holds uncommitted writes of `txn`.
     dirty_owner: Option<TxnId>,
+    /// The frame holds committed bytes newer than the backend's copy:
+    /// the owning transaction committed no-force (its redo images are
+    /// durable in the WAL) and the data write is deferred to the
+    /// checkpointer — or to eviction, which may write-then-drop such a
+    /// frame without a sync. Mutually exclusive with `dirty_owner`.
+    committed_dirty: bool,
     /// Clock reference bit: set on access, cleared by the sweep.
     referenced: bool,
     /// Outstanding [`PageGuard`]s on this frame (shared with them so a
@@ -146,11 +152,15 @@ impl BufferPool {
         &self.shards[self.shard_idx(pid)]
     }
 
-    /// Clock sweep: evict unreferenced, clean, unpinned frames until the
-    /// shard fits its budget. A frame whose reference bit is set gets a
-    /// second chance (the bit is cleared and the hand moves on). If a
-    /// bounded sweep finds no victim — everything dirty or pinned — the
-    /// shard overflows its capacity rather than stealing.
+    /// Clock sweep: evict unreferenced, unpinned frames until the shard
+    /// fits its budget. A frame whose reference bit is set gets a
+    /// second chance (the bit is cleared and the hand moves on).
+    /// Uncommitted-dirty frames are never evicted (no-steal); a
+    /// committed-dirty frame is written to the backend first — no sync
+    /// needed, its redo image is already durable in the WAL — so a
+    /// churn workload bigger than the pool stays bounded even between
+    /// checkpoints. If a bounded sweep finds no victim the shard
+    /// overflows its capacity rather than stealing.
     fn evict_to_capacity(&self, shard: &mut Shard) {
         while shard.frames.len() > self.shard_capacity {
             let mut evicted = false;
@@ -168,6 +178,16 @@ impl BufferPool {
                     f.referenced = false;
                     shard.hand += 1;
                 } else {
+                    if f.committed_dirty {
+                        // Write-on-evict; on failure keep the frame (the
+                        // checkpointer will retry) and move on.
+                        if self.backend.write_page(PageId(pid), &f.data).is_err() {
+                            shard.hand += 1;
+                            scanned += 1;
+                            continue;
+                        }
+                        IoStats::bump(&self.stats.physical_writes);
+                    }
                     shard.frames.remove(&pid);
                     shard.clock.remove(shard.hand);
                     IoStats::bump(&self.stats.evictions);
@@ -197,6 +217,7 @@ impl BufferPool {
             Frame {
                 data: Arc::from(buf),
                 dirty_owner: None,
+                committed_dirty: false,
                 // Clear on insertion: the bit means "hit since faulted
                 // in", so one-touch pages lose to re-referenced ones.
                 referenced: false,
@@ -259,12 +280,18 @@ impl BufferPool {
         let frame = shard.frames.entry(pid.0).or_insert_with(|| Frame {
             data: Arc::new([0u8; PAGE_SIZE]),
             dirty_owner: None,
+            committed_dirty: false,
             referenced: false,
             pins: Arc::new(AtomicU64::new(0)),
         });
         // Copy-on-write: pinned guards keep their snapshot.
         Arc::make_mut(&mut frame.data).copy_from_slice(data);
         frame.dirty_owner = Some(txn);
+        // A transaction only writes pages it allocated (shadow paging
+        // redirects everything else), and allocation always passes
+        // through a write-through of the free-list image — so a frame
+        // can never be committed-dirty when it becomes txn-dirty.
+        frame.committed_dirty = false;
         frame.referenced = true;
         if inserted {
             shard.clock.push(pid.0);
@@ -283,11 +310,13 @@ impl BufferPool {
         let frame = shard.frames.entry(pid.0).or_insert_with(|| Frame {
             data: Arc::new([0u8; PAGE_SIZE]),
             dirty_owner: None,
+            committed_dirty: false,
             referenced: false,
             pins: Arc::new(AtomicU64::new(0)),
         });
         Arc::make_mut(&mut frame.data).copy_from_slice(data);
         frame.dirty_owner = None;
+        frame.committed_dirty = false;
         frame.referenced = true;
         if inserted {
             shard.clock.push(pid.0);
@@ -346,6 +375,63 @@ impl BufferPool {
             self.backend.sync()?;
         }
         Ok(())
+    }
+
+    /// Relabels `txn`'s dirty frames as committed-dirty without writing
+    /// them (the no-force commit path: the redo images just became
+    /// durable in the WAL, so the data writes are deferred to the
+    /// checkpointer — or to write-on-evict under pool pressure).
+    pub fn mark_committed(&self, txn: TxnId) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            for f in shard.frames.values_mut() {
+                if f.dirty_owner == Some(txn) {
+                    f.dirty_owner = None;
+                    f.committed_dirty = true;
+                }
+            }
+        }
+    }
+
+    /// Writes every committed-dirty frame to the backend and marks it
+    /// clean, one shard at a time — the fuzzy-checkpoint walk. Writers
+    /// on other shards proceed while one shard flushes; a frame that
+    /// turns committed-dirty behind the walk is simply caught by the
+    /// next checkpoint. Returns how many frames were written. The
+    /// caller syncs the backend afterwards.
+    pub fn flush_committed(&self) -> Result<usize> {
+        let mut flushed = 0usize;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let pids: Vec<u32> = shard
+                .frames
+                .iter()
+                .filter(|(_, f)| f.committed_dirty)
+                .map(|(&pid, _)| pid)
+                .collect();
+            for pid in pids {
+                let frame = shard.frames.get_mut(&pid).expect("frame exists");
+                IoStats::bump(&self.stats.physical_writes);
+                self.backend.write_page(PageId(pid), &frame.data)?;
+                frame.committed_dirty = false;
+                flushed += 1;
+            }
+        }
+        Ok(flushed)
+    }
+
+    /// Number of committed-dirty frames across all shards (test hook).
+    pub fn committed_dirty_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .frames
+                    .values()
+                    .filter(|f| f.committed_dirty)
+                    .count()
+            })
+            .sum()
     }
 
     /// Discards `txn`'s dirty frames (abort: the backend still holds the
@@ -571,6 +657,35 @@ mod tests {
         assert!(stats.snapshot().dirty_overflows > 0);
         assert_eq!(stats.snapshot().evictions, 0);
         p.discard_txn(TxnId(1));
+    }
+
+    #[test]
+    fn committed_dirty_frames_flush_and_write_on_evict() {
+        let stats = IoStats::new_shared();
+        let p = BufferPool::new(Box::new(MemBackend::new()), 2, 1, Arc::clone(&stats));
+        for pid in 0..5u32 {
+            p.write_txn(TxnId(1), PageId(pid), &page_from_slice(&[b'a' + pid as u8]));
+        }
+        p.mark_committed(TxnId(1));
+        assert!(!p.any_dirty());
+        assert_eq!(p.committed_dirty_count(), 5);
+        // Faulting one more page forces eviction: with more committed
+        // frames than capacity, some must be written out on evict
+        // instead of overflowing the pool.
+        let mut out = zeroed_page();
+        p.read(PageId(10), &mut out).unwrap();
+        assert!(p.cached_frames() <= 2, "pool stayed bounded");
+        assert!(p.committed_dirty_count() < 5, "write-on-evict fired");
+        // flush_committed writes whatever is still resident.
+        let resident = p.committed_dirty_count();
+        assert_eq!(p.flush_committed().unwrap(), resident);
+        assert_eq!(p.committed_dirty_count(), 0);
+        // Every committed write reached the backend, one way or the other.
+        p.invalidate();
+        for pid in 0..5u32 {
+            p.read(PageId(pid), &mut out).unwrap();
+            assert_eq!(out[0], b'a' + pid as u8, "page {pid} durable");
+        }
     }
 
     #[test]

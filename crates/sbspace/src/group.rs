@@ -190,7 +190,7 @@ mod tests {
         fn sync(&self) -> Result<()> {
             Ok(())
         }
-        fn read_all(&self) -> Result<Vec<u8>> {
+        fn read_segment(&self, _seg: u64) -> Result<Vec<u8>> {
             Ok(Vec::new())
         }
         fn truncate(&self) -> Result<()> {

@@ -47,6 +47,7 @@ pub use space::{
 };
 pub use stats::{IoSnapshot, IoStats};
 pub use txn::{Txn, TxnEnd, TxnId};
+pub use wal::{FileWal, MemWal, WalStore, DEFAULT_SEGMENT_BYTES};
 
 /// Errors produced by the storage layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -21,7 +21,7 @@ use crate::txn::{TxnEnd, TxnId, TxnState};
 use crate::wal::{FileWal, MemWal, WalRecord, WalStore};
 use crate::{Result, SbError};
 use grt_metrics::{Counter, Gauge, Metrics};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -40,13 +40,25 @@ pub struct SbspaceOptions {
     /// Lock-wait timeout.
     pub lock_timeout: Duration,
     /// When true, committing transactions share WAL appends and syncs
-    /// through a group-commit leader, and the per-commit data-backend
-    /// sync is deferred to the next checkpoint (no-force — the WAL's
-    /// redo images carry durability). When false (the default), every
-    /// commit forces the log and the data pages itself.
+    /// through a group-commit leader, and the data-page writes are
+    /// deferred entirely (no-force — the WAL's redo images carry
+    /// durability): the checkpointer, or eviction pressure, writes them
+    /// later. When false (the default), every commit forces the log and
+    /// the data pages itself.
     pub group_commit: bool,
     /// Maximum commit batches a group-commit leader flushes per sync.
     pub commit_batch_size: usize,
+    /// Size at which a WAL segment rolls. Together with the checkpoint
+    /// cadence this bounds both the log's footprint and how much of it
+    /// recovery replays.
+    pub wal_segment_bytes: usize,
+    /// When set, a background thread fuzzy-checkpoints the space at
+    /// this cadence: it incrementally flushes committed-dirty frames,
+    /// writes a checkpoint record, recycles every WAL segment below the
+    /// active-transaction low-water mark, and sweeps retired page
+    /// batches whose snapshots have drained. `None` (the default) runs
+    /// no thread; [`Sbspace::checkpoint`] still checkpoints on demand.
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl Default for SbspaceOptions {
@@ -57,6 +69,8 @@ impl Default for SbspaceOptions {
             lock_timeout: Duration::from_secs(2),
             group_commit: false,
             commit_batch_size: 32,
+            wal_segment_bytes: crate::wal::DEFAULT_SEGMENT_BYTES,
+            checkpoint_interval: None,
         }
     }
 }
@@ -117,12 +131,46 @@ pub(crate) struct SpaceInner {
     callbacks: Mutex<Vec<EndCallback>>,
     /// Committed page tables and snapshot/reclamation bookkeeping.
     published: Mutex<PublishedState>,
+    /// Excludes retired-batch reclamation from a checkpoint's
+    /// capture-to-durable window. A checkpoint copies `retired` into its
+    /// record and only *later* gets that record on disk; if a snapshot
+    /// drop or a commit popped one of those batches in between, its
+    /// pages could be freed, reallocated, and the reallocation's
+    /// `AllocNote` logged *before* the checkpoint record — replay would
+    /// then honour the record's stale claim and free a live page. Held
+    /// by the checkpoint from capture until the record is durable (and
+    /// through its own sweep, so concurrent checkpoints serialise), and
+    /// by every site that pops batches via `reclaimable` and frees them.
+    /// Lock order: `retire_guard` before `published`.
+    retire_guard: Mutex<()>,
+    /// Transactions past their durable commit point whose frames are
+    /// not yet relabelled committed-dirty in the pool, keyed by txn id
+    /// with the segment active at their begin. A checkpoint's low-water
+    /// mark covers these as well as `txns`: recycling the segment
+    /// holding such a transaction's redo images before the pool knows
+    /// about them would lose a committed transaction on crash.
+    committing: Mutex<HashMap<u64, u64>>,
     /// Snapshot reads taken (`sbspace.snapshot_reads`).
     snapshot_reads: Counter,
     /// Snapshots currently open (`sbspace.snapshots_open`).
     snapshots_open: Gauge,
     /// Published page-table entries superseded (`sbspace.page_tables_retired`).
     page_tables_retired: Counter,
+    /// Fuzzy checkpoints completed (`sbspace.checkpoints`).
+    checkpoints: Counter,
+    /// Checkpoint attempts that failed (`sbspace.checkpoint_failures`).
+    /// The previous checkpoint stays authoritative: nothing was
+    /// recycled or truncated.
+    checkpoint_failures: Counter,
+    /// WAL segments deleted by checkpoints (`wal.segments_recycled`).
+    segments_recycled: Counter,
+    /// Bytes across live WAL segments as of the last checkpoint
+    /// (`wal.live_bytes`).
+    wal_live_bytes: Gauge,
+    /// Background checkpointer shutdown flag + wakeup.
+    ckpt_stop: Arc<(Mutex<bool>, Condvar)>,
+    /// The background checkpointer, when `checkpoint_interval` is set.
+    ckpt_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 /// A store of smart large objects. Cheap to clone (shared handle).
@@ -180,7 +228,11 @@ impl Sbspace {
         let snapshot_reads = metrics.counter("sbspace.snapshot_reads");
         let snapshots_open = metrics.gauge("sbspace.snapshots_open");
         let page_tables_retired = metrics.counter("sbspace.page_tables_retired");
-        Ok(Sbspace {
+        let checkpoints = metrics.counter("sbspace.checkpoints");
+        let checkpoint_failures = metrics.counter("sbspace.checkpoint_failures");
+        let segments_recycled = metrics.counter("wal.segments_recycled");
+        let wal_live_bytes = metrics.gauge("wal.live_bytes");
+        let space = Sbspace {
             inner: Arc::new(SpaceInner {
                 pool,
                 wal: Box::new(wal),
@@ -199,74 +251,160 @@ impl Sbspace {
                     open: BTreeMap::new(),
                     retired: VecDeque::new(),
                 }),
+                retire_guard: Mutex::new(()),
+                committing: Mutex::new(HashMap::new()),
                 snapshot_reads,
                 snapshots_open,
                 page_tables_retired,
+                checkpoints,
+                checkpoint_failures,
+                segments_recycled,
+                wal_live_bytes,
+                ckpt_stop: Arc::new((Mutex::new(false), Condvar::new())),
+                ckpt_thread: Mutex::new(None),
             }),
-        })
+        };
+        if let Some(interval) = opts.checkpoint_interval {
+            space.spawn_checkpointer(interval);
+        }
+        Ok(space)
     }
 
     /// An in-memory space (tests, benchmarks).
     pub fn mem(opts: SbspaceOptions) -> Sbspace {
-        Sbspace::open_with(MemBackend::new(), MemWal::new(), opts).expect("mem space")
+        let wal = MemWal::with_segment_bytes(opts.wal_segment_bytes);
+        Sbspace::open_with(MemBackend::new(), wal, opts).expect("mem space")
     }
 
-    /// A file-backed space in `dir` (`pages.db` + `wal.log`).
+    /// A file-backed space in `dir` (`pages.db` + a `wal/` segment
+    /// directory).
     pub fn file(dir: &Path, opts: SbspaceOptions) -> Result<Sbspace> {
         std::fs::create_dir_all(dir).map_err(|e| SbError::Io(e.to_string()))?;
         let backend = FileBackend::open(&dir.join("pages.db"))?;
-        let wal = FileWal::open(&dir.join("wal.log"))?;
+        let wal = FileWal::open_with(&dir.join("wal"), opts.wal_segment_bytes)?;
         Sbspace::open_with(backend, wal, opts)
     }
 
-    /// Log replay: metadata images always, data images of committed
-    /// transactions, then compensation for unfinished allocations.
+    /// Spawns the background fuzzy checkpointer. The thread holds only
+    /// a weak handle, so it never keeps a closed space alive; it skips
+    /// ticks where nothing new was logged and no retired batch waits.
+    fn spawn_checkpointer(&self, interval: Duration) {
+        let weak = Arc::downgrade(&self.inner);
+        let stop = Arc::clone(&self.inner.ckpt_stop);
+        let handle = std::thread::Builder::new()
+            .name("sbspace-checkpoint".into())
+            .spawn(move || {
+                let mut last_appended = u64::MAX; // first tick always runs
+                loop {
+                    {
+                        let (flag, cond) = &*stop;
+                        let mut stopped = flag.lock();
+                        if !*stopped {
+                            cond.wait_for(&mut stopped, interval);
+                        }
+                        if *stopped {
+                            return;
+                        }
+                    }
+                    let Some(inner) = weak.upgrade() else { return };
+                    let appended = inner.wal.appended_total();
+                    let retire_pending = !inner.published.lock().retired.is_empty();
+                    if appended != last_appended || retire_pending {
+                        last_appended = appended;
+                        // Failure leaves the previous checkpoint
+                        // authoritative; the failure counter is bumped
+                        // inside and the next tick retries.
+                        let _ = inner.run_checkpoint();
+                    }
+                }
+            })
+            .expect("spawn checkpointer");
+        *self.inner.ckpt_thread.lock() = Some(handle);
+    }
+
+    /// Log replay, streamed one segment at a time so recovery memory is
+    /// O(segment), not O(log): metadata images always, data images of
+    /// committed transactions, checkpoint retire carry-overs, then
+    /// compensation for unfinished allocations.
+    ///
+    /// A torn tail — an undecodable suffix — is a legal crash artefact
+    /// only in the youngest segment; older segments were sealed by a
+    /// roll and must decode cleanly, so an unclean tail there is real
+    /// corruption and recovery refuses to guess past it.
     fn recover(pool: &BufferPool, wal: &dyn WalStore) -> Result<()> {
-        let records = WalRecord::decode_stream(&wal.read_all()?);
-        if records.is_empty() {
-            return Ok(());
-        }
+        let segs = wal.segments()?;
+        // Pass 1: transaction statuses (and the sealed-segment
+        // cleanliness check). Only ids are retained — page images are
+        // decoded again in pass 2 and dropped segment by segment.
         let mut finished: HashSet<TxnId> = HashSet::new();
         let mut committed: HashSet<TxnId> = HashSet::new();
-        for r in &records {
-            match r {
-                WalRecord::Commit { txn } => {
-                    committed.insert(*txn);
-                    finished.insert(*txn);
-                }
-                WalRecord::Abort { txn } => {
-                    finished.insert(*txn);
-                }
-                _ => {}
+        let mut any = false;
+        for (i, &seg) in segs.iter().enumerate() {
+            let bytes = wal.read_segment(seg)?;
+            let (records, clean) = WalRecord::decode_segment(&bytes);
+            if !clean && i + 1 != segs.len() {
+                return Err(SbError::Corrupt(format!(
+                    "wal segment {seg} is sealed but does not decode cleanly"
+                )));
             }
+            any |= !records.is_empty();
+            for r in &records {
+                match r {
+                    WalRecord::Commit { txn } => {
+                        committed.insert(*txn);
+                        finished.insert(*txn);
+                    }
+                    WalRecord::Abort { txn } => {
+                        finished.insert(*txn);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !any {
+            return Ok(());
         }
         let mut leaked: Vec<u32> = Vec::new();
         // Pages retired by committed transactions whose deferred
         // reclamation may not have reached the free list (a snapshot
-        // held them at the crash). A later AllocNote for the same page
-        // proves its reclamation DID complete — the page was handed out
-        // again — so the retire claim is cancelled in log order.
+        // held them at the crash), plus retire claims a checkpoint
+        // record carried forward from recycled segments. A later
+        // AllocNote for the same page proves its reclamation DID
+        // complete — the page was handed out again — so the retire
+        // claim is cancelled in log order.
         let mut retired: HashSet<u32> = HashSet::new();
-        for r in &records {
-            match r {
-                WalRecord::MetaImage { pid, data } => {
-                    pool.recovery_write(PageId(*pid), data)?;
-                }
-                WalRecord::PageImage { txn, pid, data } if committed.contains(txn) => {
-                    pool.recovery_write(PageId(*pid), data)?;
-                }
-                WalRecord::AllocNote { txn, pages } => {
-                    for p in pages {
-                        retired.remove(p);
+        for &seg in &segs {
+            let bytes = wal.read_segment(seg)?;
+            let (records, _) = WalRecord::decode_segment(&bytes);
+            for r in &records {
+                match r {
+                    WalRecord::MetaImage { pid, data } => {
+                        pool.recovery_write(PageId(*pid), data)?;
                     }
-                    if !finished.contains(txn) {
-                        leaked.extend_from_slice(pages);
+                    WalRecord::PageImage { txn, pid, data } if committed.contains(txn) => {
+                        pool.recovery_write(PageId(*pid), data)?;
                     }
+                    WalRecord::AllocNote { txn, pages } => {
+                        for p in pages {
+                            retired.remove(p);
+                        }
+                        if !finished.contains(txn) {
+                            leaked.extend_from_slice(pages);
+                        }
+                    }
+                    WalRecord::RetireNote { txn, pages } if committed.contains(txn) => {
+                        retired.extend(pages.iter().copied());
+                    }
+                    WalRecord::Checkpoint { pending_retire } => {
+                        // Retired pages still pinned by snapshots when
+                        // the checkpoint ran: a crash ended those
+                        // snapshots, so they free exactly like committed
+                        // retire notes (idempotently — the free-list
+                        // scan below skips pages already freed).
+                        retired.extend(pending_retire.iter().copied());
+                    }
+                    _ => {}
                 }
-                WalRecord::RetireNote { txn, pages } if committed.contains(txn) => {
-                    retired.extend(pages.iter().copied());
-                }
-                _ => {}
             }
         }
         leaked.extend(retired);
@@ -307,7 +445,14 @@ impl Sbspace {
     /// Starts a transaction.
     pub fn begin(&self, iso: IsolationLevel) -> Txn {
         let id = TxnId(self.inner.next_txn.fetch_add(1, Ordering::SeqCst));
-        self.inner.txns.lock().insert(id.0, TxnState::new(iso));
+        // Read the active segment *before* publishing the transaction:
+        // segment ids only grow, so this is a valid lower bound on
+        // where any of the transaction's records can land.
+        let start_seg = self.inner.wal.active_segment();
+        self.inner
+            .txns
+            .lock()
+            .insert(id.0, TxnState::new(iso, start_seg));
         // Deliberately not logged: recovery infers unfinished
         // transactions from the absence of a Commit/Abort record, and a
         // fire-and-forget Begin append could tear and strand every
@@ -447,24 +592,32 @@ impl Sbspace {
         })
     }
 
-    /// Truncates the log once no transaction is active.
+    /// Runs one fuzzy checkpoint now (the same routine the background
+    /// thread runs): flushes committed-dirty frames shard by shard —
+    /// writers proceed meanwhile — syncs the backend, writes a
+    /// checkpoint record carrying the snapshot-pinned retire backlog,
+    /// recycles every WAL segment wholly below the active-transaction
+    /// low-water mark, and sweeps retired page batches whose snapshots
+    /// have drained. Active transactions are fine: their segments are
+    /// simply kept.
     pub fn checkpoint(&self) -> Result<()> {
-        let txns = self.inner.txns.lock();
-        if !txns.is_empty() {
-            return Err(SbError::Usage("checkpoint with active transactions".into()));
-        }
-        debug_assert!(!self.inner.pool.any_dirty());
-        // Reclaim whatever the snapshot gate allows before the retire
-        // notes in the log are truncated away: any batch still held by
-        // an open snapshot at a crash *after* this point leaks until
-        // the next `CHECK SPACE`-style audit (a documented trade).
-        let to_reclaim = {
-            let mut published = self.inner.published.lock();
-            SpaceInner::reclaimable(&mut published)
-        };
-        self.inner.free_pages(&to_reclaim)?;
-        self.inner.pool.sync_backend()?;
-        self.inner.wal.truncate()
+        self.inner.run_checkpoint()
+    }
+
+    /// Bytes across all live WAL segments.
+    pub fn wal_live_bytes(&self) -> Result<u64> {
+        self.inner.wal.live_bytes()
+    }
+
+    /// Number of live WAL segments.
+    pub fn wal_segment_count(&self) -> Result<usize> {
+        Ok(self.inner.wal.segments()?.len())
+    }
+
+    /// Retired page batches still gated behind open snapshots
+    /// (diagnostic; the checkpointer sweeps drained batches).
+    pub fn retired_batches(&self) -> usize {
+        self.inner.published.lock().retired.len()
     }
 
     /// Takes a consistent snapshot covering the given large objects:
@@ -559,6 +712,10 @@ impl SpaceSnapshot {
 
 impl Drop for SpaceSnapshot {
     fn drop(&mut self) {
+        // Pop and free under the retire guard: a checkpoint that has
+        // already captured these batches for its record must get that
+        // record durable before the pages can re-enter circulation.
+        let retire = self.inner.retire_guard.lock();
         let to_reclaim = {
             let mut published = self.inner.published.lock();
             match published.open.get_mut(&self.epoch) {
@@ -574,6 +731,7 @@ impl Drop for SpaceSnapshot {
         // store whose metadata writes fail the pages stay unreachable
         // until the next recovery replays their retire notes.
         let _ = self.inner.free_pages(&to_reclaim);
+        drop(retire);
     }
 }
 
@@ -734,8 +892,24 @@ impl SpaceInner {
         }
     }
 
+    /// Removes `txn` from the active map while anchoring the checkpoint
+    /// low-water mark: between leaving `txns` and finishing its end
+    /// protocol the transaction is invisible to the checkpointer's
+    /// active scan, yet its log records (redo images and commit record,
+    /// or allocation notes awaiting compensation) must not be recycled.
+    /// Callers MUST remove the `committing` entry on every exit path.
+    fn take_txn_anchored(&self, txn: TxnId) -> Result<TxnState> {
+        let mut txns = self.txns.lock();
+        let start_seg = txns
+            .get(&txn.0)
+            .map(|st| st.start_seg)
+            .ok_or(SbError::TxnEnded)?;
+        self.committing.lock().insert(txn.0, start_seg);
+        Ok(txns.remove(&txn.0).expect("present under lock"))
+    }
+
     pub(crate) fn commit_txn(&self, txn: TxnId) -> Result<()> {
-        let mut state = self.txns.lock().remove(&txn.0).ok_or(SbError::TxnEnded)?;
+        let mut state = self.take_txn_anchored(txn)?;
         // 0. Resolve deferred LO drops into their page sets now, under
         //    the exclusive locks this transaction still holds. The
         //    whole set — inode, indirect chain, data pages — is retired
@@ -754,6 +928,7 @@ impl SpaceInner {
         }
         if let Some(e) = drop_failed {
             self.pool.discard_txn(txn);
+            self.committing.lock().remove(&txn.0);
             self.lm.release_all(txn);
             IoStats::bump(&self.stats.txn_aborts);
             self.run_callbacks(txn, TxnEnd::Abort);
@@ -827,6 +1002,7 @@ impl SpaceInner {
             // leaking them (the allocated pages are reclaimed by the
             // next recovery, as for any unfinished transaction).
             self.pool.discard_txn(txn);
+            self.committing.lock().remove(&txn.0);
             self.lm.release_all(txn);
             IoStats::bump(&self.stats.txn_aborts);
             self.run_callbacks(txn, TxnEnd::Abort);
@@ -839,17 +1015,28 @@ impl SpaceInner {
         // on the next recovery), and leaked locks would wedge every
         // later transaction touching the same objects.
         IoStats::bump(&self.stats.txn_commits);
-        // 2. Write the data pages. Group commit is no-force: the
-        //    backend sync is deferred to the next checkpoint, since the
-        //    durable redo images above repair any crash from here.
-        //    Without group commit the pages are forced immediately.
-        let flush_result = self.pool.flush_txn(txn, !self.group_commit);
+        // 2. The data pages. Group commit is no-force: the frames are
+        //    merely relabelled committed-dirty — the checkpointer (or
+        //    eviction pressure) writes them later, since the durable
+        //    redo images above repair any crash from here. Without
+        //    group commit the pages are forced immediately.
+        let flush_result = if self.group_commit {
+            self.pool.mark_committed(txn);
+            Ok(())
+        } else {
+            self.pool.flush_txn(txn, true)
+        };
         // 3. Publish the new page tables atomically (one map swap =
         //    one consistent cut for future snapshots) and queue the
         //    retired pages behind the epoch gate. Pages shared between
         //    the old and new table versions are never in the retired
         //    set, so superseding a published entry frees nothing by
         //    itself.
+        // Excluded from any in-flight checkpoint's capture window: once
+        // a checkpoint has copied the retired queue into its record, no
+        // batch from that copy may reach the free list (and be handed
+        // out again) before the record is durable.
+        let _retire = self.retire_guard.lock();
         let to_reclaim = {
             let mut published = self.published.lock();
             if !state.pending_publish.is_empty() || !state.pending_drops.is_empty() {
@@ -885,7 +1072,14 @@ impl SpaceInner {
             }
             Self::reclaimable(&mut published)
         };
+        // Frames are marked and the retired batch is queued (a
+        // checkpoint from here carries it in its record), so the
+        // low-water anchor can drop.
+        self.committing.lock().remove(&txn.0);
         let reclaim_result = self.free_pages(&to_reclaim);
+        // Released before callbacks run: a callback may drop a snapshot,
+        // whose destructor takes the guard itself.
+        drop(_retire);
         let count_result = if state.pending_drops.is_empty() {
             Ok(())
         } else {
@@ -898,7 +1092,11 @@ impl SpaceInner {
     }
 
     pub(crate) fn abort_txn(&self, txn: TxnId) -> Result<()> {
-        let state = self.txns.lock().remove(&txn.0).ok_or(SbError::TxnEnded)?;
+        // Anchored like a commit: until the abort record (or at least
+        // the free-list compensation) is logged, recycling the segment
+        // holding this transaction's allocation notes would leak its
+        // pages if we then crash.
+        let state = self.take_txn_anchored(txn)?;
         // Counted up front: a failure while compensating below still
         // ends the transaction as an abort.
         IoStats::bump(&self.stats.txn_aborts);
@@ -919,10 +1117,114 @@ impl SpaceInner {
             IoStats::bump(&self.stats.wal_syncs);
             self.wal.sync()
         })();
+        self.committing.lock().remove(&txn.0);
         // 4. Release locks and notify.
         self.lm.release_all(txn);
         self.run_callbacks(txn, TxnEnd::Abort);
         compensated
+    }
+
+    /// One fuzzy checkpoint. The ordering is the crash-safety argument:
+    ///
+    /// 1. capture the low-water mark — the oldest segment any live
+    ///    (active or mid-end) transaction may still need. Transactions
+    ///    that begin or commit during the walk either anchored the mark
+    ///    or append into segments at or above it, which survive;
+    /// 2. flush committed-dirty frames shard by shard (writers on other
+    ///    shards proceed — the fuzzy part) and sync the backend. Every
+    ///    redo image below the mark is now redundant;
+    /// 3. append a checkpoint record carrying the retire backlog still
+    ///    pinned by open snapshots, and make it durable. Only *after*
+    ///    that record is on disk
+    /// 4. recycle the segments below the mark, then sweep retired
+    ///    batches whose snapshots have drained.
+    ///
+    /// A failure at any step returns before the later steps run, so a
+    /// failed checkpoint never truncates or recycles anything: the
+    /// previous checkpoint stays authoritative and the next attempt
+    /// retries the whole sequence.
+    fn checkpoint_once(&self) -> Result<()> {
+        let lwm = {
+            let txns = self.txns.lock();
+            let committing = self.committing.lock();
+            txns.values()
+                .map(|st| st.start_seg)
+                .chain(committing.values().copied())
+                .min()
+                .unwrap_or_else(|| self.wal.active_segment())
+        };
+        self.pool.flush_committed()?;
+        self.pool.sync_backend()?;
+        // From here to the end of the sweep: no snapshot drop or commit
+        // may pop-and-free a retired batch. The record below claims the
+        // batches captured here, and a claim is only crash-safe if any
+        // later reallocation of those pages logs its `AllocNote` *after*
+        // the record (see `retire_guard`).
+        let _capture = self.retire_guard.lock();
+        // The segments holding the original retire notes may be
+        // recycled below; a crash ends every snapshot, so recovery
+        // frees these exactly like committed retire notes.
+        let pending_retire: Vec<u32> = {
+            let published = self.published.lock();
+            published
+                .retired
+                .iter()
+                .flat_map(|(_, pages)| pages.iter().copied())
+                .collect()
+        };
+        let record = WalRecord::Checkpoint { pending_retire }.encode();
+        if self.group_commit {
+            // Ride the group committer: honours its poisoning (never
+            // append past a possibly-torn tail) and serialises with
+            // concurrent commit batches.
+            self.group.commit(self.wal.as_ref(), &self.stats, record)?;
+        } else {
+            self.wal.append(&record)?;
+            IoStats::bump(&self.stats.wal_syncs);
+            self.wal.sync()?;
+        }
+        let recycled = self.wal.recycle_below(lwm)?;
+        self.segments_recycled.add(recycled as u64);
+        // Sweep drained retire batches online — previously they were
+        // only freed when a snapshot dropped or a commit ran, so a
+        // batch whose last snapshot died without reclaiming (e.g. a
+        // failed destructor-side free) stayed stranded until reboot.
+        let to_reclaim = {
+            let mut published = self.published.lock();
+            Self::reclaimable(&mut published)
+        };
+        self.free_pages(&to_reclaim)?;
+        self.wal_live_bytes.set(self.wal.live_bytes()?);
+        Ok(())
+    }
+
+    /// Runs one checkpoint, keeping score: success bumps
+    /// `sbspace.checkpoints`, failure bumps `sbspace.checkpoint_failures`
+    /// and — by the ordering inside [`SpaceInner::checkpoint_once`] —
+    /// leaves the previous checkpoint authoritative.
+    pub(crate) fn run_checkpoint(&self) -> Result<()> {
+        let result = self.checkpoint_once();
+        match &result {
+            Ok(()) => self.checkpoints.inc(),
+            Err(_) => self.checkpoint_failures.inc(),
+        }
+        result
+    }
+}
+
+impl Drop for SpaceInner {
+    fn drop(&mut self) {
+        *self.ckpt_stop.0.lock() = true;
+        self.ckpt_stop.1.notify_all();
+        if let Some(handle) = self.ckpt_thread.get_mut().take() {
+            // The checkpointer's own weak upgrade can briefly make it
+            // the last owner, in which case this drop runs *on* that
+            // thread — and a thread cannot join itself. It exits on its
+            // next loop iteration instead.
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
     }
 }
 

@@ -22,6 +22,12 @@ pub enum TxnEnd {
 #[derive(Debug)]
 pub(crate) struct TxnState {
     pub iso: IsolationLevel,
+    /// The WAL segment that was active when the transaction began — a
+    /// lower bound on where any of its records can live. The fuzzy
+    /// checkpointer's low-water mark is the minimum over all live
+    /// transactions, so no segment a live transaction may still need
+    /// is ever recycled.
+    pub start_seg: u64,
     /// Objects this transaction holds locks on (for release at end).
     pub locks: HashSet<u32>,
     /// Pages allocated by this transaction (compensated on abort).
@@ -42,9 +48,10 @@ pub(crate) struct TxnState {
 }
 
 impl TxnState {
-    pub fn new(iso: IsolationLevel) -> TxnState {
+    pub fn new(iso: IsolationLevel, start_seg: u64) -> TxnState {
         TxnState {
             iso,
+            start_seg,
             locks: HashSet::new(),
             alloc_pages: Vec::new(),
             owned: HashSet::new(),

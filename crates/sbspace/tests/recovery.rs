@@ -272,8 +272,14 @@ impl WalStore for TearingWal {
     fn sync(&self) -> Result<()> {
         self.inner.sync()
     }
-    fn read_all(&self) -> Result<Vec<u8>> {
-        self.inner.read_all()
+    fn read_segment(&self, seg: u64) -> Result<Vec<u8>> {
+        self.inner.read_segment(seg)
+    }
+    fn segments(&self) -> Result<Vec<u64>> {
+        self.inner.segments()
+    }
+    fn active_segment(&self) -> u64 {
+        self.inner.active_segment()
     }
     fn truncate(&self) -> Result<()> {
         self.inner.truncate()

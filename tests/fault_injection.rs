@@ -13,9 +13,13 @@ use grtree_datablade::temporal::{Day, MockClock};
 use std::sync::Arc;
 
 fn faulty_db() -> (Database, Arc<FaultInjector<MemBackend>>, MockClock) {
+    faulty_db_opts(SbspaceOptions::default())
+}
+
+fn faulty_db_opts(opts: SbspaceOptions) -> (Database, Arc<FaultInjector<MemBackend>>, MockClock) {
     let backend = Arc::new(FaultInjector::new(MemBackend::new()));
-    let wal = Arc::new(MemWal::new());
-    let space = Sbspace::open_with(Arc::clone(&backend), wal, SbspaceOptions::default()).unwrap();
+    let wal = Arc::new(MemWal::with_segment_bytes(opts.wal_segment_bytes));
+    let space = Sbspace::open_with(Arc::clone(&backend), wal, opts).unwrap();
     let clock = MockClock::new(Day(10_000));
     let db = Database::with_space(space, Arc::new(clock.clone()));
     install_grtree_blade(
@@ -196,4 +200,68 @@ fn rollback_does_not_double_count_writes() {
         "abort compensation rewrote the transaction's own writes: \
          {abort_first} vs {commit_before} committed"
     );
+}
+
+/// An I/O fault during the checkpoint's data flush must fail that
+/// checkpoint and nothing else: no WAL segment is recycled (the
+/// previous checkpoint stays authoritative, so recovery can still
+/// replay everything), committed data stays readable, and the next
+/// checkpoint after healing succeeds and resumes recycling.
+#[test]
+fn checkpoint_flush_fault_keeps_previous_checkpoint_authoritative() {
+    let (db, backend, clock) = faulty_db_opts(SbspaceOptions {
+        // No-force commits leave committed-dirty frames for the
+        // checkpoint flush to write — the path the fault targets.
+        group_commit: true,
+        wal_segment_bytes: 8 * 1024,
+        ..Default::default()
+    });
+    let conn = db.connect();
+    conn.exec("CREATE TABLE t (id integer, Time_Extent GRT_TimeExtent_t)")
+        .unwrap();
+    conn.exec("CREATE INDEX tix ON t(Time_Extent grt_opclass) USING grtree_am")
+        .unwrap();
+    for i in 0..40i32 {
+        clock.set(Day(10_000 + i));
+        let (y, m, d) = Day(10_000 + i).to_ymd();
+        conn.exec(&format!(
+            "INSERT INTO t VALUES ({i}, '{m:02}/{d:02}/{y}, UC, {m:02}/{d:02}/{y}, NOW')"
+        ))
+        .unwrap();
+    }
+    let sb = db.space();
+    let segs_before = sb.wal_segment_count().unwrap();
+    assert!(segs_before > 1, "churn should have rolled segments");
+
+    let base = db.metrics_snapshot();
+    backend.fail_after(1);
+    assert!(sb.checkpoint().is_err(), "flush fault must surface");
+    backend.heal();
+    let d = db.metrics_snapshot().since(&base);
+    assert_eq!(d.get("sbspace.checkpoint_failures"), 1);
+    assert_eq!(d.get("sbspace.checkpoints"), 0);
+    assert_eq!(
+        d.get("wal.segments_recycled"),
+        0,
+        "a failed checkpoint must never recycle segments"
+    );
+    assert_eq!(
+        sb.wal_segment_count().unwrap(),
+        segs_before,
+        "WAL must be intact after a failed checkpoint"
+    );
+
+    // Committed data is still all there, and the engine keeps working.
+    assert_eq!(conn.exec("SELECT id FROM t").unwrap().rows.len(), 40);
+    conn.exec("CHECK INDEX tix").unwrap();
+
+    // Healed, the retry succeeds and recycling resumes.
+    sb.checkpoint().unwrap();
+    let d = db.metrics_snapshot().since(&base);
+    assert_eq!(d.get("sbspace.checkpoints"), 1);
+    assert!(
+        sb.wal_segment_count().unwrap() < segs_before,
+        "the healed checkpoint should recycle the replayed prefix"
+    );
+    assert_eq!(conn.exec("SELECT id FROM t").unwrap().rows.len(), 40);
 }

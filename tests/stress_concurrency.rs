@@ -378,6 +378,28 @@ fn stress_mixed_workload_reconciles() {
         "space snapshots leaked past quiesce"
     );
 
+    // Retirement hygiene: the churn superseded published page tables
+    // (every committed DML republishes its object's table), and with
+    // every snapshot closed a single checkpoint must sweep the whole
+    // deferred-reclamation queue — nothing stays stranded behind an
+    // epoch that already drained — while the wal.live_bytes gauge
+    // tracks the log exactly.
+    assert!(
+        d.get("sbspace.page_tables_retired") > 0,
+        "churn never superseded a published page table: {d}"
+    );
+    db.space().checkpoint().unwrap();
+    assert_eq!(
+        db.space().retired_batches(),
+        0,
+        "retired batches stranded with no snapshot open"
+    );
+    assert_eq!(
+        db.metrics_snapshot().gauge("wal.live_bytes"),
+        db.space().wal_live_bytes().unwrap(),
+        "wal.live_bytes gauge drifted from the log"
+    );
+
     // The workload must have actually contended — otherwise the
     // harness proves nothing. Waits are guaranteed at 2+ sessions;
     // deadlocks/retries are probabilistic, so only assert that the
