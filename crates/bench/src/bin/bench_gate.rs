@@ -7,6 +7,7 @@
 //! bench_gate <candidate.json> --wire-overhead [--threshold 10.0]
 //! bench_gate <candidate.json> --read-scaling [--threshold 1.0]
 //! bench_gate <candidate.json> --wal-bound [--threshold 0.75]
+//! bench_gate <candidate.json> --cold-scan [--threshold 1.0]
 //! ```
 //!
 //! Default mode compares `ns_per_read` for every `(config, threads)`
@@ -40,6 +41,14 @@
 //! Snapshot reads keep the scan-dominated workload flat-to-rising in
 //! the session count; a collapse means readers queue on writer locks.
 //!
+//! `--cold-scan` is absolute over a `BENCH_io.json` report: the
+//! prefetched cold scan must run at least as fast as the prefetch-off
+//! pass (`--threshold`, default 1.0x — prefetch may never hurt),
+//! prefetch hits must have landed, vectored reads and the batched
+//! checkpoint flush must both have coalesced into multi-page runs, and
+//! the cold+warm window must show physical reads strictly below
+//! logical ones.
+//!
 //! `--wal-bound` is absolute over a `BENCH_soak.json` report: the
 //! soak's peak live WAL must stay under the limit the run was sized
 //! for, recovery must finish under its limit, the checkpointer must
@@ -66,6 +75,7 @@ enum Mode {
     WireOverhead,
     ReadScaling,
     WalBound,
+    ColdScan,
 }
 
 fn main() {
@@ -102,6 +112,9 @@ fn main() {
         } else if a == "--wal-bound" {
             mode = Mode::WalBound;
             threshold = 0.75;
+        } else if a == "--cold-scan" {
+            mode = Mode::ColdScan;
+            threshold = 1.0;
         } else if a == "--quick" {
             quick = true;
         } else {
@@ -110,7 +123,7 @@ fn main() {
     }
     if quick {
         tolerance *= 2.0;
-        if mode == Mode::ReadScaling || mode == Mode::WalBound {
+        if mode == Mode::ReadScaling || mode == Mode::WalBound || mode == Mode::ColdScan {
             threshold *= 0.8;
         }
         println!("bench_gate: quick-mode candidate, tolerance widened to {tolerance:.2}");
@@ -178,6 +191,42 @@ fn main() {
         return;
     }
 
+    if mode == Mode::ColdScan {
+        let [candidate_path] = files.as_slice() else {
+            usage("--cold-scan expects one report file")
+        };
+        let figs = gate::parse_cold_scan(&read(candidate_path));
+        for key in [
+            "tree_pages",
+            "pool_pages",
+            "cold_speedup",
+            "pages_per_run_on",
+            "prefetch_issued",
+            "prefetch_hits",
+            "prefetch_wasted",
+            "delta_logical_reads",
+            "delta_physical_reads",
+            "mb_per_sec",
+            "pages_per_write_run",
+        ] {
+            if let Some(v) = figs.get(key) {
+                println!("coldscan {key}: {v}");
+            }
+        }
+        let failures = gate::cold_scan_failures(&figs, threshold);
+        if !failures.is_empty() {
+            for msg in &failures {
+                eprintln!("bench_gate: {msg}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "bench_gate: prefetched cold scan >= {threshold:.2}x the prefetch-off \
+             pass, with real hits and coalesced runs"
+        );
+        return;
+    }
+
     if mode == Mode::ReadScaling {
         let [candidate_path] = files.as_slice() else {
             usage("--read-scaling expects one report file")
@@ -240,7 +289,11 @@ fn main() {
         Mode::ReadLatency => gate::parse_read_rates,
         Mode::Throughput => gate::parse_throughputs,
         Mode::ScanSpeedup => gate::parse_speedups,
-        Mode::PreparedSpeedup | Mode::WireOverhead | Mode::ReadScaling | Mode::WalBound => {
+        Mode::PreparedSpeedup
+        | Mode::WireOverhead
+        | Mode::ReadScaling
+        | Mode::WalBound
+        | Mode::ColdScan => {
             unreachable!("handled above")
         }
     };
@@ -255,7 +308,8 @@ fn main() {
             | Mode::PreparedSpeedup
             | Mode::WireOverhead
             | Mode::ReadScaling
-            | Mode::WalBound => "(config, workers)",
+            | Mode::WalBound
+            | Mode::ColdScan => "(config, workers)",
         };
         eprintln!("bench_gate: no shared {key} pairs between the reports");
         std::process::exit(2);
@@ -271,7 +325,8 @@ fn main() {
             | Mode::PreparedSpeedup
             | Mode::WireOverhead
             | Mode::ReadScaling
-            | Mode::WalBound => c.regressed_throughput(tolerance),
+            | Mode::WalBound
+            | Mode::ColdScan => c.regressed_throughput(tolerance),
         };
         let verdict = if regressed {
             failed = true;
@@ -296,7 +351,12 @@ fn main() {
                 c.candidate_ns,
                 (c.ratio - 1.0) * 100.0,
             ),
-            Mode::ScanSpeedup | Mode::PreparedSpeedup | Mode::WireOverhead | Mode::ReadScaling | Mode::WalBound => {
+            Mode::ScanSpeedup
+            | Mode::PreparedSpeedup
+            | Mode::WireOverhead
+            | Mode::ReadScaling
+            | Mode::WalBound
+            | Mode::ColdScan => {
                 println!(
                     "{:<12} {} worker(s): baseline {:5.2}x, candidate {:5.2}x ({:+.1}%)  {verdict}",
                     c.config,
@@ -316,7 +376,8 @@ fn main() {
             | Mode::PreparedSpeedup
             | Mode::WireOverhead
             | Mode::ReadScaling
-            | Mode::WalBound => "scan speedup",
+            | Mode::WalBound
+            | Mode::ColdScan => "scan speedup",
         };
         eprintln!(
             "bench_gate: {what} regressed more than {:.0}% — see lines above",
@@ -334,7 +395,9 @@ fn usage(err: &str) -> ! {
          [--throughput | --scan-speedup]\n       \
          bench_gate <candidate.json> --prepared-speedup [--threshold 1.3]\n       \
          bench_gate <candidate.json> --wire-overhead [--threshold 10.0]\n       \
-         bench_gate <candidate.json> --read-scaling [--threshold 1.0]"
+         bench_gate <candidate.json> --read-scaling [--threshold 1.0]\n       \
+         bench_gate <candidate.json> --wal-bound [--threshold 0.75]\n       \
+         bench_gate <candidate.json> --cold-scan [--threshold 1.0]"
     );
     std::process::exit(2);
 }

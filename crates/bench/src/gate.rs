@@ -290,6 +290,83 @@ pub fn wal_bound_failures(soak: &SoakFigures, threshold: f64) -> Vec<String> {
     out
 }
 
+/// Extracts every numeric field inside the `coldscan` and `checkpoint`
+/// sections of a `BENCH_io.json`-shaped report into one flat map — the
+/// field names are disjoint across the two sections by construction.
+pub fn parse_cold_scan(json: &str) -> SoakFigures {
+    let mut out = SoakFigures::new();
+    let mut config = String::new();
+    for line in json.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix('"') {
+            if let Some((name, tail)) = rest.split_once('"') {
+                if tail.trim() == ": {" {
+                    config = name.to_string();
+                    continue;
+                }
+            }
+        }
+        if config != "coldscan" && config != "checkpoint" {
+            continue;
+        }
+        if let Some((key, _)) = t.trim_start_matches('"').split_once('"') {
+            if let Some(v) = field(t, key) {
+                out.insert(key.to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+/// Gate verdict over a cold-scan report, absolute like the soak gate:
+/// the prefetched cold scan must reach `threshold` × the
+/// prefetch-off latency (>= 1.0 full, relaxed to 0.8 by `--quick` —
+/// prefetch must never *hurt*), prefetch hits must actually have
+/// landed, vectored reads must have coalesced into multi-page runs
+/// (`pages_per_run_on` > 1), the cold+warm window must show the pool
+/// absorbing the revisit (physical < logical reads), and the batched
+/// checkpoint flush must have coalesced sorted dirty pages. Returns
+/// one message per violation; empty means the gate passes.
+pub fn cold_scan_failures(figs: &SoakFigures, threshold: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    let get = |key: &str| figs.get(key).copied();
+    let Some(speedup) = get("cold_speedup") else {
+        return vec!["no coldscan figures in the report (rerun the coldscan bench)".to_string()];
+    };
+    if speedup < threshold {
+        out.push(format!(
+            "prefetched cold scan ran at {speedup:.2}x the prefetch-off latency \
+             (below the {threshold:.2}x floor)"
+        ));
+    }
+    if get("prefetch_hits").unwrap_or(0.0) <= 0.0 {
+        out.push("no prefetched page was ever hit by the scan".to_string());
+    }
+    match get("pages_per_run_on") {
+        Some(ppr) if ppr <= 1.0 => out.push(format!(
+            "prefetch reads never coalesced ({ppr:.2} pages per run)"
+        )),
+        Some(_) => {}
+        None => out.push("report lacks pages_per_run_on".to_string()),
+    }
+    match (get("delta_physical_reads"), get("delta_logical_reads")) {
+        (Some(phys), Some(logical)) if phys >= logical => out.push(format!(
+            "cold+warm window did {phys:.0} physical reads against only \
+             {logical:.0} logical — the pool absorbed nothing"
+        )),
+        (Some(_), Some(_)) => {}
+        _ => out.push("report lacks the cold+warm read deltas".to_string()),
+    }
+    match get("pages_per_write_run") {
+        Some(ppr) if ppr <= 1.0 => out.push(format!(
+            "checkpoint flush never coalesced ({ppr:.2} pages per write run)"
+        )),
+        Some(_) => {}
+        None => out.push("report lacks the checkpoint flush figures".to_string()),
+    }
+    out
+}
+
 /// The numeric value of `"key": <num>` inside a one-line JSON object.
 fn field(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
@@ -651,6 +728,77 @@ mod tests {
         assert!(!wal_bound_failures(&bad, 0.75).is_empty());
         // An empty report can never pass.
         assert!(!wal_bound_failures(&SoakFigures::new(), 0.75).is_empty());
+    }
+
+    const IO_REPORT: &str = r#"{
+  "coldscan": {
+    "entries": 60000,
+    "tree_pages": 2100,
+    "pool_pages": 256,
+    "rows": 60000,
+    "cold_ns_off": 52000000,
+    "cold_ns_on": 41000000,
+    "cold_speedup": 1.268,
+    "physical_reads_off": 2100,
+    "physical_reads_on": 2100,
+    "read_runs_on": 310,
+    "pages_per_run_on": 6.77,
+    "prefetch_issued": 2000,
+    "prefetch_hits": 1800,
+    "prefetch_wasted": 40,
+    "delta_logical_reads": 4200,
+    "delta_physical_reads": 2150
+  },
+  "checkpoint": {
+    "dirty_pages": 2000,
+    "flush_ms": 18.40,
+    "mb_per_sec": 890.1,
+    "write_runs": 12,
+    "pages_per_write_run": 166.67,
+    "coalesced_writes": 1988
+  }
+}
+"#;
+
+    #[test]
+    fn parses_cold_scan_figures_from_both_sections() {
+        let s = parse_cold_scan(IO_REPORT);
+        assert_eq!(s["cold_speedup"], 1.268);
+        assert_eq!(s["prefetch_hits"], 1800.0);
+        assert_eq!(s["pages_per_run_on"], 6.77);
+        assert_eq!(s["pages_per_write_run"], 166.67);
+        assert_eq!(s["delta_physical_reads"], 2150.0);
+    }
+
+    #[test]
+    fn cold_scan_gate_is_absolute() {
+        let s = parse_cold_scan(IO_REPORT);
+        assert!(cold_scan_failures(&s, 1.0).is_empty());
+        // A prefetch pass slower than the floor fails.
+        let mut bad = s.clone();
+        bad.insert("cold_speedup".into(), 0.7);
+        let msgs = cold_scan_failures(&bad, 1.0);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("below the 1.00x floor"));
+        // ...but the quick floor tolerates the same figure.
+        assert!(cold_scan_failures(&bad, 0.65).is_empty());
+        // Zero hits means the prefetcher never actually warmed a read.
+        let mut bad = s.clone();
+        bad.insert("prefetch_hits".into(), 0.0);
+        assert!(!cold_scan_failures(&bad, 1.0).is_empty());
+        // Single-page runs mean vectored I/O never coalesced.
+        let mut bad = s.clone();
+        bad.insert("pages_per_run_on".into(), 1.0);
+        assert!(!cold_scan_failures(&bad, 1.0).is_empty());
+        let mut bad = s.clone();
+        bad.insert("pages_per_write_run".into(), 1.0);
+        assert!(!cold_scan_failures(&bad, 1.0).is_empty());
+        // A window where every logical read went physical fails.
+        let mut bad = s.clone();
+        bad.insert("delta_physical_reads".into(), 4200.0);
+        assert!(!cold_scan_failures(&bad, 1.0).is_empty());
+        // An empty report can never pass.
+        assert!(!cold_scan_failures(&SoakFigures::new(), 1.0).is_empty());
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub trait NodeSource {
     fn read_node(&self, page: u32) -> Result<GrNode>;
     /// The operation counters to charge the traversal to.
     fn metrics(&self) -> &TreeMetrics;
+    /// Announces pages the traversal will likely read next, so a source
+    /// backed by a prefetching buffer pool can overlap the reads with
+    /// the cursor's compute. Advisory; the default does nothing.
+    fn prefetch(&self, _pages: &[u32]) {}
 }
 
 enum FrameEntries {
@@ -99,6 +103,22 @@ impl GrCursor {
             GrNode::Leaf(v) => FrameEntries::Leaf(v),
             GrNode::Internal { entries, .. } => FrameEntries::Internal(entries),
         };
+        if let FrameEntries::Internal(entries) = &entries {
+            // Announce every child this node will descend into (the
+            // same consistency test `next()` applies, minus its metric
+            // bumps) so their reads overlap the per-entry compute.
+            let kids: Vec<u32> = entries
+                .iter()
+                .filter(|e| {
+                    self.pred
+                        .consistent(&e.spec.resolve(self.ct), &self.query_region)
+                })
+                .map(|e| e.child)
+                .collect();
+            if kids.len() > 1 {
+                src.prefetch(&kids);
+            }
+        }
         self.stack.push(Frame { entries, next: 0 });
         Ok(())
     }

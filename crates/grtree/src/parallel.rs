@@ -123,6 +123,10 @@ impl NodeSource for GrTreeReader {
     fn metrics(&self) -> &TreeMetrics {
         &self.metrics
     }
+
+    fn prefetch(&self, pages: &[u32]) {
+        self.reader.prefetch(pages);
+    }
 }
 
 /// Figures reported by one [`parallel_scan`] execution.
@@ -170,6 +174,7 @@ fn scan_subtree(
                 }
             }
             GrNode::Internal { entries, .. } => {
+                let mark = stack.len();
                 for e in entries {
                     if e.spec.hidden {
                         reader.metrics.hidden_resolutions.inc();
@@ -180,6 +185,9 @@ fn scan_subtree(
                     if pred.consistent(&e.spec.resolve(ct), query_region) {
                         stack.push(e.child);
                     }
+                }
+                if stack.len() > mark + 1 {
+                    reader.prefetch(&stack[mark..]);
                 }
             }
         }
@@ -234,6 +242,7 @@ pub fn parallel_scan(
                     frontier.push(e.child);
                 }
             }
+            reader.prefetch(&frontier);
         }
     }
     // Frontier nodes start one level below the root; stop expanding
@@ -260,6 +269,7 @@ pub fn parallel_scan(
             }
         }
         frontier = next;
+        reader.prefetch(&frontier);
         depth += 1;
     }
 

@@ -754,6 +754,10 @@ impl crate::cursor::NodeSource for GrTree {
     fn metrics(&self) -> &TreeMetrics {
         &self.metrics
     }
+
+    fn prefetch(&self, pages: &[u32]) {
+        self.lo.prefetch(pages);
+    }
 }
 
 #[cfg(test)]

@@ -2569,6 +2569,14 @@ impl Connection {
                 Some(s) => format!("{}: plan: snapshot (epoch {})", table_meta.name, s.epoch()),
                 None => format!("{}: plan: locked", table_meta.name),
             });
+        self.scoped_trace().emit_with("EXPLAIN", 1, || {
+            let (workers, depth) = self.db.inner.space.prefetch_params();
+            if workers > 0 {
+                format!("{}: scan prefetch: on(depth={depth})", table_meta.name)
+            } else {
+                format!("{}: scan prefetch: off", table_meta.name)
+            }
+        });
         *self.active_snapshot.lock() = snapshot;
         let mut rows = Vec::new();
         let scanned = (|| {

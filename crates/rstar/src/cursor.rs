@@ -23,6 +23,10 @@ pub trait NodeSource {
     fn read_node(&self, page: u32) -> Result<Node>;
     /// The operation counters to charge the traversal to.
     fn metrics(&self) -> &TreeMetrics;
+    /// Announces pages the traversal will likely read next, so a source
+    /// backed by a prefetching buffer pool can overlap the reads with
+    /// the cursor's compute. Advisory; the default does nothing.
+    fn prefetch(&self, _pages: &[u32]) {}
 }
 
 struct Frame {
@@ -70,6 +74,20 @@ impl RStarCursor {
     fn push<S: NodeSource>(&mut self, src: &S, page: u32) -> Result<()> {
         src.metrics().nodes_visited.inc();
         let node = src.read_node(page)?;
+        if node.level > 0 {
+            // Announce every child this node will descend into (the
+            // same consistency test `next()` applies) so their reads
+            // overlap the per-entry compute.
+            let kids: Vec<u32> = node
+                .entries
+                .iter()
+                .filter(|e| e.rect.consistent(self.pred, &self.query))
+                .map(|e| e.payload as u32)
+                .collect();
+            if kids.len() > 1 {
+                src.prefetch(&kids);
+            }
+        }
         self.stack.push(Frame {
             entries: node.entries,
             level: node.level,

@@ -112,6 +112,10 @@ impl NodeSource for RStarTreeReader {
     fn metrics(&self) -> &TreeMetrics {
         &self.metrics
     }
+
+    fn prefetch(&self, pages: &[u32]) {
+        self.reader.prefetch(pages);
+    }
 }
 
 /// Figures reported by one [`parallel_scan`] execution.
@@ -154,10 +158,14 @@ fn scan_subtree(
                 }
             }
         } else {
+            let mark = stack.len();
             for e in node.entries {
                 if e.rect.consistent(pred, query) {
                     stack.push(e.payload as u32);
                 }
+            }
+            if stack.len() > mark + 1 {
+                reader.prefetch(&stack[mark..]);
             }
         }
     }
@@ -198,6 +206,7 @@ pub fn parallel_scan(
             frontier.push(e.payload as u32);
         }
     }
+    reader.prefetch(&frontier);
     // Frontier nodes start one level below the root; stop expanding
     // before the leaf level (depth `height - 1`).
     let mut depth = 1;
@@ -211,6 +220,7 @@ pub fn parallel_scan(
             }
         }
         frontier = next;
+        reader.prefetch(&frontier);
         depth += 1;
     }
 

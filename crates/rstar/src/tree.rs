@@ -614,6 +614,10 @@ impl crate::cursor::NodeSource for RStarTree {
     fn metrics(&self) -> &TreeMetrics {
         &self.metrics
     }
+
+    fn prefetch(&self, pages: &[u32]) {
+        self.lo.prefetch(pages);
+    }
 }
 
 #[cfg(test)]

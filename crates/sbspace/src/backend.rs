@@ -22,6 +22,29 @@ pub trait Backend: Send + Sync {
     fn page_count(&self) -> u32;
     /// Durably flushes all previous writes.
     fn sync(&self) -> Result<()>;
+
+    /// Reads a batch of pages; `pids` and `out` are parallel slices.
+    /// The default forwards page by page; backends with positional I/O
+    /// override it to coalesce contiguous `PageId` runs into single
+    /// transfers. Callers that want coalescing should pass `pids` in
+    /// ascending order.
+    fn read_pages(&self, pids: &[PageId], out: &mut [PageBuf]) -> Result<()> {
+        debug_assert_eq!(pids.len(), out.len());
+        for (pid, buf) in pids.iter().zip(out.iter_mut()) {
+            self.read_page(*pid, buf)?;
+        }
+        Ok(())
+    }
+
+    /// Writes a batch of pages. Same contract as [`Backend::read_pages`]:
+    /// the default forwards page by page, positional backends coalesce
+    /// ascending contiguous runs.
+    fn write_pages(&self, pages: &[(PageId, &[u8; PAGE_SIZE])]) -> Result<()> {
+        for (pid, data) in pages {
+            self.write_page(*pid, data)?;
+        }
+        Ok(())
+    }
 }
 
 /// In-memory backend for tests and benchmarks.
@@ -125,6 +148,74 @@ impl Backend for FileBackend {
             .sync_data()
             .map_err(|e| SbError::Io(e.to_string()))
     }
+
+    /// Coalesces ascending contiguous `PageId` runs into one positioned
+    /// read each, zero-filling past the end of the file.
+    fn read_pages(&self, pids: &[PageId], out: &mut [PageBuf]) -> Result<()> {
+        debug_assert_eq!(pids.len(), out.len());
+        let mut f = self.file.lock();
+        let len = f.metadata().map_err(|e| SbError::Io(e.to_string()))?.len();
+        let mut i = 0;
+        while i < pids.len() {
+            let run = contiguous_run(&pids[i..]);
+            let off = pids[i].0 as u64 * PAGE_SIZE as u64;
+            let want = run * PAGE_SIZE;
+            let avail = if off >= len {
+                0
+            } else {
+                ((len - off) as usize).min(want)
+            };
+            let mut buf = vec![0u8; want];
+            if avail > 0 {
+                f.seek(SeekFrom::Start(off))
+                    .map_err(|e| SbError::Io(e.to_string()))?;
+                f.read_exact(&mut buf[..avail])
+                    .map_err(|e| SbError::Io(e.to_string()))?;
+            }
+            for (k, chunk) in buf.chunks_exact(PAGE_SIZE).enumerate() {
+                out[i + k].copy_from_slice(chunk);
+            }
+            i += run;
+        }
+        Ok(())
+    }
+
+    /// Coalesces ascending contiguous `PageId` runs into one positioned
+    /// write each.
+    fn write_pages(&self, pages: &[(PageId, &[u8; PAGE_SIZE])]) -> Result<()> {
+        let mut f = self.file.lock();
+        let mut i = 0;
+        while i < pages.len() {
+            let run = contiguous_run_pairs(&pages[i..]);
+            let mut buf = Vec::with_capacity(run * PAGE_SIZE);
+            for (_, data) in &pages[i..i + run] {
+                buf.extend_from_slice(&data[..]);
+            }
+            f.seek(SeekFrom::Start(pages[i].0 .0 as u64 * PAGE_SIZE as u64))
+                .map_err(|e| SbError::Io(e.to_string()))?;
+            f.write_all(&buf).map_err(|e| SbError::Io(e.to_string()))?;
+            i += run;
+        }
+        Ok(())
+    }
+}
+
+/// Length of the ascending contiguous run at the head of `pids`.
+fn contiguous_run(pids: &[PageId]) -> usize {
+    let mut n = 1;
+    while n < pids.len() && pids[n].0 == pids[n - 1].0.wrapping_add(1) {
+        n += 1;
+    }
+    n
+}
+
+/// Length of the ascending contiguous run at the head of `pages`.
+fn contiguous_run_pairs(pages: &[(PageId, &[u8; PAGE_SIZE])]) -> usize {
+    let mut n = 1;
+    while n < pages.len() && pages[n].0 .0 == pages[n - 1].0 .0.wrapping_add(1) {
+        n += 1;
+    }
+    n
 }
 
 /// Wraps another backend and fails the N-th physical operation — the
@@ -196,6 +287,26 @@ impl<B: Backend> Backend for FaultInjector<B> {
         self.tick()?;
         self.inner.sync()
     }
+
+    // Vectored calls forward page by page so each page costs exactly one
+    // tick — `fail_after(n)` keeps meaning "the n-th page transfer",
+    // whether the pool batched it or not. (Coalescing in the wrapped
+    // backend is forfeited under injection; the tests that count faults
+    // matter more than the syscalls they no longer share.)
+    fn read_pages(&self, pids: &[PageId], out: &mut [PageBuf]) -> Result<()> {
+        debug_assert_eq!(pids.len(), out.len());
+        for (pid, buf) in pids.iter().zip(out.iter_mut()) {
+            self.read_page(*pid, buf)?;
+        }
+        Ok(())
+    }
+
+    fn write_pages(&self, pages: &[(PageId, &[u8; PAGE_SIZE])]) -> Result<()> {
+        for (pid, data) in pages {
+            self.write_page(*pid, data)?;
+        }
+        Ok(())
+    }
 }
 
 impl<B: Backend> Backend for Arc<B> {
@@ -210,6 +321,12 @@ impl<B: Backend> Backend for Arc<B> {
     }
     fn sync(&self) -> Result<()> {
         (**self).sync()
+    }
+    fn read_pages(&self, pids: &[PageId], out: &mut [PageBuf]) -> Result<()> {
+        (**self).read_pages(pids, out)
+    }
+    fn write_pages(&self, pages: &[(PageId, &[u8; PAGE_SIZE])]) -> Result<()> {
+        (**self).write_pages(pages)
     }
 }
 
@@ -255,6 +372,75 @@ mod tests {
         b.read_page(PageId(7), &mut out).unwrap();
         assert_eq!(&out[..5], b"seven");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn vectored_roundtrip(b: &dyn Backend) {
+        // Two contiguous runs with a gap: [3,4,5] and [9,10].
+        let pids: Vec<PageId> = [3u32, 4, 5, 9, 10].iter().map(|&p| PageId(p)).collect();
+        let images: Vec<PageBuf> = pids
+            .iter()
+            .map(|pid| page_from_slice(&[pid.0 as u8; 16]))
+            .collect();
+        let pairs: Vec<(PageId, &[u8; PAGE_SIZE])> = pids
+            .iter()
+            .zip(images.iter())
+            .map(|(pid, img)| (*pid, &**img))
+            .collect();
+        b.write_pages(&pairs).unwrap();
+        // Vectored read agrees with single-page reads, including an
+        // unwritten page inside the batch and one past the extent.
+        let read_pids: Vec<PageId> = [3u32, 4, 5, 7, 9, 10, 500]
+            .iter()
+            .map(|&p| PageId(p))
+            .collect();
+        let mut out: Vec<PageBuf> = (0..read_pids.len()).map(|_| zeroed_page()).collect();
+        b.read_pages(&read_pids, &mut out).unwrap();
+        for (pid, got) in read_pids.iter().zip(&out) {
+            let mut single = zeroed_page();
+            b.read_page(*pid, &mut single).unwrap();
+            assert_eq!(&got[..], &single[..], "page {pid} diverged");
+        }
+        assert_eq!(out[0][0], 3);
+        assert_eq!(out[5][0], 10);
+        assert!(out[3].iter().all(|&x| x == 0), "gap page must be zero");
+        assert!(out[6].iter().all(|&x| x == 0), "past-extent page zero");
+    }
+
+    #[test]
+    fn mem_backend_vectored_roundtrip() {
+        vectored_roundtrip(&MemBackend::new());
+    }
+
+    #[test]
+    fn file_backend_vectored_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("sbspace-vec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        vectored_roundtrip(&FileBackend::open(&path).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_injector_ticks_per_page_in_vectored_calls() {
+        let b = FaultInjector::new(MemBackend::new());
+        let images: Vec<PageBuf> = (0..3u32).map(|p| page_from_slice(&[p as u8])).collect();
+        let pairs: Vec<(PageId, &[u8; PAGE_SIZE])> = images
+            .iter()
+            .enumerate()
+            .map(|(i, img)| (PageId(i as u32), &**img))
+            .collect();
+        b.write_pages(&pairs).unwrap(); // 3 ticks
+        b.fail_after(2);
+        // The third page of the batch trips the injector: two pages made
+        // it down, exactly as three single-page writes would behave.
+        assert!(matches!(b.write_pages(&pairs), Err(SbError::Io(_))));
+        assert_eq!(b.injected(), 1);
+        let mut out: Vec<PageBuf> = (0..3).map(|_| zeroed_page()).collect();
+        let pids: Vec<PageId> = (0..3).map(PageId).collect();
+        assert!(matches!(b.read_pages(&pids, &mut out), Err(SbError::Io(_))));
+        b.heal();
+        b.read_pages(&pids, &mut out).unwrap();
+        assert_eq!(out[2][0], 2);
     }
 
     #[test]

@@ -59,6 +59,15 @@ pub struct SbspaceOptions {
     /// batches whose snapshots have drained. `None` (the default) runs
     /// no thread; [`Sbspace::checkpoint`] still checkpoints on demand.
     pub checkpoint_interval: Option<Duration>,
+    /// Background prefetch worker threads in the buffer pool. Scans
+    /// announce upcoming pages ([`LoHandle::prefetch`],
+    /// [`LoReader::prefetch`]) and the workers fault them in through
+    /// vectored backend reads, overlapping I/O with compute. `0` (the
+    /// default) disables prefetch entirely — announcements are no-ops.
+    pub prefetch_workers: usize,
+    /// Bound on the prefetch queue, in pages. Announcements past the
+    /// bound are dropped (prefetch is advisory, never back-pressure).
+    pub prefetch_depth: usize,
 }
 
 impl Default for SbspaceOptions {
@@ -71,6 +80,8 @@ impl Default for SbspaceOptions {
             commit_batch_size: 32,
             wal_segment_bytes: crate::wal::DEFAULT_SEGMENT_BYTES,
             checkpoint_interval: None,
+            prefetch_workers: 0,
+            prefetch_depth: 64,
         }
     }
 }
@@ -167,6 +178,10 @@ pub(crate) struct SpaceInner {
     /// Bytes across live WAL segments as of the last checkpoint
     /// (`wal.live_bytes`).
     wal_live_bytes: Gauge,
+    /// The configured `(prefetch_workers, prefetch_depth)` — surfaced
+    /// by [`Sbspace::prefetch_params`] so EXPLAIN output can report the
+    /// scan prefetch mode.
+    prefetch_params: (usize, usize),
     /// Background checkpointer shutdown flag + wakeup.
     ckpt_stop: Arc<(Mutex<bool>, Condvar)>,
     /// The background checkpointer, when `checkpoint_interval` is set.
@@ -208,11 +223,13 @@ impl Sbspace {
         let stats = IoStats::new_shared();
         let metrics = Metrics::shared();
         stats.register_in(&metrics);
-        let pool = BufferPool::new(
+        let pool = BufferPool::with_prefetch(
             Box::new(backend),
             opts.pool_pages,
             opts.pool_shards,
             Arc::clone(&stats),
+            opts.prefetch_workers,
+            opts.prefetch_depth,
         );
         Self::recover(&pool, &wal)?;
         // Initialise the header if the space is brand new.
@@ -260,6 +277,7 @@ impl Sbspace {
                 checkpoint_failures,
                 segments_recycled,
                 wal_live_bytes,
+                prefetch_params: (opts.prefetch_workers, opts.prefetch_depth),
                 ckpt_stop: Arc::new((Mutex::new(false), Condvar::new())),
                 ckpt_thread: Mutex::new(None),
             }),
@@ -485,6 +503,27 @@ impl Sbspace {
     /// Number of large objects currently locked (diagnostic).
     pub fn locked_objects(&self) -> usize {
         self.inner.lm.lock_count()
+    }
+
+    /// The configured `(prefetch_workers, prefetch_depth)` pair.
+    /// `(0, _)` means scan prefetch is off.
+    pub fn prefetch_params(&self) -> (usize, usize) {
+        self.inner.prefetch_params
+    }
+
+    /// Blocks until the prefetch queue has drained (benchmark hook;
+    /// no-op when prefetch is off).
+    pub fn prefetch_quiesce(&self) {
+        self.inner.pool.prefetch_quiesce();
+    }
+
+    /// Drops every cached frame, so the next reads hit the backend cold
+    /// (benchmark hook — lets a cold-scan harness measure physical I/O
+    /// without reopening the space). Quiesces the prefetcher first so
+    /// in-flight installs don't repopulate the cache behind the drop.
+    pub fn drop_page_cache(&self) {
+        self.inner.pool.prefetch_quiesce();
+        self.inner.pool.invalidate();
     }
 
     /// The lock mode `txn` currently holds on `lo`, if any (diagnostic).
@@ -1372,6 +1411,20 @@ impl LoHandle {
         self.inner.pool.read_pinned(PageId(pid))
     }
 
+    /// Announces logical pages an upcoming scan will read, letting the
+    /// pool's prefetch workers fault them in while the caller computes.
+    /// Advisory: out-of-range pages are skipped, and the call is a
+    /// no-op when the space runs without prefetch workers.
+    pub fn prefetch(&self, logical: &[u32]) {
+        let pids: Vec<PageId> = logical
+            .iter()
+            .filter_map(|&l| self.inode.data_pages.get(l as usize).map(|&p| PageId(p)))
+            .collect();
+        if !pids.is_empty() {
+            self.inner.pool.prefetch(&pids);
+        }
+    }
+
     /// Writes logical page `logical` (buffered until commit).
     ///
     /// The page-level API does not touch the byte size — an index that
@@ -1586,6 +1639,19 @@ impl LoReader {
         let pid = self.phys(logical)?;
         self.inner.pool.read_pinned(PageId(pid))
     }
+
+    /// Announces logical pages an upcoming scan will read, exactly like
+    /// [`LoHandle::prefetch`]: advisory, skips out-of-range pages,
+    /// no-op without prefetch workers.
+    pub fn prefetch(&self, logical: &[u32]) {
+        let pids: Vec<PageId> = logical
+            .iter()
+            .filter_map(|&l| self.pages.get(l as usize).map(|&p| PageId(p)))
+            .collect();
+        if !pids.is_empty() {
+            self.inner.pool.prefetch(&pids);
+        }
+    }
 }
 
 /// Page-granular read access shared by the locked and the snapshot
@@ -1600,6 +1666,10 @@ pub trait PageSource {
     fn read_page(&self, logical: u32) -> Result<PageBuf>;
     /// Pins logical page `logical` for zero-copy access.
     fn read_page_pinned(&self, logical: u32) -> Result<PageGuard>;
+    /// Announces logical pages an upcoming scan will read. Advisory —
+    /// the default does nothing, so sources without a prefetcher (or
+    /// tests with trivial sources) need no code.
+    fn prefetch(&self, _logical: &[u32]) {}
 }
 
 impl PageSource for LoHandle {
@@ -1611,6 +1681,9 @@ impl PageSource for LoHandle {
     }
     fn read_page_pinned(&self, logical: u32) -> Result<PageGuard> {
         LoHandle::read_page_pinned(self, logical)
+    }
+    fn prefetch(&self, logical: &[u32]) {
+        LoHandle::prefetch(self, logical);
     }
 }
 
@@ -1624,6 +1697,9 @@ impl PageSource for LoReader {
     fn read_page_pinned(&self, logical: u32) -> Result<PageGuard> {
         LoReader::read_page_pinned(self, logical)
     }
+    fn prefetch(&self, logical: &[u32]) {
+        LoReader::prefetch(self, logical);
+    }
 }
 
 impl<P: PageSource + ?Sized> PageSource for &P {
@@ -1635,6 +1711,9 @@ impl<P: PageSource + ?Sized> PageSource for &P {
     }
     fn read_page_pinned(&self, logical: u32) -> Result<PageGuard> {
         (**self).read_page_pinned(logical)
+    }
+    fn prefetch(&self, logical: &[u32]) {
+        (**self).prefetch(logical)
     }
 }
 

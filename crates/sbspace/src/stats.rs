@@ -52,6 +52,23 @@ pub struct IoStats {
     pub txn_commits: Counter,
     /// Transactions aborted, whether explicitly or by a failed commit.
     pub txn_aborts: Counter,
+    /// Pages enqueued for asynchronous prefetch.
+    pub prefetch_issued: Counter,
+    /// Demand reads that found a frame a prefetch worker had installed.
+    pub prefetch_hits: Counter,
+    /// Prefetched frames evicted before any demand read touched them.
+    pub prefetch_wasted: Counter,
+    /// Demand reads that blocked on another thread's in-flight fault
+    /// instead of issuing their own physical read.
+    pub inflight_waits: Counter,
+    /// Pages that rode along in a coalesced multi-page write (pages
+    /// written minus write calls issued).
+    pub coalesced_writes: Counter,
+    /// Contiguous runs emitted by batched flushes (one per backend
+    /// write call when the backend coalesces).
+    pub write_runs: Counter,
+    /// Contiguous runs emitted by batched prefetch reads.
+    pub read_runs: Counter,
 }
 
 /// A point-in-time copy of the counters.
@@ -72,6 +89,13 @@ pub struct IoSnapshot {
     pub data_syncs: u64,
     pub txn_commits: u64,
     pub txn_aborts: u64,
+    pub prefetch_issued: u64,
+    pub prefetch_hits: u64,
+    pub prefetch_wasted: u64,
+    pub inflight_waits: u64,
+    pub coalesced_writes: u64,
+    pub write_runs: u64,
+    pub read_runs: u64,
 }
 
 impl IoStats {
@@ -98,6 +122,13 @@ impl IoStats {
             data_syncs: self.data_syncs.get(),
             txn_commits: self.txn_commits.get(),
             txn_aborts: self.txn_aborts.get(),
+            prefetch_issued: self.prefetch_issued.get(),
+            prefetch_hits: self.prefetch_hits.get(),
+            prefetch_wasted: self.prefetch_wasted.get(),
+            inflight_waits: self.inflight_waits.get(),
+            coalesced_writes: self.coalesced_writes.get(),
+            write_runs: self.write_runs.get(),
+            read_runs: self.read_runs.get(),
         }
     }
 
@@ -120,6 +151,15 @@ impl IoStats {
             ("sbspace.data_syncs", &self.data_syncs),
             ("sbspace.txn_commits", &self.txn_commits),
             ("sbspace.txn_aborts", &self.txn_aborts),
+            ("sbspace.prefetch_issued", &self.prefetch_issued),
+            ("sbspace.prefetch_hits", &self.prefetch_hits),
+            ("sbspace.prefetch_wasted", &self.prefetch_wasted),
+            ("sbspace.inflight_waits", &self.inflight_waits),
+            // I/O-shape counters live under io.* — they describe how the
+            // backend was driven, not what the pool was asked for.
+            ("io.coalesced_writes", &self.coalesced_writes),
+            ("io.write_runs", &self.write_runs),
+            ("io.read_runs", &self.read_runs),
         ] {
             metrics.adopt_counter(name, c.clone());
         }
@@ -151,6 +191,13 @@ impl IoSnapshot {
             data_syncs: self.data_syncs - earlier.data_syncs,
             txn_commits: self.txn_commits - earlier.txn_commits,
             txn_aborts: self.txn_aborts - earlier.txn_aborts,
+            prefetch_issued: self.prefetch_issued - earlier.prefetch_issued,
+            prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
+            prefetch_wasted: self.prefetch_wasted - earlier.prefetch_wasted,
+            inflight_waits: self.inflight_waits - earlier.inflight_waits,
+            coalesced_writes: self.coalesced_writes - earlier.coalesced_writes,
+            write_runs: self.write_runs - earlier.write_runs,
+            read_runs: self.read_runs - earlier.read_runs,
         }
     }
 
@@ -165,7 +212,7 @@ impl std::fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "lr={} lw={} pr={} pw={} opens={} waits={} dl={} ev={} ovf={} gc={} pin={} ws={} ds={} tc={} ta={}",
+            "lr={} lw={} pr={} pw={} opens={} waits={} dl={} ev={} ovf={} gc={} pin={} ws={} ds={} tc={} ta={} pfi={} pfh={} pfw={} ifw={} cw={} wruns={} rruns={}",
             self.logical_reads,
             self.logical_writes,
             self.physical_reads,
@@ -180,7 +227,14 @@ impl std::fmt::Display for IoSnapshot {
             self.wal_syncs,
             self.data_syncs,
             self.txn_commits,
-            self.txn_aborts
+            self.txn_aborts,
+            self.prefetch_issued,
+            self.prefetch_hits,
+            self.prefetch_wasted,
+            self.inflight_waits,
+            self.coalesced_writes,
+            self.write_runs,
+            self.read_runs
         )
     }
 }

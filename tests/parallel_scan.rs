@@ -9,6 +9,7 @@
 use grtree_datablade::blade::{install_grtree_blade, GrTreeAmOptions};
 use grtree_datablade::grtree::GrTreeOptions;
 use grtree_datablade::ids::{Connection, Database, DatabaseOptions, Value};
+use grtree_datablade::sbspace::SbspaceOptions;
 use grtree_datablade::temporal::{Day, MockClock};
 use std::sync::Arc;
 
@@ -236,6 +237,66 @@ fn parallel_delete_mid_scan_condenses_and_restarts() {
     let serial = ids_of(&conn, &probe);
     conn.exec("SET PARALLEL 4").unwrap();
     assert_eq!(ids_of(&conn, &probe), serial);
+}
+
+#[test]
+fn prefetched_scans_match_serial_and_parallel() {
+    // Prefetch must change only I/O timing, never answers: the same
+    // probes over a prefetching database (workers announce internal
+    // nodes' children ahead of the descent) return exactly the row-set
+    // of the serial and parallel scans on a non-prefetching one.
+    let (db, clock) = db_small_fanout();
+    let conn = db.connect();
+    populate(&conn, &clock, 300);
+    clock.set(Day(10_400));
+
+    let clock_pf = MockClock::new(Day(10_000));
+    let db_pf = Database::new(DatabaseOptions {
+        clock: Arc::new(clock_pf.clone()),
+        space: SbspaceOptions {
+            prefetch_workers: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    install_grtree_blade(
+        &db_pf,
+        GrTreeAmOptions {
+            tree: GrTreeOptions {
+                max_entries: 8,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let conn_pf = db_pf.connect();
+    populate(&conn_pf, &clock_pf, 300);
+    clock_pf.set(Day(10_400));
+
+    let probe = format!(
+        "SELECT id FROM t WHERE Overlaps(Time_Extent, '{}, {}, {}, {}')",
+        render(10_050),
+        render(10_080),
+        render(10_040),
+        render(10_090)
+    );
+    let serial = ids_of(&conn, &probe);
+    assert!(!serial.is_empty(), "probe must match rows");
+    for degree in [1usize, 2, 4, 8] {
+        conn.exec(&format!("SET PARALLEL {degree}")).unwrap();
+        conn_pf.exec(&format!("SET PARALLEL {degree}")).unwrap();
+        assert_eq!(
+            ids_of(&conn, &probe),
+            serial,
+            "degree {degree} without prefetch drifted"
+        );
+        assert_eq!(
+            ids_of(&conn_pf, &probe),
+            serial,
+            "degree {degree} with prefetch drifted"
+        );
+    }
 }
 
 /// A database like [`db_small_fanout`] but with an explicit executor
